@@ -1,0 +1,78 @@
+// ablate_alf.cpp — ablation of ALF's double buffering: how much latency
+// hiding the framework's automatic input prefetch buys, as a function of
+// block size (i.e. of the DMA/compute ratio).  This is the design point
+// the paper credits ALF for automating — and the code a CellPilot user
+// would have to write by hand.
+//
+// Usage: ablate_alf [blocks]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "alfsim/alf.hpp"
+
+namespace {
+
+void touch_kernel(const void*, std::size_t, void* out,
+                  std::size_t out_bytes) {
+  if (out_bytes > 0) static_cast<std::uint8_t*>(out)[0] = 1;
+}
+
+double run(std::size_t block_bytes, int blocks, bool double_buffer,
+           simtime::SimTime compute) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  cellsim::CellBlade blade("ab", cost);
+  alf::Runtime rt(blade, cost);
+
+  alf::TaskDesc desc;
+  desc.kernel = &touch_kernel;
+  desc.in_block_bytes = block_bytes;
+  desc.out_block_bytes = 16;
+  desc.accelerators = 1;  // isolate the per-lane pipeline
+  desc.double_buffer = double_buffer;
+  desc.compute_per_block = compute;
+
+  std::vector<std::vector<std::uint8_t>> in(
+      static_cast<std::size_t>(blocks),
+      std::vector<std::uint8_t>(block_bytes + 128));
+  std::vector<std::array<std::uint8_t, 16>> out(
+      static_cast<std::size_t>(blocks));
+
+  auto task = rt.create_task(desc);
+  for (int b = 0; b < blocks; ++b) {
+    // 128-align the input EA for clean DMA.
+    auto base = reinterpret_cast<std::uintptr_t>(
+        in[static_cast<std::size_t>(b)].data());
+    auto* aligned = reinterpret_cast<std::uint8_t*>((base + 127) &
+                                                    ~std::uintptr_t{127});
+    task->add_work_block(aligned, out[static_cast<std::size_t>(b)].data());
+  }
+  task->wait();
+  return simtime::to_us(task->elapsed());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int blocks = argc > 1 ? std::atoi(argv[1]) : 32;
+  constexpr std::size_t kBlockBytes = 16 * 1024;  // one MFC command, ~14 us
+
+  std::printf(
+      "ALF double-buffering ablation: %d blocks of 16 KB, one accelerator,\n"
+      "sweeping the compute/DMA ratio\n\n",
+      blocks);
+  std::printf("%16s %18s %18s %10s\n", "compute/block", "double-buffer (us)",
+              "single-buffer (us)", "saving");
+  for (double compute_us : {3.0, 7.0, 14.0, 30.0, 60.0, 120.0}) {
+    const simtime::SimTime compute = simtime::us(compute_us);
+    const double with = run(kBlockBytes, blocks, true, compute);
+    const double without = run(kBlockBytes, blocks, false, compute);
+    std::printf("%13.0f us %18.1f %18.1f %9.1f%%\n", compute_us, with,
+                without, 100.0 * (without - with) / without);
+  }
+  std::printf(
+      "\nInterpretation: prefetching hides min(dma, compute) per block; the\n"
+      "saving peaks when DMA time matches compute time (~14 us here) and\n"
+      "shrinks once either side dominates.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// cml_compare.cpp — CellPilot vs the Cell Messaging Layer (related work,
+// §II.D): the same SPE-to-SPE PingPong, intra-node and inter-node, through
+// both libraries.
+//
+// What the paper predicts: CML's leaner SPE runtime (no channel tables, no
+// format strings, 3-word requests) undercuts CellPilot's latency somewhat,
+// but offers only rank-addressed send/recv among SPEs — no PPE/non-Cell
+// processes, no typed contracts, no select — which is why CellPilot did not
+// build on it.
+//
+// Usage: cml_compare [reps]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchkit/pingpong.hpp"
+#include "cmlsim/cml.hpp"
+
+namespace {
+
+simtime::SimTime cml_pingpong(int nodes, std::size_t bytes, int reps) {
+  // Initiator rank 0; responder is the last rank (other node when nodes=2).
+  std::atomic<simtime::SimTime> elapsed{0};
+  cml::JobConfig config;
+  config.nodes = nodes;
+  config.spes_per_node = 2;
+  const auto r = cml::run(config, [&](int rank, int size) {
+    const int responder = size - 1;
+    std::vector<std::byte> buf(bytes);
+    if (rank == 0) {
+      simtime::VirtualClock& clock = cml::cml_clock();
+      const simtime::SimTime start = clock.now();
+      for (int i = 0; i < reps; ++i) {
+        cml::cml_send(buf.data(), bytes, responder);
+        cml::cml_recv(buf.data(), bytes, responder);
+      }
+      elapsed.store(clock.now() - start);
+    } else if (rank == responder) {
+      for (int i = 0; i < reps; ++i) {
+        cml::cml_recv(buf.data(), bytes, 0);
+        cml::cml_send(buf.data(), bytes, 0);
+      }
+    }
+    return 0;
+  });
+  if (r.failed) {
+    std::fprintf(stderr, "cml job failed: %s\n", r.error.c_str());
+    std::exit(1);
+  }
+  return elapsed.load() / (2 * reps);
+}
+
+double cellpilot_one_way(cellpilot::ChannelType type, std::size_t bytes,
+                         int reps) {
+  benchkit::PingPongSpec spec;
+  spec.type = type;
+  spec.bytes = bytes;
+  spec.reps = reps;
+  return benchkit::pingpong_us(spec, benchkit::Method::kCellPilot,
+                               simtime::default_cost_model());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 500;
+
+  std::printf(
+      "CellPilot vs Cell Messaging Layer: SPE<->SPE one-way latency (us), "
+      "%d reps\n\n",
+      reps);
+  std::printf("%-22s %10s %12s\n", "path", "CellPilot", "CML");
+  for (const std::size_t bytes : {std::size_t{1}, std::size_t{1600}}) {
+    const double cp4 =
+        cellpilot_one_way(cellpilot::ChannelType::kType4, bytes, reps);
+    const double cml4 = simtime::to_us(cml_pingpong(1, bytes, reps));
+    std::printf("intra-node, %5zu B   %10.1f %12.1f\n", bytes, cp4, cml4);
+    const double cp5 =
+        cellpilot_one_way(cellpilot::ChannelType::kType5, bytes, reps);
+    const double cml5 = simtime::to_us(cml_pingpong(2, bytes, reps));
+    std::printf("inter-node, %5zu B   %10.1f %12.1f\n", bytes, cp5, cml5);
+  }
+  std::printf(
+      "\nInterpretation: CML's slimmer request path shaves tens of\n"
+      "microseconds off each transfer, but its model is SPE-ranks-only\n"
+      "send/recv; CellPilot pays for typed channels, format checking and\n"
+      "PPE/non-Cell endpoints — the trade the paper chose deliberately.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// fig6_throughput.cpp — regenerates the paper's Figure 6: throughput for
+// the array case (100 long doubles = 1600 bytes) across the five channel
+// types and three methods.
+//
+// Usage: fig6_throughput [reps]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchkit/pingpong.hpp"
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const simtime::CostModel cost = simtime::default_cost_model();
+  const benchkit::Method methods[] = {benchkit::Method::kCellPilot,
+                                      benchkit::Method::kDma,
+                                      benchkit::Method::kCopy};
+
+  std::printf(
+      "Figure 6: throughput for CellPilot vs hand-coded transfers\n"
+      "payload: 100 long doubles (1600 bytes), %d reps\n\n",
+      reps);
+  std::printf("%-6s %-10s %14s\n", "type", "method", "MB/s");
+  double values[6][3];
+  for (int type = 1; type <= 5; ++type) {
+    for (int m = 0; m < 3; ++m) {
+      benchkit::PingPongSpec spec;
+      spec.type = static_cast<cellpilot::ChannelType>(type);
+      spec.bytes = 1600;
+      spec.reps = reps;
+      values[type][m] = benchkit::throughput_mbps(spec, methods[m], cost);
+      std::printf("%-6d %-10s %14.2f\n", type,
+                  benchkit::to_string(methods[m]), values[type][m]);
+    }
+  }
+
+  std::printf("\n%26s (each char ~ 2 MB/s)\n", "");
+  for (int type = 1; type <= 5; ++type) {
+    for (int m = 0; m < 3; ++m) {
+      const int len = static_cast<int>(values[type][m] / 2.0 + 0.5);
+      std::printf("T%d %-10s |%s\n", type, benchkit::to_string(methods[m]),
+                  std::string(static_cast<std::size_t>(len), '#').c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// micro_substrates.cpp — google-benchmark microbenchmarks of the simulator
+// substrates themselves (host-side throughput of the building blocks every
+// experiment rests on).  These guard against performance regressions in
+// the simulation infrastructure; they are not paper results.
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+
+#include "cellsim/local_store.hpp"
+#include "cellsim/mailbox.hpp"
+#include "cellsim/mfc.hpp"
+#include "mpisim/match_queue.hpp"
+#include "pilot/format.hpp"
+#include "pilot/wire.hpp"
+#include "simtime/virtual_clock.hpp"
+
+namespace {
+
+void BM_VirtualClockAdvance(benchmark::State& state) {
+  simtime::VirtualClock clock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.advance(3));
+  }
+}
+BENCHMARK(BM_VirtualClockAdvance);
+
+void BM_VirtualClockJoin(benchmark::State& state) {
+  simtime::VirtualClock clock;
+  simtime::SimTime stamp = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.join(stamp += 2));
+  }
+}
+BENCHMARK(BM_VirtualClockJoin);
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  cellsim::Mailbox mbox(4);
+  for (auto _ : state) {
+    mbox.try_push(1, 0);
+    benchmark::DoNotOptimize(mbox.try_pop());
+  }
+}
+BENCHMARK(BM_MailboxPushPop);
+
+void BM_LsAllocFree(benchmark::State& state) {
+  cellsim::LsAllocator alloc;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const cellsim::LsAddr p = alloc.allocate(size, 16);
+    alloc.deallocate(p);
+  }
+}
+BENCHMARK(BM_LsAllocFree)->Arg(64)->Arg(1600)->Arg(65536);
+
+void BM_MfcDmaCommand(benchmark::State& state) {
+  cellsim::LocalStore ls;
+  simtime::VirtualClock clock;
+  const simtime::CostModel cost = simtime::default_cost_model();
+  cellsim::Mfc mfc(ls, clock, cost, "bench");
+  alignas(128) static std::byte buffer[16 * 1024];
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mfc.get(0, cellsim::ea_of(buffer), bytes, 0);
+    mfc.write_tag_mask(1);
+    benchmark::DoNotOptimize(mfc.read_tag_status_all());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MfcDmaCommand)->Arg(16)->Arg(1600)->Arg(16384);
+
+void BM_MatchQueueDepositMatch(benchmark::State& state) {
+  mpisim::MatchQueue queue;
+  for (auto _ : state) {
+    mpisim::InboundMessage msg;
+    msg.source = 1;
+    msg.tag = 7;
+    queue.deposit(std::move(msg));
+    benchmark::DoNotOptimize(queue.try_match(1, 7));
+  }
+}
+BENCHMARK(BM_MatchQueueDepositMatch);
+
+void BM_FormatParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pilot::parse_format("%d %100Lf %*b %lf"));
+  }
+}
+BENCHMARK(BM_FormatParse);
+
+pilot::MarshalResult marshal_helper(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  pilot::MarshalResult r = pilot::marshal_payload(pilot::parse_format(fmt), ap);
+  va_end(ap);
+  return r;
+}
+
+void BM_MarshalArray(benchmark::State& state) {
+  static float data[1000];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(marshal_helper("%1000f", data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4000);
+}
+BENCHMARK(BM_MarshalArray);
+
+void BM_FrameAndCheck(benchmark::State& state) {
+  static float data[400];
+  const auto m = marshal_helper("%400f", data);
+  const std::uint32_t sig = pilot::signature(m.fmt);
+  for (auto _ : state) {
+    const auto framed = pilot::frame_message(sig, m.payload);
+    benchmark::DoNotOptimize(
+        pilot::check_frame(framed, sig, m.payload.size(), "bench"));
+  }
+}
+BENCHMARK(BM_FrameAndCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

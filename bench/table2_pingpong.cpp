@@ -1,0 +1,56 @@
+// table2_pingpong.cpp — regenerates the paper's Table II:
+// "CellPilot vs hand-coded timing (µs)" — 5 channel types × {1 B, 1600 B}
+// payloads × {CellPilot, DMA, Copy} methods, measured with the IMB-style
+// PingPong pattern (1000 bounces, one-way time = elapsed / 2N).
+//
+// Usage: table2_pingpong [reps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchkit/pingpong.hpp"
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const simtime::CostModel cost = simtime::default_cost_model();
+
+  // The paper's reference numbers, for side-by-side comparison.
+  struct PaperRow {
+    int type;
+    std::size_t bytes;
+    double cellpilot, dma, copy;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {1, 1, 105, 98, 98},     {1, 1600, 173, 160, 160},
+      {2, 1, 59, 15, 15},      {2, 1600, 76, 15, 30},
+      {3, 1, 140, 114, 107},   {3, 1600, 219, 181, 175},
+      {4, 1, 112, 30, 30},     {4, 1600, 123, 30, 60},
+      {5, 1, 189, 131, 117},   {5, 1600, 263, 195, 194},
+  };
+
+  std::printf("Table II: CellPilot vs hand-coded timing (us), %d reps\n",
+              reps);
+  std::printf("%-5s %-6s | %10s %10s %10s | %10s %10s %10s\n", "Type",
+              "Bytes", "CellPilot", "DMA", "Copy", "(paper CP)", "(DMA)",
+              "(Copy)");
+  std::printf("--------------------------------------------------------------"
+              "---------------\n");
+
+  for (const PaperRow& row : kPaper) {
+    benchkit::PingPongSpec spec;
+    spec.type = static_cast<cellpilot::ChannelType>(row.type);
+    spec.bytes = row.bytes;
+    spec.reps = reps;
+
+    const double cp =
+        benchkit::pingpong_us(spec, benchkit::Method::kCellPilot, cost);
+    const double dma =
+        benchkit::pingpong_us(spec, benchkit::Method::kDma, cost);
+    const double copy =
+        benchkit::pingpong_us(spec, benchkit::Method::kCopy, cost);
+
+    std::printf("%-5d %-6zu | %10.1f %10.1f %10.1f | %10.0f %10.0f %10.0f\n",
+                row.type, row.bytes, cp, dma, copy, row.cellpilot, row.dma,
+                row.copy);
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// alf_blocks.cpp — the same computation two ways: IBM's ALF work-block
+// model (§II.B of the paper) versus CellPilot channels, making the paper's
+// comparison concrete.
+//
+// Workload: block-wise SAXPY (y = a*x + y) over a large array.
+//
+//   * ALF style: the host queues fixed-size work blocks on a task; the
+//     framework DMAs each block in/out of the accelerators and runs the
+//     kernel — terse for data-parallel sweeps, but the accelerators can
+//     only ever talk to the host's block queue (the restrictiveness that
+//     made CellPilot avoid building on ALF).
+//   * CellPilot style: the same blocks flow over process/channel pairs —
+//     more explicit, but the SPE workers are ordinary processes that could
+//     equally talk to each other or to remote nodes.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "alfsim/alf.hpp"
+#include "core/cellpilot.hpp"
+
+namespace {
+
+constexpr float kA = 2.5f;
+constexpr int kBlocks = 32;
+constexpr int kFloatsPerBlock = 512;
+
+struct SaxpyBlock {
+  float x[kFloatsPerBlock];
+  float y[kFloatsPerBlock];
+};
+
+// --- ALF version -------------------------------------------------------------
+
+void saxpy_kernel(const void* in, std::size_t, void* out, std::size_t) {
+  const auto* block = static_cast<const SaxpyBlock*>(in);
+  auto* result = static_cast<float*>(out);
+  for (int i = 0; i < kFloatsPerBlock; ++i) {
+    result[i] = kA * block->x[i] + block->y[i];
+  }
+}
+
+double run_alf(const std::vector<SaxpyBlock>& input,
+               std::vector<std::vector<float>>& output) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  cellsim::CellBlade blade("alf", cost);
+  alf::Runtime runtime(blade, cost);
+
+  alf::TaskDesc desc;
+  desc.kernel = &saxpy_kernel;
+  desc.in_block_bytes = sizeof(SaxpyBlock);
+  desc.out_block_bytes = kFloatsPerBlock * sizeof(float);
+  desc.accelerators = 4;
+
+  auto task = runtime.create_task(desc);
+  for (int b = 0; b < kBlocks; ++b) {
+    task->add_work_block(&input[static_cast<std::size_t>(b)],
+                         output[static_cast<std::size_t>(b)].data());
+  }
+  task->wait();
+  return simtime::to_us(task->elapsed());
+}
+
+// --- CellPilot version ---------------------------------------------------------
+
+constexpr int kSpeWorkers = 4;
+PI_CHANNEL* g_blocks_down[kSpeWorkers];
+PI_CHANNEL* g_blocks_up[kSpeWorkers];
+
+PI_SPE_PROGRAM_SIZED(saxpy_spe, 4096) {
+  const int id = arg1;
+  for (;;) {
+    int stop = 0;
+    SaxpyBlock block;
+    PI_Read(g_blocks_down[id], "%d %*f", &stop,
+            kFloatsPerBlock * 2, &block);
+    if (stop != 0) return 0;
+    float result[kFloatsPerBlock];
+    for (int i = 0; i < kFloatsPerBlock; ++i) {
+      result[i] = kA * block.x[i] + block.y[i];
+    }
+    PI_Write(g_blocks_up[id], "%*f", kFloatsPerBlock, result);
+  }
+}
+
+const std::vector<SaxpyBlock>* g_input = nullptr;
+std::vector<std::vector<float>>* g_output = nullptr;
+
+int cellpilot_master(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+  PI_PROCESS* spes[kSpeWorkers];
+  for (int w = 0; w < kSpeWorkers; ++w) {
+    spes[w] = PI_CreateSPE(saxpy_spe, PI_MAIN, w);
+    g_blocks_down[w] = PI_CreateChannel(PI_MAIN, spes[w]);
+    g_blocks_up[w] = PI_CreateChannel(spes[w], PI_MAIN);
+  }
+  PI_StartAll();
+  for (int w = 0; w < kSpeWorkers; ++w) PI_RunSPE(spes[w], w, nullptr);
+
+  // Round-robin the blocks over the workers, one in flight per worker.
+  int next_block = 0;
+  int outstanding[kSpeWorkers] = {};
+  const int go = 0;
+  while (next_block < kBlocks || true) {
+    bool any = false;
+    for (int w = 0; w < kSpeWorkers; ++w) {
+      if (outstanding[w] == 0 && next_block < kBlocks) {
+        PI_Write(g_blocks_down[w], "%d %*f", go, kFloatsPerBlock * 2,
+                 &(*g_input)[static_cast<std::size_t>(next_block)]);
+        outstanding[w] = next_block + 1;  // 1-based block id
+        ++next_block;
+        any = true;
+      } else if (outstanding[w] != 0) {
+        const int b = outstanding[w] - 1;
+        PI_Read(g_blocks_up[w], "%*f", kFloatsPerBlock,
+                (*g_output)[static_cast<std::size_t>(b)].data());
+        outstanding[w] = 0;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+
+  const int stop = 1;
+  SaxpyBlock dummy{};
+  for (int w = 0; w < kSpeWorkers; ++w) {
+    PI_Write(g_blocks_down[w], "%d %*f", stop, kFloatsPerBlock * 2, &dummy);
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+double run_cellpilot(const std::vector<SaxpyBlock>& input,
+                     std::vector<std::vector<float>>& output) {
+  g_input = &input;
+  g_output = &output;
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+  const auto result = cellpilot::run(machine, cellpilot_master);
+  if (result.aborted) {
+    std::fprintf(stderr, "cellpilot run aborted: %s\n",
+                 result.abort_reason.c_str());
+    std::exit(1);
+  }
+  return simtime::to_us(machine.world().clock(0).now());
+}
+
+bool verify(const std::vector<SaxpyBlock>& input,
+            const std::vector<std::vector<float>>& output,
+            const char* label) {
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int i = 0; i < kFloatsPerBlock; ++i) {
+      const auto bs = static_cast<std::size_t>(b);
+      const auto is = static_cast<std::size_t>(i);
+      const float expect = kA * input[bs].x[is] + input[bs].y[is];
+      if (std::fabs(output[bs][is] - expect) > 1e-4f) {
+        std::fprintf(stderr, "%s: mismatch at block %d index %d\n", label, b,
+                     i);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<SaxpyBlock> input(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int i = 0; i < kFloatsPerBlock; ++i) {
+      input[static_cast<std::size_t>(b)].x[i] = 0.01f * (b + i);
+      input[static_cast<std::size_t>(b)].y[i] = 1.0f + 0.001f * i;
+    }
+  }
+  std::vector<std::vector<float>> out_alf(
+      kBlocks, std::vector<float>(kFloatsPerBlock));
+  std::vector<std::vector<float>> out_cp(
+      kBlocks, std::vector<float>(kFloatsPerBlock));
+
+  const double alf_us = run_alf(input, out_alf);
+  const double cp_us = run_cellpilot(input, out_cp);
+
+  if (!verify(input, out_alf, "alf") || !verify(input, out_cp, "cellpilot")) {
+    return 1;
+  }
+  std::printf(
+      "alf_blocks: %d blocks x %d floats, 4 SPE workers\n"
+      "  ALF work-block model : %10.1f us (virtual)\n"
+      "  CellPilot channels   : %10.1f us (virtual)\n"
+      "Both correct; ALF's framework-managed double buffering wins on a\n"
+      "pure block sweep, while the CellPilot processes could also talk to\n"
+      "each other or off-node — the trade-off the paper describes.\n",
+      kBlocks, kFloatsPerBlock, alf_us, cp_us);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// heat_stencil.cpp — 1-D heat diffusion with halo exchange over Pilot
+// channels: the classic cluster-programming workload, spread across the
+// hybrid machine so neighbouring domain slabs live on different node kinds
+// (Cell PPEs and Xeons) yet exchange halos with identical code.
+//
+// The domain [0,1] is split into W slabs; each worker owns one slab and
+// trades boundary cells with its neighbours every step over dedicated
+// channels — the CSP process/channel architecture the Pilot papers
+// advocate, with no rank or tag arithmetic anywhere.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/cellpilot.hpp"
+
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kCellsPerWorker = 64;
+constexpr int kSteps = 200;
+constexpr double kAlpha = 0.2;  // diffusion number (stable: <= 0.5)
+
+PI_CHANNEL* g_left_out[kWorkers];   // worker w -> worker w-1
+PI_CHANNEL* g_right_out[kWorkers];  // worker w -> worker w+1
+PI_CHANNEL* g_result[kWorkers];     // worker -> MAIN (gather)
+PI_BUNDLE* g_results = nullptr;
+
+int stencil_worker(int index, void* /*arg*/) {
+  // Slab with two ghost cells.
+  std::vector<double> u(kCellsPerWorker + 2, 0.0);
+  std::vector<double> next(kCellsPerWorker + 2, 0.0);
+
+  // Initial condition: a hot spike in the middle of the global domain.
+  const int global_mid = kWorkers * kCellsPerWorker / 2;
+  for (int i = 1; i <= kCellsPerWorker; ++i) {
+    const int global = index * kCellsPerWorker + (i - 1);
+    u[static_cast<std::size_t>(i)] = global == global_mid ? 1000.0 : 0.0;
+  }
+
+  for (int step = 0; step < kSteps; ++step) {
+    // Exchange halos with neighbours (boundary workers hold 0 outside).
+    if (index > 0) {
+      PI_Write(g_left_out[index], "%lf", u[1]);
+      PI_Read(g_right_out[index - 1], "%lf", &u[0]);
+    }
+    if (index < kWorkers - 1) {
+      PI_Write(g_right_out[index], "%lf", u[kCellsPerWorker]);
+      PI_Read(g_left_out[index + 1], "%lf",
+              &u[static_cast<std::size_t>(kCellsPerWorker) + 1]);
+    }
+    for (int i = 1; i <= kCellsPerWorker; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      next[s] = u[s] + kAlpha * (u[s - 1] - 2 * u[s] + u[s + 1]);
+    }
+    std::swap(u, next);
+  }
+
+  // Report the slab's total heat (conservation check) and its peak.
+  double total = 0, peak = 0;
+  for (int i = 1; i <= kCellsPerWorker; ++i) {
+    total += u[static_cast<std::size_t>(i)];
+    peak = std::max(peak, u[static_cast<std::size_t>(i)]);
+  }
+  PI_Write(g_result[index], "%lf %lf", total, peak);
+  return 0;
+}
+
+PI_PROCESS* s_workers[kWorkers];
+
+int app_main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+  for (int w = 0; w < kWorkers; ++w) {
+    s_workers[w] = PI_CreateProcess(stencil_worker, w, nullptr);
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    // Left/right halo channels toward the neighbours that exist.
+    g_left_out[w] =
+        w > 0 ? PI_CreateChannel(s_workers[w], s_workers[w - 1]) : nullptr;
+    g_right_out[w] = w < kWorkers - 1
+                         ? PI_CreateChannel(s_workers[w], s_workers[w + 1])
+                         : nullptr;
+    g_result[w] = PI_CreateChannel(s_workers[w], PI_MAIN);
+  }
+  g_results = PI_CreateBundle(PI_GATHER, g_result, kWorkers);
+
+  PI_StartAll();
+
+  double totals[kWorkers];
+  double peaks[kWorkers];
+  PI_Gather(g_results, "%lf %lf", totals, peaks);
+
+  double heat = 0, peak = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    heat += totals[w];
+    peak = std::max(peak, peaks[w]);
+  }
+  std::printf(
+      "heat_stencil: after %d steps total heat %.6f (expected 1000), "
+      "peak %.3f\n",
+      kSteps, heat, peak);
+
+  const bool conserved = std::fabs(heat - 1000.0) < 1e-6;
+  PI_StopMain(conserved ? 0 : 1);
+  return conserved ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  // Two Cell blades (PPE workers) + one Xeon node: PI_MAIN and one worker
+  // share the Xeon; the slab boundary crosses node kinds transparently.
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::xeon(2));
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::xeon(1));
+  cluster::Cluster machine(std::move(config));
+
+  const cellpilot::RunResult result = cellpilot::run(machine, app_main);
+  if (result.aborted) {
+    std::fprintf(stderr, "job aborted: %s\n", result.abort_reason.c_str());
+    return 1;
+  }
+  return result.status;
+}

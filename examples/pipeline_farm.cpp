@@ -1,0 +1,171 @@
+// pipeline_farm.cpp — a demand-driven task farm across the hybrid cluster,
+// exercising Pilot's collective bundles (broadcast, select, gather) together
+// with CellPilot's SPE offload.
+//
+// The job: numerically integrate f(x) = 4/(1+x^2) over [0,1] (= pi) split
+// into many strips.  PI_MAIN broadcasts the strip width, then deals strips
+// demand-driven: each worker sends a "ready" token; PI_MAIN uses PI_Select
+// on the ready-bundle to find who to feed next.  Workers placed on Cell
+// nodes offload each strip to two SPE children over type-2 channels; Xeon
+// workers integrate on the spot — same worker code, one programming model.
+// Finally PI_Gather collects the per-worker partial sums.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/cellpilot.hpp"
+
+namespace {
+
+constexpr int kWorkers = 4;      // 2 on Cell PPEs + 2 on a Xeon node
+constexpr int kCellWorkers = 2;  // the first two workers get SPE children
+constexpr int kStrips = 64;
+constexpr int kSamplesPerStrip = 2048;
+
+PI_CHANNEL* g_ready[kWorkers];       // worker -> MAIN (demand tokens)
+PI_CHANNEL* g_task[kWorkers];        // MAIN -> worker (strip index or stop)
+PI_CHANNEL* g_result[kWorkers];      // worker -> MAIN (gather bundle)
+PI_CHANNEL* g_bcast[kWorkers];       // MAIN -> worker (broadcast bundle)
+PI_BUNDLE* g_ready_bundle = nullptr;
+PI_BUNDLE* g_gather_bundle = nullptr;
+PI_BUNDLE* g_bcast_bundle = nullptr;
+
+// Cell workers offload halves of each strip to two SPEs.
+PI_PROCESS* g_spe_child[kCellWorkers][2];
+PI_CHANNEL* g_spe_task[kCellWorkers][2];
+PI_CHANNEL* g_spe_sum[kCellWorkers][2];
+
+double integrate(double lo, double hi, int samples) {
+  const double dx = (hi - lo) / samples;
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = lo + (i + 0.5) * dx;
+    sum += 4.0 / (1.0 + x * x);
+  }
+  return sum * dx;
+}
+
+PI_SPE_PROGRAM(farm_spe_child) {
+  const int worker = arg1 / 2;
+  const int half = arg1 % 2;
+  for (;;) {
+    double lo = 0.0, hi = 0.0;
+    PI_Read(g_spe_task[worker][half], "%lf %lf", &lo, &hi);
+    if (hi < lo) return 0;  // stop sentinel
+    const double part = integrate(lo, hi, kSamplesPerStrip / 2);
+    PI_Write(g_spe_sum[worker][half], "%lf", part);
+  }
+}
+
+int worker_fn(int index, void* /*arg*/) {
+  const bool on_cell = index < kCellWorkers;
+  if (on_cell) {
+    PI_RunSPE(g_spe_child[index][0], index * 2 + 0, nullptr);
+    PI_RunSPE(g_spe_child[index][1], index * 2 + 1, nullptr);
+  }
+
+  double width = 0.0;
+  PI_Read(g_bcast[index], "%lf", &width);
+
+  double partial = 0.0;
+  for (;;) {
+    const int token = 1;
+    PI_Write(g_ready[index], "%d", token);
+    int strip = 0;
+    PI_Read(g_task[index], "%d", &strip);
+    if (strip < 0) break;
+    const double lo = strip * width;
+    const double hi = lo + width;
+    if (on_cell) {
+      const double mid = (lo + hi) / 2;
+      PI_Write(g_spe_task[index][0], "%lf %lf", lo, mid);
+      PI_Write(g_spe_task[index][1], "%lf %lf", mid, hi);
+      double a = 0.0, b = 0.0;
+      PI_Read(g_spe_sum[index][0], "%lf", &a);
+      PI_Read(g_spe_sum[index][1], "%lf", &b);
+      partial += a + b;
+    } else {
+      partial += integrate(lo, hi, kSamplesPerStrip);
+    }
+  }
+
+  if (on_cell) {
+    // Stop the SPE children (hi < lo is the sentinel).
+    PI_Write(g_spe_task[index][0], "%lf %lf", 1.0, 0.0);
+    PI_Write(g_spe_task[index][1], "%lf %lf", 1.0, 0.0);
+  }
+  PI_Write(g_result[index], "%lf", partial);
+  return 0;
+}
+
+int farm_main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+
+  for (int w = 0; w < kWorkers; ++w) {
+    PI_PROCESS* worker = PI_CreateProcess(worker_fn, w, nullptr);
+    g_ready[w] = PI_CreateChannel(worker, PI_MAIN);
+    g_task[w] = PI_CreateChannel(PI_MAIN, worker);
+    g_result[w] = PI_CreateChannel(worker, PI_MAIN);
+    g_bcast[w] = PI_CreateChannel(PI_MAIN, worker);
+    if (w < kCellWorkers) {
+      for (int h = 0; h < 2; ++h) {
+        g_spe_child[w][h] = PI_CreateSPE(farm_spe_child, worker, w * 2 + h);
+        g_spe_task[w][h] = PI_CreateChannel(worker, g_spe_child[w][h]);
+        g_spe_sum[w][h] = PI_CreateChannel(g_spe_child[w][h], worker);
+      }
+    }
+  }
+  g_ready_bundle = PI_CreateBundle(PI_SELECT, g_ready, kWorkers);
+  g_gather_bundle = PI_CreateBundle(PI_GATHER, g_result, kWorkers);
+  g_bcast_bundle = PI_CreateBundle(PI_BROADCAST, g_bcast, kWorkers);
+
+  PI_StartAll();
+
+  const double width = 1.0 / kStrips;
+  PI_Broadcast(g_bcast_bundle, "%lf", width);
+
+  int dealt = 0;
+  int stopped = 0;
+  while (stopped < kWorkers) {
+    const int who = PI_Select(g_ready_bundle);
+    int token = 0;
+    PI_Read(g_ready[who], "%d", &token);
+    if (dealt < kStrips) {
+      PI_Write(g_task[who], "%d", dealt++);
+    } else {
+      const int stop = -1;
+      PI_Write(g_task[who], "%d", stop);
+      ++stopped;
+    }
+  }
+
+  double partials[kWorkers] = {};
+  PI_Gather(g_gather_bundle, "%lf", partials);
+  double pi_estimate = 0.0;
+  for (double p : partials) pi_estimate += p;
+
+  std::printf("pipeline_farm: pi ~= %.9f (error %.2e, %d strips, %d workers)\n",
+              pi_estimate, std::fabs(pi_estimate - M_PI), kStrips, kWorkers);
+
+  PI_StopMain(0);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // Two Cell blades (one PPE worker each) and one Xeon node (two workers +
+  // PI_MAIN... PI_MAIN occupies the first rank of the first node).
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(2));  // PI_MAIN + worker 0
+  config.nodes.push_back(cluster::NodeSpec::cell(1));  // worker 1
+  config.nodes.push_back(cluster::NodeSpec::xeon(2));  // workers 2, 3
+  cluster::Cluster machine(config);
+
+  const cellpilot::RunResult result = cellpilot::run(machine, farm_main);
+  if (result.aborted) {
+    std::fprintf(stderr, "job aborted: %s\n", result.abort_reason.c_str());
+    return 1;
+  }
+  return result.status;
+}

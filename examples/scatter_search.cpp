@@ -1,0 +1,219 @@
+// scatter_search.cpp — the paper's case study (§VI): a parallel scatter
+// search metaheuristic for binary optimization, deployed across a hybrid
+// Cell cluster with CellPilot.
+//
+// Problem: QUBO maximization — maximize x^T Q x over x in {0,1}^n with a
+// deterministic pseudo-random Q (so every run optimizes the same instance).
+//
+// Parallel architecture (one unified process/channel design, per the
+// paper's pitch that all processor kinds are "equal citizens"):
+//   * PI_MAIN (node 0's PPE) maintains the reference set, generates subset
+//     combinations, and dispatches improvement jobs.
+//   * SPE workers (on the Cell node) run the improvement method — a
+//     first-improvement bit-flip hill climber — entirely in local store.
+//   * A Xeon worker runs the diversification generator, producing scattered
+//     restart solutions.
+// All traffic uses the same PI_Write/PI_Read calls although it crosses
+// type-1, type-2 and type-3 channels.
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "core/cellpilot.hpp"
+
+namespace {
+
+constexpr int kN = 48;           // problem size (bits)
+constexpr int kSpeWorkers = 4;   // improvement workers on SPEs
+constexpr int kRefSet = 6;       // reference-set size
+constexpr int kGenerations = 8;  // scatter-search iterations
+
+// --- deterministic instance --------------------------------------------------
+std::int32_t q_entry(int i, int j) {
+  // Symmetric pseudo-random Q in [-8, 8], diagonal in [0, 16].
+  const std::uint32_t h =
+      (static_cast<std::uint32_t>(std::min(i, j)) * 2654435761u) ^
+      (static_cast<std::uint32_t>(std::max(i, j)) * 40503u);
+  return static_cast<std::int32_t>(h % 17u) - (i == j ? 0 : 8);
+}
+
+std::int64_t evaluate(const std::uint8_t* x) {
+  std::int64_t total = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (x[i] == 0) continue;
+    for (int j = 0; j < kN; ++j) {
+      if (x[j] != 0) total += q_entry(i, j);
+    }
+  }
+  return total;
+}
+
+/// First-improvement hill climber; shared verbatim by SPE and PPE workers —
+/// the point of the single programming model.
+std::int64_t improve(std::uint8_t* x) {
+  std::int64_t best = evaluate(x);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int i = 0; i < kN; ++i) {
+      x[i] ^= 1u;
+      const std::int64_t candidate = evaluate(x);
+      if (candidate > best) {
+        best = candidate;
+        improved = true;
+      } else {
+        x[i] ^= 1u;
+      }
+    }
+  }
+  return best;
+}
+
+/// Tiny deterministic PRNG (xorshift) for combination/diversification.
+std::uint32_t xorshift(std::uint32_t& state) {
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state;
+}
+
+// --- configuration shared across processes ----------------------------------
+PI_PROCESS* g_spe_workers[kSpeWorkers];
+PI_CHANNEL* g_to_spe[kSpeWorkers];
+PI_CHANNEL* g_from_spe[kSpeWorkers];
+PI_CHANNEL* g_to_diversifier = nullptr;
+PI_CHANNEL* g_from_diversifier = nullptr;
+
+// --- SPE improvement worker ---------------------------------------------------
+PI_SPE_PROGRAM(ss_improver) {
+  const int id = arg1;
+  for (;;) {
+    std::uint8_t x[kN];
+    int stop = 0;
+    PI_Read(g_to_spe[id], "%d %*b", &stop, kN, x);
+    if (stop != 0) return 0;
+    const std::int64_t score = improve(x);
+    PI_Write(g_from_spe[id], "%ld %*b", static_cast<long long>(score), kN,
+             x);
+  }
+}
+
+// --- Xeon diversification worker ----------------------------------------------
+int diversifier(int /*index*/, void* /*arg*/) {
+  std::uint32_t rng = 0xC0FFEE11u;
+  for (;;) {
+    int request = 0;
+    PI_Read(g_to_diversifier, "%d", &request);
+    if (request < 0) return 0;
+    std::uint8_t x[kN];
+    for (int i = 0; i < kN; ++i) {
+      x[i] = static_cast<std::uint8_t>(xorshift(rng) & 1u);
+    }
+    PI_Write(g_from_diversifier, "%*b", kN, x);
+  }
+}
+
+struct Solution {
+  std::uint8_t x[kN];
+  std::int64_t score;
+};
+
+// --- master -------------------------------------------------------------------
+int master_main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+
+  PI_PROCESS* xeon = PI_CreateProcess(diversifier, 0, nullptr);
+  g_to_diversifier = PI_CreateChannel(PI_MAIN, xeon);
+  g_from_diversifier = PI_CreateChannel(xeon, PI_MAIN);
+  for (int w = 0; w < kSpeWorkers; ++w) {
+    g_spe_workers[w] = PI_CreateSPE(ss_improver, PI_MAIN, w);
+    g_to_spe[w] = PI_CreateChannel(PI_MAIN, g_spe_workers[w]);
+    g_from_spe[w] = PI_CreateChannel(g_spe_workers[w], PI_MAIN);
+  }
+
+  PI_StartAll();
+  for (int w = 0; w < kSpeWorkers; ++w) {
+    PI_RunSPE(g_spe_workers[w], w, nullptr);
+  }
+
+  // Seed the reference set from the diversifier, improved on the SPEs.
+  std::vector<Solution> refset;
+  for (int s = 0; s < kRefSet; ++s) {
+    const int want = 1;
+    PI_Write(g_to_diversifier, "%d", want);
+    Solution sol{};
+    PI_Read(g_from_diversifier, "%*b", kN, sol.x);
+    const int w = s % kSpeWorkers;
+    const int go = 0;
+    PI_Write(g_to_spe[w], "%d %*b", go, kN, sol.x);
+    long long score = 0;
+    PI_Read(g_from_spe[w], "%ld %*b", &score, kN, sol.x);
+    sol.score = score;
+    refset.push_back(sol);
+  }
+
+  std::uint32_t rng = 0xDEADBEEFu;
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    // Combine pairs from the reference set and farm the children out.
+    int inflight = 0;
+    for (int a = 0; a < kRefSet && inflight < kSpeWorkers; ++a) {
+      for (int b = a + 1; b < kRefSet && inflight < kSpeWorkers; ++b) {
+        Solution child{};
+        for (int i = 0; i < kN; ++i) {
+          child.x[i] = (xorshift(rng) & 1u) != 0 ? refset[static_cast<std::size_t>(a)].x[i]
+                                                 : refset[static_cast<std::size_t>(b)].x[i];
+        }
+        const int go = 0;
+        PI_Write(g_to_spe[inflight], "%d %*b", go, kN, child.x);
+        ++inflight;
+      }
+    }
+    // Collect improved children and update the reference set.
+    for (int w = 0; w < inflight; ++w) {
+      Solution child{};
+      long long score = 0;
+      PI_Read(g_from_spe[w], "%ld %*b", &score, kN, child.x);
+      child.score = score;
+      auto worst = std::min_element(
+          refset.begin(), refset.end(),
+          [](const Solution& l, const Solution& r) { return l.score < r.score; });
+      if (child.score > worst->score) *worst = child;
+    }
+  }
+
+  // Shut the workers down.
+  for (int w = 0; w < kSpeWorkers; ++w) {
+    const int stop = 1;
+    std::uint8_t dummy[kN] = {};
+    PI_Write(g_to_spe[w], "%d %*b", stop, kN, dummy);
+  }
+  const int quit = -1;
+  PI_Write(g_to_diversifier, "%d", quit);
+
+  const auto best = std::max_element(
+      refset.begin(), refset.end(),
+      [](const Solution& l, const Solution& r) { return l.score < r.score; });
+  std::printf("scatter_search: best objective %lld after %d generations\n",
+              static_cast<long long>(best->score), kGenerations);
+
+  PI_StopMain(0);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // One Cell blade plus one Xeon node: the hybrid-cluster deployment.
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::xeon(1));
+  cluster::Cluster machine(config);
+
+  const cellpilot::RunResult result = cellpilot::run(machine, master_main);
+  if (result.aborted) {
+    std::fprintf(stderr, "job aborted: %s\n", result.abort_reason.c_str());
+    return 1;
+  }
+  return result.status;
+}

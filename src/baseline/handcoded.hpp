@@ -1,0 +1,43 @@
+// handcoded.hpp — the paper's hand-coded comparison transfers.
+//
+// Table II compares CellPilot against what a Cell programmer would write by
+// hand against the SDK, in two styles:
+//
+//   * DMA  — the SPE moves data with MFC commands (mfc_get/mfc_put + tag
+//     waits), synchronized by mailboxes and signal registers.  Intra-node
+//     SPE<->SPE transfers stage through main memory (put, then get), which
+//     is why the paper's type-4 DMA time is twice its type-2 time.
+//   * Copy — the PPE moves data through the memory-mapped local-store
+//     window with plain memcpy (CellPilot's own mechanism, "but without the
+//     generality of the Co-Pilot process").
+//
+// These run directly on the cellsim/mpisim substrates — no Pilot, no
+// Co-Pilot — and return the PingPong one-way latency in virtual time.
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace baseline {
+
+/// Average one-way latency of a hand-coded DMA PingPong over `reps`
+/// bounces of `bytes`-byte messages across the given channel type.
+/// Type 1 has no SPE endpoint; its "DMA" time is plain MPI (as in the
+/// paper, where all three methods coincide for type 1).
+simtime::SimTime dma_pingpong(cellpilot::ChannelType type, std::size_t bytes,
+                              int reps, const simtime::CostModel& cost);
+
+/// Same with memory-mapped-copy transfers.
+simtime::SimTime copy_pingpong(cellpilot::ChannelType type, std::size_t bytes,
+                               int reps, const simtime::CostModel& cost);
+
+/// Extension ablation (not in the paper's table): intra-node SPE->SPE DMA
+/// done directly between mapped local stores (one command instead of the
+/// stage-through-main-memory pair).  Only valid for kType4.
+simtime::SimTime dma_direct_type4_pingpong(std::size_t bytes, int reps,
+                                           const simtime::CostModel& cost);
+
+}  // namespace baseline

@@ -1,0 +1,187 @@
+#include "benchkit/pingpong.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "baseline/handcoded.hpp"
+#include "cellsim/spu.hpp"
+#include "core/cellpilot.hpp"
+#include "pilot/context.hpp"
+
+namespace benchkit {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kCellPilot: return "CellPilot";
+    case Method::kDma: return "DMA";
+    case Method::kCopy: return "Copy";
+  }
+  return "?";
+}
+
+namespace {
+
+using cellpilot::ChannelType;
+using simtime::SimTime;
+
+// Harness state shared by the app's processes (set before each run).
+PingPongSpec g_spec;
+PI_CHANNEL* g_fwd = nullptr;
+PI_CHANNEL* g_rev = nullptr;
+PI_PROCESS* g_spe_initiator = nullptr;
+PI_PROCESS* g_spe_responder = nullptr;
+std::atomic<SimTime> g_elapsed{0};
+
+void bounce_write_read(std::vector<std::byte>& buf) {
+  PI_Write(g_fwd, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+  PI_Read(g_rev, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+}
+
+void bounce_read_write(std::vector<std::byte>& buf) {
+  PI_Read(g_fwd, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+  PI_Write(g_rev, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+}
+
+PI_SPE_PROGRAM_SIZED(pp_spe_responder, 2048) {
+  std::vector<std::byte> buf(g_spec.bytes);
+  for (int i = 0; i < g_spec.reps; ++i) bounce_read_write(buf);
+  return 0;
+}
+
+PI_SPE_PROGRAM_SIZED(pp_spe_initiator, 2048) {
+  std::vector<std::byte> buf(g_spec.bytes);
+  simtime::VirtualClock& clk = cellsim::spu::self().clock();
+  const SimTime start = clk.now();
+  for (int i = 0; i < g_spec.reps; ++i) bounce_write_read(buf);
+  g_elapsed.store(clk.now() - start);
+  return 0;
+}
+
+int pp_rank_responder(int /*index*/, void* /*arg*/) {
+  std::vector<std::byte> buf(g_spec.bytes);
+  for (int i = 0; i < g_spec.reps; ++i) bounce_read_write(buf);
+  return 0;
+}
+
+int pp_rank_parent(int /*index*/, void* /*arg*/) {
+  PI_RunSPE(g_spe_responder, 0, nullptr);
+  return 0;
+}
+
+/// Timed initiator loop on PI_MAIN (types 1-3).
+void main_initiator_loop() {
+  std::vector<std::byte> buf(g_spec.bytes);
+  simtime::VirtualClock& clk = pilot::context().mpi().clock();
+  const SimTime start = clk.now();
+  for (int i = 0; i < g_spec.reps; ++i) bounce_write_read(buf);
+  g_elapsed.store(clk.now() - start);
+}
+
+int pp_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+
+  switch (g_spec.type) {
+    case ChannelType::kType1: {
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_responder, 0, nullptr);
+      g_fwd = PI_CreateChannel(PI_MAIN, p1);
+      g_rev = PI_CreateChannel(p1, PI_MAIN);
+      PI_StartAll();
+      main_initiator_loop();
+      break;
+    }
+    case ChannelType::kType2: {
+      g_spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 0);
+      g_fwd = PI_CreateChannel(PI_MAIN, g_spe_responder);
+      g_rev = PI_CreateChannel(g_spe_responder, PI_MAIN);
+      PI_StartAll();
+      PI_RunSPE(g_spe_responder, 0, nullptr);
+      main_initiator_loop();
+      break;
+    }
+    case ChannelType::kType3: {
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, nullptr);
+      g_spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
+      g_fwd = PI_CreateChannel(PI_MAIN, g_spe_responder);
+      g_rev = PI_CreateChannel(g_spe_responder, PI_MAIN);
+      PI_StartAll();
+      main_initiator_loop();
+      break;
+    }
+    case ChannelType::kType4: {
+      g_spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
+      g_spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 1);
+      g_fwd = PI_CreateChannel(g_spe_initiator, g_spe_responder);
+      g_rev = PI_CreateChannel(g_spe_responder, g_spe_initiator);
+      PI_StartAll();
+      PI_RunSPE(g_spe_initiator, 0, nullptr);
+      PI_RunSPE(g_spe_responder, 0, nullptr);
+      break;
+    }
+    case ChannelType::kType5: {
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, nullptr);
+      g_spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
+      g_spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
+      g_fwd = PI_CreateChannel(g_spe_initiator, g_spe_responder);
+      g_rev = PI_CreateChannel(g_spe_responder, g_spe_initiator);
+      PI_StartAll();
+      PI_RunSPE(g_spe_initiator, 0, nullptr);
+      break;
+    }
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+cluster::ClusterConfig cluster_for(ChannelType type,
+                                   const simtime::CostModel& cost) {
+  cluster::ClusterConfig config;
+  const bool two_nodes = type == ChannelType::kType1 ||
+                         type == ChannelType::kType3 ||
+                         type == ChannelType::kType5;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  if (two_nodes) config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.cost = cost;
+  return config;
+}
+
+SimTime cellpilot_pingpong(const PingPongSpec& spec,
+                           const simtime::CostModel& cost) {
+  g_spec = spec;
+  g_elapsed.store(0);
+  cluster::Cluster machine(cluster_for(spec.type, cost));
+  const cellpilot::RunResult result = cellpilot::run(machine, pp_main);
+  if (result.aborted) {
+    throw std::runtime_error("pingpong run aborted: " + result.abort_reason);
+  }
+  return g_elapsed.load() / (2 * spec.reps);
+}
+
+}  // namespace
+
+SimTime pingpong(const PingPongSpec& spec, Method method,
+                 const simtime::CostModel& cost) {
+  switch (method) {
+    case Method::kCellPilot:
+      return cellpilot_pingpong(spec, cost);
+    case Method::kDma:
+      return baseline::dma_pingpong(spec.type, spec.bytes, spec.reps, cost);
+    case Method::kCopy:
+      return baseline::copy_pingpong(spec.type, spec.bytes, spec.reps, cost);
+  }
+  return 0;
+}
+
+double pingpong_us(const PingPongSpec& spec, Method method,
+                   const simtime::CostModel& cost) {
+  return simtime::to_us(pingpong(spec, method, cost));
+}
+
+double throughput_mbps(const PingPongSpec& spec, Method method,
+                       const simtime::CostModel& cost) {
+  const SimTime one_way = pingpong(spec, method, cost);
+  if (one_way <= 0) return 0.0;
+  const double seconds = static_cast<double>(one_way) / 1e9;
+  return static_cast<double>(spec.bytes) / 1e6 / seconds;
+}
+
+}  // namespace benchkit

@@ -1,0 +1,55 @@
+// pingpong.hpp — the paper's §V measurement harness.
+//
+// Reproduces the Intel MPI Benchmarks PingPong pattern the authors used:
+// a message bounces between two processes `reps` times; the reported
+// latency is the initiator's elapsed (virtual) time divided by 2*reps —
+// the average one-way transfer time.  One harness covers all five channel
+// types of Table I, placing the endpoints per the paper (PPE endpoints for
+// types 1 and 3).
+//
+// Three methods are measured, matching Table II's columns:
+//   kCellPilot — through the full library (Co-Pilot protocol),
+//   kDma       — hand-coded SDK-style transfers using MFC DMA,
+//   kCopy      — hand-coded transfers using memory-mapped copies
+//                (CellPilot's mechanism without the Co-Pilot's generality).
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace benchkit {
+
+/// Transfer implementation, as in Table II's columns.
+enum class Method {
+  kCellPilot,
+  kDma,
+  kCopy,
+};
+
+/// Returns "CellPilot", "DMA" or "Copy".
+const char* to_string(Method m);
+
+/// One PingPong configuration.
+struct PingPongSpec {
+  cellpilot::ChannelType type = cellpilot::ChannelType::kType1;
+  std::size_t bytes = 1;  ///< payload size (paper: 1 and 1600)
+  int reps = 1000;        ///< bounce count (paper: 1000)
+};
+
+/// Runs the PingPong on a fresh simulated cluster and returns the average
+/// one-way latency in virtual time.  Deterministic for a given spec/model.
+simtime::SimTime pingpong(const PingPongSpec& spec, Method method,
+                          const simtime::CostModel& cost);
+
+/// Convenience: one-way latency in microseconds (Table II's unit).
+double pingpong_us(const PingPongSpec& spec, Method method,
+                   const simtime::CostModel& cost);
+
+/// Throughput in MB/s for the given spec (Figure 6's unit).
+double throughput_mbps(const PingPongSpec& spec, Method method,
+                       const simtime::CostModel& cost);
+
+}  // namespace benchkit

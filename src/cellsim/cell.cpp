@@ -1,0 +1,65 @@
+#include "cellsim/cell.hpp"
+
+#include "cellsim/errors.hpp"
+
+namespace cellsim {
+
+simtime::VirtualClock& Ppe::thread_clock(unsigned hw_thread) {
+  if (hw_thread > 1) {
+    throw HardwareFault("PPE has hardware threads 0 and 1 only");
+  }
+  return clocks_[hw_thread];
+}
+
+CellProcessor::CellProcessor(std::string name, const simtime::CostModel& cost,
+                             unsigned n_spes)
+    : name_(std::move(name)), ppe_(name_ + ".ppe") {
+  spes_.reserve(n_spes);
+  for (unsigned i = 0; i < n_spes; ++i) {
+    spes_.push_back(std::make_unique<Spe>(
+        i, name_ + ".spe" + std::to_string(i), cost));
+  }
+}
+
+Spe& CellProcessor::spe(unsigned index) {
+  if (index >= spes_.size()) {
+    throw HardwareFault("SPE index " + std::to_string(index) +
+                        " out of range on " + name_);
+  }
+  return *spes_[index];
+}
+
+void CellProcessor::shutdown() {
+  for (auto& s : spes_) s->shutdown();
+}
+
+CellBlade::CellBlade(std::string name, const simtime::CostModel& cost,
+                     unsigned spes_per_chip)
+    : name_(std::move(name)) {
+  chips_[0] = std::make_unique<CellProcessor>(name_ + ".cell0", cost,
+                                              spes_per_chip);
+  chips_[1] = std::make_unique<CellProcessor>(name_ + ".cell1", cost,
+                                              spes_per_chip);
+}
+
+CellProcessor& CellBlade::chip(unsigned index) {
+  if (index > 1) throw HardwareFault("blade has chips 0 and 1 only");
+  return *chips_[index];
+}
+
+unsigned CellBlade::spe_count() const {
+  return chips_[0]->spe_count() + chips_[1]->spe_count();
+}
+
+Spe& CellBlade::spe(unsigned flat_index) {
+  const unsigned c0 = chips_[0]->spe_count();
+  if (flat_index < c0) return chips_[0]->spe(flat_index);
+  return chips_[1]->spe(flat_index - c0);
+}
+
+void CellBlade::shutdown() {
+  chips_[0]->shutdown();
+  chips_[1]->shutdown();
+}
+
+}  // namespace cellsim

@@ -1,0 +1,113 @@
+// cell.hpp — chip- and blade-level composition.
+//
+// A CellProcessor is one Cell BE chip: one PPE plus (by default) eight SPEs
+// on an EIB.  A CellBlade joins two chips through their I/O elements, giving
+// the dual-PowerXCell-8i node the paper's testbed used: 2 PPEs and 16 SPEs
+// with a single coherent effective-address space.  The blade exposes a flat
+// SPE index 0..15 (chip 0 first), which is what the cluster layer and the
+// Co-Pilot address.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellsim/eib.hpp"
+#include "cellsim/spe.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/virtual_clock.hpp"
+
+namespace cellsim {
+
+/// Number of SPEs on one Cell BE chip.
+inline constexpr unsigned kSpesPerChip = 8;
+
+/// The PPE: the chip's general-purpose PowerPC core.  The PPE's dual
+/// hardware threads are modelled as two independent virtual clocks (thread 0
+/// conventionally runs the Pilot process, thread 1 the Co-Pilot).
+class Ppe {
+ public:
+  explicit Ppe(std::string name) : name_(std::move(name)) {}
+
+  Ppe(const Ppe&) = delete;
+  Ppe& operator=(const Ppe&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Virtual clock of hardware thread 0 or 1.
+  simtime::VirtualClock& thread_clock(unsigned hw_thread);
+
+ private:
+  std::string name_;
+  simtime::VirtualClock clocks_[2];
+};
+
+/// One Cell BE chip.
+class CellProcessor {
+ public:
+  /// Builds a chip named `name` with `n_spes` SPEs (default 8) whose
+  /// primitives are costed by `cost` (must outlive the chip).
+  CellProcessor(std::string name, const simtime::CostModel& cost,
+                unsigned n_spes = kSpesPerChip);
+
+  CellProcessor(const CellProcessor&) = delete;
+  CellProcessor& operator=(const CellProcessor&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// The chip's PPE.
+  Ppe& ppe() { return ppe_; }
+
+  /// Number of SPEs on this chip.
+  unsigned spe_count() const { return static_cast<unsigned>(spes_.size()); }
+
+  /// SPE by chip-local index.
+  Spe& spe(unsigned index);
+
+  /// The chip's interconnect accounting.
+  Eib& eib() { return eib_; }
+
+  /// Shuts down all SPEs (closes mailboxes).
+  void shutdown();
+
+ private:
+  std::string name_;
+  Ppe ppe_;
+  std::vector<std::unique_ptr<Spe>> spes_;
+  Eib eib_;
+};
+
+/// A dual-chip Cell blade: the paper's node type.
+class CellBlade {
+ public:
+  /// Builds a blade named `name` of two chips ("<name>.cell0/1").
+  CellBlade(std::string name, const simtime::CostModel& cost,
+            unsigned spes_per_chip = kSpesPerChip);
+
+  CellBlade(const CellBlade&) = delete;
+  CellBlade& operator=(const CellBlade&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Chip 0 or 1.
+  CellProcessor& chip(unsigned index);
+
+  /// Total SPEs across both chips.
+  unsigned spe_count() const;
+
+  /// SPE by flat blade index (chip 0's SPEs first).
+  Spe& spe(unsigned flat_index);
+
+  /// The PPE that runs this node's MPI ranks (chip 0's, by convention: the
+  /// Pilot process on hardware thread 0 and the Co-Pilot on thread 1).
+  Ppe& primary_ppe() { return chip(0).ppe(); }
+
+  /// Shuts down both chips.
+  void shutdown();
+
+ private:
+  std::string name_;
+  std::unique_ptr<CellProcessor> chips_[2];
+};
+
+}  // namespace cellsim

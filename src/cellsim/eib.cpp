@@ -1,0 +1,26 @@
+#include "cellsim/eib.hpp"
+
+namespace cellsim {
+
+void Eib::record(std::string src, std::string dst, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  log_.push_back(Transfer{std::move(src), std::move(dst), bytes});
+  bytes_ += bytes;
+}
+
+std::uint64_t Eib::total_bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::uint64_t Eib::transfer_count() const {
+  std::lock_guard lock(mu_);
+  return log_.size();
+}
+
+std::vector<Eib::Transfer> Eib::transfers() const {
+  std::lock_guard lock(mu_);
+  return log_;
+}
+
+}  // namespace cellsim

@@ -1,0 +1,46 @@
+// eib.hpp — the Element Interconnect Bus.
+//
+// The EIB is the Cell's on-chip ring bus joining the PPE, the 8 SPEs, the
+// memory controller and the I/O elements.  Functionally the simulation does
+// not need a bus (everything shares host memory); the Eib class exists to
+// (a) account intra-chip traffic for the microbenchmarks and ablations, and
+// (b) own the chip-local transfer bookkeeping that tests assert on
+// ("a type-4 transfer never leaves the chip").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellsim {
+
+/// Traffic accounting for one Cell chip's interconnect.
+class Eib {
+ public:
+  /// One recorded on-chip transfer.
+  struct Transfer {
+    std::string src;    ///< producing element, e.g. "spe3" or "ppe"
+    std::string dst;    ///< consuming element
+    std::uint64_t bytes;
+  };
+
+  /// Records one transfer crossing the bus.
+  void record(std::string src, std::string dst, std::uint64_t bytes);
+
+  /// Total bytes moved over this bus.
+  std::uint64_t total_bytes() const;
+
+  /// Number of recorded transfers.
+  std::uint64_t transfer_count() const;
+
+  /// Snapshot of all transfers (test/diagnostic use).
+  std::vector<Transfer> transfers() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Transfer> log_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace cellsim

@@ -1,0 +1,45 @@
+// errors.hpp — fault types raised by the simulated Cell BE hardware.
+//
+// The simulator *enforces* the constraints that make Cell programming hard —
+// 256 KB local stores, DMA alignment, mailbox depths — rather than merely
+// modelling their cost.  Violations raise these exceptions so tests can
+// assert that misuse faults exactly where real silicon would raise a bus
+// error or hang.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cellsim {
+
+/// Base class for all simulated hardware faults.
+class HardwareFault : public std::runtime_error {
+ public:
+  explicit HardwareFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Access outside the 256 KB local store, or allocation beyond capacity.
+class LocalStoreFault : public HardwareFault {
+ public:
+  using HardwareFault::HardwareFault;
+};
+
+/// DMA command violating MFC rules (size, alignment, tag range).
+class DmaFault : public HardwareFault {
+ public:
+  using HardwareFault::HardwareFault;
+};
+
+/// Illegal mailbox operation (e.g. non-blocking write to a full FIFO).
+class MailboxFault : public HardwareFault {
+ public:
+  using HardwareFault::HardwareFault;
+};
+
+/// Misuse of the libspe2-style context API (double run, bad handle, ...).
+class ContextFault : public HardwareFault {
+ public:
+  using HardwareFault::HardwareFault;
+};
+
+}  // namespace cellsim

@@ -1,0 +1,108 @@
+// libspe2.hpp — a shim with the shape of IBM's SPE Runtime Management
+// Library (libspe2), implemented against the simulated hardware.
+//
+// On the real SDK an SPE executable is embedded by a special linker into the
+// PPE binary as initialized static data and referenced through an
+// `spe_program_handle_t`; the PPE creates a context, loads the image, and
+// calls spe_context_run() on a POSIX thread, which blocks until the SPE
+// program stops.  CellPilot calls exactly this layer.  Here a "program" is a
+// C++ function plus a declared text size that is charged against the 256 KB
+// local store by the loader, and "running" executes the function on the
+// calling host thread with the SPU-side intrinsics (spu.hpp) bound to the
+// target SPE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cellsim/spe.hpp"
+
+namespace cellsim::spe2 {
+
+/// Entry point signature of a simulated SPE program: (speid, argp, envp),
+/// matching the real SPE main().  Hardware access goes through the
+/// thread-bound SPU intrinsics in spu.hpp.
+using SpeEntry = int (*)(std::uint64_t speid, std::uint64_t argp,
+                         std::uint64_t envp);
+
+/// Handle to an "embedded SPE executable".  Declare these at namespace scope
+/// exactly as SDK code declares `extern spe_program_handle_t foo;`.
+struct spe_program_handle_t {
+  const char* name;        ///< diagnostic name of the SPE image
+  SpeEntry entry;          ///< the program's main
+  std::size_t text_bytes;  ///< image size charged against local store
+};
+
+/// Default stack reservation for an SPE program (the real stack lives at the
+/// top of local store; 8 KB is a conservative model of the ABI default).
+inline constexpr std::size_t kDefaultSpeStackBytes = 8 * 1024;
+
+/// Stop information reported by spe_context_run (simplified).
+struct spe_stop_info_t {
+  int exit_code = 0;
+};
+
+/// An SPE context: the handle through which the PPE manages one SPE.
+/// Create with spe_context_create, run (blocking) with spe_context_run,
+/// destroy with spe_context_destroy — or just use the RAII type directly.
+class SpeContext {
+ public:
+  /// Binds a context to a physical SPE.  Throws ContextFault if the SPE
+  /// already has a context bound (one context per SPE in this model).
+  explicit SpeContext(Spe& spe);
+  ~SpeContext();
+
+  SpeContext(const SpeContext&) = delete;
+  SpeContext& operator=(const SpeContext&) = delete;
+
+  /// Loads `program` (reserving text+stack in the local store) and runs it
+  /// to completion on the calling thread.  `argp`/`envp` are forwarded to
+  /// the program entry, as with the real spe_context_run.  Returns the
+  /// program's exit code and fills `stop_info` when non-null.
+  int run(const spe_program_handle_t& program, std::uint64_t argp,
+          std::uint64_t envp, spe_stop_info_t* stop_info = nullptr);
+
+  /// The underlying simulated SPE.
+  Spe& spe() { return spe_; }
+
+  /// Host pointer to the memory-mapped local store (spe_ls_area_get).
+  void* ls_area() { return spe_.local_store().base(); }
+
+ private:
+  Spe& spe_;
+  bool ran_ = false;
+};
+
+// --- C-flavoured wrappers (what SDK-style example code calls) --------------
+
+/// Creates a context bound to `spe` (caller owns; destroy with
+/// spe_context_destroy).
+SpeContext* spe_context_create(Spe& spe);
+
+/// Runs `program` on the context's SPE; blocks the calling thread.
+int spe_context_run(SpeContext* ctx, const spe_program_handle_t* program,
+                    std::uint64_t argp, std::uint64_t envp,
+                    spe_stop_info_t* stop_info = nullptr);
+
+/// Destroys a context created with spe_context_create.
+void spe_context_destroy(SpeContext* ctx);
+
+/// PPE-side write into the SPE's inbound mailbox.  Blocking behaviour per
+/// the SDK's SPE_MBOX_ALL_BLOCKING: waits for space.  `stamp` is the
+/// sender's virtual time; returns the number of words written (= count).
+int spe_in_mbox_write(SpeContext* ctx, const std::uint32_t* data, int count,
+                      simtime::SimTime stamp);
+
+/// PPE-side non-blocking read of the SPE's outbound mailbox; returns the
+/// number of words read (0 or up to count).
+int spe_out_mbox_read(SpeContext* ctx, std::uint32_t* data, int count,
+                      simtime::SimTime* latest_stamp = nullptr);
+
+/// Number of words waiting in the SPE's outbound mailbox.
+int spe_out_mbox_status(SpeContext* ctx);
+
+/// Host pointer to the mapped local store (spe_ls_area_get).
+void* spe_ls_area_get(SpeContext* ctx);
+
+}  // namespace cellsim::spe2

@@ -1,0 +1,138 @@
+// mfc.hpp — the Memory Flow Controller: each SPE's DMA engine.
+//
+// The MFC moves data between the SPE's local store and the effective-address
+// space (main memory, or another SPE's memory-mapped local store).  Commands
+// are tagged (tag groups 0..31); the SPU later stalls on a tag-mask status
+// read to await completion.  The MFC enforces the rules that dominate Cell
+// programming folklore:
+//   * a single command moves 1, 2, 4, 8 or 16 bytes, or a multiple of 16
+//     bytes up to 16 KB;
+//   * for the small sizes, source and destination must be naturally aligned;
+//     for multiples of 16, both must be 16-byte aligned and share the same
+//     offset within a quadword (here: both 16-byte aligned);
+//   * tags must be in [0, 31].
+// Violations raise DmaFault, the simulator's "bus error".
+//
+// In the simulation data moves immediately (memcpy at issue) but *completes*
+// in virtual time at issue_stamp + CostModel::dma_transfer(bytes); the tag
+// status read joins the caller's clock with the completion stamp, modelling
+// the SPU stalling for its DMA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "cellsim/errors.hpp"
+#include "cellsim/local_store.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/sim_time.hpp"
+#include "simtime/virtual_clock.hpp"
+
+namespace cellsim {
+
+/// An address in the effective-address space.  The simulation uses host
+/// pointers as effective addresses; local stores are "mapped" by exposing
+/// their host base pointer (see LocalStore::base / Spe::ls_effective_base).
+using EffectiveAddress = std::uint64_t;
+
+/// Effective address of a host object.
+inline EffectiveAddress ea_of(const void* p) {
+  return reinterpret_cast<EffectiveAddress>(p);
+}
+
+/// Host pointer for an effective address.
+inline void* ptr_of(EffectiveAddress ea) {
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(ea));
+}
+
+/// Maximum bytes one MFC command may move.
+inline constexpr std::size_t kMfcMaxTransfer = 16 * 1024;
+
+/// Number of DMA tag groups.
+inline constexpr unsigned kMfcTagCount = 32;
+
+/// One element of a DMA list command (mfc_getl / mfc_putl).
+struct MfcListElement {
+  EffectiveAddress ea;  ///< effective address of this element
+  std::uint32_t size;   ///< bytes; same size rules as single commands
+};
+
+/// The DMA engine of one SPE.
+class Mfc {
+ public:
+  /// The MFC serves `ls` and charges/stamps time on `clock` using `cost`.
+  Mfc(LocalStore& ls, simtime::VirtualClock& clock,
+      const simtime::CostModel& cost, std::string owner_name);
+
+  Mfc(const Mfc&) = delete;
+  Mfc& operator=(const Mfc&) = delete;
+
+  /// DMA get: effective address -> local store.  Validates size/alignment/
+  /// tag; data is visible in the local store on return, completion is at
+  /// issue + dma cost in virtual time.
+  void get(LsAddr ls_addr, EffectiveAddress ea, std::size_t size,
+           unsigned tag);
+
+  /// DMA put: local store -> effective address.
+  void put(LsAddr ls_addr, EffectiveAddress ea, std::size_t size,
+           unsigned tag);
+
+  /// DMA list get: gathers each element (own EA) into consecutive local
+  /// store starting at `ls_addr`.
+  void get_list(LsAddr ls_addr, const std::vector<MfcListElement>& list,
+                unsigned tag);
+
+  /// DMA list put: scatters consecutive local store to each element's EA.
+  void put_list(LsAddr ls_addr, const std::vector<MfcListElement>& list,
+                unsigned tag);
+
+  /// Convenience for arbitrary sizes: splits into maximal legal commands.
+  /// Requires 16-byte alignment of both addresses when size >= 16.
+  void get_any(LsAddr ls_addr, EffectiveAddress ea, std::size_t size,
+               unsigned tag);
+  void put_any(LsAddr ls_addr, EffectiveAddress ea, std::size_t size,
+               unsigned tag);
+
+  /// Sets the tag mask used by the status reads (mfc_write_tag_mask).
+  void write_tag_mask(std::uint32_t mask);
+
+  /// Stalls (joins the owner clock) until *all* commands in masked tag
+  /// groups have completed; returns the mask of masked tags that had
+  /// outstanding commands (mfc_read_tag_status_all).
+  std::uint32_t read_tag_status_all();
+
+  /// Returns immediately with the mask of masked tags whose commands have
+  /// all completed *by the current virtual time* (mfc_read_tag_status_
+  /// immediate).
+  std::uint32_t read_tag_status_immediate();
+
+  /// Number of commands issued so far (per-engine statistics).
+  std::uint64_t commands_issued() const;
+
+  /// Total bytes moved so far.
+  std::uint64_t bytes_moved() const;
+
+ private:
+  enum class Dir { kGet, kPut };
+
+  void transfer(Dir dir, LsAddr ls_addr, EffectiveAddress ea,
+                std::size_t size, unsigned tag, bool list_element);
+  static void validate_size_alignment(LsAddr ls_addr, EffectiveAddress ea,
+                                      std::size_t size);
+
+  LocalStore& ls_;
+  simtime::VirtualClock& clock_;
+  const simtime::CostModel& cost_;
+  std::string owner_;
+
+  mutable std::mutex mu_;
+  std::array<simtime::SimTime, kMfcTagCount> tag_completion_{};
+  std::array<bool, kMfcTagCount> tag_used_{};
+  std::uint32_t tag_mask_ = 0;
+  std::uint64_t commands_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace cellsim

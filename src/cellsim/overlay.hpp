@@ -1,0 +1,96 @@
+// overlay.hpp — SPE code overlays.
+//
+// The paper (§II.A): programmers "may need to divide up their application
+// code accordingly, for which an overlay capability is available".  On the
+// real SDK the linker places overlay segments in a shared local-store
+// region and generates stubs that DMA the right segment in before a
+// cross-segment call.  This module models exactly that: an OverlayRegion
+// reserves one local-store area sized to its largest registered segment;
+// running code "in" a segment first ensures it is resident, charging the
+// DMA swap cost against the SPE's virtual clock and counting the swap.
+//
+// Usage (from within a running SPE program):
+//
+//   cellsim::OverlayRegion region;               // binds to the current SPE
+//   auto phase1 = region.register_segment("phase1", 48 * 1024);
+//   auto phase2 = region.register_segment("phase2", 64 * 1024);
+//   region.run(phase1, [&] { ... });             // loads phase1 (one DMA)
+//   region.run(phase2, [&] { ... });             // swap: phase1 -> phase2
+//   region.run(phase2, [&] { ... });             // resident: free
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cellsim/local_store.hpp"
+
+namespace cellsim {
+
+/// Handle to one registered overlay segment.
+struct OverlaySegment {
+  int id = -1;
+};
+
+/// One overlay area inside the current SPE's local store.
+///
+/// Must be constructed and used on a thread running an SPE program (the
+/// SPU intrinsics binding supplies the local store, clock and cost model).
+class OverlayRegion {
+ public:
+  /// Binds to the calling thread's SPE.  No local store is reserved until
+  /// the first segment registration fixes the region's size.
+  OverlayRegion();
+
+  /// Releases the reserved region.
+  ~OverlayRegion();
+
+  OverlayRegion(const OverlayRegion&) = delete;
+  OverlayRegion& operator=(const OverlayRegion&) = delete;
+
+  /// Registers a code segment of `bytes`.  Growing the region re-reserves
+  /// local store to the new maximum; throws LocalStoreFault if the store
+  /// cannot hold it.  Registration is setup, not a load: no swap cost.
+  OverlaySegment register_segment(std::string name, std::size_t bytes);
+
+  /// Ensures `segment` is resident, charging one DMA of the segment's size
+  /// when a swap is needed.  Returns true when a swap occurred.
+  bool ensure_loaded(OverlaySegment segment);
+
+  /// Runs `body` with `segment` resident (the generated-stub pattern).
+  template <typename Body>
+  decltype(auto) run(OverlaySegment segment, Body&& body) {
+    ensure_loaded(segment);
+    return std::forward<Body>(body)();
+  }
+
+  /// Number of segment swaps performed so far.
+  std::uint64_t swap_count() const { return swaps_; }
+
+  /// The currently resident segment id, or -1.
+  int resident() const { return resident_; }
+
+  /// Bytes of local store the region occupies (largest segment).
+  std::size_t region_bytes() const { return region_bytes_; }
+
+  /// Name of a registered segment (diagnostics).
+  const std::string& segment_name(OverlaySegment segment) const;
+
+ private:
+  struct Registered {
+    std::string name;
+    std::size_t bytes;
+  };
+
+  void reserve(std::size_t bytes);
+
+  std::vector<Registered> segments_;
+  std::size_t region_bytes_ = 0;
+  LsAddr region_base_ = 0;
+  bool reserved_ = false;
+  int resident_ = -1;
+  std::uint64_t swaps_ = 0;
+};
+
+}  // namespace cellsim

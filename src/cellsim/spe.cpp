@@ -1,0 +1,28 @@
+#include "cellsim/spe.hpp"
+
+namespace cellsim {
+
+Spe::Spe(unsigned physical_id, std::string name,
+         const simtime::CostModel& cost)
+    : physical_id_(physical_id),
+      cost_(&cost),
+      name_(std::move(name)),
+      mfc_(ls_, clock_, cost, name_),
+      inbound_(kInboundMailboxDepth),
+      outbound_(kOutboundMailboxDepth),
+      outbound_intr_(kOutboundInterruptMailboxDepth) {}
+
+SignalRegister& Spe::signal(unsigned index) {
+  if (index > 1) {
+    throw HardwareFault("SPE has signal registers 0 and 1 only");
+  }
+  return signals_[index];
+}
+
+void Spe::shutdown() {
+  inbound_.close();
+  outbound_.close();
+  outbound_intr_.close();
+}
+
+}  // namespace cellsim

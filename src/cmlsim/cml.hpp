@@ -1,0 +1,88 @@
+// cml.hpp — a Cell Messaging Layer (CML)-shaped library.
+//
+// The paper's related work (§II.D) singles out CML [Pakin, IPDPS'08] as the
+// one prior system usable on Cell *clusters*: "CML assigns MPI ranks to all
+// available SPEs, but not to PPEs, which are reserved for use by the library
+// to carry out inter-Cell communication.  Available operations are MPI_Send
+// and MPI_Recv, and the collective operations MPI_Bcast, MPI_Reduce and
+// MPI_Allreduce, which are designed hierarchically."  The paper judged its
+// limited MPI subset "infeasible … to build upon, since Pilot itself uses
+// more of MPI" — and noted the key difference that with CellPilot, PPEs can
+// host processes just like any non-Cell node.
+//
+// This module reproduces CML's shape against the simulated hardware so the
+// comparison is executable:
+//   * every SPE in the job is an MPI rank; PPEs run only the relay daemon;
+//   * cml_send/cml_recv are blocking and rank-addressed (no channels, no
+//     format strings, no type checking — the contrast with Pilot);
+//   * Bcast/Reduce/Allreduce are hierarchical: SPEs to their node daemon,
+//     daemons among themselves over the interconnect, and back down.
+//
+// Simplification vs the real CML: data staging is request-paired at the
+// daemon (as in CellPilot's Co-Pilot) rather than receiver-initiated RDMA;
+// the hierarchy, rank model and API surface are what the comparison needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellsim/cell.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace cml {
+
+/// A CML job description: Cell nodes only (CML has no host ranks at all).
+struct JobConfig {
+  int nodes = 1;                 ///< Cell blades
+  unsigned spes_per_node = 8;   ///< SPE ranks contributed by each blade
+  simtime::CostModel cost = simtime::default_cost_model();
+};
+
+/// SPE program: receives its CML rank and the total rank count.
+using SpeMain = std::function<int(int rank, int size)>;
+
+/// Result of one CML job.
+struct JobResult {
+  std::vector<int> exit_codes;  ///< per SPE rank
+  bool failed = false;
+  std::string error;
+};
+
+/// Runs `spe_main` on every SPE rank of the described job; PPE daemons are
+/// created implicitly (one per node, as in CML).  Blocking operations below
+/// are callable from inside `spe_main` only.
+JobResult run(const JobConfig& config, const SpeMain& spe_main);
+
+// --- rank-addressed point-to-point (callable from SPE ranks) ----------------
+
+/// Blocking send of `bytes` at `data` to `dest` rank.
+void cml_send(const void* data, std::size_t bytes, int dest);
+
+/// Blocking receive of exactly `bytes` into `data` from `src` rank.
+void cml_recv(void* data, std::size_t bytes, int src);
+
+// --- hierarchical collectives -------------------------------------------------
+
+/// Broadcast `bytes` at `data` from `root` to every rank (all ranks call).
+void cml_bcast(void* data, std::size_t bytes, int root);
+
+/// Element-wise sum of `count` doubles to `root` (all ranks call).
+void cml_reduce_sum(const double* contrib, double* result, std::size_t count,
+                    int root);
+
+/// reduce + bcast.
+void cml_allreduce_sum(const double* contrib, double* result,
+                       std::size_t count);
+
+/// The calling SPE's CML rank / the job's rank count.
+int cml_rank();
+int cml_size();
+
+/// The calling SPE's virtual clock (for measurements inside spe_main).
+simtime::VirtualClock& cml_clock();
+
+}  // namespace cml

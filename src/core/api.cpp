@@ -1,0 +1,63 @@
+// api.cpp — the two functions CellPilot adds to the Pilot API.
+#include "core/cellpilot.hpp"
+
+#include "core/protocol.hpp"
+#include "core/transport.hpp"
+#include "pilot/context.hpp"
+
+using namespace pilot;  // NOLINT: implementation file for the C-style API
+
+PI_PROCESS* PI_CreateSPE(PI_SPE_FUNC& program, PI_PROCESS* parent,
+                         int index) {
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kConfig) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPE called outside the configuration phase");
+  }
+  if (parent == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_CreateSPE: null parent process");
+  }
+  if (parent->location != Location::kRank) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPE: the parent must be a PPE (rank-backed) "
+                     "process, not another SPE process");
+  }
+  cluster::Cluster& cl = ctx.app().cluster();
+  const int node = cl.node_of_rank(parent->rank);
+  if (!cl.is_cell_node(node)) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPE: parent process " + parent->name +
+                         " runs on a non-Cell node and cannot host SPE "
+                         "processes");
+  }
+
+  const int seq = ctx.process_seq++;
+  PI_PROCESS proto;
+  proto.location = Location::kSpe;
+  proto.program = &program;
+  proto.parent_process = parent->id;
+  proto.index_arg = index;
+  proto.node = node;
+  proto.name = std::string("spe:") +
+               (program.name != nullptr ? program.name : "?") + "#" +
+               std::to_string(index);
+  return ctx.app().get_or_create_process(seq, std::move(proto),
+                                         /*assign_rank=*/false);
+}
+
+void PI_RunSPE(PI_PROCESS* spe_process, int arg, void* ptr) {
+  PilotContext& ctx = context();
+  if (spe_process == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_RunSPE: null process");
+  }
+  if (spe_process->location != Location::kSpe) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_RunSPE: " + spe_process->name +
+                         " is not an SPE process (use PI_CreateSPE)");
+  }
+  if (ctx.app().transport() == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_RunSPE: CellPilot transport not active");
+  }
+  ctx.app().transport()->run_spe(ctx, *spe_process, arg, ptr);
+}

@@ -1,0 +1,111 @@
+// cellpilot.hpp — the public CellPilot API.
+//
+// This is the reproduction's `cellpilot.h`: everything from pilot.hpp plus
+// the two functions the paper adds (PI_CreateSPE, PI_RunSPE — §VII: "This
+// was accomplished by adding only two function calls to the Pilot API"),
+// the PI_SPE_FUNC handle type, and the macro pair that brackets an SPE
+// process body.  Applications include only this header.
+//
+// Declaring and defining an SPE program:
+//
+//   extern PI_SPE_FUNC spe_send;            // header / top of file
+//
+//   PI_SPE_PROGRAM(spe_send) {              // defines the program
+//     int data[100];
+//     PI_Write(betweenSPEs, "%100d", data); // arg1 / arg2 are in scope
+//     return 0;
+//   }
+//
+// (The original library brackets the body with PI_SPE_PROCESS(int,void*)
+// ... PI_SPE_END inside a dedicated SPE source file, where the surrounding
+// file provides the program name; compiling PPE and SPE code in one C++
+// translation unit requires naming the program in the macro instead.)
+//
+// Launching an application on the simulated cluster replaces `mpirun`:
+//
+//   cluster::Cluster machine(cluster::ClusterConfig::two_cells());
+//   cellpilot::RunResult r = cellpilot::run(machine, my_main);
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cellsim/libspe2.hpp"
+#include "cluster/cluster.hpp"
+#include "pilot/pilot.hpp"
+
+/// Handle type for an SPE program (the SDK's spe_program_handle_t; the
+/// macro name matches the paper so configuration code also compiles for
+/// non-Cell builds there).
+#define PI_SPE_FUNC cellsim::spe2::spe_program_handle_t
+
+/// Creates an SPE process from an SPE program handle.  Unlike regular
+/// processes, SPE processes are NOT started by PI_StartAll; the parent PPE
+/// process launches them explicitly with PI_RunSPE during execution.
+/// `parent` must be a rank-backed process placed on a Cell node; the SPE
+/// runs on that node.  Configuration phase only.
+PI_PROCESS* PI_CreateSPE(PI_SPE_FUNC& program, PI_PROCESS* parent, int index);
+
+/// Launches an SPE process: picks a free SPE on the parent's node, loads
+/// the program, and runs it on a background thread, passing (arg, ptr) to
+/// the body.  Execution phase; parent process only.
+void PI_RunSPE(PI_PROCESS* spe_process, int arg, void* ptr);
+
+/// Alias used interchangeably in the paper's prose.
+inline void PI_StartSPE(PI_PROCESS* spe_process, int arg, void* ptr) {
+  PI_RunSPE(spe_process, arg, ptr);
+}
+
+namespace cellpilot::detail {
+using SpeBody = int (*)(int, void*);
+int run_spe_body(std::uint64_t argp, SpeBody body);
+}  // namespace cellpilot::detail
+
+/// Defines an SPE program `name` whose image occupies `text_size` bytes of
+/// local store.  The braces that follow are the program body, with
+/// parameters `int arg1, void* arg2` (the values given to PI_RunSPE).
+#define PI_SPE_PROGRAM_SIZED(name, text_size)                                \
+  static int name##_pi_body(int arg1, void* arg2);                           \
+  static int name##_pi_entry(std::uint64_t pi_speid, std::uint64_t pi_argp,  \
+                             std::uint64_t pi_envp) {                        \
+    (void)pi_speid;                                                          \
+    (void)pi_envp;                                                           \
+    return ::cellpilot::detail::run_spe_body(pi_argp, &name##_pi_body);      \
+  }                                                                          \
+  PI_SPE_FUNC name = {#name, &name##_pi_entry, (text_size)};                 \
+  static int name##_pi_body([[maybe_unused]] int arg1,                       \
+                            [[maybe_unused]] void* arg2)
+
+/// PI_SPE_PROGRAM_SIZED with a typical small-program image size.
+#define PI_SPE_PROGRAM(name) PI_SPE_PROGRAM_SIZED(name, 4096)
+
+namespace cellpilot {
+
+/// The application's main function, executed on every rank (SPMD), exactly
+/// as mpirun would run the real binary.
+using MainFunc = std::function<int(int argc, char** argv)>;
+
+/// Launch options (the mpirun command line).
+struct RunOptions {
+  /// argv[1..] passed to main on every rank (e.g. {"-pisvc=d"}).
+  std::vector<std::string> args;
+  /// argv[0].
+  std::string program_name = "cellpilot-app";
+};
+
+/// Outcome of a run.
+struct RunResult {
+  int status = 0;                   ///< PI_MAIN's exit status
+  bool aborted = false;             ///< job aborted (error or deadlock)
+  std::string abort_reason;         ///< first abort reason
+  std::vector<std::string> errors;  ///< rank-level error messages
+};
+
+/// Runs a CellPilot application on a simulated cluster: user ranks execute
+/// `user_main`, Co-Pilot ranks run the Co-Pilot service, and the optional
+/// service rank runs deadlock detection.  Use a fresh Cluster per run.
+RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
+              RunOptions options = {});
+
+}  // namespace cellpilot

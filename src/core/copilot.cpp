@@ -1,0 +1,439 @@
+#include "core/copilot.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cellsim/cell.hpp"
+#include "core/protocol.hpp"
+#include "pilot/wire.hpp"
+#include "simtime/trace.hpp"
+
+namespace cellpilot {
+namespace {
+
+using pilot::PilotApp;
+using simtime::SimTime;
+
+constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+
+/// One Co-Pilot's live state.
+///
+/// The Co-Pilot is a *serial* resource (the PPE's second hardware thread):
+/// its virtual clock accumulates every request it services, which is
+/// exactly the contention the paper measures.  Because the simulation's
+/// host threads race, events do not arrive in virtual-time order; the
+/// service therefore runs a conservative discrete-event rule: an event with
+/// stamp T is processed only once every potential source -- local SPEs,
+/// user ranks, peer Co-Pilots -- provably cannot produce an earlier one
+/// (their clocks have passed T, or they are parked/blocked/done).  This
+/// makes all timing results deterministic regardless of host scheduling.
+class CopilotService {
+ public:
+  CopilotService(mpisim::Mpi& mpi, PilotApp& app, int node)
+      : mpi_(mpi),
+        app_(app),
+        node_(node),
+        blade_(app.cluster().blade(node)),
+        cost_(app.cluster().cost()),
+        assembly_(blade_.spe_count()),
+        published_bound_(app.cluster().copilot_bound(node)) {}
+
+  ~CopilotService() { published_bound_.store(kForever); }
+
+  int run() {
+    for (;;) {
+      drain_mailboxes();
+      publish_bound();
+
+      const auto candidate = pick_candidate();
+      if (!candidate) {
+        std::this_thread::sleep_for(std::chrono::microseconds(40));
+        continue;
+      }
+      const SimTime safe = safe_time();
+      if (!(candidate->stamp < safe || safe == kForever)) {
+        // A source at or before the candidate's stamp might still produce
+        // an earlier (or equal-stamp) event; wait (in real time) for it to
+        // advance past the stamp, park, or finish.  Strictness keeps the
+        // processing order independent of host scheduling.
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        continue;
+      }
+      // Revalidate: a source may have emitted an earlier event and then
+      // parked *between* the drain above and the quiescence check (parking
+      // is what made the gate pass).  Its event is already in the mailbox,
+      // so one more drain surfaces it; if the earliest candidate changed,
+      // start over.
+      drain_mailboxes();
+      const auto recheck = pick_candidate();
+      if (!recheck || recheck->before(*candidate) ||
+          candidate->before(*recheck)) {
+        continue;
+      }
+      switch (candidate->kind) {
+        case Candidate::kShutdown: {
+          std::uint8_t poison = 0;
+          mpi_.recv_internal(&poison, 1, mpisim::kAnySource,
+                             pilot::kTagShutdown);
+          return 0;
+        }
+        case Candidate::kRequest: {
+          const ReadyRequest ready = ready_requests_[candidate->index];
+          ready_requests_.erase(ready_requests_.begin() +
+                                static_cast<std::ptrdiff_t>(candidate->index));
+          process_request(ready);
+          break;
+        }
+        case Candidate::kMpiData: {
+          auto it = pending_reads_.find(candidate->channel);
+          if (it != pending_reads_.end() && complete_mpi_read(it->second)) {
+            pending_reads_.erase(it);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  struct Assembly {
+    std::uint32_t words[kRequestWords] = {};
+    int n = 0;
+    SimTime last_stamp = 0;
+  };
+
+  struct ReadyRequest {
+    SpeRequest req;
+    unsigned spe = 0;
+    SimTime stamp = 0;  ///< stamp of the request's final mailbox word
+  };
+
+  struct Pending {
+    SpeRequest req;
+    unsigned spe = 0;
+    /// MPI source the data will come from (kRank writer or remote
+    /// Co-Pilot); kAnySource for type-4 reads awaiting a local writer.
+    mpisim::Rank expected_source = mpisim::kAnySource;
+  };
+
+  struct Candidate {
+    enum Kind { kRequest, kMpiData, kShutdown };
+    SimTime stamp = 0;
+    Kind kind = kRequest;
+    std::size_t index = 0;  ///< into ready_requests_ for kRequest
+    int channel = -1;       ///< pending-read channel for kMpiData
+    unsigned spe = 0;       ///< issuing SPE for kRequest (tie-breaking)
+
+    /// Total order: stamp, then kind, then SPE, then channel — so that
+    /// equal-stamp events are processed in the same order regardless of
+    /// the real-time order in which they became visible.
+    bool before(const Candidate& other) const {
+      if (stamp != other.stamp) return stamp < other.stamp;
+      if (kind != other.kind) return kind < other.kind;
+      if (spe != other.spe) return spe < other.spe;
+      return channel < other.channel;
+    }
+  };
+
+  simtime::VirtualClock& clock() { return mpi_.clock(); }
+
+  /// Moves available mailbox words into per-SPE assemblies and completed
+  /// requests into the ready queue.  No virtual time is charged here; the
+  /// MMIO read costs are charged when the request is processed, in stamp
+  /// order.
+  void drain_mailboxes() {
+    for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      while (auto entry = blade_.spe(s).outbound_mailbox().try_pop()) {
+        Assembly& a = assembly_[s];
+        a.words[a.n++] = entry->value;
+        a.last_stamp = entry->stamp;
+        if (a.n == kRequestWords) {
+          ReadyRequest ready;
+          ready.req = decode(a.words);
+          ready.spe = s;
+          ready.stamp = a.last_stamp;
+          ready_requests_.push_back(ready);
+          a.n = 0;
+        }
+      }
+    }
+  }
+
+  /// Lower bound on the stamp of anything SPE `s` may still put into its
+  /// outbound mailbox.  An SPU asleep on an empty inbound mailbox can only
+  /// be woken by a completion we have not yet pushed, so it is quiescent;
+  /// with a completion queued, its next actions stamp at or after that
+  /// completion (or its own clock, whichever is lower — the clock read may
+  /// lag the join).
+  SimTime spe_bound(unsigned s) {
+    if (!app_.spe_assigned(node_, s)) return kForever;
+    cellsim::Spe& spe = blade_.spe(s);
+    const auto queued = spe.inbound_mailbox().earliest_stamp();
+    if (queued) return std::min(spe.clock().now(), *queued);
+    if (spe.inbound_mailbox().reader_waiting()) return kForever;
+    return spe.clock().now();
+  }
+
+  /// Publishes the lower bound on stamps of future *inter-node relays*
+  /// this Co-Pilot may originate: the minimum over local SPE bounds,
+  /// queued requests, and partial assemblies.  Peer Co-Pilots fold this
+  /// into their safe time (conservative null message).
+  void publish_bound() {
+    SimTime bound = kForever;
+    for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      if (assembly_[s].n > 0) {
+        bound = std::min(bound, assembly_[s].last_stamp);
+      }
+      bound = std::min(bound, spe_bound(s));
+    }
+    for (const ReadyRequest& r : ready_requests_) {
+      bound = std::min(bound, r.stamp);
+    }
+    published_bound_.store(bound, std::memory_order_release);
+  }
+
+  /// The conservative safe time: no source can produce an event with a
+  /// stamp below it.
+  SimTime safe_time() {
+    SimTime safe = kForever;
+    // Local SPEs (requests arrive through their mailboxes).
+    for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      safe = std::min(safe, spe_bound(s));
+    }
+    // User ranks (channel data, shutdown).
+    mpisim::World& world = app_.cluster().world();
+    for (int r = 0; r < app_.cluster().user_rank_count(); ++r) {
+      safe = std::min(safe, world.send_bound(r));
+    }
+    // Peer Co-Pilots (type-5 relays), via their published bounds.
+    for (int n = 0; n < app_.cluster().node_count(); ++n) {
+      if (n == node_ || !app_.cluster().is_cell_node(n)) continue;
+      safe = std::min(safe, app_.cluster().copilot_bound(n).load(
+                                std::memory_order_acquire));
+    }
+    return safe;
+  }
+
+  /// The earliest available event, if any.
+  std::optional<Candidate> pick_candidate() {
+    std::optional<Candidate> best;
+    auto consider = [&best](Candidate c) {
+      if (!best || c.before(*best)) best = c;
+    };
+    for (std::size_t i = 0; i < ready_requests_.size(); ++i) {
+      consider({ready_requests_[i].stamp, Candidate::kRequest, i, -1,
+                ready_requests_[i].spe});
+    }
+    for (const auto& [channel, p] : pending_reads_) {
+      if (p.expected_source == mpisim::kAnySource) continue;  // type 4
+      if (auto env =
+              mpi_.iprobe(p.expected_source, app_.channel(channel).tag())) {
+        consider({env->arrival, Candidate::kMpiData, 0, channel, p.spe});
+      }
+    }
+    if (auto env = mpi_.iprobe(mpisim::kAnySource, pilot::kTagShutdown)) {
+      consider({env->arrival, Candidate::kShutdown, 0, -1, 0});
+    }
+    return best;
+  }
+
+  static SpeRequest decode(const std::uint32_t words[kRequestWords]) {
+    SpeRequest r;
+    r.opcode = unpack_opcode(words[0]);
+    r.channel = unpack_channel(words[0]);
+    r.ls_addr = words[1];
+    r.length = words[2];
+    r.signature = words[3];
+    return r;
+  }
+
+  void complete(unsigned spe, CompletionStatus status) {
+    clock().advance(cost_.mbox_ppe_write);
+    blade_.spe(spe).inbound_mailbox().push_blocking(
+        static_cast<std::uint32_t>(status), clock().now());
+  }
+
+  /// Frames the payload held in an SPE's local store (write requests).
+  std::vector<std::byte> frame_from_ls(const Pending& w) {
+    cellsim::Spe& spe = blade_.spe(w.spe);
+    // Effective-address translation: the LS is memory-mapped; the MPI send
+    // reads straight out of it (paper: "the message transfers directly
+    // between the PPE's buffer and the SPE's local memory").  The window
+    // is uncached, so the access carries a per-transfer cost.
+    const std::byte* src = spe.local_store().at(w.req.ls_addr, w.req.length);
+    clock().advance(cost_.copilot_ls_access(w.req.length));
+    return pilot::frame_message(w.req.signature,
+                                std::span(src, w.req.length));
+  }
+
+  /// Validates frame header vs a read request; returns payload span or
+  /// reports a mismatch completion and returns nullopt.
+  std::optional<std::span<const std::byte>> validate_frame(
+      const Pending& r, std::span<const std::byte> framed) {
+    try {
+      return pilot::check_frame(framed, r.req.signature, r.req.length,
+                                "channel " + app_.channel(r.req.channel).name);
+    } catch (const pilot::PilotError&) {
+      complete(r.spe, CompletionStatus::kTypeMismatch);
+      return std::nullopt;
+    }
+  }
+
+  /// Copies payload into the reading SPE's local store and completes it.
+  void deliver_to_ls(const Pending& r, std::span<const std::byte> payload) {
+    cellsim::Spe& spe = blade_.spe(r.spe);
+    std::byte* dst = spe.local_store().at(r.req.ls_addr, r.req.length);
+    std::memcpy(dst, payload.data(), payload.size());
+    clock().advance(cost_.copilot_ls_access(r.req.length));
+    complete(r.spe, CompletionStatus::kOk);
+  }
+
+  /// Type-4 pairing: writer and reader are both local SPEs.
+  void transfer_local(const Pending& w, const Pending& r) {
+    if (w.req.signature != r.req.signature || w.req.length != r.req.length) {
+      complete(w.spe, CompletionStatus::kTypeMismatch);
+      complete(r.spe, CompletionStatus::kTypeMismatch);
+      return;
+    }
+    cellsim::Spe& ws = blade_.spe(w.spe);
+    cellsim::Spe& rs = blade_.spe(r.spe);
+    const std::byte* src = ws.local_store().at(w.req.ls_addr, w.req.length);
+    std::byte* dst = rs.local_store().at(r.req.ls_addr, r.req.length);
+    const SimTime begin = clock().now();
+    std::memcpy(dst, src, w.req.length);
+    clock().advance(2 * cost_.copilot_ls_access(w.req.length));
+    blade_.chip(0).eib().record(ws.name(), rs.name(), w.req.length);
+    simtime::Trace::global().record(copilot_name(),
+                                    simtime::TraceKind::kMappedCopy,
+                                    "type4 " + std::to_string(w.req.length) +
+                                        "B ch=" + std::to_string(w.req.channel),
+                                    begin, clock().now());
+    complete(w.spe, CompletionStatus::kOk);
+    complete(r.spe, CompletionStatus::kOk);
+  }
+
+  std::string copilot_name() const {
+    return app_.cluster().world().info(mpi_.rank()).name;
+  }
+
+  /// Receives the arrived MPI data for a pending read and delivers it.
+  bool complete_mpi_read(const Pending& r) {
+    const int tag = app_.channel(r.req.channel).tag();
+    if (!mpi_.iprobe(r.expected_source, tag)) return false;
+    std::vector<std::byte> framed =
+        mpi_.recv_any_size(r.expected_source, tag);
+    // Probe hit + EA translation, charged once the data is at hand (it
+    // cannot overlap the flight); draining the NIC for inter-node data
+    // costs considerably more than a shared-memory pickup.
+    const bool remote =
+        !app_.cluster().world().same_node(r.expected_source, mpi_.rank());
+    clock().advance(remote ? cost_.copilot_dispatch_remote
+                           : cost_.copilot_dispatch);
+    if (auto payload = validate_frame(r, framed)) {
+      deliver_to_ls(r, *payload);
+    }
+    return true;
+  }
+
+  void process_request(const ReadyRequest& ready) {
+    // The request's mailbox words are read (slow MMIO) and decoded now, in
+    // stamp order.
+    clock().join(ready.stamp);
+    clock().advance(cost_.mbox_ppe_read *
+                    static_cast<SimTime>(kRequestWords));
+    handle_request(ready.spe, ready.req);
+  }
+
+  void handle_request(unsigned spe, const SpeRequest& req) {
+    const SimTime begin = clock().now();
+    clock().advance(cost_.copilot_service);
+
+    if (req.channel < 0 || req.channel >= app_.channel_count() ||
+        (req.opcode != Opcode::kWrite && req.opcode != Opcode::kRead)) {
+      complete(spe, CompletionStatus::kProtocol);
+      return;
+    }
+    const PI_CHANNEL& ch = app_.channel(req.channel);
+    Pending p{req, spe, mpisim::kAnySource};
+
+    if (req.opcode == Opcode::kWrite) {
+      const PI_PROCESS& to = app_.process(ch.to);
+      if (to.location == pilot::Location::kRank) {
+        // Type 2/3: relay to the reading rank on the SPE's behalf.
+        const auto framed = frame_from_ls(p);
+        mpi_.send(framed.data(), framed.size(), to.rank, ch.tag());
+        complete(spe, CompletionStatus::kOk);
+      } else if (to.node == node_) {
+        // Type 4: pair with a local read, or park.
+        auto it = pending_reads_.find(req.channel);
+        if (it != pending_reads_.end() &&
+            it->second.expected_source == mpisim::kAnySource) {
+          const Pending reader = it->second;
+          pending_reads_.erase(it);
+          transfer_local(p, reader);
+        } else {
+          pending_writes_.emplace(req.channel, p);
+        }
+      } else {
+        // Type 5: relay to the reader's Co-Pilot.
+        const auto framed = frame_from_ls(p);
+        mpi_.send(framed.data(), framed.size(),
+                  app_.cluster().copilot_rank(to.node), ch.tag());
+        complete(spe, CompletionStatus::kOk);
+      }
+    } else {  // kRead
+      const PI_PROCESS& from = app_.process(ch.from);
+      if (from.location == pilot::Location::kSpe && from.node == node_) {
+        // Type 4: pair with a local write, or park.
+        auto it = pending_writes_.find(req.channel);
+        if (it != pending_writes_.end()) {
+          const Pending writer = it->second;
+          pending_writes_.erase(it);
+          transfer_local(writer, p);
+        } else {
+          pending_reads_.emplace(req.channel, p);
+        }
+      } else {
+        // Type 2/3/5: data arrives over MPI from the writer rank or the
+        // writer's Co-Pilot; the main loop delivers it in stamp order.
+        p.expected_source =
+            from.location == pilot::Location::kRank
+                ? from.rank
+                : app_.cluster().copilot_rank(from.node);
+        pending_reads_.emplace(req.channel, p);
+      }
+    }
+    simtime::Trace::global().record(
+        copilot_name(), simtime::TraceKind::kCopilotService,
+        std::string(req.opcode == Opcode::kWrite ? "write" : "read") +
+            " ch=" + std::to_string(req.channel) + " " +
+            std::to_string(req.length) + "B",
+        begin, clock().now());
+  }
+
+  mpisim::Mpi& mpi_;
+  PilotApp& app_;
+  int node_;
+  cellsim::CellBlade& blade_;
+  const simtime::CostModel& cost_;
+  std::vector<Assembly> assembly_;
+  std::vector<ReadyRequest> ready_requests_;
+  std::map<int, Pending> pending_writes_;
+  std::map<int, Pending> pending_reads_;
+  std::atomic<SimTime>& published_bound_;
+};
+
+}  // namespace
+
+int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node) {
+  CopilotService service(mpi, app, node);
+  return service.run();
+}
+
+}  // namespace cellpilot

@@ -1,0 +1,30 @@
+// copilot.hpp — the Co-Pilot process.
+//
+// The paper's first key innovation: every Cell node runs one extra MPI rank,
+// the Co-Pilot, occupying the PPE's otherwise-idle second hardware thread.
+// It services all SPE-connected channel types so that (a) SPE processes can
+// participate in MPI as first-class citizens without MPI living in their
+// 256 KB local stores, and (b) the PPE's own Pilot process is never
+// interrupted by SPE traffic.  It exists as a separate *process* (rank), not
+// a thread, so the design works under MPI_THREAD_SINGLE (paper §IV.B).
+//
+// The service loop polls its node's SPE outbound mailboxes for requests
+// (protocol.hpp) and its MPI queue for data addressed to local SPE readers,
+// pairing writers with readers:
+//   type 2/3, SPE writer:  frame from local store -> MPI send to reader rank
+//   type 2/3, SPE reader:  MPI recv -> straight into local store
+//   type 4:                pair two local requests -> memcpy LS -> LS
+//   type 5:                writer Co-Pilot MPI-sends to reader Co-Pilot
+// Completions go back through each SPE's inbound mailbox.
+#pragma once
+
+#include "mpisim/mpi.hpp"
+#include "pilot/app.hpp"
+
+namespace cellpilot {
+
+/// Entry point of the Co-Pilot rank serving Cell node `node`.
+/// Runs until the shutdown control message from PI_StopMain; returns 0.
+int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node);
+
+}  // namespace cellpilot

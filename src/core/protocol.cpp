@@ -1,0 +1,31 @@
+#include "core/protocol.hpp"
+
+#include "pilot/errors.hpp"
+
+namespace cellpilot {
+
+ChannelType resolve_channel_type(pilot::PilotApp& app, const PI_CHANNEL& ch) {
+  const PI_PROCESS& from = app.process(ch.from);
+  const PI_PROCESS& to = app.process(ch.to);
+  const bool from_spe = from.location == pilot::Location::kSpe;
+  const bool to_spe = to.location == pilot::Location::kSpe;
+
+  auto node_of = [&app](const PI_PROCESS& p) {
+    return p.location == pilot::Location::kSpe
+               ? p.node
+               : app.cluster().node_of_rank(p.rank);
+  };
+
+  if (!from_spe && !to_spe) return ChannelType::kType1;
+  if (from_spe && to_spe) {
+    return node_of(from) == node_of(to) ? ChannelType::kType4
+                                        : ChannelType::kType5;
+  }
+  // Exactly one SPE endpoint.
+  const PI_PROCESS& rank_side = from_spe ? to : from;
+  const PI_PROCESS& spe_side = from_spe ? from : to;
+  return node_of(rank_side) == node_of(spe_side) ? ChannelType::kType2
+                                                 : ChannelType::kType3;
+}
+
+}  // namespace cellpilot

@@ -1,0 +1,93 @@
+// protocol.hpp — the CellPilot control protocol.
+//
+// CellPilot's central mechanism (paper §IV): an SPE that wants to use a
+// channel sends a small request to its node's Co-Pilot process through its
+// outbound mailbox; the Co-Pilot translates the SPE's local-store buffer
+// address into a main-memory effective address and then moves the data —
+// by memcpy for intra-node transfers, by participating in MPI on the SPE's
+// behalf for anything else.  Completion is signalled back through the SPE's
+// inbound mailbox.
+//
+// A request is four 32-bit mailbox words:
+//   word 0:  opcode (high 8 bits) | channel id (low 24 bits)
+//   word 1:  local-store address of the message buffer
+//   word 2:  payload length in bytes
+//   word 3:  resolved-format signature (pilot::signature)
+//
+// The completion word is a status code (kOk or an error), letting the SPE
+// runtime convert protocol failures into PilotError diagnostics.
+//
+// This header also fixes the channel taxonomy of the paper's Table I and
+// its resolution rule.
+#pragma once
+
+#include <cstdint>
+
+#include "pilot/app.hpp"
+#include "pilot/tables.hpp"
+
+namespace cellpilot {
+
+/// Number of mailbox words in one SPE request.
+inline constexpr int kRequestWords = 4;
+
+/// Request opcodes.
+enum class Opcode : std::uint32_t {
+  kWrite = 1,  ///< the SPE wants to write the channel (buffer holds data)
+  kRead = 2,   ///< the SPE wants to read the channel (buffer to be filled)
+};
+
+/// Completion status codes (inbound mailbox word).
+enum class CompletionStatus : std::uint32_t {
+  kOk = 0,
+  kTypeMismatch = 1,  ///< writer/reader formats disagree
+  kSizeMismatch = 2,  ///< payload length disagrees
+  kProtocol = 3,      ///< malformed request / internal error
+};
+
+/// A decoded SPE request.
+struct SpeRequest {
+  Opcode opcode = Opcode::kWrite;
+  int channel = -1;
+  std::uint32_t ls_addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t signature = 0;
+};
+
+/// Packs word 0 from opcode + channel id.
+constexpr std::uint32_t pack_op_channel(Opcode op, int channel) {
+  return (static_cast<std::uint32_t>(op) << 24) |
+         (static_cast<std::uint32_t>(channel) & 0x00FFFFFFu);
+}
+
+/// Unpacks word 0.
+constexpr Opcode unpack_opcode(std::uint32_t w0) {
+  return static_cast<Opcode>(w0 >> 24);
+}
+constexpr int unpack_channel(std::uint32_t w0) {
+  return static_cast<int>(w0 & 0x00FFFFFFu);
+}
+
+/// The paper's Table I channel taxonomy.
+enum class ChannelType {
+  kType1 = 1,  ///< PPE/non-Cell  <->  remote PPE/non-Cell  (pure Pilot/MPI)
+  kType2 = 2,  ///< PPE           <->  local SPE
+  kType3 = 3,  ///< PPE/non-Cell  <->  remote SPE
+  kType4 = 4,  ///< SPE           <->  local SPE
+  kType5 = 5,  ///< SPE           <->  remote SPE
+};
+
+/// Resolves a channel's type from its endpoints' locations and placement.
+ChannelType resolve_channel_type(pilot::PilotApp& app, const PI_CHANNEL& ch);
+
+/// Bytes of SPE local store occupied by the CellPilot SPE-side runtime.
+/// Modelled on the paper's measurement of cellpilot.o (10 336 bytes by the
+/// Linux `size` command); reserved in the local store whenever an SPE
+/// process runs, so the 256 KB budget experienced by user code matches the
+/// real library's.
+inline constexpr std::size_t kCellPilotSpuFootprintBytes = 10336;
+
+/// Control tag on which Co-Pilots receive job shutdown (reuses Pilot's).
+using pilot::kTagShutdown;
+
+}  // namespace cellpilot

@@ -1,0 +1,138 @@
+#include "core/spe_runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cellsim/spu.hpp"
+#include "core/protocol.hpp"
+#include "pilot/context.hpp"
+#include "pilot/errors.hpp"
+
+namespace cellpilot {
+
+namespace {
+
+using cellsim::spu::env;
+
+/// Issues one request and stalls for the completion word.
+CompletionStatus request_and_wait(Opcode op, const PI_CHANNEL& ch,
+                                  cellsim::LsAddr ls_addr,
+                                  std::uint32_t length, std::uint32_t sig) {
+  cellsim::spu::spu_write_out_mbox(pack_op_channel(op, ch.id));
+  cellsim::spu::spu_write_out_mbox(ls_addr);
+  cellsim::spu::spu_write_out_mbox(length);
+  cellsim::spu::spu_write_out_mbox(sig);
+  return static_cast<CompletionStatus>(cellsim::spu::spu_read_in_mbox());
+}
+
+[[noreturn]] void throw_completion_error(CompletionStatus status,
+                                         const PI_CHANNEL& ch) {
+  switch (status) {
+    case CompletionStatus::kTypeMismatch:
+      throw pilot::PilotError(pilot::ErrorCode::kTypeMismatch,
+                              "channel " + ch.name +
+                                  ": writer format does not match reader "
+                                  "format (reported by Co-Pilot)");
+    case CompletionStatus::kSizeMismatch:
+      throw pilot::PilotError(pilot::ErrorCode::kTypeMismatch,
+                              "channel " + ch.name +
+                                  ": payload size disagreement "
+                                  "(reported by Co-Pilot)");
+    default:
+      throw pilot::PilotError(pilot::ErrorCode::kInternal,
+                              "channel " + ch.name +
+                                  ": Co-Pilot protocol error");
+  }
+}
+
+/// RAII local-store staging buffer.
+class Staging {
+ public:
+  explicit Staging(std::size_t bytes)
+      : addr_(cellsim::spu::ls_alloc(std::max<std::size_t>(bytes, 16), 16)),
+        bytes_(bytes) {}
+  ~Staging() { cellsim::spu::ls_free(addr_); }
+  Staging(const Staging&) = delete;
+  Staging& operator=(const Staging&) = delete;
+
+  cellsim::LsAddr addr() const { return addr_; }
+  std::byte* ptr() {
+    return static_cast<std::byte*>(
+        cellsim::spu::ls_ptr(addr_, std::max<std::size_t>(bytes_, 16)));
+  }
+
+ private:
+  cellsim::LsAddr addr_;
+  std::size_t bytes_;
+};
+
+}  // namespace
+
+void spe_channel_write(pilot::PilotApp&, const PI_CHANNEL& ch,
+                       std::uint32_t sig,
+                       std::span<const std::byte> payload) {
+  const auto& e = env();
+  e.spe->clock().advance(e.cost->spu_call_overhead);
+
+  // Stage the message in local store.  (On hardware the user's buffer is
+  // already in local store; the staging copy is a simulation artifact and
+  // is not charged virtual time.)
+  Staging staging(payload.size());
+  if (!payload.empty()) {
+    std::memcpy(staging.ptr(), payload.data(), payload.size());
+  }
+  const CompletionStatus status =
+      request_and_wait(Opcode::kWrite, ch, staging.addr(),
+                       static_cast<std::uint32_t>(payload.size()), sig);
+  if (status != CompletionStatus::kOk) throw_completion_error(status, ch);
+}
+
+void spe_channel_read(pilot::PilotApp&, const PI_CHANNEL& ch,
+                      std::uint32_t sig, std::span<std::byte> out) {
+  const auto& e = env();
+  e.spe->clock().advance(e.cost->spu_call_overhead);
+
+  Staging staging(out.size());
+  const CompletionStatus status =
+      request_and_wait(Opcode::kRead, ch, staging.addr(),
+                       static_cast<std::uint32_t>(out.size()), sig);
+  if (status != CompletionStatus::kOk) throw_completion_error(status, ch);
+  if (!out.empty()) {
+    std::memcpy(out.data(), staging.ptr(), out.size());
+  }
+}
+
+namespace detail {
+
+int run_spe_body(std::uint64_t argp, SpeBody body) {
+  auto* launch = static_cast<SpeLaunchArgs*>(
+      cellsim::ptr_of(static_cast<cellsim::EffectiveAddress>(argp)));
+  if (launch == nullptr || launch->app == nullptr) {
+    throw pilot::PilotError(pilot::ErrorCode::kInternal,
+                            "SPE program started without launch arguments "
+                            "(use PI_RunSPE)");
+  }
+
+  // The CellPilot SPE runtime occupies local store for the life of the
+  // program — the footprint the paper measures in §V.
+  cellsim::spu::self().allocator().reserve_segment(
+      "text:cellpilot-runtime", kCellPilotSpuFootprintBytes);
+
+  pilot::SpeDispatch dispatch;
+  dispatch.app = launch->app;
+  dispatch.process_id = launch->process_id;
+  pilot::bind_spe_dispatch(&dispatch);
+  int status = 0;
+  try {
+    status = body(launch->arg, launch->ptr);
+  } catch (...) {
+    pilot::bind_spe_dispatch(nullptr);
+    throw;
+  }
+  pilot::bind_spe_dispatch(nullptr);
+  return status;
+}
+
+}  // namespace detail
+
+}  // namespace cellpilot

@@ -1,0 +1,54 @@
+// spe_runtime.hpp — the CellPilot runtime resident on each SPE.
+//
+// This is the SPE half of the paper's design: a slim layer (the bulk of the
+// messaging logic lives in the Co-Pilot, conserving local store) that
+//   * stages the message described by a PI_Write/PI_Read format into a
+//     local-store buffer,
+//   * issues the 4-word mailbox request to the node's Co-Pilot, and
+//   * stalls on the inbound mailbox for the completion word.
+// Its local-store footprint (protocol.hpp: kCellPilotSpuFootprintBytes,
+// modelled on the paper's 10 336-byte cellpilot.o) is reserved when an SPE
+// program starts, so user code sees the same 256 KB budget as on hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pilot/app.hpp"
+#include "pilot/tables.hpp"
+
+namespace cellpilot {
+
+/// Arguments ferried to an SPE program through the libspe2 `argp`
+/// mechanism.  Built by PI_RunSPE; consumed by the PI_SPE_PROGRAM
+/// trampoline.
+struct SpeLaunchArgs {
+  pilot::PilotApp* app = nullptr;
+  int process_id = -1;  ///< the SPE process being embodied
+  int arg = 0;          ///< user int argument from PI_RunSPE
+  void* ptr = nullptr;  ///< user pointer argument from PI_RunSPE
+};
+
+namespace detail {
+
+/// Signature of the user's SPE process body (the code between the
+/// PI_SPE_PROGRAM braces).
+using SpeBody = int (*)(int, void*);
+
+/// Trampoline called by the generated `<name>_pi_entry`: unpacks
+/// SpeLaunchArgs, reserves the CellPilot runtime's local-store segment,
+/// binds the Pilot SPE dispatch record, runs `body`, and unwinds cleanly.
+int run_spe_body(std::uint64_t argp, SpeBody body);
+
+}  // namespace detail
+
+/// SPE-side blocking channel write: stage payload in local store, request
+/// the Co-Pilot, await completion.  Throws PilotError on protocol errors.
+void spe_channel_write(pilot::PilotApp& app, const PI_CHANNEL& ch,
+                       std::uint32_t sig, std::span<const std::byte> payload);
+
+/// SPE-side blocking channel read into `out` (exactly out.size() bytes).
+void spe_channel_read(pilot::PilotApp& app, const PI_CHANNEL& ch,
+                      std::uint32_t sig, std::span<std::byte> out);
+
+}  // namespace cellpilot

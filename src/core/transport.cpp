@@ -1,0 +1,103 @@
+#include "core/transport.hpp"
+
+#include <thread>
+
+#include "cellsim/libspe2.hpp"
+#include "core/spe_runtime.hpp"
+#include "pilot/deadlock.hpp"
+#include "pilot/wire.hpp"
+
+namespace cellpilot {
+
+void CellTransportImpl::rank_write_to_spe(pilot::PilotContext& ctx,
+                                          const PI_CHANNEL& ch,
+                                          std::uint32_t sig,
+                                          std::span<const std::byte> payload) {
+  pilot::PilotApp& app = ctx.app();
+  const PI_PROCESS& to = app.process(ch.to);
+  // Type 2/3: the data message goes to the Co-Pilot of the reading SPE's
+  // node, which will land it in the SPE's local store.
+  const auto framed = pilot::frame_message(sig, payload);
+  ctx.mpi().send(framed.data(), framed.size(),
+                 app.cluster().copilot_rank(to.node), ch.tag());
+}
+
+std::vector<std::byte> CellTransportImpl::rank_read_from_spe(
+    pilot::PilotContext& ctx, const PI_CHANNEL& ch) {
+  pilot::PilotApp& app = ctx.app();
+  const PI_PROCESS& from = app.process(ch.from);
+  // Type 2/3: the writing SPE's Co-Pilot relays the message to us.
+  const mpisim::Rank source = app.cluster().copilot_rank(from.node);
+  pilot::notify_block(ctx, ch.from, ch.id);
+  std::vector<std::byte> framed = ctx.mpi().recv_any_size(source, ch.tag());
+  pilot::notify_unblock(ctx);
+  return framed;
+}
+
+void CellTransportImpl::spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
+                                  std::span<const std::byte> payload) {
+  pilot::SpeDispatch* sd = pilot::spe_dispatch();
+  spe_channel_write(*sd->app, ch, sig, payload);
+}
+
+void CellTransportImpl::spe_read(const PI_CHANNEL& ch, std::uint32_t sig,
+                                 std::span<std::byte> out) {
+  pilot::SpeDispatch* sd = pilot::spe_dispatch();
+  spe_channel_read(*sd->app, ch, sig, out);
+}
+
+void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
+                                int arg, void* ptr) {
+  pilot::PilotApp& app = ctx.app();
+  if (ctx.phase != pilot::Phase::kExecution) {
+    throw pilot::PilotError(pilot::ErrorCode::kUsage,
+                            "PI_RunSPE called outside the execution phase");
+  }
+  if (ctx.my_process != proc.parent_process) {
+    throw pilot::PilotError(
+        pilot::ErrorCode::kUsage,
+        "PI_RunSPE(" + proc.name + ") must be called by its parent process P" +
+            std::to_string(proc.parent_process) + ", not P" +
+            std::to_string(ctx.my_process));
+  }
+  if (proc.program == nullptr || proc.program->entry == nullptr) {
+    throw pilot::PilotError(pilot::ErrorCode::kUsage,
+                            "PI_RunSPE: SPE process has no program");
+  }
+
+  const int node = proc.node;
+  const unsigned flat = app.acquire_spe(node);
+  cellsim::Spe& spe = app.cluster().spe(node, flat);
+  mpisim::World* world = &app.cluster().world();
+
+  auto launch = std::make_unique<SpeLaunchArgs>();
+  launch->app = &app;
+  launch->process_id = proc.id;
+  launch->arg = arg;
+  launch->ptr = ptr;
+
+  // The SPE starts no earlier (in virtual time) than its parent's launch.
+  const simtime::SimTime stamp = ctx.mpi().clock().now();
+
+  // The paper's mechanism: CellPilot spawns a pthread that loads the image
+  // onto an SPE via the SDK and waits in the background for completion.
+  std::thread t([&app, &spe, program = proc.program,
+                 launch = std::move(launch), node, flat, stamp, world,
+                 proc_name = proc.name] {
+    spe.clock().join(stamp);
+    try {
+      cellsim::spe2::SpeContext sctx(spe);
+      sctx.run(*program, cellsim::ea_of(launch.get()), 0);
+    } catch (const mpisim::WorldAborted&) {
+      // Job torn down elsewhere.
+    } catch (const std::exception& e) {
+      if (!world->aborted()) {
+        world->abort("SPE process " + proc_name + " failed: " + e.what());
+      }
+    }
+    app.release_spe(node, flat);
+  });
+  app.add_spe_thread(ctx.rank(), std::move(t));
+}
+
+}  // namespace cellpilot

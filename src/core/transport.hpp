@@ -1,0 +1,35 @@
+// transport.hpp — CellPilot's implementation of the Pilot transport hooks.
+//
+// Registered on the PilotApp by the runner, this object supplies every data
+// path that touches an SPE (the Pilot core handles type-1 channels itself):
+// rank-side sends/receives relay through the Co-Pilot of the SPE's node,
+// SPE-side calls go through the SPE runtime's mailbox protocol, and
+// PI_RunSPE launches are handled here too.
+#pragma once
+
+#include "pilot/app.hpp"
+#include "pilot/context.hpp"
+
+namespace cellpilot {
+
+/// The concrete transport for hybrid Cell clusters.
+class CellTransportImpl : public pilot::CellTransport {
+ public:
+  void rank_write_to_spe(pilot::PilotContext& ctx, const PI_CHANNEL& ch,
+                         std::uint32_t sig,
+                         std::span<const std::byte> payload) override;
+
+  std::vector<std::byte> rank_read_from_spe(pilot::PilotContext& ctx,
+                                            const PI_CHANNEL& ch) override;
+
+  void spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
+                 std::span<const std::byte> payload) override;
+
+  void spe_read(const PI_CHANNEL& ch, std::uint32_t sig,
+                std::span<std::byte> out) override;
+
+  void run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc, int arg,
+               void* ptr) override;
+};
+
+}  // namespace cellpilot

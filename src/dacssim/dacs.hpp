@@ -1,0 +1,133 @@
+// dacs.hpp — a DaCS-shaped baseline library.
+//
+// IBM's Data Communication and Synchronization library (DaCS) is the SDK's
+// own high-level communication layer and the paper's main point of
+// comparison: CellPilot rejected it because (a) it does not support
+// SPE-to-SPE communication (strict HE/AE hierarchy, Figure 1), and (b) its
+// SPE-side library consumes 36 600 bytes of the 256 KB local store versus
+// CellPilot's 10 336.  The paper also recodes its 3-hop example in DaCS
+// (114 lines vs CellPilot's 80 vs the raw SDK's 186).
+//
+// This module reproduces the *shape* of the DaCS API against the simulated
+// hardware, sufficient for the comparison example, the footprint experiment
+// and the hierarchy-limitation tests: process startup (dacs_de_start),
+// remote memory (create/share/put/get + wait identifiers), and HE<->AE
+// mailboxes.  Errors use DaCS-style return codes, not exceptions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cellsim/cell.hpp"
+#include "cellsim/libspe2.hpp"
+#include "simtime/cost_model.hpp"
+
+namespace dacs {
+
+/// DaCS return codes (subset).
+enum dacs_rc {
+  DACS_SUCCESS = 0,
+  DACS_ERR_INVALID_ADDR = -1,
+  DACS_ERR_INVALID_HANDLE = -2,
+  DACS_ERR_NO_RESOURCE = -3,
+  DACS_ERR_INVALID_TARGET = -4,  ///< e.g. AE-to-AE: hierarchy violation
+  DACS_ERR_NOT_INITIALIZED = -5,
+};
+
+/// Destination element id: the HE, or an AE (SPE) index.
+struct de_id_t {
+  std::int32_t value = -1;
+};
+inline constexpr de_id_t DACS_DE_PARENT{-2};  ///< the HE, from an AE
+
+/// Wait identifier for asynchronous data transfers.
+using wid_t = std::uint32_t;
+
+/// Handle to a region of memory shared for remote access.
+struct remote_mem_t {
+  std::uint64_t handle = 0;
+};
+
+/// The SPE-side footprint of libdacs.a, as measured in the paper (§V).
+inline constexpr std::size_t kDacsSpuFootprintBytes = 36600;
+
+/// One DaCS "runtime": an HE (PPE) and its AEs (the SPEs of one Cell).
+/// The hierarchy is strict: every operation pairs an element with its
+/// parent or child; sibling AEs cannot address each other — the library
+/// returns DACS_ERR_INVALID_TARGET, reproducing the limitation the paper
+/// cites as a reason not to build on DaCS.
+class Runtime {
+ public:
+  /// Binds to a Cell blade (borrowed) with the given cost model.
+  Runtime(cellsim::CellBlade& blade, const simtime::CostModel& cost);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  cellsim::CellBlade& blade() { return *blade_; }
+  const simtime::CostModel& cost() const { return *cost_; }
+
+  /// HE-side virtual clock.
+  simtime::VirtualClock& he_clock() { return he_clock_; }
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  cellsim::CellBlade* blade_;
+  const simtime::CostModel* cost_;
+  simtime::VirtualClock he_clock_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// --- HE-side API -------------------------------------------------------------
+
+/// Starts `program` on AE `ae` with `argp` forwarded; the AE runs on a
+/// background thread (dacs_de_start).  The AE-side runtime reserves
+/// kDacsSpuFootprintBytes of local store.
+dacs_rc dacs_de_start(Runtime& rt, de_id_t ae,
+                      const cellsim::spe2::spe_program_handle_t& program,
+                      std::uint64_t argp);
+
+/// Blocks until AE `ae`'s program exits; returns its status via out param.
+dacs_rc dacs_de_wait(Runtime& rt, de_id_t ae, std::int32_t* exit_status);
+
+/// Shares `size` bytes at `addr` (HE main memory) for remote access.
+dacs_rc dacs_remote_mem_create(Runtime& rt, void* addr, std::size_t size,
+                               remote_mem_t* mem);
+
+/// Releases a shared region.
+dacs_rc dacs_remote_mem_release(Runtime& rt, remote_mem_t* mem);
+
+/// Queries the size of a shared region.
+dacs_rc dacs_remote_mem_query(Runtime& rt, remote_mem_t mem,
+                              std::size_t* size);
+
+/// Reserves / releases a wait identifier.
+dacs_rc dacs_wid_reserve(Runtime& rt, wid_t* wid);
+dacs_rc dacs_wid_release(Runtime& rt, wid_t* wid);
+
+/// HE -> AE mailbox write / AE -> HE mailbox read (blocking).
+dacs_rc dacs_mailbox_write(Runtime& rt, de_id_t ae, std::uint32_t value);
+dacs_rc dacs_mailbox_read(Runtime& rt, de_id_t ae, std::uint32_t* value);
+
+// --- AE-side API (called from within a running AE program) -------------------
+
+/// Transfers from the AE's local store into a shared HE region (dacs_put).
+/// Asynchronous; completes at dacs_wait(wid).
+dacs_rc dacs_put(Runtime& rt, remote_mem_t dst, std::size_t dst_offset,
+                 const void* src_ls_ptr, std::size_t size, wid_t wid);
+
+/// Transfers from a shared HE region into the AE's local store (dacs_get).
+dacs_rc dacs_get(Runtime& rt, void* dst_ls_ptr, remote_mem_t src,
+                 std::size_t src_offset, std::size_t size, wid_t wid);
+
+/// Blocks until all transfers issued under `wid` complete.
+dacs_rc dacs_wait(Runtime& rt, wid_t wid);
+
+/// AE-side mailbox ops toward the parent HE.
+dacs_rc dacs_mailbox_write_to_parent(Runtime& rt, std::uint32_t value);
+dacs_rc dacs_mailbox_read_from_parent(Runtime& rt, std::uint32_t* value);
+
+}  // namespace dacs

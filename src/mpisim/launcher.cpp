@@ -1,0 +1,45 @@
+#include "mpisim/launcher.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace mpisim {
+
+LaunchResult launch(World& world, const RankMain& main_fn) {
+  const int n = world.size();
+  LaunchResult result;
+  result.exit_codes.assign(static_cast<std::size_t>(n), 0);
+
+  std::mutex errors_mu;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      Mpi mpi(world, r);
+      try {
+        result.exit_codes[static_cast<std::size_t>(r)] = main_fn(mpi);
+        world.mark_done(r);
+      } catch (const WorldAborted&) {
+        // Torn down by another rank (or a service); nothing further to do.
+        world.mark_done(r);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard lock(errors_mu);
+          result.errors.push_back("rank " + std::to_string(r) + ": " +
+                                  e.what());
+        }
+        world.abort(std::string("rank ") + std::to_string(r) +
+                    " failed: " + e.what());
+        world.mark_done(r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  result.aborted = world.aborted();
+  result.abort_reason = world.abort_reason();
+  return result;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,33 @@
+// launcher.hpp — the simulated `mpirun`.
+//
+// Spawns one host thread per rank, runs the same entry function on each
+// (SPMD, as mpirun does), and collects exit codes and failures.  A rank
+// that throws aborts the world so the remaining ranks unblock, mirroring
+// an MPI job dying.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpisim/mpi.hpp"
+#include "mpisim/world.hpp"
+
+namespace mpisim {
+
+/// Outcome of one launch().
+struct LaunchResult {
+  std::vector<int> exit_codes;       ///< per-rank return values (0 if threw)
+  bool aborted = false;              ///< whether the world was aborted
+  std::string abort_reason;          ///< first abort reason
+  std::vector<std::string> errors;   ///< what() of non-abort exceptions
+};
+
+/// Rank entry point: receives its rank-scoped facade, returns an exit code.
+using RankMain = std::function<int(Mpi&)>;
+
+/// Runs `main_fn` on every rank of `world` concurrently; returns when all
+/// rank threads have finished.
+LaunchResult launch(World& world, const RankMain& main_fn);
+
+}  // namespace mpisim

@@ -1,0 +1,117 @@
+#include "mpisim/match_queue.hpp"
+
+namespace mpisim {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+void MatchQueue::deposit(InboundMessage msg) {
+  std::lock_guard lock(mu_);
+  if (aborted_) return;  // job is dying; drop silently
+  fifo_.push_back(std::move(msg));
+  arrived_.notify_all();
+}
+
+std::size_t MatchQueue::find(Rank source, int tag) const {
+  for (std::size_t i = 0; i < fifo_.size(); ++i) {
+    if (matches(fifo_[i], source, tag)) return i;
+  }
+  return kNpos;
+}
+
+InboundMessage MatchQueue::match_blocking(Rank source, int tag) {
+  std::unique_lock lock(mu_);
+  std::size_t idx = kNpos;
+  wait_flagged(lock, [&] {
+    if (aborted_) return true;
+    idx = find(source, tag);
+    return idx != kNpos;
+  });
+  if (aborted_) throw WorldAborted(abort_reason_);
+  InboundMessage msg = std::move(fifo_[idx]);
+  fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+std::optional<InboundMessage> MatchQueue::try_match(Rank source, int tag) {
+  std::lock_guard lock(mu_);
+  if (aborted_) throw WorldAborted(abort_reason_);
+  const std::size_t idx = find(source, tag);
+  if (idx == kNpos) return std::nullopt;
+  InboundMessage msg = std::move(fifo_[idx]);
+  fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+std::optional<Envelope> MatchQueue::probe(Rank source, int tag) const {
+  std::lock_guard lock(mu_);
+  if (aborted_) throw WorldAborted(abort_reason_);
+  const std::size_t idx = find(source, tag);
+  if (idx == kNpos) return std::nullopt;
+  const InboundMessage& m = fifo_[idx];
+  return Envelope{m.source, m.tag, m.payload.size(), m.arrival};
+}
+
+Envelope MatchQueue::probe_blocking(Rank source, int tag) {
+  std::unique_lock lock(mu_);
+  std::size_t idx = kNpos;
+  wait_flagged(lock, [&] {
+    if (aborted_) return true;
+    idx = find(source, tag);
+    return idx != kNpos;
+  });
+  if (aborted_) throw WorldAborted(abort_reason_);
+  const InboundMessage& m = fifo_[idx];
+  return Envelope{m.source, m.tag, m.payload.size(), m.arrival};
+}
+
+std::pair<std::size_t, Envelope> MatchQueue::probe_any_blocking(
+    std::span<const Pattern> patterns) {
+  std::unique_lock lock(mu_);
+  std::size_t hit_pattern = 0;
+  std::size_t hit_msg = kNpos;
+  wait_flagged(lock, [&] {
+    if (aborted_) return true;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const std::size_t idx = find(patterns[p].source, patterns[p].tag);
+      if (idx != kNpos) {
+        hit_pattern = p;
+        hit_msg = idx;
+        return true;
+      }
+    }
+    return false;
+  });
+  if (aborted_) throw WorldAborted(abort_reason_);
+  const InboundMessage& m = fifo_[hit_msg];
+  return {hit_pattern, Envelope{m.source, m.tag, m.payload.size(), m.arrival}};
+}
+
+std::optional<std::pair<std::size_t, Envelope>> MatchQueue::try_probe_any(
+    std::span<const Pattern> patterns) const {
+  std::lock_guard lock(mu_);
+  if (aborted_) throw WorldAborted(abort_reason_);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::size_t idx = find(patterns[p].source, patterns[p].tag);
+    if (idx != kNpos) {
+      const InboundMessage& m = fifo_[idx];
+      return {{p, Envelope{m.source, m.tag, m.payload.size(), m.arrival}}};
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t MatchQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return fifo_.size();
+}
+
+void MatchQueue::abort(const std::string& reason) {
+  std::lock_guard lock(mu_);
+  aborted_ = true;
+  abort_reason_ = reason;
+  arrived_.notify_all();
+}
+
+}  // namespace mpisim

@@ -1,0 +1,109 @@
+// match_queue.hpp — per-rank incoming message queue with MPI matching rules.
+//
+// Every rank owns one MatchQueue.  Senders deposit complete messages
+// (eager protocol); receivers match on (source, tag) with wildcard support,
+// honouring MPI's non-overtaking rule: among messages from the same source
+// with a matching tag, the earliest deposited wins.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mpisim/types.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace mpisim {
+
+/// A complete in-flight message.
+struct InboundMessage {
+  Rank source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  /// Virtual time at which the message is fully available at the receiver
+  /// (sender departure + transit); the receiver's clock joins this.
+  simtime::SimTime arrival = simtime::kSimTimeZero;
+};
+
+/// The receive side of one rank.
+class MatchQueue {
+ public:
+  /// Deposits a message (called from the sender's thread).
+  void deposit(InboundMessage msg);
+
+  /// Blocks until a message matching (source, tag) is available and removes
+  /// it.  Wildcards kAnySource / kAnyTag accepted.  Throws WorldAborted if
+  /// aborted while waiting.
+  InboundMessage match_blocking(Rank source, int tag);
+
+  /// Non-blocking match: removes and returns the message if present.
+  std::optional<InboundMessage> try_match(Rank source, int tag);
+
+  /// Non-destructive probe: envelope of the first matching message.
+  std::optional<Envelope> probe(Rank source, int tag) const;
+
+  /// Blocks until a matching message is present (MPI_Probe); leaves it
+  /// queued and returns its envelope.
+  Envelope probe_blocking(Rank source, int tag);
+
+  /// A (source, tag) match pattern for multi-pattern probes.
+  struct Pattern {
+    Rank source = kAnySource;
+    int tag = kAnyTag;
+  };
+
+  /// Blocks until a message matching *any* pattern is queued; returns the
+  /// index of the first pattern (in `patterns` order) with a match, plus
+  /// the envelope.  Used by Pilot's select.
+  std::pair<std::size_t, Envelope> probe_any_blocking(
+      std::span<const Pattern> patterns);
+
+  /// Non-blocking variant: nullopt when nothing matches.
+  std::optional<std::pair<std::size_t, Envelope>> try_probe_any(
+      std::span<const Pattern> patterns) const;
+
+  /// Number of queued messages (diagnostics).
+  std::size_t pending() const;
+
+  /// Aborts the queue: wakes all waiters with WorldAborted(reason), and
+  /// makes future blocking calls throw likewise.
+  void abort(const std::string& reason);
+
+  /// True while the owning rank is asleep inside a blocking match/probe.
+  /// A blocked rank cannot initiate sends, so conservative schedulers (the
+  /// Co-Pilot's virtual-time event ordering) treat it as quiescent.
+  bool waiting() const { return waiting_.load(std::memory_order_acquire); }
+
+ private:
+  bool matches(const InboundMessage& m, Rank source, int tag) const {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  // Index of first match in fifo_, or npos.
+  std::size_t find(Rank source, int tag) const;
+
+  /// Waits on arrived_ with the waiting_ flag raised while asleep.
+  template <typename Pred>
+  void wait_flagged(std::unique_lock<std::mutex>& lock, Pred&& pred) {
+    while (!pred()) {
+      waiting_.store(true, std::memory_order_release);
+      arrived_.wait(lock);
+      waiting_.store(false, std::memory_order_release);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable arrived_;
+  std::deque<InboundMessage> fifo_;
+  std::atomic<bool> waiting_{false};
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace mpisim

@@ -1,0 +1,197 @@
+#include "mpisim/mpi.hpp"
+
+#include <cstring>
+
+#include "simtime/trace.hpp"
+
+namespace mpisim {
+
+namespace {
+// Reserved tags for the built-in collectives.
+constexpr int kTagBarrierIn = kReservedTagBase + 1;
+constexpr int kTagBarrierOut = kReservedTagBase + 2;
+constexpr int kTagBcast = kReservedTagBase + 3;
+constexpr int kTagGather = kReservedTagBase + 4;
+constexpr int kTagReduce = kReservedTagBase + 5;
+}  // namespace
+
+Mpi::Mpi(World& world, Rank me) : world_(&world), me_(me) {
+  world.check_rank(me, "Mpi");
+}
+
+void Mpi::check_user_tag(int tag) const {
+  if (tag < 0 || tag >= kReservedTagBase) {
+    throw MpiError("user tag " + std::to_string(tag) +
+                   " out of range [0," + std::to_string(kReservedTagBase) +
+                   ")");
+  }
+}
+
+void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
+  world_->check_rank(dest, "send");
+  if (world_->aborted()) throw WorldAborted(world_->abort_reason());
+  const auto legs = world_->cost().mpi_leg_costs(
+      bytes, world_->info(me_).core, world_->info(dest).core,
+      world_->same_node(me_, dest));
+  const simtime::SimTime begin = clock().now();
+  const simtime::SimTime depart = clock().advance(legs.sender);
+
+  InboundMessage msg;
+  msg.source = me_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  msg.arrival = depart + legs.transit;
+  world_->queue(dest).deposit(std::move(msg));
+
+  simtime::Trace::global().record(
+      world_->info(me_).name, simtime::TraceKind::kMpiSend,
+      "to=" + std::to_string(dest) + " tag=" + std::to_string(tag) +
+          " bytes=" + std::to_string(bytes),
+      begin, depart);
+}
+
+Status Mpi::recv_impl(void* data, std::size_t bytes, Rank source, int tag) {
+  if (source != kAnySource) world_->check_rank(source, "recv");
+  const simtime::SimTime begin = clock().now();
+  InboundMessage msg = world_->queue(me_).match_blocking(source, tag);
+  if (msg.payload.size() > bytes) {
+    throw MpiError("recv truncation: message of " +
+                   std::to_string(msg.payload.size()) +
+                   " bytes into a " + std::to_string(bytes) +
+                   "-byte buffer (src=" + std::to_string(msg.source) +
+                   " tag=" + std::to_string(msg.tag) + ")");
+  }
+  if (!msg.payload.empty()) {
+    std::memcpy(data, msg.payload.data(), msg.payload.size());
+  }
+  const auto legs = world_->cost().mpi_leg_costs(
+      msg.payload.size(), world_->info(msg.source).core,
+      world_->info(me_).core, world_->same_node(msg.source, me_));
+  clock().join_advance(msg.arrival, legs.receiver);
+
+  simtime::Trace::global().record(
+      world_->info(me_).name, simtime::TraceKind::kMpiRecv,
+      "from=" + std::to_string(msg.source) + " tag=" +
+          std::to_string(msg.tag) + " bytes=" +
+          std::to_string(msg.payload.size()),
+      begin, clock().now());
+  return Status{msg.source, msg.tag, msg.payload.size()};
+}
+
+void Mpi::send(const void* data, std::size_t bytes, Rank dest, int tag) {
+  check_user_tag(tag);
+  send_impl(data, bytes, dest, tag);
+}
+
+Status Mpi::recv(void* data, std::size_t bytes, Rank source, int tag) {
+  if (tag != kAnyTag) check_user_tag(tag);
+  return recv_impl(data, bytes, source, tag);
+}
+
+std::vector<std::byte> Mpi::recv_any_size(Rank source, int tag, Status* st) {
+  if (source != kAnySource) world_->check_rank(source, "recv");
+  InboundMessage msg = world_->queue(me_).match_blocking(source, tag);
+  const auto legs = world_->cost().mpi_leg_costs(
+      msg.payload.size(), world_->info(msg.source).core,
+      world_->info(me_).core, world_->same_node(msg.source, me_));
+  clock().join_advance(msg.arrival, legs.receiver);
+  if (st != nullptr) *st = Status{msg.source, msg.tag, msg.payload.size()};
+  return std::move(msg.payload);
+}
+
+std::optional<Envelope> Mpi::iprobe(Rank source, int tag) {
+  if (source != kAnySource) world_->check_rank(source, "iprobe");
+  return world_->queue(me_).probe(source, tag);
+}
+
+Envelope Mpi::probe(Rank source, int tag) {
+  if (source != kAnySource) world_->check_rank(source, "probe");
+  return world_->queue(me_).probe_blocking(source, tag);
+}
+
+void Mpi::send_internal(const void* data, std::size_t bytes, Rank dest,
+                        int tag) {
+  send_impl(data, bytes, dest, tag);
+}
+
+Status Mpi::recv_internal(void* data, std::size_t bytes, Rank source,
+                          int tag) {
+  return recv_impl(data, bytes, source, tag);
+}
+
+void Mpi::barrier() {
+  const simtime::SimTime begin = clock().now();
+  std::uint8_t token = 0;
+  if (me_ == 0) {
+    // Gather in rank order (not ANY_SOURCE) so the root's clock sequence --
+    // and with it every timing result -- is deterministic.
+    for (int r = 1; r < size(); ++r) {
+      recv_impl(&token, 1, r, kTagBarrierIn);
+    }
+    for (int r = 1; r < size(); ++r) {
+      send_impl(&token, 1, r, kTagBarrierOut);
+    }
+  } else {
+    send_impl(&token, 1, 0, kTagBarrierIn);
+    recv_impl(&token, 1, 0, kTagBarrierOut);
+  }
+  simtime::Trace::global().record(world_->info(me_).name,
+                                  simtime::TraceKind::kBarrier, "", begin,
+                                  clock().now());
+}
+
+void Mpi::bcast(void* data, std::size_t bytes, Rank root) {
+  world_->check_rank(root, "bcast");
+  if (me_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send_impl(data, bytes, r, kTagBcast);
+    }
+  } else {
+    recv_impl(data, bytes, root, kTagBcast);
+  }
+}
+
+void Mpi::gather(const void* contrib, std::size_t bytes, void* recv_all,
+                 Rank root) {
+  world_->check_rank(root, "gather");
+  if (me_ == root) {
+    auto* out = static_cast<std::byte*>(recv_all);
+    if (bytes > 0) {
+      std::memcpy(out + static_cast<std::size_t>(root) * bytes, contrib,
+                  bytes);
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv_impl(out + static_cast<std::size_t>(r) * bytes, bytes, r,
+                kTagGather);
+    }
+  } else {
+    send_impl(contrib, bytes, root, kTagGather);
+  }
+}
+
+void Mpi::reduce_sum(const double* contrib, double* result,
+                     std::size_t count, Rank root) {
+  world_->check_rank(root, "reduce");
+  const std::size_t bytes = count * sizeof(double);
+  if (me_ == root) {
+    std::memcpy(result, contrib, bytes);
+    std::vector<double> tmp(count);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv_impl(tmp.data(), bytes, r, kTagReduce);
+      for (std::size_t i = 0; i < count; ++i) result[i] += tmp[i];
+    }
+  } else {
+    send_impl(contrib, bytes, root, kTagReduce);
+  }
+}
+
+void Mpi::allreduce_sum(const double* contrib, double* result,
+                        std::size_t count) {
+  reduce_sum(contrib, result, count, 0);
+  bcast(result, count * sizeof(double), 0);
+}
+
+}  // namespace mpisim

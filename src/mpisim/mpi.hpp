@@ -1,0 +1,94 @@
+// mpi.hpp — the rank-scoped MiniMPI facade.
+//
+// One Mpi object is created per rank thread by the launcher and gives that
+// rank MPI-shaped operations: blocking matched send/recv, probe/iprobe, and
+// the collectives Pilot's bundles build on.  All timing is virtual (see
+// world.hpp / cost_model.hpp); all data moves by memcpy within the host
+// process, which is exactly the "direct transfer" the Co-Pilot exploits when
+// it hands an SPE's mapped local-store address straight to an MPI call.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpisim/types.hpp"
+#include "mpisim/world.hpp"
+
+namespace mpisim {
+
+/// Rank-scoped operations.  Not thread-safe: one Mpi per rank thread.
+class Mpi {
+ public:
+  /// Binds to `world` as rank `me`.
+  Mpi(World& world, Rank me);
+
+  /// This rank's id (MPI_Comm_rank).
+  Rank rank() const { return me_; }
+
+  /// World size (MPI_Comm_size).
+  int size() const { return world_->size(); }
+
+  /// The world this facade talks through.
+  World& world() { return *world_; }
+
+  /// This rank's virtual clock.
+  simtime::VirtualClock& clock() { return world_->clock(me_); }
+
+  /// Blocking standard-mode send of `bytes` from `data` to `dest` with
+  /// `tag` (user tags must be < kReservedTagBase).
+  void send(const void* data, std::size_t bytes, Rank dest, int tag);
+
+  /// Blocking receive into `data` (capacity `bytes`) matching
+  /// (source, tag); wildcards allowed.  Throws MpiError::kTruncate-style
+  /// error if the matched message is larger than `bytes`.
+  Status recv(void* data, std::size_t bytes, Rank source, int tag);
+
+  /// Receive whatever matches, sized by the message (no truncation risk).
+  std::vector<std::byte> recv_any_size(Rank source, int tag, Status* st = nullptr);
+
+  /// Non-blocking probe (MPI_Iprobe): envelope of a matching queued
+  /// message, if any.
+  std::optional<Envelope> iprobe(Rank source, int tag);
+
+  /// Blocking probe (MPI_Probe).
+  Envelope probe(Rank source, int tag);
+
+  /// Barrier over all ranks (gather-to-0 / release fan-out, so virtual
+  /// clocks synchronize to the latest participant like a real barrier).
+  void barrier();
+
+  /// Broadcast `bytes` at `data` from `root` to all ranks; every rank
+  /// calls this (SPMD convention, as MPI_Bcast).
+  void bcast(void* data, std::size_t bytes, Rank root);
+
+  /// Gather fixed-size contributions to `root`; `recv_all` must hold
+  /// size()*bytes at the root and may be null elsewhere.
+  void gather(const void* contrib, std::size_t bytes, void* recv_all,
+              Rank root);
+
+  /// Element-wise reduction of doubles to `root` (sum).
+  void reduce_sum(const double* contrib, double* result, std::size_t count,
+                  Rank root);
+
+  /// allreduce = reduce_sum + bcast.
+  void allreduce_sum(const double* contrib, double* result,
+                     std::size_t count);
+
+  // --- internal-protocol variants (reserved tag space) ---------------------
+
+  /// send/recv with tags in the reserved space; used by collectives and by
+  /// the Pilot/CellPilot layers' control protocols.
+  void send_internal(const void* data, std::size_t bytes, Rank dest, int tag);
+  Status recv_internal(void* data, std::size_t bytes, Rank source, int tag);
+
+ private:
+  void send_impl(const void* data, std::size_t bytes, Rank dest, int tag);
+  Status recv_impl(void* data, std::size_t bytes, Rank source, int tag);
+  void check_user_tag(int tag) const;
+
+  World* world_;
+  Rank me_;
+};
+
+}  // namespace mpisim

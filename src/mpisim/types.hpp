@@ -1,0 +1,61 @@
+// types.hpp — common vocabulary of the MiniMPI message-passing substrate.
+//
+// MiniMPI gives this repository the slice of MPI that Pilot consumes —
+// blocking matched point-to-point messaging with tags, probe, and a few
+// collectives — implemented over threads in one address space, with a
+// virtual-time interconnect model standing in for gigabit Ethernet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "simtime/sim_time.hpp"
+
+namespace mpisim {
+
+/// Rank identifier within a world.
+using Rank = int;
+
+/// Wildcard source for recv/probe (MPI_ANY_SOURCE).
+inline constexpr Rank kAnySource = -1;
+
+/// Wildcard tag for recv/probe (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for internal protocols
+/// (collectives, barrier, shutdown).  User tags must stay below.
+inline constexpr int kReservedTagBase = 0x40000000;
+
+/// Completion status of a receive (MPI_Status).
+struct Status {
+  Rank source = kAnySource;  ///< actual source rank
+  int tag = kAnyTag;         ///< actual tag
+  std::size_t bytes = 0;     ///< payload size in bytes
+};
+
+/// Envelope returned by probe operations.
+struct Envelope {
+  Rank source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+  /// Virtual time at which the message became available at the receiver.
+  simtime::SimTime arrival = simtime::kSimTimeZero;
+};
+
+/// Raised in every blocked/future MiniMPI call after World::abort() — the
+/// simulated analogue of MPI_Abort tearing the job down.
+class WorldAborted : public std::runtime_error {
+ public:
+  explicit WorldAborted(const std::string& reason)
+      : std::runtime_error("MPI world aborted: " + reason) {}
+};
+
+/// Raised on API misuse (bad rank, reserved tag, size mismatch).
+class MpiError : public std::runtime_error {
+ public:
+  explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace mpisim

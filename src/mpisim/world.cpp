@@ -1,0 +1,95 @@
+#include "mpisim/world.hpp"
+
+namespace mpisim {
+
+World::World(std::vector<RankInfo> ranks, const simtime::CostModel& cost)
+    : cost_(&cost) {
+  if (ranks.empty()) throw MpiError("World needs at least one rank");
+  ranks_.reserve(ranks.size());
+  for (RankInfo& info : ranks) {
+    auto state = std::make_unique<RankState>();
+    state->info = std::move(info);
+    ranks_.push_back(std::move(state));
+  }
+}
+
+void World::check_rank(Rank r, const char* what) const {
+  if (r < 0 || r >= size()) {
+    throw MpiError(std::string(what) + ": rank " + std::to_string(r) +
+                   " out of range [0," + std::to_string(size()) + ")");
+  }
+}
+
+const RankInfo& World::info(Rank r) const {
+  check_rank(r, "info");
+  return ranks_[static_cast<std::size_t>(r)]->info;
+}
+
+MatchQueue& World::queue(Rank r) {
+  check_rank(r, "queue");
+  return ranks_[static_cast<std::size_t>(r)]->queue;
+}
+
+simtime::VirtualClock& World::clock(Rank r) {
+  check_rank(r, "clock");
+  return ranks_[static_cast<std::size_t>(r)]->clock;
+}
+
+bool World::same_node(Rank a, Rank b) const {
+  return info(a).node == info(b).node;
+}
+
+void World::mark_done(Rank r) {
+  check_rank(r, "mark_done");
+  ranks_[static_cast<std::size_t>(r)]->done.store(true,
+                                                  std::memory_order_release);
+}
+
+void World::set_passive(Rank r, bool passive) {
+  check_rank(r, "set_passive");
+  ranks_[static_cast<std::size_t>(r)]->passive.store(
+      passive, std::memory_order_release);
+}
+
+bool World::quiescent(Rank r) {
+  check_rank(r, "quiescent");
+  RankState& state = *ranks_[static_cast<std::size_t>(r)];
+  return state.done.load(std::memory_order_acquire) ||
+         state.passive.load(std::memory_order_acquire) ||
+         state.queue.waiting();
+}
+
+simtime::SimTime World::send_bound(Rank r) {
+  if (quiescent(r)) return std::numeric_limits<simtime::SimTime>::max();
+  return clock(r).now();
+}
+
+void World::abort(const std::string& reason) {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard lock(mu_);
+    if (aborted_) return;  // first reason wins
+    aborted_ = true;
+    abort_reason_ = reason;
+    hooks = abort_hooks_;
+  }
+  for (auto& rank : ranks_) rank->queue.abort(reason);
+  for (auto& hook : hooks) hook();
+}
+
+bool World::aborted() const {
+  std::lock_guard lock(mu_);
+  return aborted_;
+}
+
+std::string World::abort_reason() const {
+  std::lock_guard lock(mu_);
+  return abort_reason_;
+}
+
+void World::on_abort(std::function<void()> hook) {
+  std::lock_guard lock(mu_);
+  abort_hooks_.push_back(std::move(hook));
+}
+
+}  // namespace mpisim

@@ -1,0 +1,117 @@
+// world.hpp — the MiniMPI "job": ranks, their queues and clocks, and the
+// interconnect topology (which rank lives on which node, on what kind of
+// core).
+//
+// A World is configured once (rank table), then rank threads communicate
+// through Mpi facades (mpi.hpp).  World::abort() is the simulated
+// MPI_Abort: it wakes every blocked call with WorldAborted and runs any
+// registered abort hooks (the cluster layer uses these to close SPE
+// mailboxes so SPE threads unblock too).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mpisim/match_queue.hpp"
+#include "mpisim/types.hpp"
+#include "simtime/cost_model.hpp"
+#include "simtime/virtual_clock.hpp"
+
+namespace mpisim {
+
+/// Static description of one rank.
+struct RankInfo {
+  simtime::CoreKind core = simtime::CoreKind::kXeon;  ///< executing core kind
+  int node = 0;                                       ///< physical node index
+  std::string name;                                   ///< diagnostic name
+};
+
+/// One MiniMPI job.
+class World {
+ public:
+  /// Builds a world with the given rank table, costed by `cost` (borrowed;
+  /// must outlive the world).
+  World(std::vector<RankInfo> ranks, const simtime::CostModel& cost);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Number of ranks.
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  /// Static info for a rank.
+  const RankInfo& info(Rank r) const;
+
+  /// The receive queue of a rank.
+  MatchQueue& queue(Rank r);
+
+  /// The virtual clock of a rank.
+  simtime::VirtualClock& clock(Rank r);
+
+  /// The cost model in force.
+  const simtime::CostModel& cost() const { return *cost_; }
+
+  /// True when both ranks are placed on the same physical node.
+  bool same_node(Rank a, Rank b) const;
+
+  /// Validates a rank id, throwing MpiError when out of range.
+  void check_rank(Rank r, const char* what) const;
+
+  /// Tears the job down: every blocked or future MiniMPI call throws
+  /// WorldAborted(reason); abort hooks run once, in registration order.
+  void abort(const std::string& reason);
+
+  /// Whether abort() has been called.
+  bool aborted() const;
+
+  /// The first abort reason (empty if not aborted).
+  std::string abort_reason() const;
+
+  /// Registers a hook to run on abort (e.g. close simulated hardware FIFOs).
+  void on_abort(std::function<void()> hook);
+
+  // --- conservative-scheduling visibility -----------------------------------
+  // A serial service (the Co-Pilot) orders its events by virtual stamp; it
+  // may process an event with stamp T only once every potential sender can
+  // no longer produce an earlier one.  A rank is *quiescent* — unable to
+  // initiate new sends — while it is blocked in a matching wait, has been
+  // marked passive (e.g. joining SPE threads), or has finished.
+
+  /// Marks a rank as finished (its thread returned).
+  void mark_done(Rank r);
+
+  /// Marks/unmarks a rank as passive (blocked outside MiniMPI in a state
+  /// that cannot send, e.g. joining SPE worker threads).
+  void set_passive(Rank r, bool passive);
+
+  /// True when the rank cannot currently initiate a send.
+  bool quiescent(Rank r);
+
+  /// Lower bound on the virtual stamp of any future message this rank may
+  /// send: its clock if active, or "infinity" when quiescent.
+  simtime::SimTime send_bound(Rank r);
+
+ private:
+  struct RankState {
+    RankInfo info;
+    MatchQueue queue;
+    simtime::VirtualClock clock;
+    std::atomic<bool> done{false};
+    std::atomic<bool> passive{false};
+  };
+
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  const simtime::CostModel* cost_;
+
+  mutable std::mutex mu_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+  std::vector<std::function<void()>> abort_hooks_;
+};
+
+}  // namespace mpisim

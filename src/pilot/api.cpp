@@ -1,0 +1,606 @@
+// api.cpp — implementation of the public PI_* API (rank-side paths and
+// dispatch; SPE-side data movement is delegated to the registered
+// CellTransport, implemented by the CellPilot layer in src/core).
+#include "pilot/pilot.hpp"
+
+#include <cstdarg>
+#include <cstring>
+
+#include "cellsim/spu.hpp"
+#include "pilot/byteorder.hpp"
+#include "pilot/context.hpp"
+#include "pilot/deadlock.hpp"
+#include "pilot/wire.hpp"
+#include "simtime/trace.hpp"
+
+namespace pilot {
+namespace {
+
+/// va_end on scope exit.
+struct VaGuard {
+  va_list& ap;
+  ~VaGuard() { va_end(ap); }
+};
+
+[[noreturn]] void usage_error(const char* file, int line,
+                              const std::string& detail) {
+  throw PilotError(ErrorCode::kUsage, detail, file, line);
+}
+
+PilotContext& ctx_in_phase(Phase phase, const char* what,
+                           const char* file = nullptr, int line = 0) {
+  PilotContext& ctx = context();
+  if (ctx.phase != phase) {
+    throw PilotError(ErrorCode::kUsage,
+                     std::string(what) + " called in the wrong phase", file,
+                     line);
+  }
+  return ctx;
+}
+
+/// Charges the Pilot library cost of one call moving `bytes` of payload.
+void charge_rank_call(PilotContext& ctx, std::size_t bytes) {
+  const simtime::CostModel& cost = ctx.app().cluster().cost();
+  ctx.mpi().clock().advance(cost.pilot_call_overhead +
+                            cost.pilot_per_byte *
+                                static_cast<simtime::SimTime>(bytes));
+}
+
+/// The MPI rank from which the reader of `ch` receives data messages:
+/// the writer's own rank, or — when the writer is an SPE — the Co-Pilot
+/// rank of the writer's node (which relays on its behalf).
+mpisim::Rank expected_source_rank(PilotApp& app, const PI_CHANNEL& ch) {
+  const PI_PROCESS& from = app.process(ch.from);
+  if (from.location == Location::kRank) return from.rank;
+  return app.cluster().copilot_rank(from.node);
+}
+
+/// Architectural byte order of the node hosting a process.
+ByteOrder order_of_process(PilotApp& app, int process_id) {
+  const PI_PROCESS& p = app.process(process_id);
+  const int node = p.location == Location::kSpe
+                       ? p.node
+                       : app.cluster().node_of_rank(p.rank);
+  return app.cluster().byte_order(node);
+}
+
+/// Writers emit payloads in their node's architectural order (the wire and
+/// SPE local stores carry authentic big-endian images for PowerPC nodes).
+void to_writer_order(PilotApp& app, int writer, MarshalResult& m) {
+  if (order_of_process(app, writer) == ByteOrder::kBig) {
+    swap_element_bytes(m.fmt, m.payload);
+  }
+}
+
+/// Readers deliver into user variables in host representation; convert
+/// when the writer's node was big-endian ("receiver makes right").
+void to_host_order(PilotApp& app, int writer, const ResolvedFormat& fmt,
+                   std::span<std::byte> payload) {
+  if (order_of_process(app, writer) == ByteOrder::kBig) {
+    swap_element_bytes(fmt, payload);
+  }
+}
+
+CellTransport& transport_or_die(PilotApp& app, const char* file, int line) {
+  if (app.transport() == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "channel has an SPE endpoint but the CellPilot "
+                     "transport is not active (plain Pilot run?)",
+                     file, line);
+  }
+  return *app.transport();
+}
+
+void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+                va_list args) {
+  if (ch == nullptr) usage_error(file, line, "PI_Write: null channel");
+  const Format parsed = parse_format(fmt);
+  MarshalResult m = marshal_payload(parsed, args);
+  const std::uint32_t sig = signature(m.fmt);
+
+  // --- SPE-side writer ------------------------------------------------
+  if (SpeDispatch* sd = spe_dispatch()) {
+    if (sd->process_id != ch->from) {
+      throw PilotError(ErrorCode::kEndpoint,
+                       "process P" + std::to_string(sd->process_id) +
+                           " is not the writer of channel " + ch->name,
+                       file, line);
+    }
+    to_writer_order(*sd->app, ch->from, m);
+    sd->app->transport()->spe_write(*ch, sig, m.payload);
+    return;
+  }
+
+  // --- rank-side writer -------------------------------------------------
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_Write", file, line);
+  if (ctx.my_process != ch->from) {
+    throw PilotError(ErrorCode::kEndpoint,
+                     "process P" + std::to_string(ctx.my_process) +
+                         " is not the writer of channel " + ch->name,
+                     file, line);
+  }
+  charge_rank_call(ctx, m.payload.size());
+
+  PilotApp& app = ctx.app();
+  to_writer_order(app, ch->from, m);
+  const PI_PROCESS& to = app.process(ch->to);
+  if (to.location == Location::kRank) {
+    const std::vector<std::byte> framed = frame_message(sig, m.payload);
+    ctx.mpi().send(framed.data(), framed.size(), to.rank, ch->tag());
+  } else {
+    transport_or_die(app, file, line)
+        .rank_write_to_spe(ctx, *ch, sig, m.payload);
+  }
+  simtime::Trace::global().record(
+      ctx.app().cluster().world().info(ctx.rank()).name,
+      simtime::TraceKind::kPilotCall,
+      "PI_Write " + ch->name + " " + std::to_string(m.payload.size()) + "B",
+      0, ctx.mpi().clock().now());
+}
+
+void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+               va_list args) {
+  if (ch == nullptr) usage_error(file, line, "PI_Read: null channel");
+  const Format parsed = parse_format(fmt);
+  ReadPlan plan = build_read_plan(parsed, args);
+  const std::uint32_t sig = signature(plan.fmt);
+
+  // --- SPE-side reader --------------------------------------------------
+  if (SpeDispatch* sd = spe_dispatch()) {
+    if (sd->process_id != ch->to) {
+      throw PilotError(ErrorCode::kEndpoint,
+                       "process P" + std::to_string(sd->process_id) +
+                           " is not the reader of channel " + ch->name,
+                       file, line);
+    }
+    std::vector<std::byte> payload(plan.payload_bytes);
+    sd->app->transport()->spe_read(*ch, sig, payload);
+    to_host_order(*sd->app, ch->from, plan.fmt, payload);
+    scatter(plan, payload);
+    return;
+  }
+
+  // --- rank-side reader ---------------------------------------------------
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_Read", file, line);
+  if (ctx.my_process != ch->to) {
+    throw PilotError(ErrorCode::kEndpoint,
+                     "process P" + std::to_string(ctx.my_process) +
+                         " is not the reader of channel " + ch->name,
+                     file, line);
+  }
+
+  PilotApp& app = ctx.app();
+  const PI_PROCESS& from = app.process(ch->from);
+  std::vector<std::byte> framed;
+  if (from.location == Location::kRank) {
+    notify_block(ctx, ch->from, ch->id);
+    framed = ctx.mpi().recv_any_size(from.rank, ch->tag());
+    notify_unblock(ctx);
+  } else {
+    framed = transport_or_die(app, file, line).rank_read_from_spe(ctx, *ch);
+  }
+  check_frame(framed, sig, plan.payload_bytes, "channel " + ch->name);
+  const std::span<std::byte> payload =
+      std::span(framed).subspan(sizeof(WireHeader));
+  to_host_order(app, ch->from, plan.fmt, payload);
+  scatter(plan, payload);
+  charge_rank_call(ctx, plan.payload_bytes);
+  simtime::Trace::global().record(
+      app.cluster().world().info(ctx.rank()).name,
+      simtime::TraceKind::kPilotCall,
+      "PI_Read " + ch->name + " " + std::to_string(plan.payload_bytes) + "B",
+      0, ctx.mpi().clock().now());
+}
+
+/// Validates `b` for a collective entered by the calling rank process.
+PilotContext& bundle_ctx(const char* file, int line, PI_BUNDLE* b,
+                         PI_BUNDLE_USAGE usage, const char* what) {
+  if (b == nullptr) usage_error(file, line, std::string(what) + ": null bundle");
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, what, file, line);
+  if (b->usage != usage) {
+    throw PilotError(ErrorCode::kBundle,
+                     std::string(what) + " on a bundle created for a "
+                     "different usage", file, line);
+  }
+  if (ctx.my_process != b->common_process) {
+    throw PilotError(ErrorCode::kBundle,
+                     std::string(what) + " must be called by the bundle's "
+                     "common process P" + std::to_string(b->common_process),
+                     file, line);
+  }
+  return ctx;
+}
+
+}  // namespace
+}  // namespace pilot
+
+using namespace pilot;  // NOLINT: implementation file for the C-style API
+
+int PI_Configure(int* argc, char*** argv) {
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kPreInit) {
+    throw PilotError(ErrorCode::kUsage, "PI_Configure called twice");
+  }
+
+  Options opts;
+  if (argc != nullptr && argv != nullptr) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* a = (*argv)[i];
+      if (std::strcmp(a, "-pisvc=d") == 0) {
+        opts.deadlock_detection = true;
+      } else if (std::strcmp(a, "-pisvc=t") == 0) {
+        opts.trace_calls = true;
+      } else {
+        (*argv)[out++] = (*argv)[i];
+      }
+    }
+    *argc = out;
+  }
+  if (ctx.rank() == 0) {
+    ctx.app().options() = opts;
+    // -pisvc=t: record every modelled primitive in the global event trace.
+    if (opts.trace_calls) simtime::Trace::global().set_enabled(true);
+  }
+
+  if (opts.deadlock_detection &&
+      !ctx.app().cluster().service_rank().has_value()) {
+    throw PilotError(ErrorCode::kUsage,
+                     "-pisvc=d given but the job was launched without a "
+                     "service process (ClusterConfig::deadlock_service)");
+  }
+
+  PI_PROCESS main_proto;
+  main_proto.location = Location::kRank;
+  main_proto.name = "PI_MAIN";
+  ctx.app().get_or_create_process(0, std::move(main_proto),
+                                  /*assign_rank=*/true);
+  ctx.process_seq = 1;
+  ctx.my_process = ctx.rank() == 0 ? 0 : -1;
+  ctx.phase = Phase::kConfig;
+  return ctx.app().available_processes();
+}
+
+PI_PROCESS* PI_GetMain(void) {
+  PilotContext& ctx = context();
+  if (ctx.phase == Phase::kPreInit) {
+    throw PilotError(ErrorCode::kUsage, "PI_MAIN used before PI_Configure");
+  }
+  return &ctx.app().process(0);
+}
+
+PI_PROCESS* PI_CreateProcess(pilot::ProcessFunc f, int index, void* arg) {
+  PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_CreateProcess");
+  if (f == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_CreateProcess: null function");
+  }
+  const int seq = ctx.process_seq++;
+  PI_PROCESS proto;
+  proto.location = Location::kRank;
+  proto.func = f;
+  proto.index_arg = index;
+  proto.ptr_arg = arg;
+  proto.name = "P" + std::to_string(seq);
+  PI_PROCESS* p = ctx.app().get_or_create_process(seq, std::move(proto),
+                                                  /*assign_rank=*/true);
+  if (p->rank == ctx.rank()) ctx.my_process = p->id;
+  return p;
+}
+
+PI_CHANNEL* PI_CreateChannel(PI_PROCESS* from, PI_PROCESS* to) {
+  PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_CreateChannel");
+  if (from == nullptr || to == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_CreateChannel: null endpoint");
+  }
+  if (from->id == to->id) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateChannel: a process cannot be both endpoints");
+  }
+  const int seq = ctx.channel_seq++;
+  PI_CHANNEL proto;
+  proto.from = from->id;
+  proto.to = to->id;
+  proto.name = "ch" + std::to_string(seq) + "(P" + std::to_string(from->id) +
+               "->P" + std::to_string(to->id) + ")";
+  return ctx.app().get_or_create_channel(seq, std::move(proto));
+}
+
+PI_BUNDLE* PI_CreateBundle(PI_BUNDLE_USAGE usage,
+                           PI_CHANNEL* const channels[], int count) {
+  PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_CreateBundle");
+  if (channels == nullptr || count <= 0) {
+    throw PilotError(ErrorCode::kBundle,
+                     "PI_CreateBundle: need at least one channel");
+  }
+  // The common endpoint is the writer for broadcast, the reader otherwise.
+  const bool common_is_writer = usage == PI_BROADCAST;
+  PI_BUNDLE proto;
+  proto.usage = usage;
+  for (int i = 0; i < count; ++i) {
+    PI_CHANNEL* ch = channels[i];
+    if (ch == nullptr) {
+      throw PilotError(ErrorCode::kBundle, "PI_CreateBundle: null channel");
+    }
+    const int common = common_is_writer ? ch->from : ch->to;
+    if (i == 0) {
+      proto.common_process = common;
+    } else if (common != proto.common_process) {
+      throw PilotError(ErrorCode::kBundle,
+                       "PI_CreateBundle: channels do not share a common " +
+                           std::string(common_is_writer ? "writer" : "reader"));
+    }
+    // Extension beyond the paper (its §VI future work): the non-common
+    // endpoints may be SPE processes — the Co-Pilot relays each leg.  The
+    // common endpoint itself must be rank-backed: an SPE cannot drive a
+    // collective (it has no probe/fan-out machinery in its slim runtime).
+    if (ctx.app().process(common).location == Location::kSpe) {
+      throw PilotError(ErrorCode::kBundle,
+                       "PI_CreateBundle: an SPE process cannot be the "
+                       "common endpoint of a bundle");
+    }
+    proto.channels.push_back(ch);
+  }
+  const int seq = ctx.bundle_seq++;
+  return ctx.app().get_or_create_bundle(seq, std::move(proto));
+}
+
+void PI_StartAll(void) {
+  PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_StartAll");
+  ctx.phase = Phase::kExecution;
+  ctx.app().user_barrier(ctx.mpi());  // everyone's tables are complete
+
+  if (ctx.rank() == 0) {
+    // Tell the detection service how many rank-backed processes exist so
+    // it can recognize cycle-free global stalls.
+    int rank_processes = 0;
+    for (int i = 0; i < ctx.app().process_count(); ++i) {
+      if (ctx.app().process(i).location == Location::kRank) ++rank_processes;
+    }
+    notify_init(ctx, rank_processes);
+    return;  // PI_MAIN continues in main()
+  }
+
+  int status = 0;
+  if (ctx.my_process > 0) {
+    PI_PROCESS& self = ctx.app().process(ctx.my_process);
+    status = self.func(self.index_arg, self.ptr_arg);
+    notify_finished(ctx);
+  }
+  // Wait for any SPE processes this rank launched, then synchronize with
+  // the whole application and unwind out of main().
+  ctx.app().join_spe_threads(ctx.rank());
+  ctx.app().user_barrier(ctx.mpi());
+  ctx.phase = Phase::kDone;
+  throw ProcessExit{status};
+}
+
+int PI_StopMain(int status) {
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_StopMain");
+  if (ctx.my_process != 0) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_StopMain may only be called by PI_MAIN");
+  }
+  ctx.app().join_spe_threads(ctx.rank());
+  ctx.app().user_barrier(ctx.mpi());
+
+  // Tear down the hidden service ranks.
+  cluster::Cluster& cl = ctx.app().cluster();
+  const std::uint8_t poison = 0;
+  for (int n = 0; n < cl.node_count(); ++n) {
+    if (cl.is_cell_node(n)) {
+      ctx.mpi().send_internal(&poison, 1, cl.copilot_rank(n), kTagShutdown);
+    }
+  }
+  if (auto svc = cl.service_rank()) {
+    DeadlockEvent ev;
+    ev.kind = DeadlockEvent::kShutdown;
+    ctx.mpi().send_internal(&ev, sizeof ev, *svc, kTagDeadlockEvent);
+  }
+  ctx.phase = Phase::kDone;
+  ctx.exit_status = status;
+  return status;
+}
+
+void PI_Write_(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+               ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+  write_impl(file, line, ch, fmt, ap);
+}
+
+void PI_Read_(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+              ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+  read_impl(file, line, ch, fmt, ap);
+}
+
+void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
+                   ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+
+  PilotContext& ctx = bundle_ctx(file, line, b, PI_BROADCAST, "PI_Broadcast");
+  const Format parsed = parse_format(fmt);
+  MarshalResult m = marshal_payload(parsed, ap);
+  const std::uint32_t sig = signature(m.fmt);
+  to_writer_order(ctx.app(), b->common_process, m);
+  const std::vector<std::byte> framed = frame_message(sig, m.payload);
+  charge_rank_call(ctx, m.payload.size());
+  for (PI_CHANNEL* ch : b->channels) {
+    const PI_PROCESS& to = ctx.app().process(ch->to);
+    if (to.location == Location::kRank) {
+      ctx.mpi().send(framed.data(), framed.size(), to.rank, ch->tag());
+    } else {
+      // Extension: SPE receiver — relay through its node's Co-Pilot.
+      transport_or_die(ctx.app(), file, line)
+          .rank_write_to_spe(ctx, *ch, sig, m.payload);
+    }
+  }
+}
+
+void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
+                ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+
+  PilotContext& ctx = bundle_ctx(file, line, b, PI_GATHER, "PI_Gather");
+  const Format parsed = parse_format(fmt);
+  // The plan's destinations are the bases of per-contribution arrays; slot
+  // i of each array receives channel i's payload.
+  ReadPlan plan = build_read_plan(parsed, ap);
+  const std::uint32_t sig = signature(plan.fmt);
+
+  for (std::size_t i = 0; i < b->channels.size(); ++i) {
+    PI_CHANNEL* ch = b->channels[i];
+    notify_block(ctx, ch->from, ch->id);
+    std::vector<std::byte> framed =
+        ctx.mpi().recv_any_size(expected_source_rank(ctx.app(), *ch),
+                                ch->tag());
+    notify_unblock(ctx);
+    check_frame(framed, sig, plan.payload_bytes,
+                "gather channel " + ch->name);
+    const std::span<std::byte> payload =
+        std::span(framed).subspan(sizeof(WireHeader));
+    to_host_order(ctx.app(), ch->from, plan.fmt, payload);
+    ReadPlan shifted = plan;
+    for (std::size_t j = 0; j < shifted.destinations.size(); ++j) {
+      const FormatItem& item = shifted.fmt.items[j];
+      const std::size_t item_bytes = element_size(item.type) * item.count;
+      shifted.destinations[j] =
+          static_cast<std::byte*>(plan.destinations[j]) + i * item_bytes;
+    }
+    scatter(shifted, payload);
+  }
+  charge_rank_call(ctx, plan.payload_bytes * b->channels.size());
+}
+
+int PI_Select(PI_BUNDLE* b) {
+  PilotContext& ctx = bundle_ctx(nullptr, 0, b, PI_SELECT, "PI_Select");
+  std::vector<mpisim::MatchQueue::Pattern> patterns;
+  patterns.reserve(b->channels.size());
+  for (PI_CHANNEL* ch : b->channels) {
+    patterns.push_back({expected_source_rank(ctx.app(), *ch), ch->tag()});
+    notify_block(ctx, ch->from, ch->id);
+  }
+  const auto [index, env] =
+      ctx.app().cluster().world().queue(ctx.rank()).probe_any_blocking(
+          patterns);
+  notify_unblock(ctx);
+  charge_rank_call(ctx, 0);
+  return static_cast<int>(index);
+}
+
+int PI_TrySelect(PI_BUNDLE* b) {
+  PilotContext& ctx = bundle_ctx(nullptr, 0, b, PI_SELECT, "PI_TrySelect");
+  std::vector<mpisim::MatchQueue::Pattern> patterns;
+  patterns.reserve(b->channels.size());
+  for (PI_CHANNEL* ch : b->channels) {
+    patterns.push_back({expected_source_rank(ctx.app(), *ch), ch->tag()});
+  }
+  charge_rank_call(ctx, 0);
+  const auto hit =
+      ctx.app().cluster().world().queue(ctx.rank()).try_probe_any(patterns);
+  return hit ? static_cast<int>(hit->first) : -1;
+}
+
+int PI_ChannelHasData(PI_CHANNEL* ch) {
+  if (ch == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_ChannelHasData: null channel");
+  }
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_ChannelHasData");
+  if (ctx.my_process != ch->to) {
+    throw PilotError(ErrorCode::kEndpoint,
+                     "PI_ChannelHasData: process P" +
+                         std::to_string(ctx.my_process) +
+                         " is not the reader of channel " + ch->name);
+  }
+  charge_rank_call(ctx, 0);
+  return ctx.mpi()
+                 .iprobe(expected_source_rank(ctx.app(), *ch), ch->tag())
+                 .has_value()
+             ? 1
+             : 0;
+}
+
+PI_CHANNEL** PI_CopyChannels(PI_CHANNEL* const channels[], int count) {
+  PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_CopyChannels");
+  if (channels == nullptr || count <= 0) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CopyChannels: need at least one channel");
+  }
+  // The copies live in a per-app side table so every rank hands back the
+  // same canonical array (configuration runs SPMD).
+  std::vector<PI_CHANNEL*> copies;
+  copies.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (channels[i] == nullptr) {
+      throw PilotError(ErrorCode::kUsage, "PI_CopyChannels: null channel");
+    }
+    const int seq = ctx.channel_seq++;
+    PI_CHANNEL proto;
+    proto.from = channels[i]->from;
+    proto.to = channels[i]->to;
+    proto.name = channels[i]->name + "'";
+    copies.push_back(ctx.app().get_or_create_channel(seq, std::move(proto)));
+  }
+  return ctx.app().intern_channel_array(std::move(copies));
+}
+
+PI_CHANNEL* PI_GetBundleChannel(PI_BUNDLE* b, int index) {
+  if (b == nullptr || index < 0 ||
+      index >= static_cast<int>(b->channels.size())) {
+    throw PilotError(ErrorCode::kBundle,
+                     "PI_GetBundleChannel: bad bundle or index");
+  }
+  return b->channels[static_cast<std::size_t>(index)];
+}
+
+int PI_GetBundleSize(PI_BUNDLE* b) {
+  if (b == nullptr) {
+    throw PilotError(ErrorCode::kBundle, "PI_GetBundleSize: null bundle");
+  }
+  return static_cast<int>(b->channels.size());
+}
+
+void PI_SetName(PI_PROCESS* p, const char* name) {
+  if (p != nullptr && name != nullptr) p->name = name;
+}
+
+void PI_SetChannelName(PI_CHANNEL* ch, const char* name) {
+  if (ch != nullptr && name != nullptr) ch->name = name;
+}
+
+int PI_ProcessCount(void) { return context().app().available_processes(); }
+
+int PI_MyProcess(void) {
+  if (SpeDispatch* sd = spe_dispatch()) return sd->process_id;
+  return context().my_process;
+}
+
+void PI_Log_(const char* file, int line, const char* message) {
+  std::string who = "P" + std::to_string(PI_MyProcess());
+  simtime::SimTime now = 0;
+  if (SpeDispatch* sd = spe_dispatch()) {
+    (void)sd;
+    now = cellsim::spu::self().clock().now();
+  } else {
+    now = context().mpi().clock().now();
+  }
+  simtime::Trace::global().record(
+      who, simtime::TraceKind::kOther,
+      std::string(message ? message : "") + " (" + (file ? file : "?") +
+          ":" + std::to_string(line) + ")",
+      now, now);
+}
+
+void PI_Abort_(const char* file, int line, int code, const char* message) {
+  throw PilotError(ErrorCode::kUsage,
+                   "PI_Abort(" + std::to_string(code) + "): " +
+                       (message ? message : ""),
+                   file, line);
+}

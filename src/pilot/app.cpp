@@ -1,0 +1,181 @@
+#include "pilot/app.hpp"
+
+namespace pilot {
+
+PilotApp::PilotApp(cluster::Cluster& cluster) : cluster_(&cluster) {
+  spe_busy_.resize(static_cast<std::size_t>(cluster.node_count()));
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    spe_busy_[static_cast<std::size_t>(n)].assign(cluster.spe_count(n),
+                                                  false);
+  }
+}
+
+PilotApp::~PilotApp() { join_all_spe_threads(); }
+
+PI_PROCESS* PilotApp::get_or_create_process(int seq, PI_PROCESS proto,
+                                            bool assign_rank) {
+  std::lock_guard lock(tables_mu_);
+  if (seq < static_cast<int>(processes_.size())) {
+    return processes_[static_cast<std::size_t>(seq)].get();
+  }
+  if (seq != static_cast<int>(processes_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "configuration phase diverged across processes "
+                     "(process table)");
+  }
+  if (assign_rank) {
+    if (ranks_assigned_ >= cluster_->user_rank_count()) {
+      throw PilotError(ErrorCode::kCapacity,
+                       "out of MPI processes: the job provides " +
+                           std::to_string(cluster_->user_rank_count()) +
+                           " Pilot processes");
+    }
+    proto.rank = ranks_assigned_++;
+  }
+  proto.id = seq;
+  processes_.push_back(std::make_unique<PI_PROCESS>(std::move(proto)));
+  return processes_.back().get();
+}
+
+PI_CHANNEL* PilotApp::get_or_create_channel(int seq, PI_CHANNEL proto) {
+  std::lock_guard lock(tables_mu_);
+  if (seq < static_cast<int>(channels_.size())) {
+    return channels_[static_cast<std::size_t>(seq)].get();
+  }
+  if (seq != static_cast<int>(channels_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "configuration phase diverged across processes "
+                     "(channel table)");
+  }
+  proto.id = seq;
+  channels_.push_back(std::make_unique<PI_CHANNEL>(std::move(proto)));
+  return channels_.back().get();
+}
+
+PI_BUNDLE* PilotApp::get_or_create_bundle(int seq, PI_BUNDLE proto) {
+  std::lock_guard lock(tables_mu_);
+  if (seq < static_cast<int>(bundles_.size())) {
+    return bundles_[static_cast<std::size_t>(seq)].get();
+  }
+  if (seq != static_cast<int>(bundles_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "configuration phase diverged across processes "
+                     "(bundle table)");
+  }
+  proto.id = seq;
+  bundles_.push_back(std::make_unique<PI_BUNDLE>(std::move(proto)));
+  return bundles_.back().get();
+}
+
+PI_PROCESS& PilotApp::process(int id) {
+  std::lock_guard lock(tables_mu_);
+  if (id < 0 || id >= static_cast<int>(processes_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "process id " + std::to_string(id) + " out of range");
+  }
+  return *processes_[static_cast<std::size_t>(id)];
+}
+
+PI_CHANNEL& PilotApp::channel(int id) {
+  std::lock_guard lock(tables_mu_);
+  if (id < 0 || id >= static_cast<int>(channels_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "channel id " + std::to_string(id) + " out of range");
+  }
+  return *channels_[static_cast<std::size_t>(id)];
+}
+
+int PilotApp::process_count() const {
+  std::lock_guard lock(tables_mu_);
+  return static_cast<int>(processes_.size());
+}
+
+int PilotApp::channel_count() const {
+  std::lock_guard lock(tables_mu_);
+  return static_cast<int>(channels_.size());
+}
+
+PI_CHANNEL** PilotApp::intern_channel_array(
+    std::vector<PI_CHANNEL*> channels) {
+  std::lock_guard lock(tables_mu_);
+  const int key = channels.empty() ? -1 : channels.front()->id;
+  auto [it, inserted] = channel_arrays_.try_emplace(key, std::move(channels));
+  return it->second.data();
+}
+
+void PilotApp::user_barrier(mpisim::Mpi& mpi) {
+  const int users = cluster_->user_rank_count();
+  std::uint8_t token = 0;
+  if (mpi.rank() == 0) {
+    // Rank order, not ANY_SOURCE: keeps PI_MAIN's clock deterministic.
+    for (int r = 1; r < users; ++r) {
+      mpi.recv_internal(&token, 1, r, kTagUserBarrierIn);
+    }
+    for (int r = 1; r < users; ++r) {
+      mpi.send_internal(&token, 1, r, kTagUserBarrierOut);
+    }
+  } else {
+    mpi.send_internal(&token, 1, 0, kTagUserBarrierIn);
+    mpi.recv_internal(&token, 1, 0, kTagUserBarrierOut);
+  }
+}
+
+void PilotApp::add_spe_thread(mpisim::Rank rank, std::thread t) {
+  std::lock_guard lock(spe_mu_);
+  spe_threads_.push_back(OwnedThread{rank, std::move(t)});
+}
+
+void PilotApp::join_spe_threads(mpisim::Rank rank) {
+  // Collect joinable threads owned by `rank` without holding the lock while
+  // joining (an SPE body may itself trigger bookkeeping).
+  std::vector<std::thread> mine;
+  {
+    std::lock_guard lock(spe_mu_);
+    for (auto& owned : spe_threads_) {
+      if (owned.owner == rank && owned.thread.joinable()) {
+        mine.push_back(std::move(owned.thread));
+      }
+    }
+  }
+  cluster_->world().set_passive(rank, true);
+  for (auto& t : mine) t.join();
+  cluster_->world().set_passive(rank, false);
+}
+
+void PilotApp::join_all_spe_threads() {
+  std::vector<std::thread> all;
+  {
+    std::lock_guard lock(spe_mu_);
+    for (auto& owned : spe_threads_) {
+      if (owned.thread.joinable()) all.push_back(std::move(owned.thread));
+    }
+  }
+  for (auto& t : all) t.join();
+}
+
+unsigned PilotApp::acquire_spe(int node) {
+  std::lock_guard lock(spe_mu_);
+  auto& busy = spe_busy_[static_cast<std::size_t>(node)];
+  for (unsigned i = 0; i < busy.size(); ++i) {
+    if (!busy[i]) {
+      busy[i] = true;
+      return i;
+    }
+  }
+  throw PilotError(ErrorCode::kCapacity,
+                   "all " + std::to_string(busy.size()) +
+                       " SPEs of node " + std::to_string(node) +
+                       " are busy");
+}
+
+void PilotApp::release_spe(int node, unsigned flat_index) {
+  std::lock_guard lock(spe_mu_);
+  spe_busy_[static_cast<std::size_t>(node)][flat_index] = false;
+}
+
+bool PilotApp::spe_assigned(int node, unsigned flat_index) {
+  std::lock_guard lock(spe_mu_);
+  return spe_busy_[static_cast<std::size_t>(node)][flat_index];
+}
+
+}  // namespace pilot

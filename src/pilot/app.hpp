@@ -1,0 +1,167 @@
+// app.hpp — per-application shared state.
+//
+// One PilotApp exists per simulated job (per pilot::run / cellpilot::run
+// invocation).  It owns the canonical process/channel/bundle tables that all
+// rank threads share, the options parsed by PI_Configure, the hook through
+// which the CellPilot layer provides SPE transports, and the bookkeeping for
+// SPE threads spawned by PI_RunSPE.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mpisim/mpi.hpp"
+#include "pilot/errors.hpp"
+#include "pilot/tables.hpp"
+
+namespace pilot {
+
+class PilotContext;
+
+/// Reserved control tags used by the Pilot runtime.
+inline constexpr int kTagShutdown = mpisim::kReservedTagBase + 64;
+inline constexpr int kTagDeadlockEvent = mpisim::kReservedTagBase + 65;
+inline constexpr int kTagUserBarrierIn = mpisim::kReservedTagBase + 66;
+inline constexpr int kTagUserBarrierOut = mpisim::kReservedTagBase + 67;
+
+/// Options parsed by PI_Configure from the command line.
+struct Options {
+  bool deadlock_detection = false;  ///< -pisvc=d
+  bool trace_calls = false;         ///< -pisvc=t (log every PI_* call)
+};
+
+/// Transport hooks for channels with at least one SPE endpoint.  Implemented
+/// by the CellPilot layer (src/core); null in plain-Pilot applications, in
+/// which case touching an SPE channel is a usage error.
+class CellTransport {
+ public:
+  virtual ~CellTransport() = default;
+
+  /// Rank-side write on a rank->SPE channel (types 2/3).
+  virtual void rank_write_to_spe(PilotContext& ctx, const PI_CHANNEL& ch,
+                                 std::uint32_t sig,
+                                 std::span<const std::byte> payload) = 0;
+
+  /// Rank-side read on an SPE->rank channel (types 2/3).  Returns the
+  /// framed message (header + payload).
+  virtual std::vector<std::byte> rank_read_from_spe(PilotContext& ctx,
+                                                    const PI_CHANNEL& ch) = 0;
+
+  /// SPE-side write on any channel leaving an SPE (types 2..5).
+  virtual void spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
+                         std::span<const std::byte> payload) = 0;
+
+  /// SPE-side read on any channel entering an SPE (types 2..5).  Fills
+  /// `out` with exactly out.size() payload bytes.
+  virtual void spe_read(const PI_CHANNEL& ch, std::uint32_t sig,
+                        std::span<std::byte> out) = 0;
+
+  /// Launches an SPE process (PI_RunSPE); called on the parent rank.
+  virtual void run_spe(PilotContext& ctx, PI_PROCESS& proc, int arg,
+                       void* ptr) = 0;
+};
+
+/// Shared state of one Pilot application run.
+class PilotApp {
+ public:
+  /// Binds the app to a simulated cluster (borrowed; must outlive the app).
+  explicit PilotApp(cluster::Cluster& cluster);
+  ~PilotApp();
+
+  PilotApp(const PilotApp&) = delete;
+  PilotApp& operator=(const PilotApp&) = delete;
+
+  cluster::Cluster& cluster() { return *cluster_; }
+
+  /// Options; written once by PI_Configure (same values on every rank).
+  Options& options() { return options_; }
+
+  /// The CellPilot transport, or null for plain Pilot runs.
+  CellTransport* transport() const { return transport_; }
+  void set_transport(CellTransport* t) { transport_ = t; }
+
+  // --- canonical tables (get-or-create; see tables.hpp) -------------------
+
+  /// Returns the process with creation sequence number `seq`.  The first
+  /// rank to reach this creation point instantiates it from `proto`
+  /// (assigning the next free MPI rank when `assign_rank`); later ranks get
+  /// the canonical object.  Configuration runs the same code on every rank,
+  /// so sequence numbers align.
+  PI_PROCESS* get_or_create_process(int seq, PI_PROCESS proto,
+                                    bool assign_rank);
+  PI_CHANNEL* get_or_create_channel(int seq, PI_CHANNEL proto);
+  PI_BUNDLE* get_or_create_bundle(int seq, PI_BUNDLE proto);
+
+  /// Stores a channel-pointer array for the app's lifetime and returns the
+  /// canonical copy (PI_CopyChannels result; same array on every rank,
+  /// keyed by the first channel's id).
+  PI_CHANNEL** intern_channel_array(std::vector<PI_CHANNEL*> channels);
+
+  /// Table lookups (throw PilotError(kInternal) when out of range).
+  PI_PROCESS& process(int id);
+  PI_CHANNEL& channel(int id);
+  int process_count() const;
+  int channel_count() const;
+
+  /// Number of user ranks (= Pilot processes available to the programmer).
+  int available_processes() const { return cluster_->user_rank_count(); }
+
+  /// Barrier over the user ranks only (Co-Pilot/service ranks excluded);
+  /// used at PI_StartAll and PI_StopMain.
+  void user_barrier(mpisim::Mpi& mpi);
+
+  // --- SPE thread bookkeeping (PI_RunSPE) ---------------------------------
+
+  /// Registers a running SPE thread owned by `rank`.
+  void add_spe_thread(mpisim::Rank rank, std::thread t);
+
+  /// Joins all SPE threads spawned by `rank` (PI_StopMain / PI_StartAll
+  /// epilogue on the owning rank).  Marks the rank passive for the
+  /// duration: it cannot send while joining, and the Co-Pilot's
+  /// conservative event ordering must not stall behind its frozen clock.
+  void join_spe_threads(mpisim::Rank rank);
+
+  /// Joins every remaining SPE thread (teardown safety net).
+  void join_all_spe_threads();
+
+  /// Picks a free physical SPE on `node` and marks it busy; returns its
+  /// flat index.  Throws PilotError(kCapacity) when all are busy.
+  unsigned acquire_spe(int node);
+
+  /// Marks a physical SPE free again.
+  void release_spe(int node, unsigned flat_index);
+
+  /// Whether a physical SPE is currently assigned to a launched process
+  /// (set before the worker thread starts, so the Co-Pilot's safe-time
+  /// computation sees upcoming SPEs).
+  bool spe_assigned(int node, unsigned flat_index);
+
+ private:
+  cluster::Cluster* cluster_;
+  Options options_;
+  CellTransport* transport_ = nullptr;
+
+  mutable std::mutex tables_mu_;
+  std::vector<std::unique_ptr<PI_PROCESS>> processes_;
+  std::vector<std::unique_ptr<PI_CHANNEL>> channels_;
+  std::vector<std::unique_ptr<PI_BUNDLE>> bundles_;
+  std::map<int, std::vector<PI_CHANNEL*>> channel_arrays_;
+  int ranks_assigned_ = 0;  // PI_MAIN's creation at PI_Configure takes rank 0
+
+  std::mutex spe_mu_;
+  struct OwnedThread {
+    mpisim::Rank owner;
+    std::thread thread;
+  };
+  std::vector<OwnedThread> spe_threads_;
+  std::vector<std::vector<bool>> spe_busy_;  // [node][flat_index]
+};
+
+}  // namespace pilot

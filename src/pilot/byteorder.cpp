@@ -1,0 +1,26 @@
+#include "pilot/byteorder.hpp"
+
+#include <algorithm>
+
+namespace pilot {
+
+void swap_element_bytes(const ResolvedFormat& fmt,
+                        std::span<std::byte> payload) {
+  std::size_t off = 0;
+  for (const FormatItem& item : fmt.items) {
+    const std::size_t elem = element_size(item.type);
+    for (std::uint32_t i = 0; i < item.count; ++i) {
+      if (elem > 1) {
+        std::reverse(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + elem));
+      }
+      off += elem;
+    }
+  }
+  if (off != payload.size()) {
+    throw PilotError(ErrorCode::kInternal,
+                     "byte-order conversion: payload length mismatch");
+  }
+}
+
+}  // namespace pilot

@@ -1,0 +1,44 @@
+// byteorder.hpp — heterogeneous byte-order support.
+//
+// The paper's cluster is genuinely mixed-endian: the Cell BE's PPE and SPEs
+// are big-endian PowerPC cores, the Xeon nodes little-endian x86-64, and
+// "MPI will take care of any conversions required between datatype lengths,
+// endianness, and character codes" (§II.C).  Pilot's format strings are what
+// make that possible — they give the wire payload an element structure.
+//
+// The reproduction simulates the mix on a little-endian host:
+//   * a writer on a big-endian node marshals its payload and then swaps it
+//     into big-endian element order, so the bytes crossing the wire (and
+//     sitting in SPE local stores!) are authentic big-endian images;
+//   * the reader compares the writer node's order with its own and swaps
+//     back element-wise (receiver-makes-right, as MPI implementations do);
+//   * the frame header always travels in canonical little-endian order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "pilot/format.hpp"
+#include "simtime/byte_order.hpp"
+
+namespace pilot {
+
+using simtime::ByteOrder;
+
+/// Reverses the bytes of every element of `payload` as described by the
+/// resolved format (1-byte elements are untouched).  In-place; payload
+/// length must equal fmt.payload_bytes().
+void swap_element_bytes(const ResolvedFormat& fmt,
+                        std::span<std::byte> payload);
+
+/// Converts a payload from `from` order to `to` order (no-op when equal).
+/// Delivery into user variables is always host (little-endian)
+/// representation; the wire and SPE local stores carry the writer's
+/// architectural order — so readers convert when the writer was big-endian.
+inline void convert_payload(const ResolvedFormat& fmt,
+                            std::span<std::byte> payload, ByteOrder from,
+                            ByteOrder to) {
+  if (from != to) swap_element_bytes(fmt, payload);
+}
+
+}  // namespace pilot

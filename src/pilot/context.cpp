@@ -1,0 +1,30 @@
+#include "pilot/context.hpp"
+
+namespace pilot {
+
+namespace {
+thread_local PilotContext* t_ctx = nullptr;
+}  // namespace
+
+void bind_context(PilotContext* ctx) { t_ctx = ctx; }
+
+PilotContext& context() {
+  if (t_ctx == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "Pilot API called outside a running Pilot application "
+                     "(no rank context on this thread)");
+  }
+  return *t_ctx;
+}
+
+bool has_context() { return t_ctx != nullptr; }
+
+namespace {
+thread_local SpeDispatch* t_spe_dispatch = nullptr;
+}  // namespace
+
+void bind_spe_dispatch(SpeDispatch* d) { t_spe_dispatch = d; }
+
+SpeDispatch* spe_dispatch() { return t_spe_dispatch; }
+
+}  // namespace pilot

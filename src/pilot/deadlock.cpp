@@ -1,0 +1,270 @@
+#include "pilot/deadlock.hpp"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pilot {
+
+namespace {
+
+mpisim::Rank service_rank(PilotContext& ctx) {
+  auto svc = ctx.app().cluster().service_rank();
+  return svc ? *svc : -1;
+}
+
+}  // namespace
+
+void notify_block(PilotContext& ctx, int peer_process, int channel_id) {
+  if (!ctx.app().options().deadlock_detection) return;
+  const mpisim::Rank svc = service_rank(ctx);
+  if (svc < 0) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kBlock;
+  ev.process = ctx.my_process;
+  ev.peer = peer_process;
+  ev.channel = channel_id;
+  ev.peer_is_rank =
+      ctx.app().process(peer_process).location == Location::kRank ? 1 : 0;
+  ctx.mpi().send_internal(&ev, sizeof ev, svc, kTagDeadlockEvent);
+}
+
+void notify_unblock(PilotContext& ctx) {
+  if (!ctx.app().options().deadlock_detection) return;
+  const mpisim::Rank svc = service_rank(ctx);
+  if (svc < 0) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kUnblock;
+  ev.process = ctx.my_process;
+  ctx.mpi().send_internal(&ev, sizeof ev, svc, kTagDeadlockEvent);
+}
+
+void notify_finished(PilotContext& ctx) {
+  if (!ctx.app().options().deadlock_detection) return;
+  const mpisim::Rank svc = service_rank(ctx);
+  if (svc < 0) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kFinished;
+  ev.process = ctx.my_process;
+  ctx.mpi().send_internal(&ev, sizeof ev, svc, kTagDeadlockEvent);
+}
+
+void notify_init(PilotContext& ctx, int rank_process_count) {
+  if (!ctx.app().options().deadlock_detection) return;
+  const mpisim::Rank svc = service_rank(ctx);
+  if (svc < 0) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kInit;
+  ev.process = rank_process_count;
+  ctx.mpi().send_internal(&ev, sizeof ev, svc, kTagDeadlockEvent);
+}
+
+namespace {
+
+/// The wait-for graph: process -> set of (peer, channel) it waits on.
+class WaitForGraph {
+ public:
+  void block(int process, int peer, int channel, bool peer_is_rank) {
+    edges_[process].insert({peer, channel});
+    if (!peer_is_rank) has_spe_peer_.insert(process);
+  }
+
+  void unblock(int process) {
+    edges_.erase(process);
+    has_spe_peer_.erase(process);
+  }
+
+  void finished(int process) { finished_.insert(process); }
+
+  /// True when a wait can never be satisfied because the peer's work
+  /// function has already returned.
+  bool waits_on_finished(int process, int* peer_out) const {
+    const auto it = edges_.find(process);
+    if (it == edges_.end()) return false;
+    for (const auto& [peer, channel] : it->second) {
+      if (finished_.count(peer) != 0) {
+        *peer_out = peer;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Scans every blocked process for a wait on a finished peer (needed when
+  /// the finish event arrives after the block event).
+  bool any_waits_on_finished(int* process_out, int* peer_out) const {
+    for (const auto& [process, peers] : edges_) {
+      if (waits_on_finished(process, peer_out)) {
+        *process_out = process;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when every registered process is blocked or finished, every
+  /// blocked process waits only on rank-backed peers, and at least one
+  /// process is blocked: no message can ever be produced again.
+  bool global_stall(int total) const {
+    if (total <= 0 || edges_.empty()) return false;
+    if (static_cast<int>(edges_.size() + finished_.size()) < total) {
+      return false;
+    }
+    for (const auto& [process, peers] : edges_) {
+      if (has_spe_peer_.count(process) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Returns a cycle through `start` as a process list (start .. start),
+  /// or empty when none.  A process with several outgoing edges (select)
+  /// is only deadlocked when *every* wait is cyclic; for simplicity —
+  /// and matching Pilot's single-wait common case — we report a cycle if
+  /// all of the blocked process's peers are themselves on cycles back to
+  /// it; for single-edge waits this is exact.
+  std::vector<int> find_cycle(int start) const {
+    std::vector<int> path;
+    std::set<int> on_path;
+    if (dfs(start, start, path, on_path)) {
+      path.push_back(start);
+      return path;
+    }
+    return {};
+  }
+
+  const std::map<int, std::set<std::pair<int, int>>>& edges() const {
+    return edges_;
+  }
+
+ private:
+  bool dfs(int node, int target, std::vector<int>& path,
+           std::set<int>& on_path) const {
+    if (on_path.count(node) != 0) return false;
+    const auto it = edges_.find(node);
+    if (it == edges_.end()) return false;  // not blocked -> no cycle via it
+    on_path.insert(node);
+    path.push_back(node);
+    for (const auto& [peer, channel] : it->second) {
+      if (peer == target && node != target) return true;
+      if (peer != node && dfs(peer, target, path, on_path)) return true;
+    }
+    path.pop_back();
+    on_path.erase(node);
+    return false;
+  }
+
+  std::map<int, std::set<std::pair<int, int>>> edges_;
+  std::set<int> has_spe_peer_;
+  std::set<int> finished_;
+};
+
+std::string describe_cycle(const std::vector<int>& cycle) {
+  std::string msg = "deadlock detected: circular wait among processes ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) msg += " -> ";
+    msg += "P" + std::to_string(cycle[i]);
+  }
+  return msg;
+}
+
+}  // namespace
+
+int deadlock_service_main(mpisim::Mpi& mpi) {
+  WaitForGraph graph;
+  int total_processes = 0;
+
+  auto apply = [&graph, &total_processes](const DeadlockEvent& ev) {
+    if (ev.kind == DeadlockEvent::kBlock) {
+      graph.block(ev.process, ev.peer, ev.channel, ev.peer_is_rank != 0);
+    } else if (ev.kind == DeadlockEvent::kUnblock) {
+      graph.unblock(ev.process);
+    } else if (ev.kind == DeadlockEvent::kFinished) {
+      graph.finished(ev.process);
+    } else if (ev.kind == DeadlockEvent::kInit) {
+      total_processes = ev.process;
+    }
+  };
+
+  // Drains every queued event; returns false when a shutdown was seen.
+  bool shutdown_seen = false;
+  auto drain = [&]() -> bool {
+    while (mpi.iprobe(mpisim::kAnySource, kTagDeadlockEvent)) {
+      DeadlockEvent ev;
+      mpi.recv_internal(&ev, sizeof ev, mpisim::kAnySource,
+                        kTagDeadlockEvent);
+      if (ev.kind == DeadlockEvent::kShutdown) {
+        shutdown_seen = true;
+        return false;
+      }
+      apply(ev);
+    }
+    return true;
+  };
+
+  for (;;) {
+    DeadlockEvent ev;
+    mpi.recv_internal(&ev, sizeof ev, mpisim::kAnySource, kTagDeadlockEvent);
+    if (ev.kind == DeadlockEvent::kShutdown) return 0;
+    apply(ev);
+    // Both a new block and a process finishing can complete a deadlock
+    // condition; everything else only relaxes the graph.
+    if (ev.kind != DeadlockEvent::kBlock &&
+        ev.kind != DeadlockEvent::kFinished) {
+      continue;
+    }
+
+    // Three independent conditions, from cheapest to broadest, each
+    // confirmed with a drain-and-recheck loop so in-flight unblock events
+    // cannot produce false alarms.
+    auto confirmed = [&](auto&& still_true) -> bool {
+      for (int round = 0; round < 5; ++round) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (!drain()) return false;  // shutdown
+        if (!still_true()) return false;
+      }
+      return true;
+    };
+
+    int dead_proc = -1;
+    int dead_peer = -1;
+    if (shutdown_seen) return 0;
+    if (graph.any_waits_on_finished(&dead_proc, &dead_peer) &&
+        confirmed([&] {
+          return graph.any_waits_on_finished(&dead_proc, &dead_peer);
+        })) {
+      mpi.world().abort("deadlock detected: P" + std::to_string(dead_proc) +
+                        " waits on P" + std::to_string(dead_peer) +
+                        ", which has already finished");
+      return 1;
+    }
+
+    if (shutdown_seen) return 0;
+    std::vector<int> cycle;
+    if (ev.kind == DeadlockEvent::kBlock) {
+      cycle = graph.find_cycle(ev.process);
+    }
+    if (!cycle.empty() && confirmed([&] {
+          cycle = graph.find_cycle(ev.process);
+          return !cycle.empty();
+        })) {
+      mpi.world().abort(describe_cycle(cycle));
+      return 1;
+    }
+
+    if (shutdown_seen) return 0;
+    if (graph.global_stall(total_processes) &&
+        confirmed([&] { return graph.global_stall(total_processes); })) {
+      mpi.world().abort(
+          "deadlock detected: global stall — all " +
+          std::to_string(total_processes) +
+          " processes are blocked or finished and no message can arrive");
+      return 1;
+    }
+    if (shutdown_seen) return 0;
+  }
+}
+
+}  // namespace pilot

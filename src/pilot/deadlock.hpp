@@ -1,0 +1,61 @@
+// deadlock.hpp — Pilot's integrated deadlock-detection service.
+//
+// When the job is launched with `-pisvc=d`, one extra MPI rank runs the
+// service (as in the paper, the feature "consumes one MPI process").  Every
+// rank-backed process reports, via small control messages, when it blocks
+// on a channel read (or a select, reported as one event per candidate
+// writer) and when it unblocks.  The service maintains the wait-for graph
+// over processes; a cycle means circular wait — the job is aborted with a
+// diagnostic naming the deadlocked processes, instead of hanging silently.
+//
+// False positives from in-flight unblock events are avoided by a
+// confirmation protocol: on seeing a cycle, the service drains queued
+// events, waits briefly, and re-checks before aborting.
+#pragma once
+
+#include <cstdint>
+
+#include "mpisim/mpi.hpp"
+#include "pilot/context.hpp"
+
+namespace pilot {
+
+/// One deadlock-protocol control message.
+struct DeadlockEvent {
+  enum Kind : std::int32_t {
+    kBlock = 1,     ///< `process` now waits for `peer` (channel `channel`)
+    kUnblock = 2,   ///< `process` no longer waits on anything
+    kShutdown = 3,  ///< service should exit (sent by PI_MAIN at StopMain)
+    kInit = 4,      ///< `process` carries the count of rank-backed processes
+    kFinished = 5,  ///< `process` returned from its work function
+  };
+  std::int32_t kind = kBlock;
+  std::int32_t process = -1;
+  std::int32_t peer = -1;
+  std::int32_t channel = -1;
+  /// For kBlock: whether the peer is a rank-backed Pilot process (SPE
+  /// processes do not participate in detection, per the paper).
+  std::int32_t peer_is_rank = 1;
+};
+
+/// Reports "ctx's process is about to block reading from `peer_process`".
+/// No-op unless deadlock detection is enabled.
+void notify_block(PilotContext& ctx, int peer_process, int channel_id);
+
+/// Reports "ctx's process resumed".  No-op unless detection is enabled.
+void notify_unblock(PilotContext& ctx);
+
+/// Reports "ctx's process function returned" (a wait on it can never be
+/// satisfied).  No-op unless detection is enabled.
+void notify_finished(PilotContext& ctx);
+
+/// Sent once by PI_MAIN at PI_StartAll: the number of rank-backed
+/// processes, enabling global-stall detection.
+void notify_init(PilotContext& ctx, int rank_process_count);
+
+/// Entry point of the service rank.  Runs until a kShutdown event; aborts
+/// the world with a "deadlock detected" diagnostic when a confirmed cycle
+/// appears.  Returns 0.
+int deadlock_service_main(mpisim::Mpi& mpi);
+
+}  // namespace pilot

@@ -1,0 +1,45 @@
+#include "pilot/errors.hpp"
+
+namespace pilot {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kFormat: return "format";
+    case ErrorCode::kTypeMismatch: return "type-mismatch";
+    case ErrorCode::kEndpoint: return "endpoint";
+    case ErrorCode::kCapacity: return "capacity";
+    case ErrorCode::kBundle: return "bundle";
+    case ErrorCode::kDeadlock: return "deadlock";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string compose(ErrorCode code, const std::string& detail,
+                    const char* file, int line) {
+  std::string msg = "pilot error (";
+  msg += to_string(code);
+  msg += ")";
+  if (file != nullptr) {
+    msg += " at ";
+    msg += file;
+    msg += ":";
+    msg += std::to_string(line);
+  }
+  msg += ": ";
+  msg += detail;
+  return msg;
+}
+
+}  // namespace
+
+PilotError::PilotError(ErrorCode code, const std::string& detail,
+                       const char* file, int line)
+    : std::runtime_error(compose(code, detail, file, line)),
+      code_(code),
+      detail_(detail) {}
+
+}  // namespace pilot

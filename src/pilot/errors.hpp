@@ -1,0 +1,47 @@
+// errors.hpp — Pilot's error reporting.
+//
+// Pilot's selling point is catching parallel-programming mistakes early and
+// loudly: writing on a channel from the wrong process, mismatched read/write
+// formats, misuse of the API outside its phase.  The real library prints the
+// offending source file and line and aborts the MPI job; here every violation
+// throws PilotError carrying the same diagnostic, and the launcher converts
+// an uncaught PilotError into a world abort — so tests can assert on the
+// message while applications still die with a readable diagnostic.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pilot {
+
+/// Classification of Pilot errors (mirrors the real library's diagnostics).
+enum class ErrorCode {
+  kUsage,          ///< API called in the wrong phase / by the wrong process
+  kFormat,         ///< malformed format string
+  kTypeMismatch,   ///< writer and reader formats disagree
+  kEndpoint,       ///< operation on a channel this process isn't bound to
+  kCapacity,       ///< out of processes / SPEs / table space
+  kBundle,         ///< bundle misuse (wrong usage kind, SPE endpoint, ...)
+  kDeadlock,       ///< reported by the deadlock-detection service
+  kInternal,       ///< invariant violation inside the library
+};
+
+/// Returns a stable name ("usage", "format", ...) for an ErrorCode.
+const char* to_string(ErrorCode code);
+
+/// A Pilot diagnostic.  The what() string has the canonical shape
+/// "pilot error (<code>) at <file>:<line>: <detail>".
+class PilotError : public std::runtime_error {
+ public:
+  PilotError(ErrorCode code, const std::string& detail,
+             const char* file = nullptr, int line = 0);
+
+  ErrorCode code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  ErrorCode code_;
+  std::string detail_;
+};
+
+}  // namespace pilot

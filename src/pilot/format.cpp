@@ -1,0 +1,167 @@
+#include "pilot/format.hpp"
+
+#include <cctype>
+
+namespace pilot {
+
+std::size_t element_size(TypeCode type) {
+  switch (type) {
+    case TypeCode::kByte: return 1;
+    case TypeCode::kChar: return 1;
+    case TypeCode::kInt16: return 2;
+    case TypeCode::kInt32: return 4;
+    case TypeCode::kInt64: return 8;
+    case TypeCode::kUInt32: return 4;
+    case TypeCode::kUInt64: return 8;
+    case TypeCode::kFloat: return 4;
+    case TypeCode::kDouble: return 8;
+    case TypeCode::kLongDouble: return 16;
+  }
+  return 0;
+}
+
+const char* type_spec(TypeCode type) {
+  switch (type) {
+    case TypeCode::kByte: return "b";
+    case TypeCode::kChar: return "c";
+    case TypeCode::kInt16: return "hd";
+    case TypeCode::kInt32: return "d";
+    case TypeCode::kInt64: return "ld";
+    case TypeCode::kUInt32: return "u";
+    case TypeCode::kUInt64: return "lu";
+    case TypeCode::kFloat: return "f";
+    case TypeCode::kDouble: return "lf";
+    case TypeCode::kLongDouble: return "Lf";
+  }
+  return "?";
+}
+
+std::size_t Format::payload_bytes() const {
+  std::size_t total = 0;
+  for (const FormatItem& item : items) {
+    if (item.star) {
+      throw PilotError(ErrorCode::kInternal,
+                       "payload_bytes on unresolved '*' format");
+    }
+    total += element_size(item.type) * item.count;
+  }
+  return total;
+}
+
+namespace {
+
+[[noreturn]] void fail(std::string_view fmt, std::size_t pos,
+                       const std::string& why) {
+  throw PilotError(ErrorCode::kFormat,
+                   "bad format \"" + std::string(fmt) + "\" at offset " +
+                       std::to_string(pos) + ": " + why);
+}
+
+}  // namespace
+
+Format parse_format(std::string_view fmt) {
+  Format out;
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    if (std::isspace(static_cast<unsigned char>(fmt[i]))) {
+      ++i;
+      continue;
+    }
+    if (fmt[i] != '%') fail(fmt, i, "expected '%'");
+    ++i;
+    if (i >= fmt.size()) fail(fmt, i, "dangling '%'");
+
+    FormatItem item;
+    if (fmt[i] == '*') {
+      item.star = true;
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+      std::uint64_t count = 0;
+      while (i < fmt.size() &&
+             std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+        count = count * 10 + static_cast<std::uint64_t>(fmt[i] - '0');
+        if (count > 0xFFFFFFFFull) fail(fmt, i, "count too large");
+        ++i;
+      }
+      if (count == 0) fail(fmt, i, "count must be positive");
+      item.count = static_cast<std::uint32_t>(count);
+    }
+    if (i >= fmt.size()) fail(fmt, i, "missing conversion type");
+
+    switch (fmt[i]) {
+      case 'b': item.type = TypeCode::kByte; ++i; break;
+      case 'c': item.type = TypeCode::kChar; ++i; break;
+      case 'd': item.type = TypeCode::kInt32; ++i; break;
+      case 'f': item.type = TypeCode::kFloat; ++i; break;
+      case 'u': item.type = TypeCode::kUInt32; ++i; break;
+      case 'h':
+        ++i;
+        if (i >= fmt.size() || fmt[i] != 'd') fail(fmt, i, "expected 'hd'");
+        item.type = TypeCode::kInt16;
+        ++i;
+        break;
+      case 'l':
+        ++i;
+        if (i >= fmt.size()) fail(fmt, i, "dangling 'l'");
+        if (fmt[i] == 'd') {
+          item.type = TypeCode::kInt64;
+        } else if (fmt[i] == 'u') {
+          item.type = TypeCode::kUInt64;
+        } else if (fmt[i] == 'f') {
+          item.type = TypeCode::kDouble;
+        } else {
+          fail(fmt, i, "expected 'ld', 'lu' or 'lf'");
+        }
+        ++i;
+        break;
+      case 'L':
+        ++i;
+        if (i >= fmt.size() || fmt[i] != 'f') fail(fmt, i, "expected 'Lf'");
+        item.type = TypeCode::kLongDouble;
+        ++i;
+        break;
+      default:
+        fail(fmt, i, std::string("unknown conversion '%") + fmt[i] + "'");
+    }
+    out.items.push_back(item);
+  }
+  if (out.items.empty()) fail(fmt, 0, "empty format");
+  return out;
+}
+
+std::uint32_t signature(const ResolvedFormat& fmt) {
+  // FNV-1a over (type, count) pairs.
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 16777619u;
+    }
+  };
+  for (const FormatItem& item : fmt.items) {
+    if (item.star) {
+      throw PilotError(ErrorCode::kInternal,
+                       "signature of unresolved '*' format");
+    }
+    mix(static_cast<std::uint32_t>(item.type));
+    mix(item.count);
+  }
+  return h;
+}
+
+std::string to_string(const ResolvedFormat& fmt) {
+  std::string out;
+  for (const FormatItem& item : fmt.items) {
+    if (!out.empty()) out += ' ';
+    out += '%';
+    if (item.star) {
+      out += '*';
+    } else if (item.count != 1) {
+      out += std::to_string(item.count);
+    }
+    out += type_spec(item.type);
+  }
+  return out;
+}
+
+}  // namespace pilot

@@ -1,0 +1,84 @@
+// format.hpp — Pilot's stdio-inspired data-description language.
+//
+// PI_Write / PI_Read describe message contents with printf-flavoured format
+// strings: `PI_Write(ch, "%d", x)` sends one int, `"%1000f"` an array of
+// 1000 floats, `"%*Lf"` an array of long doubles whose length is supplied as
+// an int argument.  The format is *only* a description — data travels in
+// binary — but it is the wire contract: Pilot verifies at match time that
+// writer and reader agree on types and element counts, one of the error
+// classes the library eliminates.
+//
+// Grammar (whitespace between items is ignored):
+//   format  := item*
+//   item    := '%' count? type
+//   count   := integer (>0) | '*'            -- '*' pulls the count from args
+//   type    := 'b'  byte    | 'c'  char      | 'hd' int16   | 'd' int32
+//            | 'ld' int64   | 'u'  uint32    | 'lu' uint64
+//            | 'f'  float   | 'lf' double    | 'Lf' long double
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pilot/errors.hpp"
+
+namespace pilot {
+
+/// Element type of one format item.
+enum class TypeCode : std::uint8_t {
+  kByte,
+  kChar,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt32,
+  kUInt64,
+  kFloat,
+  kDouble,
+  kLongDouble,
+};
+
+/// Size in bytes of one element.
+std::size_t element_size(TypeCode type);
+
+/// Conversion-specifier spelling ("d", "Lf", ...) for diagnostics.
+const char* type_spec(TypeCode type);
+
+/// One parsed item.
+struct FormatItem {
+  TypeCode type = TypeCode::kInt32;
+  bool star = false;        ///< count supplied as an int argument
+  std::uint32_t count = 1;  ///< element count (when !star)
+};
+
+/// A parsed format string.
+struct Format {
+  std::vector<FormatItem> items;
+
+  /// Total payload bytes once every '*' has been resolved; items must have
+  /// star==false (see resolve()).
+  std::size_t payload_bytes() const;
+};
+
+/// Parses `fmt`; throws PilotError(kFormat) with the offending position on
+/// syntax errors.
+Format parse_format(std::string_view fmt);
+
+/// A format with all '*' counts substituted (what actually crosses the
+/// wire).  Computed by the marshalling layer as it consumes arguments.
+using ResolvedFormat = Format;
+
+/// 32-bit signature of a resolved format: type codes and counts, order-
+/// sensitive.  Writer and reader signatures must match exactly; the
+/// signature rides in the control path (mailbox request words / wire
+/// header) so mismatches are reported as PilotError(kTypeMismatch) instead
+/// of silent corruption.
+std::uint32_t signature(const ResolvedFormat& fmt);
+
+/// Human-readable rendering of a resolved format for diagnostics,
+/// e.g. "%100d %lf".
+std::string to_string(const ResolvedFormat& fmt);
+
+}  // namespace pilot

@@ -1,0 +1,135 @@
+// pilot.hpp — the public Pilot API.
+//
+// This is the reproduction's `pilot.h`: the process/channel programming
+// interface described in Carter, Gardner & Grewal, "The Pilot approach to
+// cluster programming in C" (PDSEC'10), which the CellPilot paper extends.
+// The names, call shapes and two-phase model follow the paper:
+//
+//   int main(int argc, char** argv) {            // runs on EVERY rank
+//     int n = PI_Configure(&argc, &argv);        // configuration phase
+//     PI_PROCESS* w = PI_CreateProcess(worker, 0, NULL);
+//     PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+//     PI_StartAll();                             // execution phase begins
+//     PI_Write(c, "%d %100f", n, data);          // only PI_MAIN gets here
+//     PI_StopMain(0);
+//     return 0;
+//   }
+//
+// PI_Write/PI_Read/PI_Broadcast/PI_Gather are macros capturing __FILE__ /
+// __LINE__, so that misuse diagnostics point at the offending source line —
+// one of Pilot's signature features.
+//
+// SPE processes (PI_CreateSPE / PI_RunSPE / PI_SPE_PROGRAM) are declared in
+// core/cellpilot.hpp, which includes this header.
+#pragma once
+
+#include <cstdarg>
+
+#include "pilot/tables.hpp"
+
+/// Enters the configuration phase.  Parses and strips Pilot options from the
+/// command line (`-pisvc=d` enables deadlock detection).  Returns the number
+/// of Pilot processes the job provides (= MPI ranks requested from mpirun).
+int PI_Configure(int* argc, char*** argv);
+
+/// The main process (process 0, MPI rank 0).  Usable wherever a PI_PROCESS*
+/// is expected.
+PI_PROCESS* PI_GetMain(void);
+#define PI_MAIN PI_GetMain()
+
+/// Creates a process that will run `f(index, arg)` in the execution phase.
+/// Configuration phase only.
+PI_PROCESS* PI_CreateProcess(pilot::ProcessFunc f, int index, void* arg);
+
+/// Creates a channel carrying messages from `from` to `to`.
+/// Configuration phase only.
+PI_CHANNEL* PI_CreateChannel(PI_PROCESS* from, PI_PROCESS* to);
+
+/// Groups channels sharing a common endpoint for collective use.
+/// Configuration phase only.  The common endpoint must be rank-backed;
+/// SPE processes may appear as the non-common endpoints (an extension —
+/// the paper lists SPE collectives as future work).
+PI_BUNDLE* PI_CreateBundle(PI_BUNDLE_USAGE usage,
+                           PI_CHANNEL* const channels[], int count);
+
+/// Ends the configuration phase.  On PI_MAIN it returns and main()
+/// continues; on every other process it runs the associated work function
+/// and never returns (the real library exits there; this implementation
+/// unwinds the rank thread).
+void PI_StartAll(void);
+
+/// Writes values described by `fmt` to a channel (see pilot/format.hpp for
+/// the format language).  Blocking; callable from the channel's writer only.
+void PI_Write_(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+               ...);
+
+/// Reads values described by `fmt` from a channel into pointer arguments.
+/// Blocking; callable from the channel's reader only.
+void PI_Read_(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
+              ...);
+
+/// Broadcasts one message over every channel of a PI_BROADCAST bundle.
+/// Called by the common (writing) process only; each receiver does a
+/// plain PI_Read on its own channel — Pilot's MPMD convention.
+void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
+                   ...);
+
+/// Gathers one contribution per channel of a PI_GATHER bundle into arrays.
+/// Called by the common (reading) process; each contributor does a plain
+/// PI_Write.  Each destination array holds size-many contributions.
+void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
+                ...);
+
+#define PI_Write(ch, ...) PI_Write_(__FILE__, __LINE__, ch, __VA_ARGS__)
+#define PI_Read(ch, ...) PI_Read_(__FILE__, __LINE__, ch, __VA_ARGS__)
+#define PI_Broadcast(b, ...) PI_Broadcast_(__FILE__, __LINE__, b, __VA_ARGS__)
+#define PI_Gather(b, ...) PI_Gather_(__FILE__, __LINE__, b, __VA_ARGS__)
+
+/// Blocks until some channel of a PI_SELECT bundle has data; returns its
+/// index within the bundle.
+int PI_Select(PI_BUNDLE* b);
+
+/// Non-blocking select: index of a ready channel, or -1.
+int PI_TrySelect(PI_BUNDLE* b);
+
+/// 1 when a read on the channel would not block, else 0.
+int PI_ChannelHasData(PI_CHANNEL* ch);
+
+/// Duplicates `count` channels (same endpoints, fresh ids/tags), so the
+/// same process pairs can carry a second independent stream — e.g. one
+/// bundle for requests and a copy for replies.  Configuration phase only.
+/// The returned array is owned by the library for the run's lifetime.
+PI_CHANNEL** PI_CopyChannels(PI_CHANNEL* const channels[], int count);
+
+/// The i-th channel of a bundle.
+PI_CHANNEL* PI_GetBundleChannel(PI_BUNDLE* b, int index);
+
+/// Number of channels in a bundle.
+int PI_GetBundleSize(PI_BUNDLE* b);
+
+/// Ends the execution phase on PI_MAIN: waits for all processes (and SPE
+/// threads), tears down services, returns `status`.
+int PI_StopMain(int status);
+
+/// Names a process/channel for diagnostics (optional, any phase).
+void PI_SetName(PI_PROCESS* p, const char* name);
+void PI_SetChannelName(PI_CHANNEL* ch, const char* name);
+
+/// Total Pilot processes the job provides (same value PI_Configure
+/// returned).
+int PI_ProcessCount(void);
+
+/// The process id (0 = PI_MAIN) of the calling process, valid in the
+/// execution phase on rank- and SPE-side alike.
+int PI_MyProcess(void);
+
+/// Records a user event in the job's event log (visible with -pisvc=t);
+/// callable from rank and SPE processes alike.
+void PI_Log_(const char* file, int line, const char* message);
+#define PI_Log(message) PI_Log_(__FILE__, __LINE__, message)
+
+/// Aborts the whole job with a diagnostic carrying the calling source
+/// location — the application-level counterpart of Pilot's own
+/// abort-with-diagnostic error handling.
+void PI_Abort_(const char* file, int line, int code, const char* message);
+#define PI_Abort(code, message) PI_Abort_(__FILE__, __LINE__, code, message)

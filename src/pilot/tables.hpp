@@ -1,0 +1,81 @@
+// tables.hpp — the Pilot application architecture tables.
+//
+// During the configuration phase every rank executes the same PI_Create*
+// calls and the library builds one canonical table of processes, channels
+// and bundles (in the real library each MPI process builds its own identical
+// copy; in the simulation the ranks are threads, so a shared registry hands
+// every rank the *same* object — which is also what lets SPE programs refer
+// to `PI_CHANNEL*` globals "by effective address", as in the paper).
+//
+// The structs are the definitions behind the opaque typedefs of the public
+// header (pilot.hpp).  User code treats them as opaque.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellsim/libspe2.hpp"
+#include "mpisim/types.hpp"
+
+namespace pilot {
+
+/// Where a process executes.
+enum class Location {
+  kRank,  ///< a regular Pilot process: one MPI rank (PPE or non-Cell core)
+  kSpe,   ///< a CellPilot SPE process
+};
+
+/// Signature of a Pilot process function (as in the paper:
+/// `int worker(int index, void* arg)`).
+using ProcessFunc = int (*)(int, void*);
+
+/// First data tag; channel `id` uses tag kChannelTagBase + id.
+inline constexpr int kChannelTagBase = 256;
+
+}  // namespace pilot
+
+/// A Pilot process: a named site of execution, created during the
+/// configuration phase.  Process 0 is PI_MAIN.
+struct PI_PROCESS {
+  int id = 0;                        ///< process index; 0 is PI_MAIN
+  pilot::Location location = pilot::Location::kRank;
+  std::string name;                  ///< diagnostic name
+
+  // --- rank-backed processes -------------------------------------------
+  mpisim::Rank rank = -1;            ///< executing MPI rank
+  pilot::ProcessFunc func = nullptr; ///< work function (null for PI_MAIN)
+  int index_arg = 0;                 ///< first argument passed to func
+  void* ptr_arg = nullptr;           ///< second argument passed to func
+
+  // --- SPE-backed processes (CellPilot) --------------------------------
+  const cellsim::spe2::spe_program_handle_t* program = nullptr;
+  int parent_process = -1;           ///< id of the controlling PPE process
+  int node = -1;                     ///< cluster node hosting the SPE
+};
+
+/// A point-to-point channel between two processes, fixed at configuration.
+struct PI_CHANNEL {
+  int id = 0;        ///< channel index
+  int from = -1;     ///< writer process id
+  int to = -1;       ///< reader process id
+  std::string name;  ///< diagnostic name
+
+  /// MiniMPI tag carrying this channel's data messages.
+  int tag() const { return pilot::kChannelTagBase + id; }
+};
+
+/// Collective-usage kinds for bundles (paper: broadcast, gather, select).
+enum PI_BUNDLE_USAGE : int {
+  PI_BROADCAST = 0,
+  PI_GATHER = 1,
+  PI_SELECT = 2,
+};
+
+/// A bundle: channels sharing a common endpoint, used collectively.
+struct PI_BUNDLE {
+  int id = 0;
+  PI_BUNDLE_USAGE usage = PI_SELECT;
+  std::vector<PI_CHANNEL*> channels;
+  int common_process = -1;  ///< the shared endpoint's process id
+};

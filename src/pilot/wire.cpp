@@ -1,0 +1,185 @@
+#include "pilot/wire.hpp"
+
+#include <cstring>
+
+namespace pilot {
+
+namespace {
+
+// Appends one scalar pulled from `args` (with C default promotions).
+void append_scalar(std::vector<std::byte>& out, TypeCode type,
+                   va_list args) {
+  auto push = [&out](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  switch (type) {
+    case TypeCode::kByte: {
+      const auto v = static_cast<std::uint8_t>(va_arg(args, int));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kChar: {
+      const auto v = static_cast<char>(va_arg(args, int));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kInt16: {
+      const auto v = static_cast<std::int16_t>(va_arg(args, int));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kInt32: {
+      const auto v = static_cast<std::int32_t>(va_arg(args, int));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kInt64: {
+      const auto v = static_cast<std::int64_t>(va_arg(args, long long));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kUInt32: {
+      const auto v = static_cast<std::uint32_t>(va_arg(args, unsigned int));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kUInt64: {
+      const auto v =
+          static_cast<std::uint64_t>(va_arg(args, unsigned long long));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kFloat: {
+      const auto v = static_cast<float>(va_arg(args, double));
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kDouble: {
+      const auto v = va_arg(args, double);
+      push(&v, sizeof v);
+      break;
+    }
+    case TypeCode::kLongDouble: {
+      const auto v = va_arg(args, long double);
+      push(&v, sizeof v);
+      break;
+    }
+  }
+}
+
+std::uint32_t pull_star_count(va_list args) {
+  const int n = va_arg(args, int);
+  if (n <= 0) {
+    throw PilotError(ErrorCode::kFormat,
+                     "'*' count argument must be positive, got " +
+                         std::to_string(n));
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
+}  // namespace
+
+MarshalResult marshal_payload(const Format& fmt, va_list args) {
+  MarshalResult out;
+  out.fmt.items.reserve(fmt.items.size());
+  for (const FormatItem& item : fmt.items) {
+    FormatItem resolved = item;
+    if (item.star) {
+      resolved.count = pull_star_count(args);
+      resolved.star = false;
+    }
+    if (resolved.count == 1 && !item.star) {
+      append_scalar(out.payload, item.type, args);
+    } else {
+      const void* src = va_arg(args, const void*);
+      if (src == nullptr) {
+        throw PilotError(ErrorCode::kFormat,
+                         "null array pointer for %" +
+                             std::string(type_spec(item.type)));
+      }
+      const std::size_t n = element_size(item.type) * resolved.count;
+      const auto* b = static_cast<const std::byte*>(src);
+      out.payload.insert(out.payload.end(), b, b + n);
+    }
+    out.fmt.items.push_back(resolved);
+  }
+  return out;
+}
+
+ReadPlan build_read_plan(const Format& fmt, va_list args) {
+  ReadPlan plan;
+  plan.fmt.items.reserve(fmt.items.size());
+  for (const FormatItem& item : fmt.items) {
+    FormatItem resolved = item;
+    if (item.star) {
+      resolved.count = pull_star_count(args);
+      resolved.star = false;
+    }
+    void* dst = va_arg(args, void*);
+    if (dst == nullptr) {
+      throw PilotError(ErrorCode::kFormat,
+                       "null destination pointer for %" +
+                           std::string(type_spec(item.type)));
+    }
+    plan.destinations.push_back(dst);
+    plan.fmt.items.push_back(resolved);
+    plan.payload_bytes += element_size(resolved.type) * resolved.count;
+  }
+  return plan;
+}
+
+void scatter(const ReadPlan& plan, std::span<const std::byte> payload) {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < plan.fmt.items.size(); ++i) {
+    const FormatItem& item = plan.fmt.items[i];
+    const std::size_t n = element_size(item.type) * item.count;
+    std::memcpy(plan.destinations[i], payload.data() + off, n);
+    off += n;
+  }
+}
+
+std::vector<std::byte> frame_message(std::uint32_t sig,
+                                     std::span<const std::byte> payload) {
+  WireHeader hdr;
+  hdr.magic = kWireMagic;
+  hdr.signature = sig;
+  hdr.payload_bytes = payload.size();
+  std::vector<std::byte> out(sizeof(WireHeader) + payload.size());
+  std::memcpy(out.data(), &hdr, sizeof hdr);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof hdr, payload.data(), payload.size());
+  }
+  return out;
+}
+
+std::span<const std::byte> check_frame(std::span<const std::byte> message,
+                                       std::uint32_t expected_sig,
+                                       std::size_t expected_bytes,
+                                       const std::string& where) {
+  if (message.size() < sizeof(WireHeader)) {
+    throw PilotError(ErrorCode::kInternal,
+                     where + ": short channel frame (" +
+                         std::to_string(message.size()) + " bytes)");
+  }
+  WireHeader hdr;
+  std::memcpy(&hdr, message.data(), sizeof hdr);
+  if (hdr.magic != kWireMagic) {
+    throw PilotError(ErrorCode::kInternal, where + ": bad frame magic");
+  }
+  if (hdr.payload_bytes != message.size() - sizeof(WireHeader)) {
+    throw PilotError(ErrorCode::kInternal, where + ": frame length mismatch");
+  }
+  if (hdr.signature != expected_sig || hdr.payload_bytes != expected_bytes) {
+    throw PilotError(
+        ErrorCode::kTypeMismatch,
+        where + ": writer format does not match reader format (writer sig=" +
+            std::to_string(hdr.signature) + " " +
+            std::to_string(hdr.payload_bytes) + "B, reader sig=" +
+            std::to_string(expected_sig) + " " +
+            std::to_string(expected_bytes) + "B)");
+  }
+  return message.subspan(sizeof(WireHeader));
+}
+
+}  // namespace pilot

@@ -1,0 +1,76 @@
+// wire.hpp — argument marshalling and the channel wire format.
+//
+// A channel message travels as raw binary payload, preceded on MPI legs by a
+// small fixed header carrying the resolved-format signature so the receiver
+// can verify the contract (writer/reader format agreement) before touching
+// user buffers.  On intra-Cell legs (type 4) the signature rides in the
+// mailbox request words instead and payload moves header-less between local
+// stores — matching the paper's "direct transfer" design.
+//
+// The varargs conventions follow Pilot (and C): a scalar item ("%d") is
+// passed by value with the usual default promotions; an array item
+// ("%100d", "%*d") is passed as a pointer, with '*' preceded by an int
+// element count.
+#pragma once
+
+#include <cstdarg>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pilot/format.hpp"
+
+namespace pilot {
+
+/// Header prepended to payloads on MPI legs.
+struct WireHeader {
+  std::uint32_t magic = 0;      ///< kWireMagic
+  std::uint32_t signature = 0;  ///< signature(resolved writer format)
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(WireHeader) == 16);
+
+/// Magic value marking a Pilot channel message ("PILT").
+inline constexpr std::uint32_t kWireMagic = 0x50494C54;
+
+/// A writer's marshalled message.
+struct MarshalResult {
+  ResolvedFormat fmt;              ///< with '*' counts substituted
+  std::vector<std::byte> payload;  ///< raw element bytes, item by item
+};
+
+/// Consumes `args` per `fmt` (scalars by value, arrays by pointer) and
+/// packs the payload.  Throws PilotError(kFormat) on a non-positive '*'
+/// count.
+MarshalResult marshal_payload(const Format& fmt, va_list args);
+
+/// A reader's scatter plan: destination pointer per item.
+struct ReadPlan {
+  ResolvedFormat fmt;
+  std::vector<void*> destinations;  ///< one per item
+  std::size_t payload_bytes = 0;
+};
+
+/// Consumes `args` per `fmt` — for reads every item is a pointer ('*' items
+/// preceded by an int count).  Throws PilotError(kFormat) on a bad count.
+ReadPlan build_read_plan(const Format& fmt, va_list args);
+
+/// Copies `payload` into the plan's destinations.  The caller must have
+/// verified payload.size() == plan.payload_bytes.
+void scatter(const ReadPlan& plan, std::span<const std::byte> payload);
+
+/// Builds header + payload as one contiguous buffer (MPI-leg message).
+std::vector<std::byte> frame_message(std::uint32_t sig,
+                                     std::span<const std::byte> payload);
+
+/// Validates an MPI-leg message against the reader's expectations and
+/// returns a view of its payload.  `where` names the channel for
+/// diagnostics.  Throws PilotError(kTypeMismatch) on signature or size
+/// disagreement, PilotError(kInternal) on a corrupt frame.
+std::span<const std::byte> check_frame(std::span<const std::byte> message,
+                                       std::uint32_t expected_sig,
+                                       std::size_t expected_bytes,
+                                       const std::string& where);
+
+}  // namespace pilot

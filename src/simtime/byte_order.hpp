@@ -1,0 +1,22 @@
+// byte_order.hpp — architectural byte order of simulated cores.
+//
+// The paper's hybrid cluster mixes big-endian PowerPC (Cell PPEs + SPEs)
+// with little-endian x86-64 (Xeon nodes).  The enum lives in the base layer
+// so the cluster description can carry it without depending on the Pilot
+// library; the format-aware conversion logic is pilot/byteorder.hpp.
+#pragma once
+
+namespace simtime {
+
+/// Byte order of a node's cores.
+enum class ByteOrder {
+  kLittle,  ///< x86-64 (Xeon nodes; also the simulation host)
+  kBig,     ///< PowerPC (Cell PPEs and SPEs)
+};
+
+/// Returns "little" or "big".
+constexpr const char* to_string(ByteOrder order) {
+  return order == ByteOrder::kLittle ? "little" : "big";
+}
+
+}  // namespace simtime

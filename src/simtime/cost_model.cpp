@@ -1,0 +1,142 @@
+#include "simtime/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace simtime {
+
+const char* to_string(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kPpe: return "ppe";
+    case CoreKind::kXeon: return "xeon";
+    case CoreKind::kSpe: return "spe";
+  }
+  return "?";
+}
+
+void CostModel::validate() const {
+  const SimTime fields[] = {
+      net_latency,   net_per_byte,   mpi_cpu_ppe,       mpi_cpu_xeon,
+      mpi_byte_ppe,  mpi_byte_xeon,  mpi_local_latency, mpi_local_per_byte,
+      mbox_spu_write, mbox_spu_read, mbox_ppe_read,     mbox_ppe_write,
+      mbox_poll,     dma_setup,      dma_per_byte,      dma_per_chunk,
+      copy_setup,    copy_per_byte,  copilot_service,   copilot_dispatch,  copilot_dispatch_remote,
+      copilot_ls_touch, copilot_ls_per_byte, pilot_call_overhead,
+      pilot_per_byte, spu_call_overhead, handcoded_sync};
+  for (SimTime f : fields) {
+    if (f < 0) throw std::invalid_argument("CostModel: negative latency");
+  }
+  if (copilot_request_words <= 0) {
+    throw std::invalid_argument("CostModel: copilot_request_words must be > 0");
+  }
+}
+
+SimTime CostModel::mpi_cpu(CoreKind kind) const {
+  return kind == CoreKind::kPpe ? mpi_cpu_ppe : mpi_cpu_xeon;
+}
+
+SimTime CostModel::mpi_network_message(std::size_t bytes, CoreKind sender,
+                                       CoreKind receiver) const {
+  const auto n = static_cast<SimTime>(bytes);
+  const SimTime sender_byte =
+      (sender == CoreKind::kPpe ? mpi_byte_ppe : mpi_byte_xeon) * n;
+  const SimTime receiver_byte =
+      (receiver == CoreKind::kPpe ? mpi_byte_ppe : mpi_byte_xeon) * n;
+  return mpi_cpu(sender) + sender_byte + net_latency + net_per_byte * n +
+         mpi_cpu(receiver) + receiver_byte;
+}
+
+CostModel::MpiLegCosts CostModel::mpi_leg_costs(std::size_t bytes,
+                                                CoreKind sender,
+                                                CoreKind receiver,
+                                                bool same_node) const {
+  const auto n = static_cast<SimTime>(bytes);
+  if (same_node) {
+    // Shared-memory transport: the cost is split between the two endpoints;
+    // there is no wire.
+    const SimTime half = (mpi_local_latency + mpi_local_per_byte * n) / 2;
+    return MpiLegCosts{half, 0, half};
+  }
+  const SimTime sender_cost =
+      mpi_cpu(sender) +
+      (sender == CoreKind::kPpe ? mpi_byte_ppe : mpi_byte_xeon) * n;
+  const SimTime receiver_cost =
+      mpi_cpu(receiver) +
+      (receiver == CoreKind::kPpe ? mpi_byte_ppe : mpi_byte_xeon) * n;
+  return MpiLegCosts{sender_cost, net_latency + net_per_byte * n,
+                     receiver_cost};
+}
+
+SimTime CostModel::mpi_local_message(std::size_t bytes) const {
+  return mpi_local_latency + mpi_local_per_byte * static_cast<SimTime>(bytes);
+}
+
+SimTime CostModel::dma_transfer(std::size_t bytes) const {
+  // The MFC moves at most 16 KB per command; larger transfers are chunked
+  // (by a DMA list or repeated commands).
+  constexpr std::size_t kChunk = 16 * 1024;
+  const std::size_t chunks = bytes == 0 ? 1 : (bytes + kChunk - 1) / kChunk;
+  return dma_setup + dma_per_chunk * static_cast<SimTime>(chunks - 1) +
+         dma_per_byte * static_cast<SimTime>(bytes);
+}
+
+SimTime CostModel::mapped_copy(std::size_t bytes) const {
+  return copy_setup + copy_per_byte * static_cast<SimTime>(bytes);
+}
+
+SimTime CostModel::spu_request_cost() const {
+  return spu_call_overhead +
+         mbox_spu_write * static_cast<SimTime>(copilot_request_words);
+}
+
+SimTime CostModel::copilot_consume_request() const {
+  return mbox_ppe_read * static_cast<SimTime>(copilot_request_words) +
+         copilot_service;
+}
+
+SimTime CostModel::completion_signal_cost() const {
+  return mbox_ppe_write + mbox_spu_read;
+}
+
+SimTime CostModel::copilot_ls_access(std::size_t bytes) const {
+  return copilot_ls_touch + copilot_ls_per_byte * static_cast<SimTime>(bytes);
+}
+
+CostModel default_cost_model() {
+  CostModel m;  // the field initializers *are* the calibrated defaults
+  m.validate();
+  return m;
+}
+
+CostModel zero_cost_model() {
+  CostModel m;
+  m.net_latency = 0;
+  m.net_per_byte = 0;
+  m.mpi_cpu_ppe = 0;
+  m.mpi_cpu_xeon = 0;
+  m.mpi_byte_ppe = 0;
+  m.mpi_byte_xeon = 0;
+  m.mpi_local_latency = 0;
+  m.mpi_local_per_byte = 0;
+  m.mbox_spu_write = 0;
+  m.mbox_spu_read = 0;
+  m.mbox_ppe_read = 0;
+  m.mbox_ppe_write = 0;
+  m.mbox_poll = 0;
+  m.dma_setup = 0;
+  m.dma_per_byte = 0;
+  m.dma_per_chunk = 0;
+  m.copy_setup = 0;
+  m.copy_per_byte = 0;
+  m.copilot_service = 0;
+  m.copilot_dispatch = 0;
+  m.copilot_dispatch_remote = 0;
+  m.copilot_ls_touch = 0;
+  m.copilot_ls_per_byte = 0;
+  m.pilot_call_overhead = 0;
+  m.pilot_per_byte = 0;
+  m.spu_call_overhead = 0;
+  m.handcoded_sync = 0;
+  return m;
+}
+
+}  // namespace simtime

@@ -1,0 +1,23 @@
+#include "simtime/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace simtime {
+
+std::string format(SimTime t) {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(t));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", to_us(t));
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f s", static_cast<double>(t) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace simtime

@@ -1,0 +1,40 @@
+// sim_time.hpp — the simulated-time vocabulary used throughout the CellPilot
+// reproduction.
+//
+// All performance in this repository is *virtual*: hardware latencies are
+// modelled, not measured from the host.  Simulated durations are kept in
+// integer nanoseconds so that every run is bit-for-bit deterministic and
+// independent of host scheduling.  The paper reports microseconds; helpers
+// convert at the edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simtime {
+
+/// A point in, or span of, simulated time.  Unit: nanoseconds.
+using SimTime = std::int64_t;
+
+/// Zero duration / the epoch of every virtual clock.
+inline constexpr SimTime kSimTimeZero = 0;
+
+/// Construct a SimTime from nanoseconds.
+constexpr SimTime ns(std::int64_t v) { return v; }
+
+/// Construct a SimTime from microseconds (the paper's reporting unit).
+constexpr SimTime us(double v) { return static_cast<SimTime>(v * 1e3); }
+
+/// Construct a SimTime from milliseconds.
+constexpr SimTime ms(double v) { return static_cast<SimTime>(v * 1e6); }
+
+/// Convert a SimTime to (fractional) microseconds for reporting.
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Convert a SimTime to (fractional) milliseconds for reporting.
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Render a SimTime as a human-readable string ("12.34 us").
+std::string format(SimTime t);
+
+}  // namespace simtime

@@ -1,0 +1,51 @@
+// stats.hpp — small online statistics accumulator used by the benchmark
+// harness to summarize repeated virtual-time measurements.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace simtime {
+
+/// Accumulates samples (as doubles, any unit) and reports summary statistics.
+/// Keeps all samples so exact percentiles are available; benchmark sample
+/// counts here are small (thousands).
+class Stats {
+ public:
+  /// Adds one sample.
+  void add(double v);
+
+  /// Number of samples added.
+  std::size_t count() const { return samples_.size(); }
+
+  /// Sum of all samples (0 when empty).
+  double sum() const { return sum_; }
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const;
+
+  /// Smallest sample (+inf when empty).
+  double min() const { return min_; }
+
+  /// Largest sample (-inf when empty).
+  double max() const { return max_; }
+
+  /// Sample standard deviation (0 for fewer than two samples).
+  double stddev() const;
+
+  /// Exact percentile in [0,100] by nearest-rank; 0 when empty.
+  /// Sorts a copy; intended for end-of-run reporting, not hot paths.
+  double percentile(double p) const;
+
+  /// Clears all samples.
+  void reset();
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace simtime

@@ -1,0 +1,54 @@
+#include "simtime/trace.hpp"
+
+namespace simtime {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMailboxWrite: return "mbox_write";
+    case TraceKind::kMailboxRead: return "mbox_read";
+    case TraceKind::kDma: return "dma";
+    case TraceKind::kMappedCopy: return "mapped_copy";
+    case TraceKind::kMpiSend: return "mpi_send";
+    case TraceKind::kMpiRecv: return "mpi_recv";
+    case TraceKind::kCopilotService: return "copilot_service";
+    case TraceKind::kPilotCall: return "pilot_call";
+    case TraceKind::kSpeLaunch: return "spe_launch";
+    case TraceKind::kBarrier: return "barrier";
+    case TraceKind::kOther: return "other";
+  }
+  return "?";
+}
+
+Trace& Trace::global() {
+  static Trace instance;
+  return instance;
+}
+
+void Trace::record(std::string entity, TraceKind kind, std::string detail,
+                   SimTime begin, SimTime end) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  events_.push_back(TraceEvent{std::move(entity), kind, std::move(detail),
+                               begin, end});
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+}  // namespace simtime

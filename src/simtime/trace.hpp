@@ -1,0 +1,91 @@
+// trace.hpp — an optional, thread-safe event trace for the simulated cluster.
+//
+// When enabled, every modelled primitive (mailbox op, DMA, MPI message,
+// Co-Pilot service step) records a TraceEvent with its entity, kind, and
+// virtual start/end times.  Tests use the trace to assert protocol structure
+// (e.g. "a type-5 transfer crosses the network exactly once"); the benches
+// can dump it for debugging.  Disabled tracing is a no-op with one branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+
+namespace simtime {
+
+/// Category of a traced primitive.
+enum class TraceKind : std::uint8_t {
+  kMailboxWrite,
+  kMailboxRead,
+  kDma,
+  kMappedCopy,
+  kMpiSend,
+  kMpiRecv,
+  kCopilotService,
+  kPilotCall,
+  kSpeLaunch,
+  kBarrier,
+  kOther,
+};
+
+/// Returns a stable lowercase name for a TraceKind.
+const char* to_string(TraceKind kind);
+
+/// One recorded primitive.
+struct TraceEvent {
+  std::string entity;   ///< who performed it, e.g. "node1.spe3" or "rank2"
+  TraceKind kind;       ///< what it was
+  std::string detail;   ///< free-form, e.g. "ch=5 bytes=1600"
+  SimTime begin;        ///< virtual time when it started
+  SimTime end;          ///< virtual time when it completed
+};
+
+/// A process-wide trace sink.  Cheap when disabled (default).
+class Trace {
+ public:
+  /// The process-wide instance used by all simulated entities.
+  static Trace& global();
+
+  /// Turns recording on/off.  Existing events are kept.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+
+  /// Whether events are currently recorded.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Records one event (no-op when disabled).
+  void record(std::string entity, TraceKind kind, std::string detail,
+              SimTime begin, SimTime end);
+
+  /// Snapshot of all events recorded so far, in insertion order.
+  std::vector<TraceEvent> events() const;
+
+  /// Number of recorded events with the given kind.
+  std::size_t count(TraceKind kind) const;
+
+  /// Drops all recorded events.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Scoped enable/disable for tests: enables (and clears) the global trace on
+/// construction, disables it on destruction.
+class ScopedTrace {
+ public:
+  ScopedTrace() {
+    Trace::global().clear();
+    Trace::global().set_enabled(true);
+  }
+  ~ScopedTrace() { Trace::global().set_enabled(false); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+}  // namespace simtime

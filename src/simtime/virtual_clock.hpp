@@ -1,0 +1,78 @@
+// virtual_clock.hpp — Lamport-style virtual clocks.
+//
+// Every simulated entity (PPE process, SPE, Co-Pilot rank, NIC) owns one
+// VirtualClock.  Local work advances the owner's clock; communication joins
+// clocks: a message departs stamped with the sender's clock plus the modelled
+// transfer cost, and the receiver sets its clock to
+//   max(receiver_clock, message_arrival_stamp).
+//
+// The result is that elapsed virtual time on any entity reflects the critical
+// path through the modelled costs, exactly like wall-clock time would on the
+// real machine — but deterministically, regardless of host thread scheduling.
+//
+// Threading: clocks are logically single-writer (the owning entity), but the
+// simulated entities are host threads, and completion notifications can race
+// with local reads in test harnesses, so all operations are atomic.
+#pragma once
+
+#include <atomic>
+
+#include "simtime/sim_time.hpp"
+
+namespace simtime {
+
+/// A monotonically non-decreasing per-entity virtual clock.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(SimTime start) : now_(start) {}
+
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time of the owning entity.
+  SimTime now() const { return now_.load(std::memory_order_acquire); }
+
+  /// Spend `cost` of local work; returns the new time.
+  SimTime advance(SimTime cost) {
+    return now_.fetch_add(cost, std::memory_order_acq_rel) + cost;
+  }
+
+  /// Join with an incoming timestamp (message arrival): the clock becomes
+  /// max(now, stamp).  Returns the resulting time.
+  SimTime join(SimTime stamp) {
+    SimTime cur = now_.load(std::memory_order_acquire);
+    while (cur < stamp &&
+           !now_.compare_exchange_weak(cur, stamp, std::memory_order_acq_rel)) {
+      // `cur` reloaded by compare_exchange_weak.
+    }
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Join with an arrival stamp and then spend `cost` of local work.
+  SimTime join_advance(SimTime stamp, SimTime cost) {
+    join(stamp);
+    return advance(cost);
+  }
+
+  /// Reset to a fixed time (harness use only — not part of entity semantics).
+  void reset(SimTime t = kSimTimeZero) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<SimTime> now_{kSimTimeZero};
+};
+
+/// RAII measurement of elapsed virtual time on one clock.
+class ClockSpan {
+ public:
+  explicit ClockSpan(const VirtualClock& clock) : clock_(clock), start_(clock.now()) {}
+
+  /// Virtual time elapsed on the clock since construction.
+  SimTime elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const VirtualClock& clock_;
+  SimTime start_;
+};
+
+}  // namespace simtime

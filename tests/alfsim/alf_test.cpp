@@ -1,0 +1,191 @@
+// Unit + property tests for the ALF-shaped data-parallel framework.
+#include "alfsim/alf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace alf;
+
+const simtime::CostModel kCost = simtime::default_cost_model();
+
+/// Kernel: out[i] = in[i] * 2 over int32 blocks.
+void double_kernel(const void* in, std::size_t in_bytes, void* out,
+                   std::size_t out_bytes) {
+  const auto* src = static_cast<const std::int32_t*>(in);
+  auto* dst = static_cast<std::int32_t*>(out);
+  const std::size_t n = std::min(in_bytes, out_bytes) / sizeof(std::int32_t);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] * 2;
+}
+
+/// Kernel: writes a constant (no input).
+void fill_kernel(const void*, std::size_t, void* out, std::size_t out_bytes) {
+  std::memset(out, 0x7, out_bytes);
+}
+
+TaskDesc doubling_task(unsigned accelerators, std::size_t ints_per_block,
+                       bool double_buffer = true) {
+  TaskDesc desc;
+  desc.kernel = &double_kernel;
+  desc.in_block_bytes = ints_per_block * sizeof(std::int32_t);
+  desc.out_block_bytes = desc.in_block_bytes;
+  desc.accelerators = accelerators;
+  desc.double_buffer = double_buffer;
+  return desc;
+}
+
+TEST(Alf, TaskValidation) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  TaskDesc bad;
+  EXPECT_THROW(rt.create_task(bad), std::invalid_argument);  // no kernel
+  bad.kernel = &double_kernel;
+  EXPECT_THROW(rt.create_task(bad), std::invalid_argument);  // no data
+  bad.in_block_bytes = 64;
+  bad.accelerators = 17;  // more than the blade has
+  EXPECT_THROW(rt.create_task(bad), std::invalid_argument);
+}
+
+TEST(Alf, ProcessesEveryBlockExactlyOnce) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  constexpr int kBlocks = 24;
+  constexpr std::size_t kInts = 32;
+
+  alignas(128) static std::int32_t input[kBlocks][kInts];
+  alignas(128) static std::int32_t output[kBlocks][kInts];
+  for (int b = 0; b < kBlocks; ++b) {
+    for (std::size_t i = 0; i < kInts; ++i) {
+      input[b][i] = b * 100 + static_cast<int>(i);
+      output[b][i] = -1;
+    }
+  }
+
+  auto task = rt.create_task(doubling_task(4, kInts));
+  for (int b = 0; b < kBlocks; ++b) {
+    task->add_work_block(input[b], output[b]);
+  }
+  task->wait();
+
+  EXPECT_EQ(task->blocks_processed(), static_cast<std::uint64_t>(kBlocks));
+  for (int b = 0; b < kBlocks; ++b) {
+    for (std::size_t i = 0; i < kInts; ++i) {
+      ASSERT_EQ(output[b][i], 2 * (b * 100 + static_cast<int>(i)))
+          << "block " << b << " index " << i;
+    }
+  }
+}
+
+TEST(Alf, WorkIsSharedAcrossAccelerators) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  constexpr int kBlocks = 64;
+  alignas(128) static std::int32_t in[kBlocks][16];
+  alignas(128) static std::int32_t out[kBlocks][16];
+
+  auto task = rt.create_task(doubling_task(4, 16));
+  for (int b = 0; b < kBlocks; ++b) task->add_work_block(in[b], out[b]);
+  task->wait();
+
+  const auto per = task->per_accelerator_blocks();
+  ASSERT_EQ(per.size(), 4u);
+  const std::uint64_t total = std::accumulate(per.begin(), per.end(),
+                                              std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kBlocks));
+  // Demand-driven: no lane may process more than the whole queue, and the
+  // busiest lane accounts for all blocks only if host scheduling let it
+  // drain the queue before the others started — legal, so only bounds are
+  // asserted here (the virtual-time overlap property has its own test).
+  for (std::uint64_t n : per) EXPECT_LE(n, static_cast<std::uint64_t>(kBlocks));
+}
+
+TEST(Alf, OutputOnlyTasksWork) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  TaskDesc desc;
+  desc.kernel = &fill_kernel;
+  desc.out_block_bytes = 64;
+  desc.accelerators = 2;
+
+  alignas(128) static std::uint8_t out[4][64];
+  std::memset(out, 0, sizeof out);
+  auto task = rt.create_task(desc);
+  for (auto& block : out) task->add_work_block(nullptr, block);
+  task->wait();
+  for (auto& block : out) {
+    for (std::uint8_t v : block) ASSERT_EQ(v, 0x7);
+  }
+}
+
+TEST(Alf, FinalizeWithNoBlocksCompletes) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  auto task = rt.create_task(doubling_task(2, 16));
+  task->finalize();
+  task->wait();
+  EXPECT_EQ(task->blocks_processed(), 0u);
+}
+
+TEST(Alf, AddAfterFinalizeIsAnError) {
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  auto task = rt.create_task(doubling_task(1, 16));
+  task->finalize();
+  int dummy = 0;
+  EXPECT_THROW(task->add_work_block(&dummy, &dummy), std::invalid_argument);
+  task->wait();
+}
+
+TEST(Alf, DoubleBufferingOverlapsTransferWithCompute) {
+  // The ablation the framework exists for: with double buffering the next
+  // block's DMA hides behind the kernel, so N blocks on one SPE cost about
+  // N * max(dma, compute) instead of N * (dma + compute).
+  constexpr int kBlocks = 16;
+  constexpr std::size_t kInts = 2048;  // 8 KB blocks: dma cost visible
+  alignas(128) static std::int32_t in[kBlocks][kInts];
+  alignas(128) static std::int32_t out[kBlocks][kInts];
+
+  auto run_once = [&](bool double_buffer) {
+    cellsim::CellBlade blade("alf", kCost);
+    Runtime rt(blade, kCost);
+    auto task = rt.create_task(doubling_task(1, kInts, double_buffer));
+    for (int b = 0; b < kBlocks; ++b) task->add_work_block(in[b], out[b]);
+    task->wait();
+    return task->elapsed();
+  };
+
+  const simtime::SimTime with = run_once(true);
+  const simtime::SimTime without = run_once(false);
+  EXPECT_LT(with, without);
+}
+
+/// Property: block counts and values survive any accelerator count.
+class AlfScaling : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlfScaling, CorrectForEveryAcceleratorCount) {
+  const unsigned accelerators = GetParam();
+  cellsim::CellBlade blade("alf", kCost);
+  Runtime rt(blade, kCost);
+  constexpr int kBlocks = 12;
+  alignas(128) static std::int32_t in[kBlocks][8];
+  alignas(128) static std::int32_t out[kBlocks][8];
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int i = 0; i < 8; ++i) in[b][i] = b + i;
+  }
+  auto task = rt.create_task(doubling_task(accelerators, 8));
+  for (int b = 0; b < kBlocks; ++b) task->add_work_block(in[b], out[b]);
+  task->wait();
+  EXPECT_EQ(task->blocks_processed(), static_cast<std::uint64_t>(kBlocks));
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(out[b][i], 2 * (b + i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, AlfScaling,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+}  // namespace

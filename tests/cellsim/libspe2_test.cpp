@@ -1,0 +1,200 @@
+// Unit tests for the libspe2-style context shim and the SPU intrinsics
+// binding.
+#include "cellsim/libspe2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "cellsim/cell.hpp"
+#include "cellsim/errors.hpp"
+#include "cellsim/spu.hpp"
+
+namespace {
+
+using namespace cellsim;
+using namespace cellsim::spe2;
+
+const simtime::CostModel kCost = simtime::default_cost_model();
+
+int trivial_main(std::uint64_t, std::uint64_t argp, std::uint64_t) {
+  return static_cast<int>(argp);
+}
+
+int ls_probe_main(std::uint64_t, std::uint64_t argp, std::uint64_t) {
+  // While running, intrinsics must be bound and the local store usable.
+  EXPECT_TRUE(spu::bound());
+  auto* used = static_cast<std::size_t*>(
+      ptr_of(static_cast<EffectiveAddress>(argp)));
+  *used = spu::self().allocator().used();
+  const LsAddr p = spu::ls_alloc(1024);
+  std::memset(spu::ls_ptr(p, 1024), 0x5A, 1024);
+  spu::ls_free(p);
+  return 0;
+}
+
+int mbox_echo_main(std::uint64_t, std::uint64_t, std::uint64_t) {
+  const std::uint32_t v = spu::spu_read_in_mbox();
+  spu::spu_write_out_mbox(v + 1);
+  return 0;
+}
+
+TEST(Libspe2, RunReturnsProgramExitCode) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext ctx(spe);
+  spe_stop_info_t stop;
+  const spe_program_handle_t prog{"trivial", &trivial_main, 1024};
+  EXPECT_EQ(ctx.run(prog, 42, 0, &stop), 42);
+  EXPECT_EQ(stop.exit_code, 42);
+}
+
+TEST(Libspe2, LoaderChargesTextAndStack) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext ctx(spe);
+  std::size_t used_during_run = 0;
+  const spe_program_handle_t prog{"probe", &ls_probe_main, 10000};
+  ctx.run(prog, ea_of(&used_during_run), 0);
+  EXPECT_GE(used_during_run, 10000u + kDefaultSpeStackBytes);
+}
+
+TEST(Libspe2, ReloadResetsTheLocalStore) {
+  Spe spe(0, "t.spe0", kCost);
+  const spe_program_handle_t prog{"probe", &ls_probe_main, 10000};
+  std::size_t first = 0, second = 0;
+  {
+    SpeContext ctx(spe);
+    ctx.run(prog, ea_of(&first), 0);
+  }
+  {
+    SpeContext ctx(spe);
+    ctx.run(prog, ea_of(&second), 0);
+  }
+  EXPECT_EQ(first, second);  // no leak across reloads
+}
+
+TEST(Libspe2, OneContextPerSpe) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext ctx(spe);
+  EXPECT_THROW(SpeContext second(spe), ContextFault);
+}
+
+TEST(Libspe2, ContextFreedOnDestroy) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext* ctx = spe_context_create(spe);
+  spe_context_destroy(ctx);
+  EXPECT_NO_THROW(SpeContext again(spe));
+}
+
+TEST(Libspe2, NullArgumentsFault) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext ctx(spe);
+  EXPECT_THROW(spe_context_run(nullptr, nullptr, 0, 0), ContextFault);
+  const spe_program_handle_t no_entry{"bad", nullptr, 0};
+  EXPECT_THROW(ctx.run(no_entry, 0, 0), ContextFault);
+}
+
+TEST(Libspe2, MailboxApiRoundTrip) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext* ctx = spe_context_create(spe);
+  const spe_program_handle_t prog{"echo", &mbox_echo_main, 1024};
+  std::thread runner([&] { spe_context_run(ctx, &prog, 0, 0); });
+
+  const std::uint32_t in = 41;
+  EXPECT_EQ(spe_in_mbox_write(ctx, &in, 1, simtime::us(1)), 1);
+
+  std::uint32_t out = 0;
+  simtime::SimTime stamp = 0;
+  while (spe_out_mbox_read(ctx, &out, 1, &stamp) == 0) {
+    std::this_thread::yield();
+  }
+  runner.join();
+  EXPECT_EQ(out, 42u);
+  EXPECT_GT(stamp, 0);
+  EXPECT_EQ(spe_out_mbox_status(ctx), 0);
+  spe_context_destroy(ctx);
+}
+
+TEST(Libspe2, LsAreaIsTheMappedStore) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext* ctx = spe_context_create(spe);
+  EXPECT_EQ(spe_ls_area_get(ctx), spe.local_store().base());
+  spe_context_destroy(ctx);
+}
+
+TEST(Spu, IntrinsicsFaultOffSpe) {
+  EXPECT_FALSE(spu::bound());
+  EXPECT_THROW(spu::self(), ContextFault);
+  EXPECT_THROW(spu::spu_read_in_mbox(), ContextFault);
+  EXPECT_THROW(spu::mfc_write_tag_mask(1), ContextFault);
+}
+
+TEST(Spe, SignalIndexValidated) {
+  Spe spe(0, "t.spe0", kCost);
+  EXPECT_NO_THROW(spe.signal(0));
+  EXPECT_NO_THROW(spe.signal(1));
+  EXPECT_THROW(spe.signal(2), HardwareFault);
+}
+
+TEST(Spe, LsToEaTranslationIsBoundsChecked) {
+  Spe spe(0, "t.spe0", kCost);
+  EXPECT_EQ(spe.ls_to_ea(0, 16), spe.ls_effective_base());
+  EXPECT_THROW(spe.ls_to_ea(kLocalStoreSize - 1, 16), LocalStoreFault);
+}
+
+TEST(CellBlade, FlatSpeIndexSpansBothChips) {
+  CellBlade blade("b", kCost);
+  EXPECT_EQ(blade.spe_count(), 16u);
+  EXPECT_EQ(blade.spe(0).name(), "b.cell0.spe0");
+  EXPECT_EQ(blade.spe(8).name(), "b.cell1.spe0");
+  EXPECT_EQ(blade.spe(15).name(), "b.cell1.spe7");
+  EXPECT_THROW(blade.spe(16), HardwareFault);
+}
+
+TEST(CellProcessor, HasEightSpesByDefault) {
+  CellProcessor chip("c", kCost);
+  EXPECT_EQ(chip.spe_count(), 8u);
+  EXPECT_THROW(chip.spe(8), HardwareFault);
+}
+
+TEST(Ppe, HasTwoHardwareThreads) {
+  Ppe ppe("p");
+  EXPECT_NO_THROW(ppe.thread_clock(0));
+  EXPECT_NO_THROW(ppe.thread_clock(1));
+  EXPECT_THROW(ppe.thread_clock(2), HardwareFault);
+}
+
+}  // namespace
+
+namespace {
+
+int intr_mbox_main(std::uint64_t, std::uint64_t, std::uint64_t) {
+  cellsim::spu::spu_write_out_intr_mbox(0xFEED);
+  return 0;
+}
+
+TEST(Libspe2, InterruptMailboxCarriesUrgentWords) {
+  Spe spe(0, "t.spe0", kCost);
+  SpeContext ctx(spe);
+  const spe_program_handle_t prog{"intr", &intr_mbox_main, 1024};
+  ctx.run(prog, 0, 0);
+  const auto entry = spe.outbound_interrupt_mailbox().try_pop();
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->value, 0xFEEDu);
+  // The regular outbound mailbox stays empty.
+  EXPECT_FALSE(spe.outbound_mailbox().try_pop().has_value());
+}
+
+TEST(Eib, RecordsType4Traffic) {
+  cellsim::Eib eib;
+  eib.record("spe0", "spe1", 1600);
+  eib.record("spe1", "spe0", 16);
+  EXPECT_EQ(eib.transfer_count(), 2u);
+  EXPECT_EQ(eib.total_bytes(), 1616u);
+  const auto log = eib.transfers();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].src, "spe0");
+  EXPECT_EQ(log[1].bytes, 16u);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Unit + property tests for the 256 KB local store and its allocator.
+#include "cellsim/local_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace {
+
+using namespace cellsim;
+
+TEST(LocalStore, IsExactly256K) {
+  LocalStore ls;
+  EXPECT_EQ(ls.size(), 256u * 1024u);
+  EXPECT_EQ(ls.size(), kLocalStoreSize);
+}
+
+TEST(LocalStore, ReadWriteRoundTrip) {
+  LocalStore ls;
+  const char msg[] = "cell broadband engine";
+  ls.write(1024, msg, sizeof msg);
+  char out[sizeof msg] = {};
+  ls.read(1024, out, sizeof msg);
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(LocalStore, AccessAtExactEndIsAllowed) {
+  LocalStore ls;
+  EXPECT_NO_THROW(ls.at(kLocalStoreSize - 16, 16));
+  EXPECT_NO_THROW(ls.at(kLocalStoreSize, 0));
+}
+
+TEST(LocalStore, OutOfRangeAccessFaults) {
+  LocalStore ls;
+  EXPECT_THROW(ls.at(kLocalStoreSize - 15, 16), LocalStoreFault);
+  EXPECT_THROW(ls.at(kLocalStoreSize + 1, 0), LocalStoreFault);
+  EXPECT_THROW(ls.at(0, kLocalStoreSize + 1), LocalStoreFault);
+}
+
+TEST(LocalStore, FillSetsEveryByte) {
+  LocalStore ls;
+  ls.fill(std::byte{0xAB});
+  EXPECT_EQ(ls.base()[0], std::byte{0xAB});
+  EXPECT_EQ(ls.base()[kLocalStoreSize - 1], std::byte{0xAB});
+}
+
+TEST(LsAllocator, FirstFitAndAlignment) {
+  LsAllocator a;
+  const LsAddr p1 = a.allocate(100, 16);
+  const LsAddr p2 = a.allocate(100, 128);
+  EXPECT_EQ(p1 % 16, 0u);
+  EXPECT_EQ(p2 % 128, 0u);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(LsAllocator, RejectsZeroLengthAndBadAlignment) {
+  LsAllocator a;
+  EXPECT_THROW(a.allocate(0), LocalStoreFault);
+  EXPECT_THROW(a.allocate(16, 3), LocalStoreFault);
+}
+
+TEST(LsAllocator, ExhaustionFaultsWithDiagnostic) {
+  LsAllocator a;
+  a.allocate(200 * 1024);
+  try {
+    a.allocate(100 * 1024);
+    FAIL() << "expected LocalStoreFault";
+  } catch (const LocalStoreFault& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+}
+
+TEST(LsAllocator, FreeingMakesSpaceReusable) {
+  LsAllocator a;
+  const LsAddr p = a.allocate(128 * 1024);
+  EXPECT_THROW(a.allocate(200 * 1024), LocalStoreFault);
+  a.deallocate(p);
+  EXPECT_NO_THROW(a.allocate(200 * 1024));
+}
+
+TEST(LsAllocator, CoalescingMergesNeighbours) {
+  LsAllocator a;
+  const LsAddr p1 = a.allocate(64 * 1024);
+  const LsAddr p2 = a.allocate(64 * 1024);
+  const LsAddr p3 = a.allocate(64 * 1024);
+  a.deallocate(p1);
+  a.deallocate(p3);
+  // Middle still allocated: the largest hole is 64K (plus the tail).
+  a.deallocate(p2);
+  EXPECT_EQ(a.largest_free_block(), kLocalStoreSize);
+}
+
+TEST(LsAllocator, DoubleFreeFaults) {
+  LsAllocator a;
+  const LsAddr p = a.allocate(64);
+  a.deallocate(p);
+  EXPECT_THROW(a.deallocate(p), LocalStoreFault);
+}
+
+TEST(LsAllocator, WildFreeFaults) {
+  LsAllocator a;
+  a.allocate(64);
+  EXPECT_THROW(a.deallocate(12345), LocalStoreFault);
+}
+
+TEST(LsAllocator, SegmentsAreAccounted) {
+  LsAllocator a;
+  a.reserve_segment("text:prog", 10336);
+  a.reserve_segment("stack", 8192);
+  EXPECT_EQ(a.segment_bytes(), 10336u + 8192u);
+  ASSERT_EQ(a.segments().size(), 2u);
+  EXPECT_EQ(a.segments()[0].name, "text:prog");
+  EXPECT_GE(a.used(), 10336u + 8192u);
+}
+
+TEST(LsAllocator, ResetRestoresPowerOnState) {
+  LsAllocator a;
+  a.reserve_segment("text", 1024);
+  a.allocate(4096);
+  a.reset();
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.segment_bytes(), 0u);
+  EXPECT_EQ(a.largest_free_block(), kLocalStoreSize);
+}
+
+TEST(LsAllocator, UsedTracksLiveBytes) {
+  LsAllocator a;
+  const LsAddr p = a.allocate(1000, 16);
+  EXPECT_GE(a.used(), 1000u);
+  a.deallocate(p);
+  EXPECT_EQ(a.used(), 0u);
+}
+
+/// Property sweep: allocations of many sizes/alignments all land aligned and
+/// within the store, and freeing everything restores full capacity.
+class LsAllocatorSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(LsAllocatorSweep, AlignedInRangeAndReclaimable) {
+  const auto [len, align] = GetParam();
+  LsAllocator a;
+  std::vector<LsAddr> blocks;
+  // Allocate until exhaustion (bounded: first-fit over a long free list is
+  // quadratic, so tiny-block sweeps stop at a few thousand live blocks).
+  try {
+    while (blocks.size() < 4096) blocks.push_back(a.allocate(len, align));
+  } catch (const LocalStoreFault&) {
+  }
+  EXPECT_FALSE(blocks.empty());
+  for (const LsAddr p : blocks) {
+    EXPECT_EQ(p % align, 0u);
+    EXPECT_LE(p + len, kLocalStoreSize);
+  }
+  for (const LsAddr p : blocks) a.deallocate(p);
+  EXPECT_EQ(a.largest_free_block(), kLocalStoreSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlignments, LsAllocatorSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{100, 16},
+                      std::pair<std::size_t, std::size_t>{1600, 128},
+                      std::pair<std::size_t, std::size_t>{4096, 256},
+                      std::pair<std::size_t, std::size_t>{65536, 16}));
+
+}  // namespace

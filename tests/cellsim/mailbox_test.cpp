@@ -1,0 +1,145 @@
+// Unit tests for SPE mailbox FIFOs (hardware depths, stalls, stamps).
+#include "cellsim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cellsim/signal.hpp"
+#include "cellsim/spe.hpp"
+
+namespace {
+
+using namespace cellsim;
+using simtime::us;
+
+TEST(Mailbox, RejectsZeroCapacity) { EXPECT_THROW(Mailbox m(0), MailboxFault); }
+
+TEST(Mailbox, FifoOrderAndStamps) {
+  Mailbox m(4);
+  ASSERT_TRUE(m.try_push(1, us(1)));
+  ASSERT_TRUE(m.try_push(2, us(2)));
+  auto a = m.pop_blocking();
+  auto b = m.pop_blocking();
+  EXPECT_EQ(a.value, 1u);
+  EXPECT_EQ(a.stamp, us(1));
+  EXPECT_EQ(b.value, 2u);
+  EXPECT_EQ(b.stamp, us(2));
+}
+
+TEST(Mailbox, TryPushFailsWhenFull) {
+  Mailbox m(1);
+  EXPECT_TRUE(m.try_push(7, 0));
+  EXPECT_FALSE(m.try_push(8, 0));
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_EQ(m.free_slots(), 0u);
+}
+
+TEST(Mailbox, TryPopEmptyReturnsNothing) {
+  Mailbox m(4);
+  EXPECT_FALSE(m.try_pop().has_value());
+}
+
+TEST(Mailbox, HardwareDepthsMatchCellBe) {
+  EXPECT_EQ(kInboundMailboxDepth, 4u);
+  EXPECT_EQ(kOutboundMailboxDepth, 1u);
+  EXPECT_EQ(kOutboundInterruptMailboxDepth, 1u);
+}
+
+TEST(Mailbox, BlockingPushStallsUntilDrained) {
+  Mailbox m(1);
+  ASSERT_TRUE(m.try_push(1, 0));
+  std::thread writer([&] { m.push_blocking(2, us(9)); });
+  // Give the writer a chance to block, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(m.pop_blocking().value, 1u);
+  writer.join();
+  EXPECT_EQ(m.pop_blocking().value, 2u);
+}
+
+TEST(Mailbox, BlockingPopStallsUntilDataArrives) {
+  Mailbox m(4);
+  std::uint32_t got = 0;
+  std::thread reader([&] { got = m.pop_blocking().value; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  m.push_blocking(42, 0);
+  reader.join();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(Mailbox, CloseWakesBlockedReaderWithFault) {
+  Mailbox m(4);
+  std::exception_ptr seen;
+  std::thread reader([&] {
+    try {
+      m.pop_blocking();
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  m.close();
+  reader.join();
+  ASSERT_TRUE(seen != nullptr);
+  EXPECT_THROW(std::rethrow_exception(seen), MailboxFault);
+}
+
+TEST(Mailbox, CloseWakesBlockedWriterWithFault) {
+  Mailbox m(1);
+  ASSERT_TRUE(m.try_push(1, 0));
+  std::exception_ptr seen;
+  std::thread writer([&] {
+    try {
+      m.push_blocking(2, 0);
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  m.close();
+  writer.join();
+  ASSERT_TRUE(seen != nullptr);
+  EXPECT_THROW(std::rethrow_exception(seen), MailboxFault);
+}
+
+TEST(Mailbox, ClosedMailboxDrainsThenFaults) {
+  Mailbox m(4);
+  m.try_push(5, 0);
+  m.close();
+  EXPECT_TRUE(m.closed());
+  // A queued entry is still deliverable...
+  EXPECT_EQ(m.pop_blocking().value, 5u);
+  // ...but an empty closed mailbox faults.
+  EXPECT_THROW(m.pop_blocking(), MailboxFault);
+  EXPECT_THROW(m.try_pop(), MailboxFault);
+  EXPECT_THROW(m.try_push(1, 0), MailboxFault);
+}
+
+TEST(SignalRegister, OrModeAccumulates) {
+  cellsim::SignalRegister sig(/*or_mode=*/true);
+  sig.send(0b001, us(1));
+  sig.send(0b100, us(2));
+  const auto r = sig.read_blocking();
+  EXPECT_EQ(r.bits, 0b101u);
+  EXPECT_EQ(r.stamp, us(2));
+  EXPECT_EQ(sig.peek(), 0u);  // read clears
+}
+
+TEST(SignalRegister, OverwriteModeKeepsLast) {
+  cellsim::SignalRegister sig(/*or_mode=*/false);
+  sig.send(0b001, us(1));
+  sig.send(0b100, us(2));
+  EXPECT_EQ(sig.read_blocking().bits, 0b100u);
+}
+
+TEST(SignalRegister, ReadBlocksUntilNonZero) {
+  cellsim::SignalRegister sig;
+  std::uint32_t got = 0;
+  std::thread reader([&] { got = sig.read_blocking().bits; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sig.send(9, 0);
+  reader.join();
+  EXPECT_EQ(got, 9u);
+}
+
+}  // namespace

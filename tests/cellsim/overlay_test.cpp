@@ -1,0 +1,139 @@
+// Unit tests for SPE code overlays (paper §II.A).
+#include "cellsim/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cellsim/libspe2.hpp"
+#include "cellsim/spu.hpp"
+
+namespace {
+
+using namespace cellsim;
+
+const simtime::CostModel kCost = simtime::default_cost_model();
+
+/// Runs `body` as an SPE program on a fresh SPE.
+template <typename Body>
+void on_spe(Body&& body) {
+  static thread_local std::function<void()> t_body;
+  t_body = std::forward<Body>(body);
+  Spe spe(0, "ov.spe0", kCost);
+  spe2::SpeContext ctx(spe);
+  const spe2::spe_program_handle_t prog{
+      "overlay_body",
+      +[](std::uint64_t, std::uint64_t, std::uint64_t) -> int {
+        t_body();
+        return 0;
+      },
+      2048};
+  ctx.run(prog, 0, 0);
+}
+
+TEST(Overlay, OffSpeConstructionFaults) {
+  EXPECT_THROW(OverlayRegion region, ContextFault);
+}
+
+TEST(Overlay, RegionSizedToLargestSegment) {
+  on_spe([] {
+    OverlayRegion region;
+    region.register_segment("small", 10 * 1024);
+    EXPECT_EQ(region.region_bytes(), 10u * 1024u);
+    region.register_segment("large", 60 * 1024);
+    EXPECT_EQ(region.region_bytes(), 60u * 1024u);
+    region.register_segment("medium", 30 * 1024);
+    EXPECT_EQ(region.region_bytes(), 60u * 1024u);
+  });
+}
+
+TEST(Overlay, FirstUseLoadsThenResidencyIsFree) {
+  on_spe([] {
+    OverlayRegion region;
+    const OverlaySegment a = region.register_segment("a", 16 * 1024);
+    EXPECT_EQ(region.resident(), -1);
+    EXPECT_TRUE(region.ensure_loaded(a));
+    EXPECT_FALSE(region.ensure_loaded(a));
+    EXPECT_EQ(region.swap_count(), 1u);
+    EXPECT_EQ(region.resident(), a.id);
+  });
+}
+
+TEST(Overlay, SwapsChargeDmaTime) {
+  on_spe([] {
+    simtime::VirtualClock& clock = spu::self().clock();
+    OverlayRegion region;
+    const OverlaySegment a = region.register_segment("a", 32 * 1024);
+    const OverlaySegment b = region.register_segment("b", 32 * 1024);
+    const simtime::SimTime before = clock.now();
+    region.ensure_loaded(a);
+    region.ensure_loaded(b);
+    region.ensure_loaded(a);
+    EXPECT_EQ(region.swap_count(), 3u);
+    EXPECT_EQ(clock.now() - before, 3 * kCost.dma_transfer(32 * 1024));
+  });
+}
+
+TEST(Overlay, RunExecutesBodyWithSegmentResident) {
+  on_spe([] {
+    OverlayRegion region;
+    const OverlaySegment phase1 = region.register_segment("phase1", 8192);
+    const OverlaySegment phase2 = region.register_segment("phase2", 8192);
+    int calls = 0;
+    const int result = region.run(phase1, [&] {
+      ++calls;
+      EXPECT_EQ(region.resident(), phase1.id);
+      return 41;
+    });
+    EXPECT_EQ(result, 41);
+    region.run(phase2, [&] { ++calls; });
+    region.run(phase2, [&] { ++calls; });  // no swap
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(region.swap_count(), 2u);
+  });
+}
+
+TEST(Overlay, GrowingInvalidatesResidency) {
+  on_spe([] {
+    OverlayRegion region;
+    const OverlaySegment a = region.register_segment("a", 4096);
+    region.ensure_loaded(a);
+    region.register_segment("big", 8192);  // re-reserves the region
+    EXPECT_EQ(region.resident(), -1);
+    EXPECT_TRUE(region.ensure_loaded(a));
+  });
+}
+
+TEST(Overlay, LocalStoreBudgetStillEnforced) {
+  on_spe([] {
+    OverlayRegion region;
+    // Text+stack are already charged; a 260 KB overlay cannot fit.
+    EXPECT_THROW(region.register_segment("huge", 260 * 1024),
+                 LocalStoreFault);
+  });
+}
+
+TEST(Overlay, ZeroSizedSegmentRejected) {
+  on_spe([] {
+    OverlayRegion region;
+    EXPECT_THROW(region.register_segment("empty", 0), LocalStoreFault);
+  });
+}
+
+TEST(Overlay, UnknownHandleFaults) {
+  on_spe([] {
+    OverlayRegion region;
+    EXPECT_THROW(region.ensure_loaded(OverlaySegment{5}), LocalStoreFault);
+    EXPECT_THROW(region.segment_name(OverlaySegment{-1}), LocalStoreFault);
+  });
+}
+
+TEST(Overlay, SegmentNamesAreKept) {
+  on_spe([] {
+    OverlayRegion region;
+    const OverlaySegment s = region.register_segment("fft-pass", 1024);
+    EXPECT_EQ(region.segment_name(s), "fft-pass");
+  });
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Unit tests for the cluster layer: node specs, rank placement, Co-Pilot
+// and service rank layout, and the paper's testbed configuration.
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cluster;
+
+TEST(ClusterConfig, PaperTestbedShape) {
+  // 8 dual-PowerXCell blades + 4 Xeon nodes (2x4-core, 2x8-core).
+  const ClusterConfig c = ClusterConfig::paper_testbed();
+  ASSERT_EQ(c.nodes.size(), 12u);
+  int cells = 0, xeon_ranks = 0;
+  for (const NodeSpec& n : c.nodes) {
+    if (n.kind == NodeKind::kCell) {
+      ++cells;
+    } else {
+      xeon_ranks += static_cast<int>(n.ranks);
+    }
+  }
+  EXPECT_EQ(cells, 8);
+  EXPECT_EQ(xeon_ranks, 4 + 4 + 8 + 8);
+}
+
+TEST(Cluster, EmptyConfigRejected) {
+  EXPECT_THROW(Cluster(ClusterConfig{}), std::invalid_argument);
+}
+
+TEST(Cluster, UserRanksAreContiguousFromZero) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(2));
+  c.nodes.push_back(NodeSpec::xeon(3));
+  Cluster cl(std::move(c));
+  EXPECT_EQ(cl.user_rank_count(), 5);
+  EXPECT_EQ(cl.first_rank_of_node(0), 0);
+  EXPECT_EQ(cl.first_rank_of_node(1), 2);
+  for (int r = 0; r < 2; ++r) EXPECT_EQ(cl.node_of_rank(r), 0);
+  for (int r = 2; r < 5; ++r) EXPECT_EQ(cl.node_of_rank(r), 1);
+}
+
+TEST(Cluster, CopilotRanksFollowUserRanks) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(1));
+  c.nodes.push_back(NodeSpec::xeon(2));
+  c.nodes.push_back(NodeSpec::cell(1));
+  Cluster cl(std::move(c));
+  // 4 user ranks, then one Co-Pilot per Cell node (nodes 0 and 2).
+  EXPECT_EQ(cl.user_rank_count(), 4);
+  EXPECT_EQ(cl.world_size(), 6);
+  EXPECT_EQ(cl.copilot_rank(0), 4);
+  EXPECT_EQ(cl.copilot_rank(2), 5);
+  EXPECT_THROW(cl.copilot_rank(1), std::invalid_argument);  // Xeon node
+}
+
+TEST(Cluster, CopilotsRunOnPpeCores) {
+  Cluster cl(ClusterConfig::two_cells());
+  const mpisim::Rank cp = cl.copilot_rank(0);
+  EXPECT_EQ(cl.world().info(cp).core, simtime::CoreKind::kPpe);
+  EXPECT_EQ(cl.world().info(cp).node, 0);
+}
+
+TEST(Cluster, ServiceRankIsLastWhenConfigured) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(1));
+  c.deadlock_service = true;
+  Cluster cl(std::move(c));
+  ASSERT_TRUE(cl.service_rank().has_value());
+  EXPECT_EQ(*cl.service_rank(), cl.world_size() - 1);
+}
+
+TEST(Cluster, NoServiceRankByDefault) {
+  Cluster cl(ClusterConfig::two_cells());
+  EXPECT_FALSE(cl.service_rank().has_value());
+}
+
+TEST(Cluster, BladesExistOnlyOnCellNodes) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(1));
+  c.nodes.push_back(NodeSpec::xeon(1));
+  Cluster cl(std::move(c));
+  EXPECT_TRUE(cl.is_cell_node(0));
+  EXPECT_FALSE(cl.is_cell_node(1));
+  EXPECT_NO_THROW(cl.blade(0));
+  EXPECT_THROW(cl.blade(1), std::invalid_argument);
+  EXPECT_EQ(cl.spe_count(0), 16u);  // dual-chip blade
+  EXPECT_EQ(cl.spe_count(1), 0u);
+}
+
+TEST(Cluster, SpesPerChipIsConfigurable) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(1, /*spes_per_chip=*/4));
+  Cluster cl(std::move(c));
+  EXPECT_EQ(cl.spe_count(0), 8u);
+}
+
+TEST(Cluster, NodesGetDefaultNames) {
+  ClusterConfig c;
+  c.nodes.push_back(NodeSpec::cell(1));
+  c.nodes.push_back(NodeSpec::xeon(1));
+  Cluster cl(std::move(c));
+  EXPECT_EQ(cl.node(0).name, "node0");
+  EXPECT_EQ(cl.node(1).name, "node1");
+  EXPECT_EQ(cl.world().info(0).name, "node0.rank0");
+}
+
+TEST(Cluster, AbortClosesSpeMailboxes) {
+  Cluster cl(ClusterConfig::two_cells());
+  cl.world().abort("teardown test");
+  EXPECT_TRUE(cl.spe(0, 0).inbound_mailbox().closed());
+  EXPECT_TRUE(cl.spe(1, 15).outbound_mailbox().closed());
+}
+
+TEST(Cluster, InvalidIndicesThrow) {
+  Cluster cl(ClusterConfig::two_cells());
+  EXPECT_THROW(cl.node(2), std::out_of_range);
+  EXPECT_THROW(cl.node_of_rank(99), std::out_of_range);
+  EXPECT_THROW(cl.first_rank_of_node(-1), std::out_of_range);
+}
+
+}  // namespace

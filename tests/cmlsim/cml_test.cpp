@@ -1,0 +1,196 @@
+// Tests for the CML-shaped library (the paper's §II.D comparison system):
+// rank-addressed send/recv among SPE ranks and the hierarchical
+// collectives, across one and several Cell nodes.
+#include "cmlsim/cml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+cml::JobConfig small_job(int nodes, unsigned spes) {
+  cml::JobConfig config;
+  config.nodes = nodes;
+  config.spes_per_node = spes;
+  return config;
+}
+
+TEST(Cml, BadConfigurationsAreRejected) {
+  const auto r1 = cml::run(small_job(0, 4), [](int, int) { return 0; });
+  EXPECT_TRUE(r1.failed);
+  const auto r2 = cml::run(small_job(1, 0), [](int, int) { return 0; });
+  EXPECT_TRUE(r2.failed);
+  const auto r3 = cml::run(small_job(1, 17), [](int, int) { return 0; });
+  EXPECT_TRUE(r3.failed);
+}
+
+TEST(Cml, RanksAndSizeAreVisible) {
+  std::atomic<int> sum{0};
+  const auto r = cml::run(small_job(2, 3), [&](int rank, int size) {
+    EXPECT_EQ(size, 6);
+    EXPECT_EQ(cml::cml_rank(), rank);
+    EXPECT_EQ(cml::cml_size(), size);
+    sum.fetch_add(rank);
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Cml, IntraNodeSendRecv) {
+  std::atomic<int> got{0};
+  const auto r = cml::run(small_job(1, 2), [&](int rank, int) {
+    if (rank == 0) {
+      const int v = 777;
+      cml::cml_send(&v, sizeof v, 1);
+    } else {
+      int v = 0;
+      cml::cml_recv(&v, sizeof v, 0);
+      got.store(v);
+    }
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_EQ(got.load(), 777);
+}
+
+TEST(Cml, InterNodeSendRecvCrossesDaemons) {
+  std::atomic<long long> got{0};
+  const auto r = cml::run(small_job(2, 2), [&](int rank, int) {
+    // rank 0 lives on node 0, rank 2 on node 1.
+    if (rank == 0) {
+      const long long v = 1234567890123LL;
+      cml::cml_send(&v, sizeof v, 2);
+    } else if (rank == 2) {
+      long long v = 0;
+      cml::cml_recv(&v, sizeof v, 0);
+      got.store(v);
+    }
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_EQ(got.load(), 1234567890123LL);
+}
+
+TEST(Cml, SizeMismatchFailsBothSides) {
+  const auto r = cml::run(small_job(1, 2), [&](int rank, int) {
+    if (rank == 0) {
+      const int v = 1;
+      cml::cml_send(&v, sizeof v, 1);
+    } else {
+      double v = 0;
+      cml::cml_recv(&v, sizeof v, 0);  // 8 bytes vs 4: must fail
+    }
+    return 0;
+  });
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.error.find("status"), std::string::npos);
+}
+
+TEST(Cml, SelfAndOutOfRangePeersAreRejected) {
+  const auto r = cml::run(small_job(1, 2), [&](int rank, int) {
+    if (rank == 0) {
+      int v = 0;
+      cml::cml_send(&v, sizeof v, 0);  // self
+    }
+    return 0;
+  });
+  EXPECT_TRUE(r.failed);
+}
+
+class CmlBcast
+    : public ::testing::TestWithParam<std::tuple<int, unsigned, int>> {};
+
+TEST_P(CmlBcast, EveryRankReceivesTheRootsPayload) {
+  const auto [nodes, spes, root] = GetParam();
+  const int size = nodes * static_cast<int>(spes);
+  std::vector<std::atomic<double>> seen(static_cast<std::size_t>(size));
+  for (auto& s : seen) s.store(0);
+  const auto r = cml::run(small_job(nodes, spes), [&](int rank, int) {
+    double payload = rank == root ? 42.5 : -1.0;
+    cml::cml_bcast(&payload, sizeof payload, root);
+    seen[static_cast<std::size_t>(rank)].store(payload);
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  for (int i = 0; i < size; ++i) {
+    EXPECT_DOUBLE_EQ(seen[static_cast<std::size_t>(i)].load(), 42.5)
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CmlBcast,
+    ::testing::Values(std::make_tuple(1, 4u, 0),
+                      std::make_tuple(2, 2u, 0),
+                      std::make_tuple(2, 3u, 4),   // non-representative root
+                      std::make_tuple(3, 2u, 3)));
+
+class CmlReduce
+    : public ::testing::TestWithParam<std::tuple<int, unsigned, int>> {};
+
+TEST_P(CmlReduce, SumsEveryContributionExactlyOnce) {
+  const auto [nodes, spes, root] = GetParam();
+  const int size = nodes * static_cast<int>(spes);
+  std::atomic<double> total{-1};
+  const auto r = cml::run(small_job(nodes, spes), [&](int rank, int) {
+    const double contrib[2] = {static_cast<double>(rank), 1.0};
+    double out[2] = {};
+    cml::cml_reduce_sum(contrib, out, 2, root);
+    if (rank == root) {
+      EXPECT_DOUBLE_EQ(out[1], size);
+      total.store(out[0]);
+    }
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_DOUBLE_EQ(total.load(), size * (size - 1) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CmlReduce,
+    ::testing::Values(std::make_tuple(1, 4u, 0),
+                      std::make_tuple(2, 2u, 1),
+                      std::make_tuple(2, 4u, 5),
+                      std::make_tuple(3, 2u, 0)));
+
+TEST(Cml, AllreduceGivesEveryRankTheSum) {
+  constexpr int kNodes = 2;
+  constexpr unsigned kSpes = 3;
+  const int size = kNodes * static_cast<int>(kSpes);
+  std::vector<std::atomic<double>> results(static_cast<std::size_t>(size));
+  const auto r = cml::run(small_job(kNodes, kSpes), [&](int rank, int) {
+    const double v = rank + 1.0;
+    double out = 0;
+    cml::cml_allreduce_sum(&v, &out, 1);
+    results[static_cast<std::size_t>(rank)].store(out);
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  const double expect = size * (size + 1) / 2.0;
+  for (int i = 0; i < size; ++i) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(i)].load(), expect);
+  }
+}
+
+TEST(Cml, SpesAreRanksButPpesAreNot) {
+  // The paper's key contrast: CML gives ranks to SPEs only.  A 2-node,
+  // 8-SPE-per-node job has exactly 16 ranks — and the PPE daemons are
+  // invisible to the application.
+  std::atomic<int> max_rank{-1};
+  const auto r = cml::run(small_job(2, 8), [&](int rank, int size) {
+    EXPECT_EQ(size, 16);
+    int cur = max_rank.load();
+    while (rank > cur && !max_rank.compare_exchange_weak(cur, rank)) {
+    }
+    return 0;
+  });
+  ASSERT_FALSE(r.failed) << r.error;
+  EXPECT_EQ(max_rank.load(), 15);
+}
+
+}  // namespace

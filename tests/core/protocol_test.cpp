@@ -1,0 +1,87 @@
+// Unit tests for the CellPilot control protocol and channel taxonomy.
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/cellpilot.hpp"
+#include "pilot/context.hpp"
+
+namespace {
+
+using namespace cellpilot;
+
+TEST(Protocol, OpcodeChannelPacking) {
+  const std::uint32_t w = pack_op_channel(Opcode::kWrite, 123456);
+  EXPECT_EQ(unpack_opcode(w), Opcode::kWrite);
+  EXPECT_EQ(unpack_channel(w), 123456);
+}
+
+TEST(Protocol, PackingCoversFullChannelRange) {
+  const std::uint32_t w = pack_op_channel(Opcode::kRead, 0x00FFFFFF);
+  EXPECT_EQ(unpack_opcode(w), Opcode::kRead);
+  EXPECT_EQ(unpack_channel(w), 0x00FFFFFF);
+}
+
+TEST(Protocol, RequestIsFourWords) { EXPECT_EQ(kRequestWords, 4); }
+
+TEST(Protocol, FootprintMatchesPaperMeasurement) {
+  // The paper: "cellpilot.o takes up 10336 bytes of SPE storage".
+  EXPECT_EQ(kCellPilotSpuFootprintBytes, 10336u);
+}
+
+// --- channel-type resolution over a real configured app ---------------------
+
+PI_SPE_PROGRAM(proto_idle) { return 0; }
+
+TEST(ChannelTypes, TableOneTaxonomyResolved) {
+  // Machine: cell node 0, cell node 1, xeon node 2.
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::xeon(1));
+  cluster::Cluster machine(std::move(config));
+
+  std::atomic<bool> checked{false};
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* ppe1 = PI_CreateProcess([](int, void*) { return 0; }, 0,
+                                        nullptr);  // node 1 PPE
+    PI_PROCESS* xeon = PI_CreateProcess([](int, void*) { return 0; }, 0,
+                                        nullptr);  // node 2 Xeon
+    PI_PROCESS* spe0 = PI_CreateSPE(proto_idle, PI_MAIN, 0);  // node 0
+    PI_PROCESS* spe0b = PI_CreateSPE(proto_idle, PI_MAIN, 1);  // node 0
+    PI_PROCESS* spe1 = PI_CreateSPE(proto_idle, ppe1, 0);      // node 1
+
+    struct Case {
+      PI_PROCESS* from;
+      PI_PROCESS* to;
+      cellpilot::ChannelType expected;
+    };
+    const Case cases[] = {
+        {PI_MAIN, ppe1, ChannelType::kType1},   // PPE <-> remote PPE
+        {PI_MAIN, xeon, ChannelType::kType1},   // PPE <-> non-Cell
+        {PI_MAIN, spe0, ChannelType::kType2},   // PPE <-> local SPE
+        {spe0, PI_MAIN, ChannelType::kType2},   // direction-agnostic
+        {PI_MAIN, spe1, ChannelType::kType3},   // PPE <-> remote SPE
+        {xeon, spe0, ChannelType::kType3},      // non-Cell <-> remote SPE
+        {spe0, spe0b, ChannelType::kType4},     // SPE <-> local SPE
+        {spe0, spe1, ChannelType::kType5},      // SPE <-> remote SPE
+    };
+    auto& app = pilot::context().app();
+    for (const Case& c : cases) {
+      PI_CHANNEL* ch = PI_CreateChannel(c.from, c.to);
+      EXPECT_EQ(resolve_channel_type(app, *ch), c.expected)
+          << c.from->name << " -> " << c.to->name;
+    }
+    checked.store(true);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_TRUE(checked.load());
+}
+
+}  // namespace

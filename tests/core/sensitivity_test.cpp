@@ -1,0 +1,115 @@
+// Cost-model sensitivity properties: raising any latency knob can never
+// make a PingPong faster, and knobs affect exactly the channel types whose
+// protocol touches them.
+#include <gtest/gtest.h>
+
+#include "benchkit/pingpong.hpp"
+
+namespace {
+
+using benchkit::Method;
+using benchkit::PingPongSpec;
+using cellpilot::ChannelType;
+
+constexpr int kReps = 20;
+
+double measure(ChannelType type, Method method,
+               const simtime::CostModel& cost) {
+  PingPongSpec spec;
+  spec.type = type;
+  spec.bytes = 64;
+  spec.reps = kReps;
+  return benchkit::pingpong_us(spec, method, cost);
+}
+
+/// One knob mutation under test.
+struct Knob {
+  const char* name;
+  void (*bump)(simtime::CostModel&);
+};
+
+const Knob kKnobs[] = {
+    {"net_latency", [](simtime::CostModel& m) { m.net_latency *= 2; }},
+    {"mpi_cpu_ppe", [](simtime::CostModel& m) { m.mpi_cpu_ppe *= 2; }},
+    {"mpi_local_latency",
+     [](simtime::CostModel& m) { m.mpi_local_latency *= 2; }},
+    {"mbox_ppe_read", [](simtime::CostModel& m) { m.mbox_ppe_read *= 4; }},
+    {"copilot_service",
+     [](simtime::CostModel& m) { m.copilot_service *= 2; }},
+    {"dma_setup", [](simtime::CostModel& m) { m.dma_setup *= 2; }},
+    {"copy_setup", [](simtime::CostModel& m) { m.copy_setup *= 2; }},
+    {"spu_call_overhead",
+     [](simtime::CostModel& m) { m.spu_call_overhead *= 3; }},
+    {"pilot_call_overhead",
+     [](simtime::CostModel& m) { m.pilot_call_overhead *= 3; }},
+};
+
+class KnobMonotonicity
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(KnobMonotonicity, RaisingACostNeverSpeedsUpAnyMethod) {
+  const auto [knob_index, type_int] = GetParam();
+  const Knob& knob = kKnobs[knob_index];
+  const auto type = static_cast<ChannelType>(type_int);
+
+  simtime::CostModel base = simtime::default_cost_model();
+  simtime::CostModel bumped = base;
+  knob.bump(bumped);
+
+  for (Method method :
+       {Method::kCellPilot, Method::kDma, Method::kCopy}) {
+    const double before = measure(type, method, base);
+    const double after = measure(type, method, bumped);
+    EXPECT_GE(after, before - 1e-9)
+        << knob.name << " on type " << type_int << " with "
+        << benchkit::to_string(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnobsAndTypes, KnobMonotonicity,
+    ::testing::Combine(::testing::Range(std::size_t{0},
+                                        std::size_t{std::size(kKnobs)}),
+                       ::testing::Values(1, 2, 4, 5)));
+
+TEST(KnobTargeting, NetworkLatencyLeavesOnNodeTypesAlone) {
+  simtime::CostModel base = simtime::default_cost_model();
+  simtime::CostModel slow_net = base;
+  slow_net.net_latency *= 4;
+  for (ChannelType type : {ChannelType::kType2, ChannelType::kType4}) {
+    EXPECT_DOUBLE_EQ(measure(type, Method::kCellPilot, base),
+                     measure(type, Method::kCellPilot, slow_net));
+  }
+  for (ChannelType type : {ChannelType::kType1, ChannelType::kType3,
+                           ChannelType::kType5}) {
+    EXPECT_GT(measure(type, Method::kCellPilot, slow_net),
+              measure(type, Method::kCellPilot, base));
+  }
+}
+
+TEST(KnobTargeting, CopilotServiceLeavesType1Alone) {
+  simtime::CostModel base = simtime::default_cost_model();
+  simtime::CostModel slow_copilot = base;
+  slow_copilot.copilot_service *= 4;
+  EXPECT_DOUBLE_EQ(measure(ChannelType::kType1, Method::kCellPilot, base),
+                   measure(ChannelType::kType1, Method::kCellPilot,
+                           slow_copilot));
+  EXPECT_GT(
+      measure(ChannelType::kType2, Method::kCellPilot, slow_copilot),
+      measure(ChannelType::kType2, Method::kCellPilot, base));
+}
+
+TEST(KnobTargeting, DmaSetupOnlyMovesTheDmaColumn) {
+  simtime::CostModel base = simtime::default_cost_model();
+  simtime::CostModel slow_dma = base;
+  slow_dma.dma_setup *= 2;
+  EXPECT_GT(measure(ChannelType::kType2, Method::kDma, slow_dma),
+            measure(ChannelType::kType2, Method::kDma, base));
+  EXPECT_DOUBLE_EQ(measure(ChannelType::kType2, Method::kCopy, slow_dma),
+                   measure(ChannelType::kType2, Method::kCopy, base));
+  EXPECT_DOUBLE_EQ(
+      measure(ChannelType::kType2, Method::kCellPilot, slow_dma),
+      measure(ChannelType::kType2, Method::kCellPilot, base));
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Shape tests for the paper's evaluation (Table II / Figures 5-6): the
+// reproduction must preserve who wins, by roughly what factor, and where
+// the orderings fall — not the authors' absolute microseconds.
+#include <gtest/gtest.h>
+
+#include "baseline/handcoded.hpp"
+#include "benchkit/pingpong.hpp"
+
+namespace {
+
+using benchkit::Method;
+using benchkit::PingPongSpec;
+using cellpilot::ChannelType;
+
+constexpr int kReps = 30;
+
+double one_way(ChannelType type, std::size_t bytes, Method method) {
+  PingPongSpec spec;
+  spec.type = type;
+  spec.bytes = bytes;
+  spec.reps = kReps;
+  return benchkit::pingpong_us(spec, method, simtime::default_cost_model());
+}
+
+/// Table II shape, parameterized over channel type and payload size.
+class TableTwoShape
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(TableTwoShape, CellPilotPaysOverheadOverHandCodedTransfers) {
+  const auto [type_int, bytes] = GetParam();
+  const auto type = static_cast<ChannelType>(type_int);
+  const double cp = one_way(type, bytes, Method::kCellPilot);
+  const double dma = one_way(type, bytes, Method::kDma);
+  const double copy = one_way(type, bytes, Method::kCopy);
+
+  EXPECT_GT(cp, 0);
+  EXPECT_GT(dma, 0);
+  EXPECT_GT(copy, 0);
+  if (type == ChannelType::kType1) {
+    // No SPE endpoint: all three methods coincide up to library overhead.
+    EXPECT_NEAR(dma, copy, 1e-9);
+    EXPECT_GT(cp, dma);
+    EXPECT_LT(cp, dma * 1.25);
+  } else {
+    // Co-Pilot generality costs over both hand-coded styles (paper §V).
+    EXPECT_GT(cp, dma * 0.99);
+    EXPECT_GT(cp, copy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSizes, TableTwoShape,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(std::size_t{1}, std::size_t{1600})));
+
+TEST(TableTwoShape, TypeOrderingAtOneByteMatchesPaper) {
+  // Paper, CellPilot column @1B: type2 (59) < type1 (105) < type4 (112)
+  // < type3 (140) < type5 (189).
+  const double t1 = one_way(ChannelType::kType1, 1, Method::kCellPilot);
+  const double t2 = one_way(ChannelType::kType2, 1, Method::kCellPilot);
+  const double t3 = one_way(ChannelType::kType3, 1, Method::kCellPilot);
+  const double t4 = one_way(ChannelType::kType4, 1, Method::kCellPilot);
+  const double t5 = one_way(ChannelType::kType5, 1, Method::kCellPilot);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t1, t3);
+  EXPECT_LT(t4, t3);
+  EXPECT_LT(t3, t5);
+}
+
+TEST(TableTwoShape, RemoteTypesAreDominatedByTheNetwork) {
+  // Types 1/3/5 all carry the ~100us GigE+PPE hop; types 2/4 stay on-node.
+  for (Method m : {Method::kCellPilot, Method::kDma, Method::kCopy}) {
+    EXPECT_GT(one_way(ChannelType::kType3, 1, m),
+              one_way(ChannelType::kType2, 1, m));
+    EXPECT_GT(one_way(ChannelType::kType5, 1, m),
+              one_way(ChannelType::kType4, 1, m));
+  }
+}
+
+TEST(TableTwoShape, LocalDmaIsSizeInsensitiveButCopyIsNot) {
+  // Paper: type2 DMA is 15us at both 1B and 1600B; Copy doubles.
+  const double dma_small = one_way(ChannelType::kType2, 1, Method::kDma);
+  const double dma_large = one_way(ChannelType::kType2, 1600, Method::kDma);
+  const double copy_small = one_way(ChannelType::kType2, 1, Method::kCopy);
+  const double copy_large = one_way(ChannelType::kType2, 1600, Method::kCopy);
+  EXPECT_NEAR(dma_small, dma_large, dma_small * 0.05);
+  EXPECT_GT(copy_large, copy_small * 1.5);
+}
+
+TEST(TableTwoShape, Type4HandCodedDoublesType2) {
+  // The staged-through-main-memory protocol costs two transfers.
+  const double t2 = one_way(ChannelType::kType2, 1, Method::kDma);
+  const double t4 = one_way(ChannelType::kType4, 1, Method::kDma);
+  EXPECT_GT(t4, 1.5 * t2);
+  EXPECT_LT(t4, 2.5 * t2);
+}
+
+TEST(TableTwoShape, CopilotOverheadFactorIsInPaperBallpark) {
+  // Paper type2 @1B: CellPilot/DMA = 59/15 ~ 3.9x.  Accept 2x..6x.
+  const double ratio = one_way(ChannelType::kType2, 1, Method::kCellPilot) /
+                       one_way(ChannelType::kType2, 1, Method::kDma);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(FigureSix, ThroughputGrowsWithPayloadAndRanksInverselyToLatency) {
+  PingPongSpec small;
+  small.type = ChannelType::kType2;
+  small.bytes = 16;
+  small.reps = kReps;
+  PingPongSpec large = small;
+  large.bytes = 1600;
+  const auto cost = simtime::default_cost_model();
+  EXPECT_GT(benchkit::throughput_mbps(large, Method::kDma, cost),
+            benchkit::throughput_mbps(small, Method::kDma, cost));
+  // At 1600B the DMA path out-runs CellPilot on throughput too.
+  EXPECT_GT(benchkit::throughput_mbps(large, Method::kDma, cost),
+            benchkit::throughput_mbps(large, Method::kCellPilot, cost));
+}
+
+TEST(Extension, DirectLsToLsDmaBeatsStagingThroughMainMemory) {
+  const auto cost = simtime::default_cost_model();
+  const simtime::SimTime direct =
+      baseline::dma_direct_type4_pingpong(1600, kReps, cost);
+  const simtime::SimTime staged =
+      baseline::dma_pingpong(ChannelType::kType4, 1600, kReps, cost);
+  EXPECT_LT(direct, staged);
+  EXPECT_GT(direct, 0);
+}
+
+TEST(Determinism, VirtualTimeResultsAreExactlyReproducible) {
+  // The whole point of virtual clocks: identical runs, identical numbers.
+  const double a = one_way(ChannelType::kType5, 1600, Method::kCellPilot);
+  const double b = one_way(ChannelType::kType5, 1600, Method::kCellPilot);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace

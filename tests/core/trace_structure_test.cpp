@@ -1,0 +1,143 @@
+// Protocol-structure tests: the event trace must show exactly the hops the
+// paper's §IV design prescribes for each channel type — no more, no fewer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cellpilot.hpp"
+#include "simtime/trace.hpp"
+
+namespace {
+
+PI_CHANNEL* g_ch = nullptr;
+PI_PROCESS* g_remote_spe = nullptr;
+int g_tag = 0;  // captured during the run: channels die with the app
+
+/// Counts trace events of `kind` from entities containing `who` whose
+/// detail contains `needle`.
+std::size_t count_events(simtime::TraceKind kind, const std::string& who,
+                         const std::string& needle) {
+  std::size_t n = 0;
+  for (const auto& e : simtime::Trace::global().events()) {
+    if (e.kind == kind && e.entity.find(who) != std::string::npos &&
+        e.detail.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+PI_SPE_PROGRAM(ts_reader) {
+  int v = 0;
+  PI_Read(g_ch, "%d", &v);
+  return 0;
+}
+
+TEST(TraceStructure, Type2WriteIsOneLocalMpiMessageAndOneRequest) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+  simtime::ScopedTrace trace;
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(ts_reader, PI_MAIN, 0);
+    g_ch = PI_CreateChannel(PI_MAIN, spe);
+    g_tag = g_ch->tag();
+    PI_StartAll();
+    PI_RunSPE(spe, 0, nullptr);
+    PI_Write(g_ch, "%d", 7);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  const std::string tag = "tag=" + std::to_string(g_tag);
+  // Exactly one data message, from the writing rank to the Co-Pilot.
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "rank0", tag), 1u);
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "copilot", tag), 0u);
+  // Exactly one SPE request serviced (the read).
+  EXPECT_EQ(count_events(simtime::TraceKind::kCopilotService, "copilot",
+                         "read ch="),
+            1u);
+  // Nothing is a type-4 local copy.
+  EXPECT_EQ(simtime::Trace::global().count(simtime::TraceKind::kMappedCopy),
+            0u);
+}
+
+PI_SPE_PROGRAM(ts_writer) {
+  PI_Write(g_ch, "%d", 9);
+  return 0;
+}
+
+int ts_parent(int /*index*/, void* /*arg*/) {
+  PI_RunSPE(g_remote_spe, 0, nullptr);
+  return 0;
+}
+
+TEST(TraceStructure, Type5CrossesTheNetworkExactlyOnceViaTwoCopilots) {
+  cluster::Cluster machine(cluster::ClusterConfig::two_cells());
+  simtime::ScopedTrace trace;
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* parent = PI_CreateProcess(ts_parent, 0, nullptr);
+    PI_PROCESS* writer = PI_CreateSPE(ts_writer, PI_MAIN, 0);
+    g_remote_spe = PI_CreateSPE(ts_reader, parent, 0);
+    g_ch = PI_CreateChannel(writer, g_remote_spe);
+    g_tag = g_ch->tag();
+    PI_StartAll();
+    PI_RunSPE(writer, 0, nullptr);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  const std::string tag = "tag=" + std::to_string(g_tag);
+  // One relay: writer's Co-Pilot (node0) -> reader's Co-Pilot (node1).
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "node0.copilot", tag),
+            1u);
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "node1.copilot", tag),
+            0u);
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "rank", tag), 0u);
+  // One write request at node0, one read request at node1.
+  EXPECT_EQ(count_events(simtime::TraceKind::kCopilotService, "node0",
+                         "write ch="),
+            1u);
+  EXPECT_EQ(count_events(simtime::TraceKind::kCopilotService, "node1",
+                         "read ch="),
+            1u);
+}
+
+PI_SPE_PROGRAM(ts_pair_writer) {
+  PI_Write(g_ch, "%d", 3);
+  return 0;
+}
+
+TEST(TraceStructure, Type4NeverTouchesMpiDataPaths) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+  simtime::ScopedTrace trace;
+  PI_PROCESS* reader_proc = nullptr;
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* writer = PI_CreateSPE(ts_pair_writer, PI_MAIN, 0);
+    reader_proc = PI_CreateSPE(ts_reader, PI_MAIN, 1);
+    g_ch = PI_CreateChannel(writer, reader_proc);
+    g_tag = g_ch->tag();
+    PI_StartAll();
+    PI_RunSPE(writer, 0, nullptr);
+    PI_RunSPE(reader_proc, 0, nullptr);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  const std::string tag = "tag=" + std::to_string(g_tag);
+  // No MPI message ever carries the channel's data...
+  EXPECT_EQ(count_events(simtime::TraceKind::kMpiSend, "", tag), 0u);
+  // ...exactly one local-store to local-store copy does.
+  EXPECT_EQ(simtime::Trace::global().count(simtime::TraceKind::kMappedCopy),
+            1u);
+  // Both requests serviced by the single Co-Pilot.
+  EXPECT_EQ(count_events(simtime::TraceKind::kCopilotService, "copilot", ""),
+            2u);
+}
+
+}  // namespace

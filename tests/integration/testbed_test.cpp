@@ -1,0 +1,115 @@
+// Full-testbed integration: a job spanning the paper's entire SHARCNET
+// configuration — 8 dual-PowerXCell blades and 4 Xeon nodes — with a
+// worker process on every node, an SPE child under every Cell worker, and
+// collective bundles tying it together.  This is the "utilize every
+// available processor" scenario the Pilot papers aim at.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+
+#include "core/cellpilot.hpp"
+
+namespace {
+
+// 8 Cell workers + PI_MAIN's own SPE child; Xeon nodes contribute
+// 4+4+8+8 = 24 ranks of which we employ 8 as pure-CPU workers.
+constexpr int kCellWorkers = 8;   // one per blade (worker 0 shares with MAIN)
+constexpr int kXeonWorkers = 8;
+constexpr int kWorkers = kCellWorkers + kXeonWorkers;
+
+PI_PROCESS* g_workers[kWorkers];
+PI_PROCESS* g_spe_children[kCellWorkers];
+PI_CHANNEL* g_spe_task[kCellWorkers];
+PI_CHANNEL* g_spe_result[kCellWorkers];
+PI_CHANNEL* g_bcast[kWorkers];
+PI_CHANNEL* g_results[kWorkers];
+
+PI_SPE_PROGRAM(testbed_spe) {
+  // Each Cell worker's SPE squares the broadcast seed.
+  double seed = 0;
+  PI_Read(g_spe_task[arg1], "%lf", &seed);
+  PI_Write(g_spe_result[arg1], "%lf", seed * seed);
+  return 0;
+}
+
+int testbed_worker(int index, void* /*arg*/) {
+  double seed = 0;
+  PI_Read(g_bcast[index], "%lf", &seed);
+
+  double value = 0;
+  if (index < kCellWorkers) {
+    // Offload to this blade's SPE.
+    PI_RunSPE(g_spe_children[index], index, nullptr);
+    PI_Write(g_spe_task[index], "%lf", seed + index);
+    PI_Read(g_spe_result[index], "%lf", &value);
+  } else {
+    value = (seed + index) * (seed + index);  // Xeon computes locally
+  }
+  PI_Write(g_results[index], "%lf", value);
+  return 0;
+}
+
+int testbed_main(int argc, char* argv[]) {
+  const int available = PI_Configure(&argc, &argv);
+  EXPECT_GE(available, kWorkers + 1);
+
+  for (int w = 0; w < kWorkers; ++w) {
+    g_workers[w] = PI_CreateProcess(testbed_worker, w, nullptr);
+    g_bcast[w] = PI_CreateChannel(PI_MAIN, g_workers[w]);
+    g_results[w] = PI_CreateChannel(g_workers[w], PI_MAIN);
+  }
+  for (int c = 0; c < kCellWorkers; ++c) {
+    g_spe_children[c] = PI_CreateSPE(testbed_spe, g_workers[c], c);
+    g_spe_task[c] = PI_CreateChannel(g_workers[c], g_spe_children[c]);
+    g_spe_result[c] = PI_CreateChannel(g_spe_children[c], g_workers[c]);
+  }
+  PI_BUNDLE* bcast = PI_CreateBundle(PI_BROADCAST, g_bcast, kWorkers);
+  PI_BUNDLE* gather = PI_CreateBundle(PI_GATHER, g_results, kWorkers);
+
+  PI_StartAll();
+
+  const double seed = 2.0;
+  PI_Broadcast(bcast, "%lf", seed);
+  std::array<double, kWorkers> values{};
+  PI_Gather(gather, "%lf", values.data());
+
+  for (int w = 0; w < kWorkers; ++w) {
+    const double expect = (seed + w) * (seed + w);
+    EXPECT_DOUBLE_EQ(values[static_cast<std::size_t>(w)], expect)
+        << "worker " << w;
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+TEST(FullTestbed, PaperClusterRunsHybridJobAcrossEveryNodeKind) {
+  // Cell workers' ranks: blade i contributes 1 rank; MAIN shares blade 0.
+  cluster::ClusterConfig config = cluster::ClusterConfig::paper_testbed();
+  // Give blade 0 a second rank so worker 0 is a PPE too (MAIN is rank 0).
+  config.nodes[0].ranks = 2;
+  cluster::Cluster machine(std::move(config));
+  EXPECT_EQ(machine.world_size(),
+            machine.user_rank_count() + 8);  // 8 Co-Pilots ride along
+
+  const auto r = cellpilot::run(machine, testbed_main);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  ASSERT_TRUE(r.errors.empty()) << r.errors.front();
+  EXPECT_EQ(r.status, 0);
+}
+
+TEST(FullTestbed, RepeatedRunsAreDeterministicAcrossTheWholeMachine) {
+  auto run_once = [] {
+    cluster::ClusterConfig config = cluster::ClusterConfig::paper_testbed();
+    config.nodes[0].ranks = 2;
+    cluster::Cluster machine(std::move(config));
+    const auto r = cellpilot::run(machine, testbed_main);
+    EXPECT_FALSE(r.aborted) << r.abort_reason;
+    return machine.world().clock(0).now();
+  };
+  const simtime::SimTime first = run_once();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(run_once(), first);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Unit tests for MPI matching rules in the per-rank queue.
+#include "mpisim/match_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace mpisim;
+
+InboundMessage msg(Rank src, int tag, std::size_t bytes = 0,
+                   simtime::SimTime arrival = 0) {
+  InboundMessage m;
+  m.source = src;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  m.arrival = arrival;
+  return m;
+}
+
+TEST(MatchQueue, ExactMatch) {
+  MatchQueue q;
+  q.deposit(msg(1, 10));
+  q.deposit(msg(2, 20));
+  const InboundMessage got = q.match_blocking(2, 20);
+  EXPECT_EQ(got.source, 2);
+  EXPECT_EQ(got.tag, 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(MatchQueue, WildcardSourceAndTag) {
+  MatchQueue q;
+  q.deposit(msg(3, 30));
+  EXPECT_EQ(q.match_blocking(kAnySource, 30).source, 3);
+  q.deposit(msg(4, 40));
+  EXPECT_EQ(q.match_blocking(4, kAnyTag).tag, 40);
+  q.deposit(msg(5, 50));
+  EXPECT_EQ(q.match_blocking(kAnySource, kAnyTag).source, 5);
+}
+
+TEST(MatchQueue, NonOvertakingSameSourceSameTag) {
+  MatchQueue q;
+  q.deposit(msg(1, 10, 1));
+  q.deposit(msg(1, 10, 2));
+  EXPECT_EQ(q.match_blocking(1, 10).payload.size(), 1u);
+  EXPECT_EQ(q.match_blocking(1, 10).payload.size(), 2u);
+}
+
+TEST(MatchQueue, MatchSkipsNonMatchingEarlierMessages) {
+  MatchQueue q;
+  q.deposit(msg(1, 10));
+  q.deposit(msg(2, 20));
+  EXPECT_EQ(q.match_blocking(2, 20).source, 2);
+  EXPECT_EQ(q.pending(), 1u);  // the (1,10) message is untouched
+}
+
+TEST(MatchQueue, TryMatchReturnsNulloptOnMiss) {
+  MatchQueue q;
+  q.deposit(msg(1, 10));
+  EXPECT_FALSE(q.try_match(1, 99).has_value());
+  EXPECT_TRUE(q.try_match(1, 10).has_value());
+}
+
+TEST(MatchQueue, ProbeIsNonDestructive) {
+  MatchQueue q;
+  q.deposit(msg(1, 10, 64));
+  const auto env = q.probe(kAnySource, kAnyTag);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->source, 1);
+  EXPECT_EQ(env->bytes, 64u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(MatchQueue, BlockingMatchWaitsForDeposit) {
+  MatchQueue q;
+  std::size_t got = 0;
+  std::thread reader([&] { got = q.match_blocking(7, 70).payload.size(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.deposit(msg(7, 70, 9));
+  reader.join();
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(MatchQueue, ProbeBlockingLeavesMessage) {
+  MatchQueue q;
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.deposit(msg(1, 5, 3));
+  });
+  const Envelope env = q.probe_blocking(1, 5);
+  writer.join();
+  EXPECT_EQ(env.bytes, 3u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(MatchQueue, ProbeAnyPrefersEarlierPattern) {
+  MatchQueue q;
+  q.deposit(msg(2, 20));
+  q.deposit(msg(1, 10));
+  const MatchQueue::Pattern patterns[] = {{1, 10}, {2, 20}};
+  const auto [idx, env] = q.probe_any_blocking(patterns);
+  EXPECT_EQ(idx, 0u);  // pattern order, not arrival order
+  EXPECT_EQ(env.source, 1);
+}
+
+TEST(MatchQueue, TryProbeAnyMissesCleanly) {
+  MatchQueue q;
+  const MatchQueue::Pattern patterns[] = {{1, 10}};
+  EXPECT_FALSE(q.try_probe_any(patterns).has_value());
+  q.deposit(msg(1, 10));
+  EXPECT_TRUE(q.try_probe_any(patterns).has_value());
+}
+
+TEST(MatchQueue, AbortWakesBlockedMatcher) {
+  MatchQueue q;
+  std::exception_ptr seen;
+  std::thread reader([&] {
+    try {
+      q.match_blocking(1, 1);
+    } catch (...) {
+      seen = std::current_exception();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.abort("test teardown");
+  reader.join();
+  ASSERT_TRUE(seen != nullptr);
+  try {
+    std::rethrow_exception(seen);
+  } catch (const WorldAborted& e) {
+    EXPECT_NE(std::string(e.what()).find("test teardown"), std::string::npos);
+  }
+}
+
+TEST(MatchQueue, AbortedQueueThrowsOnEveryOp) {
+  MatchQueue q;
+  q.abort("dead");
+  EXPECT_THROW(q.try_match(1, 1), WorldAborted);
+  EXPECT_THROW(q.probe(1, 1), WorldAborted);
+  EXPECT_THROW(q.match_blocking(1, 1), WorldAborted);
+}
+
+TEST(MatchQueue, DepositAfterAbortIsDropped) {
+  MatchQueue q;
+  q.abort("dead");
+  q.deposit(msg(1, 1));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace

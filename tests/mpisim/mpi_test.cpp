@@ -1,0 +1,270 @@
+// Unit + integration tests for MiniMPI: point-to-point semantics, timing
+// legs, collectives, probes, abort propagation, and the launcher.
+#include "mpisim/mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpisim/launcher.hpp"
+
+namespace {
+
+using namespace mpisim;
+using simtime::CoreKind;
+
+std::vector<RankInfo> xeon_ranks(int n) {
+  std::vector<RankInfo> ranks;
+  for (int i = 0; i < n; ++i) {
+    ranks.push_back({CoreKind::kXeon, i, "r" + std::to_string(i)});
+  }
+  return ranks;
+}
+
+TEST(World, RequiresAtLeastOneRank) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  EXPECT_THROW(World({}, cost), MpiError);
+}
+
+TEST(World, RankValidation) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  EXPECT_NO_THROW(w.check_rank(0, "t"));
+  EXPECT_THROW(w.check_rank(2, "t"), MpiError);
+  EXPECT_THROW(w.check_rank(-1, "t"), MpiError);
+}
+
+TEST(World, SameNodePlacement) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  std::vector<RankInfo> ranks = xeon_ranks(3);
+  ranks[1].node = 0;  // ranks 0 and 1 share node 0
+  World w(ranks, cost);
+  EXPECT_TRUE(w.same_node(0, 1));
+  EXPECT_FALSE(w.same_node(0, 2));
+}
+
+TEST(Mpi, SendRecvRoundTrip) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  std::atomic<int> got{0};
+  launch(w, [&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const int v = 1234;
+      mpi.send(&v, sizeof v, 1, 5);
+    } else {
+      int v = 0;
+      const Status st = mpi.recv(&v, sizeof v, 0, 5);
+      got.store(v);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, sizeof v);
+    }
+    return 0;
+  });
+  EXPECT_EQ(got.load(), 1234);
+}
+
+TEST(Mpi, ReceiverClockReflectsNetworkLatency) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  std::atomic<simtime::SimTime> t{0};
+  launch(w, [&](Mpi& mpi) {
+    std::uint8_t b = 0;
+    if (mpi.rank() == 0) {
+      mpi.send(&b, 1, 1, 1);
+    } else {
+      mpi.recv(&b, 1, 0, 1);
+      t.store(mpi.clock().now());
+    }
+    return 0;
+  });
+  EXPECT_EQ(t.load(),
+            cost.mpi_network_message(1, CoreKind::kXeon, CoreKind::kXeon));
+}
+
+TEST(Mpi, IntraNodeUsesSharedMemoryTransport) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  std::vector<RankInfo> ranks = xeon_ranks(2);
+  ranks[1].node = 0;
+  World w(ranks, cost);
+  std::atomic<simtime::SimTime> t{0};
+  launch(w, [&](Mpi& mpi) {
+    std::uint8_t b = 0;
+    if (mpi.rank() == 0) {
+      mpi.send(&b, 1, 1, 1);
+    } else {
+      mpi.recv(&b, 1, 0, 1);
+      t.store(mpi.clock().now());
+    }
+    return 0;
+  });
+  EXPECT_EQ(t.load(), cost.mpi_local_message(1));
+}
+
+TEST(Mpi, TruncationIsAnError) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  const LaunchResult r = launch(w, [&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const double big[4] = {};
+      mpi.send(big, sizeof big, 1, 1);
+    } else {
+      double small[2];
+      mpi.recv(small, sizeof small, 0, 1);
+    }
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.abort_reason.find("truncation"), std::string::npos);
+}
+
+TEST(Mpi, ReservedTagsRejectedForUsers) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  const LaunchResult r = launch(w, [&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::uint8_t b = 0;
+      mpi.send(&b, 1, 1, kReservedTagBase);
+    }
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+}
+
+TEST(Mpi, AnySourceReceivesFromEveryone) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(4), cost);
+  std::atomic<int> sum{0};
+  launch(w, [&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 1; i < 4; ++i) {
+        int v = 0;
+        mpi.recv(&v, sizeof v, kAnySource, 9);
+        sum.fetch_add(v);
+      }
+    } else {
+      const int v = mpi.rank();
+      mpi.send(&v, sizeof v, 0, 9);
+    }
+    return 0;
+  });
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+TEST(Mpi, IprobeSeesPendingMessage) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  launch(w, [&](Mpi& mpi) -> int {
+    if (mpi.rank() == 0) {
+      const int v = 7;
+      mpi.send(&v, sizeof v, 1, 3);
+      mpi.barrier();
+    } else {
+      mpi.barrier();  // after: the message must be queued
+      const auto env = mpi.iprobe(0, 3);
+      EXPECT_TRUE(env.has_value());
+      if (env) {
+        EXPECT_EQ(env->bytes, sizeof(int));
+      }
+      EXPECT_FALSE(mpi.iprobe(0, 99).has_value());
+      int v;
+      mpi.recv(&v, sizeof v, 0, 3);
+    }
+    return 0;
+  });
+}
+
+TEST(Mpi, BarrierSynchronizesClocks) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(3), cost);
+  std::atomic<simtime::SimTime> late{0};
+  std::atomic<simtime::SimTime> after0{0};
+  launch(w, [&](Mpi& mpi) {
+    if (mpi.rank() == 2) {
+      mpi.clock().advance(simtime::ms(5));  // a slow rank
+      late.store(mpi.clock().now());
+    }
+    mpi.barrier();
+    if (mpi.rank() == 0) after0.store(mpi.clock().now());
+    return 0;
+  });
+  EXPECT_GE(after0.load(), late.load());
+}
+
+TEST(Mpi, BcastDeliversToAll) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(4), cost);
+  std::atomic<int> sum{0};
+  launch(w, [&](Mpi& mpi) {
+    int v = mpi.rank() == 1 ? 99 : 0;
+    mpi.bcast(&v, sizeof v, 1);
+    sum.fetch_add(v);
+    return 0;
+  });
+  EXPECT_EQ(sum.load(), 99 * 4);
+}
+
+TEST(Mpi, GatherCollectsInRankOrder) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(4), cost);
+  std::array<int, 4> all{};
+  launch(w, [&](Mpi& mpi) {
+    const int mine = mpi.rank() * 11;
+    mpi.gather(&mine, sizeof mine, mpi.rank() == 0 ? all.data() : nullptr, 0);
+    return 0;
+  });
+  EXPECT_EQ(all, (std::array<int, 4>{0, 11, 22, 33}));
+}
+
+TEST(Mpi, ReduceAndAllreduceSum) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(3), cost);
+  std::atomic<double> total{0};
+  launch(w, [&](Mpi& mpi) {
+    const double contrib[2] = {1.0 * mpi.rank(), 2.0};
+    double out[2] = {};
+    mpi.allreduce_sum(contrib, out, 2);
+    EXPECT_DOUBLE_EQ(out[0], 0.0 + 1.0 + 2.0);
+    EXPECT_DOUBLE_EQ(out[1], 6.0);
+    if (mpi.rank() == 0) total.store(out[0]);
+    return 0;
+  });
+  EXPECT_DOUBLE_EQ(total.load(), 3.0);
+}
+
+TEST(Launcher, CollectsExitCodes) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(3), cost);
+  const LaunchResult r = launch(w, [](Mpi& mpi) { return mpi.rank() * 10; });
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.exit_codes, (std::vector<int>{0, 10, 20}));
+}
+
+TEST(Launcher, ExceptionAbortsWholeJob) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(2), cost);
+  const LaunchResult r = launch(w, [](Mpi& mpi) -> int {
+    if (mpi.rank() == 1) throw std::runtime_error("boom");
+    // Rank 0 would block forever without the abort.
+    std::uint8_t b;
+    mpi.recv(&b, 1, 1, 1);
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.abort_reason.find("boom"), std::string::npos);
+  ASSERT_EQ(r.errors.size(), 1u);
+}
+
+TEST(World, AbortHooksRunOnce) {
+  const simtime::CostModel cost = simtime::default_cost_model();
+  World w(xeon_ranks(1), cost);
+  int calls = 0;
+  w.on_abort([&] { ++calls; });
+  w.abort("first");
+  w.abort("second");
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(w.abort_reason(), "first");
+}
+
+}  // namespace

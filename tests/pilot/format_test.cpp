@@ -1,0 +1,115 @@
+// Unit + property tests for Pilot's format-string language.
+#include "pilot/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pilot;
+
+TEST(Format, ScalarSpecifiers) {
+  const Format f = parse_format("%b %c %hd %d %ld %u %lu %f %lf %Lf");
+  ASSERT_EQ(f.items.size(), 10u);
+  const TypeCode expected[] = {
+      TypeCode::kByte,   TypeCode::kChar,   TypeCode::kInt16,
+      TypeCode::kInt32,  TypeCode::kInt64,  TypeCode::kUInt32,
+      TypeCode::kUInt64, TypeCode::kFloat,  TypeCode::kDouble,
+      TypeCode::kLongDouble};
+  for (std::size_t i = 0; i < f.items.size(); ++i) {
+    EXPECT_EQ(f.items[i].type, expected[i]) << i;
+    EXPECT_EQ(f.items[i].count, 1u);
+    EXPECT_FALSE(f.items[i].star);
+  }
+}
+
+TEST(Format, CountsAndStar) {
+  const Format f = parse_format("%1000f %*d %100Lf");
+  ASSERT_EQ(f.items.size(), 3u);
+  EXPECT_EQ(f.items[0].count, 1000u);
+  EXPECT_TRUE(f.items[1].star);
+  EXPECT_EQ(f.items[2].count, 100u);
+  EXPECT_EQ(f.items[2].type, TypeCode::kLongDouble);
+}
+
+TEST(Format, WhitespaceBetweenItemsIgnored) {
+  EXPECT_EQ(parse_format("  %d   %f ").items.size(), 2u);
+}
+
+TEST(Format, ElementSizesMatchWireLayout) {
+  EXPECT_EQ(element_size(TypeCode::kByte), 1u);
+  EXPECT_EQ(element_size(TypeCode::kChar), 1u);
+  EXPECT_EQ(element_size(TypeCode::kInt16), 2u);
+  EXPECT_EQ(element_size(TypeCode::kInt32), 4u);
+  EXPECT_EQ(element_size(TypeCode::kInt64), 8u);
+  EXPECT_EQ(element_size(TypeCode::kFloat), 4u);
+  EXPECT_EQ(element_size(TypeCode::kDouble), 8u);
+  EXPECT_EQ(element_size(TypeCode::kLongDouble), 16u);
+}
+
+TEST(Format, PayloadBytesOfPaperExamples) {
+  // "%100d": 100 ints = 400 bytes; "%100Lf": 100 long doubles = 1600 bytes.
+  EXPECT_EQ(parse_format("%100d").payload_bytes(), 400u);
+  EXPECT_EQ(parse_format("%100Lf").payload_bytes(), 1600u);
+  EXPECT_EQ(parse_format("%b").payload_bytes(), 1u);
+}
+
+TEST(Format, PayloadBytesOnStarThrows) {
+  EXPECT_THROW(parse_format("%*d").payload_bytes(), PilotError);
+}
+
+class BadFormat : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadFormat, IsRejectedWithFormatError) {
+  try {
+    parse_format(GetParam());
+    FAIL() << "expected PilotError for \"" << GetParam() << "\"";
+  } catch (const PilotError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFormat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, BadFormat,
+                         ::testing::Values("", "   ", "%", "%0d", "%z",
+                                           "d", "%10", "%l", "%lx", "%h",
+                                           "%hq", "%L", "%Ld", "%-5d",
+                                           "100d", "%d,%d"));
+
+TEST(Signature, SensitiveToTypeCountAndOrder) {
+  const auto sig = [](const char* s) { return signature(parse_format(s)); };
+  EXPECT_EQ(sig("%100d"), sig("%100d"));
+  EXPECT_NE(sig("%100d"), sig("%100u"));
+  EXPECT_NE(sig("%100d"), sig("%99d"));
+  EXPECT_NE(sig("%d %f"), sig("%f %d"));
+  EXPECT_NE(sig("%d %d"), sig("%2d"));
+}
+
+TEST(Signature, UnresolvedStarThrows) {
+  EXPECT_THROW(signature(parse_format("%*d")), PilotError);
+}
+
+TEST(Format, ToStringRoundTripsSpelling) {
+  EXPECT_EQ(to_string(parse_format("%100d %lf")), "%100d %lf");
+  EXPECT_EQ(to_string(parse_format("%b")), "%b");
+  EXPECT_EQ(to_string(parse_format("%*Lf")), "%*Lf");
+}
+
+/// Property: parse(to_string(f)) == f for resolved formats.
+class FormatRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FormatRoundTrip, ParseOfToStringIsIdentity) {
+  const Format f = parse_format(GetParam());
+  const Format g = parse_format(to_string(f));
+  ASSERT_EQ(g.items.size(), f.items.size());
+  for (std::size_t i = 0; i < f.items.size(); ++i) {
+    EXPECT_EQ(g.items[i].type, f.items[i].type);
+    EXPECT_EQ(g.items[i].count, f.items[i].count);
+    EXPECT_EQ(g.items[i].star, f.items[i].star);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, FormatRoundTrip,
+                         ::testing::Values("%d", "%100Lf", "%b %c %hd",
+                                           "%3f %7lf", "%1000f %u %lu",
+                                           "%2c %2c %2c"));
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Unit + property tests for the cost model.
+#include "simtime/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simtime;
+
+TEST(CostModel, DefaultModelValidates) {
+  EXPECT_NO_THROW(default_cost_model().validate());
+}
+
+TEST(CostModel, ZeroModelValidatesAndIsFree) {
+  const CostModel z = zero_cost_model();
+  EXPECT_NO_THROW(z.validate());
+  EXPECT_EQ(z.mpi_network_message(1600, CoreKind::kPpe, CoreKind::kPpe), 0);
+  EXPECT_EQ(z.dma_transfer(1 << 20), 0);
+  EXPECT_EQ(z.mapped_copy(4096), 0);
+}
+
+TEST(CostModel, NegativeLatencyRejected) {
+  CostModel m = default_cost_model();
+  m.net_latency = -1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CostModel, ZeroRequestWordsRejected) {
+  CostModel m = default_cost_model();
+  m.copilot_request_words = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(CostModel, CoreKindNames) {
+  EXPECT_STREQ(to_string(CoreKind::kPpe), "ppe");
+  EXPECT_STREQ(to_string(CoreKind::kXeon), "xeon");
+  EXPECT_STREQ(to_string(CoreKind::kSpe), "spe");
+}
+
+TEST(CostModel, PpeEndpointsAreSlowerThanXeon) {
+  const CostModel m = default_cost_model();
+  EXPECT_GT(m.mpi_network_message(1, CoreKind::kPpe, CoreKind::kPpe),
+            m.mpi_network_message(1, CoreKind::kXeon, CoreKind::kXeon));
+}
+
+TEST(CostModel, NetworkMessageSplitsIntoLegs) {
+  const CostModel m = default_cost_model();
+  const auto legs = m.mpi_leg_costs(1600, CoreKind::kPpe, CoreKind::kXeon,
+                                    /*same_node=*/false);
+  EXPECT_EQ(legs.sender + legs.transit + legs.receiver,
+            m.mpi_network_message(1600, CoreKind::kPpe, CoreKind::kXeon));
+}
+
+TEST(CostModel, LocalMessageHasNoTransit) {
+  const CostModel m = default_cost_model();
+  const auto legs =
+      m.mpi_leg_costs(64, CoreKind::kPpe, CoreKind::kPpe, /*same_node=*/true);
+  EXPECT_EQ(legs.transit, 0);
+  EXPECT_GT(legs.sender, 0);
+}
+
+TEST(CostModel, LocalTransportIsCheaperThanNetwork) {
+  const CostModel m = default_cost_model();
+  EXPECT_LT(m.mpi_local_message(1600),
+            m.mpi_network_message(1600, CoreKind::kPpe, CoreKind::kPpe));
+}
+
+TEST(CostModel, DmaChunksAbove16K) {
+  const CostModel m = default_cost_model();
+  const SimTime one = m.dma_transfer(16 * 1024);
+  const SimTime two = m.dma_transfer(16 * 1024 + 1);
+  EXPECT_EQ(two - one, m.dma_per_chunk + m.dma_per_byte);
+}
+
+TEST(CostModel, RequestCostsScaleWithWordCount) {
+  CostModel m = default_cost_model();
+  const SimTime four = m.copilot_consume_request();
+  m.copilot_request_words = 8;
+  const SimTime eight = m.copilot_consume_request();
+  EXPECT_EQ(eight - four, 4 * m.mbox_ppe_read);
+}
+
+/// Property: every composite cost is monotone non-decreasing in size.
+class CostMonotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CostMonotonicity, CompositesGrowWithSize) {
+  const CostModel m = default_cost_model();
+  const std::size_t n = GetParam();
+  EXPECT_LE(m.mpi_network_message(n, CoreKind::kPpe, CoreKind::kPpe),
+            m.mpi_network_message(n + 16, CoreKind::kPpe, CoreKind::kPpe));
+  EXPECT_LE(m.mpi_local_message(n), m.mpi_local_message(n + 16));
+  EXPECT_LE(m.dma_transfer(n), m.dma_transfer(n + 16));
+  EXPECT_LE(m.mapped_copy(n), m.mapped_copy(n + 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CostMonotonicity,
+                         ::testing::Values(0, 1, 15, 16, 100, 1600, 4096,
+                                           16 * 1024, 16 * 1024 + 1,
+                                           256 * 1024));
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Unit tests for the simulated-time vocabulary.
+#include "simtime/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace simtime;
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(us(1.0), 1000);
+  EXPECT_EQ(ms(1.0), 1000000);
+  EXPECT_EQ(ns(42), 42);
+  EXPECT_DOUBLE_EQ(to_us(us(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_ms(ms(3.0)), 3.0);
+}
+
+TEST(SimTime, FractionalMicrosecondsKeepNanosecondPrecision) {
+  EXPECT_EQ(us(0.3), 300);
+  EXPECT_EQ(us(0.001), 1);
+}
+
+TEST(SimTime, ZeroIsEpoch) { EXPECT_EQ(kSimTimeZero, 0); }
+
+TEST(SimTimeFormat, PicksUnitsByMagnitude) {
+  EXPECT_EQ(format(ns(500)), "500 ns");
+  EXPECT_EQ(format(us(12.34)), "12.34 us");
+  EXPECT_EQ(format(ms(1.5)), "1.500 ms");
+  EXPECT_EQ(format(ms(2500.0)), "2.5000 s");
+}
+
+TEST(SimTimeFormat, HandlesZeroAndNegative) {
+  EXPECT_EQ(format(0), "0 ns");
+  EXPECT_EQ(format(ns(-10)), "-10 ns");
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for Lamport-style virtual clocks.
+#include "simtime/virtual_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace simtime;
+
+TEST(VirtualClock, StartsAtEpochByDefault) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), kSimTimeZero);
+}
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock c(us(5));
+  EXPECT_EQ(c.now(), us(5));
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  EXPECT_EQ(c.advance(us(3)), us(3));
+  EXPECT_EQ(c.advance(us(4)), us(7));
+  EXPECT_EQ(c.now(), us(7));
+}
+
+TEST(VirtualClock, JoinTakesMaximum) {
+  VirtualClock c(us(10));
+  EXPECT_EQ(c.join(us(4)), us(10));   // older stamp: no effect
+  EXPECT_EQ(c.join(us(25)), us(25));  // newer stamp: adopt
+  EXPECT_EQ(c.now(), us(25));
+}
+
+TEST(VirtualClock, JoinAdvanceComposes) {
+  VirtualClock c(us(10));
+  EXPECT_EQ(c.join_advance(us(20), us(5)), us(25));
+  EXPECT_EQ(c.join_advance(us(1), us(5)), us(30));  // stale join, still +5
+}
+
+TEST(VirtualClock, ResetReturnsToGivenTime) {
+  VirtualClock c;
+  c.advance(us(100));
+  c.reset();
+  EXPECT_EQ(c.now(), kSimTimeZero);
+  c.reset(us(7));
+  EXPECT_EQ(c.now(), us(7));
+}
+
+TEST(VirtualClock, ConcurrentJoinsAreMonotone) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < 1000; ++i) {
+        c.join(us(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.now(), us(7999));
+}
+
+TEST(VirtualClock, ConcurrentAdvancesAllCount) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 1000; ++i) c.advance(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.now(), 4000);
+}
+
+TEST(ClockSpan, MeasuresElapsedOnOneClock) {
+  VirtualClock c(us(50));
+  ClockSpan span(c);
+  c.advance(us(30));
+  c.join(us(60));  // below current: no effect
+  EXPECT_EQ(span.elapsed(), us(30));
+}
+
+}  // namespace
