@@ -9,6 +9,7 @@
 #include "cellsim/local_store.hpp"
 #include "cellsim/mailbox.hpp"
 #include "cellsim/mfc.hpp"
+#include "core/router.hpp"
 #include "mpisim/match_queue.hpp"
 #include "pilot/format.hpp"
 #include "pilot/wire.hpp"
@@ -105,6 +106,47 @@ void BM_MarshalArray(benchmark::State& state) {
                           4000);
 }
 BENCHMARK(BM_MarshalArray);
+
+// Steady-state cost of the compiled data plane: a warm FormatCache lookup
+// replaces the per-call parse that BM_FormatParse prices.
+void BM_FormatCacheLookup(benchmark::State& state) {
+  cellpilot::FormatCache cache;
+  cache.lookup("%d %100Lf %*b %lf");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&cache.lookup("%d %100Lf %*b %lf"));
+  }
+}
+BENCHMARK(BM_FormatCacheLookup);
+
+void marshal_append_helper(const pilot::Format* fmt,
+                           std::vector<std::byte>* out,
+                           std::vector<std::uint32_t>* counts, ...) {
+  va_list ap;
+  va_start(ap, counts);
+  pilot::marshal_append(*fmt, ap, *out, *counts);
+  va_end(ap);
+}
+
+// One PI_Write's worth of data-plane work after route compilation: cached
+// plan lookup, marshal into a reused staging buffer, precomputed wire
+// signature.  Contrast with BM_FormatParse + BM_MarshalArray, which price
+// the pre-refactor per-message path (parse + allocate every call).
+void BM_RouteSteadyStateMarshal(benchmark::State& state) {
+  static float data[1000];
+  cellpilot::FormatCache cache;
+  std::vector<std::byte> staging;
+  std::vector<std::uint32_t> counts;
+  for (auto _ : state) {
+    const cellpilot::FormatPlan& plan = cache.lookup("%1000f");
+    staging.clear();
+    marshal_append_helper(&plan.parsed, &staging, &counts, data);
+    benchmark::DoNotOptimize(plan.wire_signature);
+    benchmark::DoNotOptimize(staging.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4000);
+}
+BENCHMARK(BM_RouteSteadyStateMarshal);
 
 void BM_FrameAndCheck(benchmark::State& state) {
   static float data[400];

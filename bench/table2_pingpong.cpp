@@ -4,9 +4,13 @@
 // PingPong pattern (1000 bounces, one-way time = elapsed / 2N).
 //
 // Usage: table2_pingpong [reps]
+//
+// Alongside the human table on stdout, the same numbers are written to
+// BENCH_table2.json (note on stderr) for plotting and regression tracking.
 #include <cstdio>
 #include <cstdlib>
 
+#include "benchkit/benchjson.hpp"
 #include "benchkit/pingpong.hpp"
 
 int main(int argc, char** argv) {
@@ -26,6 +30,9 @@ int main(int argc, char** argv) {
       {4, 1, 112, 30, 30},     {4, 1600, 123, 30, 60},
       {5, 1, 189, 131, 117},   {5, 1600, 263, 195, 194},
   };
+
+  benchkit::BenchJson json("table2_pingpong");
+  json.meta("unit", "us").meta("reps", static_cast<std::int64_t>(reps));
 
   std::printf("Table II: CellPilot vs hand-coded timing (us), %d reps\n",
               reps);
@@ -51,6 +58,17 @@ int main(int argc, char** argv) {
     std::printf("%-5d %-6zu | %10.1f %10.1f %10.1f | %10.0f %10.0f %10.0f\n",
                 row.type, row.bytes, cp, dma, copy, row.cellpilot, row.dma,
                 row.copy);
+
+    json.add_row()
+        .set("type", static_cast<std::int64_t>(row.type))
+        .set("bytes", static_cast<std::int64_t>(row.bytes))
+        .set("cellpilot_us", cp)
+        .set("dma_us", dma)
+        .set("copy_us", copy)
+        .set("paper_cellpilot_us", row.cellpilot)
+        .set("paper_dma_us", row.dma)
+        .set("paper_copy_us", row.copy);
   }
+  json.write_file("BENCH_table2.json");
   return 0;
 }

@@ -1,0 +1,128 @@
+#include "benchkit/benchjson.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace benchkit {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_scalar(std::string& out, const JsonScalar& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    if (std::isfinite(*d)) {
+      char buf[32];
+      // %.17g round-trips every double, so the JSON is as exact as the
+      // virtual-time arithmetic that produced it.
+      std::snprintf(buf, sizeof buf, "%.17g", *d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no NaN/Inf
+    }
+  } else {
+    append_escaped(out, std::get<std::string>(v));
+  }
+}
+
+}  // namespace
+
+JsonRow& JsonRow::set(std::string key, std::int64_t value) {
+  fields_.emplace_back(std::move(key), JsonScalar{value});
+  return *this;
+}
+JsonRow& JsonRow::set(std::string key, double value) {
+  fields_.emplace_back(std::move(key), JsonScalar{value});
+  return *this;
+}
+JsonRow& JsonRow::set(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), JsonScalar{std::move(value)});
+  return *this;
+}
+
+BenchJson::BenchJson(std::string bench_name) {
+  meta_.emplace_back("bench", JsonScalar{std::move(bench_name)});
+}
+
+BenchJson& BenchJson::meta(std::string key, std::int64_t value) {
+  meta_.emplace_back(std::move(key), JsonScalar{value});
+  return *this;
+}
+BenchJson& BenchJson::meta(std::string key, double value) {
+  meta_.emplace_back(std::move(key), JsonScalar{value});
+  return *this;
+}
+BenchJson& BenchJson::meta(std::string key, std::string value) {
+  meta_.emplace_back(std::move(key), JsonScalar{std::move(value)});
+  return *this;
+}
+
+JsonRow& BenchJson::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n";
+  for (const auto& [key, value] : meta_) {
+    out += "  ";
+    append_escaped(out, key);
+    out += ": ";
+    append_scalar(out, value);
+    out += ",\n";
+  }
+  out += "  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "    {";
+    const auto& fields = rows_[r].fields();
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f != 0) out += ", ";
+      append_escaped(out, fields[f].first);
+      out += ": ";
+      append_scalar(out, fields[f].second);
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << to_string();
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "benchjson: error writing %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace benchkit

@@ -1,0 +1,66 @@
+// benchjson.hpp — machine-readable result emission for the bench binaries.
+//
+// Each reproduction binary prints a human table to stdout; alongside it, a
+// BenchJson document collects the same numbers as one JSON object
+//
+//   { "bench": "<name>", "<meta>": ..., "rows": [ {..}, {..}, ... ] }
+//
+// written to a BENCH_<name>.json file so sweeps can be diffed, plotted and
+// regression-tracked without scraping printf output.  The writer is
+// deliberately tiny: flat rows of int/double/string values, insertion
+// order preserved, no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace benchkit {
+
+/// One scalar cell of a result row (or a top-level metadata field).
+using JsonScalar = std::variant<std::int64_t, double, std::string>;
+
+/// An ordered list of key/value pairs — one benchmark result row.
+class JsonRow {
+ public:
+  JsonRow& set(std::string key, std::int64_t value);
+  JsonRow& set(std::string key, double value);
+  JsonRow& set(std::string key, std::string value);
+
+  const std::vector<std::pair<std::string, JsonScalar>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, JsonScalar>> fields_;
+};
+
+/// A benchmark result document: metadata fields plus a "rows" array.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Adds a top-level metadata field (e.g. reps, unit).
+  BenchJson& meta(std::string key, std::int64_t value);
+  BenchJson& meta(std::string key, double value);
+  BenchJson& meta(std::string key, std::string value);
+
+  /// Appends a result row and returns it for chained set() calls.
+  JsonRow& add_row();
+
+  /// Serializes the document (pretty-printed, stable field order).
+  std::string to_string() const;
+
+  /// Writes to `path` and prints a one-line note to **stderr** (stdout is
+  /// reserved for the human table, which must stay byte-identical).
+  /// Returns false if the file could not be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, JsonScalar>> meta_;
+  std::vector<JsonRow> rows_;
+};
+
+}  // namespace benchkit

@@ -24,107 +24,116 @@ namespace {
 using cellpilot::ChannelType;
 using simtime::SimTime;
 
-// Harness state shared by the app's processes (set before each run).
-PingPongSpec g_spec;
-PI_CHANNEL* g_fwd = nullptr;
-PI_CHANNEL* g_rev = nullptr;
-PI_PROCESS* g_spe_initiator = nullptr;
-PI_PROCESS* g_spe_responder = nullptr;
-std::atomic<SimTime> g_elapsed{0};
+/// Per-run harness context, threaded through every process of the app —
+/// rank processes receive it via their void* argument, SPE bodies via
+/// PI_RunSPE's ptr argument — so the measurement binaries are re-entrant
+/// and several PingPong configurations can coexist in one process.
+struct Harness {
+  PingPongSpec spec;
+  PI_CHANNEL* fwd = nullptr;
+  PI_CHANNEL* rev = nullptr;
+  PI_PROCESS* spe_initiator = nullptr;
+  PI_PROCESS* spe_responder = nullptr;
+  std::atomic<SimTime> elapsed{0};
+};
 
-void bounce_write_read(std::vector<std::byte>& buf) {
-  PI_Write(g_fwd, "%*b", static_cast<int>(g_spec.bytes), buf.data());
-  PI_Read(g_rev, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+void bounce_write_read(Harness& h, std::vector<std::byte>& buf) {
+  PI_Write(h.fwd, "%*b", static_cast<int>(h.spec.bytes), buf.data());
+  PI_Read(h.rev, "%*b", static_cast<int>(h.spec.bytes), buf.data());
 }
 
-void bounce_read_write(std::vector<std::byte>& buf) {
-  PI_Read(g_fwd, "%*b", static_cast<int>(g_spec.bytes), buf.data());
-  PI_Write(g_rev, "%*b", static_cast<int>(g_spec.bytes), buf.data());
+void bounce_read_write(Harness& h, std::vector<std::byte>& buf) {
+  PI_Read(h.fwd, "%*b", static_cast<int>(h.spec.bytes), buf.data());
+  PI_Write(h.rev, "%*b", static_cast<int>(h.spec.bytes), buf.data());
 }
 
 PI_SPE_PROGRAM_SIZED(pp_spe_responder, 2048) {
-  std::vector<std::byte> buf(g_spec.bytes);
-  for (int i = 0; i < g_spec.reps; ++i) bounce_read_write(buf);
+  Harness& h = *static_cast<Harness*>(arg2);
+  std::vector<std::byte> buf(h.spec.bytes);
+  for (int i = 0; i < h.spec.reps; ++i) bounce_read_write(h, buf);
   return 0;
 }
 
 PI_SPE_PROGRAM_SIZED(pp_spe_initiator, 2048) {
-  std::vector<std::byte> buf(g_spec.bytes);
+  Harness& h = *static_cast<Harness*>(arg2);
+  std::vector<std::byte> buf(h.spec.bytes);
   simtime::VirtualClock& clk = cellsim::spu::self().clock();
   const SimTime start = clk.now();
-  for (int i = 0; i < g_spec.reps; ++i) bounce_write_read(buf);
-  g_elapsed.store(clk.now() - start);
+  for (int i = 0; i < h.spec.reps; ++i) bounce_write_read(h, buf);
+  h.elapsed.store(clk.now() - start);
   return 0;
 }
 
-int pp_rank_responder(int /*index*/, void* /*arg*/) {
-  std::vector<std::byte> buf(g_spec.bytes);
-  for (int i = 0; i < g_spec.reps; ++i) bounce_read_write(buf);
+int pp_rank_responder(int /*index*/, void* arg) {
+  Harness& h = *static_cast<Harness*>(arg);
+  std::vector<std::byte> buf(h.spec.bytes);
+  for (int i = 0; i < h.spec.reps; ++i) bounce_read_write(h, buf);
   return 0;
 }
 
-int pp_rank_parent(int /*index*/, void* /*arg*/) {
-  PI_RunSPE(g_spe_responder, 0, nullptr);
+int pp_rank_parent(int /*index*/, void* arg) {
+  Harness& h = *static_cast<Harness*>(arg);
+  PI_RunSPE(h.spe_responder, 0, &h);
   return 0;
 }
 
 /// Timed initiator loop on PI_MAIN (types 1-3).
-void main_initiator_loop() {
-  std::vector<std::byte> buf(g_spec.bytes);
+void main_initiator_loop(Harness& h) {
+  std::vector<std::byte> buf(h.spec.bytes);
   simtime::VirtualClock& clk = pilot::context().mpi().clock();
   const SimTime start = clk.now();
-  for (int i = 0; i < g_spec.reps; ++i) bounce_write_read(buf);
-  g_elapsed.store(clk.now() - start);
+  for (int i = 0; i < h.spec.reps; ++i) bounce_write_read(h, buf);
+  h.elapsed.store(clk.now() - start);
 }
 
-int pp_main(int argc, char** argv) {
+int pp_main(Harness& h, int argc, char** argv) {
   PI_Configure(&argc, &argv);
 
-  switch (g_spec.type) {
+  switch (h.spec.type) {
     case ChannelType::kType1: {
-      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_responder, 0, nullptr);
-      g_fwd = PI_CreateChannel(PI_MAIN, p1);
-      g_rev = PI_CreateChannel(p1, PI_MAIN);
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_responder, 0, &h);
+      h.fwd = PI_CreateChannel(PI_MAIN, p1);
+      h.rev = PI_CreateChannel(p1, PI_MAIN);
       PI_StartAll();
-      main_initiator_loop();
+      main_initiator_loop(h);
       break;
     }
     case ChannelType::kType2: {
-      g_spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 0);
-      g_fwd = PI_CreateChannel(PI_MAIN, g_spe_responder);
-      g_rev = PI_CreateChannel(g_spe_responder, PI_MAIN);
+      h.spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 0);
+      h.fwd = PI_CreateChannel(PI_MAIN, h.spe_responder);
+      h.rev = PI_CreateChannel(h.spe_responder, PI_MAIN);
       PI_StartAll();
-      PI_RunSPE(g_spe_responder, 0, nullptr);
-      main_initiator_loop();
+      PI_RunSPE(h.spe_responder, 0, &h);
+      main_initiator_loop(h);
       break;
     }
     case ChannelType::kType3: {
-      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, nullptr);
-      g_spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
-      g_fwd = PI_CreateChannel(PI_MAIN, g_spe_responder);
-      g_rev = PI_CreateChannel(g_spe_responder, PI_MAIN);
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, &h);
+      h.spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
+      h.fwd = PI_CreateChannel(PI_MAIN, h.spe_responder);
+      h.rev = PI_CreateChannel(h.spe_responder, PI_MAIN);
       PI_StartAll();
-      main_initiator_loop();
+      main_initiator_loop(h);
       break;
     }
     case ChannelType::kType4: {
-      g_spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
-      g_spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 1);
-      g_fwd = PI_CreateChannel(g_spe_initiator, g_spe_responder);
-      g_rev = PI_CreateChannel(g_spe_responder, g_spe_initiator);
+      h.spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
+      h.spe_responder = PI_CreateSPE(pp_spe_responder, PI_MAIN, 1);
+      h.fwd = PI_CreateChannel(h.spe_initiator, h.spe_responder);
+      h.rev = PI_CreateChannel(h.spe_responder, h.spe_initiator);
       PI_StartAll();
-      PI_RunSPE(g_spe_initiator, 0, nullptr);
-      PI_RunSPE(g_spe_responder, 0, nullptr);
+      PI_RunSPE(h.spe_initiator, 0, &h);
+      PI_RunSPE(h.spe_responder, 0, &h);
       break;
     }
     case ChannelType::kType5: {
-      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, nullptr);
-      g_spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
-      g_spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
-      g_fwd = PI_CreateChannel(g_spe_initiator, g_spe_responder);
-      g_rev = PI_CreateChannel(g_spe_responder, g_spe_initiator);
+      PI_PROCESS* p1 = PI_CreateProcess(pp_rank_parent, 0, &h);
+      h.spe_initiator = PI_CreateSPE(pp_spe_initiator, PI_MAIN, 0);
+      h.spe_responder = PI_CreateSPE(pp_spe_responder, p1, 0);
+      h.fwd = PI_CreateChannel(h.spe_initiator, h.spe_responder);
+      h.rev = PI_CreateChannel(h.spe_responder, h.spe_initiator);
       PI_StartAll();
-      PI_RunSPE(g_spe_initiator, 0, nullptr);
+      PI_RunSPE(h.spe_initiator, 0, &h);
       break;
     }
   }
@@ -146,14 +155,15 @@ cluster::ClusterConfig cluster_for(ChannelType type,
 
 SimTime cellpilot_pingpong(const PingPongSpec& spec,
                            const simtime::CostModel& cost) {
-  g_spec = spec;
-  g_elapsed.store(0);
+  Harness h;
+  h.spec = spec;
   cluster::Cluster machine(cluster_for(spec.type, cost));
-  const cellpilot::RunResult result = cellpilot::run(machine, pp_main);
+  const cellpilot::RunResult result = cellpilot::run(
+      machine, [&h](int argc, char** argv) { return pp_main(h, argc, argv); });
   if (result.aborted) {
     throw std::runtime_error("pingpong run aborted: " + result.abort_reason);
   }
-  return g_elapsed.load() / (2 * spec.reps);
+  return h.elapsed.load() / (2 * spec.reps);
 }
 
 }  // namespace

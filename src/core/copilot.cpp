@@ -120,6 +120,8 @@ class CopilotService {
     /// MPI source the data will come from (kRank writer or remote
     /// Co-Pilot); kAnySource for type-4 reads awaiting a local writer.
     mpisim::Rank expected_source = mpisim::kAnySource;
+    /// The channel's data tag, copied from its compiled route.
+    int tag = 0;
   };
 
   struct Candidate {
@@ -232,8 +234,7 @@ class CopilotService {
     }
     for (const auto& [channel, p] : pending_reads_) {
       if (p.expected_source == mpisim::kAnySource) continue;  // type 4
-      if (auto env =
-              mpi_.iprobe(p.expected_source, app_.channel(channel).tag())) {
+      if (auto env = mpi_.iprobe(p.expected_source, p.tag)) {
         consider({env->arrival, Candidate::kMpiData, 0, channel, p.spe});
       }
     }
@@ -324,10 +325,9 @@ class CopilotService {
 
   /// Receives the arrived MPI data for a pending read and delivers it.
   bool complete_mpi_read(const Pending& r) {
-    const int tag = app_.channel(r.req.channel).tag();
-    if (!mpi_.iprobe(r.expected_source, tag)) return false;
+    if (!mpi_.iprobe(r.expected_source, r.tag)) return false;
     std::vector<std::byte> framed =
-        mpi_.recv_any_size(r.expected_source, tag);
+        mpi_.recv_any_size(r.expected_source, r.tag);
     // Probe hit + EA translation, charged once the data is at hand (it
     // cannot overlap the flight); draining the NIC for inter-node data
     // costs considerably more than a shared-memory pickup.
@@ -354,59 +354,74 @@ class CopilotService {
     const SimTime begin = clock().now();
     clock().advance(cost_.copilot_service);
 
+    // Bounds and opcode checks stay ahead of any route lookup: a rogue
+    // request may carry an arbitrary channel id.
     if (req.channel < 0 || req.channel >= app_.channel_count() ||
         (req.opcode != Opcode::kWrite && req.opcode != Opcode::kRead)) {
       complete(spe, CompletionStatus::kProtocol);
       return;
     }
-    const PI_CHANNEL& ch = app_.channel(req.channel);
-    Pending p{req, spe, mpisim::kAnySource};
+    const Route* rt = app_.channel(req.channel).route;
+    if (rt == nullptr) {
+      complete(spe, CompletionStatus::kProtocol);
+      return;
+    }
+    Pending p{req, spe, mpisim::kAnySource, rt->tag};
 
     if (req.opcode == Opcode::kWrite) {
-      const PI_PROCESS& to = app_.process(ch.to);
-      if (to.location == pilot::Location::kRank) {
-        // Type 2/3: relay to the reading rank on the SPE's behalf.
-        const auto framed = frame_from_ls(p);
-        mpi_.send(framed.data(), framed.size(), to.rank, ch.tag());
-        complete(spe, CompletionStatus::kOk);
-      } else if (to.node == node_) {
-        // Type 4: pair with a local read, or park.
-        auto it = pending_reads_.find(req.channel);
-        if (it != pending_reads_.end() &&
-            it->second.expected_source == mpisim::kAnySource) {
-          const Pending reader = it->second;
-          pending_reads_.erase(it);
-          transfer_local(p, reader);
-        } else {
-          pending_writes_.emplace(req.channel, p);
+      switch (rt->copilot_write) {
+        case CopilotWriteAction::kRelayToRank:
+        case CopilotWriteAction::kRelayToPeer: {
+          // Types 2/3: relay to the reading rank on the SPE's behalf;
+          // type 5: relay to the reader's Co-Pilot.
+          const auto framed = frame_from_ls(p);
+          mpi_.send(framed.data(), framed.size(), rt->copilot_write_dest,
+                    rt->tag);
+          complete(spe, CompletionStatus::kOk);
+          break;
         }
-      } else {
-        // Type 5: relay to the reader's Co-Pilot.
-        const auto framed = frame_from_ls(p);
-        mpi_.send(framed.data(), framed.size(),
-                  app_.cluster().copilot_rank(to.node), ch.tag());
-        complete(spe, CompletionStatus::kOk);
+        case CopilotWriteAction::kPairLocal: {
+          // Type 4: pair with a local read, or park.
+          auto it = pending_reads_.find(req.channel);
+          if (it != pending_reads_.end() &&
+              it->second.expected_source == mpisim::kAnySource) {
+            const Pending reader = it->second;
+            pending_reads_.erase(it);
+            transfer_local(p, reader);
+          } else {
+            pending_writes_.emplace(req.channel, p);
+          }
+          break;
+        }
+        case CopilotWriteAction::kNone:
+          // The channel's writer is not an SPE: not a legal request.
+          complete(spe, CompletionStatus::kProtocol);
+          return;
       }
     } else {  // kRead
-      const PI_PROCESS& from = app_.process(ch.from);
-      if (from.location == pilot::Location::kSpe && from.node == node_) {
-        // Type 4: pair with a local write, or park.
-        auto it = pending_writes_.find(req.channel);
-        if (it != pending_writes_.end()) {
-          const Pending writer = it->second;
-          pending_writes_.erase(it);
-          transfer_local(writer, p);
-        } else {
-          pending_reads_.emplace(req.channel, p);
+      switch (rt->copilot_read) {
+        case CopilotReadAction::kPairLocal: {
+          // Type 4: pair with a local write, or park.
+          auto it = pending_writes_.find(req.channel);
+          if (it != pending_writes_.end()) {
+            const Pending writer = it->second;
+            pending_writes_.erase(it);
+            transfer_local(writer, p);
+          } else {
+            pending_reads_.emplace(req.channel, p);
+          }
+          break;
         }
-      } else {
-        // Type 2/3/5: data arrives over MPI from the writer rank or the
-        // writer's Co-Pilot; the main loop delivers it in stamp order.
-        p.expected_source =
-            from.location == pilot::Location::kRank
-                ? from.rank
-                : app_.cluster().copilot_rank(from.node);
-        pending_reads_.emplace(req.channel, p);
+        case CopilotReadAction::kAwaitMpi: {
+          // Types 2/3/5: data arrives over MPI from the writer rank or the
+          // writer's Co-Pilot; the main loop delivers it in stamp order.
+          p.expected_source = rt->copilot_read_source;
+          pending_reads_.emplace(req.channel, p);
+          break;
+        }
+        case CopilotReadAction::kNone:
+          complete(spe, CompletionStatus::kProtocol);
+          return;
       }
     }
     simtime::Trace::global().record(

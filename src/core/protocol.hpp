@@ -17,12 +17,13 @@
 // The completion word is a status code (kOk or an error), letting the SPE
 // runtime convert protocol failures into PilotError diagnostics.
 //
-// This header also fixes the channel taxonomy of the paper's Table I and
-// its resolution rule.
+// The channel taxonomy of the paper's Table I and its resolution rule live
+// with the compiled data plane in core/router.hpp (re-exported here).
 #pragma once
 
 #include <cstdint>
 
+#include "core/router.hpp"
 #include "pilot/app.hpp"
 #include "pilot/tables.hpp"
 
@@ -67,18 +68,6 @@ constexpr Opcode unpack_opcode(std::uint32_t w0) {
 constexpr int unpack_channel(std::uint32_t w0) {
   return static_cast<int>(w0 & 0x00FFFFFFu);
 }
-
-/// The paper's Table I channel taxonomy.
-enum class ChannelType {
-  kType1 = 1,  ///< PPE/non-Cell  <->  remote PPE/non-Cell  (pure Pilot/MPI)
-  kType2 = 2,  ///< PPE           <->  local SPE
-  kType3 = 3,  ///< PPE/non-Cell  <->  remote SPE
-  kType4 = 4,  ///< SPE           <->  local SPE
-  kType5 = 5,  ///< SPE           <->  remote SPE
-};
-
-/// Resolves a channel's type from its endpoints' locations and placement.
-ChannelType resolve_channel_type(pilot::PilotApp& app, const PI_CHANNEL& ch);
 
 /// Bytes of SPE local store occupied by the CellPilot SPE-side runtime.
 /// Modelled on the paper's measurement of cellpilot.o (10 336 bytes by the

@@ -4,35 +4,8 @@
 
 #include "cellsim/libspe2.hpp"
 #include "core/spe_runtime.hpp"
-#include "pilot/deadlock.hpp"
-#include "pilot/wire.hpp"
 
 namespace cellpilot {
-
-void CellTransportImpl::rank_write_to_spe(pilot::PilotContext& ctx,
-                                          const PI_CHANNEL& ch,
-                                          std::uint32_t sig,
-                                          std::span<const std::byte> payload) {
-  pilot::PilotApp& app = ctx.app();
-  const PI_PROCESS& to = app.process(ch.to);
-  // Type 2/3: the data message goes to the Co-Pilot of the reading SPE's
-  // node, which will land it in the SPE's local store.
-  const auto framed = pilot::frame_message(sig, payload);
-  ctx.mpi().send(framed.data(), framed.size(),
-                 app.cluster().copilot_rank(to.node), ch.tag());
-}
-
-std::vector<std::byte> CellTransportImpl::rank_read_from_spe(
-    pilot::PilotContext& ctx, const PI_CHANNEL& ch) {
-  pilot::PilotApp& app = ctx.app();
-  const PI_PROCESS& from = app.process(ch.from);
-  // Type 2/3: the writing SPE's Co-Pilot relays the message to us.
-  const mpisim::Rank source = app.cluster().copilot_rank(from.node);
-  pilot::notify_block(ctx, ch.from, ch.id);
-  std::vector<std::byte> framed = ctx.mpi().recv_any_size(source, ch.tag());
-  pilot::notify_unblock(ctx);
-  return framed;
-}
 
 void CellTransportImpl::spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
                                   std::span<const std::byte> payload) {

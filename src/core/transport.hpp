@@ -1,10 +1,11 @@
 // transport.hpp — CellPilot's implementation of the Pilot transport hooks.
 //
-// Registered on the PilotApp by the runner, this object supplies every data
-// path that touches an SPE (the Pilot core handles type-1 channels itself):
-// rank-side sends/receives relay through the Co-Pilot of the SPE's node,
-// SPE-side calls go through the SPE runtime's mailbox protocol, and
-// PI_RunSPE launches are handled here too.
+// Registered on the PilotApp by the runner, this object supplies the SPE
+// side of the data plane: SPE-side calls go through the SPE runtime's
+// mailbox protocol, and PI_RunSPE launches are handled here too.  Rank-side
+// legs of SPE channels need no hook any more — the compiled route (see
+// core/router.hpp) already names the Co-Pilot rank standing in for the SPE,
+// so the Pilot core executes them as ordinary MPI legs.
 #pragma once
 
 #include "pilot/app.hpp"
@@ -15,13 +16,6 @@ namespace cellpilot {
 /// The concrete transport for hybrid Cell clusters.
 class CellTransportImpl : public pilot::CellTransport {
  public:
-  void rank_write_to_spe(pilot::PilotContext& ctx, const PI_CHANNEL& ch,
-                         std::uint32_t sig,
-                         std::span<const std::byte> payload) override;
-
-  std::vector<std::byte> rank_read_from_spe(pilot::PilotContext& ctx,
-                                            const PI_CHANNEL& ch) override;
-
   void spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
                  std::span<const std::byte> payload) override;
 

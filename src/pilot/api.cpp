@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "cellsim/spu.hpp"
+#include "core/router.hpp"
 #include "pilot/byteorder.hpp"
 #include "pilot/context.hpp"
 #include "pilot/deadlock.hpp"
@@ -46,39 +47,33 @@ void charge_rank_call(PilotContext& ctx, std::size_t bytes) {
                                 static_cast<simtime::SimTime>(bytes));
 }
 
-/// The MPI rank from which the reader of `ch` receives data messages:
-/// the writer's own rank, or — when the writer is an SPE — the Co-Pilot
-/// rank of the writer's node (which relays on its behalf).
-mpisim::Rank expected_source_rank(PilotApp& app, const PI_CHANNEL& ch) {
-  const PI_PROCESS& from = app.process(ch.from);
-  if (from.location == Location::kRank) return from.rank;
-  return app.cluster().copilot_rank(from.node);
-}
-
-/// Architectural byte order of the node hosting a process.
-ByteOrder order_of_process(PilotApp& app, int process_id) {
-  const PI_PROCESS& p = app.process(process_id);
-  const int node = p.location == Location::kSpe
-                       ? p.node
-                       : app.cluster().node_of_rank(p.rank);
-  return app.cluster().byte_order(node);
-}
-
-/// Writers emit payloads in their node's architectural order (the wire and
-/// SPE local stores carry authentic big-endian images for PowerPC nodes).
-void to_writer_order(PilotApp& app, int writer, MarshalResult& m) {
-  if (order_of_process(app, writer) == ByteOrder::kBig) {
-    swap_element_bytes(m.fmt, m.payload);
+/// The compiled route of a channel.  Every data-plane entry point reaches a
+/// route only after its phase check, so a null pointer is an internal bug,
+/// not user error.
+cellpilot::Route& route_of(const PI_CHANNEL& ch, const char* file, int line) {
+  if (ch.route == nullptr) {
+    throw PilotError(ErrorCode::kInternal,
+                     "channel " + ch.name +
+                         " has no compiled route (PI_StartAll missing?)",
+                     file, line);
   }
+  return *ch.route;
 }
 
-/// Readers deliver into user variables in host representation; convert
-/// when the writer's node was big-endian ("receiver makes right").
-void to_host_order(PilotApp& app, int writer, const ResolvedFormat& fmt,
-                   std::span<std::byte> payload) {
-  if (order_of_process(app, writer) == ByteOrder::kBig) {
-    swap_element_bytes(fmt, payload);
-  }
+/// Signature of the message about to cross the wire: precomputed for fully
+/// static formats, derived from the resolved counts for '*' formats.
+std::uint32_t wire_signature(const cellpilot::FormatPlan& plan,
+                             std::span<const std::uint32_t> counts) {
+  return plan.has_star ? signature(plan.parsed, counts) : plan.wire_signature;
+}
+
+/// Overwrites the header slot at the front of `staging` ([header][payload]).
+void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
+  WireHeader hdr;
+  hdr.magic = kWireMagic;
+  hdr.signature = sig;
+  hdr.payload_bytes = staging.size() - sizeof(WireHeader);
+  std::memcpy(staging.data(), &hdr, sizeof hdr);
 }
 
 CellTransport& transport_or_die(PilotApp& app, const char* file, int line) {
@@ -94,9 +89,6 @@ CellTransport& transport_or_die(PilotApp& app, const char* file, int line) {
 void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                 va_list args) {
   if (ch == nullptr) usage_error(file, line, "PI_Write: null channel");
-  const Format parsed = parse_format(fmt);
-  MarshalResult m = marshal_payload(parsed, args);
-  const std::uint32_t sig = signature(m.fmt);
 
   // --- SPE-side writer ------------------------------------------------
   if (SpeDispatch* sd = spe_dispatch()) {
@@ -106,8 +98,16 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                            " is not the writer of channel " + ch->name,
                        file, line);
     }
-    to_writer_order(*sd->app, ch->from, m);
-    sd->app->transport()->spe_write(*ch, sig, m.payload);
+    cellpilot::Route& rt = route_of(*ch, file, line);
+    cellpilot::WriterState& ws = rt.writer;
+    const cellpilot::FormatPlan& plan = ws.formats.lookup(fmt);
+    ws.staging.clear();
+    marshal_append(plan.parsed, args, ws.staging, ws.counts);
+    const std::uint32_t sig = wire_signature(plan, ws.counts);
+    if (rt.writer_big_endian) {
+      swap_element_bytes(plan.parsed, ws.counts, ws.staging);
+    }
+    sd->app->transport()->spe_write(*ch, sig, ws.staging);
     return;
   }
 
@@ -119,31 +119,38 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                          " is not the writer of channel " + ch->name,
                      file, line);
   }
-  charge_rank_call(ctx, m.payload.size());
-
   PilotApp& app = ctx.app();
-  to_writer_order(app, ch->from, m);
-  const PI_PROCESS& to = app.process(ch->to);
-  if (to.location == Location::kRank) {
-    const std::vector<std::byte> framed = frame_message(sig, m.payload);
-    ctx.mpi().send(framed.data(), framed.size(), to.rank, ch->tag());
-  } else {
-    transport_or_die(app, file, line)
-        .rank_write_to_spe(ctx, *ch, sig, m.payload);
+  cellpilot::Route& rt = route_of(*ch, file, line);
+  if (rt.needs_transport) transport_or_die(app, file, line);
+
+  // Stage [header][payload] in the channel's reused buffer and send it as
+  // one frame; rank-backed writers always MPI-send — to the reader's rank,
+  // or to the Co-Pilot standing in for a reading SPE.
+  cellpilot::WriterState& ws = rt.writer;
+  const cellpilot::FormatPlan& plan = ws.formats.lookup(fmt);
+  ws.staging.resize(sizeof(WireHeader));
+  marshal_append(plan.parsed, args, ws.staging, ws.counts);
+  const std::size_t payload_bytes = ws.staging.size() - sizeof(WireHeader);
+  const std::uint32_t sig = wire_signature(plan, ws.counts);
+  charge_rank_call(ctx, payload_bytes);
+
+  const std::span<std::byte> payload =
+      std::span(ws.staging).subspan(sizeof(WireHeader));
+  if (rt.writer_big_endian) {
+    swap_element_bytes(plan.parsed, ws.counts, payload);
   }
+  frame_in_place(ws.staging, sig);
+  ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
   simtime::Trace::global().record(
       ctx.app().cluster().world().info(ctx.rank()).name,
       simtime::TraceKind::kPilotCall,
-      "PI_Write " + ch->name + " " + std::to_string(m.payload.size()) + "B",
+      "PI_Write " + ch->name + " " + std::to_string(payload_bytes) + "B",
       0, ctx.mpi().clock().now());
 }
 
 void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                va_list args) {
   if (ch == nullptr) usage_error(file, line, "PI_Read: null channel");
-  const Format parsed = parse_format(fmt);
-  ReadPlan plan = build_read_plan(parsed, args);
-  const std::uint32_t sig = signature(plan.fmt);
 
   // --- SPE-side reader --------------------------------------------------
   if (SpeDispatch* sd = spe_dispatch()) {
@@ -153,10 +160,16 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                            " is not the reader of channel " + ch->name,
                        file, line);
     }
-    std::vector<std::byte> payload(plan.payload_bytes);
-    sd->app->transport()->spe_read(*ch, sig, payload);
-    to_host_order(*sd->app, ch->from, plan.fmt, payload);
-    scatter(plan, payload);
+    cellpilot::Route& rt = route_of(*ch, file, line);
+    cellpilot::ReaderState& rs = rt.reader;
+    const cellpilot::FormatPlan& plan = rs.formats.lookup(fmt);
+    build_read_plan_into(plan.parsed, args, rs.plan);
+    const std::uint32_t sig =
+        plan.has_star ? signature(rs.plan.fmt) : plan.wire_signature;
+    rs.staging.resize(rs.plan.payload_bytes);
+    sd->app->transport()->spe_read(*ch, sig, rs.staging);
+    if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, rs.staging);
+    scatter(rs.plan, rs.staging);
     return;
   }
 
@@ -168,27 +181,32 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                          " is not the reader of channel " + ch->name,
                      file, line);
   }
-
   PilotApp& app = ctx.app();
-  const PI_PROCESS& from = app.process(ch->from);
-  std::vector<std::byte> framed;
-  if (from.location == Location::kRank) {
-    notify_block(ctx, ch->from, ch->id);
-    framed = ctx.mpi().recv_any_size(from.rank, ch->tag());
-    notify_unblock(ctx);
-  } else {
-    framed = transport_or_die(app, file, line).rank_read_from_spe(ctx, *ch);
-  }
-  check_frame(framed, sig, plan.payload_bytes, "channel " + ch->name);
+  cellpilot::Route& rt = route_of(*ch, file, line);
+  if (rt.needs_transport) transport_or_die(app, file, line);
+
+  // Rank-backed readers always receive one MPI frame — from the writer's
+  // rank, or from the Co-Pilot relaying for a writing SPE.
+  cellpilot::ReaderState& rs = rt.reader;
+  const cellpilot::FormatPlan& plan = rs.formats.lookup(fmt);
+  build_read_plan_into(plan.parsed, args, rs.plan);
+  const std::uint32_t sig =
+      plan.has_star ? signature(rs.plan.fmt) : plan.wire_signature;
+  notify_block(ctx, ch->from, ch->id);
+  std::vector<std::byte> framed =
+      ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+  notify_unblock(ctx);
+  check_frame(framed, sig, rs.plan.payload_bytes, "channel " + ch->name);
   const std::span<std::byte> payload =
       std::span(framed).subspan(sizeof(WireHeader));
-  to_host_order(app, ch->from, plan.fmt, payload);
-  scatter(plan, payload);
-  charge_rank_call(ctx, plan.payload_bytes);
+  if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, payload);
+  scatter(rs.plan, payload);
+  charge_rank_call(ctx, rs.plan.payload_bytes);
   simtime::Trace::global().record(
       app.cluster().world().info(ctx.rank()).name,
       simtime::TraceKind::kPilotCall,
-      "PI_Read " + ch->name + " " + std::to_string(plan.payload_bytes) + "B",
+      "PI_Read " + ch->name + " " + std::to_string(rs.plan.payload_bytes) +
+          "B",
       0, ctx.mpi().clock().now());
 }
 
@@ -347,6 +365,9 @@ PI_BUNDLE* PI_CreateBundle(PI_BUNDLE_USAGE usage,
 void PI_StartAll(void) {
   PilotContext& ctx = ctx_in_phase(Phase::kConfig, "PI_StartAll");
   ctx.phase = Phase::kExecution;
+  // The tables are final: compile every channel's route (once across all
+  // ranks) before anyone crosses the barrier into the execution phase.
+  ctx.app().compile_routes();
   ctx.app().user_barrier(ctx.mpi());  // everyone's tables are complete
 
   if (ctx.rank() == 0) {
@@ -424,21 +445,25 @@ void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
   VaGuard guard{ap};
 
   PilotContext& ctx = bundle_ctx(file, line, b, PI_BROADCAST, "PI_Broadcast");
-  const Format parsed = parse_format(fmt);
-  MarshalResult m = marshal_payload(parsed, ap);
-  const std::uint32_t sig = signature(m.fmt);
-  to_writer_order(ctx.app(), b->common_process, m);
-  const std::vector<std::byte> framed = frame_message(sig, m.payload);
-  charge_rank_call(ctx, m.payload.size());
+  cellpilot::FormatCache& formats = ctx.app().router().bundle_formats(b->id);
+  const cellpilot::FormatPlan& plan = formats.lookup(fmt);
+  std::vector<std::byte> framed(sizeof(WireHeader));
+  std::vector<std::uint32_t> counts;
+  marshal_append(plan.parsed, ap, framed, counts);
+  const std::uint32_t sig = wire_signature(plan, counts);
+  // Every channel shares the common writer, so one byte-order pass and one
+  // frame serve every leg (SPE legs go to the reader's Co-Pilot).
+  cellpilot::Route& first = route_of(*b->channels.front(), file, line);
+  if (first.writer_big_endian) {
+    swap_element_bytes(plan.parsed, counts,
+                       std::span(framed).subspan(sizeof(WireHeader)));
+  }
+  frame_in_place(framed, sig);
+  charge_rank_call(ctx, framed.size() - sizeof(WireHeader));
   for (PI_CHANNEL* ch : b->channels) {
-    const PI_PROCESS& to = ctx.app().process(ch->to);
-    if (to.location == Location::kRank) {
-      ctx.mpi().send(framed.data(), framed.size(), to.rank, ch->tag());
-    } else {
-      // Extension: SPE receiver — relay through its node's Co-Pilot.
-      transport_or_die(ctx.app(), file, line)
-          .rank_write_to_spe(ctx, *ch, sig, m.payload);
-    }
+    cellpilot::Route& rt = route_of(*ch, file, line);
+    if (rt.needs_transport) transport_or_die(ctx.app(), file, line);
+    ctx.mpi().send(framed.data(), framed.size(), rt.write_dest, rt.tag);
   }
 }
 
@@ -449,24 +474,26 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
   VaGuard guard{ap};
 
   PilotContext& ctx = bundle_ctx(file, line, b, PI_GATHER, "PI_Gather");
-  const Format parsed = parse_format(fmt);
+  cellpilot::FormatCache& formats = ctx.app().router().bundle_formats(b->id);
+  const cellpilot::FormatPlan& fplan = formats.lookup(fmt);
   // The plan's destinations are the bases of per-contribution arrays; slot
   // i of each array receives channel i's payload.
-  ReadPlan plan = build_read_plan(parsed, ap);
-  const std::uint32_t sig = signature(plan.fmt);
+  ReadPlan plan = build_read_plan(fplan.parsed, ap);
+  const std::uint32_t sig =
+      fplan.has_star ? signature(plan.fmt) : fplan.wire_signature;
 
   for (std::size_t i = 0; i < b->channels.size(); ++i) {
     PI_CHANNEL* ch = b->channels[i];
+    cellpilot::Route& rt = route_of(*ch, file, line);
     notify_block(ctx, ch->from, ch->id);
     std::vector<std::byte> framed =
-        ctx.mpi().recv_any_size(expected_source_rank(ctx.app(), *ch),
-                                ch->tag());
+        ctx.mpi().recv_any_size(rt.read_source, rt.tag);
     notify_unblock(ctx);
     check_frame(framed, sig, plan.payload_bytes,
                 "gather channel " + ch->name);
     const std::span<std::byte> payload =
         std::span(framed).subspan(sizeof(WireHeader));
-    to_host_order(ctx.app(), ch->from, plan.fmt, payload);
+    if (rt.writer_big_endian) swap_element_bytes(plan.fmt, payload);
     ReadPlan shifted = plan;
     for (std::size_t j = 0; j < shifted.destinations.size(); ++j) {
       const FormatItem& item = shifted.fmt.items[j];
@@ -484,7 +511,8 @@ int PI_Select(PI_BUNDLE* b) {
   std::vector<mpisim::MatchQueue::Pattern> patterns;
   patterns.reserve(b->channels.size());
   for (PI_CHANNEL* ch : b->channels) {
-    patterns.push_back({expected_source_rank(ctx.app(), *ch), ch->tag()});
+    const cellpilot::Route& rt = route_of(*ch, nullptr, 0);
+    patterns.push_back({rt.read_source, rt.tag});
     notify_block(ctx, ch->from, ch->id);
   }
   const auto [index, env] =
@@ -500,7 +528,8 @@ int PI_TrySelect(PI_BUNDLE* b) {
   std::vector<mpisim::MatchQueue::Pattern> patterns;
   patterns.reserve(b->channels.size());
   for (PI_CHANNEL* ch : b->channels) {
-    patterns.push_back({expected_source_rank(ctx.app(), *ch), ch->tag()});
+    const cellpilot::Route& rt = route_of(*ch, nullptr, 0);
+    patterns.push_back({rt.read_source, rt.tag});
   }
   charge_rank_call(ctx, 0);
   const auto hit =
@@ -520,11 +549,8 @@ int PI_ChannelHasData(PI_CHANNEL* ch) {
                          " is not the reader of channel " + ch->name);
   }
   charge_rank_call(ctx, 0);
-  return ctx.mpi()
-                 .iprobe(expected_source_rank(ctx.app(), *ch), ch->tag())
-                 .has_value()
-             ? 1
-             : 0;
+  const cellpilot::Route& rt = route_of(*ch, nullptr, 0);
+  return ctx.mpi().iprobe(rt.read_source, rt.tag).has_value() ? 1 : 0;
 }
 
 PI_CHANNEL** PI_CopyChannels(PI_CHANNEL* const channels[], int count) {

@@ -1,8 +1,11 @@
 #include "pilot/app.hpp"
 
+#include "core/router.hpp"
+
 namespace pilot {
 
-PilotApp::PilotApp(cluster::Cluster& cluster) : cluster_(&cluster) {
+PilotApp::PilotApp(cluster::Cluster& cluster)
+    : cluster_(&cluster), router_(std::make_unique<cellpilot::Router>()) {
   spe_busy_.resize(static_cast<std::size_t>(cluster.node_count()));
   for (int n = 0; n < cluster.node_count(); ++n) {
     spe_busy_[static_cast<std::size_t>(n)].assign(cluster.spe_count(n),
@@ -85,6 +88,15 @@ PI_CHANNEL& PilotApp::channel(int id) {
   return *channels_[static_cast<std::size_t>(id)];
 }
 
+PI_BUNDLE& PilotApp::bundle(int id) {
+  std::lock_guard lock(tables_mu_);
+  if (id < 0 || id >= static_cast<int>(bundles_.size())) {
+    throw PilotError(ErrorCode::kInternal,
+                     "bundle id " + std::to_string(id) + " out of range");
+  }
+  return *bundles_[static_cast<std::size_t>(id)];
+}
+
 int PilotApp::process_count() const {
   std::lock_guard lock(tables_mu_);
   return static_cast<int>(processes_.size());
@@ -93,6 +105,15 @@ int PilotApp::process_count() const {
 int PilotApp::channel_count() const {
   std::lock_guard lock(tables_mu_);
   return static_cast<int>(channels_.size());
+}
+
+int PilotApp::bundle_count() const {
+  std::lock_guard lock(tables_mu_);
+  return static_cast<int>(bundles_.size());
+}
+
+void PilotApp::compile_routes() {
+  std::call_once(routes_once_, [this] { router_->compile(*this); });
 }
 
 PI_CHANNEL** PilotApp::intern_channel_array(

@@ -21,6 +21,10 @@
 #include "pilot/errors.hpp"
 #include "pilot/tables.hpp"
 
+namespace cellpilot {
+class Router;  // compiled data plane (core/router.hpp)
+}  // namespace cellpilot
+
 namespace pilot {
 
 class PilotContext;
@@ -43,16 +47,6 @@ struct Options {
 class CellTransport {
  public:
   virtual ~CellTransport() = default;
-
-  /// Rank-side write on a rank->SPE channel (types 2/3).
-  virtual void rank_write_to_spe(PilotContext& ctx, const PI_CHANNEL& ch,
-                                 std::uint32_t sig,
-                                 std::span<const std::byte> payload) = 0;
-
-  /// Rank-side read on an SPE->rank channel (types 2/3).  Returns the
-  /// framed message (header + payload).
-  virtual std::vector<std::byte> rank_read_from_spe(PilotContext& ctx,
-                                                    const PI_CHANNEL& ch) = 0;
 
   /// SPE-side write on any channel leaving an SPE (types 2..5).
   virtual void spe_write(const PI_CHANNEL& ch, std::uint32_t sig,
@@ -107,8 +101,18 @@ class PilotApp {
   /// Table lookups (throw PilotError(kInternal) when out of range).
   PI_PROCESS& process(int id);
   PI_CHANNEL& channel(int id);
+  PI_BUNDLE& bundle(int id);
   int process_count() const;
   int channel_count() const;
+  int bundle_count() const;
+
+  /// The compiled data plane (routes + per-endpoint format caches).
+  cellpilot::Router& router() { return *router_; }
+
+  /// Compiles every channel's route exactly once per run.  Called by
+  /// PI_StartAll on every rank; the first caller does the work, the rest
+  /// wait (std::call_once), so post-barrier code always sees routes.
+  void compile_routes();
 
   /// Number of user ranks (= Pilot processes available to the programmer).
   int available_processes() const { return cluster_->user_rank_count(); }
@@ -147,6 +151,8 @@ class PilotApp {
   cluster::Cluster* cluster_;
   Options options_;
   CellTransport* transport_ = nullptr;
+  std::unique_ptr<cellpilot::Router> router_;
+  std::once_flag routes_once_;
 
   mutable std::mutex tables_mu_;
   std::vector<std::unique_ptr<PI_PROCESS>> processes_;

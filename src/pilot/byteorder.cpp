@@ -23,4 +23,24 @@ void swap_element_bytes(const ResolvedFormat& fmt,
   }
 }
 
+void swap_element_bytes(const Format& fmt,
+                        std::span<const std::uint32_t> counts,
+                        std::span<std::byte> payload) {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < fmt.items.size(); ++i) {
+    const std::size_t elem = element_size(fmt.items[i].type);
+    for (std::uint32_t j = 0; j < counts[i]; ++j) {
+      if (elem > 1) {
+        std::reverse(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + elem));
+      }
+      off += elem;
+    }
+  }
+  if (off != payload.size()) {
+    throw PilotError(ErrorCode::kInternal,
+                     "byte-order conversion: payload length mismatch");
+  }
+}
+
 }  // namespace pilot

@@ -31,6 +31,12 @@ using simtime::ByteOrder;
 void swap_element_bytes(const ResolvedFormat& fmt,
                         std::span<std::byte> payload);
 
+/// Variant for a possibly-'*' format whose per-item element counts were
+/// resolved out-of-band (`counts` is parallel to fmt.items).
+void swap_element_bytes(const Format& fmt,
+                        std::span<const std::uint32_t> counts,
+                        std::span<std::byte> payload);
+
 /// Converts a payload from `from` order to `to` order (no-op when equal).
 /// Delivery into user variables is always host (little-endian)
 /// representation; the wire and SPE local stores carry the writer's

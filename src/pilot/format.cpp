@@ -1,5 +1,6 @@
 #include "pilot/format.hpp"
 
+#include <atomic>
 #include <cctype>
 
 namespace pilot {
@@ -57,9 +58,20 @@ namespace {
                        std::to_string(pos) + ": " + why);
 }
 
+std::atomic<std::uint64_t> g_parse_count{0};
+
 }  // namespace
 
+std::uint64_t format_parse_count() {
+  return g_parse_count.load(std::memory_order_relaxed);
+}
+
+void reset_format_parse_count() {
+  g_parse_count.store(0, std::memory_order_relaxed);
+}
+
 Format parse_format(std::string_view fmt) {
+  g_parse_count.fetch_add(1, std::memory_order_relaxed);
   Format out;
   std::size_t i = 0;
   while (i < fmt.size()) {
@@ -145,6 +157,26 @@ std::uint32_t signature(const ResolvedFormat& fmt) {
     }
     mix(static_cast<std::uint32_t>(item.type));
     mix(item.count);
+  }
+  return h;
+}
+
+std::uint32_t signature(const Format& fmt,
+                        std::span<const std::uint32_t> counts) {
+  if (counts.size() != fmt.items.size()) {
+    throw PilotError(ErrorCode::kInternal,
+                     "signature: resolved counts do not match format items");
+  }
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 16777619u;
+    }
+  };
+  for (std::size_t i = 0; i < fmt.items.size(); ++i) {
+    mix(static_cast<std::uint32_t>(fmt.items[i].type));
+    mix(counts[i]);
   }
   return h;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,12 @@ struct Format {
 /// syntax errors.
 Format parse_format(std::string_view fmt);
 
+/// Counting hooks: parse_format invocations since the last reset.  Tests
+/// use them to prove the route layer parses each format once per endpoint
+/// per run, not once per message.
+std::uint64_t format_parse_count();
+void reset_format_parse_count();
+
 /// A format with all '*' counts substituted (what actually crosses the
 /// wire).  Computed by the marshalling layer as it consumes arguments.
 using ResolvedFormat = Format;
@@ -76,6 +83,12 @@ using ResolvedFormat = Format;
 /// header) so mismatches are reported as PilotError(kTypeMismatch) instead
 /// of silent corruption.
 std::uint32_t signature(const ResolvedFormat& fmt);
+
+/// Signature of a possibly-'*' format whose per-item element counts were
+/// resolved out-of-band (`counts` is parallel to fmt.items).  Equals
+/// signature() of the equivalent resolved format.
+std::uint32_t signature(const Format& fmt,
+                        std::span<const std::uint32_t> counts);
 
 /// Human-readable rendering of a resolved format for diagnostics,
 /// e.g. "%100d %lf".

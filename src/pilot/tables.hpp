@@ -18,6 +18,10 @@
 #include "cellsim/libspe2.hpp"
 #include "mpisim/types.hpp"
 
+namespace cellpilot {
+struct Route;  // compiled data-plane plan (core/router.hpp)
+}  // namespace cellpilot
+
 namespace pilot {
 
 /// Where a process executes.
@@ -63,6 +67,10 @@ struct PI_CHANNEL {
 
   /// MiniMPI tag carrying this channel's data messages.
   int tag() const { return pilot::kChannelTagBase + id; }
+
+  /// Compiled route, set by Router::compile at PI_StartAll (null during
+  /// configuration).  Owned by the application's Router.
+  cellpilot::Route* route = nullptr;
 };
 
 /// Collective-usage kinds for bundles (paper: broadcast, gather, select).

@@ -107,8 +107,40 @@ MarshalResult marshal_payload(const Format& fmt, va_list args) {
   return out;
 }
 
+void marshal_append(const Format& fmt, va_list args,
+                    std::vector<std::byte>& out,
+                    std::vector<std::uint32_t>& counts) {
+  counts.clear();
+  for (const FormatItem& item : fmt.items) {
+    std::uint32_t count = item.count;
+    if (item.star) count = pull_star_count(args);
+    if (count == 1 && !item.star) {
+      append_scalar(out, item.type, args);
+    } else {
+      const void* src = va_arg(args, const void*);
+      if (src == nullptr) {
+        throw PilotError(ErrorCode::kFormat,
+                         "null array pointer for %" +
+                             std::string(type_spec(item.type)));
+      }
+      const std::size_t n = element_size(item.type) * count;
+      const auto* b = static_cast<const std::byte*>(src);
+      out.insert(out.end(), b, b + n);
+    }
+    counts.push_back(count);
+  }
+}
+
 ReadPlan build_read_plan(const Format& fmt, va_list args) {
   ReadPlan plan;
+  build_read_plan_into(fmt, args, plan);
+  return plan;
+}
+
+void build_read_plan_into(const Format& fmt, va_list args, ReadPlan& plan) {
+  plan.fmt.items.clear();
+  plan.destinations.clear();
+  plan.payload_bytes = 0;
   plan.fmt.items.reserve(fmt.items.size());
   for (const FormatItem& item : fmt.items) {
     FormatItem resolved = item;
@@ -126,7 +158,6 @@ ReadPlan build_read_plan(const Format& fmt, va_list args) {
     plan.fmt.items.push_back(resolved);
     plan.payload_bytes += element_size(resolved.type) * resolved.count;
   }
-  return plan;
 }
 
 void scatter(const ReadPlan& plan, std::span<const std::byte> payload) {

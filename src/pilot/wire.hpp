@@ -45,6 +45,14 @@ struct MarshalResult {
 /// count.
 MarshalResult marshal_payload(const Format& fmt, va_list args);
 
+/// Allocation-free variant for the compiled data plane: appends the packed
+/// payload to `out` (which may already hold header space) and records the
+/// resolved element count of every item in `counts` (cleared first; parallel
+/// to fmt.items).  Reuses the buffers' capacity across calls.
+void marshal_append(const Format& fmt, va_list args,
+                    std::vector<std::byte>& out,
+                    std::vector<std::uint32_t>& counts);
+
 /// A reader's scatter plan: destination pointer per item.
 struct ReadPlan {
   ResolvedFormat fmt;
@@ -55,6 +63,10 @@ struct ReadPlan {
 /// Consumes `args` per `fmt` — for reads every item is a pointer ('*' items
 /// preceded by an int count).  Throws PilotError(kFormat) on a bad count.
 ReadPlan build_read_plan(const Format& fmt, va_list args);
+
+/// Rebuilds `plan` in place (clearing it first), reusing its vectors'
+/// capacity across calls — the compiled data plane's per-channel plan.
+void build_read_plan_into(const Format& fmt, va_list args, ReadPlan& plan);
 
 /// Copies `payload` into the plan's destinations.  The caller must have
 /// verified payload.size() == plan.payload_bytes.

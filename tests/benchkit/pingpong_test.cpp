@@ -75,6 +75,29 @@ TEST(Benchkit, RepsDoNotChangeSteadyStateLatency) {
   EXPECT_NEAR(a, b, a * 0.02);
 }
 
+TEST(Benchkit, HarnessIsReentrant) {
+  // The harness carries no global state: interleaving runs with different
+  // specs reproduces each spec's isolated result exactly.
+  const simtime::CostModel cost = simtime::default_cost_model();
+  PingPongSpec small;
+  small.type = ChannelType::kType2;
+  small.bytes = 16;
+  small.reps = 20;
+  PingPongSpec large;
+  large.type = ChannelType::kType5;
+  large.bytes = 1600;
+  large.reps = 20;
+
+  const auto small_alone = benchkit::pingpong(small, Method::kCellPilot, cost);
+  const auto large_alone = benchkit::pingpong(large, Method::kCellPilot, cost);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(benchkit::pingpong(small, Method::kCellPilot, cost),
+              small_alone);
+    EXPECT_EQ(benchkit::pingpong(large, Method::kCellPilot, cost),
+              large_alone);
+  }
+}
+
 TEST(Benchkit, ZeroCostModelCollapsesLatency) {
   const simtime::CostModel zero = simtime::zero_cost_model();
   PingPongSpec spec;

@@ -1,0 +1,171 @@
+// Tests for the cached format plans of the compiled data plane: wire
+// signatures precomputed at first lookup must be indistinguishable — in
+// value and in diagnostics — from the per-call parses they replaced.
+#include "core/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "core/cellpilot.hpp"
+#include "pilot/format.hpp"
+
+namespace {
+
+using namespace cellpilot;
+
+// --- plan caching and signature stability -----------------------------------
+
+TEST(FormatPlan, CachedSignatureMatchesFreshParse) {
+  const char* formats[] = {"%d", "%u %lf", "%100Lf %c", "%16b %4hd"};
+  FormatCache cache;
+  for (const char* fmt : formats) {
+    const FormatPlan& plan = cache.lookup(fmt);
+    EXPECT_FALSE(plan.has_star) << fmt;
+    const pilot::Format fresh = pilot::parse_format(fmt);
+    EXPECT_EQ(plan.wire_signature, pilot::signature(fresh)) << fmt;
+    EXPECT_EQ(plan.payload_bytes, fresh.payload_bytes()) << fmt;
+  }
+}
+
+TEST(FormatPlan, LookupParsesOnlyOnFirstSight) {
+  FormatCache cache;
+  pilot::reset_format_parse_count();
+  const FormatPlan& first = cache.lookup("%d %f");
+  EXPECT_EQ(pilot::format_parse_count(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(&cache.lookup("%d %f"), &first);
+  }
+  EXPECT_EQ(pilot::format_parse_count(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FormatPlan, StarFormatsResolveSignaturePerCall) {
+  FormatCache cache;
+  const FormatPlan& plan = cache.lookup("%*b");
+  EXPECT_TRUE(plan.has_star);
+
+  // A '*' count resolved to n must be wire-compatible with the literal
+  // count-n format: both sides of a channel may pick either spelling.
+  const std::uint32_t four[] = {4};
+  const std::uint32_t eight[] = {8};
+  EXPECT_EQ(pilot::signature(plan.parsed, four),
+            pilot::signature(pilot::parse_format("%4b")));
+  EXPECT_EQ(pilot::signature(plan.parsed, eight),
+            pilot::signature(pilot::parse_format("%8b")));
+  EXPECT_NE(pilot::signature(plan.parsed, four),
+            pilot::signature(plan.parsed, eight));
+}
+
+TEST(FormatPlan, CacheIsKeyedByContentNotAddress) {
+  // A reused heap or stack buffer can present a different format string at
+  // the same address; the cache must not serve the stale plan.
+  char buf[16];
+  FormatCache cache;
+  std::strcpy(buf, "%d");
+  const FormatPlan* int_plan = &cache.lookup(buf);
+  EXPECT_EQ(int_plan->text, "%d");
+
+  std::strcpy(buf, "%lf");
+  const FormatPlan& double_plan = cache.lookup(buf);
+  EXPECT_EQ(double_plan.text, "%lf");
+  EXPECT_NE(&double_plan, int_plan);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // And the first plan is still served, now from a third address.
+  const std::string again = "%d";
+  EXPECT_EQ(&cache.lookup(again.c_str()), int_plan);
+}
+
+// --- end-to-end through the cached dispatch path ----------------------------
+
+PI_SPE_PROGRAM(fp_star_reader) {
+  PI_CHANNEL* in = static_cast<PI_CHANNEL*>(arg2);
+  std::byte buf[64];
+  for (int n = 1; n <= arg1; n *= 2) {
+    PI_Read(in, "%*b", n, buf);
+  }
+  // Literal-count read against a star-format writer: same signature.
+  PI_Read(in, "%64b", buf);
+  return 0;
+}
+
+TEST(FormatPlanE2E, StarCountsVaryPerMessageOverOneChannel) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(fp_star_reader, PI_MAIN, 0);
+    PI_CHANNEL* ch = PI_CreateChannel(PI_MAIN, spe);
+    PI_StartAll();
+    constexpr int kMax = 32;
+    PI_RunSPE(spe, kMax, ch);
+    std::byte buf[64] = {};
+    for (int n = 1; n <= kMax; n *= 2) {
+      PI_Write(ch, "%*b", n, buf);
+    }
+    PI_Write(ch, "%*b", 64, buf);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(r.aborted) << r.abort_reason;
+}
+
+int fp_uint_reader(int /*index*/, void* arg) {
+  PI_CHANNEL* in = static_cast<PI_CHANNEL*>(arg);
+  unsigned v = 0;
+  PI_Read(in, "%u", &v);  // writer sends %d
+  return 0;
+}
+
+TEST(FormatPlanE2E, Type1MismatchStillDiagnosedThroughCache) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::xeon(2));
+  cluster::Cluster machine(std::move(config));
+
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(fp_uint_reader, 0, nullptr);
+    PI_CHANNEL* ch = PI_CreateChannel(PI_MAIN, w);
+    w->ptr_arg = ch;
+    PI_StartAll();
+    PI_Write(ch, "%d", 5);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.abort_reason.find("does not match"), std::string::npos)
+      << r.abort_reason;
+}
+
+PI_SPE_PROGRAM(fp_wrong_spe_reader) {
+  PI_CHANNEL* in = static_cast<PI_CHANNEL*>(arg2);
+  unsigned v = 0;
+  PI_Read(in, "%u", &v);  // writer sends %d
+  return 0;
+}
+
+TEST(FormatPlanE2E, Type2MismatchStillDiagnosedThroughCache) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine(std::move(config));
+
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(fp_wrong_spe_reader, PI_MAIN, 0);
+    PI_CHANNEL* ch = PI_CreateChannel(PI_MAIN, spe);
+    PI_StartAll();
+    PI_RunSPE(spe, 0, ch);
+    PI_Write(ch, "%d", 5);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.abort_reason.find("does not match"), std::string::npos)
+      << r.abort_reason;
+}
+
+}  // namespace
