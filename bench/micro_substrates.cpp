@@ -6,6 +6,8 @@
 
 #include <cstdarg>
 
+#include "benchkit/benchjson.hpp"
+
 #include "cellsim/local_store.hpp"
 #include "cellsim/mailbox.hpp"
 #include "cellsim/mfc.hpp"
@@ -160,6 +162,39 @@ void BM_FrameAndCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameAndCheck);
 
+/// Console output as usual, plus every run mirrored into a BenchJson row —
+/// the same BENCH_*.json convention the reproduction binaries follow, so
+/// substrate regressions are diffable without scraping console output.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(benchkit::BenchJson* doc) : doc_(doc) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      doc_->add_row()
+          .set("name", run.benchmark_name())
+          .set("iterations", static_cast<std::int64_t>(run.iterations))
+          .set("real_time_per_iter", run.GetAdjustedRealTime())
+          .set("cpu_time_per_iter", run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  benchkit::BenchJson* doc_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchkit::BenchJson doc("micro_substrates");
+  doc.meta("unit", std::string("ns"));
+  JsonMirrorReporter reporter(&doc);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  doc.write_file("BENCH_micro_substrates.json");
+  benchmark::Shutdown();
+  return 0;
+}

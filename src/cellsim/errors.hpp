@@ -7,39 +7,84 @@
 // error or hang.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace cellsim {
 
+/// Stable identifier of a fault's kind, so faults can be marshalled across
+/// the Co-Pilot boundary (mailbox words, wire frames) without RTTI or
+/// string matching.  Values are part of the wire protocol — append only.
+enum class FaultCode : std::uint32_t {
+  kGeneric = 0,     ///< base HardwareFault
+  kLocalStore = 1,  ///< LocalStoreFault
+  kDma = 2,         ///< DmaFault
+  kMailbox = 3,     ///< MailboxFault
+  kContext = 4,     ///< ContextFault
+  kInjected = 5,    ///< fault injected by a test fault plan
+  kTimeout = 6,     ///< Co-Pilot supervision deadline expired
+};
+
+/// Returns "generic", "local-store", "dma", "mailbox", "context",
+/// "injected" or "timeout".
+const char* to_string(FaultCode code);
+
 /// Base class for all simulated hardware faults.
 class HardwareFault : public std::runtime_error {
  public:
   explicit HardwareFault(const std::string& what) : std::runtime_error(what) {}
+
+  /// Stable kind identifier for cross-boundary marshalling.
+  virtual FaultCode fault_code() const { return FaultCode::kGeneric; }
 };
 
 /// Access outside the 256 KB local store, or allocation beyond capacity.
 class LocalStoreFault : public HardwareFault {
  public:
   using HardwareFault::HardwareFault;
+  FaultCode fault_code() const override { return FaultCode::kLocalStore; }
 };
 
 /// DMA command violating MFC rules (size, alignment, tag range).
 class DmaFault : public HardwareFault {
  public:
   using HardwareFault::HardwareFault;
+  FaultCode fault_code() const override { return FaultCode::kDma; }
 };
 
 /// Illegal mailbox operation (e.g. non-blocking write to a full FIFO).
 class MailboxFault : public HardwareFault {
  public:
   using HardwareFault::HardwareFault;
+  FaultCode fault_code() const override { return FaultCode::kMailbox; }
 };
 
 /// Misuse of the libspe2-style context API (double run, bad handle, ...).
 class ContextFault : public HardwareFault {
  public:
   using HardwareFault::HardwareFault;
+  FaultCode fault_code() const override { return FaultCode::kContext; }
 };
+
+inline const char* to_string(FaultCode code) {
+  switch (code) {
+    case FaultCode::kGeneric:
+      return "generic";
+    case FaultCode::kLocalStore:
+      return "local-store";
+    case FaultCode::kDma:
+      return "dma";
+    case FaultCode::kMailbox:
+      return "mailbox";
+    case FaultCode::kContext:
+      return "context";
+    case FaultCode::kInjected:
+      return "injected";
+    case FaultCode::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
 
 }  // namespace cellsim

@@ -1,0 +1,49 @@
+// inject.hpp — fault-injection seam for the simulated Cell hardware.
+//
+// cellsim depends only on simtime, so it cannot see the fault *plan* (which
+// lives in core/faultplan and is configured through the Pilot API).  The
+// seam is therefore a single function pointer: the plan installs a hook,
+// and the hardware primitives probe it at well-defined sites.  With no
+// hook installed the probe is one relaxed atomic load and a branch —
+// virtual time is untouched and the clean-path timing is bit-for-bit
+// identical to a build without the seam.
+#pragma once
+
+#include <atomic>
+
+#include "simtime/sim_time.hpp"
+
+namespace cellsim::inject {
+
+/// Where in the hardware a probe fires.
+enum class Site {
+  kMboxWrite,  ///< SPU writing its outbound (or interrupt) mailbox
+  kMboxRead,   ///< SPU reading its inbound mailbox
+  kDma,        ///< MFC transfer (get/put, any variant)
+};
+
+/// What the plan wants done at a probed site.
+struct Action {
+  simtime::SimTime delay = 0;  ///< extra virtual time charged to the actor
+  bool fault = false;          ///< raise the site's HardwareFault subclass
+};
+
+/// `owner` is the acting entity's diagnostic name (e.g. "node0.spe3").
+using Hook = Action (*)(Site site, const char* owner, simtime::SimTime now);
+
+namespace detail {
+inline std::atomic<Hook> g_hook{nullptr};
+}  // namespace detail
+
+/// Installs (or clears, with nullptr) the process-wide hook.
+inline void set_hook(Hook hook) {
+  detail::g_hook.store(hook, std::memory_order_release);
+}
+
+/// Probes the hook; no-op (all-zero Action) when none is installed.
+inline Action probe(Site site, const char* owner, simtime::SimTime now) {
+  const Hook hook = detail::g_hook.load(std::memory_order_acquire);
+  return hook == nullptr ? Action{} : hook(site, owner, now);
+}
+
+}  // namespace cellsim::inject

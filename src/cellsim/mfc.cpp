@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "cellsim/inject.hpp"
 #include "simtime/trace.hpp"
 
 namespace cellsim {
@@ -41,6 +42,17 @@ void Mfc::transfer(Dir dir, LsAddr ls_addr, EffectiveAddress ea,
     throw DmaFault("MFC tag " + std::to_string(tag) + " out of range [0,31]");
   }
   validate_size_alignment(ls_addr, ea, size);
+
+  const inject::Action act =
+      inject::probe(inject::Site::kDma, owner_.c_str(), clock_.now());
+  if (act.delay > 0) {
+    clock_.advance(act.delay);
+  }
+  if (act.fault) {
+    throw DmaFault("injected DMA fault on " + owner_ + " (" +
+                   std::to_string(size) + "B tag=" + std::to_string(tag) +
+                   ")");
+  }
 
   // Move the data now (functional semantics)...
   if (dir == Dir::kGet) {

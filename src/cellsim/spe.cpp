@@ -19,6 +19,21 @@ SignalRegister& Spe::signal(unsigned index) {
   return signals_[index];
 }
 
+void Spe::raise_fault(FaultCode code, simtime::SimTime stamp,
+                      std::string detail) {
+  if (fault_raised_.load(std::memory_order_acquire)) {
+    return;  // first death wins; an SPE dies once
+  }
+  notice_.code = code;
+  notice_.stamp = stamp;
+  notice_.detail = std::move(detail);
+  fault_raised_.store(true, std::memory_order_release);
+}
+
+const Spe::FaultNotice* Spe::fault_notice() const {
+  return fault_raised_.load(std::memory_order_acquire) ? &notice_ : nullptr;
+}
+
 void Spe::shutdown() {
   inbound_.close();
   outbound_.close();

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "cellsim/errors.hpp"
 #include "cellsim/local_store.hpp"
 #include "cellsim/mailbox.hpp"
 #include "cellsim/mfc.hpp"
@@ -83,6 +84,22 @@ class Spe {
   /// Whether an SPE program is currently loaded/running (libspe2 shim state).
   std::atomic<bool>& busy() { return busy_; }
 
+  /// Posthumous record of a fault that killed the SPE program.
+  struct FaultNotice {
+    FaultCode code = FaultCode::kGeneric;
+    simtime::SimTime stamp = 0;  ///< SPE clock at the moment of death
+    std::string detail;          ///< the fault's what() text
+  };
+
+  /// Records that the program running on this SPE died of `code` at virtual
+  /// time `stamp` (called once, from the dying SPE thread).  The Co-Pilot
+  /// polls fault_notice() and converts the death into Pilot-level errors.
+  void raise_fault(FaultCode code, simtime::SimTime stamp, std::string detail);
+
+  /// The death notice, or nullptr while the SPE is healthy.  The returned
+  /// record is immutable once visible (release/acquire on the flag).
+  const FaultNotice* fault_notice() const;
+
   /// Closes the mailboxes, releasing any blocked parties (node teardown).
   void shutdown();
 
@@ -99,6 +116,8 @@ class Spe {
   Mailbox outbound_intr_;
   SignalRegister signals_[2];
   std::atomic<bool> busy_{false};
+  FaultNotice notice_;
+  std::atomic<bool> fault_raised_{false};
 };
 
 }  // namespace cellsim

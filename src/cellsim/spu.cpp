@@ -1,12 +1,28 @@
 #include "cellsim/spu.hpp"
 
 #include "cellsim/errors.hpp"
+#include "cellsim/inject.hpp"
 #include "simtime/trace.hpp"
 
 namespace cellsim::spu {
 
 namespace {
 thread_local SpuEnv t_env;
+
+// Probes the fault-injection seam before a mailbox primitive: a stall
+// charges extra virtual time to the SPU; a fault raises MailboxFault as
+// real silicon would on a wedged channel.
+void probe_mailbox(const SpuEnv& e, inject::Site site, const char* which) {
+  const inject::Action act =
+      inject::probe(site, e.spe->name().c_str(), e.spe->clock().now());
+  if (act.delay > 0) {
+    e.spe->clock().advance(act.delay);
+  }
+  if (act.fault) {
+    throw MailboxFault(std::string("injected mailbox fault on ") + which +
+                       " of " + e.spe->name());
+  }
+}
 }  // namespace
 
 void bind(const SpuEnv& e) { t_env = e; }
@@ -27,6 +43,7 @@ Spe& self() { return *env().spe; }
 
 std::uint32_t spu_read_in_mbox() {
   const SpuEnv& e = env();
+  probe_mailbox(e, inject::Site::kMboxRead, "in_mbox");
   const simtime::SimTime begin = e.spe->clock().now();
   const MailboxEntry entry = e.spe->inbound_mailbox().pop_blocking();
   e.spe->clock().join(entry.stamp);
@@ -39,6 +56,7 @@ std::uint32_t spu_read_in_mbox() {
 
 void spu_write_out_mbox(std::uint32_t value) {
   const SpuEnv& e = env();
+  probe_mailbox(e, inject::Site::kMboxWrite, "out_mbox");
   const simtime::SimTime begin = e.spe->clock().now();
   const simtime::SimTime end = e.spe->clock().advance(e.cost->mbox_spu_write);
   e.spe->outbound_mailbox().push_blocking(value, end);
@@ -49,6 +67,7 @@ void spu_write_out_mbox(std::uint32_t value) {
 
 void spu_write_out_intr_mbox(std::uint32_t value) {
   const SpuEnv& e = env();
+  probe_mailbox(e, inject::Site::kMboxWrite, "out_intr_mbox");
   const simtime::SimTime begin = e.spe->clock().now();
   const simtime::SimTime end = e.spe->clock().advance(e.cost->mbox_spu_write);
   e.spe->outbound_interrupt_mailbox().push_blocking(value, end);

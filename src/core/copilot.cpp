@@ -1,20 +1,44 @@
 #include "core/copilot.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <limits>
 #include <map>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "cellsim/cell.hpp"
+#include "cellsim/errors.hpp"
+#include "core/faultplan.hpp"
 #include "core/protocol.hpp"
+#include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
 #include "simtime/trace.hpp"
 
 namespace cellpilot {
+
+namespace supervision {
+namespace {
+std::atomic<std::uint64_t> g_recovered{0};
+std::atomic<std::uint64_t> g_timeouts{0};
+std::atomic<std::uint64_t> g_faults{0};
+}  // namespace
+
+std::uint64_t recovered_count() { return g_recovered.load(); }
+std::uint64_t timeout_count() { return g_timeouts.load(); }
+std::uint64_t fault_count() { return g_faults.load(); }
+void reset_counters() {
+  g_recovered.store(0);
+  g_timeouts.store(0);
+  g_faults.store(0);
+}
+
+}  // namespace supervision
+
 namespace {
 
 using pilot::PilotApp;
@@ -97,6 +121,23 @@ class CopilotService {
           }
           break;
         }
+        case Candidate::kSpeFault: {
+          // An SPE program died of a hardware fault.  Consume its
+          // posthumous notice in stamp order and convert the death into
+          // error completions / fault frames at every peer.
+          const unsigned s = candidate->spe;
+          const cellsim::Spe::FaultNotice* notice =
+              blade_.spe(s).fault_notice();
+          dead_spes_.insert(s);
+          assembly_[s] = Assembly{};  // a partial request dies with it
+          clock().join(notice->stamp);
+          supervision::g_faults.fetch_add(1);
+          fail_process(app_.spe_process(node_, s),
+                       CompletionStatus::kSpeFault,
+                       static_cast<std::uint32_t>(notice->code),
+                       notice->detail);
+          break;
+        }
       }
     }
   }
@@ -105,13 +146,15 @@ class CopilotService {
   struct Assembly {
     std::uint32_t words[kRequestWords] = {};
     int n = 0;
+    SimTime first_stamp = 0;  ///< stamp of the request's first mailbox word
     SimTime last_stamp = 0;
   };
 
   struct ReadyRequest {
     SpeRequest req;
     unsigned spe = 0;
-    SimTime stamp = 0;  ///< stamp of the request's final mailbox word
+    SimTime stamp = 0;        ///< stamp of the request's final mailbox word
+    SimTime first_stamp = 0;  ///< stamp of its first word (deadline base)
   };
 
   struct Pending {
@@ -125,7 +168,7 @@ class CopilotService {
   };
 
   struct Candidate {
-    enum Kind { kRequest, kMpiData, kShutdown };
+    enum Kind { kRequest, kMpiData, kShutdown, kSpeFault };
     SimTime stamp = 0;
     Kind kind = kRequest;
     std::size_t index = 0;  ///< into ready_requests_ for kRequest
@@ -153,6 +196,7 @@ class CopilotService {
     for (unsigned s = 0; s < blade_.spe_count(); ++s) {
       while (auto entry = blade_.spe(s).outbound_mailbox().try_pop()) {
         Assembly& a = assembly_[s];
+        if (a.n == 0) a.first_stamp = entry->stamp;
         a.words[a.n++] = entry->value;
         a.last_stamp = entry->stamp;
         if (a.n == kRequestWords) {
@@ -160,6 +204,7 @@ class CopilotService {
           ready.req = decode(a.words);
           ready.spe = s;
           ready.stamp = a.last_stamp;
+          ready.first_stamp = a.first_stamp;
           ready_requests_.push_back(ready);
           a.n = 0;
         }
@@ -174,6 +219,11 @@ class CopilotService {
   /// completion (or its own clock, whichever is lower — the clock read may
   /// lag the join).
   SimTime spe_bound(unsigned s) {
+    // A dead SPE's clock is frozen at its death stamp and must not pin the
+    // safe time: its fault notice is itself a candidate at that stamp, so
+    // ordering is preserved without the bound.
+    if (dead_spes_.count(s) != 0) return kForever;
+    if (blade_.spe(s).fault_notice() != nullptr) return kForever;
     if (!app_.spe_assigned(node_, s)) return kForever;
     cellsim::Spe& spe = blade_.spe(s);
     const auto queued = spe.inbound_mailbox().earliest_stamp();
@@ -240,6 +290,12 @@ class CopilotService {
     }
     if (auto env = mpi_.iprobe(mpisim::kAnySource, pilot::kTagShutdown)) {
       consider({env->arrival, Candidate::kShutdown, 0, -1, 0});
+    }
+    for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      if (dead_spes_.count(s) != 0) continue;
+      if (const auto* notice = blade_.spe(s).fault_notice()) {
+        consider({notice->stamp, Candidate::kSpeFault, 0, -1, s});
+      }
     }
     return best;
   }
@@ -335,9 +391,21 @@ class CopilotService {
         !app_.cluster().world().same_node(r.expected_source, mpi_.rank());
     clock().advance(remote ? cost_.copilot_dispatch_remote
                            : cost_.copilot_dispatch);
+    if (pilot::is_fault_frame(framed)) {
+      // The writer died instead of producing data: its Co-Pilot (or the
+      // failure sweep) put the error on the wire in the data's place.
+      const pilot::FaultFrame fault = pilot::parse_fault_frame(framed);
+      const auto status = static_cast<CompletionStatus>(fault.status);
+      dead_channels_[r.req.channel] = status;
+      complete(r.spe, status);
+      pilot::notify_unblock_proxy(mpi_, app_,
+                                  app_.spe_process(node_, r.spe));
+      return true;
+    }
     if (auto payload = validate_frame(r, framed)) {
       deliver_to_ls(r, *payload);
     }
+    pilot::notify_unblock_proxy(mpi_, app_, app_.spe_process(node_, r.spe));
     return true;
   }
 
@@ -345,14 +413,132 @@ class CopilotService {
     // The request's mailbox words are read (slow MMIO) and decoded now, in
     // stamp order.
     clock().join(ready.stamp);
+    if (supervise_deadline(ready)) return;
     clock().advance(cost_.mbox_ppe_read *
                     static_cast<SimTime>(kRequestWords));
     handle_request(ready.spe, ready.req);
   }
 
+  /// Names a channel the way every fault diagnostic does: name plus its
+  /// Table I type, so one line identifies the route that failed.
+  std::string channel_desc(int channel) {
+    const PI_CHANNEL& ch = app_.channel(channel);
+    std::string label = "channel " + ch.name;
+    if (ch.route != nullptr) {
+      label += " (Table I type " +
+               std::to_string(static_cast<int>(ch.route->type)) + ")";
+    }
+    return label;
+  }
+
+  /// Deadline adjudication.  A healthy SPE emits its four request words in
+  /// a few mailbox writes' worth of virtual time; a gap between the first
+  /// and last word beyond the configured budget means the SPE stalled
+  /// mid-request.  The Co-Pilot then polls with exponential backoff (each
+  /// retry charging one mailbox poll); a request inside a widened window
+  /// is declared recovered, an exhausted ladder completes it with
+  /// kSpeTimeout and fails the process.  On the clean path this is one
+  /// subtraction and a comparison — no virtual time moves.
+  bool supervise_deadline(const ReadyRequest& ready) {
+    const SimTime budget = app_.options().spe_deadline;
+    const SimTime gap = ready.stamp - ready.first_stamp;
+    if (gap <= budget) return false;
+    SimTime allowed = budget;
+    for (int k = 1; k <= app_.options().spe_deadline_retries; ++k) {
+      allowed *= 2;
+      clock().advance(cost_.mbox_poll);
+      if (gap <= allowed) {
+        supervision::g_recovered.fetch_add(1);
+        simtime::Trace::global().record(
+            copilot_name(), simtime::TraceKind::kCopilotService,
+            "late request recovered after " + std::to_string(k) +
+                " retr" + (k == 1 ? "y" : "ies") +
+                " ch=" + std::to_string(ready.req.channel),
+            ready.first_stamp, clock().now());
+        return false;
+      }
+    }
+    supervision::g_timeouts.fetch_add(1);
+    complete(ready.spe, CompletionStatus::kSpeTimeout);
+    fail_process(app_.spe_process(node_, ready.spe),
+                 CompletionStatus::kSpeTimeout,
+                 static_cast<std::uint32_t>(cellsim::FaultCode::kTimeout),
+                 "SPE " + blade_.spe(ready.spe).name() +
+                     " missed its Co-Pilot deadline on " +
+                     channel_desc(ready.req.channel));
+    return true;
+  }
+
+  /// Converts the death of process `pid` into error completions at every
+  /// parked local peer, fault frames on every relay route it would have
+  /// written, and poisoned channels so later requests fail fast instead of
+  /// parking forever.  The job keeps running: failure travels through the
+  /// same compiled routes the data would have used.
+  void fail_process(int pid, CompletionStatus status, std::uint32_t code,
+                    const std::string& detail) {
+    if (pid < 0 || failed_.count(pid) != 0) return;
+    const SimTime begin = clock().now();
+    failed_[pid] = status;
+    clock().advance(cost_.copilot_service);
+
+    // Sweep parked requests on channels touching the dead process.  An SPE
+    // is serial, so it has at most one parked request; a *living* parked
+    // peer gets an error completion, the dead process's own parked request
+    // is simply dropped.  Either way its proxy block report is retracted.
+    const auto sweep = [&](std::map<int, Pending>& parked) {
+      for (auto it = parked.begin(); it != parked.end();) {
+        const PI_CHANNEL& ch = app_.channel(it->first);
+        if (ch.from != pid && ch.to != pid) {
+          ++it;
+          continue;
+        }
+        const Pending p = it->second;
+        it = parked.erase(it);
+        dead_channels_[ch.id] = status;
+        const int parked_pid = app_.spe_process(node_, p.spe);
+        if (parked_pid != pid) complete(p.spe, status);
+        pilot::notify_unblock_proxy(mpi_, app_, parked_pid);
+      }
+    };
+    sweep(pending_writes_);
+    sweep(pending_reads_);
+
+    // Poison every channel with the dead process as an endpoint; where its
+    // data plane relays over MPI, deposit a fault frame so remote readers
+    // (ranks or peer Co-Pilots) wake with the error instead of blocking.
+    const std::vector<std::byte> frame = pilot::frame_fault(
+        {static_cast<std::uint32_t>(status), code, detail});
+    for (int c = 0; c < app_.channel_count(); ++c) {
+      const PI_CHANNEL& ch = app_.channel(c);
+      if (ch.from != pid && ch.to != pid) continue;
+      dead_channels_[c] = status;
+      const Route* rt = ch.route;
+      if (rt == nullptr) continue;
+      if (ch.from == pid &&
+          (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
+           rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
+        mpi_.send(frame.data(), frame.size(), rt->copilot_write_dest,
+                  rt->tag);
+      }
+    }
+    // The registry write comes after the wire deposits: a rank that sees
+    // the failure is guaranteed to find the fault frame already waiting.
+    app_.report_process_failure(pid, {static_cast<std::uint32_t>(status),
+                                      code, detail});
+    simtime::Trace::global().record(
+        copilot_name(), simtime::TraceKind::kCopilotService,
+        "process P" + std::to_string(pid) + " failed: " + detail, begin,
+        clock().now());
+  }
+
   void handle_request(unsigned spe, const SpeRequest& req) {
     const SimTime begin = clock().now();
     clock().advance(cost_.copilot_service);
+    if (faults::FaultPlan::global().armed()) {
+      const SimTime extra =
+          faults::FaultPlan::global().copilot_delay(copilot_name().c_str());
+      if (extra > 0) clock().advance(extra);
+    }
 
     // Bounds and opcode checks stay ahead of any route lookup: a rogue
     // request may carry an arbitrary channel id.
@@ -361,9 +547,23 @@ class CopilotService {
       complete(spe, CompletionStatus::kProtocol);
       return;
     }
-    const Route* rt = app_.channel(req.channel).route;
+    const PI_CHANNEL& ch = app_.channel(req.channel);
+    const Route* rt = ch.route;
     if (rt == nullptr) {
       complete(spe, CompletionStatus::kProtocol);
+      return;
+    }
+    // A channel poisoned by a peer's death fails fast with the stored
+    // status instead of parking a request that can never be served.
+    if (auto dead = dead_channels_.find(req.channel);
+        dead != dead_channels_.end()) {
+      complete(spe, dead->second);
+      return;
+    }
+    const int peer_pid = (req.opcode == Opcode::kWrite) ? ch.to : ch.from;
+    if (auto failed = failed_.find(peer_pid); failed != failed_.end()) {
+      dead_channels_[req.channel] = failed->second;
+      complete(spe, failed->second);
       return;
     }
     Pending p{req, spe, mpisim::kAnySource, rt->tag};
@@ -387,9 +587,14 @@ class CopilotService {
               it->second.expected_source == mpisim::kAnySource) {
             const Pending reader = it->second;
             pending_reads_.erase(it);
+            pilot::notify_unblock_proxy(
+                mpi_, app_, app_.spe_process(node_, reader.spe));
             transfer_local(p, reader);
           } else {
             pending_writes_.emplace(req.channel, p);
+            pilot::notify_block_proxy(mpi_, app_,
+                                      app_.spe_process(node_, spe), ch.to,
+                                      req.channel);
           }
           break;
         }
@@ -406,9 +611,14 @@ class CopilotService {
           if (it != pending_writes_.end()) {
             const Pending writer = it->second;
             pending_writes_.erase(it);
+            pilot::notify_unblock_proxy(
+                mpi_, app_, app_.spe_process(node_, writer.spe));
             transfer_local(writer, p);
           } else {
             pending_reads_.emplace(req.channel, p);
+            pilot::notify_block_proxy(mpi_, app_,
+                                      app_.spe_process(node_, spe), ch.from,
+                                      req.channel);
           }
           break;
         }
@@ -417,6 +627,9 @@ class CopilotService {
           // writer's Co-Pilot; the main loop delivers it in stamp order.
           p.expected_source = rt->copilot_read_source;
           pending_reads_.emplace(req.channel, p);
+          pilot::notify_block_proxy(mpi_, app_,
+                                    app_.spe_process(node_, spe), ch.from,
+                                    req.channel);
           break;
         }
         case CopilotReadAction::kNone:
@@ -441,6 +654,14 @@ class CopilotService {
   std::vector<ReadyRequest> ready_requests_;
   std::map<int, Pending> pending_writes_;
   std::map<int, Pending> pending_reads_;
+  /// SPEs whose fault notice has been consumed.
+  std::set<unsigned> dead_spes_;
+  /// Channels poisoned by an endpoint's death: later requests complete
+  /// immediately with the stored error status.
+  std::map<int, CompletionStatus> dead_channels_;
+  /// Processes this Co-Pilot declared failed, with the status their peers
+  /// receive.
+  std::map<int, CompletionStatus> failed_;
   std::atomic<SimTime>& published_bound_;
 };
 

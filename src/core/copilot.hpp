@@ -18,6 +18,8 @@
 // Completions go back through each SPE's inbound mailbox.
 #pragma once
 
+#include <cstdint>
+
 #include "mpisim/mpi.hpp"
 #include "pilot/app.hpp"
 
@@ -26,5 +28,26 @@ namespace cellpilot {
 /// Entry point of the Co-Pilot rank serving Cell node `node`.
 /// Runs until the shutdown control message from PI_StopMain; returns 0.
 int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node);
+
+/// Counters describing the Co-Pilot supervision machinery's activity,
+/// process-wide across all Co-Pilot ranks.  Tests use them to pin down
+/// that retry/backoff recovered a transient stall (rather than the run
+/// accidentally never stalling) and that clean runs never trip
+/// supervision at all.
+namespace supervision {
+
+/// Requests declared late but recovered within the retry/backoff ladder.
+std::uint64_t recovered_count();
+
+/// Requests that exhausted their retries and completed with kSpeTimeout.
+std::uint64_t timeout_count();
+
+/// SPE deaths (hardware faults) converted into peer error completions.
+std::uint64_t fault_count();
+
+/// Zeroes all three counters (test isolation).
+void reset_counters();
+
+}  // namespace supervision
 
 }  // namespace cellpilot

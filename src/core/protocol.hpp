@@ -44,6 +44,8 @@ enum class CompletionStatus : std::uint32_t {
   kTypeMismatch = 1,  ///< writer/reader formats disagree
   kSizeMismatch = 2,  ///< payload length disagrees
   kProtocol = 3,      ///< malformed request / internal error
+  kSpeFault = 4,      ///< the channel peer's SPE died of a hardware fault
+  kSpeTimeout = 5,    ///< the request (or its peer) missed its deadline
 };
 
 /// A decoded SPE request.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "cellsim/spu.hpp"
+#include "core/faultplan.hpp"
 #include "core/protocol.hpp"
 #include "pilot/context.hpp"
 #include "pilot/errors.hpp"
@@ -14,10 +15,20 @@ namespace {
 
 using cellsim::spu::env;
 
-/// Issues one request and stalls for the completion word.
+/// Issues one request and stalls for the completion word.  The fault
+/// plan's crash probe fires *before* the first mailbox word: a crashed
+/// SPE dies mid-transfer from its peers' point of view — the request
+/// never reaches the Co-Pilot, which discovers the death via the SPE's
+/// posthumous fault notice.
 CompletionStatus request_and_wait(Opcode op, const PI_CHANNEL& ch,
                                   cellsim::LsAddr ls_addr,
                                   std::uint32_t length, std::uint32_t sig) {
+  if (faults::FaultPlan::global().armed() &&
+      faults::FaultPlan::global().should_crash_spe(
+          env().spe->name().c_str())) {
+    throw faults::InjectedCrash("injected SPE crash on " + env().spe->name() +
+                                " before request on channel " + ch.name);
+  }
   cellsim::spu::spu_write_out_mbox(pack_op_channel(op, ch.id));
   cellsim::spu::spu_write_out_mbox(ls_addr);
   cellsim::spu::spu_write_out_mbox(length);
@@ -25,23 +36,44 @@ CompletionStatus request_and_wait(Opcode op, const PI_CHANNEL& ch,
   return static_cast<CompletionStatus>(cellsim::spu::spu_read_in_mbox());
 }
 
+/// Names the channel the way every fault diagnostic does: name + Table I
+/// type, so one line identifies the route that failed.
+std::string channel_label(const PI_CHANNEL& ch) {
+  std::string label = "channel " + ch.name;
+  if (ch.route != nullptr) {
+    label += " (Table I type " +
+             std::to_string(static_cast<int>(ch.route->type)) + ")";
+  }
+  return label;
+}
+
 [[noreturn]] void throw_completion_error(CompletionStatus status,
                                          const PI_CHANNEL& ch) {
+  const std::string label = channel_label(ch);
   switch (status) {
     case CompletionStatus::kTypeMismatch:
       throw pilot::PilotError(pilot::ErrorCode::kTypeMismatch,
-                              "channel " + ch.name +
+                              label +
                                   ": writer format does not match reader "
                                   "format (reported by Co-Pilot)");
     case CompletionStatus::kSizeMismatch:
       throw pilot::PilotError(pilot::ErrorCode::kTypeMismatch,
-                              "channel " + ch.name +
+                              label +
                                   ": payload size disagreement "
                                   "(reported by Co-Pilot)");
+    case CompletionStatus::kSpeFault:
+      throw pilot::PilotError(pilot::ErrorCode::kSpeFault,
+                              label +
+                                  ": peer SPE died of a hardware fault "
+                                  "(reported by Co-Pilot)");
+    case CompletionStatus::kSpeTimeout:
+      throw pilot::PilotError(pilot::ErrorCode::kSpeTimeout,
+                              label +
+                                  ": request missed its Co-Pilot deadline "
+                                  "(SPE stalled)");
     default:
       throw pilot::PilotError(pilot::ErrorCode::kInternal,
-                              "channel " + ch.name +
-                                  ": Co-Pilot protocol error");
+                              label + ": Co-Pilot protocol error");
   }
 }
 
@@ -68,7 +100,7 @@ class Staging {
 
 }  // namespace
 
-void spe_channel_write(pilot::PilotApp&, const PI_CHANNEL& ch,
+void spe_channel_write(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
                        std::uint32_t sig,
                        std::span<const std::byte> payload) {
   const auto& e = env();
@@ -84,10 +116,12 @@ void spe_channel_write(pilot::PilotApp&, const PI_CHANNEL& ch,
   const CompletionStatus status =
       request_and_wait(Opcode::kWrite, ch, staging.addr(),
                        static_cast<std::uint32_t>(payload.size()), sig);
-  if (status != CompletionStatus::kOk) throw_completion_error(status, ch);
+  if (status != CompletionStatus::kOk) {
+    throw_completion_error(status, ch);
+  }
 }
 
-void spe_channel_read(pilot::PilotApp&, const PI_CHANNEL& ch,
+void spe_channel_read(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
                       std::uint32_t sig, std::span<std::byte> out) {
   const auto& e = env();
   e.spe->clock().advance(e.cost->spu_call_overhead);
@@ -96,7 +130,9 @@ void spe_channel_read(pilot::PilotApp&, const PI_CHANNEL& ch,
   const CompletionStatus status =
       request_and_wait(Opcode::kRead, ch, staging.addr(),
                        static_cast<std::uint32_t>(out.size()), sig);
-  if (status != CompletionStatus::kOk) throw_completion_error(status, ch);
+  if (status != CompletionStatus::kOk) {
+    throw_completion_error(status, ch);
+  }
   if (!out.empty()) {
     std::memcpy(out.data(), staging.ptr(), out.size());
   }

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "cellsim/errors.hpp"
 #include "cellsim/libspe2.hpp"
 #include "core/spe_runtime.hpp"
 
@@ -40,6 +41,7 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
 
   const int node = proc.node;
   const unsigned flat = app.acquire_spe(node);
+  app.bind_spe_process(node, flat, proc.id);
   cellsim::Spe& spe = app.cluster().spe(node, flat);
   mpisim::World* world = &app.cluster().world();
 
@@ -58,17 +60,33 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
                  launch = std::move(launch), node, flat, stamp, world,
                  proc_name = proc.name] {
     spe.clock().join(stamp);
+    bool faulted = false;
     try {
       cellsim::spe2::SpeContext sctx(spe);
       sctx.run(*program, cellsim::ea_of(launch.get()), 0);
     } catch (const mpisim::WorldAborted&) {
       // Job torn down elsewhere.
+    } catch (const cellsim::HardwareFault& f) {
+      // A hardware fault is survivable: leave a posthumous notice for the
+      // Co-Pilot, which converts it into PI_SPE_FAULT completions at every
+      // peer instead of tearing the job down.  (During an abort the closed
+      // mailboxes throw MailboxFault in parked SPEs — that is teardown,
+      // not a new death.)
+      if (!world->aborted()) {
+        faulted = true;
+        spe.raise_fault(f.fault_code(), spe.clock().now(),
+                        "SPE process " + proc_name + ": " + f.what());
+      }
     } catch (const std::exception& e) {
       if (!world->aborted()) {
         world->abort("SPE process " + proc_name + " failed: " + e.what());
       }
     }
-    app.release_spe(node, flat);
+    // A faulted SPE is never returned to the pool: its slot must stay
+    // bound to the dead process until the Co-Pilot consumes the fault
+    // notice, and a later PI_RunSPE must not inherit a haunted context.
+    // (Real hardware keeps a crashed SPE context out of service too.)
+    if (!faulted) app.release_spe(node, flat);
   });
   app.add_spe_thread(ctx.rank(), std::move(t));
 }

@@ -1,0 +1,41 @@
+// inject.hpp — fault-injection seam for MiniMPI sends.
+//
+// Mirrors cellsim/inject.hpp: mpisim cannot see the fault plan (it depends
+// only on simtime), so the plan installs a function-pointer hook and
+// send_impl probes it once the leg costs are known.  A delay adds virtual
+// transit time to the message; a drop charges the sender and discards the
+// message (a lost internal send — the recovery machinery upstream must
+// time out).  With no hook installed the probe is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+
+#include "mpisim/types.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace mpisim::inject {
+
+/// What the plan wants done to one send.
+struct Action {
+  simtime::SimTime delay = 0;  ///< extra virtual transit time
+  bool drop = false;           ///< discard the message after charging sender
+};
+
+using Hook = Action (*)(Rank from, Rank to, int tag, simtime::SimTime now);
+
+namespace detail {
+inline std::atomic<Hook> g_hook{nullptr};
+}  // namespace detail
+
+/// Installs (or clears, with nullptr) the process-wide hook.
+inline void set_hook(Hook hook) {
+  detail::g_hook.store(hook, std::memory_order_release);
+}
+
+/// Probes the hook; no-op (all-zero Action) when none is installed.
+inline Action probe(Rank from, Rank to, int tag, simtime::SimTime now) {
+  const Hook hook = detail::g_hook.load(std::memory_order_acquire);
+  return hook == nullptr ? Action{} : hook(from, to, tag, now);
+}
+
+}  // namespace mpisim::inject

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "mpisim/inject.hpp"
 #include "simtime/trace.hpp"
 
 namespace mpisim {
@@ -36,12 +37,22 @@ void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
   const simtime::SimTime begin = clock().now();
   const simtime::SimTime depart = clock().advance(legs.sender);
 
+  const inject::Action act = inject::probe(me_, dest, tag, depart);
+  if (act.drop) {
+    // The sender paid its leg but the message never arrives.
+    simtime::Trace::global().record(
+        world_->info(me_).name, simtime::TraceKind::kMpiSend,
+        "DROPPED to=" + std::to_string(dest) + " tag=" + std::to_string(tag),
+        begin, depart);
+    return;
+  }
+
   InboundMessage msg;
   msg.source = me_;
   msg.tag = tag;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
-  msg.arrival = depart + legs.transit;
+  msg.arrival = depart + legs.transit + act.delay;
   world_->queue(dest).deposit(std::move(msg));
 
   simtime::Trace::global().record(

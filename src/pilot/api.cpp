@@ -4,9 +4,12 @@
 #include "pilot/pilot.hpp"
 
 #include <cstdarg>
+#include <cstdlib>
 #include <cstring>
 
 #include "cellsim/spu.hpp"
+#include "core/faultplan.hpp"
+#include "core/protocol.hpp"
 #include "core/router.hpp"
 #include "pilot/byteorder.hpp"
 #include "pilot/context.hpp"
@@ -76,6 +79,26 @@ void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
   std::memcpy(staging.data(), &hdr, sizeof hdr);
 }
 
+/// Throws the rank-side error for a channel whose SPE peer died: the same
+/// one-line shape every fault diagnostic uses — source location (from the
+/// PI_ macro), channel name, Table I type, and the Co-Pilot's detail.
+[[noreturn]] void throw_peer_failure(std::uint32_t status,
+                                     const std::string& detail,
+                                     const PI_CHANNEL& ch, const char* file,
+                                     int line) {
+  const ErrorCode code =
+      status == static_cast<std::uint32_t>(
+                    cellpilot::CompletionStatus::kSpeTimeout)
+          ? ErrorCode::kSpeTimeout
+          : ErrorCode::kSpeFault;
+  std::string label = "channel " + ch.name;
+  if (ch.route != nullptr) {
+    label += " (Table I type " +
+             std::to_string(static_cast<int>(ch.route->type)) + ")";
+  }
+  throw PilotError(code, label + ": " + detail, file, line);
+}
+
 CellTransport& transport_or_die(PilotApp& app, const char* file, int line) {
   if (app.transport() == nullptr) {
     throw PilotError(ErrorCode::kUsage,
@@ -122,6 +145,11 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   PilotApp& app = ctx.app();
   cellpilot::Route& rt = route_of(*ch, file, line);
   if (rt.needs_transport) transport_or_die(app, file, line);
+  // A reader that already died can never consume this message: fail the
+  // write with the peer's recorded failure instead of sending into a void.
+  if (auto failure = app.process_failure(ch->to)) {
+    throw_peer_failure(failure->status, failure->detail, *ch, file, line);
+  }
 
   // Stage [header][payload] in the channel's reused buffer and send it as
   // one frame; rank-backed writers always MPI-send — to the reader's rank,
@@ -192,10 +220,22 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   build_read_plan_into(plan.parsed, args, rs.plan);
   const std::uint32_t sig =
       plan.has_star ? signature(rs.plan.fmt) : plan.wire_signature;
+  // A writer that died can no longer satisfy this read.  Anything already
+  // on the wire (data or the Co-Pilot's fault frame) is consumed first;
+  // with the wire empty, fail immediately instead of blocking forever.
+  if (auto failure = app.process_failure(ch->from)) {
+    if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+      throw_peer_failure(failure->status, failure->detail, *ch, file, line);
+    }
+  }
   notify_block(ctx, ch->from, ch->id);
   std::vector<std::byte> framed =
       ctx.mpi().recv_any_size(rt.read_source, rt.tag);
   notify_unblock(ctx);
+  if (is_fault_frame(framed)) {
+    const FaultFrame fault = parse_fault_frame(framed);
+    throw_peer_failure(fault.status, fault.detail, *ch, file, line);
+  }
   check_frame(framed, sig, rs.plan.payload_bytes, "channel " + ch->name);
   const std::span<std::byte> payload =
       std::span(framed).subspan(sizeof(WireHeader));
@@ -241,6 +281,8 @@ int PI_Configure(int* argc, char*** argv) {
   }
 
   Options opts;
+  std::string fault_spec;
+  bool have_fault_spec = false;
   if (argc != nullptr && argv != nullptr) {
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
@@ -249,11 +291,32 @@ int PI_Configure(int* argc, char*** argv) {
         opts.deadlock_detection = true;
       } else if (std::strcmp(a, "-pisvc=t") == 0) {
         opts.trace_calls = true;
+      } else if (std::strncmp(a, "-pifault=", 9) == 0) {
+        // Fault-injection plan; overrides the CELLPILOT_FAULTS baseline.
+        fault_spec = a + 9;
+        have_fault_spec = true;
+      } else if (std::strncmp(a, "-pideadline=", 12) == 0) {
+        // SPE request deadline in virtual microseconds.
+        char* end = nullptr;
+        const double v = std::strtod(a + 12, &end);
+        if (end == a + 12 || v <= 0) {
+          throw PilotError(ErrorCode::kUsage,
+                           std::string("bad -pideadline value: ") + a);
+        }
+        opts.spe_deadline = simtime::us(v);
       } else {
         (*argv)[out++] = (*argv)[i];
       }
     }
     *argc = out;
+  }
+  if (have_fault_spec && ctx.rank() == 0) {
+    try {
+      cellpilot::faults::FaultPlan::global().configure(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      throw PilotError(ErrorCode::kUsage,
+                       std::string("bad -pifault spec: ") + e.what());
+    }
   }
   if (ctx.rank() == 0) {
     ctx.app().options() = opts;
@@ -485,10 +548,19 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
   for (std::size_t i = 0; i < b->channels.size(); ++i) {
     PI_CHANNEL* ch = b->channels[i];
     cellpilot::Route& rt = route_of(*ch, file, line);
+    if (auto failure = ctx.app().process_failure(ch->from)) {
+      if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+        throw_peer_failure(failure->status, failure->detail, *ch, file, line);
+      }
+    }
     notify_block(ctx, ch->from, ch->id);
     std::vector<std::byte> framed =
         ctx.mpi().recv_any_size(rt.read_source, rt.tag);
     notify_unblock(ctx);
+    if (is_fault_frame(framed)) {
+      const FaultFrame fault = parse_fault_frame(framed);
+      throw_peer_failure(fault.status, fault.detail, *ch, file, line);
+    }
     check_frame(framed, sig, plan.payload_bytes,
                 "gather channel " + ch->name);
     const std::span<std::byte> payload =
@@ -625,7 +697,10 @@ void PI_Log_(const char* file, int line, const char* message) {
 }
 
 void PI_Abort_(const char* file, int line, int code, const char* message) {
-  throw PilotError(ErrorCode::kUsage,
+  // Deliberate application abort: its own error code (not "usage"), so the
+  // per-rank diagnostic line reads `pilot error (abort) at file:line: ...`
+  // and tests can tell an intended abort from library misuse.
+  throw PilotError(ErrorCode::kAbort,
                    "PI_Abort(" + std::to_string(code) + "): " +
                        (message ? message : ""),
                    file, line);

@@ -7,9 +7,12 @@ namespace pilot {
 PilotApp::PilotApp(cluster::Cluster& cluster)
     : cluster_(&cluster), router_(std::make_unique<cellpilot::Router>()) {
   spe_busy_.resize(static_cast<std::size_t>(cluster.node_count()));
+  spe_process_.resize(static_cast<std::size_t>(cluster.node_count()));
   for (int n = 0; n < cluster.node_count(); ++n) {
     spe_busy_[static_cast<std::size_t>(n)].assign(cluster.spe_count(n),
                                                   false);
+    spe_process_[static_cast<std::size_t>(n)].assign(cluster.spe_count(n),
+                                                     -1);
   }
 }
 
@@ -197,6 +200,31 @@ void PilotApp::release_spe(int node, unsigned flat_index) {
 bool PilotApp::spe_assigned(int node, unsigned flat_index) {
   std::lock_guard lock(spe_mu_);
   return spe_busy_[static_cast<std::size_t>(node)][flat_index];
+}
+
+void PilotApp::bind_spe_process(int node, unsigned flat_index,
+                                int process_id) {
+  std::lock_guard lock(spe_mu_);
+  spe_process_[static_cast<std::size_t>(node)][flat_index] = process_id;
+}
+
+int PilotApp::spe_process(int node, unsigned flat_index) {
+  std::lock_guard lock(spe_mu_);
+  return spe_process_[static_cast<std::size_t>(node)][flat_index];
+}
+
+void PilotApp::report_process_failure(int process_id,
+                                      ProcessFailure failure) {
+  std::lock_guard lock(failures_mu_);
+  failures_.emplace(process_id, std::move(failure));  // first report wins
+}
+
+std::optional<PilotApp::ProcessFailure> PilotApp::process_failure(
+    int process_id) const {
+  std::lock_guard lock(failures_mu_);
+  const auto it = failures_.find(process_id);
+  if (it == failures_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace pilot

@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "mpisim/mpi.hpp"
 #include "pilot/errors.hpp"
 #include "pilot/tables.hpp"
+#include "simtime/sim_time.hpp"
 
 namespace cellpilot {
 class Router;  // compiled data plane (core/router.hpp)
@@ -39,6 +42,15 @@ inline constexpr int kTagUserBarrierOut = mpisim::kReservedTagBase + 67;
 struct Options {
   bool deadlock_detection = false;  ///< -pisvc=d
   bool trace_calls = false;         ///< -pisvc=t (log every PI_* call)
+  /// Co-Pilot supervision deadline: an SPE request whose mailbox words
+  /// span more than this much virtual time is declared stalled
+  /// (-pideadline=<dur>).  Supervision is a read-only comparison on
+  /// already-recorded stamps, so the clean path's timing is unchanged.
+  simtime::SimTime spe_deadline = simtime::us(500.0);
+  /// Retry/backoff budget: a stalled request is retried with a doubled
+  /// deadline up to this many times before the Co-Pilot gives up and
+  /// completes it with kSpeTimeout.
+  int spe_deadline_retries = 3;
 };
 
 /// Transport hooks for channels with at least one SPE endpoint.  Implemented
@@ -147,6 +159,31 @@ class PilotApp {
   /// computation sees upcoming SPEs).
   bool spe_assigned(int node, unsigned flat_index);
 
+  /// Records which Pilot process runs on a physical SPE (set by PI_RunSPE
+  /// before the worker thread starts; the Co-Pilot uses it to name the
+  /// process when the SPE faults).
+  void bind_spe_process(int node, unsigned flat_index, int process_id);
+
+  /// The Pilot process id bound to a physical SPE, or -1.
+  int spe_process(int node, unsigned flat_index);
+
+  // --- process failure registry (Co-Pilot fault propagation) --------------
+
+  /// A dead endpoint's epitaph, published by the Co-Pilot that owned it.
+  struct ProcessFailure {
+    std::uint32_t status = 0;      ///< core CompletionStatus value
+    std::uint32_t fault_code = 0;  ///< cellsim::FaultCode value
+    std::string detail;            ///< one-line diagnostic
+  };
+
+  /// Publishes a process's failure (idempotent: first report wins).
+  void report_process_failure(int process_id, ProcessFailure failure);
+
+  /// The failure published for a process, if any.  Rank-side data-plane
+  /// calls consult this so repeat reads/writes on a dead SPE's channels
+  /// fail fast instead of blocking forever.
+  std::optional<ProcessFailure> process_failure(int process_id) const;
+
  private:
   cluster::Cluster* cluster_;
   Options options_;
@@ -168,6 +205,10 @@ class PilotApp {
   };
   std::vector<OwnedThread> spe_threads_;
   std::vector<std::vector<bool>> spe_busy_;  // [node][flat_index]
+  std::vector<std::vector<int>> spe_process_;  // [node][flat_index] or -1
+
+  mutable std::mutex failures_mu_;
+  std::map<int, ProcessFailure> failures_;  // process id -> epitaph
 };
 
 }  // namespace pilot

@@ -62,19 +62,51 @@ void notify_init(PilotContext& ctx, int rank_process_count) {
   ctx.mpi().send_internal(&ev, sizeof ev, svc, kTagDeadlockEvent);
 }
 
+void notify_block_proxy(mpisim::Mpi& mpi, PilotApp& app, int spe_process,
+                        int peer_process, int channel_id) {
+  if (!app.options().deadlock_detection) return;
+  const auto svc = app.cluster().service_rank();
+  if (!svc) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kBlock;
+  ev.process = spe_process;
+  ev.peer = peer_process;
+  ev.channel = channel_id;
+  ev.peer_is_rank =
+      peer_process >= 0 &&
+              app.process(peer_process).location == Location::kRank
+          ? 1
+          : 0;
+  ev.process_is_rank = 0;
+  mpi.send_internal(&ev, sizeof ev, *svc, kTagDeadlockEvent);
+}
+
+void notify_unblock_proxy(mpisim::Mpi& mpi, PilotApp& app, int spe_process) {
+  if (!app.options().deadlock_detection) return;
+  const auto svc = app.cluster().service_rank();
+  if (!svc) return;
+  DeadlockEvent ev;
+  ev.kind = DeadlockEvent::kUnblock;
+  ev.process = spe_process;
+  mpi.send_internal(&ev, sizeof ev, *svc, kTagDeadlockEvent);
+}
+
 namespace {
 
 /// The wait-for graph: process -> set of (peer, channel) it waits on.
 class WaitForGraph {
  public:
-  void block(int process, int peer, int channel, bool peer_is_rank) {
+  void block(int process, int peer, int channel, bool peer_is_rank,
+             bool process_is_rank) {
     edges_[process].insert({peer, channel});
     if (!peer_is_rank) has_spe_peer_.insert(process);
+    if (!process_is_rank) spe_process_.insert(process);
   }
 
   void unblock(int process) {
     edges_.erase(process);
     has_spe_peer_.erase(process);
+    spe_process_.erase(process);
   }
 
   void finished(int process) { finished_.insert(process); }
@@ -105,18 +137,23 @@ class WaitForGraph {
     return false;
   }
 
-  /// True when every registered process is blocked or finished, every
-  /// blocked process waits only on rank-backed peers, and at least one
-  /// process is blocked: no message can ever be produced again.
+  /// True when every registered (rank-backed) process is blocked or
+  /// finished, every blocked one waits only on rank-backed peers, and at
+  /// least one is blocked: no message can ever be produced again.  Proxy
+  /// SPE entries are outside the init census, so they neither count
+  /// toward the total nor (when healthy) veto the stall; but a rank
+  /// process waiting on an SPE peer exempts itself — the SPE may still
+  /// respond.
   bool global_stall(int total) const {
-    if (total <= 0 || edges_.empty()) return false;
-    if (static_cast<int>(edges_.size() + finished_.size()) < total) {
-      return false;
-    }
+    if (total <= 0) return false;
+    int rank_blocked = 0;
     for (const auto& [process, peers] : edges_) {
+      if (spe_process_.count(process) != 0) continue;  // proxy entry
       if (has_spe_peer_.count(process) != 0) return false;
+      ++rank_blocked;
     }
-    return true;
+    if (rank_blocked == 0) return false;
+    return rank_blocked + static_cast<int>(finished_.size()) >= total;
   }
 
   /// Returns a cycle through `start` as a process list (start .. start),
@@ -158,6 +195,7 @@ class WaitForGraph {
 
   std::map<int, std::set<std::pair<int, int>>> edges_;
   std::set<int> has_spe_peer_;
+  std::set<int> spe_process_;  // blocked entries reported by proxy
   std::set<int> finished_;
 };
 
@@ -178,7 +216,8 @@ int deadlock_service_main(mpisim::Mpi& mpi) {
 
   auto apply = [&graph, &total_processes](const DeadlockEvent& ev) {
     if (ev.kind == DeadlockEvent::kBlock) {
-      graph.block(ev.process, ev.peer, ev.channel, ev.peer_is_rank != 0);
+      graph.block(ev.process, ev.peer, ev.channel, ev.peer_is_rank != 0,
+                  ev.process_is_rank != 0);
     } else if (ev.kind == DeadlockEvent::kUnblock) {
       graph.unblock(ev.process);
     } else if (ev.kind == DeadlockEvent::kFinished) {

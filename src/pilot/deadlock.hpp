@@ -33,9 +33,15 @@ struct DeadlockEvent {
   std::int32_t process = -1;
   std::int32_t peer = -1;
   std::int32_t channel = -1;
-  /// For kBlock: whether the peer is a rank-backed Pilot process (SPE
-  /// processes do not participate in detection, per the paper).
+  /// For kBlock: whether the peer is a rank-backed Pilot process (as
+  /// opposed to an SPE process).
   std::int32_t peer_is_rank = 1;
+  /// For kBlock: whether `process` itself is rank-backed.  0 marks a
+  /// *proxy* event sent by a Co-Pilot on behalf of a parked SPE request —
+  /// such processes close wait-for cycles through Type 4/5 channels but
+  /// are excluded from the global-stall census (only PI_MAIN's init count
+  /// of rank-backed processes is known).
+  std::int32_t process_is_rank = 1;
 };
 
 /// Reports "ctx's process is about to block reading from `peer_process`".
@@ -52,6 +58,17 @@ void notify_finished(PilotContext& ctx);
 /// Sent once by PI_MAIN at PI_StartAll: the number of rank-backed
 /// processes, enabling global-stall detection.
 void notify_init(PilotContext& ctx, int rank_process_count);
+
+/// Proxy block report: the Co-Pilot serving `spe_process` parked one of
+/// its channel requests waiting on `peer_process`.  Sent from the
+/// Co-Pilot rank (which has no PilotContext), so it takes the pieces
+/// explicitly.  No-op unless detection is enabled.
+void notify_block_proxy(mpisim::Mpi& mpi, PilotApp& app, int spe_process,
+                        int peer_process, int channel_id);
+
+/// Proxy unblock report: the parked request of `spe_process` completed
+/// (data arrived, the pair matched, or the process was failed).
+void notify_unblock_proxy(mpisim::Mpi& mpi, PilotApp& app, int spe_process);
 
 /// Entry point of the service rank.  Runs until a kShutdown event; aborts
 /// the world with a "deadlock detected" diagnostic when a confirmed cycle

@@ -12,6 +12,9 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kBundle: return "bundle";
     case ErrorCode::kDeadlock: return "deadlock";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kAbort: return "abort";
+    case ErrorCode::kSpeFault: return "spe-fault";
+    case ErrorCode::kSpeTimeout: return "spe-timeout";
   }
   return "?";
 }

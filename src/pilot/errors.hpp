@@ -24,6 +24,9 @@ enum class ErrorCode {
   kBundle,         ///< bundle misuse (wrong usage kind, SPE endpoint, ...)
   kDeadlock,       ///< reported by the deadlock-detection service
   kInternal,       ///< invariant violation inside the library
+  kAbort,          ///< the application called PI_Abort
+  kSpeFault,       ///< an SPE endpoint died of a hardware fault
+  kSpeTimeout,     ///< an SPE request missed its Co-Pilot deadline
 };
 
 /// Returns a stable name ("usage", "format", ...) for an ErrorCode.

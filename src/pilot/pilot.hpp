@@ -25,7 +25,17 @@
 
 #include <cstdarg>
 
+#include "pilot/errors.hpp"
 #include "pilot/tables.hpp"
+
+/// Error codes a peer observes when an SPE process dies instead of
+/// completing a transfer (see DESIGN.md, "Fault model & recovery").  A
+/// PI_Read/PI_Write on a channel whose SPE peer suffered a hardware fault
+/// throws PilotError with PI_SPE_FAULT; one whose peer missed its Co-Pilot
+/// deadline throws PI_SPE_TIMEOUT.
+inline constexpr pilot::ErrorCode PI_SPE_FAULT = pilot::ErrorCode::kSpeFault;
+inline constexpr pilot::ErrorCode PI_SPE_TIMEOUT =
+    pilot::ErrorCode::kSpeTimeout;
 
 /// Enters the configuration phase.  Parses and strips Pilot options from the
 /// command line (`-pisvc=d` enables deadlock detection).  Returns the number

@@ -213,4 +213,54 @@ std::span<const std::byte> check_frame(std::span<const std::byte> message,
   return message.subspan(sizeof(WireHeader));
 }
 
+std::vector<std::byte> frame_fault(const FaultFrame& fault) {
+  WireHeader hdr;
+  hdr.magic = kWireFaultMagic;
+  hdr.signature = fault.status;
+  hdr.payload_bytes = sizeof(std::uint32_t) + fault.detail.size();
+  std::vector<std::byte> out(sizeof(WireHeader) + hdr.payload_bytes);
+  std::memcpy(out.data(), &hdr, sizeof hdr);
+  std::memcpy(out.data() + sizeof hdr, &fault.fault_code,
+              sizeof fault.fault_code);
+  if (!fault.detail.empty()) {
+    std::memcpy(out.data() + sizeof hdr + sizeof fault.fault_code,
+                fault.detail.data(), fault.detail.size());
+  }
+  return out;
+}
+
+bool is_fault_frame(std::span<const std::byte> message) {
+  if (message.size() < sizeof(WireHeader)) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, message.data(), sizeof magic);
+  return magic == kWireFaultMagic;
+}
+
+FaultFrame parse_fault_frame(std::span<const std::byte> message) {
+  if (message.size() < sizeof(WireHeader) + sizeof(std::uint32_t)) {
+    throw PilotError(ErrorCode::kInternal, "short fault frame (" +
+                                               std::to_string(message.size()) +
+                                               " bytes)");
+  }
+  WireHeader hdr;
+  std::memcpy(&hdr, message.data(), sizeof hdr);
+  if (hdr.magic != kWireFaultMagic ||
+      hdr.payload_bytes != message.size() - sizeof(WireHeader)) {
+    throw PilotError(ErrorCode::kInternal, "corrupt fault frame");
+  }
+  FaultFrame fault;
+  fault.status = hdr.signature;
+  std::memcpy(&fault.fault_code, message.data() + sizeof hdr,
+              sizeof fault.fault_code);
+  const std::size_t detail_bytes =
+      static_cast<std::size_t>(hdr.payload_bytes) - sizeof fault.fault_code;
+  fault.detail.resize(detail_bytes);
+  if (detail_bytes > 0) {
+    std::memcpy(fault.detail.data(),
+                message.data() + sizeof hdr + sizeof fault.fault_code,
+                detail_bytes);
+  }
+  return fault;
+}
+
 }  // namespace pilot

@@ -85,4 +85,29 @@ std::span<const std::byte> check_frame(std::span<const std::byte> message,
                                        std::size_t expected_bytes,
                                        const std::string& where);
 
+/// Magic value marking a fault frame ("PILF"): a Co-Pilot telling a
+/// channel peer that the writer-side SPE died instead of producing data.
+inline constexpr std::uint32_t kWireFaultMagic = 0x50494C46;
+
+/// Payload of a fault frame.  `status` is the Co-Pilot completion code
+/// (kSpeFault / kSpeTimeout as std::uint32_t); `fault_code` is the
+/// cellsim::FaultCode; `detail` is a one-line human diagnostic.
+struct FaultFrame {
+  std::uint32_t status = 0;
+  std::uint32_t fault_code = 0;
+  std::string detail;
+};
+
+/// Builds a fault frame: a WireHeader with kWireFaultMagic, signature =
+/// status, and a payload of [4-byte fault_code][detail bytes].  Travels on
+/// the same (source, tag) a data frame would, so a parked reader wakes.
+std::vector<std::byte> frame_fault(const FaultFrame& fault);
+
+/// Whether a received message is a fault frame (checks the magic only; a
+/// short buffer is not a fault frame).
+bool is_fault_frame(std::span<const std::byte> message);
+
+/// Parses a fault frame.  Throws PilotError(kInternal) if malformed.
+FaultFrame parse_fault_frame(std::span<const std::byte> message);
+
 }  // namespace pilot

@@ -1,0 +1,131 @@
+// Fault-plan tests: spec parsing, seed determinism, and — the property
+// everything else in this repo leans on — that a disabled (or armed but
+// rule-free) plan changes no virtual timestamp anywhere.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "benchkit/pingpong.hpp"
+#include "core/faultplan.hpp"
+#include "simtime/cost_model.hpp"
+
+namespace {
+
+using cellpilot::faults::FaultPlan;
+using cellpilot::faults::Kind;
+using cellpilot::faults::Rule;
+
+/// Every test leaves the plan as it found it (the CELLPILOT_FAULTS
+/// baseline), so cases cannot leak injections into each other.
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  ~FaultPlanTest() override { FaultPlan::global().reset(); }
+};
+
+TEST_F(FaultPlanTest, ParsesAFullSpec) {
+  FaultPlan& plan = FaultPlan::global();
+  plan.configure(
+      "seed=7;mbox_stall@node0.cell0.spe0:op=2,count=3,delay=600us;"
+      "send_drop@3->5:op=1");
+  EXPECT_TRUE(plan.armed());
+  EXPECT_EQ(plan.seed(), 7u);
+  const std::vector<Rule> rules = plan.rules();
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].kind, Kind::kMboxStall);
+  EXPECT_EQ(rules[0].site, "node0.cell0.spe0");
+  EXPECT_EQ(rules[0].op, 2u);
+  EXPECT_EQ(rules[0].count, 3u);
+  EXPECT_EQ(rules[0].delay, simtime::us(600.0));
+  EXPECT_EQ(rules[1].kind, Kind::kSendDrop);
+  EXPECT_EQ(rules[1].site, "3->5");
+}
+
+TEST_F(FaultPlanTest, OnOffKeywordsAndRejectedSpecs) {
+  FaultPlan& plan = FaultPlan::global();
+  plan.configure("on");
+  EXPECT_TRUE(plan.armed());
+  EXPECT_TRUE(plan.rules().empty());
+  plan.configure("off");
+  EXPECT_FALSE(plan.armed());
+
+  EXPECT_THROW(plan.configure("mbox_stall"), std::invalid_argument);
+  EXPECT_THROW(plan.configure("mystery_kind@*"), std::invalid_argument);
+  EXPECT_THROW(plan.configure("mbox_stall@spe:count=0"),
+               std::invalid_argument);
+  EXPECT_THROW(plan.configure("seed=banana"), std::invalid_argument);
+  // A failed configure must not leave the machinery half-armed with the
+  // previous rules gone.
+  plan.configure("off");
+  EXPECT_FALSE(plan.armed());
+}
+
+TEST_F(FaultPlanTest, DerivedOpIsAPureFunctionOfSeedRuleAndSite) {
+  FaultPlan& plan = FaultPlan::global();
+  plan.configure("seed=42;spe_crash@*");
+  const std::uint64_t first = plan.derived_op(0, "node0.cell0.spe0");
+  EXPECT_EQ(plan.derived_op(0, "node0.cell0.spe0"), first);
+  EXPECT_GE(first, 1u);
+  EXPECT_LE(first, 16u);
+  plan.configure("seed=43;spe_crash@*");
+  // Different seed, (almost surely) different ordinal — and always
+  // reproducibly so; equality here would make the test vacuous, so pin
+  // the exact pair instead of inequality.
+  const std::uint64_t again = plan.derived_op(0, "node0.cell0.spe0");
+  plan.configure("seed=42;spe_crash@*");
+  EXPECT_EQ(plan.derived_op(0, "node0.cell0.spe0"), first);
+  plan.configure("seed=43;spe_crash@*");
+  EXPECT_EQ(plan.derived_op(0, "node0.cell0.spe0"), again);
+}
+
+TEST_F(FaultPlanTest, DisabledAndRuleFreePlansLeaveVirtualTimeUntouched) {
+  // The acceptance bar for the whole substrate: with no rules, every
+  // virtual timestamp is identical to a plan-free run — the Table II
+  // numbers cannot move.  Run the paper's own measurement with the plan
+  // off, armed-but-empty, and off again.
+  const simtime::CostModel cost;  // the calibrated defaults
+  benchkit::PingPongSpec spec;
+  spec.type = cellpilot::ChannelType::kType2;
+  spec.bytes = 1600;
+  spec.reps = 20;
+
+  FaultPlan::global().configure("off");
+  const simtime::SimTime off1 =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+  FaultPlan::global().configure("on");
+  const simtime::SimTime armed_empty =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+  FaultPlan::global().configure("off");
+  const simtime::SimTime off2 =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+
+  EXPECT_EQ(off1, off2) << "pingpong itself is nondeterministic";
+  EXPECT_EQ(off1, armed_empty)
+      << "an armed, rule-free plan changed virtual time";
+}
+
+TEST_F(FaultPlanTest, InjectedStallIsDeterministicAndVisible) {
+  const simtime::CostModel cost;
+  benchkit::PingPongSpec spec;
+  spec.type = cellpilot::ChannelType::kType2;
+  spec.bytes = 1;
+  spec.reps = 20;
+
+  FaultPlan::global().configure("off");
+  const simtime::SimTime clean =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+
+  // A stall well under the supervision budget: it slows the run without
+  // tripping the timeout machinery.
+  const std::string stall = "mbox_stall@*:op=5,count=2,delay=40us";
+  FaultPlan::global().configure(stall);
+  const simtime::SimTime faulty1 =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+  FaultPlan::global().configure(stall);
+  const simtime::SimTime faulty2 =
+      benchkit::pingpong(spec, benchkit::Method::kCellPilot, cost);
+
+  EXPECT_EQ(faulty1, faulty2) << "same plan, same seed => same timestamps";
+  EXPECT_GT(faulty1, clean) << "the stall must actually cost virtual time";
+}
+
+}  // namespace

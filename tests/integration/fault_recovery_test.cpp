@@ -1,0 +1,222 @@
+// End-to-end fault injection and recovery: an SPE dying mid-transfer must
+// surface as PI_SPE_FAULT at every peer (not a hang, not an abort), an
+// SPE<->SPE circular wait must be named by the deadlock service via the
+// Co-Pilot's proxy events, and supervision must recover transient stalls
+// while converting hopeless ones into PI_SPE_TIMEOUT.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/cellpilot.hpp"
+#include "core/copilot.hpp"
+#include "core/faultplan.hpp"
+#include "pilot/errors.hpp"
+
+namespace {
+
+using cellpilot::faults::FaultPlan;
+using cellpilot::supervision::fault_count;
+using cellpilot::supervision::recovered_count;
+using cellpilot::supervision::reset_counters;
+using cellpilot::supervision::timeout_count;
+
+PI_CHANNEL* g_ch_main = nullptr;  ///< SPE -> PI_MAIN
+PI_CHANNEL* g_ch_spe = nullptr;   ///< SPE -> SPE
+PI_CHANNEL* g_ch_back = nullptr;  ///< second SPE -> SPE (cycle tests)
+std::atomic<int> g_peer_code{-1};
+std::atomic<int> g_writer_code{-1};
+std::atomic<int> g_peer_value{0};
+
+cluster::Cluster one_cell() {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  return cluster::Cluster(std::move(config));
+}
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_counters();
+    g_peer_code.store(-1);
+    g_writer_code.store(-1);
+    g_peer_value.store(0);
+  }
+  ~FaultRecoveryTest() override { FaultPlan::global().reset(); }
+};
+
+// --- SPE crash mid-transfer ----------------------------------------------
+
+PI_SPE_PROGRAM(doomed_writer) {
+  // The fault plan kills this program at its first channel request; the
+  // writes below never reach the Co-Pilot.
+  PI_Write(g_ch_main, "%d", 17);
+  PI_Write(g_ch_spe, "%d", 17);
+  return 0;
+}
+
+PI_SPE_PROGRAM(surviving_peer) {
+  int v = 0;
+  try {
+    PI_Read(g_ch_spe, "%d", &v);
+  } catch (const pilot::PilotError& e) {
+    g_peer_code.store(static_cast<int>(e.code()));
+    return 0;
+  }
+  return 1;
+}
+
+TEST_F(FaultRecoveryTest, SpeCrashMidTransferFailsEveryPeerWithoutAbort) {
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  opts.args = {"-pifault=spe_crash@node0.cell0.spe0:op=1"};
+  int main_code = -1;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* doomed = PI_CreateSPE(doomed_writer, PI_MAIN, 0);
+        PI_PROCESS* peer = PI_CreateSPE(surviving_peer, PI_MAIN, 1);
+        g_ch_main = PI_CreateChannel(doomed, PI_MAIN);  // Table I type 2
+        g_ch_spe = PI_CreateChannel(doomed, peer);      // Table I type 4
+        PI_StartAll();
+        PI_RunSPE(doomed, 0, nullptr);  // first launch -> node0.cell0.spe0
+        PI_RunSPE(peer, 0, nullptr);
+        int v = 0;
+        try {
+          PI_Read(g_ch_main, "%d", &v);
+        } catch (const pilot::PilotError& e) {
+          main_code = static_cast<int>(e.code());
+          EXPECT_NE(e.detail().find("Table I type"), std::string::npos)
+              << "diagnostic must name the channel type: " << e.detail();
+        }
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << "a survivable SPE fault aborted the job: "
+                          << r.abort_reason;
+  EXPECT_EQ(main_code, static_cast<int>(PI_SPE_FAULT));
+  EXPECT_EQ(g_peer_code.load(), static_cast<int>(PI_SPE_FAULT));
+  EXPECT_GE(fault_count(), 1u);
+}
+
+// --- SPE<->SPE deadlock through Co-Pilot proxy events --------------------
+
+PI_SPE_PROGRAM(reads_forward) {
+  int v = 0;
+  PI_Read(g_ch_spe, "%d", &v);  // never written: half of the cycle
+  return 0;
+}
+
+PI_SPE_PROGRAM(reads_backward) {
+  int v = 0;
+  PI_Read(g_ch_back, "%d", &v);  // never written: the other half
+  return 0;
+}
+
+TEST_F(FaultRecoveryTest, SpeToSpeCircularWaitIsNamedByTheService) {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  config.deadlock_service = true;
+  cluster::Cluster machine(std::move(config));
+  cellpilot::RunOptions opts;
+  opts.args = {"-pisvc=d"};
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* a = PI_CreateSPE(reads_forward, PI_MAIN, 0);
+        PI_PROCESS* b = PI_CreateSPE(reads_backward, PI_MAIN, 1);
+        g_ch_spe = PI_CreateChannel(b, a);   // a reads what b never writes
+        g_ch_back = PI_CreateChannel(a, b);  // b reads what a never writes
+        g_ch_main = PI_CreateChannel(a, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(a, 0, nullptr);
+        PI_RunSPE(b, 0, nullptr);
+        int v = 0;
+        PI_Read(g_ch_main, "%d", &v);  // released by the abort
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  EXPECT_TRUE(r.aborted) << "the SPE<->SPE cycle was never detected";
+  EXPECT_NE(r.abort_reason.find("deadlock detected"), std::string::npos)
+      << "actual reason: " << r.abort_reason;
+  // Both SPE processes (ids 1 and 2) must be named in the diagnostic.
+  EXPECT_NE(r.abort_reason.find("P1"), std::string::npos) << r.abort_reason;
+  EXPECT_NE(r.abort_reason.find("P2"), std::string::npos) << r.abort_reason;
+}
+
+// --- transient stall: retry/backoff recovers -----------------------------
+
+PI_SPE_PROGRAM(stalled_writer) {
+  try {
+    PI_Write(g_ch_main, "%d", 23);
+  } catch (const pilot::PilotError& e) {
+    g_writer_code.store(static_cast<int>(e.code()));
+    return 0;
+  }
+  g_writer_code.store(0);
+  return 0;
+}
+
+TEST_F(FaultRecoveryTest, TransientMailboxStallRecoversWithinRetryBudget) {
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  // 600us stall on the request's second mailbox word: past the 500us
+  // deadline, inside the first doubled retry window (1000us).
+  opts.args = {"-pifault=mbox_stall@node0.cell0.spe0:op=2,delay=600us"};
+  int value = 0;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* spe = PI_CreateSPE(stalled_writer, PI_MAIN, 0);
+        g_ch_main = PI_CreateChannel(spe, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(spe, 0, nullptr);
+        PI_Read(g_ch_main, "%d", &value);
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(value, 23) << "recovered transfer must still deliver the data";
+  EXPECT_EQ(g_writer_code.load(), 0);
+  EXPECT_GE(recovered_count(), 1u) << "the run never actually stalled";
+  EXPECT_EQ(timeout_count(), 0u);
+}
+
+// --- hopeless stall: timeout after exhausted retries ---------------------
+
+TEST_F(FaultRecoveryTest, ExhaustedRetriesBecomeSpeTimeoutAtEveryPeer) {
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  // 50ms stall: beyond the whole ladder (500us * 2^3 = 4000us).
+  opts.args = {"-pifault=mbox_stall@node0.cell0.spe0:op=2,delay=50ms"};
+  int main_code = -1;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* spe = PI_CreateSPE(stalled_writer, PI_MAIN, 0);
+        g_ch_main = PI_CreateChannel(spe, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(spe, 0, nullptr);
+        int v = 0;
+        try {
+          PI_Read(g_ch_main, "%d", &v);
+        } catch (const pilot::PilotError& e) {
+          main_code = static_cast<int>(e.code());
+        }
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(main_code, static_cast<int>(PI_SPE_TIMEOUT));
+  EXPECT_EQ(g_writer_code.load(), static_cast<int>(PI_SPE_TIMEOUT));
+  EXPECT_GE(timeout_count(), 1u);
+}
+
+}  // namespace
