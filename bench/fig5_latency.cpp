@@ -5,10 +5,15 @@
 // plus an ASCII rendering.
 //
 // Usage: fig5_latency [reps]
+//
+// Alongside the human table on stdout, the same numbers are written to
+// BENCH_fig5_latency.json (note on stderr) for plotting and regression
+// tracking.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "benchkit/benchjson.hpp"
 #include "benchkit/pingpong.hpp"
 
 int main(int argc, char** argv) {
@@ -20,6 +25,9 @@ int main(int argc, char** argv) {
 
   double one_byte[6][3];
   double big[6][3];
+
+  benchkit::BenchJson json("fig5_latency");
+  json.meta("unit", "us").meta("reps", static_cast<std::int64_t>(reps));
 
   std::printf("Figure 5: latencies for CellPilot vs hand-coded transfers\n");
   std::printf("%-6s %-10s %14s %14s\n", "type", "method", "1B (us)",
@@ -36,6 +44,11 @@ int main(int argc, char** argv) {
       std::printf("%-6d %-10s %14.1f %14.1f\n", type,
                   benchkit::to_string(methods[m]), one_byte[type][m],
                   big[type][m]);
+      json.add_row()
+          .set("type", static_cast<std::int64_t>(type))
+          .set("method", std::string(benchkit::to_string(methods[m])))
+          .set("one_byte_us", one_byte[type][m])
+          .set("big_us", big[type][m]);
     }
   }
 
@@ -51,5 +64,6 @@ int main(int argc, char** argv) {
                   std::string(static_cast<std::size_t>(hashed), '/').c_str());
     }
   }
+  json.write_file("BENCH_fig5_latency.json");
   return 0;
 }

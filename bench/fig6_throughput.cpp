@@ -3,10 +3,15 @@
 // types and three methods.
 //
 // Usage: fig6_throughput [reps]
+//
+// Alongside the human table on stdout, the same numbers are written to
+// BENCH_fig6_throughput.json (note on stderr) for plotting and regression
+// tracking.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "benchkit/benchjson.hpp"
 #include "benchkit/pingpong.hpp"
 
 int main(int argc, char** argv) {
@@ -20,6 +25,11 @@ int main(int argc, char** argv) {
       "Figure 6: throughput for CellPilot vs hand-coded transfers\n"
       "payload: 100 long doubles (1600 bytes), %d reps\n\n",
       reps);
+  benchkit::BenchJson json("fig6_throughput");
+  json.meta("unit", "MB/s")
+      .meta("bytes", static_cast<std::int64_t>(1600))
+      .meta("reps", static_cast<std::int64_t>(reps));
+
   std::printf("%-6s %-10s %14s\n", "type", "method", "MB/s");
   double values[6][3];
   for (int type = 1; type <= 5; ++type) {
@@ -31,6 +41,10 @@ int main(int argc, char** argv) {
       values[type][m] = benchkit::throughput_mbps(spec, methods[m], cost);
       std::printf("%-6d %-10s %14.2f\n", type,
                   benchkit::to_string(methods[m]), values[type][m]);
+      json.add_row()
+          .set("type", static_cast<std::int64_t>(type))
+          .set("method", std::string(benchkit::to_string(methods[m])))
+          .set("mbps", values[type][m]);
     }
   }
 
@@ -42,5 +56,6 @@ int main(int argc, char** argv) {
                   std::string(static_cast<std::size_t>(len), '#').c_str());
     }
   }
+  json.write_file("BENCH_fig6_throughput.json");
   return 0;
 }

@@ -7,11 +7,16 @@
 // makespan and the speedup/efficiency curve.
 //
 // Usage: scaling_farm [strips]
+//
+// Alongside the human table on stdout, the same numbers are written to
+// BENCH_scaling_farm.json (note on stderr) for plotting and regression
+// tracking.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "benchkit/benchjson.hpp"
 #include "cellsim/spu.hpp"
 #include "core/cellpilot.hpp"
 #include "pilot/context.hpp"
@@ -104,6 +109,8 @@ int main(int argc, char** argv) {
               g_strips);
   std::printf("%8s %14s %10s %12s\n", "workers", "makespan (us)", "speedup",
               "efficiency");
+  benchkit::BenchJson json("scaling_farm");
+  json.meta("unit", "us").meta("strips", static_cast<std::int64_t>(g_strips));
   double base = 0;
   for (int workers : {1, 2, 4, 8, 16}) {
     g_workers = workers;
@@ -120,10 +127,16 @@ int main(int argc, char** argv) {
     if (base == 0) base = us;
     std::printf("%8d %14.1f %9.2fx %11.1f%%\n", workers, us, base / us,
                 100.0 * base / us / workers);
+    json.add_row()
+        .set("workers", static_cast<std::int64_t>(workers))
+        .set("makespan_us", us)
+        .set("speedup", base / us)
+        .set("efficiency_pct", 100.0 * base / us / workers);
   }
   std::printf(
       "\nInterpretation: the single Co-Pilot serves every SPE request, so\n"
       "the farm scales until the Co-Pilot saturates — the contention the\n"
       "paper's future-work optimization targets.\n");
+  json.write_file("BENCH_scaling_farm.json");
   return 0;
 }

@@ -59,10 +59,14 @@ static int app_main(int argc, char* argv[]) {
   return 0;
 }
 
-int main() {
-  // The simulated mpirun: two Cell blades on gigabit Ethernet.
+int main(int argc, char** argv) {
+  // The simulated mpirun: two Cell blades on gigabit Ethernet.  Real CLI
+  // flags (-pisvc=, -pitrace=, -pifault=) pass straight through to the
+  // ranks' PI_Configure, exactly as mpirun would forward them.
   cluster::Cluster machine(cluster::ClusterConfig::two_cells());
-  const cellpilot::RunResult result = cellpilot::run(machine, app_main);
+  cellpilot::RunOptions opts;
+  for (int i = 1; i < argc; ++i) opts.args.emplace_back(argv[i]);
+  const cellpilot::RunResult result = cellpilot::run(machine, app_main, opts);
   if (result.aborted) {
     std::fprintf(stderr, "job aborted: %s\n", result.abort_reason.c_str());
     return 1;

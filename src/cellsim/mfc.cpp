@@ -6,6 +6,7 @@
 
 #include "cellsim/inject.hpp"
 #include "simtime/trace.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace cellsim {
 
@@ -81,6 +82,13 @@ void Mfc::transfer(Dir dir, LsAddr ls_addr, EffectiveAddress ea,
       (dir == Dir::kGet ? "get " : "put ") + std::to_string(size) + "B tag=" +
           std::to_string(tag),
       issue, done);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(dir == Dir::kGet
+                                  ? simtime::tracebuf::Kind::kDmaGet
+                                  : simtime::tracebuf::Kind::kDmaPut,
+                              owner_, issue, done, size, /*channel=*/-1,
+                              /*route_type=*/0, static_cast<std::int64_t>(tag));
+  }
 }
 
 void Mfc::get(LsAddr ls_addr, EffectiveAddress ea, std::size_t size,

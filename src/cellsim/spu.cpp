@@ -3,6 +3,7 @@
 #include "cellsim/errors.hpp"
 #include "cellsim/inject.hpp"
 #include "simtime/trace.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace cellsim::spu {
 
@@ -51,6 +52,10 @@ std::uint32_t spu_read_in_mbox() {
   simtime::Trace::global().record(e.spe->name(),
                                   simtime::TraceKind::kMailboxRead,
                                   "in_mbox", begin, end);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMboxPop, e.spe->name(),
+                              begin, end, sizeof(std::uint32_t));
+  }
   return entry.value;
 }
 
@@ -63,6 +68,10 @@ void spu_write_out_mbox(std::uint32_t value) {
   simtime::Trace::global().record(e.spe->name(),
                                   simtime::TraceKind::kMailboxWrite,
                                   "out_mbox", begin, end);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMboxPush, e.spe->name(),
+                              begin, end, sizeof(std::uint32_t));
+  }
 }
 
 void spu_write_out_intr_mbox(std::uint32_t value) {
@@ -74,6 +83,10 @@ void spu_write_out_intr_mbox(std::uint32_t value) {
   simtime::Trace::global().record(e.spe->name(),
                                   simtime::TraceKind::kMailboxWrite,
                                   "out_intr_mbox", begin, end);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMboxPush, e.spe->name(),
+                              begin, end, sizeof(std::uint32_t));
+  }
 }
 
 unsigned spu_stat_in_mbox() {

@@ -15,9 +15,11 @@
 #include "cellsim/errors.hpp"
 #include "core/faultplan.hpp"
 #include "core/protocol.hpp"
+#include "core/trace.hpp"
 #include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
 #include "simtime/trace.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace cellpilot {
 
@@ -43,6 +45,7 @@ namespace {
 
 using pilot::PilotApp;
 using simtime::SimTime;
+using simtime::tracebuf::Kind;
 
 constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
 
@@ -371,6 +374,12 @@ class CopilotService {
                                     "type4 " + std::to_string(w.req.length) +
                                         "B ch=" + std::to_string(w.req.channel),
                                     begin, clock().now());
+    trace::ChannelCounters::global().add_copilot_hop(w.req.channel);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(Kind::kCopilotPair, copilot_name(), begin,
+                                clock().now(), w.req.length, w.req.channel,
+                                route_type_of(w.req.channel));
+    }
     complete(w.spe, CompletionStatus::kOk);
     complete(r.spe, CompletionStatus::kOk);
   }
@@ -379,9 +388,18 @@ class CopilotService {
     return app_.cluster().world().info(mpi_.rank()).name;
   }
 
+  /// Table I type of a channel for trace records (0 if unrouted).
+  std::int8_t route_type_of(int channel) const {
+    if (channel < 0 || channel >= app_.channel_count()) return 0;
+    const Route* rt = app_.channel(channel).route;
+    return rt == nullptr ? std::int8_t{0}
+                         : static_cast<std::int8_t>(rt->type);
+  }
+
   /// Receives the arrived MPI data for a pending read and delivers it.
   bool complete_mpi_read(const Pending& r) {
     if (!mpi_.iprobe(r.expected_source, r.tag)) return false;
+    const SimTime begin = clock().now();
     std::vector<std::byte> framed =
         mpi_.recv_any_size(r.expected_source, r.tag);
     // Probe hit + EA translation, charged once the data is at hand (it
@@ -397,6 +415,13 @@ class CopilotService {
       const pilot::FaultFrame fault = pilot::parse_fault_frame(framed);
       const auto status = static_cast<CompletionStatus>(fault.status);
       dead_channels_[r.req.channel] = status;
+      trace::ChannelCounters::global().add_fault(r.req.channel);
+      if (simtime::tracebuf::armed()) {
+        simtime::tracebuf::record(Kind::kCopilotFault, copilot_name(), begin,
+                                  clock().now(), framed.size(), r.req.channel,
+                                  route_type_of(r.req.channel),
+                                  static_cast<std::int64_t>(fault.status));
+      }
       complete(r.spe, status);
       pilot::notify_unblock_proxy(mpi_, app_,
                                   app_.spe_process(node_, r.spe));
@@ -404,6 +429,12 @@ class CopilotService {
     }
     if (auto payload = validate_frame(r, framed)) {
       deliver_to_ls(r, *payload);
+    }
+    trace::ChannelCounters::global().add_copilot_hop(r.req.channel);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(Kind::kCopilotDeliver, copilot_name(), begin,
+                                clock().now(), r.req.length, r.req.channel,
+                                route_type_of(r.req.channel));
     }
     pilot::notify_unblock_proxy(mpi_, app_, app_.spe_process(node_, r.spe));
     return true;
@@ -447,6 +478,13 @@ class CopilotService {
     for (int k = 1; k <= app_.options().spe_deadline_retries; ++k) {
       allowed *= 2;
       clock().advance(cost_.mbox_poll);
+      trace::ChannelCounters::global().add_retry(ready.req.channel);
+      if (simtime::tracebuf::armed()) {
+        simtime::tracebuf::record(Kind::kCopilotRetry, copilot_name(),
+                                  ready.first_stamp, clock().now(),
+                                  ready.req.length, ready.req.channel,
+                                  route_type_of(ready.req.channel), k);
+      }
       if (gap <= allowed) {
         supervision::g_recovered.fetch_add(1);
         simtime::Trace::global().record(
@@ -459,6 +497,14 @@ class CopilotService {
       }
     }
     supervision::g_timeouts.fetch_add(1);
+    trace::ChannelCounters::global().add_timeout(ready.req.channel);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(Kind::kCopilotTimeout, copilot_name(),
+                                ready.first_stamp, clock().now(),
+                                ready.req.length, ready.req.channel,
+                                route_type_of(ready.req.channel),
+                                app_.options().spe_deadline_retries);
+    }
     complete(ready.spe, CompletionStatus::kSpeTimeout);
     fail_process(app_.spe_process(node_, ready.spe),
                  CompletionStatus::kSpeTimeout,
@@ -512,6 +558,7 @@ class CopilotService {
       const PI_CHANNEL& ch = app_.channel(c);
       if (ch.from != pid && ch.to != pid) continue;
       dead_channels_[c] = status;
+      trace::ChannelCounters::global().add_fault(c);
       const Route* rt = ch.route;
       if (rt == nullptr) continue;
       if (ch.from == pid &&
@@ -529,6 +576,12 @@ class CopilotService {
         copilot_name(), simtime::TraceKind::kCopilotService,
         "process P" + std::to_string(pid) + " failed: " + detail, begin,
         clock().now());
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(Kind::kCopilotFault, copilot_name(), begin,
+                                clock().now(), 0, /*channel=*/-1,
+                                /*route_type=*/0,
+                                static_cast<std::int64_t>(status));
+    }
   }
 
   void handle_request(unsigned spe, const SpeRequest& req) {
@@ -566,6 +619,12 @@ class CopilotService {
       complete(spe, failed->second);
       return;
     }
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(
+          Kind::kCopilotRequest, copilot_name(), begin, clock().now(),
+          req.length, req.channel, static_cast<std::int8_t>(rt->type),
+          static_cast<std::int64_t>(req.opcode));
+    }
     Pending p{req, spe, mpisim::kAnySource, rt->tag};
 
     if (req.opcode == Opcode::kWrite) {
@@ -577,6 +636,13 @@ class CopilotService {
           const auto framed = frame_from_ls(p);
           mpi_.send(framed.data(), framed.size(), rt->copilot_write_dest,
                     rt->tag);
+          trace::ChannelCounters::global().add_copilot_hop(req.channel);
+          if (simtime::tracebuf::armed()) {
+            simtime::tracebuf::record(Kind::kCopilotRelay, copilot_name(),
+                                      begin, clock().now(), req.length,
+                                      req.channel,
+                                      static_cast<std::int8_t>(rt->type));
+          }
           complete(spe, CompletionStatus::kOk);
           break;
         }
@@ -592,6 +658,13 @@ class CopilotService {
             transfer_local(p, reader);
           } else {
             pending_writes_.emplace(req.channel, p);
+            if (simtime::tracebuf::armed()) {
+              simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
+                                        clock().now(), clock().now(),
+                                        req.length, req.channel,
+                                        static_cast<std::int8_t>(rt->type),
+                                        static_cast<std::int64_t>(req.opcode));
+            }
             pilot::notify_block_proxy(mpi_, app_,
                                       app_.spe_process(node_, spe), ch.to,
                                       req.channel);
@@ -616,6 +689,13 @@ class CopilotService {
             transfer_local(writer, p);
           } else {
             pending_reads_.emplace(req.channel, p);
+            if (simtime::tracebuf::armed()) {
+              simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
+                                        clock().now(), clock().now(),
+                                        req.length, req.channel,
+                                        static_cast<std::int8_t>(rt->type),
+                                        static_cast<std::int64_t>(req.opcode));
+            }
             pilot::notify_block_proxy(mpi_, app_,
                                       app_.spe_process(node_, spe), ch.from,
                                       req.channel);
@@ -627,6 +707,13 @@ class CopilotService {
           // writer's Co-Pilot; the main loop delivers it in stamp order.
           p.expected_source = rt->copilot_read_source;
           pending_reads_.emplace(req.channel, p);
+          if (simtime::tracebuf::armed()) {
+            simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
+                                      clock().now(), clock().now(),
+                                      req.length, req.channel,
+                                      static_cast<std::int8_t>(rt->type),
+                                      static_cast<std::int64_t>(req.opcode));
+          }
           pilot::notify_block_proxy(mpi_, app_,
                                     app_.spe_process(node_, spe), ch.from,
                                     req.channel);

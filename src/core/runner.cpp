@@ -7,6 +7,8 @@
 #include "core/cellpilot.hpp"
 
 #include "core/copilot.hpp"
+#include "core/router.hpp"
+#include "core/trace.hpp"
 #include "core/transport.hpp"
 #include "mpisim/launcher.hpp"
 #include "pilot/context.hpp"
@@ -75,6 +77,25 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
   // after an abort) are joined by the app's destructor, but join here so
   // the result reflects a fully quiesced job.
   app.join_all_spe_threads();
+
+  // Full quiescence: every rank, Co-Pilot, service and SPE thread has been
+  // joined, so nothing can still be recording — drain the trace rings into
+  // this job's batch and rewrite the session's trace file (a no-op when
+  // tracing is disarmed).
+  {
+    std::vector<trace::ChannelSummary> channels;
+    channels.reserve(static_cast<std::size_t>(app.channel_count()));
+    for (int c = 0; c < app.channel_count(); ++c) {
+      const PI_CHANNEL& ch = app.channel(c);
+      trace::ChannelSummary s;
+      s.channel = c;
+      s.route_type = ch.route == nullptr ? 0 : static_cast<int>(ch.route->type);
+      s.name = ch.name;
+      s.stats = trace::ChannelCounters::global().snapshot(c);
+      channels.push_back(std::move(s));
+    }
+    trace::TraceSession::global().flush_job(channels);
+  }
 
   RunResult result;
   result.status = launched.exit_codes.empty() ? 0 : launched.exit_codes[0];

@@ -1,0 +1,375 @@
+#include "core/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "mpisim/types.hpp"
+#include "pilot/tables.hpp"
+
+namespace cellpilot::trace {
+
+// ---------------------------------------------------------------------------
+// ChannelCounters
+
+struct ChannelCounters::Impl {
+  struct Cell {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> payload_bytes{0};
+    std::atomic<std::uint64_t> copilot_hops{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> faults{0};
+  };
+  std::mutex mu;  ///< guards resizing only; cells are touched lock-free
+  std::vector<std::unique_ptr<Cell>> cells;
+
+  Cell* cell(int channel) {
+    // `cells` only grows under reset(), which runs at route compilation —
+    // before any traffic — so indexing during traffic is race-free.
+    if (channel < 0 || static_cast<std::size_t>(channel) >= cells.size()) {
+      return nullptr;
+    }
+    return cells[static_cast<std::size_t>(channel)].get();
+  }
+};
+
+ChannelCounters& ChannelCounters::global() {
+  static ChannelCounters* g = new ChannelCounters;
+  return *g;
+}
+
+ChannelCounters::Impl* ChannelCounters::impl() {
+  static Impl* g = new Impl;
+  return g;
+}
+
+const ChannelCounters::Impl* ChannelCounters::impl() const {
+  return const_cast<ChannelCounters*>(this)->impl();
+}
+
+void ChannelCounters::reset(std::size_t channels) {
+  Impl* im = impl();
+  std::lock_guard lock(im->mu);
+  im->cells.clear();
+  im->cells.reserve(channels);
+  for (std::size_t i = 0; i < channels; ++i) {
+    im->cells.push_back(std::make_unique<Impl::Cell>());
+  }
+}
+
+std::size_t ChannelCounters::size() const {
+  const Impl* im = impl();
+  std::lock_guard lock(const_cast<Impl*>(im)->mu);
+  return im->cells.size();
+}
+
+void ChannelCounters::add_message(int channel, std::uint64_t payload_bytes) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->messages.fetch_add(1, std::memory_order_relaxed);
+    c->payload_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_copilot_hop(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->copilot_hops.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_retry(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_timeout(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_fault(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->faults.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ChannelStats ChannelCounters::snapshot(int channel) const {
+  ChannelStats s;
+  Impl* im = const_cast<ChannelCounters*>(this)->impl();
+  if (Impl::Cell* c = im->cell(channel)) {
+    s.messages = c->messages.load(std::memory_order_relaxed);
+    s.payload_bytes = c->payload_bytes.load(std::memory_order_relaxed);
+    s.copilot_hops = c->copilot_hops.load(std::memory_order_relaxed);
+    s.retries = c->retries.load(std::memory_order_relaxed);
+    s.timeouts = c->timeouts.load(std::memory_order_relaxed);
+    s.faults = c->faults.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tag attribution
+
+int channel_of_tag(std::int64_t tag) {
+  // Channel id `c` travels as tag kChannelTagBase + c; everything at or
+  // above kReservedTagBase is pilot control traffic.  (Raw mpisim users
+  // with small tags fall below the base and stay unattributed.)
+  if (tag >= pilot::kChannelTagBase && tag < mpisim::kReservedTagBase) {
+    return static_cast<int>(tag - pilot::kChannelTagBase);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+/// Virtual nanoseconds -> microseconds with exactly three decimals, via
+/// integer arithmetic so the text is reproducible on any libc.
+void append_us(std::string& out, simtime::SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<JobBatch>& batches) {
+  std::string out;
+  out += "{\n\"traceEvents\":[\n";
+  bool first = true;
+  std::uint64_t dropped_total = 0;
+  for (const JobBatch& b : batches) {
+    dropped_total += b.dropped;
+    // Stable tid per entity: 1-based index in name order within this job.
+    std::map<std::string, int> tids;
+    for (const auto& e : b.events) tids.emplace(e.entity, 0);
+    int next = 1;
+    for (auto& [name, tid] : tids) tid = next++;
+
+    for (const auto& [name, tid] : tids) {
+      if (!first) out += ",\n";
+      first = false;
+      char head[64];
+      std::snprintf(head, sizeof head,
+                    "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,", b.job, tid);
+      out += head;
+      out += "\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      append_json_escaped(out, name.c_str());
+      out += "\"}}";
+    }
+
+    for (const auto& e : b.events) {
+      if (!first) out += ",\n";
+      first = false;
+      char head[64];
+      std::snprintf(head, sizeof head, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,",
+                    b.job, tids[e.entity]);
+      out += head;
+      out += "\"ts\":";
+      append_us(out, e.begin);
+      out += ",\"dur\":";
+      append_us(out, e.end - e.begin);
+      out += ",\"name\":\"";
+      out += simtime::tracebuf::kind_name(e.kind);
+      out += "\",\"cat\":\"cellpilot\",\"args\":{\"entity\":\"";
+      append_json_escaped(out, e.entity);
+      char tail[128];
+      std::snprintf(tail, sizeof tail,
+                    "\",\"channel\":%d,\"route\":%d,\"bytes\":%llu,"
+                    "\"aux\":%lld}}",
+                    e.channel, static_cast<int>(e.route_type),
+                    static_cast<unsigned long long>(e.bytes),
+                    static_cast<long long>(e.aux));
+      out += tail;
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n";
+  char meta[96];
+  std::snprintf(meta, sizeof meta,
+                "\"otherData\":{\"generator\":\"cellpilot\",\"jobs\":%zu,"
+                "\"droppedEvents\":%llu,\n",
+                batches.size(),
+                static_cast<unsigned long long>(dropped_total));
+  out += meta;
+  out += "\"channelStats\":[";
+  bool first_ch = true;
+  for (const JobBatch& b : batches) {
+    for (const ChannelSummary& ch : b.channels) {
+      if (!first_ch) out += ",";
+      first_ch = false;
+      out += "\n{\"job\":";
+      out += std::to_string(b.job);
+      out += ",\"channel\":";
+      out += std::to_string(ch.channel);
+      out += ",\"name\":\"";
+      append_json_escaped(out, ch.name.c_str());
+      char stats[256];
+      std::snprintf(
+          stats, sizeof stats,
+          "\",\"route\":%d,\"messages\":%llu,\"payloadBytes\":%llu,"
+          "\"copilotHops\":%llu,\"retries\":%llu,\"timeouts\":%llu,"
+          "\"faults\":%llu}",
+          ch.route_type, static_cast<unsigned long long>(ch.stats.messages),
+          static_cast<unsigned long long>(ch.stats.payload_bytes),
+          static_cast<unsigned long long>(ch.stats.copilot_hops),
+          static_cast<unsigned long long>(ch.stats.retries),
+          static_cast<unsigned long long>(ch.stats.timeouts),
+          static_cast<unsigned long long>(ch.stats.faults));
+      out += stats;
+    }
+  }
+  out += "\n]}\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession
+
+namespace {
+
+struct SessionState {
+  std::mutex mu;
+  bool armed = false;
+  std::string path;
+  std::vector<JobBatch> batches;
+  int next_job = 1;
+  std::atomic<int> captures{0};
+
+  void arm_with(const std::string& p) {
+    if (!armed) {
+      simtime::tracebuf::arm();
+      armed = true;
+    }
+    path = p;
+  }
+};
+
+SessionState& session_state() {
+  static SessionState* g = new SessionState;
+  return *g;
+}
+
+}  // namespace
+
+TraceSession::TraceSession() {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  const char* env = std::getenv("CELLPILOT_TRACE");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession* g = new TraceSession;
+  return *g;
+}
+
+void TraceSession::configure(const std::string& path) {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  st.batches.clear();
+  st.next_job = 1;
+  st.arm_with(path);
+  simtime::tracebuf::clear();
+}
+
+bool TraceSession::armed() const {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  return st.armed;
+}
+
+const std::string& TraceSession::path() const {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  return st.path;
+}
+
+void TraceSession::flush_job(const std::vector<ChannelSummary>& channels) {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  if (!st.armed) return;
+  if (st.captures.load(std::memory_order_relaxed) > 0) return;
+
+  JobBatch batch;
+  batch.job = st.next_job++;
+  batch.dropped = simtime::tracebuf::dropped();
+  batch.events = simtime::tracebuf::drain();
+  batch.channels = channels;
+  // Attribute MPI legs to channels post-hoc: mpisim records the tag, the
+  // tag encodes the channel.
+  for (auto& e : batch.events) {
+    if (e.channel < 0) e.channel = channel_of_tag(e.aux);
+  }
+  st.batches.push_back(std::move(batch));
+
+  // Rewrite the whole file each flush so a multi-job binary always leaves
+  // a complete, well-formed trace behind, even if a later job aborts.
+  std::ofstream f(st.path, std::ios::binary | std::ios::trunc);
+  if (f) f << chrome_trace_json(st.batches);
+}
+
+void TraceSession::reset_for_tests() {
+  SessionState& st = session_state();
+  std::lock_guard lock(st.mu);
+  if (st.armed) {
+    simtime::tracebuf::disarm();
+    st.armed = false;
+  }
+  st.batches.clear();
+  st.next_job = 1;
+  st.path.clear();
+  simtime::tracebuf::clear();
+  const char* env = std::getenv("CELLPILOT_TRACE");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTraceCapture
+
+ScopedTraceCapture::ScopedTraceCapture() {
+  session_state().captures.fetch_add(1, std::memory_order_relaxed);
+  simtime::tracebuf::clear();
+  simtime::tracebuf::arm();
+}
+
+ScopedTraceCapture::~ScopedTraceCapture() {
+  simtime::tracebuf::disarm();
+  simtime::tracebuf::clear();
+  session_state().captures.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<simtime::tracebuf::Event> ScopedTraceCapture::drain() {
+  auto events = simtime::tracebuf::drain();
+  for (auto& e : events) {
+    if (e.channel < 0) e.channel = channel_of_tag(e.aux);
+  }
+  return events;
+}
+
+}  // namespace cellpilot::trace

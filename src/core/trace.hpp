@@ -1,0 +1,135 @@
+#pragma once
+/// \file
+/// CellPilot vocabulary over the simtime::tracebuf engine.
+///
+/// Two consumers share the engine:
+///
+///  * TraceSession — the `-pitrace=FILE` / `CELLPILOT_TRACE` plumbing.
+///    While armed, every instrumented seam records into per-thread rings;
+///    cellpilot::run's epilogue (all threads joined) drains them into a
+///    per-job batch and rewrites the whole Chrome `chrome://tracing` JSON
+///    file, so a bench binary that runs many CellPilot jobs accumulates
+///    them all (one Chrome "process" per job).
+///    Because all stamps are virtual and the schedule is deterministic, two
+///    runs of the same program produce byte-identical files — `tracecheck`
+///    turns that into a CI oracle.
+///
+///  * ScopedTraceCapture — the in-process test harness.  Arms the engine
+///    for a scope and hands the drained events straight to the test (the
+///    channel-matrix test asserts which Table I legs a message actually
+///    crossed).  While a capture is active the session's flush is
+///    suppressed so the two consumers never steal each other's events.
+///
+/// Independent of arming, ChannelCounters aggregates always-on per-channel
+/// totals (messages, bytes, Co-Pilot hops, retries, timeouts, faults)
+/// surfaced through the public PI_GetChannelStats call.  Counters are
+/// plain atomic increments on the host — they never touch virtual clocks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simtime/tracebuf.hpp"
+
+namespace cellpilot::trace {
+
+/// Aggregated totals for one channel since route compilation.
+struct ChannelStats {
+  std::uint64_t messages = 0;       ///< completed writes (per Table I leg set)
+  std::uint64_t payload_bytes = 0;  ///< marshalled payload bytes written
+  std::uint64_t copilot_hops = 0;   ///< Co-Pilot legs executed (relay/pair/deliver)
+  std::uint64_t retries = 0;        ///< deadline extensions granted
+  std::uint64_t timeouts = 0;       ///< requests completed PI_SPE_TIMEOUT
+  std::uint64_t faults = 0;         ///< channel poisonings by SPE death
+};
+
+/// Always-on per-channel counter table.  Sized by Router::compile (which
+/// runs before any traffic), read by PI_GetChannelStats and the trace
+/// flush.  Out-of-range channel ids are ignored so probes never throw.
+class ChannelCounters {
+ public:
+  static ChannelCounters& global();
+
+  void reset(std::size_t channels);
+  std::size_t size() const;
+
+  void add_message(int channel, std::uint64_t payload_bytes);
+  void add_copilot_hop(int channel);
+  void add_retry(int channel);
+  void add_timeout(int channel);
+  void add_fault(int channel);
+
+  ChannelStats snapshot(int channel) const;
+
+ private:
+  ChannelCounters() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+/// What the flush needs to know about each channel (for the per-channel
+/// stats block in the trace file and for tag -> channel attribution).
+struct ChannelSummary {
+  int channel = -1;
+  int route_type = 0;
+  std::string name;
+  ChannelStats stats;
+};
+
+/// The `-pitrace` / `CELLPILOT_TRACE` session.  Thread-safe; all methods
+/// other than armed() take an internal lock.
+class TraceSession {
+ public:
+  static TraceSession& global();
+
+  /// Arm for this process with an explicit output path (`-pitrace=FILE`).
+  /// Restarts the accumulated batch list: an explicit flag means "trace
+  /// this program", not "append to whatever came before".
+  void configure(const std::string& path);
+
+  bool armed() const;
+  const std::string& path() const;
+
+  /// Drain the engine into a new batch and rewrite the output file.
+  /// Called by cellpilot::run's epilogue at full quiescence (every rank,
+  /// Co-Pilot, service and SPE thread joined).  No-op when disarmed or
+  /// while a ScopedTraceCapture is active.
+  void flush_job(const std::vector<ChannelSummary>& channels);
+
+  /// Test hook: drop all state and re-read CELLPILOT_TRACE.
+  void reset_for_tests();
+
+ private:
+  TraceSession();
+};
+
+/// Render accumulated batches as Chrome trace JSON (exposed for tests).
+struct JobBatch {
+  int job = 0;  ///< 1-based job ordinal, becomes the Chrome pid
+  std::vector<simtime::tracebuf::Event> events;
+  std::vector<ChannelSummary> channels;
+  std::uint64_t dropped = 0;
+};
+std::string chrome_trace_json(const std::vector<JobBatch>& batches);
+
+/// RAII test harness: clear + arm on construction, disarm + clear on
+/// destruction.  Suppresses TraceSession::flush_job for its lifetime so a
+/// test running a full CellPilot job under CELLPILOT_TRACE still sees its
+/// own events.
+class ScopedTraceCapture {
+ public:
+  ScopedTraceCapture();
+  ~ScopedTraceCapture();
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+
+  /// Drain everything recorded so far (canonical order).
+  std::vector<simtime::tracebuf::Event> drain();
+};
+
+/// Map a MiniMPI tag back to the CellPilot channel id it serves, or -1 if
+/// the tag is not a channel tag (control traffic, user tags).
+int channel_of_tag(std::int64_t tag);
+
+}  // namespace cellpilot::trace

@@ -4,6 +4,7 @@
 
 #include "mpisim/inject.hpp"
 #include "simtime/trace.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace mpisim {
 
@@ -44,6 +45,11 @@ void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
         world_->info(me_).name, simtime::TraceKind::kMpiSend,
         "DROPPED to=" + std::to_string(dest) + " tag=" + std::to_string(tag),
         begin, depart);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiDrop,
+                                world_->info(me_).name, begin, depart, bytes,
+                                /*channel=*/-1, /*route_type=*/0, tag);
+    }
     return;
   }
 
@@ -60,6 +66,13 @@ void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
       "to=" + std::to_string(dest) + " tag=" + std::to_string(tag) +
           " bytes=" + std::to_string(bytes),
       begin, depart);
+  if (simtime::tracebuf::armed()) {
+    // mpisim knows tags, not channels; the trace consumer maps channel
+    // tags back to channel ids at flush time.
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiSend,
+                              world_->info(me_).name, begin, depart, bytes,
+                              /*channel=*/-1, /*route_type=*/0, tag);
+  }
 }
 
 Status Mpi::recv_impl(void* data, std::size_t bytes, Rank source, int tag) {
@@ -87,6 +100,12 @@ Status Mpi::recv_impl(void* data, std::size_t bytes, Rank source, int tag) {
           std::to_string(msg.tag) + " bytes=" +
           std::to_string(msg.payload.size()),
       begin, clock().now());
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiRecv,
+                              world_->info(me_).name, begin, clock().now(),
+                              msg.payload.size(), /*channel=*/-1,
+                              /*route_type=*/0, msg.tag);
+  }
   return Status{msg.source, msg.tag, msg.payload.size()};
 }
 
@@ -102,11 +121,18 @@ Status Mpi::recv(void* data, std::size_t bytes, Rank source, int tag) {
 
 std::vector<std::byte> Mpi::recv_any_size(Rank source, int tag, Status* st) {
   if (source != kAnySource) world_->check_rank(source, "recv");
+  const simtime::SimTime begin = clock().now();
   InboundMessage msg = world_->queue(me_).match_blocking(source, tag);
   const auto legs = world_->cost().mpi_leg_costs(
       msg.payload.size(), world_->info(msg.source).core,
       world_->info(me_).core, world_->same_node(msg.source, me_));
   clock().join_advance(msg.arrival, legs.receiver);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiRecv,
+                              world_->info(me_).name, begin, clock().now(),
+                              msg.payload.size(), /*channel=*/-1,
+                              /*route_type=*/0, msg.tag);
+  }
   if (st != nullptr) *st = Status{msg.source, msg.tag, msg.payload.size()};
   return std::move(msg.payload);
 }

@@ -11,11 +11,13 @@
 #include "core/faultplan.hpp"
 #include "core/protocol.hpp"
 #include "core/router.hpp"
+#include "core/trace.hpp"
 #include "pilot/byteorder.hpp"
 #include "pilot/context.hpp"
 #include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
 #include "simtime/trace.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace pilot {
 namespace {
@@ -130,7 +132,17 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
     if (rt.writer_big_endian) {
       swap_element_bytes(plan.parsed, ws.counts, ws.staging);
     }
+    const simtime::SimTime begin = cellsim::spu::self().clock().now();
     sd->app->transport()->spe_write(*ch, sig, ws.staging);
+    cellpilot::trace::ChannelCounters::global().add_message(ch->id,
+                                                            ws.staging.size());
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeWrite,
+                                cellsim::spu::self().name(), begin,
+                                cellsim::spu::self().clock().now(),
+                                ws.staging.size(), ch->id,
+                                static_cast<std::int8_t>(rt.type));
+    }
     return;
   }
 
@@ -160,6 +172,7 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   marshal_append(plan.parsed, args, ws.staging, ws.counts);
   const std::size_t payload_bytes = ws.staging.size() - sizeof(WireHeader);
   const std::uint32_t sig = wire_signature(plan, ws.counts);
+  const simtime::SimTime call_begin = ctx.mpi().clock().now();
   charge_rank_call(ctx, payload_bytes);
 
   const std::span<std::byte> payload =
@@ -169,11 +182,20 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   }
   frame_in_place(ws.staging, sig);
   ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
+  cellpilot::trace::ChannelCounters::global().add_message(ch->id,
+                                                          payload_bytes);
   simtime::Trace::global().record(
       ctx.app().cluster().world().info(ctx.rank()).name,
       simtime::TraceKind::kPilotCall,
       "PI_Write " + ch->name + " " + std::to_string(payload_bytes) + "B",
       0, ctx.mpi().clock().now());
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(
+        simtime::tracebuf::Kind::kPilotWrite,
+        ctx.app().cluster().world().info(ctx.rank()).name, call_begin,
+        ctx.mpi().clock().now(), payload_bytes, ch->id,
+        static_cast<std::int8_t>(rt.type));
+  }
 }
 
 void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
@@ -195,7 +217,15 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
     const std::uint32_t sig =
         plan.has_star ? signature(rs.plan.fmt) : plan.wire_signature;
     rs.staging.resize(rs.plan.payload_bytes);
+    const simtime::SimTime begin = cellsim::spu::self().clock().now();
     sd->app->transport()->spe_read(*ch, sig, rs.staging);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeRead,
+                                cellsim::spu::self().name(), begin,
+                                cellsim::spu::self().clock().now(),
+                                rs.staging.size(), ch->id,
+                                static_cast<std::int8_t>(rt.type));
+    }
     if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, rs.staging);
     scatter(rs.plan, rs.staging);
     return;
@@ -228,6 +258,7 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
       throw_peer_failure(failure->status, failure->detail, *ch, file, line);
     }
   }
+  const simtime::SimTime call_begin = ctx.mpi().clock().now();
   notify_block(ctx, ch->from, ch->id);
   std::vector<std::byte> framed =
       ctx.mpi().recv_any_size(rt.read_source, rt.tag);
@@ -248,6 +279,13 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
       "PI_Read " + ch->name + " " + std::to_string(rs.plan.payload_bytes) +
           "B",
       0, ctx.mpi().clock().now());
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kPilotRead,
+                              app.cluster().world().info(ctx.rank()).name,
+                              call_begin, ctx.mpi().clock().now(),
+                              rs.plan.payload_bytes, ch->id,
+                              static_cast<std::int8_t>(rt.type));
+  }
 }
 
 /// Validates `b` for a collective entered by the calling rank process.
@@ -282,6 +320,7 @@ int PI_Configure(int* argc, char*** argv) {
 
   Options opts;
   std::string fault_spec;
+  std::string trace_file;
   bool have_fault_spec = false;
   if (argc != nullptr && argv != nullptr) {
     int out = 1;
@@ -295,6 +334,12 @@ int PI_Configure(int* argc, char*** argv) {
         // Fault-injection plan; overrides the CELLPILOT_FAULTS baseline.
         fault_spec = a + 9;
         have_fault_spec = true;
+      } else if (std::strncmp(a, "-pitrace=", 9) == 0) {
+        // Trace session output file; overrides the CELLPILOT_TRACE baseline.
+        if (a[9] == '\0') {
+          throw PilotError(ErrorCode::kUsage, "-pitrace= needs a file name");
+        }
+        trace_file = a + 9;
       } else if (std::strncmp(a, "-pideadline=", 12) == 0) {
         // SPE request deadline in virtual microseconds.
         char* end = nullptr;
@@ -322,6 +367,9 @@ int PI_Configure(int* argc, char*** argv) {
     ctx.app().options() = opts;
     // -pisvc=t: record every modelled primitive in the global event trace.
     if (opts.trace_calls) simtime::Trace::global().set_enabled(true);
+    if (!trace_file.empty()) {
+      cellpilot::trace::TraceSession::global().configure(trace_file);
+    }
   }
 
   if (opts.deadlock_detection &&
@@ -467,6 +515,10 @@ int PI_StopMain(int status) {
   ctx.app().join_spe_threads(ctx.rank());
   ctx.app().user_barrier(ctx.mpi());
 
+  // Note: the trace-session flush happens in cellpilot::run's epilogue,
+  // not here — at this point other rank/Co-Pilot threads are still alive
+  // (shutdown control traffic, late supervision) and could race the drain.
+
   // Tear down the hidden service ranks.
   cluster::Cluster& cl = ctx.app().cluster();
   const std::uint8_t poison = 0;
@@ -526,7 +578,17 @@ void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
   for (PI_CHANNEL* ch : b->channels) {
     cellpilot::Route& rt = route_of(*ch, file, line);
     if (rt.needs_transport) transport_or_die(ctx.app(), file, line);
+    const simtime::SimTime leg_begin = ctx.mpi().clock().now();
     ctx.mpi().send(framed.data(), framed.size(), rt.write_dest, rt.tag);
+    cellpilot::trace::ChannelCounters::global().add_message(
+        ch->id, framed.size() - sizeof(WireHeader));
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(
+          simtime::tracebuf::Kind::kPilotWrite,
+          ctx.app().cluster().world().info(ctx.rank()).name, leg_begin,
+          ctx.mpi().clock().now(), framed.size() - sizeof(WireHeader), ch->id,
+          static_cast<std::int8_t>(rt.type));
+    }
   }
 }
 
@@ -553,10 +615,20 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
         throw_peer_failure(failure->status, failure->detail, *ch, file, line);
       }
     }
+    const simtime::SimTime leg_begin = ctx.mpi().clock().now();
     notify_block(ctx, ch->from, ch->id);
     std::vector<std::byte> framed =
         ctx.mpi().recv_any_size(rt.read_source, rt.tag);
     notify_unblock(ctx);
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(
+          simtime::tracebuf::Kind::kPilotRead,
+          ctx.app().cluster().world().info(ctx.rank()).name, leg_begin,
+          ctx.mpi().clock().now(), framed.size() >= sizeof(WireHeader)
+                                       ? framed.size() - sizeof(WireHeader)
+                                       : 0,
+          ch->id, static_cast<std::int8_t>(rt.type));
+    }
     if (is_fault_frame(framed)) {
       const FaultFrame fault = parse_fault_frame(framed);
       throw_peer_failure(fault.status, fault.detail, *ch, file, line);
@@ -607,6 +679,34 @@ int PI_TrySelect(PI_BUNDLE* b) {
   const auto hit =
       ctx.app().cluster().world().queue(ctx.rank()).try_probe_any(patterns);
   return hit ? static_cast<int>(hit->first) : -1;
+}
+
+int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
+  if (ch == nullptr || out == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetChannelStats: null channel or output");
+  }
+  if (spe_dispatch() != nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetChannelStats is rank-side only");
+  }
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kExecution && ctx.phase != Phase::kDone) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetChannelStats called before PI_StartAll");
+  }
+  const cellpilot::trace::ChannelStats s =
+      cellpilot::trace::ChannelCounters::global().snapshot(ch->id);
+  out->channel = ch->id;
+  out->route_type =
+      ch->route == nullptr ? 0 : static_cast<int>(ch->route->type);
+  out->messages = s.messages;
+  out->payload_bytes = s.payload_bytes;
+  out->copilot_hops = s.copilot_hops;
+  out->retries = s.retries;
+  out->timeouts = s.timeouts;
+  out->faults = s.faults;
+  return 0;
 }
 
 int PI_ChannelHasData(PI_CHANNEL* ch) {

@@ -137,7 +137,9 @@ Format parse_format(std::string_view fmt) {
     }
     out.items.push_back(item);
   }
-  if (out.items.empty()) fail(fmt, 0, "empty format");
+  // An empty format ("") is legal per the grammar (item*): it describes a
+  // zero-length message — a pure synchronization token.  The frame layer
+  // and the SPE staging path both support zero payload bytes.
   return out;
 }
 

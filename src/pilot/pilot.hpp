@@ -121,6 +121,23 @@ int PI_GetBundleSize(PI_BUNDLE* b);
 /// threads), tears down services, returns `status`.
 int PI_StopMain(int status);
 
+/// Aggregated per-channel communication totals, collected since route
+/// compilation (PI_StartAll) by the always-on trace counters.
+typedef struct PI_CHANNEL_STATS {
+  int channel;                       ///< channel id
+  int route_type;                    ///< Table I type 1..5 (0 if unrouted)
+  unsigned long long messages;       ///< completed writes
+  unsigned long long payload_bytes;  ///< marshalled payload bytes written
+  unsigned long long copilot_hops;   ///< Co-Pilot legs (relay/pair/deliver)
+  unsigned long long retries;        ///< deadline extensions granted
+  unsigned long long timeouts;       ///< requests completed PI_SPE_TIMEOUT
+  unsigned long long faults;         ///< channel poisonings by SPE death
+} PI_CHANNEL_STATS;
+
+/// Fills `out` with the channel's totals.  Rank-side, execution phase (or
+/// later — PI_MAIN may harvest after PI_StopMain).  Returns 0 on success.
+int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out);
+
 /// Names a process/channel for diagnostics (optional, any phase).
 void PI_SetName(PI_PROCESS* p, const char* name);
 void PI_SetChannelName(PI_CHANNEL* ch, const char* name);

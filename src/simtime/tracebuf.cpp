@@ -1,0 +1,197 @@
+#include "simtime/tracebuf.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace simtime::tracebuf {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kMboxPush: return "mbox_push";
+    case Kind::kMboxPop: return "mbox_pop";
+    case Kind::kDmaGet: return "dma_get";
+    case Kind::kDmaPut: return "dma_put";
+    case Kind::kMpiSend: return "mpi_send";
+    case Kind::kMpiRecv: return "mpi_recv";
+    case Kind::kMpiDrop: return "mpi_drop";
+    case Kind::kPilotWrite: return "pilot_write";
+    case Kind::kPilotRead: return "pilot_read";
+    case Kind::kSpeWrite: return "spe_write";
+    case Kind::kSpeRead: return "spe_read";
+    case Kind::kCopilotRequest: return "copilot_request";
+    case Kind::kCopilotRelay: return "copilot_relay";
+    case Kind::kCopilotPair: return "copilot_pair";
+    case Kind::kCopilotDeliver: return "copilot_deliver";
+    case Kind::kCopilotPark: return "copilot_park";
+    case Kind::kCopilotRetry: return "copilot_retry";
+    case Kind::kCopilotTimeout: return "copilot_timeout";
+    case Kind::kCopilotFault: return "copilot_fault";
+    case Kind::kUser: return "user";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Growth limit per ring.  A deterministic program overflows (or not)
+/// identically on every run, so hitting the cap costs coverage, never
+/// determinism.
+constexpr std::size_t kMaxEventsPerRing = std::size_t{1} << 20;
+
+/// Single-producer event ring.  Only the owning thread appends; drains
+/// happen at quiescence (no producer running), so a plain vector is safe.
+struct Ring {
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  bool in_use = false;  ///< guarded by Registry::mu
+
+  void push(const Event& e) {
+    if (events.size() >= kMaxEventsPerRing) {
+      ++dropped;
+      return;
+    }
+    events.push_back(e);
+  }
+};
+
+/// Owns every ring ever created.  Rings are pooled: a thread leases one on
+/// first record and its thread-local handle returns it at thread exit, so
+/// the many short-lived SPE/rank threads of a long test binary share a
+/// bounded set.  Leaked on purpose — thread-local destructors may run
+/// after static destruction.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+
+  Ring* lease() {
+    std::lock_guard lock(mu);
+    for (auto& r : rings) {
+      if (!r->in_use) {
+        r->in_use = true;
+        return r.get();
+      }
+    }
+    rings.push_back(std::make_unique<Ring>());
+    rings.back()->in_use = true;
+    return rings.back().get();
+  }
+
+  void release(Ring* ring) {
+    std::lock_guard lock(mu);
+    ring->in_use = false;  // events stay buffered until the next drain
+  }
+};
+
+Registry& registry() {
+  static Registry* g = new Registry;  // leaky: see struct comment
+  return *g;
+}
+
+/// Thread-local lease.  The destructor returns the ring (with its events
+/// still buffered) so the next short-lived thread can reuse the storage.
+struct Lease {
+  Ring* ring = nullptr;
+  ~Lease() {
+    if (ring != nullptr) registry().release(ring);
+  }
+};
+
+thread_local Lease t_lease;
+
+std::mutex g_arm_mu;
+int g_arm_count = 0;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void record_slow(const Event& e) {
+  if (t_lease.ring == nullptr) t_lease.ring = registry().lease();
+  t_lease.ring->push(e);
+}
+
+}  // namespace detail
+
+void record(Kind kind, const std::string& entity, SimTime begin, SimTime end,
+            std::uint64_t bytes, std::int32_t channel, std::int8_t route_type,
+            std::int64_t aux) {
+  Event e;
+  e.begin = begin;
+  e.end = end;
+  e.bytes = bytes;
+  e.aux = aux;
+  e.channel = channel;
+  e.route_type = route_type;
+  e.kind = kind;
+  const std::size_t n = std::min(entity.size(), kEntityBytes - 1);
+  std::memcpy(e.entity, entity.data(), n);
+  e.entity[n] = '\0';
+  record(e);
+}
+
+void arm() {
+  std::lock_guard lock(g_arm_mu);
+  if (++g_arm_count == 1) {
+    detail::g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void disarm() {
+  std::lock_guard lock(g_arm_mu);
+  if (g_arm_count > 0 && --g_arm_count == 0) {
+    detail::g_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void clear() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (auto& r : reg.rings) {
+    r->events.clear();
+    r->dropped = 0;
+  }
+}
+
+std::vector<Event> drain() {
+  std::vector<Event> out;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    std::size_t total = 0;
+    for (const auto& r : reg.rings) total += r->events.size();
+    out.reserve(total);
+    for (auto& r : reg.rings) {
+      out.insert(out.end(), r->events.begin(), r->events.end());
+      r->events.clear();
+      r->dropped = 0;
+    }
+  }
+  // Canonical order: every key is a recorded field, so the result is
+  // independent of ring count, lease order and host scheduling.  Events
+  // identical in all keys are interchangeable, so ties cannot introduce
+  // nondeterminism either.
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.end != b.end) return a.end < b.end;
+    const int ec = std::strcmp(a.entity, b.entity);
+    if (ec != 0) return ec < 0;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.channel != b.channel) return a.channel < b.channel;
+    if (a.aux != b.aux) return a.aux < b.aux;
+    return a.bytes < b.bytes;
+  });
+  return out;
+}
+
+std::uint64_t dropped() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::uint64_t n = 0;
+  for (const auto& r : reg.rings) n += r->dropped;
+  return n;
+}
+
+}  // namespace simtime::tracebuf

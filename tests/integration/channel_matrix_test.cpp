@@ -1,0 +1,309 @@
+// channel_matrix_test.cpp — the Table I conformance matrix.
+//
+// Every one of the paper's five channel route types, crossed with three
+// payload classes (zero-length sync token, small scalar, large array), must
+// (a) deliver the payload intact and (b) cross exactly the legs Table I
+// prescribes — a local pair is a memcpy, never an MPI message; a remote
+// SPE channel is relay + deliver, never a direct copy.  The trace layer
+// makes (b) checkable: the test captures every event the message generated
+// and fails if the message routed through an unexpected leg.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/cellpilot.hpp"
+#include "core/trace.hpp"
+#include "simtime/tracebuf.hpp"
+
+namespace {
+
+namespace tb = simtime::tracebuf;
+using cellpilot::trace::ChannelCounters;
+using cellpilot::trace::ScopedTraceCapture;
+
+enum Payload { kZero = 0, kScalar = 1, kArray = 2 };
+
+constexpr int kScalarValue = 424242;
+constexpr int kArrayCount = 200;
+
+double array_element(int i) { return 1.0 + 0.5 * i; }
+
+std::uint64_t payload_bytes(Payload p) {
+  switch (p) {
+    case kZero: return 0;
+    case kScalar: return sizeof(int);
+    case kArray: return kArrayCount * sizeof(double);
+  }
+  return 0;
+}
+
+// --- the job (shared by all 15 matrix cells) -----------------------------
+
+int g_type = 0;               ///< Table I type under test
+Payload g_payload = kZero;    ///< payload class under test
+PI_CHANNEL* g_data = nullptr; ///< the one channel of the job (id 0)
+PI_PROCESS* g_spe_r = nullptr;
+std::atomic<bool> g_ok{false};
+
+void write_payload() {
+  switch (g_payload) {
+    case kZero:
+      PI_Write(g_data, "");
+      break;
+    case kScalar:
+      PI_Write(g_data, "%d", kScalarValue);
+      break;
+    case kArray: {
+      double values[kArrayCount];
+      for (int i = 0; i < kArrayCount; ++i) values[i] = array_element(i);
+      PI_Write(g_data, "%*lf", kArrayCount, values);
+      break;
+    }
+  }
+}
+
+bool read_and_check() {
+  switch (g_payload) {
+    case kZero:
+      PI_Read(g_data, "");
+      return true;  // arrival *is* the payload
+    case kScalar: {
+      int v = 0;
+      PI_Read(g_data, "%d", &v);
+      return v == kScalarValue;
+    }
+    case kArray: {
+      double values[kArrayCount] = {};
+      PI_Read(g_data, "%*lf", kArrayCount, values);
+      for (int i = 0; i < kArrayCount; ++i) {
+        if (values[i] != array_element(i)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+PI_SPE_PROGRAM(matrix_spe_writer) {
+  write_payload();
+  return 0;
+}
+
+PI_SPE_PROGRAM(matrix_spe_reader) {
+  g_ok.store(read_and_check());
+  return 0;
+}
+
+int matrix_rank_reader(int /*arg*/, void* /*ptr*/) {
+  g_ok.store(read_and_check());
+  return 0;
+}
+
+int matrix_rank_parent(int /*arg*/, void* /*ptr*/) {
+  PI_RunSPE(g_spe_r, 0, nullptr);
+  return 0;
+}
+
+int matrix_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  switch (g_type) {
+    case 1: {  // PPE <-> remote PPE
+      PI_PROCESS* reader = PI_CreateProcess(matrix_rank_reader, 0, nullptr);
+      g_data = PI_CreateChannel(PI_MAIN, reader);
+      PI_StartAll();
+      write_payload();
+      break;
+    }
+    case 2: {  // PPE <-> local SPE
+      PI_PROCESS* reader = PI_CreateSPE(matrix_spe_reader, PI_MAIN, 0);
+      g_data = PI_CreateChannel(PI_MAIN, reader);
+      PI_StartAll();
+      PI_RunSPE(reader, 0, nullptr);
+      write_payload();
+      break;
+    }
+    case 3: {  // PPE <-> remote SPE
+      PI_PROCESS* parent = PI_CreateProcess(matrix_rank_parent, 0, nullptr);
+      g_spe_r = PI_CreateSPE(matrix_spe_reader, parent, 0);
+      g_data = PI_CreateChannel(PI_MAIN, g_spe_r);
+      PI_StartAll();
+      write_payload();
+      break;
+    }
+    case 4: {  // SPE <-> local SPE
+      PI_PROCESS* writer = PI_CreateSPE(matrix_spe_writer, PI_MAIN, 0);
+      PI_PROCESS* reader = PI_CreateSPE(matrix_spe_reader, PI_MAIN, 1);
+      g_data = PI_CreateChannel(writer, reader);
+      PI_StartAll();
+      PI_RunSPE(writer, 0, nullptr);
+      PI_RunSPE(reader, 0, nullptr);
+      break;
+    }
+    case 5: {  // SPE <-> remote SPE
+      PI_PROCESS* parent = PI_CreateProcess(matrix_rank_parent, 0, nullptr);
+      PI_PROCESS* writer = PI_CreateSPE(matrix_spe_writer, PI_MAIN, 0);
+      g_spe_r = PI_CreateSPE(matrix_spe_reader, parent, 0);
+      g_data = PI_CreateChannel(writer, g_spe_r);
+      PI_StartAll();
+      PI_RunSPE(writer, 0, nullptr);
+      break;
+    }
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+// --- leg accounting ------------------------------------------------------
+
+struct LegCounts {
+  int pilot_write = 0;
+  int pilot_read = 0;
+  int spe_write = 0;
+  int spe_read = 0;
+  int pair = 0;
+  int relay = 0;
+  int deliver = 0;
+  int mpi_send = 0;
+};
+
+LegCounts count_legs(const std::vector<tb::Event>& events, int channel) {
+  LegCounts n;
+  for (const auto& e : events) {
+    if (e.channel != channel) continue;
+    switch (e.kind) {
+      case tb::Kind::kPilotWrite: ++n.pilot_write; break;
+      case tb::Kind::kPilotRead: ++n.pilot_read; break;
+      case tb::Kind::kSpeWrite: ++n.spe_write; break;
+      case tb::Kind::kSpeRead: ++n.spe_read; break;
+      case tb::Kind::kCopilotPair: ++n.pair; break;
+      case tb::Kind::kCopilotRelay: ++n.relay; break;
+      case tb::Kind::kCopilotDeliver: ++n.deliver; break;
+      case tb::Kind::kMpiSend: ++n.mpi_send; break;
+      default: break;
+    }
+  }
+  return n;
+}
+
+bool any_event(const std::vector<tb::Event>& events, tb::Kind kind,
+               const std::string& entity) {
+  for (const auto& e : events) {
+    if (e.kind == kind && entity == e.entity) return true;
+  }
+  return false;
+}
+
+// --- the matrix ----------------------------------------------------------
+
+class ChannelMatrix
+    : public ::testing::TestWithParam<std::tuple<int, Payload>> {};
+
+TEST_P(ChannelMatrix, PayloadArrivesIntactViaExactlyTheTableILegs) {
+  g_type = std::get<0>(GetParam());
+  g_payload = std::get<1>(GetParam());
+  g_data = nullptr;
+  g_spe_r = nullptr;
+  g_ok.store(false);
+
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  const bool remote = g_type == 1 || g_type == 3 || g_type == 5;
+  if (remote) config.nodes.push_back(cluster::NodeSpec::cell(1));
+  cluster::Cluster machine{std::move(config)};
+
+  ScopedTraceCapture capture;
+  const auto r = cellpilot::run(machine, matrix_main);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  ASSERT_TRUE(r.errors.empty()) << r.errors.front();
+  EXPECT_TRUE(g_ok.load()) << "payload did not arrive intact";
+
+  const auto events = capture.drain();
+  const LegCounts legs = count_legs(events, 0);
+
+  // Writer-side accounting is identical across the matrix.
+  const auto stats = ChannelCounters::global().snapshot(0);
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.payload_bytes, payload_bytes(g_payload));
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.faults, 0u);
+
+  // The writer leg must be stamped with the channel's Table I type.
+  const tb::Kind writer_kind =
+      g_type >= 4 ? tb::Kind::kSpeWrite : tb::Kind::kPilotWrite;
+  bool saw_writer_leg = false;
+  for (const auto& e : events) {
+    if (e.kind == writer_kind && e.channel == 0) {
+      saw_writer_leg = true;
+      EXPECT_EQ(static_cast<int>(e.route_type), g_type);
+    }
+  }
+  EXPECT_TRUE(saw_writer_leg);
+
+  switch (g_type) {
+    case 1:  // pure MPI: no Co-Pilot leg may touch the message
+      EXPECT_EQ(legs.pilot_write, 1);
+      EXPECT_EQ(legs.pilot_read, 1);
+      EXPECT_EQ(legs.spe_write, 0);
+      EXPECT_EQ(legs.spe_read, 0);
+      EXPECT_GE(legs.mpi_send, 1);
+      EXPECT_EQ(legs.pair + legs.relay + legs.deliver, 0);
+      EXPECT_EQ(stats.copilot_hops, 0u);
+      break;
+    case 2:  // PPE -> local Co-Pilot -> parked SPE read
+    case 3:  // same legs; the Co-Pilot is on the *SPE's* node
+      EXPECT_EQ(legs.pilot_write, 1);
+      EXPECT_EQ(legs.spe_read, 1);
+      EXPECT_EQ(legs.deliver, 1);
+      EXPECT_EQ(legs.pair, 0);
+      EXPECT_EQ(legs.relay, 0);
+      EXPECT_GE(legs.mpi_send, 1);
+      EXPECT_EQ(stats.copilot_hops, 1u);
+      EXPECT_TRUE(any_event(events, tb::Kind::kCopilotDeliver,
+                            g_type == 2 ? "node0.copilot" : "node1.copilot"))
+          << "the delivering Co-Pilot must be the reader SPE's own";
+      break;
+    case 4:  // one memcpy pairing, never the network
+      EXPECT_EQ(legs.spe_write, 1);
+      EXPECT_EQ(legs.spe_read, 1);
+      EXPECT_EQ(legs.pair, 1);
+      EXPECT_EQ(legs.relay, 0);
+      EXPECT_EQ(legs.deliver, 0);
+      EXPECT_EQ(legs.mpi_send, 0)
+          << "a local SPE pair must not cross MiniMPI";
+      EXPECT_EQ(stats.copilot_hops, 1u);
+      break;
+    case 5:  // relay out of the writer's node, deliver into the reader's
+      EXPECT_EQ(legs.spe_write, 1);
+      EXPECT_EQ(legs.spe_read, 1);
+      EXPECT_EQ(legs.relay, 1);
+      EXPECT_EQ(legs.deliver, 1);
+      EXPECT_EQ(legs.pair, 0);
+      EXPECT_GE(legs.mpi_send, 1);
+      EXPECT_EQ(stats.copilot_hops, 2u);
+      EXPECT_TRUE(any_event(events, tb::Kind::kCopilotRelay, "node0.copilot"));
+      EXPECT_TRUE(
+          any_event(events, tb::Kind::kCopilotDeliver, "node1.copilot"));
+      break;
+    default:
+      FAIL() << "bad route type " << g_type;
+  }
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<int, Payload>>& info) {
+  static const char* payload_names[] = {"Zero", "Scalar", "Array"};
+  return "Type" + std::to_string(std::get<0>(info.param)) +
+         payload_names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, ChannelMatrix,
+    ::testing::Combine(::testing::Range(1, 6),
+                       ::testing::Values(kZero, kScalar, kArray)),
+    case_name);
+
+}  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <string>
 
 #include "core/cellpilot.hpp"
 #include "core/copilot.hpp"
@@ -217,6 +219,73 @@ TEST_F(FaultRecoveryTest, ExhaustedRetriesBecomeSpeTimeoutAtEveryPeer) {
   EXPECT_EQ(main_code, static_cast<int>(PI_SPE_TIMEOUT));
   EXPECT_EQ(g_writer_code.load(), static_cast<int>(PI_SPE_TIMEOUT));
   EXPECT_GE(timeout_count(), 1u);
+}
+
+// --- seed sweep: recovery must hold under many fault plans ---------------
+//
+// The driver (tests/CMakeLists.txt) registers this suite eight times, once
+// per CELLPILOT_FAULT_SEED=1..8.  The spec below omits `op=`, so the plan
+// derives the kill ordinal from the seed (range [1, 16]) — every seed kills
+// the SPE at a *different* operation, and the recovery contract (fault
+// surfaced to the peer, no abort, counters advanced) must hold for all of
+// them, not one lucky default.
+
+class SeedSweepTest : public FaultRecoveryTest {};
+
+PI_SPE_PROGRAM(seeded_doomed_writer) {
+  // Twenty writes generate comfortably more than 16 operations at the
+  // site, so the seed-derived ordinal always lands before the program
+  // would finish on its own.
+  try {
+    for (int i = 0; i < 20; ++i) PI_Write(g_ch_main, "%d", i);
+  } catch (const pilot::PilotError&) {
+    // Some seeds kill mid-handshake: the write that was in flight then
+    // completes with an error on the already-dead SPE's thread.
+  }
+  return 0;
+}
+
+TEST_F(SeedSweepTest, SpeCrashSurfacesAsFaultUnderThisSeed) {
+  const char* env = std::getenv("CELLPILOT_FAULT_SEED");
+  const std::string seed = (env != nullptr && env[0] != '\0') ? env : "1";
+
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  opts.args = {"-pifault=seed=" + seed + ";spe_crash@node0.cell0.spe0"};
+  int clean_reads = 0;
+  int faulted_reads = 0;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* doomed = PI_CreateSPE(seeded_doomed_writer, PI_MAIN, 0);
+        g_ch_main = PI_CreateChannel(doomed, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(doomed, 0, nullptr);
+        for (int i = 0; i < 20; ++i) {
+          int v = -1;
+          try {
+            PI_Read(g_ch_main, "%d", &v);
+            EXPECT_EQ(v, i) << "seed " << seed;
+            ++clean_reads;
+          } catch (const pilot::PilotError& e) {
+            EXPECT_EQ(static_cast<int>(e.code()),
+                      static_cast<int>(PI_SPE_FAULT))
+                << "seed " << seed;
+            ++faulted_reads;
+            break;  // the channel is poisoned for good
+          }
+        }
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << "seed " << seed
+                          << " aborted the job: " << r.abort_reason;
+  EXPECT_EQ(faulted_reads, 1) << "seed " << seed
+                              << " never surfaced the crash";
+  EXPECT_LT(clean_reads, 20) << "seed " << seed << " never killed the SPE";
+  EXPECT_GE(fault_count(), 1u) << "seed " << seed;
 }
 
 }  // namespace

@@ -35,6 +35,14 @@ TEST(Format, WhitespaceBetweenItemsIgnored) {
   EXPECT_EQ(parse_format("  %d   %f ").items.size(), 2u);
 }
 
+TEST(Format, EmptyFormatIsAZeroLengthMessage) {
+  // item* admits zero items: a synchronization token with no payload.
+  const auto f = parse_format("");
+  EXPECT_TRUE(f.items.empty());
+  EXPECT_EQ(f.payload_bytes(), 0u);
+  EXPECT_TRUE(parse_format("   ").items.empty());
+}
+
 TEST(Format, ElementSizesMatchWireLayout) {
   EXPECT_EQ(element_size(TypeCode::kByte), 1u);
   EXPECT_EQ(element_size(TypeCode::kChar), 1u);
@@ -68,8 +76,10 @@ TEST_P(BadFormat, IsRejectedWithFormatError) {
   }
 }
 
+// Note: "" and "   " are *not* here — zero items is legal (a zero-length
+// message; see EmptyFormatIsAZeroLengthMessage).
 INSTANTIATE_TEST_SUITE_P(Cases, BadFormat,
-                         ::testing::Values("", "   ", "%", "%0d", "%z",
+                         ::testing::Values("%", "%0d", "%z",
                                            "d", "%10", "%l", "%lx", "%h",
                                            "%hq", "%L", "%Ld", "%-5d",
                                            "100d", "%d,%d"));

@@ -1,0 +1,136 @@
+// wire_golden_test.cpp — golden bytes for the channel wire format.
+//
+// The other wire tests prove round-trips; these pin the *encoding itself*.
+// A refactor that changes any byte a peer would see — header layout, magic
+// spelling, completion-code numbering, fault-frame payload layout — must
+// consciously update these arrays, because it breaks every deployed peer.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "pilot/format.hpp"
+#include "pilot/wire.hpp"
+
+namespace {
+
+using cellpilot::CompletionStatus;
+using pilot::FaultFrame;
+using pilot::Format;
+using pilot::frame_fault;
+using pilot::frame_message;
+using pilot::is_fault_frame;
+using pilot::parse_fault_frame;
+using pilot::parse_format;
+using pilot::signature;
+
+/// The wire format is "native layout, little-endian hosts" by design (the
+/// byteorder tests cover the contract); golden bytes are spelled for the
+/// little-endian layout every supported target uses.
+bool little_endian() { return std::endian::native == std::endian::little; }
+
+std::vector<std::byte> bytes(std::initializer_list<unsigned> raw) {
+  std::vector<std::byte> out;
+  out.reserve(raw.size());
+  for (unsigned v : raw) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(WireGolden, MagicsSpellPiltAndPilf) {
+  EXPECT_EQ(pilot::kWireMagic, 0x50494C54u);       // "PILT" big-endian read
+  EXPECT_EQ(pilot::kWireFaultMagic, 0x50494C46u);  // "PILF"
+}
+
+TEST(WireGolden, CompletionCodesMatchTableNumbering) {
+  // These two cross the wire inside fault frames; renumbering them strands
+  // peers mid-conversation.
+  EXPECT_EQ(static_cast<std::uint32_t>(CompletionStatus::kSpeFault), 4u);
+  EXPECT_EQ(static_cast<std::uint32_t>(CompletionStatus::kSpeTimeout), 5u);
+  EXPECT_EQ(static_cast<std::uint32_t>(CompletionStatus::kOk), 0u);
+}
+
+TEST(WireGolden, FormatSignaturesAreStable) {
+  // FNV-1a over (type, count) pairs; the signature rides in every MPI-leg
+  // header and in the SPE mailbox request words.
+  EXPECT_EQ(signature(parse_format("%d")), 0x496F0F97u);
+  EXPECT_EQ(signature(parse_format("%3d")), 0xA9169175u);
+  EXPECT_EQ(signature(parse_format("%200lf")), 0xFA7AADA5u);
+}
+
+TEST(WireGolden, DataFrameBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  const Format fmt = parse_format("%d");
+  const std::uint32_t sig = signature(fmt);
+  const std::int32_t value = 0x11223344;
+  std::vector<std::byte> payload(sizeof value);
+  std::memcpy(payload.data(), &value, sizeof value);
+
+  const std::vector<std::byte> golden = bytes({
+      0x54, 0x4C, 0x49, 0x50,                          // magic "PILT"
+      0x97, 0x0F, 0x6F, 0x49,                          // signature("%d")
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 4
+      0x44, 0x33, 0x22, 0x11,                          // the int
+  });
+  EXPECT_EQ(frame_message(sig, payload), golden);
+}
+
+TEST(WireGolden, SpeFaultFrameBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  FaultFrame fault;
+  fault.status = static_cast<std::uint32_t>(CompletionStatus::kSpeFault);
+  fault.fault_code = 2;
+  fault.detail = "spe died";
+
+  const std::vector<std::byte> golden = bytes({
+      0x46, 0x4C, 0x49, 0x50,                          // magic "PILF"
+      0x04, 0x00, 0x00, 0x00,                          // status = kSpeFault
+      0x0C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 8
+      0x02, 0x00, 0x00, 0x00,                          // fault_code
+      's', 'p', 'e', ' ', 'd', 'i', 'e', 'd',          // detail
+  });
+  const auto framed = frame_fault(fault);
+  EXPECT_EQ(framed, golden);
+  ASSERT_TRUE(is_fault_frame(framed));
+
+  const FaultFrame back = parse_fault_frame(golden);
+  EXPECT_EQ(back.status, 4u);
+  EXPECT_EQ(back.fault_code, 2u);
+  EXPECT_EQ(back.detail, "spe died");
+}
+
+TEST(WireGolden, SpeTimeoutFrameBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  FaultFrame fault;
+  fault.status = static_cast<std::uint32_t>(CompletionStatus::kSpeTimeout);
+  fault.fault_code = 0;
+
+  const std::vector<std::byte> golden = bytes({
+      0x46, 0x4C, 0x49, 0x50,                          // magic "PILF"
+      0x05, 0x00, 0x00, 0x00,                          // status = kSpeTimeout
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 0
+      0x00, 0x00, 0x00, 0x00,                          // fault_code
+  });
+  const auto framed = frame_fault(fault);
+  EXPECT_EQ(framed, golden);
+
+  const FaultFrame back = parse_fault_frame(golden);
+  EXPECT_EQ(back.status, 5u);
+  EXPECT_TRUE(back.detail.empty());
+}
+
+TEST(WireGolden, FaultFramesAreDistinguishableFromDataFrames) {
+  const auto data = frame_message(7, {});
+  EXPECT_FALSE(is_fault_frame(data));
+  FaultFrame fault;
+  fault.status = static_cast<std::uint32_t>(CompletionStatus::kSpeFault);
+  EXPECT_TRUE(is_fault_frame(frame_fault(fault)));
+}
+
+}  // namespace

@@ -142,8 +142,8 @@ TEST(Frame, CorruptFramesAreInternalErrors) {
 }
 
 TEST(Frame, EmptyPayloadIsLegal) {
-  // A zero-byte message can't be expressed in the format language (counts
-  // are positive), but the frame layer supports it for internal use.
+  // A zero-byte message is what an empty format ("") marshals to — a pure
+  // synchronization token; the frame layer carries it as a bare header.
   const auto framed = frame_message(7, {});
   EXPECT_EQ(check_frame(framed, 7, 0, "x").size(), 0u);
 }

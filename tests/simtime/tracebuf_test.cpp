@@ -1,0 +1,152 @@
+// tracebuf_test.cpp — the ring-buffered trace engine in isolation.
+//
+// The engine's contract is what makes the whole trace layer trustworthy:
+// zero-cost when disarmed, refcounted arming, inline entity copies, and a
+// drain order that depends only on recorded fields (never host scheduling).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+#include "simtime/tracebuf.hpp"
+
+namespace {
+
+namespace tb = simtime::tracebuf;
+using simtime::us;
+
+/// Balanced arm/disarm for a test scope; drains leftovers on exit so one
+/// test's events never leak into the next.
+struct ScopedArm {
+  ScopedArm() {
+    tb::clear();
+    tb::arm();
+  }
+  ~ScopedArm() {
+    tb::disarm();
+    tb::clear();
+  }
+};
+
+TEST(TraceBuf, DisarmedRecordIsDropped) {
+  tb::clear();
+  ASSERT_FALSE(tb::armed());
+  tb::record(tb::Kind::kUser, "nobody", us(1), us(2));
+  {
+    ScopedArm armed;
+    EXPECT_TRUE(tb::drain().empty());
+  }
+}
+
+TEST(TraceBuf, ArmIsReferenceCounted) {
+  tb::clear();
+  tb::arm();
+  tb::arm();
+  tb::disarm();
+  EXPECT_TRUE(tb::armed()) << "one consumer still wants events";
+  tb::disarm();
+  EXPECT_FALSE(tb::armed());
+  tb::clear();
+}
+
+TEST(TraceBuf, RecordedFieldsRoundTrip) {
+  ScopedArm armed;
+  tb::record(tb::Kind::kMpiSend, "node0.rank0", us(10), us(12), 64, 3, 1, 259);
+  const auto events = tb::drain();
+  ASSERT_EQ(events.size(), 1u);
+  const tb::Event& e = events.front();
+  EXPECT_EQ(e.kind, tb::Kind::kMpiSend);
+  EXPECT_STREQ(e.entity, "node0.rank0");
+  EXPECT_EQ(e.begin, us(10));
+  EXPECT_EQ(e.end, us(12));
+  EXPECT_EQ(e.bytes, 64u);
+  EXPECT_EQ(e.channel, 3);
+  EXPECT_EQ(e.route_type, 1);
+  EXPECT_EQ(e.aux, 259);
+}
+
+TEST(TraceBuf, DrainClearsTheRings) {
+  ScopedArm armed;
+  tb::record(tb::Kind::kUser, "a", us(1), us(1));
+  EXPECT_EQ(tb::drain().size(), 1u);
+  EXPECT_TRUE(tb::drain().empty());
+}
+
+TEST(TraceBuf, OverlongEntityNamesAreTruncatedNotOverrun) {
+  ScopedArm armed;
+  const std::string longname(100, 'x');
+  tb::record(tb::Kind::kUser, longname, us(1), us(1));
+  const auto events = tb::drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events.front().entity), tb::kEntityBytes - 1);
+  EXPECT_EQ(std::string(events.front().entity),
+            std::string(tb::kEntityBytes - 1, 'x'));
+}
+
+TEST(TraceBuf, DrainOrderIsCanonicalNotInsertionOrder) {
+  // Record in deliberately shuffled order; drain must sort by
+  // (begin, end, entity, kind, channel, aux, bytes).
+  ScopedArm armed;
+  tb::record(tb::Kind::kUser, "b", us(5), us(6));
+  tb::record(tb::Kind::kUser, "a", us(5), us(6));
+  tb::record(tb::Kind::kUser, "a", us(1), us(9));
+  tb::record(tb::Kind::kMboxPush, "a", us(5), us(6));
+  const auto events = tb::drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].begin, us(1));
+  EXPECT_EQ(events[1].kind, tb::Kind::kMboxPush) << "kMboxPush sorts first";
+  EXPECT_STREQ(events[2].entity, "a");
+  EXPECT_STREQ(events[3].entity, "b");
+}
+
+TEST(TraceBuf, EventsFromManyThreadsLandInOneCanonicalDrain) {
+  // Each thread records into its own ring; at quiescence the drain merges
+  // all rings into the same canonical order regardless of which thread ran
+  // first or which ring it happened to lease.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  auto run_once = [&] {
+    ScopedArm armed;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          tb::record(tb::Kind::kUser, "worker" + std::to_string(t),
+                     us(i), us(i + 1), static_cast<std::uint64_t>(t));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    return tb::drain();
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].begin, second[i].begin) << "index " << i;
+    EXPECT_EQ(first[i].bytes, second[i].bytes) << "index " << i;
+    EXPECT_STREQ(first[i].entity, second[i].entity) << "index " << i;
+  }
+}
+
+TEST(TraceBuf, KindNamesAreStableLowercaseTokens) {
+  for (int k = 0; k < tb::kKindCount; ++k) {
+    const char* name = tb::kind_name(static_cast<tb::Kind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+    for (const char* p = name; *p != '\0'; ++p) {
+      EXPECT_TRUE((*p >= 'a' && *p <= 'z') || *p == '_')
+          << "kind " << k << " name '" << name << "'";
+    }
+  }
+  EXPECT_STREQ(tb::kind_name(tb::Kind::kMpiSend), "mpi_send");
+  EXPECT_STREQ(tb::kind_name(tb::Kind::kCopilotPair), "copilot_pair");
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// tracecheck — determinism oracle for CellPilot trace files.
+//
+//   tracecheck A.json B.json     compare two traces canonically; exit 0 iff
+//                                they describe the same events
+//   tracecheck --canon A.json    print the canonical event list to stdout
+//
+// A CellPilot trace is Chrome trace JSON written one event per line (see
+// docs/OBSERVABILITY.md).  Canonicalization extracts the event lines and
+// sorts them, so the comparison is insensitive to the order in which events
+// were serialized — what remains is exactly the virtual-time behaviour of
+// the program.  Because the simulation clock is virtual and every scheduler
+// decision is deterministic, two runs of the same seeded program must
+// canonicalize identically; any diff is a real nondeterminism bug.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// True for lines that carry one trace event (complete events and the
+/// thread-name metadata) as written by core/trace's serializer.
+bool is_event_line(const std::string& line) {
+  return line.rfind("{\"ph\":", 0) == 0;
+}
+
+/// Strips the trailing JSON list comma, if any, so position in the array
+/// does not affect comparison.
+std::string strip_comma(std::string line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ',')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+std::vector<std::string> canonical_events(const std::string& path,
+                                          bool* ok) {
+  std::vector<std::string> events;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "tracecheck: cannot open " << path << "\n";
+    *ok = false;
+    return events;
+  }
+  std::string line;
+  while (std::getline(f, line)) {
+    if (is_event_line(line)) events.push_back(strip_comma(std::move(line)));
+  }
+  std::sort(events.begin(), events.end());
+  *ok = true;
+  return events;
+}
+
+int usage() {
+  std::cerr << "usage: tracecheck A.json B.json\n"
+               "       tracecheck --canon A.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--canon") {
+    bool ok = false;
+    const auto events = canonical_events(argv[2], &ok);
+    if (!ok) return 2;
+    for (const auto& e : events) std::cout << e << "\n";
+    return 0;
+  }
+  if (argc != 3) return usage();
+
+  bool ok_a = false;
+  bool ok_b = false;
+  const auto a = canonical_events(argv[1], &ok_a);
+  const auto b = canonical_events(argv[2], &ok_b);
+  if (!ok_a || !ok_b) return 2;
+
+  if (a == b) {
+    std::cout << "tracecheck: identical (" << a.size() << " events)\n";
+    return 0;
+  }
+
+  std::cout << "tracecheck: DIFFER (" << a.size() << " vs " << b.size()
+            << " events)\n";
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < n && shown < 10; ++i) {
+    if (a[i] != b[i]) {
+      std::cout << "  [" << i << "] < " << a[i] << "\n"
+                << "  [" << i << "] > " << b[i] << "\n";
+      ++shown;
+    }
+  }
+  for (std::size_t i = n; i < a.size() && shown < 10; ++i, ++shown) {
+    std::cout << "  [" << i << "] < " << a[i] << "\n";
+  }
+  for (std::size_t i = n; i < b.size() && shown < 10; ++i, ++shown) {
+    std::cout << "  [" << i << "] > " << b[i] << "\n";
+  }
+  return 1;
+}
