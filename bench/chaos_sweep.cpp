@@ -1,0 +1,330 @@
+// chaos_sweep.cpp — seeded randomized fault cocktails over the Table I
+// matrix, asserting the liveness contract of the robustness substrate:
+// every run COMPLETES, and it completes either with full payload parity
+// (the reliable sublayer absorbed every message fault) or with a clean
+// fault code (PI_SPE_FAULT / PI_SPE_TIMEOUT / PI_COPILOT_FAULT) observed at
+// the affected peers — never a hang, never an abort.  A host-time watchdog
+// turns a hang into a loud exit(1) instead of a stuck CI job.
+//
+// Usage: chaos_sweep [seed]   (or CELLPILOT_CHAOS_SEED; default 1)
+//
+// Results go to stdout and BENCH_chaos_sweep.json.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchkit/benchjson.hpp"
+#include "core/cellpilot.hpp"
+#include "core/copilot.hpp"
+#include "core/faultplan.hpp"
+#include "mpisim/reliable.hpp"
+#include "pilot/errors.hpp"
+
+namespace {
+
+// --- deterministic cocktail generator ------------------------------------
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Builds one randomized -pifault= spec: a subset of the message-level
+/// kinds with random ordinals/counts, plus an occasional Co-Pilot crash.
+std::string make_cocktail(std::uint64_t& rng, std::uint64_t seed) {
+  static const char* kMsgKinds[] = {"msg_drop", "msg_corrupt", "msg_dup",
+                                    "msg_reorder"};
+  std::string spec = "seed=" + std::to_string(seed);
+  int rules = 0;
+  for (const char* kind : kMsgKinds) {
+    if (splitmix64(rng) % 100 < 60) {  // each kind joins with p=0.6
+      spec += ";" + std::string(kind) + "@*:op=" +
+              std::to_string(1 + splitmix64(rng) % 8) +
+              ",count=" + std::to_string(1 + splitmix64(rng) % 4);
+      ++rules;
+    }
+  }
+  if (splitmix64(rng) % 100 < 35) {  // crash the Co-Pilot in ~1/3 of runs
+    spec += ";copilot_crash@*:op=" + std::to_string(1 + splitmix64(rng) % 4);
+    ++rules;
+  }
+  if (rules == 0) {  // never run an empty cocktail: always at least a drop
+    spec += ";msg_drop@*:op=" + std::to_string(1 + splitmix64(rng) % 8);
+  }
+  return spec;
+}
+
+// --- the job (one Table I channel type per run) ---------------------------
+
+constexpr int kScalarValue = 424242;
+
+int g_type = 0;
+PI_CHANNEL* g_data = nullptr;
+PI_PROCESS* g_spe_r = nullptr;
+std::atomic<bool> g_parity{false};
+std::atomic<int> g_reader_code{0};
+std::atomic<int> g_writer_code{0};
+std::atomic<int> g_main_code{0};
+
+bool is_clean_fault(int code) {
+  return code == static_cast<int>(PI_SPE_FAULT) ||
+         code == static_cast<int>(PI_SPE_TIMEOUT) ||
+         code == static_cast<int>(PI_COPILOT_FAULT);
+}
+
+void write_payload_or_record() {
+  try {
+    PI_Write(g_data, "%d", kScalarValue);
+  } catch (const pilot::PilotError& e) {
+    g_writer_code.store(static_cast<int>(e.code()));
+  }
+}
+
+void read_payload_or_record() {
+  try {
+    int v = 0;
+    PI_Read(g_data, "%d", &v);
+    g_parity.store(v == kScalarValue);
+  } catch (const pilot::PilotError& e) {
+    g_reader_code.store(static_cast<int>(e.code()));
+  }
+}
+
+PI_SPE_PROGRAM(chaos_spe_writer) {
+  write_payload_or_record();
+  return 0;
+}
+
+PI_SPE_PROGRAM(chaos_spe_reader) {
+  read_payload_or_record();
+  return 0;
+}
+
+int chaos_rank_reader(int, void*) {
+  read_payload_or_record();
+  return 0;
+}
+
+int chaos_rank_parent(int, void*) {
+  PI_RunSPE(g_spe_r, 0, nullptr);
+  return 0;
+}
+
+int chaos_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  switch (g_type) {
+    case 1: {  // PPE <-> remote PPE
+      PI_PROCESS* reader = PI_CreateProcess(chaos_rank_reader, 0, nullptr);
+      g_data = PI_CreateChannel(PI_MAIN, reader);
+      PI_StartAll();
+      try {
+        PI_Write(g_data, "%d", kScalarValue);
+      } catch (const pilot::PilotError& e) {
+        g_main_code.store(static_cast<int>(e.code()));
+      }
+      break;
+    }
+    case 2: {  // PPE <-> local SPE
+      PI_PROCESS* reader = PI_CreateSPE(chaos_spe_reader, PI_MAIN, 0);
+      g_data = PI_CreateChannel(PI_MAIN, reader);
+      PI_StartAll();
+      PI_RunSPE(reader, 0, nullptr);
+      try {
+        PI_Write(g_data, "%d", kScalarValue);
+      } catch (const pilot::PilotError& e) {
+        g_main_code.store(static_cast<int>(e.code()));
+      }
+      break;
+    }
+    case 3: {  // PPE <-> remote SPE
+      PI_PROCESS* parent = PI_CreateProcess(chaos_rank_parent, 0, nullptr);
+      g_spe_r = PI_CreateSPE(chaos_spe_reader, parent, 0);
+      g_data = PI_CreateChannel(PI_MAIN, g_spe_r);
+      PI_StartAll();
+      try {
+        PI_Write(g_data, "%d", kScalarValue);
+      } catch (const pilot::PilotError& e) {
+        g_main_code.store(static_cast<int>(e.code()));
+      }
+      break;
+    }
+    case 4: {  // SPE <-> local SPE
+      PI_PROCESS* writer = PI_CreateSPE(chaos_spe_writer, PI_MAIN, 0);
+      PI_PROCESS* reader = PI_CreateSPE(chaos_spe_reader, PI_MAIN, 1);
+      g_data = PI_CreateChannel(writer, reader);
+      PI_StartAll();
+      PI_RunSPE(writer, 0, nullptr);
+      PI_RunSPE(reader, 0, nullptr);
+      break;
+    }
+    case 5: {  // SPE <-> remote SPE
+      PI_PROCESS* parent = PI_CreateProcess(chaos_rank_parent, 0, nullptr);
+      PI_PROCESS* writer = PI_CreateSPE(chaos_spe_writer, PI_MAIN, 0);
+      g_spe_r = PI_CreateSPE(chaos_spe_reader, parent, 0);
+      g_data = PI_CreateChannel(writer, g_spe_r);
+      PI_StartAll();
+      PI_RunSPE(writer, 0, nullptr);
+      break;
+    }
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+// --- host-time watchdog ---------------------------------------------------
+
+std::mutex g_watchdog_mu;
+std::condition_variable g_watchdog_cv;
+bool g_sweep_done = false;
+
+void watchdog(int budget_seconds) {
+  std::unique_lock<std::mutex> lock(g_watchdog_mu);
+  if (g_watchdog_cv.wait_for(lock, std::chrono::seconds(budget_seconds),
+                             [] { return g_sweep_done; })) {
+    return;
+  }
+  std::fprintf(stderr,
+               "CHAOS SWEEP HANG: liveness violated (no progress within "
+               "%d s of host time)\n",
+               budget_seconds);
+  std::fflush(stderr);
+  std::_Exit(1);  // a hung run must fail loudly, not stall CI
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* env = std::getenv("CELLPILOT_CHAOS_SEED");
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+               : (env != nullptr && env[0] != '\0'
+                      ? std::strtoull(env, nullptr, 10)
+                      : 1ull);
+  constexpr int kCocktailsPerType = 4;
+  constexpr int kWatchdogSeconds = 120;
+
+  std::thread guard(watchdog, kWatchdogSeconds);
+
+  benchkit::BenchJson json("chaos_sweep");
+  json.meta("seed", static_cast<std::int64_t>(seed));
+  json.meta("cocktails_per_type", static_cast<std::int64_t>(kCocktailsPerType));
+
+  std::printf("Chaos sweep: seed %llu, %d cocktails x Table I types 1..5\n",
+              static_cast<unsigned long long>(seed), kCocktailsPerType);
+  std::printf("%-4s %-5s %-60s %s\n", "run", "type", "cocktail", "outcome");
+
+  // Hash the seed into the generator state (rather than using it directly)
+  // so neighbouring seeds produce unrelated cocktail streams, not shifted
+  // copies of one another.
+  std::uint64_t seed_state = seed;
+  std::uint64_t rng = splitmix64(seed_state);
+  int run_index = 0;
+  int parity_runs = 0;
+  int clean_fault_runs = 0;
+  bool violated = false;
+
+  for (int type = 1; type <= 5; ++type) {
+    for (int c = 0; c < kCocktailsPerType; ++c) {
+      const std::string cocktail = make_cocktail(rng, seed);
+      // The cocktail goes out *before* the run: if it hangs, the log names
+      // the exact plan that violated liveness.
+      std::printf("%-4d %-5d %-60s ", run_index, type, cocktail.c_str());
+      std::fflush(stdout);
+
+      g_type = type;
+      g_data = nullptr;
+      g_spe_r = nullptr;
+      g_parity.store(false);
+      g_reader_code.store(0);
+      g_writer_code.store(0);
+      g_main_code.store(0);
+      cellpilot::supervision::reset_counters();
+      mpisim::reliable::reset_totals();
+
+      cluster::ClusterConfig config;
+      config.nodes.push_back(cluster::NodeSpec::cell(1));
+      const bool remote = type == 1 || type == 3 || type == 5;
+      if (remote) config.nodes.push_back(cluster::NodeSpec::cell(1));
+      cluster::Cluster machine{std::move(config)};
+
+      cellpilot::RunOptions opts;
+      opts.args = {"-pifault=" + cocktail};
+      const auto r = cellpilot::run(machine, chaos_main, opts);
+      cellpilot::faults::FaultPlan::global().reset();
+
+      // The liveness invariant: parity, or a clean fault code at every
+      // peer that saw an error.  Anything else (abort, foreign error
+      // code, silent wrong payload) is a violation.
+      const int codes[] = {g_reader_code.load(), g_writer_code.load(),
+                           g_main_code.load()};
+      bool clean_fault = false;
+      bool foreign_code = false;
+      for (const int code : codes) {
+        if (code == 0) continue;
+        if (is_clean_fault(code)) {
+          clean_fault = true;
+        } else {
+          foreign_code = true;
+        }
+      }
+      const char* outcome = "VIOLATED";
+      if (!r.aborted && !foreign_code && g_parity.load()) {
+        outcome = "parity";
+        ++parity_runs;
+      } else if (!r.aborted && !foreign_code && clean_fault) {
+        outcome = "fault";
+        ++clean_fault_runs;
+      } else {
+        violated = true;
+      }
+
+      const auto wire = mpisim::reliable::totals();
+      std::printf("%s\n", outcome);
+      if (violated && r.aborted) {
+        std::printf("     abort: %s\n", r.abort_reason.c_str());
+      }
+      json.add_row()
+          .set("run", static_cast<std::int64_t>(run_index))
+          .set("type", static_cast<std::int64_t>(type))
+          .set("cocktail", cocktail)
+          .set("outcome", std::string(outcome))
+          .set("retransmits", static_cast<std::int64_t>(wire.retransmits))
+          .set("duplicates", static_cast<std::int64_t>(wire.duplicates))
+          .set("corrupt_detected",
+               static_cast<std::int64_t>(wire.corrupt_detected))
+          .set("reorders", static_cast<std::int64_t>(wire.reorders))
+          .set("failovers",
+               static_cast<std::int64_t>(
+                   cellpilot::supervision::failover_count()));
+      ++run_index;
+      if (violated) break;
+    }
+    if (violated) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(g_watchdog_mu);
+    g_sweep_done = true;
+  }
+  g_watchdog_cv.notify_one();
+  guard.join();
+
+  std::printf("\n%d runs: %d parity, %d clean-fault, %s\n", run_index,
+              parity_runs, clean_fault_runs,
+              violated ? "LIVENESS VIOLATED" : "0 violations");
+  json.meta("parity_runs", static_cast<std::int64_t>(parity_runs));
+  json.meta("clean_fault_runs", static_cast<std::int64_t>(clean_fault_runs));
+  json.meta("violations", static_cast<std::int64_t>(violated ? 1 : 0));
+  json.write_file("BENCH_chaos_sweep.json");
+  return violated ? 1 : 0;
+}

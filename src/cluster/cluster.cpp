@@ -79,6 +79,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
     copilot_bounds_.push_back(std::make_unique<std::atomic<simtime::SimTime>>(
         std::numeric_limits<simtime::SimTime>::max()));
+    copilot_failovers_.push_back(std::make_unique<std::atomic<int>>(0));
     if (config_.nodes[i].kind != NodeKind::kCell) continue;
     mpisim::RankInfo info;
     info.core = simtime::CoreKind::kPpe;  // runs on the PPE's 2nd HW thread
@@ -168,6 +169,25 @@ std::atomic<simtime::SimTime>& Cluster::copilot_bound(int node_index) {
                                 " has no Co-Pilot (not a Cell node)");
   }
   return *copilot_bounds_[static_cast<std::size_t>(node_index)];
+}
+
+void Cluster::record_copilot_failover(int node_index) {
+  if (!is_cell_node(node_index)) {
+    throw std::invalid_argument("Cluster: node " +
+                                std::to_string(node_index) +
+                                " has no Co-Pilot (not a Cell node)");
+  }
+  copilot_failovers_[static_cast<std::size_t>(node_index)]->fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+int Cluster::copilot_failover_count(int node_index) const {
+  if (node_index < 0 ||
+      static_cast<std::size_t>(node_index) >= copilot_failovers_.size()) {
+    throw std::out_of_range("Cluster: node index out of range");
+  }
+  return copilot_failovers_[static_cast<std::size_t>(node_index)]->load(
+      std::memory_order_relaxed);
 }
 
 mpisim::Rank Cluster::first_rank_of_node(int node_index) const {

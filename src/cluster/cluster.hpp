@@ -134,6 +134,13 @@ class Cluster {
   /// a relay.  Throws for Xeon nodes.
   std::atomic<simtime::SimTime>& copilot_bound(int node_index);
 
+  /// Records that the node's Co-Pilot crashed and a standby took over
+  /// (fault-injection failover).  Throws for Xeon nodes.
+  void record_copilot_failover(int node_index);
+
+  /// Number of standby takeovers the node's Co-Pilot has seen this job.
+  int copilot_failover_count(int node_index) const;
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<cellsim::CellBlade>> blades_;  // null for Xeon
@@ -143,6 +150,8 @@ class Cluster {
   std::vector<mpisim::Rank> copilot_ranks_;  // per node; -1 for Xeon
   std::vector<std::unique_ptr<std::atomic<simtime::SimTime>>>
       copilot_bounds_;  // per node
+  std::vector<std::unique_ptr<std::atomic<int>>>
+      copilot_failovers_;  // per node
   int user_ranks_ = 0;
   std::optional<mpisim::Rank> service_rank_;
 };

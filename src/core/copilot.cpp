@@ -28,15 +28,18 @@ namespace {
 std::atomic<std::uint64_t> g_recovered{0};
 std::atomic<std::uint64_t> g_timeouts{0};
 std::atomic<std::uint64_t> g_faults{0};
+std::atomic<std::uint64_t> g_failovers{0};
 }  // namespace
 
 std::uint64_t recovered_count() { return g_recovered.load(); }
 std::uint64_t timeout_count() { return g_timeouts.load(); }
 std::uint64_t fault_count() { return g_faults.load(); }
+std::uint64_t failover_count() { return g_failovers.load(); }
 void reset_counters() {
   g_recovered.store(0);
   g_timeouts.store(0);
   g_faults.store(0);
+  g_failovers.store(0);
 }
 
 }  // namespace supervision
@@ -61,17 +64,67 @@ constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
 /// (their clocks have passed T, or they are parked/blocked/done).  This
 /// makes all timing results deterministic regardless of host scheduling.
 class CopilotService {
+ private:
+  struct Assembly {
+    std::uint32_t words[kRequestWords] = {};
+    int n = 0;
+    SimTime first_stamp = 0;  ///< stamp of the request's first mailbox word
+    SimTime last_stamp = 0;
+  };
+
+  struct ReadyRequest {
+    SpeRequest req;
+    unsigned spe = 0;
+    SimTime stamp = 0;        ///< stamp of the request's final mailbox word
+    SimTime first_stamp = 0;  ///< stamp of its first word (deadline base)
+  };
+
+  struct Pending {
+    SpeRequest req;
+    unsigned spe = 0;
+    /// MPI source the data will come from (kRank writer or remote
+    /// Co-Pilot); kAnySource for type-4 reads awaiting a local writer.
+    mpisim::Rank expected_source = mpisim::kAnySource;
+    /// The channel's data tag, copied from its compiled route.
+    int tag = 0;
+  };
+
  public:
-  CopilotService(mpisim::Mpi& mpi, PilotApp& app, int node)
+  /// The journal a crashing Co-Pilot throws (the copilot_crash fault
+  /// kind): the crash stamp, the request it died holding, and every piece
+  /// of dynamic service state a standby needs to resume.  The channel and
+  /// route tables are compiled state (app_) and need no replay.
+  struct Crash {
+    SimTime stamp = 0;
+    ReadyRequest inflight;
+    std::vector<ReadyRequest> ready;
+    std::vector<Assembly> assembly;
+    std::map<int, Pending> writes;
+    std::map<int, Pending> reads;
+    std::set<unsigned> dead_spes;
+    std::map<int, CompletionStatus> dead_channels;
+    std::map<int, CompletionStatus> failed;
+  };
+
+  /// `crash` non-null constructs a standby taking over from the journal.
+  CopilotService(mpisim::Mpi& mpi, PilotApp& app, int node,
+                 const Crash* crash = nullptr)
       : mpi_(mpi),
         app_(app),
         node_(node),
         blade_(app.cluster().blade(node)),
         cost_(app.cluster().cost()),
         assembly_(blade_.spe_count()),
-        published_bound_(app.cluster().copilot_bound(node)) {}
+        published_bound_(app.cluster().copilot_bound(node)) {
+    if (crash != nullptr) recover(*crash);
+  }
 
-  ~CopilotService() { published_bound_.store(kForever); }
+  /// A crashed Co-Pilot publishes its crash stamp, not "forever": peer
+  /// Co-Pilots must stay conservative until the standby takes over and
+  /// republishes a real bound.
+  ~CopilotService() {
+    published_bound_.store(crashed_ ? crash_stamp_ : kForever);
+  }
 
   int run() {
     for (;;) {
@@ -146,30 +199,6 @@ class CopilotService {
   }
 
  private:
-  struct Assembly {
-    std::uint32_t words[kRequestWords] = {};
-    int n = 0;
-    SimTime first_stamp = 0;  ///< stamp of the request's first mailbox word
-    SimTime last_stamp = 0;
-  };
-
-  struct ReadyRequest {
-    SpeRequest req;
-    unsigned spe = 0;
-    SimTime stamp = 0;        ///< stamp of the request's final mailbox word
-    SimTime first_stamp = 0;  ///< stamp of its first word (deadline base)
-  };
-
-  struct Pending {
-    SpeRequest req;
-    unsigned spe = 0;
-    /// MPI source the data will come from (kRank writer or remote
-    /// Co-Pilot); kAnySource for type-4 reads awaiting a local writer.
-    mpisim::Rank expected_source = mpisim::kAnySource;
-    /// The channel's data tag, copied from its compiled route.
-    int tag = 0;
-  };
-
   struct Candidate {
     enum Kind { kRequest, kMpiData, kShutdown, kSpeFault };
     SimTime stamp = 0;
@@ -444,6 +473,26 @@ class CopilotService {
     // The request's mailbox words are read (slow MMIO) and decoded now, in
     // stamp order.
     clock().join(ready.stamp);
+    if (faults::FaultPlan::global().armed() &&
+        faults::FaultPlan::global().should_crash_copilot(
+            copilot_name().c_str(), node_)) {
+      // The Co-Pilot process dies at a request boundary.  Throw the
+      // journal up to copilot_main's supervisor, which waits out the
+      // heartbeat lease and constructs a standby from it.
+      crashed_ = true;
+      crash_stamp_ = clock().now();
+      Crash c;
+      c.stamp = crash_stamp_;
+      c.inflight = ready;
+      c.ready = std::move(ready_requests_);
+      c.assembly = std::move(assembly_);
+      c.writes = std::move(pending_writes_);
+      c.reads = std::move(pending_reads_);
+      c.dead_spes = std::move(dead_spes_);
+      c.dead_channels = std::move(dead_channels_);
+      c.failed = std::move(failed_);
+      throw c;
+    }
     if (supervise_deadline(ready)) return;
     clock().advance(cost_.mbox_ppe_read *
                     static_cast<SimTime>(kRequestWords));
@@ -582,6 +631,69 @@ class CopilotService {
                                 /*route_type=*/0,
                                 static_cast<std::int64_t>(status));
     }
+  }
+
+  /// Standby takeover: replays the crashed Co-Pilot's journal.  Parked
+  /// requests re-park as they were (their block proxies were already
+  /// notified before the crash, so no re-notify); the one request the old
+  /// Co-Pilot died holding is not replayable (its local-store framing may
+  /// have been half done) and fails cleanly with kCopilotFault, poisoning
+  /// its channel so every peer observes the error instead of hanging.
+  void recover(const Crash& c) {
+    assembly_ = c.assembly;
+    ready_requests_ = c.ready;
+    pending_writes_ = c.writes;
+    pending_reads_ = c.reads;
+    dead_spes_ = c.dead_spes;
+    dead_channels_ = c.dead_channels;
+    failed_ = c.failed;
+
+    const ReadyRequest& in = c.inflight;
+    const SimTime begin = clock().now();
+    clock().advance(cost_.copilot_service);
+    complete(in.spe, CompletionStatus::kCopilotFault);
+    const int chid = in.req.channel;
+    if (chid >= 0 && chid < app_.channel_count()) {
+      dead_channels_[chid] = CompletionStatus::kCopilotFault;
+      trace::ChannelCounters::global().add_fault(chid);
+      // A peer parked on the poisoned channel can never be served; wake
+      // it with the error (and retract its deadlock block report) rather
+      // than leaving it to hang.
+      const auto sweep = [&](std::map<int, Pending>& parked) {
+        const auto it = parked.find(chid);
+        if (it == parked.end()) return;
+        const Pending p = it->second;
+        parked.erase(it);
+        complete(p.spe, CompletionStatus::kCopilotFault);
+        pilot::notify_unblock_proxy(mpi_, app_,
+                                    app_.spe_process(node_, p.spe));
+      };
+      sweep(pending_writes_);
+      sweep(pending_reads_);
+      // A write that would have relayed over MPI leaves a reader (rank or
+      // peer Co-Pilot) waiting for data that will never come: put the
+      // fault on the wire in the data's place.
+      const Route* rt = app_.channel(chid).route;
+      if (rt != nullptr && in.req.opcode == Opcode::kWrite &&
+          (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
+           rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
+        const std::vector<std::byte> frame = pilot::frame_fault(
+            {static_cast<std::uint32_t>(CompletionStatus::kCopilotFault),
+             static_cast<std::uint32_t>(cellsim::FaultCode::kInjected),
+             "Co-Pilot " + copilot_name() + " crashed serving " +
+                 channel_desc(chid)});
+        mpi_.send(frame.data(), frame.size(), rt->copilot_write_dest,
+                  rt->tag);
+      }
+    }
+    simtime::Trace::global().record(
+        copilot_name(), simtime::TraceKind::kCopilotService,
+        "standby takeover: replayed " +
+            std::to_string(ready_requests_.size()) + " ready, " +
+            std::to_string(pending_writes_.size() + pending_reads_.size()) +
+            " parked; inflight ch=" + std::to_string(chid) +
+            " failed with copilot-fault",
+        begin, clock().now());
   }
 
   void handle_request(unsigned spe, const SpeRequest& req) {
@@ -750,13 +862,43 @@ class CopilotService {
   /// receive.
   std::map<int, CompletionStatus> failed_;
   std::atomic<SimTime>& published_bound_;
+  /// Set when an injected crash is in flight: the destructor then
+  /// publishes the crash stamp instead of kForever.
+  bool crashed_ = false;
+  SimTime crash_stamp_ = 0;
 };
 
 }  // namespace
 
 int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node) {
-  CopilotService service(mpi, app, node);
-  return service.run();
+  // The cluster runner's supervisor: run the Co-Pilot; when an injected
+  // crash kills it, detect the death through the heartbeat lease (virtual
+  // time the standby must wait past the crash stamp for the missed
+  // heartbeat), then spawn a standby seeded from the crash journal.
+  std::optional<CopilotService::Crash> crash;
+  for (;;) {
+    try {
+      CopilotService service(mpi, app, node, crash ? &*crash : nullptr);
+      crash.reset();
+      return service.run();
+    } catch (CopilotService::Crash& c) {
+      mpi.clock().join(c.stamp + app.options().copilot_lease);
+      app.cluster().record_copilot_failover(node);
+      supervision::g_failovers.fetch_add(1);
+      const std::string name = app.cluster().world().info(mpi.rank()).name;
+      simtime::Trace::global().record(
+          name, simtime::TraceKind::kCopilotService,
+          "copilot crashed (injected); standby taking over after lease",
+          c.stamp, mpi.clock().now());
+      if (simtime::tracebuf::armed()) {
+        simtime::tracebuf::record(Kind::kCopilotFailover, name, c.stamp,
+                                  mpi.clock().now(), 0, /*channel=*/-1,
+                                  /*route_type=*/0,
+                                  static_cast<std::int64_t>(node));
+      }
+      crash = std::move(c);
+    }
+  }
 }
 
 }  // namespace cellpilot

@@ -45,7 +45,11 @@ std::uint64_t timeout_count();
 /// SPE deaths (hardware faults) converted into peer error completions.
 std::uint64_t fault_count();
 
-/// Zeroes all three counters (test isolation).
+/// Injected Co-Pilot crashes recovered by a standby takeover (the
+/// copilot_crash fault kind).
+std::uint64_t failover_count();
+
+/// Zeroes all counters (test isolation).
 void reset_counters();
 
 }  // namespace supervision

@@ -1,7 +1,10 @@
 #include "core/faultplan.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "mpisim/reliable.hpp"
 
 namespace cellpilot::faults {
 
@@ -76,14 +79,24 @@ simtime::SimTime parse_duration(std::string text) {
   }
 }
 
+constexpr Kind kAllKinds[] = {
+    Kind::kSpeCrash,   Kind::kMboxStall,  Kind::kDmaFault,
+    Kind::kCopilotDelay, Kind::kSendDelay, Kind::kSendDrop,
+    Kind::kMsgDrop,    Kind::kMsgCorrupt, Kind::kMsgDup,
+    Kind::kMsgReorder, Kind::kCopilotCrash,
+};
+
 Kind parse_kind(const std::string& word) {
-  if (word == "spe_crash") return Kind::kSpeCrash;
-  if (word == "mbox_stall") return Kind::kMboxStall;
-  if (word == "dma_fault") return Kind::kDmaFault;
-  if (word == "copilot_delay") return Kind::kCopilotDelay;
-  if (word == "send_delay") return Kind::kSendDelay;
-  if (word == "send_drop") return Kind::kSendDrop;
-  throw std::invalid_argument("fault plan: unknown kind '" + word + "'");
+  for (const Kind k : kAllKinds) {
+    if (word == to_string(k)) return k;
+  }
+  std::string valid;
+  for (const Kind k : kAllKinds) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(k);
+  }
+  throw std::invalid_argument("fault plan: unknown kind '" + word +
+                              "' (valid kinds: " + valid + ")");
 }
 
 // Splits "kind@site:op=N,count=C,delay=D" into a Rule.
@@ -151,6 +164,16 @@ const char* to_string(Kind k) {
       return "send_delay";
     case Kind::kSendDrop:
       return "send_drop";
+    case Kind::kMsgDrop:
+      return "msg_drop";
+    case Kind::kMsgCorrupt:
+      return "msg_corrupt";
+    case Kind::kMsgDup:
+      return "msg_dup";
+    case Kind::kMsgReorder:
+      return "msg_reorder";
+    case Kind::kCopilotCrash:
+      return "copilot_crash";
   }
   return "unknown";
 }
@@ -163,7 +186,15 @@ FaultPlan& FaultPlan::global() {
 FaultPlan::FaultPlan() {
   const char* env = std::getenv("CELLPILOT_FAULTS");
   env_spec_ = env == nullptr ? "" : env;
-  apply(env_spec_);
+  try {
+    apply(env_spec_);
+  } catch (const std::invalid_argument& e) {
+    // A broken environment spec must not crash every binary in the job;
+    // report it once and run disarmed.
+    std::fprintf(stderr, "CELLPILOT_FAULTS rejected: %s\n", e.what());
+    env_spec_.clear();
+    apply(env_spec_);
+  }
 }
 
 void FaultPlan::configure(const std::string& spec) { apply(spec); }
@@ -207,6 +238,21 @@ void FaultPlan::apply(const std::string& spec) {
   // Null hooks when disarmed: the clean path is one atomic load + branch.
   cellsim::inject::set_hook(armed ? &cell_trampoline : nullptr);
   mpisim::inject::set_hook(armed ? &send_trampoline : nullptr);
+  // The reliable sublayer is live exactly while message-level rules exist:
+  // a bare "on" (armed, zero rules) keeps sends on the historical path so
+  // its virtual time stays bit-for-bit identical to a disarmed run.
+  bool msg_rules = false;
+  {
+    std::lock_guard lock(mu_);
+    for (const Rule& rule : rules_) {
+      if (rule.kind == Kind::kMsgDrop || rule.kind == Kind::kMsgCorrupt ||
+          rule.kind == Kind::kMsgDup || rule.kind == Kind::kMsgReorder) {
+        msg_rules = true;
+        break;
+      }
+    }
+  }
+  mpisim::reliable::set_enabled(msg_rules);
 }
 
 std::uint64_t FaultPlan::seed() const {
@@ -283,15 +329,38 @@ mpisim::inject::Action FaultPlan::on_send(int from, int to, int /*tag*/,
   const std::string name = std::to_string(from) + "->" + std::to_string(to);
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const Rule& rule = rules_[i];
-    if (rule.kind != Kind::kSendDelay && rule.kind != Kind::kSendDrop) {
-      continue;
+    switch (rule.kind) {
+      case Kind::kSendDelay:
+      case Kind::kSendDrop:
+      case Kind::kMsgDrop:
+      case Kind::kMsgCorrupt:
+      case Kind::kMsgDup:
+      case Kind::kMsgReorder:
+        break;
+      default:
+        continue;
     }
     if (rule.site != "*" && rule.site != name) continue;
     if (!hit(i, rule, name)) continue;
-    if (rule.kind == Kind::kSendDrop) {
-      action.drop = true;
-    } else {
-      action.delay += rule.delay;
+    switch (rule.kind) {
+      case Kind::kSendDrop:
+        action.drop = true;
+        break;
+      case Kind::kMsgDrop:
+        action.msg_drop = true;
+        break;
+      case Kind::kMsgCorrupt:
+        action.msg_corrupt = true;
+        break;
+      case Kind::kMsgDup:
+        action.msg_dup = true;
+        break;
+      case Kind::kMsgReorder:
+        action.msg_reorder = true;
+        break;
+      default:
+        action.delay += rule.delay;
+        break;
     }
   }
   return action;
@@ -306,6 +375,23 @@ bool FaultPlan::should_crash_spe(const char* owner) {
     const Rule& rule = rules_[i];
     if (rule.kind != Kind::kSpeCrash) continue;
     if (rule.site != "*" && rule.site != name) continue;
+    if (hit(i, rule, name)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_crash_copilot(const char* owner, int node) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (rules_.empty()) return false;
+  const std::string name(owner);  // canonical: "nodeN.copilot"
+  const std::string alias = "copilot" + std::to_string(node);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != Kind::kCopilotCrash) continue;
+    if (rule.site != "*" && rule.site != name && rule.site != alias) continue;
+    // Ordinals keyed by the canonical name so both site spellings count
+    // the same request sequence.
     if (hit(i, rule, name)) return true;
   }
   return false;

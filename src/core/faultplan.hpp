@@ -22,6 +22,8 @@
 //           | kind "@" site [":op=" N] [",count=" N] [",delay=" dur]
 //   kind   := spe_crash | mbox_stall | dma_fault | copilot_delay
 //           | send_delay | send_drop
+//           | msg_drop | msg_corrupt | msg_dup | msg_reorder
+//           | copilot_crash
 //   site   := "*" | an entity name ("node0.spe1", "copilot0", "3->5")
 //   dur    := number with optional unit suffix us (default), ms, ns
 //
@@ -33,6 +35,15 @@
 // are deterministic.  `op=0` (the default) derives a small ordinal from
 // the seed, so "crash somewhere early" plans vary reproducibly with the
 // seed alone.
+//
+// The msg_* kinds are the recoverable message-level faults: arming any of
+// them switches MiniMPI onto the reliable sublayer (mpisim/reliable.hpp),
+// which absorbs them with CRC checks, retransmits and a receive window.
+// Their send probes are made once per delivery attempt, so a retransmitted
+// frame consumes additional ordinals at its link site — deterministic, but
+// shifted relative to a plan without retransmissions.  copilot_crash kills
+// the Co-Pilot process at a request boundary; the cluster runner's standby
+// failover (core/copilot.cpp) takes over from the journal.
 #pragma once
 
 #include <atomic>
@@ -57,6 +68,11 @@ enum class Kind {
   kCopilotDelay,  ///< extra service time charged to the Co-Pilot
   kSendDelay,     ///< extra transit time on a MiniMPI send
   kSendDrop,      ///< a MiniMPI send is silently lost
+  kMsgDrop,       ///< a delivery attempt is lost; reliable layer retransmits
+  kMsgCorrupt,    ///< a delivery attempt is damaged; CRC catches it
+  kMsgDup,        ///< the frame arrives twice; receive window dedupes
+  kMsgReorder,    ///< the frame arrives after its successor on the link
+  kCopilotCrash,  ///< the Co-Pilot dies; a standby takes over its journal
 };
 
 /// Returns the spec keyword for a kind ("spe_crash", ...).
@@ -125,6 +141,13 @@ class FaultPlan {
 
   /// Co-Pilot probe: extra service delay for this request, if any.
   simtime::SimTime copilot_delay(const char* owner);
+
+  /// Co-Pilot probe: should the Co-Pilot named `owner` (canonical
+  /// "nodeN.copilot") die before serving its next request?  A rule site
+  /// matches "*", the canonical name, or the "copilotN" alias for node
+  /// index `node`; ordinals are always keyed by the canonical name so both
+  /// spellings count the same sequence.
+  bool should_crash_copilot(const char* owner, int node);
 
  private:
   FaultPlan();

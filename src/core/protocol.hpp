@@ -46,6 +46,7 @@ enum class CompletionStatus : std::uint32_t {
   kProtocol = 3,      ///< malformed request / internal error
   kSpeFault = 4,      ///< the channel peer's SPE died of a hardware fault
   kSpeTimeout = 5,    ///< the request (or its peer) missed its deadline
+  kCopilotFault = 6,  ///< the serving Co-Pilot crashed; request not replayed
 };
 
 /// A decoded SPE request.

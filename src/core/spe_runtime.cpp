@@ -71,6 +71,11 @@ std::string channel_label(const PI_CHANNEL& ch) {
                               label +
                                   ": request missed its Co-Pilot deadline "
                                   "(SPE stalled)");
+    case CompletionStatus::kCopilotFault:
+      throw pilot::PilotError(pilot::ErrorCode::kCopilotFault,
+                              label +
+                                  ": serving Co-Pilot crashed; request "
+                                  "could not be replayed by the standby");
     default:
       throw pilot::PilotError(pilot::ErrorCode::kInternal,
                               label + ": Co-Pilot protocol error");

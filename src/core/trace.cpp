@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "mpisim/reliable.hpp"
 #include "mpisim/types.hpp"
 #include "pilot/tables.hpp"
 
@@ -24,6 +25,9 @@ struct ChannelCounters::Impl {
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> faults{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> duplicates{0};
+    std::atomic<std::uint64_t> corrupt_detected{0};
   };
   std::mutex mu;  ///< guards resizing only; cells are touched lock-free
   std::vector<std::unique_ptr<Cell>> cells;
@@ -52,6 +56,31 @@ const ChannelCounters::Impl* ChannelCounters::impl() const {
   return const_cast<ChannelCounters*>(this)->impl();
 }
 
+namespace {
+
+/// mpisim::reliable -> ChannelCounters bridge: the reliable layer knows
+/// tags, not channels, so the event carries the tag and we attribute it
+/// here.  Ack/reorder events are timing bookkeeping, not channel stats.
+void reliable_event_trampoline(mpisim::reliable::Event event, int tag) {
+  const int channel = channel_of_tag(tag);
+  switch (event) {
+    case mpisim::reliable::Event::kRetransmit:
+      ChannelCounters::global().add_retransmit(channel);
+      break;
+    case mpisim::reliable::Event::kDuplicate:
+      ChannelCounters::global().add_duplicate(channel);
+      break;
+    case mpisim::reliable::Event::kCorrupt:
+      ChannelCounters::global().add_corrupt(channel);
+      break;
+    case mpisim::reliable::Event::kAck:
+    case mpisim::reliable::Event::kReorder:
+      break;
+  }
+}
+
+}  // namespace
+
 void ChannelCounters::reset(std::size_t channels) {
   Impl* im = impl();
   std::lock_guard lock(im->mu);
@@ -60,6 +89,7 @@ void ChannelCounters::reset(std::size_t channels) {
   for (std::size_t i = 0; i < channels; ++i) {
     im->cells.push_back(std::make_unique<Impl::Cell>());
   }
+  mpisim::reliable::set_observer(&reliable_event_trampoline);
 }
 
 std::size_t ChannelCounters::size() const {
@@ -99,6 +129,24 @@ void ChannelCounters::add_fault(int channel) {
   }
 }
 
+void ChannelCounters::add_retransmit(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->retransmits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_duplicate(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->duplicates.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_corrupt(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->corrupt_detected.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 ChannelStats ChannelCounters::snapshot(int channel) const {
   ChannelStats s;
   Impl* im = const_cast<ChannelCounters*>(this)->impl();
@@ -109,6 +157,9 @@ ChannelStats ChannelCounters::snapshot(int channel) const {
     s.retries = c->retries.load(std::memory_order_relaxed);
     s.timeouts = c->timeouts.load(std::memory_order_relaxed);
     s.faults = c->faults.load(std::memory_order_relaxed);
+    s.retransmits = c->retransmits.load(std::memory_order_relaxed);
+    s.duplicates = c->duplicates.load(std::memory_order_relaxed);
+    s.corrupt_detected = c->corrupt_detected.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -234,7 +285,7 @@ std::string chrome_trace_json(const std::vector<JobBatch>& batches) {
           stats, sizeof stats,
           "\",\"route\":%d,\"messages\":%llu,\"payloadBytes\":%llu,"
           "\"copilotHops\":%llu,\"retries\":%llu,\"timeouts\":%llu,"
-          "\"faults\":%llu}",
+          "\"faults\":%llu",
           ch.route_type, static_cast<unsigned long long>(ch.stats.messages),
           static_cast<unsigned long long>(ch.stats.payload_bytes),
           static_cast<unsigned long long>(ch.stats.copilot_hops),
@@ -242,6 +293,22 @@ std::string chrome_trace_json(const std::vector<JobBatch>& batches) {
           static_cast<unsigned long long>(ch.stats.timeouts),
           static_cast<unsigned long long>(ch.stats.faults));
       out += stats;
+      // Reliable-layer counters only exist when faults were injected;
+      // emitting them conditionally keeps clean-run traces byte-identical
+      // to builds that predate the reliable layer.
+      if (ch.stats.retransmits != 0 || ch.stats.duplicates != 0 ||
+          ch.stats.corrupt_detected != 0) {
+        char rel[160];
+        std::snprintf(
+            rel, sizeof rel,
+            ",\"retransmits\":%llu,\"duplicates\":%llu,"
+            "\"corruptDetected\":%llu",
+            static_cast<unsigned long long>(ch.stats.retransmits),
+            static_cast<unsigned long long>(ch.stats.duplicates),
+            static_cast<unsigned long long>(ch.stats.corrupt_detected));
+        out += rel;
+      }
+      out += "}";
     }
   }
   out += "\n]}\n}\n";

@@ -41,6 +41,9 @@ struct ChannelStats {
   std::uint64_t retries = 0;        ///< deadline extensions granted
   std::uint64_t timeouts = 0;       ///< requests completed PI_SPE_TIMEOUT
   std::uint64_t faults = 0;         ///< channel poisonings by SPE death
+  std::uint64_t retransmits = 0;    ///< reliable-layer frame retransmissions
+  std::uint64_t duplicates = 0;     ///< duplicate frames window-suppressed
+  std::uint64_t corrupt_detected = 0;  ///< CRC-caught damaged frames
 };
 
 /// Always-on per-channel counter table.  Sized by Router::compile (which
@@ -58,6 +61,9 @@ class ChannelCounters {
   void add_retry(int channel);
   void add_timeout(int channel);
   void add_fault(int channel);
+  void add_retransmit(int channel);
+  void add_duplicate(int channel);
+  void add_corrupt(int channel);
 
   ChannelStats snapshot(int channel) const;
 

@@ -16,9 +16,18 @@
 namespace mpisim::inject {
 
 /// What the plan wants done to one send.
+///
+/// `drop` is the legacy unrecoverable loss (send_drop: the message is gone
+/// for good).  The msg_* flags are the recoverable message-level faults
+/// absorbed by the reliable sublayer (mpisim/reliable.hpp): the probe is
+/// made once per delivery attempt, so a retransmission re-rolls the plan.
 struct Action {
   simtime::SimTime delay = 0;  ///< extra virtual transit time
   bool drop = false;           ///< discard the message after charging sender
+  bool msg_drop = false;       ///< lose this attempt; sender retransmits
+  bool msg_corrupt = false;    ///< damage this attempt; CRC catches it
+  bool msg_dup = false;        ///< deliver the frame twice
+  bool msg_reorder = false;    ///< hold the frame back past its successor
 };
 
 using Hook = Action (*)(Rank from, Rank to, int tag, simtime::SimTime now);

@@ -3,12 +3,16 @@
 #include <mutex>
 #include <thread>
 
+#include "mpisim/reliable.hpp"
+
 namespace mpisim {
 
 LaunchResult launch(World& world, const RankMain& main_fn) {
   const int n = world.size();
   LaunchResult result;
   result.exit_codes.assign(static_cast<std::size_t>(n), 0);
+  // Per-link sequence spaces must not leak between jobs.
+  reliable::reset_links();
 
   std::mutex errors_mu;
   std::vector<std::thread> threads;
@@ -19,6 +23,8 @@ LaunchResult launch(World& world, const RankMain& main_fn) {
       Mpi mpi(world, r);
       try {
         result.exit_codes[static_cast<std::size_t>(r)] = main_fn(mpi);
+        // A frame stashed by msg_reorder must not outlive its sender.
+        if (reliable::enabled()) reliable::flush_from(r);
         world.mark_done(r);
       } catch (const WorldAborted&) {
         // Torn down by another rank (or a service); nothing further to do.

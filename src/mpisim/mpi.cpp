@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "mpisim/inject.hpp"
+#include "mpisim/reliable.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -30,6 +31,10 @@ void Mpi::check_user_tag(int tag) const {
 }
 
 void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
+  if (reliable::enabled()) {
+    send_reliable(data, bytes, dest, tag);
+    return;
+  }
   world_->check_rank(dest, "send");
   if (world_->aborted()) throw WorldAborted(world_->abort_reason());
   const auto legs = world_->cost().mpi_leg_costs(
@@ -75,7 +80,136 @@ void Mpi::send_impl(const void* data, std::size_t bytes, Rank dest, int tag) {
   }
 }
 
+void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
+                        int tag) {
+  world_->check_rank(dest, "send");
+  if (world_->aborted()) throw WorldAborted(world_->abort_reason());
+  // A frame held back on another link must not be overtaken by this send.
+  reliable::flush_other_links(me_, dest);
+
+  // Leg costs are charged on the raw payload, exactly as the unframed
+  // path does: an armed-but-unhit plan keeps every timing bit-identical,
+  // so the only virtual-time deltas come from injected recoveries.
+  const auto legs = world_->cost().mpi_leg_costs(
+      bytes, world_->info(me_).core, world_->info(dest).core,
+      world_->same_node(me_, dest));
+  const simtime::SimTime begin = clock().now();
+  const simtime::SimTime depart = clock().advance(legs.sender);
+
+  const std::uint64_t seq = reliable::next_seq(me_, dest);
+  const std::vector<std::byte> wire = reliable::frame(
+      seq, /*attempt=*/1,
+      std::span(static_cast<const std::byte*>(data), bytes));
+
+  // Model the whole detect/retransmit conversation now: each attempt
+  // re-probes the plan; a dropped or damaged attempt costs one backoff
+  // rung of virtual wait before the resend.  The ladder is finite — the
+  // attempt after the last retry always goes through (the plan models
+  // transient faults; permanent loss stays the legacy send_drop).
+  simtime::SimTime penalty = 0;
+  bool dup = false;
+  bool reorder = false;
+  int attempt = 1;
+  for (;;) {
+    const inject::Action act = inject::probe(me_, dest, tag, depart + penalty);
+    penalty += act.delay;
+    dup = dup || act.msg_dup;
+    reorder = reorder || act.msg_reorder;
+    if (act.drop) {
+      // Legacy unrecoverable loss: the sender paid its leg, the message —
+      // and any sequence-number hole it leaves — is gone for good.
+      simtime::Trace::global().record(
+          world_->info(me_).name, simtime::TraceKind::kMpiSend,
+          "DROPPED to=" + std::to_string(dest) + " tag=" + std::to_string(tag),
+          begin, depart);
+      if (simtime::tracebuf::armed()) {
+        simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiDrop,
+                                  world_->info(me_).name, begin, depart, bytes,
+                                  /*channel=*/-1, /*route_type=*/0, tag);
+      }
+      return;
+    }
+    bool lost = act.msg_drop;
+    if (act.msg_corrupt) {
+      // Damage a copy of the wire frame and run the real integrity check:
+      // only a flip the CRC actually catches counts as a detected (and
+      // therefore recoverable) corruption.
+      std::vector<std::byte> damaged = wire;
+      const std::size_t victim =
+          bytes > 0 ? sizeof(reliable::FrameHeader)
+                    : offsetof(reliable::FrameHeader, crc);
+      damaged[victim] ^= std::byte{0x40};
+      const auto parsed = reliable::unframe(damaged);
+      if (!parsed || !parsed->crc_ok) {
+        lost = true;
+        reliable::record_event(reliable::Event::kCorrupt, tag);
+        if (simtime::tracebuf::armed()) {
+          simtime::tracebuf::record(simtime::tracebuf::Kind::kNetCorrupt,
+                                    world_->info(me_).name, depart,
+                                    depart + penalty, bytes, /*channel=*/-1,
+                                    /*route_type=*/0, tag);
+        }
+      }
+    }
+    if (lost && attempt <= reliable::max_retries()) {
+      penalty += reliable::backoff(attempt);
+      ++attempt;
+      reliable::record_event(reliable::Event::kRetransmit, tag);
+      if (simtime::tracebuf::armed()) {
+        simtime::tracebuf::record(simtime::tracebuf::Kind::kNetRetransmit,
+                                  world_->info(me_).name, depart,
+                                  depart + penalty, bytes, /*channel=*/-1,
+                                  /*route_type=*/0, tag);
+      }
+      continue;
+    }
+    break;
+  }
+
+  auto parsed = reliable::unframe(wire);
+  InboundMessage msg;
+  msg.source = me_;
+  msg.tag = tag;
+  msg.payload = std::move(parsed->payload);
+  msg.arrival = depart + legs.transit + penalty;
+
+  if (reorder) {
+    reliable::stash(world_->queue(dest), me_, dest, std::move(msg), seq, tag,
+                    dup);
+  } else {
+    reliable::window_deposit(world_->queue(dest), me_, dest, std::move(msg),
+                             seq, tag);
+    // A frame stashed earlier on this same link has now been overtaken —
+    // release it so the receive window can drain both in order.
+    reliable::flush_link(me_, dest);
+    if (dup) {
+      // The duplicate copy takes the same wire journey; the receive
+      // window suppresses it by sequence number.
+      InboundMessage copy;
+      copy.source = me_;
+      copy.tag = tag;
+      copy.payload.resize(bytes);
+      if (bytes > 0) std::memcpy(copy.payload.data(), data, bytes);
+      copy.arrival = depart + legs.transit + penalty;
+      reliable::window_deposit(world_->queue(dest), me_, dest,
+                               std::move(copy), seq, tag);
+    }
+  }
+
+  simtime::Trace::global().record(
+      world_->info(me_).name, simtime::TraceKind::kMpiSend,
+      "to=" + std::to_string(dest) + " tag=" + std::to_string(tag) +
+          " bytes=" + std::to_string(bytes),
+      begin, depart);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kMpiSend,
+                              world_->info(me_).name, begin, depart, bytes,
+                              /*channel=*/-1, /*route_type=*/0, tag);
+  }
+}
+
 Status Mpi::recv_impl(void* data, std::size_t bytes, Rank source, int tag) {
+  if (reliable::enabled()) reliable::flush_from(me_);
   if (source != kAnySource) world_->check_rank(source, "recv");
   const simtime::SimTime begin = clock().now();
   InboundMessage msg = world_->queue(me_).match_blocking(source, tag);
@@ -120,6 +254,7 @@ Status Mpi::recv(void* data, std::size_t bytes, Rank source, int tag) {
 }
 
 std::vector<std::byte> Mpi::recv_any_size(Rank source, int tag, Status* st) {
+  if (reliable::enabled()) reliable::flush_from(me_);
   if (source != kAnySource) world_->check_rank(source, "recv");
   const simtime::SimTime begin = clock().now();
   InboundMessage msg = world_->queue(me_).match_blocking(source, tag);
@@ -138,11 +273,13 @@ std::vector<std::byte> Mpi::recv_any_size(Rank source, int tag, Status* st) {
 }
 
 std::optional<Envelope> Mpi::iprobe(Rank source, int tag) {
+  if (reliable::enabled()) reliable::flush_from(me_);
   if (source != kAnySource) world_->check_rank(source, "iprobe");
   return world_->queue(me_).probe(source, tag);
 }
 
 Envelope Mpi::probe(Rank source, int tag) {
+  if (reliable::enabled()) reliable::flush_from(me_);
   if (source != kAnySource) world_->check_rank(source, "probe");
   return world_->queue(me_).probe_blocking(source, tag);
 }

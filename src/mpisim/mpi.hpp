@@ -84,6 +84,11 @@ class Mpi {
 
  private:
   void send_impl(const void* data, std::size_t bytes, Rank dest, int tag);
+  /// Send through the reliable sublayer (mpisim/reliable.hpp): CRC-framed,
+  /// sequence-numbered, with drop/corrupt/dup/reorder faults absorbed by
+  /// retransmit + receive-window machinery.  Taken only while the fault
+  /// plan arms message-level rules.
+  void send_reliable(const void* data, std::size_t bytes, Rank dest, int tag);
   Status recv_impl(void* data, std::size_t bytes, Rank source, int tag);
   void check_user_tag(int tag) const;
 

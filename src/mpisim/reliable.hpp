@@ -1,0 +1,165 @@
+// reliable.hpp — the reliable delivery sublayer under MiniMPI.
+//
+// Real CellPilot assumes a lossless MPI fabric; the fault plan can now take
+// that away (msg_drop / msg_corrupt / msg_dup / msg_reorder).  This layer
+// restores exactly-once, in-order delivery on top of the lossy substrate:
+//
+//   * every message is wrapped in a CRC32-framed "PILR" envelope carrying a
+//     per-link (sender, receiver) sequence number and an attempt counter;
+//   * the receiver side keeps a per-link window: frames below the expected
+//     sequence are duplicate-suppressed, frames above it are buffered and
+//     released in order, so the MatchQueue only ever sees each message once
+//     and in the order it was sent;
+//   * a lost or corrupted frame is detected by the missing acknowledgement
+//     at the sender's deadline and retransmitted with a doubling backoff
+//     ladder (the PR 2 `-pideadline` machinery: base deadline x 2^k), the
+//     accumulated wait charged to the message's virtual arrival time.
+//
+// Because the simulation is an eager single-process transport, the protocol
+// is *modeled at send time*: the sender resolves the whole
+// detect-retransmit conversation before depositing, so no timers or extra
+// threads exist and the outcome is a pure function of the fault plan.  The
+// one genuinely deferred behaviour is msg_reorder: the sender holds the
+// framed message in a one-deep per-link stash and releases it after a later
+// frame of the same link has been deposited (the receiver window absorbs
+// the inversion).  Deterministic flush points bound the stash's lifetime:
+// before any send on a different link, on entry to any receive/probe, and
+// when the rank's main returns (launcher).
+//
+// The layer is OFF unless the fault plan contains message-level rules
+// (core/faultplan arms it); disabled, every send takes the historical path
+// and virtual time is bit-for-bit identical to a build without this file.
+// Enabled but with no rule firing, the frame header is modeled as free (no
+// extra leg cost), so untouched links also keep their exact timings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpisim/match_queue.hpp"
+#include "mpisim/types.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace mpisim::reliable {
+
+/// Magic value marking a reliable-transport envelope ("PILR").
+inline constexpr std::uint32_t kFrameMagic = 0x50494C52;
+
+/// Envelope prepended to every message while the layer is enabled.
+struct FrameHeader {
+  std::uint32_t magic = 0;          ///< kFrameMagic
+  std::uint32_t crc = 0;            ///< CRC32 of the payload bytes
+  std::uint64_t seq = 0;            ///< per-link sequence number (from 1)
+  std::uint32_t attempt = 0;        ///< delivery attempt (1 = first try)
+  std::uint32_t payload_bytes = 0;  ///< payload length
+};
+static_assert(sizeof(FrameHeader) == 24);
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte span.
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Builds header + payload as one contiguous wire frame.
+std::vector<std::byte> frame(std::uint64_t seq, std::uint32_t attempt,
+                             std::span<const std::byte> payload);
+
+/// A parsed frame.  `crc_ok` is the real integrity verdict: a corrupted
+/// payload parses fine but fails the checksum.
+struct Unframed {
+  FrameHeader header;
+  bool crc_ok = false;
+  std::vector<std::byte> payload;
+};
+
+/// Parses a wire frame; nullopt when the buffer is too short, carries the
+/// wrong magic, or its length field disagrees with the buffer.
+std::optional<Unframed> unframe(std::span<const std::byte> wire);
+
+// --- arming -----------------------------------------------------------------
+
+/// Turns the layer on/off.  Installed by the fault plan: enabled exactly
+/// while the plan contains message-level rules.
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Retransmission ladder: retransmit k waits base * 2^(k-1) before the
+/// frame is resent (deadline-driven doubling backoff).  Installed from
+/// Pilot's options (-pideadline / spe_deadline_retries); defaults 500us x 3.
+void set_backoff(simtime::SimTime base, int max_retries);
+simtime::SimTime backoff(int attempt);
+int max_retries();
+
+// --- observability ----------------------------------------------------------
+
+/// Protocol events, for counters layered above (mpisim cannot see CellPilot
+/// channels; the observer maps the tag back to a channel id).
+enum class Event {
+  kAck,         ///< a frame was released to the receiver (delivery + ack)
+  kRetransmit,  ///< a frame was resent after a drop or corruption
+  kDuplicate,   ///< the receiver window discarded an already-seen frame
+  kCorrupt,     ///< the CRC check caught a damaged frame
+  kReorder,     ///< a frame was held back to arrive out of order
+};
+
+using Observer = void (*)(Event event, int tag);
+
+/// Installs (or clears) the process-wide observer.
+void set_observer(Observer observer);
+
+/// Counts `event` into the totals and forwards it to the observer.  The
+/// deposit-side events (ack/duplicate/reorder) are recorded internally;
+/// the send path records retransmit/corrupt through this.
+void record_event(Event event, int tag);
+
+/// Process-wide totals since the last reset (tests assert on these).
+struct Totals {
+  std::uint64_t acks = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupt_detected = 0;
+  std::uint64_t reorders = 0;
+};
+Totals totals();
+void reset_totals();
+
+// --- per-link protocol state ------------------------------------------------
+
+/// Next sequence number for link from->to (1-based, monotonically
+/// increasing per link).
+std::uint64_t next_seq(Rank from, Rank to);
+
+/// Deposits `msg` through the link's receive window: duplicates (seq
+/// already delivered or already buffered) are discarded, gaps are buffered,
+/// and every in-order frame is released to `queue` with an ack event.
+/// Returns true if this call released at least one frame.
+bool window_deposit(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
+                    std::uint64_t seq, int tag);
+
+/// Holds one frame back (msg_reorder).  At most one frame is stashed per
+/// link; an already-stashed frame is flushed first.  `duplicate` records
+/// that the frame should be delivered twice on release (msg_dup rode along).
+void stash(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
+           std::uint64_t seq, int tag, bool duplicate);
+
+/// Releases the stashed frame of link from->to, if any.
+void flush_link(Rank from, Rank to);
+
+/// Releases every frame stashed by sender `from` except the one on the link
+/// to `except_to` (called before a send on a different link so the new send
+/// cannot overtake an unflushed stash).
+void flush_other_links(Rank from, Rank except_to);
+
+/// Releases every frame stashed by sender `from`: called on entry to any
+/// receive/probe (the sender may be about to block on a reply that can only
+/// come after its held frame is seen) and when the rank's main returns.
+void flush_from(Rank from);
+
+/// Drops all per-link state (sequence counters, windows, stashes).  Called
+/// by the launcher at job start so worlds never inherit another job's
+/// sequence space.  Must not be called while rank threads are running.
+void reset_links();
+
+}  // namespace mpisim::reliable

@@ -12,6 +12,7 @@
 #include "core/protocol.hpp"
 #include "core/router.hpp"
 #include "core/trace.hpp"
+#include "mpisim/reliable.hpp"
 #include "pilot/byteorder.hpp"
 #include "pilot/context.hpp"
 #include "pilot/deadlock.hpp"
@@ -88,11 +89,14 @@ void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
                                      const std::string& detail,
                                      const PI_CHANNEL& ch, const char* file,
                                      int line) {
-  const ErrorCode code =
-      status == static_cast<std::uint32_t>(
-                    cellpilot::CompletionStatus::kSpeTimeout)
-          ? ErrorCode::kSpeTimeout
-          : ErrorCode::kSpeFault;
+  ErrorCode code = ErrorCode::kSpeFault;
+  if (status == static_cast<std::uint32_t>(
+                    cellpilot::CompletionStatus::kSpeTimeout)) {
+    code = ErrorCode::kSpeTimeout;
+  } else if (status == static_cast<std::uint32_t>(
+                           cellpilot::CompletionStatus::kCopilotFault)) {
+    code = ErrorCode::kCopilotFault;
+  }
   std::string label = "channel " + ch.name;
   if (ch.route != nullptr) {
     label += " (Table I type " +
@@ -349,6 +353,15 @@ int PI_Configure(int* argc, char*** argv) {
                            std::string("bad -pideadline value: ") + a);
         }
         opts.spe_deadline = simtime::us(v);
+      } else if (std::strncmp(a, "-pilease=", 9) == 0) {
+        // Co-Pilot heartbeat lease in virtual microseconds.
+        char* end = nullptr;
+        const double v = std::strtod(a + 9, &end);
+        if (end == a + 9 || v <= 0) {
+          throw PilotError(ErrorCode::kUsage,
+                           std::string("bad -pilease value: ") + a);
+        }
+        opts.copilot_lease = simtime::us(v);
       } else {
         (*argv)[out++] = (*argv)[i];
       }
@@ -365,6 +378,10 @@ int PI_Configure(int* argc, char*** argv) {
   }
   if (ctx.rank() == 0) {
     ctx.app().options() = opts;
+    // The reliable sublayer's retransmit ladder reuses the -pideadline
+    // machinery: same base deadline, same doubling retry budget.
+    mpisim::reliable::set_backoff(opts.spe_deadline,
+                                  opts.spe_deadline_retries);
     // -pisvc=t: record every modelled primitive in the global event trace.
     if (opts.trace_calls) simtime::Trace::global().set_enabled(true);
     if (!trace_file.empty()) {
@@ -706,6 +723,9 @@ int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
   out->retries = s.retries;
   out->timeouts = s.timeouts;
   out->faults = s.faults;
+  out->retransmits = s.retransmits;
+  out->duplicates = s.duplicates;
+  out->corrupt_detected = s.corrupt_detected;
   return 0;
 }
 

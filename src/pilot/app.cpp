@@ -1,6 +1,7 @@
 #include "pilot/app.hpp"
 
 #include "core/router.hpp"
+#include "mpisim/reliable.hpp"
 
 namespace pilot {
 
@@ -150,6 +151,11 @@ void PilotApp::add_spe_thread(mpisim::Rank rank, std::thread t) {
 }
 
 void PilotApp::join_spe_threads(mpisim::Rank rank) {
+  // Joining is a host-thread wait, not an MPI receive, so it bypasses the
+  // reliable layer's receive-side flush points.  An SPE this rank is about
+  // to join may itself be blocked on a frame sitting in this rank's
+  // msg_reorder stash — release it before parking.
+  if (mpisim::reliable::enabled()) mpisim::reliable::flush_from(rank);
   // Collect joinable threads owned by `rank` without holding the lock while
   // joining (an SPE body may itself trigger bookkeeping).
   std::vector<std::thread> mine;

@@ -51,6 +51,10 @@ struct Options {
   /// deadline up to this many times before the Co-Pilot gives up and
   /// completes it with kSpeTimeout.
   int spe_deadline_retries = 3;
+  /// Heartbeat lease on a crashed Co-Pilot (-pilease=<dur>): the standby
+  /// waits this much virtual time past the crash stamp (detecting the
+  /// missed heartbeat) before taking over from the journal.
+  simtime::SimTime copilot_lease = simtime::us(200.0);
 };
 
 /// Transport hooks for channels with at least one SPE endpoint.  Implemented

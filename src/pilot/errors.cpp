@@ -15,6 +15,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kAbort: return "abort";
     case ErrorCode::kSpeFault: return "spe-fault";
     case ErrorCode::kSpeTimeout: return "spe-timeout";
+    case ErrorCode::kCopilotFault: return "copilot-fault";
   }
   return "?";
 }

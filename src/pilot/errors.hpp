@@ -27,6 +27,7 @@ enum class ErrorCode {
   kAbort,          ///< the application called PI_Abort
   kSpeFault,       ///< an SPE endpoint died of a hardware fault
   kSpeTimeout,     ///< an SPE request missed its Co-Pilot deadline
+  kCopilotFault,   ///< the serving Co-Pilot crashed mid-request
 };
 
 /// Returns a stable name ("usage", "format", ...) for an ErrorCode.

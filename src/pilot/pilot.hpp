@@ -36,6 +36,10 @@
 inline constexpr pilot::ErrorCode PI_SPE_FAULT = pilot::ErrorCode::kSpeFault;
 inline constexpr pilot::ErrorCode PI_SPE_TIMEOUT =
     pilot::ErrorCode::kSpeTimeout;
+/// A request whose serving Co-Pilot crashed and could not be replayed by
+/// the standby throws PI_COPILOT_FAULT instead of hanging.
+inline constexpr pilot::ErrorCode PI_COPILOT_FAULT =
+    pilot::ErrorCode::kCopilotFault;
 
 /// Enters the configuration phase.  Parses and strips Pilot options from the
 /// command line (`-pisvc=d` enables deadlock detection).  Returns the number
@@ -132,6 +136,9 @@ typedef struct PI_CHANNEL_STATS {
   unsigned long long retries;        ///< deadline extensions granted
   unsigned long long timeouts;       ///< requests completed PI_SPE_TIMEOUT
   unsigned long long faults;         ///< channel poisonings by SPE death
+  unsigned long long retransmits;    ///< reliable-layer frame retransmissions
+  unsigned long long duplicates;     ///< duplicate frames window-suppressed
+  unsigned long long corrupt_detected;  ///< CRC-caught damaged frames
 } PI_CHANNEL_STATS;
 
 /// Fills `out` with the channel's totals.  Rank-side, execution phase (or

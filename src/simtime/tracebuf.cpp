@@ -27,6 +27,12 @@ const char* kind_name(Kind kind) {
     case Kind::kCopilotRetry: return "copilot_retry";
     case Kind::kCopilotTimeout: return "copilot_timeout";
     case Kind::kCopilotFault: return "copilot_fault";
+    case Kind::kNetAck: return "net_ack";
+    case Kind::kNetRetransmit: return "net_retransmit";
+    case Kind::kNetDuplicate: return "net_duplicate";
+    case Kind::kNetCorrupt: return "net_corrupt";
+    case Kind::kNetReorder: return "net_reorder";
+    case Kind::kCopilotFailover: return "copilot_failover";
     case Kind::kUser: return "user";
   }
   return "?";

@@ -58,6 +58,12 @@ enum class Kind : std::uint8_t {
   kCopilotRetry,      ///< deadline supervision extended a deadline (aux = #)
   kCopilotTimeout,    ///< deadline supervision gave up (PI_SPE_TIMEOUT)
   kCopilotFault,      ///< Co-Pilot processed an SPE death notice
+  kNetAck,            ///< reliable layer released a frame to the receiver
+  kNetRetransmit,     ///< reliable layer resent a frame (aux = tag)
+  kNetDuplicate,      ///< receive window discarded a duplicate frame
+  kNetCorrupt,        ///< CRC check caught a damaged frame
+  kNetReorder,        ///< a frame was held back to arrive out of order
+  kCopilotFailover,   ///< standby Co-Pilot took over after a crash
   kUser,              ///< reserved for ad-hoc instrumentation
 };
 

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "benchkit/pingpong.hpp"
 #include "core/faultplan.hpp"
+#include "mpisim/reliable.hpp"
 #include "simtime/cost_model.hpp"
 
 namespace {
@@ -57,6 +59,66 @@ TEST_F(FaultPlanTest, OnOffKeywordsAndRejectedSpecs) {
   // previous rules gone.
   plan.configure("off");
   EXPECT_FALSE(plan.armed());
+}
+
+TEST_F(FaultPlanTest, ParsesMessageLevelAndCopilotKinds) {
+  FaultPlan& plan = FaultPlan::global();
+  plan.configure(
+      "msg_drop@1->0:op=1;msg_corrupt@*:op=2;msg_dup@0->1;"
+      "msg_reorder@*:count=4;copilot_crash@copilot0:op=1");
+  const std::vector<Rule> rules = plan.rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_EQ(rules[0].kind, Kind::kMsgDrop);
+  EXPECT_EQ(rules[1].kind, Kind::kMsgCorrupt);
+  EXPECT_EQ(rules[2].kind, Kind::kMsgDup);
+  EXPECT_EQ(rules[3].kind, Kind::kMsgReorder);
+  EXPECT_EQ(rules[4].kind, Kind::kCopilotCrash);
+  EXPECT_EQ(rules[4].site, "copilot0");
+  EXPECT_EQ(rules[3].count, 4u);
+}
+
+TEST_F(FaultPlanTest, UnknownKindErrorListsTheValidKinds) {
+  FaultPlan& plan = FaultPlan::global();
+  try {
+    plan.configure("msg_teleport@*");
+    FAIL() << "unknown kind accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("msg_teleport"), std::string::npos);
+    EXPECT_NE(what.find("valid kinds:"), std::string::npos);
+    EXPECT_NE(what.find("msg_drop"), std::string::npos);
+    EXPECT_NE(what.find("copilot_crash"), std::string::npos);
+  }
+}
+
+TEST_F(FaultPlanTest, MessageRulesArmTheReliableLayer) {
+  FaultPlan& plan = FaultPlan::global();
+  // Bare "on" and non-message rules keep the historical wire path.
+  plan.configure("on");
+  EXPECT_FALSE(mpisim::reliable::enabled());
+  plan.configure("spe_crash@*:op=3");
+  EXPECT_FALSE(mpisim::reliable::enabled());
+  // Any message-level rule arms the sublayer; reset disarms it.
+  plan.configure("msg_drop@*:op=2");
+  EXPECT_TRUE(mpisim::reliable::enabled());
+  plan.reset();
+  EXPECT_FALSE(mpisim::reliable::enabled());
+}
+
+TEST_F(FaultPlanTest, CopilotCrashSiteMatchingAndOrdinals) {
+  FaultPlan& plan = FaultPlan::global();
+  plan.configure("copilot_crash@copilot1:op=1");
+  // Node 0's Co-Pilot (canonical name node0.copilot) never matches.
+  EXPECT_FALSE(plan.should_crash_copilot("node0.copilot", 0));
+  // Node 1 matches through the copilotN alias — but only on its first
+  // served request (op=1), exactly once (default count=1).
+  EXPECT_TRUE(plan.should_crash_copilot("node1.copilot", 1));
+  EXPECT_FALSE(plan.should_crash_copilot("node1.copilot", 1));
+
+  plan.configure("copilot_crash@*:op=2");
+  EXPECT_FALSE(plan.should_crash_copilot("node0.copilot", 0));  // op 1
+  EXPECT_TRUE(plan.should_crash_copilot("node0.copilot", 0));   // op 2
+  EXPECT_FALSE(plan.should_crash_copilot("node0.copilot", 0));  // op 3
 }
 
 TEST_F(FaultPlanTest, DerivedOpIsAPureFunctionOfSeedRuleAndSite) {

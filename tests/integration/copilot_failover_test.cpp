@@ -1,0 +1,158 @@
+// Co-Pilot crash recovery: with copilot_crash armed, the serving Co-Pilot
+// dies mid-request, a standby takes over after the heartbeat lease, replays
+// the channel/route journal, and resumes service.  The one non-replayable
+// request — the victim in flight at the instant of death — fails cleanly
+// with PI_COPILOT_FAULT at every peer; everything after the takeover is
+// served normally.  No hang, no abort.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/cellpilot.hpp"
+#include "core/copilot.hpp"
+#include "core/faultplan.hpp"
+#include "pilot/errors.hpp"
+
+namespace {
+
+using cellpilot::faults::FaultPlan;
+using cellpilot::supervision::failover_count;
+using cellpilot::supervision::reset_counters;
+
+PI_CHANNEL* g_ch_victim = nullptr;  ///< in flight when the Co-Pilot dies
+PI_CHANNEL* g_ch_after = nullptr;   ///< served by the standby
+std::atomic<int> g_victim_code{-1};
+std::atomic<int> g_after_code{-1};
+
+cluster::Cluster one_cell() {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  return cluster::Cluster(std::move(config));
+}
+
+class CopilotFailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_counters();
+    g_victim_code.store(-1);
+    g_after_code.store(-1);
+  }
+  ~CopilotFailoverTest() override { FaultPlan::global().reset(); }
+};
+
+PI_SPE_PROGRAM(writes_across_the_crash) {
+  // The Co-Pilot crashes serving this first write: it completes with
+  // PI_COPILOT_FAULT (the standby cannot replay a request that died with
+  // the journal's owner), never hangs.
+  try {
+    PI_Write(g_ch_victim, "%d", 11);
+    g_victim_code.store(0);
+  } catch (const pilot::PilotError& e) {
+    g_victim_code.store(static_cast<int>(e.code()));
+  }
+  // The second write lands at the standby: served normally.
+  try {
+    PI_Write(g_ch_after, "%d", 22);
+    g_after_code.store(0);
+  } catch (const pilot::PilotError& e) {
+    g_after_code.store(static_cast<int>(e.code()));
+  }
+  return 0;
+}
+
+TEST_F(CopilotFailoverTest, StandbyTakesOverAndFailsOnlyTheInflightRequest) {
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  // copilotN alias: node 0's Co-Pilot dies on the first request it serves.
+  opts.args = {"-pifault=copilot_crash@copilot0:op=1"};
+  int victim_read_code = -1;
+  int after_value = -1;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* spe = PI_CreateSPE(writes_across_the_crash, PI_MAIN, 0);
+        g_ch_victim = PI_CreateChannel(spe, PI_MAIN);  // Table I type 2
+        g_ch_after = PI_CreateChannel(spe, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(spe, 0, nullptr);
+        int v = -1;
+        try {
+          PI_Read(g_ch_victim, "%d", &v);
+        } catch (const pilot::PilotError& e) {
+          victim_read_code = static_cast<int>(e.code());
+          EXPECT_NE(e.detail().find("Co-Pilot"), std::string::npos)
+              << "diagnostic must name the crashed Co-Pilot: " << e.detail();
+        }
+        PI_Read(g_ch_after, "%d", &after_value);
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << "a survivable Co-Pilot crash aborted the job: "
+                          << r.abort_reason;
+  // The in-flight request fails cleanly at both ends ...
+  EXPECT_EQ(g_victim_code.load(), static_cast<int>(PI_COPILOT_FAULT));
+  EXPECT_EQ(victim_read_code, static_cast<int>(PI_COPILOT_FAULT));
+  // ... and the standby serves everything issued after the takeover.
+  EXPECT_EQ(g_after_code.load(), 0);
+  EXPECT_EQ(after_value, 22);
+  EXPECT_EQ(failover_count(), 1u);
+  EXPECT_EQ(machine.copilot_failover_count(0), 1);
+}
+
+TEST_F(CopilotFailoverTest, WildcardSiteCrashesTheOnlyCopilot) {
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  opts.args = {"-pifault=copilot_crash@*:op=1"};
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* spe = PI_CreateSPE(writes_across_the_crash, PI_MAIN, 0);
+        g_ch_victim = PI_CreateChannel(spe, PI_MAIN);
+        g_ch_after = PI_CreateChannel(spe, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(spe, 0, nullptr);
+        int v = -1;
+        try {
+          PI_Read(g_ch_victim, "%d", &v);
+        } catch (const pilot::PilotError&) {
+        }
+        PI_Read(g_ch_after, "%d", &v);
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(failover_count(), 1u);
+  EXPECT_EQ(machine.copilot_failover_count(0), 1);
+}
+
+TEST_F(CopilotFailoverTest, CleanRunsNeverTripTheFailoverMachinery) {
+  cluster::Cluster machine = one_cell();
+  int v1 = -1;
+  int v2 = -1;
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(writes_across_the_crash, PI_MAIN, 0);
+    g_ch_victim = PI_CreateChannel(spe, PI_MAIN);
+    g_ch_after = PI_CreateChannel(spe, PI_MAIN);
+    PI_StartAll();
+    PI_RunSPE(spe, 0, nullptr);
+    PI_Read(g_ch_victim, "%d", &v1);
+    PI_Read(g_ch_after, "%d", &v2);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(v1, 11);
+  EXPECT_EQ(v2, 22);
+  EXPECT_EQ(g_victim_code.load(), 0);
+  EXPECT_EQ(g_after_code.load(), 0);
+  EXPECT_EQ(failover_count(), 0u);
+  EXPECT_EQ(machine.copilot_failover_count(0), 0);
+}
+
+}  // namespace
