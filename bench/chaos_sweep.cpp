@@ -24,6 +24,7 @@
 #include "core/cellpilot.hpp"
 #include "core/copilot.hpp"
 #include "core/faultplan.hpp"
+#include "core/flightrec.hpp"
 #include "mpisim/reliable.hpp"
 #include "pilot/errors.hpp"
 
@@ -198,6 +199,12 @@ void watchdog(int budget_seconds) {
                "%d s of host time)\n",
                budget_seconds);
   std::fflush(stderr);
+  // Post-mortem before dying: the flight recorder's blackbox tail still
+  // holds the last events of every stuck thread, plus the armed fault
+  // plan — enough to reproduce the hang from the artifact alone.
+  cellpilot::flightrec::FlightRecorder::global().dump(
+      "chaos_watchdog: liveness violated, no progress within " +
+      std::to_string(budget_seconds) + " s of host time");
   std::_Exit(1);  // a hung run must fail loudly, not stall CI
 }
 
@@ -212,6 +219,12 @@ int main(int argc, char** argv) {
                       : 1ull);
   constexpr int kCocktailsPerType = 4;
   constexpr int kWatchdogSeconds = 120;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Arm the flight recorder for the whole sweep: a watchdog firing or a
+  // violated run dumps a post-mortem artifact named after the seed.
+  cellpilot::flightrec::FlightRecorder::global().configure(
+      "flightrec_chaos_seed" + std::to_string(seed) + ".json");
 
   std::thread guard(watchdog, kWatchdogSeconds);
 
@@ -232,6 +245,10 @@ int main(int argc, char** argv) {
   int parity_runs = 0;
   int clean_fault_runs = 0;
   bool violated = false;
+  // Sweep-wide tallies for the JSON meta block: what the cocktails did to
+  // the wire and how much of it the substrate absorbed.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recoveries = 0;
 
   for (int type = 1; type <= 5; ++type) {
     for (int c = 0; c < kCocktailsPerType; ++c) {
@@ -260,7 +277,6 @@ int main(int argc, char** argv) {
       cellpilot::RunOptions opts;
       opts.args = {"-pifault=" + cocktail};
       const auto r = cellpilot::run(machine, chaos_main, opts);
-      cellpilot::faults::FaultPlan::global().reset();
 
       // The liveness invariant: parity, or a clean fault code at every
       // peer that saw an error.  Anything else (abort, foreign error
@@ -289,10 +305,29 @@ int main(int argc, char** argv) {
       }
 
       const auto wire = mpisim::reliable::totals();
+      // Wire-level fault events plus supervision-level ones; retransmits,
+      // retry-ladder recoveries and failovers are the recovery side.
+      faults_injected += wire.retransmits + wire.duplicates +
+                         wire.corrupt_detected + wire.reorders +
+                         cellpilot::supervision::timeout_count() +
+                         cellpilot::supervision::fault_count() +
+                         cellpilot::supervision::failover_count();
+      recoveries += wire.retransmits +
+                    cellpilot::supervision::recovered_count() +
+                    cellpilot::supervision::failover_count();
       std::printf("%s\n", outcome);
       if (violated && r.aborted) {
         std::printf("     abort: %s\n", r.abort_reason.c_str());
       }
+      if (violated) {
+        // Dump while the plan is still armed so the artifact names the
+        // exact fault rules that broke the run; only then reset it.
+        cellpilot::flightrec::FlightRecorder::global().dump(
+            "chaos_violation: run " + std::to_string(run_index) + " type " +
+            std::to_string(type) + " cocktail " + cocktail +
+            (r.aborted ? " abort: " + r.abort_reason : ""));
+      }
+      cellpilot::faults::FaultPlan::global().reset();
       json.add_row()
           .set("run", static_cast<std::int64_t>(run_index))
           .set("type", static_cast<std::int64_t>(type))
@@ -325,6 +360,14 @@ int main(int argc, char** argv) {
   json.meta("parity_runs", static_cast<std::int64_t>(parity_runs));
   json.meta("clean_fault_runs", static_cast<std::int64_t>(clean_fault_runs));
   json.meta("violations", static_cast<std::int64_t>(violated ? 1 : 0));
+  json.meta("runs", static_cast<std::int64_t>(run_index));
+  json.meta("faults_injected", static_cast<std::int64_t>(faults_injected));
+  json.meta("recoveries", static_cast<std::int64_t>(recoveries));
+  json.meta("wall_ms",
+            static_cast<std::int64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count()));
   json.write_file("BENCH_chaos_sweep.json");
   return violated ? 1 : 0;
 }

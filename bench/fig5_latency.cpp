@@ -38,9 +38,13 @@ int main(int argc, char** argv) {
       spec.type = static_cast<cellpilot::ChannelType>(type);
       spec.reps = reps;
       spec.bytes = 1;
-      one_byte[type][m] = benchkit::pingpong_us(spec, methods[m], cost);
+      const benchkit::PingPongStats small_stats =
+          benchkit::pingpong_stats(spec, methods[m], cost);
+      one_byte[type][m] = simtime::to_us(small_stats.one_way);
       spec.bytes = 1600;
-      big[type][m] = benchkit::pingpong_us(spec, methods[m], cost);
+      const benchkit::PingPongStats big_stats =
+          benchkit::pingpong_stats(spec, methods[m], cost);
+      big[type][m] = simtime::to_us(big_stats.one_way);
       std::printf("%-6d %-10s %14.1f %14.1f\n", type,
                   benchkit::to_string(methods[m]), one_byte[type][m],
                   big[type][m]);
@@ -48,7 +52,11 @@ int main(int argc, char** argv) {
           .set("type", static_cast<std::int64_t>(type))
           .set("method", std::string(benchkit::to_string(methods[m])))
           .set("one_byte_us", one_byte[type][m])
-          .set("big_us", big[type][m]);
+          .set("one_byte_p50_us", simtime::to_us(small_stats.p50))
+          .set("one_byte_p99_us", simtime::to_us(small_stats.p99))
+          .set("big_us", big[type][m])
+          .set("big_p50_us", simtime::to_us(big_stats.p50))
+          .set("big_p99_us", simtime::to_us(big_stats.p99));
     }
   }
 

@@ -38,13 +38,27 @@ int main(int argc, char** argv) {
       spec.type = static_cast<cellpilot::ChannelType>(type);
       spec.bytes = 1600;
       spec.reps = reps;
-      values[type][m] = benchkit::throughput_mbps(spec, methods[m], cost);
+      // One run per cell: derive the mean and the percentile bands from
+      // the same stats (throughput_mbps would re-run the simulation).
+      const benchkit::PingPongStats stats =
+          benchkit::pingpong_stats(spec, methods[m], cost);
+      auto mbps_of = [&](simtime::SimTime one_way) {
+        if (one_way <= 0) return 0.0;
+        return static_cast<double>(spec.bytes) / 1e6 /
+               (static_cast<double>(one_way) / 1e9);
+      };
+      values[type][m] = mbps_of(stats.one_way);
       std::printf("%-6d %-10s %14.2f\n", type,
                   benchkit::to_string(methods[m]), values[type][m]);
       json.add_row()
           .set("type", static_cast<std::int64_t>(type))
           .set("method", std::string(benchkit::to_string(methods[m])))
-          .set("mbps", values[type][m]);
+          .set("mbps", values[type][m])
+          // p50/p99 of the per-rep latency distribution, as throughput:
+          // mbps_p99 is the slow tail (99th-percentile latency), so
+          // mbps_p99 <= mbps_p50 by construction.
+          .set("mbps_p50", mbps_of(stats.p50))
+          .set("mbps_p99", mbps_of(stats.p99));
     }
   }
 

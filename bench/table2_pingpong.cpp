@@ -48,12 +48,17 @@ int main(int argc, char** argv) {
     spec.bytes = row.bytes;
     spec.reps = reps;
 
-    const double cp =
-        benchkit::pingpong_us(spec, benchkit::Method::kCellPilot, cost);
-    const double dma =
-        benchkit::pingpong_us(spec, benchkit::Method::kDma, cost);
-    const double copy =
-        benchkit::pingpong_us(spec, benchkit::Method::kCopy, cost);
+    // One run per cell: the stats carry the exact mean the old
+    // pingpong_us reported plus per-rep percentiles for the JSON.
+    const benchkit::PingPongStats cp_stats =
+        benchkit::pingpong_stats(spec, benchkit::Method::kCellPilot, cost);
+    const benchkit::PingPongStats dma_stats =
+        benchkit::pingpong_stats(spec, benchkit::Method::kDma, cost);
+    const benchkit::PingPongStats copy_stats =
+        benchkit::pingpong_stats(spec, benchkit::Method::kCopy, cost);
+    const double cp = simtime::to_us(cp_stats.one_way);
+    const double dma = simtime::to_us(dma_stats.one_way);
+    const double copy = simtime::to_us(copy_stats.one_way);
 
     std::printf("%-5d %-6zu | %10.1f %10.1f %10.1f | %10.0f %10.0f %10.0f\n",
                 row.type, row.bytes, cp, dma, copy, row.cellpilot, row.dma,
@@ -63,8 +68,14 @@ int main(int argc, char** argv) {
         .set("type", static_cast<std::int64_t>(row.type))
         .set("bytes", static_cast<std::int64_t>(row.bytes))
         .set("cellpilot_us", cp)
+        .set("cellpilot_p50_us", simtime::to_us(cp_stats.p50))
+        .set("cellpilot_p99_us", simtime::to_us(cp_stats.p99))
         .set("dma_us", dma)
+        .set("dma_p50_us", simtime::to_us(dma_stats.p50))
+        .set("dma_p99_us", simtime::to_us(dma_stats.p99))
         .set("copy_us", copy)
+        .set("copy_p50_us", simtime::to_us(copy_stats.p50))
+        .set("copy_p99_us", simtime::to_us(copy_stats.p99))
         .set("paper_cellpilot_us", row.cellpilot)
         .set("paper_dma_us", row.dma)
         .set("paper_copy_us", row.copy);

@@ -1,6 +1,8 @@
 #include "benchkit/pingpong.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "baseline/handcoded.hpp"
@@ -35,7 +37,16 @@ struct Harness {
   PI_PROCESS* spe_initiator = nullptr;
   PI_PROCESS* spe_responder = nullptr;
   std::atomic<SimTime> elapsed{0};
+  /// Per-rep one-way samples ((round-trip)/2), appended by the initiator
+  /// thread from clock reads only and consumed after cellpilot::run joins
+  /// every thread.  Host-side bookkeeping: virtual time never moves.
+  std::vector<SimTime> samples;
 };
+
+void sample_rep(Harness& h, SimTime* prev, SimTime now) {
+  h.samples.push_back((now - *prev) / 2);
+  *prev = now;
+}
 
 void bounce_write_read(Harness& h, std::vector<std::byte>& buf) {
   PI_Write(h.fwd, "%*b", static_cast<int>(h.spec.bytes), buf.data());
@@ -59,7 +70,11 @@ PI_SPE_PROGRAM_SIZED(pp_spe_initiator, 2048) {
   std::vector<std::byte> buf(h.spec.bytes);
   simtime::VirtualClock& clk = cellsim::spu::self().clock();
   const SimTime start = clk.now();
-  for (int i = 0; i < h.spec.reps; ++i) bounce_write_read(h, buf);
+  SimTime prev = start;
+  for (int i = 0; i < h.spec.reps; ++i) {
+    bounce_write_read(h, buf);
+    sample_rep(h, &prev, clk.now());
+  }
   h.elapsed.store(clk.now() - start);
   return 0;
 }
@@ -82,7 +97,11 @@ void main_initiator_loop(Harness& h) {
   std::vector<std::byte> buf(h.spec.bytes);
   simtime::VirtualClock& clk = pilot::context().mpi().clock();
   const SimTime start = clk.now();
-  for (int i = 0; i < h.spec.reps; ++i) bounce_write_read(h, buf);
+  SimTime prev = start;
+  for (int i = 0; i < h.spec.reps; ++i) {
+    bounce_write_read(h, buf);
+    sample_rep(h, &prev, clk.now());
+  }
   h.elapsed.store(clk.now() - start);
 }
 
@@ -153,17 +172,41 @@ cluster::ClusterConfig cluster_for(ChannelType type,
   return config;
 }
 
-SimTime cellpilot_pingpong(const PingPongSpec& spec,
-                           const simtime::CostModel& cost) {
+/// Nearest-rank percentile over an already-sorted sample list.
+SimTime nearest_rank(const std::vector<SimTime>& sorted, int p) {
+  const std::size_t n = sorted.size();
+  std::size_t rank = (n * static_cast<std::size_t>(p) + 99) / 100;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+PingPongStats cellpilot_pingpong_stats(const PingPongSpec& spec,
+                                       const simtime::CostModel& cost) {
   Harness h;
   h.spec = spec;
+  h.samples.reserve(static_cast<std::size_t>(spec.reps));
   cluster::Cluster machine(cluster_for(spec.type, cost));
   const cellpilot::RunResult result = cellpilot::run(
       machine, [&h](int argc, char** argv) { return pp_main(h, argc, argv); });
   if (result.aborted) {
     throw std::runtime_error("pingpong run aborted: " + result.abort_reason);
   }
-  return h.elapsed.load() / (2 * spec.reps);
+  PingPongStats stats;
+  stats.one_way = h.elapsed.load() / (2 * spec.reps);
+  if (h.samples.empty()) {
+    stats.p50 = stats.p99 = stats.one_way;
+  } else {
+    std::sort(h.samples.begin(), h.samples.end());
+    stats.p50 = nearest_rank(h.samples, 50);
+    stats.p99 = nearest_rank(h.samples, 99);
+  }
+  return stats;
+}
+
+SimTime cellpilot_pingpong(const PingPongSpec& spec,
+                           const simtime::CostModel& cost) {
+  return cellpilot_pingpong_stats(spec, cost).one_way;
 }
 
 }  // namespace
@@ -179,6 +222,19 @@ SimTime pingpong(const PingPongSpec& spec, Method method,
       return baseline::copy_pingpong(spec.type, spec.bytes, spec.reps, cost);
   }
   return 0;
+}
+
+PingPongStats pingpong_stats(const PingPongSpec& spec, Method method,
+                             const simtime::CostModel& cost) {
+  if (method == Method::kCellPilot) {
+    return cellpilot_pingpong_stats(spec, cost);
+  }
+  // The hand-coded baselines charge identical closed-form costs every rep,
+  // so the distribution is a point mass at the mean.
+  PingPongStats stats;
+  stats.one_way = pingpong(spec, method, cost);
+  stats.p50 = stats.p99 = stats.one_way;
+  return stats;
 }
 
 double pingpong_us(const PingPongSpec& spec, Method method,

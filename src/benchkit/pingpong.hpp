@@ -44,6 +44,22 @@ struct PingPongSpec {
 simtime::SimTime pingpong(const PingPongSpec& spec, Method method,
                           const simtime::CostModel& cost);
 
+/// Distribution summary of one PingPong run: the exact mean one-way
+/// latency (elapsed / 2*reps, as `pingpong` reports) plus nearest-rank
+/// percentiles over the per-rep one-way samples the initiator collects
+/// with clock reads only — sampling never moves virtual time, so the mean
+/// is bit-identical with or without it.
+struct PingPongStats {
+  simtime::SimTime one_way = 0;  ///< mean one-way latency (virtual ns)
+  simtime::SimTime p50 = 0;      ///< median per-rep one-way latency
+  simtime::SimTime p99 = 0;      ///< 99th-percentile per-rep latency
+};
+
+/// Runs ONE PingPong and summarizes it.  For the hand-coded baselines the
+/// per-rep cost is closed-form and rep-invariant, so p50 == p99 == mean.
+PingPongStats pingpong_stats(const PingPongSpec& spec, Method method,
+                             const simtime::CostModel& cost);
+
 /// Convenience: one-way latency in microseconds (Table II's unit).
 double pingpong_us(const PingPongSpec& spec, Method method,
                    const simtime::CostModel& cost);

@@ -2,6 +2,7 @@
 
 #include "cellsim/errors.hpp"
 #include "cellsim/inject.hpp"
+#include "simtime/metrics.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -55,6 +56,15 @@ std::uint32_t spu_read_in_mbox() {
   if (simtime::tracebuf::armed()) {
     simtime::tracebuf::record(simtime::tracebuf::Kind::kMboxPop, e.spe->name(),
                               begin, end, sizeof(std::uint32_t));
+  }
+  if (simtime::metrics::armed()) {
+    // Mailbox dwell time: how long the word sat in the FIFO before this
+    // read consumed it (pop end minus push stamp).  A fully virtual-stamp
+    // quantity — an instantaneous occupancy count would depend on host
+    // polling — and by Little's law a faithful occupancy proxy.
+    simtime::metrics::record(simtime::metrics::Kind::kMboxWait,
+                             /*route_type=*/0, /*channel=*/-1, e.spe->name(),
+                             end - entry.stamp);
   }
   return entry.value;
 }

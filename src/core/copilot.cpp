@@ -14,6 +14,8 @@
 #include "cellsim/cell.hpp"
 #include "cellsim/errors.hpp"
 #include "core/faultplan.hpp"
+#include "core/flightrec.hpp"
+#include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/trace.hpp"
 #include "pilot/deadlock.hpp"
@@ -473,6 +475,10 @@ class CopilotService {
     // The request's mailbox words are read (slow MMIO) and decoded now, in
     // stamp order.
     clock().join(ready.stamp);
+    // Queue wait: how far the Co-Pilot's clock had already run past the
+    // request's ready stamp — i.e. time spent behind earlier requests.
+    // The join makes now >= stamp, so the value is never negative.
+    const SimTime queue_wait = clock().now() - ready.stamp;
     if (faults::FaultPlan::global().armed() &&
         faults::FaultPlan::global().should_crash_copilot(
             copilot_name().c_str(), node_)) {
@@ -494,9 +500,21 @@ class CopilotService {
       throw c;
     }
     if (supervise_deadline(ready)) return;
+    if (simtime::metrics::armed()) {
+      simtime::metrics::record(simtime::metrics::Kind::kCopilotQueueWait,
+                               route_type_of(ready.req.channel),
+                               ready.req.channel, copilot_name(), queue_wait);
+    }
     clock().advance(cost_.mbox_ppe_read *
                     static_cast<SimTime>(kRequestWords));
+    const SimTime service_begin = clock().now();
     handle_request(ready.spe, ready.req);
+    if (simtime::metrics::armed()) {
+      simtime::metrics::record(simtime::metrics::Kind::kCopilotService,
+                               route_type_of(ready.req.channel),
+                               ready.req.channel, copilot_name(),
+                               clock().now() - service_begin);
+    }
   }
 
   /// Names a channel the way every fault diagnostic does: name plus its
@@ -631,6 +649,15 @@ class CopilotService {
                                 /*route_type=*/0,
                                 static_cast<std::int64_t>(status));
     }
+    // Every process failure is a flight-recorder trigger: SPE deaths
+    // (HardwareFault propagation), deadline timeouts and Co-Pilot faults
+    // all funnel through here.
+    flightrec::FlightRecorder::global().dump(
+        (status == CompletionStatus::kSpeTimeout ? "copilot_timeout: "
+         : status == CompletionStatus::kCopilotFault
+             ? "copilot_fault: "
+             : "spe_fault: ") +
+        detail);
   }
 
   /// Standby takeover: replays the crashed Co-Pilot's journal.  Parked
@@ -896,6 +923,9 @@ int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node) {
                                   /*route_type=*/0,
                                   static_cast<std::int64_t>(node));
       }
+      flightrec::FlightRecorder::global().dump(
+          "copilot_failover: standby taking over " + name + " (node " +
+          std::to_string(node) + ")");
       crash = std::move(c);
     }
   }

@@ -1,0 +1,223 @@
+#include "core/flightrec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/faultplan.hpp"
+#include "core/trace.hpp"
+#include "simtime/tracebuf.hpp"
+
+namespace cellpilot::flightrec {
+
+namespace {
+
+struct RecorderState {
+  std::mutex mu;
+  bool armed = false;
+  std::string path;
+  int dumps = 0;
+
+  void arm_with(const std::string& p) {
+    if (!armed) {
+      // The recorder needs events flowing: arm the trace engine (never
+      // perturbs virtual time) and switch on the black-box tails.
+      simtime::tracebuf::arm();
+      simtime::tracebuf::set_blackbox(kTailEvents);
+      armed = true;
+    }
+    path = p;
+  }
+
+  void disarm_locked() {
+    if (armed) {
+      simtime::tracebuf::set_blackbox(0);
+      simtime::tracebuf::disarm();
+      armed = false;
+    }
+  }
+};
+
+RecorderState& recorder_state() {
+  static RecorderState* g = new RecorderState;
+  return *g;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+std::string postmortem_json(const std::string& reason, int dump_ordinal) {
+  std::string out;
+  out += "{\n\"generator\":\"cellpilot-flightrec\",\n\"reason\":\"";
+  append_json_escaped(out, reason);
+  out += "\",\n\"dumpOrdinal\":";
+  out += std::to_string(dump_ordinal);
+
+  // The armed fault plan: what was being injected when it went wrong.
+  faults::FaultPlan& plan = faults::FaultPlan::global();
+  out += ",\n\"faultPlan\":{\"armed\":";
+  out += plan.armed() ? "true" : "false";
+  out += ",\"seed\":";
+  out += std::to_string(plan.seed());
+  out += ",\"rules\":[";
+  bool first = true;
+  for (const faults::Rule& r : plan.rules()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"kind\":\"";
+    out += faults::to_string(r.kind);
+    out += "\",\"site\":\"";
+    append_json_escaped(out, r.site);
+    char tail[128];
+    std::snprintf(tail, sizeof tail,
+                  "\",\"op\":%llu,\"count\":%llu,\"delayNs\":%lld}",
+                  static_cast<unsigned long long>(r.op),
+                  static_cast<unsigned long long>(r.count),
+                  static_cast<long long>(r.delay));
+    out += tail;
+  }
+  out += "]}";
+
+  // Every channel's counters at dump time (monotonic, lock-free reads).
+  trace::ChannelCounters& counters = trace::ChannelCounters::global();
+  const std::size_t channels = counters.size();
+  out += ",\n\"channelStats\":[";
+  for (std::size_t c = 0; c < channels; ++c) {
+    const trace::ChannelStats s = counters.snapshot(static_cast<int>(c));
+    if (c != 0) out += ",";
+    char row[320];
+    std::snprintf(
+        row, sizeof row,
+        "\n{\"channel\":%zu,\"messages\":%llu,\"payloadBytes\":%llu,"
+        "\"copilotHops\":%llu,\"retries\":%llu,\"timeouts\":%llu,"
+        "\"faults\":%llu,\"retransmits\":%llu,\"duplicates\":%llu,"
+        "\"corruptDetected\":%llu}",
+        c, static_cast<unsigned long long>(s.messages),
+        static_cast<unsigned long long>(s.payload_bytes),
+        static_cast<unsigned long long>(s.copilot_hops),
+        static_cast<unsigned long long>(s.retries),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.faults),
+        static_cast<unsigned long long>(s.retransmits),
+        static_cast<unsigned long long>(s.duplicates),
+        static_cast<unsigned long long>(s.corrupt_detected));
+    out += row;
+  }
+  out += "\n]";
+
+  // The last-N events of every recording thread, canonically sorted.
+  const auto events = simtime::tracebuf::blackbox_snapshot();
+  out += ",\n\"events\":[";
+  first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",";
+    first = false;
+    const int channel =
+        e.channel >= 0 ? e.channel : trace::channel_of_tag(e.aux);
+    out += "\n{\"name\":\"";
+    out += simtime::tracebuf::kind_name(e.kind);
+    out += "\",\"entity\":\"";
+    append_json_escaped(out, e.entity);
+    char tail[192];
+    std::snprintf(tail, sizeof tail,
+                  "\",\"beginNs\":%lld,\"endNs\":%lld,\"channel\":%d,"
+                  "\"route\":%d,\"bytes\":%llu,\"aux\":%lld}",
+                  static_cast<long long>(e.begin),
+                  static_cast<long long>(e.end), channel,
+                  static_cast<int>(e.route_type),
+                  static_cast<unsigned long long>(e.bytes),
+                  static_cast<long long>(e.aux));
+    out += tail;
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  const char* env = std::getenv("CELLPILOT_FLIGHTREC");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* g = new FlightRecorder;
+  return *g;
+}
+
+void FlightRecorder::configure(const std::string& path) {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  st.dumps = 0;
+  st.arm_with(path);
+}
+
+bool FlightRecorder::armed() const {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  return st.armed;
+}
+
+const std::string& FlightRecorder::path() const {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  return st.path;
+}
+
+void FlightRecorder::dump(const std::string& reason) {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  if (!st.armed) return;
+  ++st.dumps;
+  std::ofstream f(st.path, std::ios::binary | std::ios::trunc);
+  if (f) f << postmortem_json(reason, st.dumps);
+}
+
+int FlightRecorder::dump_count() const {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  return st.dumps;
+}
+
+void FlightRecorder::on_job_end() {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  if (!st.armed) return;
+  // If no trace session/capture will drain the rings, they would grow to
+  // their cap across a many-job binary; the black-box tails are all the
+  // recorder needs, so drop the ring contents here (quiescence point).
+  trace::TraceSession& session = trace::TraceSession::global();
+  if (!session.armed() && !session.capture_active()) {
+    simtime::tracebuf::clear();
+  }
+}
+
+void FlightRecorder::reset_for_tests() {
+  RecorderState& st = recorder_state();
+  std::lock_guard lock(st.mu);
+  st.disarm_locked();
+  st.path.clear();
+  st.dumps = 0;
+  const char* env = std::getenv("CELLPILOT_FLIGHTREC");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+}  // namespace cellpilot::flightrec

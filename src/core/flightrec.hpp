@@ -1,0 +1,66 @@
+#pragma once
+/// \file
+/// The fault flight recorder: a black-box postmortem for failing runs.
+///
+/// When armed (`-piflightrec=FILE` / `CELLPILOT_FLIGHTREC`), the trace
+/// engine keeps a bounded tail of the most recent events per recording
+/// thread (simtime::tracebuf black-box mode) and the recorder dumps a
+/// self-contained JSON artifact on every fault trigger:
+///
+///   * SPE death / HardwareFault propagation (Co-Pilot fail_process),
+///   * a supervision deadline giving up (copilot_timeout),
+///   * Co-Pilot crash failover (standby takeover), and
+///   * external watchdogs (bench/chaos_sweep wires its liveness watchdog
+///     and its parity-violation path here).
+///
+/// The artifact contains the trigger reason, the last-N events per
+/// thread, every channel's counters, and the armed fault plan (seed plus
+/// rules), so a failed chaos seed is diagnosable from the file alone.
+/// Each trigger rewrites the file — last writer wins, which is the
+/// trigger closest to the failure the harness noticed.
+///
+/// Unlike the trace/metrics sessions the dump does NOT require
+/// quiescence: the black-box tails carry their own locks, so a fault
+/// path (or a watchdog thread) may dump while the simulation is live.
+/// Arming the recorder arms the trace engine (it needs events recorded),
+/// which by the tracebuf contract never perturbs virtual time.
+
+#include <string>
+
+namespace cellpilot::flightrec {
+
+/// Events kept per recording thread while armed.
+inline constexpr std::size_t kTailEvents = 256;
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// Arm with an explicit output path (`-piflightrec=FILE`).
+  void configure(const std::string& path);
+
+  bool armed() const;
+  const std::string& path() const;
+
+  /// Write the postmortem artifact.  No-op when disarmed.  Safe from any
+  /// thread, including fault paths and watchdogs on a live simulation.
+  void dump(const std::string& reason);
+
+  /// Number of dumps written since configure (test hook).
+  int dump_count() const;
+
+  /// End-of-job housekeeping, called from cellpilot::run's epilogue:
+  /// when the recorder is the only consumer keeping the trace engine
+  /// armed, the full rings are never drained by a session flush, so they
+  /// are cleared here to bound memory across many jobs.  The black-box
+  /// tails survive.
+  void on_job_end();
+
+  /// Test hook: drop all state and re-read CELLPILOT_FLIGHTREC.
+  void reset_for_tests();
+
+ private:
+  FlightRecorder();
+};
+
+}  // namespace cellpilot::flightrec

@@ -1,0 +1,288 @@
+#include "core/metrics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/trace.hpp"
+
+namespace cellpilot::metrics {
+
+// ---------------------------------------------------------------------------
+// Report JSON
+
+namespace {
+
+void append_stat_fields(std::string& out, const simtime::metrics::Histogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\"count\":%llu,\"sumNs\":%llu,\"minNs\":%lld,"
+                "\"p50Ns\":%lld,\"p90Ns\":%lld,\"p99Ns\":%lld,"
+                "\"maxNs\":%lld",
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.sum()),
+                static_cast<long long>(h.min()),
+                static_cast<long long>(h.percentile(50)),
+                static_cast<long long>(h.percentile(90)),
+                static_cast<long long>(h.percentile(99)),
+                static_cast<long long>(h.max()));
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+std::string metrics_report_json(const std::vector<JobReport>& jobs) {
+  std::string out;
+  out += "{\n\"generator\":\"cellpilot-metrics\",\n\"unit\":\"virtual_ns\",\n";
+  out += "\"jobs\":[";
+  bool first_job = true;
+  for (const JobReport& jr : jobs) {
+    if (!first_job) out += ",";
+    first_job = false;
+    out += "\n{\"job\":";
+    out += std::to_string(jr.job);
+    out += ",\"series\":[";
+    bool first = true;
+    for (const auto& s : jr.series) {
+      if (!first) out += ",";
+      first = false;
+      char head[96];
+      std::snprintf(head, sizeof head,
+                    "\n{\"agg\":\"series\",\"job\":%d,\"kind\":\"%s\","
+                    "\"route\":%d,\"channel\":%d,\"entity\":\"",
+                    jr.job, simtime::metrics::kind_name(s.key.kind),
+                    static_cast<int>(s.key.route_type), s.key.channel);
+      out += head;
+      append_json_escaped(out, s.key.entity);
+      out += "\",";
+      append_stat_fields(out, s.hist);
+      out += "}";
+    }
+    out += "\n],\"byRoute\":[";
+    // Per-route rollups for the two route-attributed kinds: these are the
+    // rows tracestats recomputes from the trace file of the same run.
+    std::map<std::pair<int, int>, simtime::metrics::Histogram> rollup;
+    for (const auto& s : jr.series) {
+      if (s.key.kind != simtime::metrics::Kind::kMsgLatency &&
+          s.key.kind != simtime::metrics::Kind::kReadBlock) {
+        continue;
+      }
+      if (s.key.route_type <= 0) continue;
+      rollup[{static_cast<int>(s.key.kind),
+              static_cast<int>(s.key.route_type)}]
+          .merge(s.hist);
+    }
+    first = true;
+    for (const auto& [key, hist] : rollup) {
+      if (!first) out += ",";
+      first = false;
+      char head[96];
+      std::snprintf(
+          head, sizeof head,
+          "\n{\"agg\":\"route\",\"job\":%d,\"kind\":\"%s\",\"route\":%d,",
+          jr.job,
+          simtime::metrics::kind_name(
+              static_cast<simtime::metrics::Kind>(key.first)),
+          key.second);
+      out += head;
+      append_stat_fields(out, hist);
+      out += "}";
+    }
+    out += "\n]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSession
+
+namespace {
+
+struct MetricsState {
+  std::mutex mu;
+  bool armed = false;
+  std::string path;
+  std::vector<JobReport> reports;
+  int next_job = 1;
+  std::atomic<int> captures{0};
+
+  void arm_with(const std::string& p) {
+    if (!armed) {
+      simtime::metrics::arm();
+      armed = true;
+    }
+    path = p;
+  }
+};
+
+MetricsState& metrics_state() {
+  static MetricsState* g = new MetricsState;
+  return *g;
+}
+
+}  // namespace
+
+MetricsSession::MetricsSession() {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  const char* env = std::getenv("CELLPILOT_METRICS");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+MetricsSession& MetricsSession::global() {
+  static MetricsSession* g = new MetricsSession;
+  return *g;
+}
+
+void MetricsSession::configure(const std::string& path) {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  st.reports.clear();
+  st.next_job = 1;
+  st.arm_with(path);
+  simtime::metrics::clear();
+}
+
+bool MetricsSession::armed() const {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  return st.armed;
+}
+
+const std::string& MetricsSession::path() const {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  return st.path;
+}
+
+void MetricsSession::flush_job() {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  if (!st.armed) return;
+  if (st.captures.load(std::memory_order_relaxed) > 0) return;
+
+  JobReport report;
+  report.job = st.next_job++;
+  report.series = simtime::metrics::drain();
+  st.reports.push_back(std::move(report));
+
+  // Rewrite the whole file each flush, same policy as the trace session:
+  // a multi-job binary always leaves a complete, well-formed report.
+  std::ofstream f(st.path, std::ios::binary | std::ios::trunc);
+  if (f) f << metrics_report_json(st.reports);
+}
+
+void MetricsSession::reset_for_tests() {
+  MetricsState& st = metrics_state();
+  std::lock_guard lock(st.mu);
+  if (st.armed) {
+    simtime::metrics::disarm();
+    st.armed = false;
+  }
+  st.reports.clear();
+  st.next_job = 1;
+  st.path.clear();
+  simtime::metrics::clear();
+  const char* env = std::getenv("CELLPILOT_METRICS");
+  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+}
+
+void MetricsSession::adjust_captures(int delta) {
+  metrics_state().captures.fetch_add(delta, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedMetricsCapture
+
+ScopedMetricsCapture::ScopedMetricsCapture() {
+  MetricsSession::global().adjust_captures(1);
+  trace::TraceSession::global().adjust_captures(1);
+  simtime::metrics::clear();
+  simtime::metrics::arm();
+  // The trace engine is cleared at both capture boundaries so that, when
+  // a trace session is armed too, the suppressed job's events cannot leak
+  // into the next flushed job and desynchronize the two files.
+  simtime::tracebuf::clear();
+}
+
+ScopedMetricsCapture::~ScopedMetricsCapture() {
+  simtime::metrics::disarm();
+  simtime::metrics::clear();
+  simtime::tracebuf::clear();
+  trace::TraceSession::global().adjust_captures(-1);
+  MetricsSession::global().adjust_captures(-1);
+}
+
+std::vector<simtime::metrics::Series> ScopedMetricsCapture::drain() {
+  return simtime::metrics::drain();
+}
+
+// ---------------------------------------------------------------------------
+// LatencyLedger
+
+struct LatencyLedger::Impl {
+  std::mutex mu;
+  std::vector<std::deque<simtime::SimTime>> fifos;
+};
+
+LatencyLedger& LatencyLedger::global() {
+  static LatencyLedger* g = new LatencyLedger;
+  return *g;
+}
+
+LatencyLedger::Impl* LatencyLedger::impl() {
+  static Impl* g = new Impl;
+  return g;
+}
+
+void LatencyLedger::reset(std::size_t channels) {
+  Impl* im = impl();
+  std::lock_guard lock(im->mu);
+  im->fifos.assign(channels, {});
+}
+
+void LatencyLedger::push(int channel, simtime::SimTime write_begin) {
+  Impl* im = impl();
+  std::lock_guard lock(im->mu);
+  if (channel < 0 || static_cast<std::size_t>(channel) >= im->fifos.size()) {
+    return;
+  }
+  im->fifos[static_cast<std::size_t>(channel)].push_back(write_begin);
+}
+
+bool LatencyLedger::pop(int channel, simtime::SimTime* write_begin) {
+  Impl* im = impl();
+  std::lock_guard lock(im->mu);
+  if (channel < 0 || static_cast<std::size_t>(channel) >= im->fifos.size()) {
+    return false;
+  }
+  auto& q = im->fifos[static_cast<std::size_t>(channel)];
+  if (q.empty()) return false;
+  *write_begin = q.front();
+  q.pop_front();
+  return true;
+}
+
+}  // namespace cellpilot::metrics

@@ -2,6 +2,7 @@
 // the Pilot API implementation and the CellPilot core share one data plane.
 #include "core/router.hpp"
 
+#include "core/metrics.hpp"
 #include "core/trace.hpp"
 #include "pilot/app.hpp"
 #include "pilot/errors.hpp"
@@ -134,8 +135,11 @@ Route compile_route(pilot::PilotApp& app, const PI_CHANNEL& ch) {
 void Router::compile(pilot::PilotApp& app) {
   const int channels = app.channel_count();
   // A fresh route table starts a fresh stats epoch: the counters are sized
-  // here, before any traffic, so the hot-path increments never lock.
+  // here, before any traffic, so the hot-path increments never lock.  The
+  // metrics latency ledger follows the same epoch.
   trace::ChannelCounters::global().reset(
+      static_cast<std::size_t>(channels));
+  metrics::LatencyLedger::global().reset(
       static_cast<std::size_t>(channels));
   routes_.reserve(static_cast<std::size_t>(channels));
   for (int id = 0; id < channels; ++id) {

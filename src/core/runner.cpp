@@ -7,6 +7,8 @@
 #include "core/cellpilot.hpp"
 
 #include "core/copilot.hpp"
+#include "core/flightrec.hpp"
+#include "core/metrics.hpp"
 #include "core/router.hpp"
 #include "core/trace.hpp"
 #include "core/transport.hpp"
@@ -33,6 +35,15 @@ class ContextBinding {
 
 RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
               RunOptions options) {
+  // Touch the observability singletons before any traffic: their
+  // constructors arm from the environment (CELLPILOT_TRACE /
+  // CELLPILOT_METRICS / CELLPILOT_FLIGHTREC), and lazy construction at
+  // the flush point used to leave the process's FIRST job silently
+  // unrecorded — an env-armed single-job binary wrote an event-less file.
+  trace::TraceSession::global();
+  metrics::MetricsSession::global();
+  flightrec::FlightRecorder::global();
+
   pilot::PilotApp app(machine);
   CellTransportImpl transport;
   app.set_transport(&transport);
@@ -96,6 +107,13 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
     }
     trace::TraceSession::global().flush_job(channels);
   }
+
+  // Same quiescence point for the metrics report: drain the histogram
+  // registry into this job's report and rewrite the session's file (no-op
+  // when disarmed).  After both flushes the flight recorder may discard
+  // ring contents it alone kept alive.
+  metrics::MetricsSession::global().flush_job();
+  flightrec::FlightRecorder::global().on_job_end();
 
   RunResult result;
   result.status = launched.exit_codes.empty() ? 0 : launched.exit_codes[0];

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/metrics.hpp"
 #include "mpisim/reliable.hpp"
 #include "mpisim/types.hpp"
 #include "pilot/tables.hpp"
@@ -416,18 +417,33 @@ void TraceSession::reset_for_tests() {
   if (env != nullptr && env[0] != '\0') st.arm_with(env);
 }
 
+void TraceSession::adjust_captures(int delta) {
+  session_state().captures.fetch_add(delta, std::memory_order_relaxed);
+}
+
+bool TraceSession::capture_active() const {
+  return session_state().captures.load(std::memory_order_relaxed) > 0;
+}
+
 // ---------------------------------------------------------------------------
 // ScopedTraceCapture
 
 ScopedTraceCapture::ScopedTraceCapture() {
   session_state().captures.fetch_add(1, std::memory_order_relaxed);
+  metrics::MetricsSession::global().adjust_captures(1);
   simtime::tracebuf::clear();
   simtime::tracebuf::arm();
+  // Clear the metrics engine at both capture boundaries so that, when a
+  // metrics session is armed too, the suppressed job's samples cannot
+  // leak into the next flushed report (see core/metrics.hpp).
+  simtime::metrics::clear();
 }
 
 ScopedTraceCapture::~ScopedTraceCapture() {
   simtime::tracebuf::disarm();
   simtime::tracebuf::clear();
+  simtime::metrics::clear();
+  metrics::MetricsSession::global().adjust_captures(-1);
   session_state().captures.fetch_sub(1, std::memory_order_relaxed);
 }
 

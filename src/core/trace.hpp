@@ -106,6 +106,16 @@ class TraceSession {
   /// Test hook: drop all state and re-read CELLPILOT_TRACE.
   void reset_for_tests();
 
+  /// Internal capture bookkeeping: both ScopedTraceCapture and
+  /// ScopedMetricsCapture suppress *both* session flushes so the per-job
+  /// numbering of the trace file and the metrics report stay aligned
+  /// (tools/tracestats joins them by job ordinal).
+  void adjust_captures(int delta);
+
+  /// True while any scoped capture is alive (the flight recorder's
+  /// end-of-job housekeeping must not clear rings a capture will drain).
+  bool capture_active() const;
+
  private:
   TraceSession();
 };

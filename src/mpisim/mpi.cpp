@@ -4,6 +4,7 @@
 
 #include "mpisim/inject.hpp"
 #include "mpisim/reliable.hpp"
+#include "simtime/metrics.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -164,6 +165,14 @@ void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
       continue;
     }
     break;
+  }
+
+  if (penalty > 0 && simtime::metrics::armed()) {
+    // The whole detect/backoff/resend conversation, as one virtual-time
+    // cost the receiver will observe on top of the clean transit.
+    simtime::metrics::record(simtime::metrics::Kind::kRetransmitDelay,
+                             /*route_type=*/0, /*channel=*/-1,
+                             world_->info(me_).name, penalty);
   }
 
   auto parsed = reliable::unframe(wire);

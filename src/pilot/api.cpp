@@ -9,6 +9,8 @@
 
 #include "cellsim/spu.hpp"
 #include "core/faultplan.hpp"
+#include "core/flightrec.hpp"
+#include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/router.hpp"
 #include "core/trace.hpp"
@@ -137,6 +139,12 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
       swap_element_bytes(plan.parsed, ws.counts, ws.staging);
     }
     const simtime::SimTime begin = cellsim::spu::self().clock().now();
+    // The latency ledger push happens *before* the transport hand-off so
+    // it happens-before any read completion of this message (the reader's
+    // pop can otherwise race a type-4/5 writer's host-side return).
+    if (simtime::metrics::armed()) {
+      cellpilot::metrics::LatencyLedger::global().push(ch->id, begin);
+    }
     sd->app->transport()->spe_write(*ch, sig, ws.staging);
     cellpilot::trace::ChannelCounters::global().add_message(ch->id,
                                                             ws.staging.size());
@@ -185,6 +193,9 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
     swap_element_bytes(plan.parsed, ws.counts, payload);
   }
   frame_in_place(ws.staging, sig);
+  if (simtime::metrics::armed()) {
+    cellpilot::metrics::LatencyLedger::global().push(ch->id, call_begin);
+  }
   ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
   cellpilot::trace::ChannelCounters::global().add_message(ch->id,
                                                           payload_bytes);
@@ -223,12 +234,24 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
     rs.staging.resize(rs.plan.payload_bytes);
     const simtime::SimTime begin = cellsim::spu::self().clock().now();
     sd->app->transport()->spe_read(*ch, sig, rs.staging);
+    const simtime::SimTime end = cellsim::spu::self().clock().now();
     if (simtime::tracebuf::armed()) {
       simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeRead,
-                                cellsim::spu::self().name(), begin,
-                                cellsim::spu::self().clock().now(),
+                                cellsim::spu::self().name(), begin, end,
                                 rs.staging.size(), ch->id,
                                 static_cast<std::int8_t>(rt.type));
+    }
+    if (simtime::metrics::armed()) {
+      namespace sm = simtime::metrics;
+      const std::string& entity = cellsim::spu::self().name();
+      const auto route = static_cast<std::int8_t>(rt.type);
+      sm::record(sm::Kind::kReadBlock, route, ch->id, entity, end - begin);
+      simtime::SimTime write_begin = 0;
+      if (cellpilot::metrics::LatencyLedger::global().pop(ch->id,
+                                                          &write_begin)) {
+        sm::record(sm::Kind::kMsgLatency, route, ch->id, entity,
+                   end - write_begin);
+      }
     }
     if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, rs.staging);
     scatter(rs.plan, rs.staging);
@@ -277,18 +300,31 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, payload);
   scatter(rs.plan, payload);
   charge_rank_call(ctx, rs.plan.payload_bytes);
+  const simtime::SimTime call_end = ctx.mpi().clock().now();
   simtime::Trace::global().record(
       app.cluster().world().info(ctx.rank()).name,
       simtime::TraceKind::kPilotCall,
       "PI_Read " + ch->name + " " + std::to_string(rs.plan.payload_bytes) +
           "B",
-      0, ctx.mpi().clock().now());
+      0, call_end);
   if (simtime::tracebuf::armed()) {
     simtime::tracebuf::record(simtime::tracebuf::Kind::kPilotRead,
                               app.cluster().world().info(ctx.rank()).name,
-                              call_begin, ctx.mpi().clock().now(),
-                              rs.plan.payload_bytes, ch->id,
-                              static_cast<std::int8_t>(rt.type));
+                              call_begin, call_end, rs.plan.payload_bytes,
+                              ch->id, static_cast<std::int8_t>(rt.type));
+  }
+  if (simtime::metrics::armed()) {
+    namespace sm = simtime::metrics;
+    const std::string& entity = app.cluster().world().info(ctx.rank()).name;
+    const auto route = static_cast<std::int8_t>(rt.type);
+    sm::record(sm::Kind::kReadBlock, route, ch->id, entity,
+               call_end - call_begin);
+    simtime::SimTime write_begin = 0;
+    if (cellpilot::metrics::LatencyLedger::global().pop(ch->id,
+                                                        &write_begin)) {
+      sm::record(sm::Kind::kMsgLatency, route, ch->id, entity,
+                 call_end - write_begin);
+    }
   }
 }
 
@@ -325,6 +361,8 @@ int PI_Configure(int* argc, char*** argv) {
   Options opts;
   std::string fault_spec;
   std::string trace_file;
+  std::string metrics_file;
+  std::string flightrec_file;
   bool have_fault_spec = false;
   if (argc != nullptr && argv != nullptr) {
     int out = 1;
@@ -344,6 +382,19 @@ int PI_Configure(int* argc, char*** argv) {
           throw PilotError(ErrorCode::kUsage, "-pitrace= needs a file name");
         }
         trace_file = a + 9;
+      } else if (std::strncmp(a, "-pimetrics=", 11) == 0) {
+        // Metrics report file; overrides the CELLPILOT_METRICS baseline.
+        if (a[11] == '\0') {
+          throw PilotError(ErrorCode::kUsage, "-pimetrics= needs a file name");
+        }
+        metrics_file = a + 11;
+      } else if (std::strncmp(a, "-piflightrec=", 13) == 0) {
+        // Flight-recorder postmortem file; overrides CELLPILOT_FLIGHTREC.
+        if (a[13] == '\0') {
+          throw PilotError(ErrorCode::kUsage,
+                           "-piflightrec= needs a file name");
+        }
+        flightrec_file = a + 13;
       } else if (std::strncmp(a, "-pideadline=", 12) == 0) {
         // SPE request deadline in virtual microseconds.
         char* end = nullptr;
@@ -386,6 +437,12 @@ int PI_Configure(int* argc, char*** argv) {
     if (opts.trace_calls) simtime::Trace::global().set_enabled(true);
     if (!trace_file.empty()) {
       cellpilot::trace::TraceSession::global().configure(trace_file);
+    }
+    if (!metrics_file.empty()) {
+      cellpilot::metrics::MetricsSession::global().configure(metrics_file);
+    }
+    if (!flightrec_file.empty()) {
+      cellpilot::flightrec::FlightRecorder::global().configure(flightrec_file);
     }
   }
 
@@ -596,6 +653,9 @@ void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
     cellpilot::Route& rt = route_of(*ch, file, line);
     if (rt.needs_transport) transport_or_die(ctx.app(), file, line);
     const simtime::SimTime leg_begin = ctx.mpi().clock().now();
+    if (simtime::metrics::armed()) {
+      cellpilot::metrics::LatencyLedger::global().push(ch->id, leg_begin);
+    }
     ctx.mpi().send(framed.data(), framed.size(), rt.write_dest, rt.tag);
     cellpilot::trace::ChannelCounters::global().add_message(
         ch->id, framed.size() - sizeof(WireHeader));
@@ -637,21 +697,39 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
     std::vector<std::byte> framed =
         ctx.mpi().recv_any_size(rt.read_source, rt.tag);
     notify_unblock(ctx);
-    if (simtime::tracebuf::armed()) {
-      simtime::tracebuf::record(
-          simtime::tracebuf::Kind::kPilotRead,
-          ctx.app().cluster().world().info(ctx.rank()).name, leg_begin,
-          ctx.mpi().clock().now(), framed.size() >= sizeof(WireHeader)
-                                       ? framed.size() - sizeof(WireHeader)
-                                       : 0,
-          ch->id, static_cast<std::int8_t>(rt.type));
-    }
+    const simtime::SimTime leg_end = ctx.mpi().clock().now();
     if (is_fault_frame(framed)) {
       const FaultFrame fault = parse_fault_frame(framed);
       throw_peer_failure(fault.status, fault.detail, *ch, file, line);
     }
     check_frame(framed, sig, plan.payload_bytes,
                 "gather channel " + ch->name);
+    // Recorded only once the frame is known good — point-to-point reads do
+    // the same, so a faulted leg never produces a phantom pilot_read and
+    // the offline write/read pairing (tools/tracestats) stays aligned with
+    // the online latency ledger.  No clock moves between the receive and
+    // here, so clean-path stamps are unchanged.
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(
+          simtime::tracebuf::Kind::kPilotRead,
+          ctx.app().cluster().world().info(ctx.rank()).name, leg_begin,
+          leg_end, framed.size() - sizeof(WireHeader), ch->id,
+          static_cast<std::int8_t>(rt.type));
+    }
+    if (simtime::metrics::armed()) {
+      namespace sm = simtime::metrics;
+      const std::string& entity =
+          ctx.app().cluster().world().info(ctx.rank()).name;
+      const auto route = static_cast<std::int8_t>(rt.type);
+      sm::record(sm::Kind::kReadBlock, route, ch->id, entity,
+                 leg_end - leg_begin);
+      simtime::SimTime write_begin = 0;
+      if (cellpilot::metrics::LatencyLedger::global().pop(ch->id,
+                                                          &write_begin)) {
+        sm::record(sm::Kind::kMsgLatency, route, ch->id, entity,
+                   leg_end - write_begin);
+      }
+    }
     const std::span<std::byte> payload =
         std::span(framed).subspan(sizeof(WireHeader));
     if (rt.writer_big_endian) swap_element_bytes(plan.fmt, payload);
@@ -709,8 +787,10 @@ int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
   }
   PilotContext& ctx = context();
   if (ctx.phase != Phase::kExecution && ctx.phase != Phase::kDone) {
-    throw PilotError(ErrorCode::kUsage,
-                     "PI_GetChannelStats called before PI_StartAll");
+    // Harvest-contract violation, not a usage crash: before PI_StartAll
+    // the route table (and with it the counter epoch) does not exist yet,
+    // so report the documented error code instead of stale state.
+    return PI_ERR_PHASE;
   }
   const cellpilot::trace::ChannelStats s =
       cellpilot::trace::ChannelCounters::global().snapshot(ch->id);
@@ -726,6 +806,51 @@ int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
   out->retransmits = s.retransmits;
   out->duplicates = s.duplicates;
   out->corrupt_detected = s.corrupt_detected;
+  return 0;
+}
+
+int PI_GetMetricsSnapshot(PI_METRICS_SNAPSHOT* out) {
+  if (out == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_GetMetricsSnapshot: null output");
+  }
+  if (spe_dispatch() != nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetMetricsSnapshot is rank-side only");
+  }
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kExecution && ctx.phase != Phase::kDone) {
+    return PI_ERR_PHASE;
+  }
+  std::memset(out, 0, sizeof *out);
+  namespace sm = simtime::metrics;
+  // The engine snapshot copies under the table lock, so harvesting while
+  // late Co-Pilot work still records is safe — it may simply lag, exactly
+  // like PI_GetChannelStats (totals are final after PI_StopMain).
+  sm::Histogram latency[6];
+  sm::Histogram block[6];
+  for (const sm::Series& s : sm::snapshot()) {
+    const int route = static_cast<int>(s.key.route_type);
+    if (route < 1 || route > 5) continue;
+    sm::Histogram* slots = nullptr;
+    if (s.key.kind == sm::Kind::kMsgLatency) slots = latency;
+    if (s.key.kind == sm::Kind::kReadBlock) slots = block;
+    if (slots == nullptr) continue;
+    slots[0].merge(s.hist);
+    slots[route].merge(s.hist);
+  }
+  const auto fill = [](PI_METRIC_STAT& dst, const sm::Histogram& h) {
+    dst.count = h.count();
+    dst.sum_ns = h.sum();
+    dst.min_ns = h.min();
+    dst.p50_ns = h.percentile(50);
+    dst.p90_ns = h.percentile(90);
+    dst.p99_ns = h.percentile(99);
+    dst.max_ns = h.max();
+  };
+  for (int i = 0; i < 6; ++i) {
+    fill(out->msg_latency[i], latency[i]);
+    fill(out->read_block[i], block[i]);
+  }
   return 0;
 }
 

@@ -141,9 +141,41 @@ typedef struct PI_CHANNEL_STATS {
   unsigned long long corrupt_detected;  ///< CRC-caught damaged frames
 } PI_CHANNEL_STATS;
 
+/// Harvest-contract violation: a stats/metrics call was made before
+/// PI_StartAll compiled the routes, so there is nothing to read yet.
+/// (Distinct from 0 = success; null arguments still throw kUsage.)
+#define PI_ERR_PHASE (-2)
+
 /// Fills `out` with the channel's totals.  Rank-side, execution phase (or
-/// later — PI_MAIN may harvest after PI_StopMain).  Returns 0 on success.
+/// later — PI_MAIN may harvest after PI_StopMain).  Returns 0 on success,
+/// PI_ERR_PHASE when called before PI_StartAll.
 int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out);
+
+/// One aggregated histogram read-out from the metrics layer
+/// (`-pimetrics=FILE` / `CELLPILOT_METRICS`); all values in virtual ns.
+typedef struct PI_METRIC_STAT {
+  unsigned long long count;   ///< samples recorded
+  unsigned long long sum_ns;  ///< exact sum of all samples
+  long long min_ns;           ///< smallest sample (0 when empty)
+  long long p50_ns;           ///< nearest-rank percentiles (log-bucketed,
+  long long p90_ns;           ///< <= ~3% relative error, clamped into
+  long long p99_ns;           ///< [min_ns, max_ns])
+  long long max_ns;           ///< largest sample (0 when empty)
+} PI_METRIC_STAT;
+
+/// Per-route-type metrics snapshot.  Index 1..5 is the Table I route
+/// type; index 0 aggregates all routed traffic.
+typedef struct PI_METRICS_SNAPSHOT {
+  PI_METRIC_STAT msg_latency[6];  ///< end-to-end write-begin -> read-end
+  PI_METRIC_STAT read_block[6];   ///< PI_Read / spe_read blocking time
+} PI_METRICS_SNAPSHOT;
+
+/// Fills `out` from the live metrics registry.  Rank-side, execution
+/// phase or later; same harvest contract as PI_GetChannelStats — totals
+/// are only complete after PI_StopMain returns.  All zeros when the
+/// metrics layer is disarmed.  Returns 0 on success, PI_ERR_PHASE when
+/// called before PI_StartAll.
+int PI_GetMetricsSnapshot(PI_METRICS_SNAPSHOT* out);
 
 /// Names a process/channel for diagnostics (optional, any phase).
 void PI_SetName(PI_PROCESS* p, const char* name);

@@ -1,0 +1,195 @@
+#include "simtime/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace simtime::metrics {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kMsgLatency: return "msg_latency";
+    case Kind::kReadBlock: return "read_block";
+    case Kind::kCopilotQueueWait: return "copilot_queue_wait";
+    case Kind::kCopilotService: return "copilot_service";
+    case Kind::kMboxWait: return "mbox_wait";
+    case Kind::kRetransmitDelay: return "retransmit_delay";
+  }
+  return "?";
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value_ns) {
+  if (value_ns < kSubBuckets) {
+    return static_cast<std::size_t>(value_ns < 0 ? 0 : value_ns);
+  }
+  const auto v = static_cast<std::uint64_t>(value_ns);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+  return static_cast<std::size_t>(kSubBuckets) +
+         static_cast<std::size_t>(msb - kSubBits) *
+             static_cast<std::size_t>(kSubBuckets) +
+         sub;
+}
+
+std::int64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<std::int64_t>(index);
+  }
+  const std::size_t off = index - static_cast<std::size_t>(kSubBuckets);
+  const int msb = static_cast<int>(off / kSubBuckets) + kSubBits;
+  const auto sub = static_cast<std::int64_t>(off % kSubBuckets);
+  return (std::int64_t{1} << msb) + (sub << (msb - kSubBits));
+}
+
+void Histogram::add(std::int64_t value_ns) {
+  if (value_ns < 0) value_ns = 0;
+  const std::size_t idx = bucket_index(value_ns);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = value_ns;
+    max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+  sum_ += static_cast<std::uint64_t>(value_ns);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t Histogram::percentile(int p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest-rank with ceiling: rank 1..count_.
+  std::uint64_t rank = (count_ * static_cast<std::uint64_t>(p) + 99) / 100;
+  if (rank < 1) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      const std::int64_t rep = bucket_lower_bound(i);
+      return std::clamp(rep, min_, max_);
+    }
+  }
+  return max_;
+}
+
+bool Key::operator<(const Key& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  if (route_type != other.route_type) return route_type < other.route_type;
+  if (channel != other.channel) return channel < other.channel;
+  return entity < other.entity;
+}
+
+bool Key::operator==(const Key& other) const {
+  return kind == other.kind && route_type == other.route_type &&
+         channel == other.channel && entity == other.entity;
+}
+
+namespace {
+
+/// One shared table for every recording thread.  A histogram update is a
+/// handful of integer ops, so lock contention is negligible next to the
+/// marshalling work each seam already does; in exchange snapshot() works
+/// mid-run.  std::map keeps the table permanently in key order, so drain
+/// and snapshot are a straight copy.  Leaky singleton for the same reason
+/// as tracebuf's registry: thread-local destructors may outlive statics.
+struct Table {
+  std::mutex mu;
+  std::map<Key, Histogram> series;
+};
+
+Table& table() {
+  static Table* g = new Table;
+  return *g;
+}
+
+std::mutex g_arm_mu;
+int g_arm_count = 0;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void record_slow(Kind kind, std::int8_t route_type, std::int32_t channel,
+                 const std::string& entity, std::int64_t value_ns) {
+  Key key;
+  key.kind = kind;
+  key.route_type = route_type;
+  key.channel = channel;
+  key.entity = entity;
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  t.series[std::move(key)].add(value_ns);
+}
+
+}  // namespace detail
+
+void arm() {
+  std::lock_guard lock(g_arm_mu);
+  if (++g_arm_count == 1) {
+    detail::g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void disarm() {
+  std::lock_guard lock(g_arm_mu);
+  if (g_arm_count > 0 && --g_arm_count == 0) {
+    detail::g_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void clear() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  t.series.clear();
+}
+
+std::vector<Series> drain() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  std::vector<Series> out;
+  out.reserve(t.series.size());
+  for (auto& [key, hist] : t.series) {
+    out.push_back(Series{key, std::move(hist)});
+  }
+  t.series.clear();
+  return out;
+}
+
+std::vector<Series> snapshot() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  std::vector<Series> out;
+  out.reserve(t.series.size());
+  for (const auto& [key, hist] : t.series) {
+    out.push_back(Series{key, hist});
+  }
+  return out;
+}
+
+}  // namespace simtime::metrics

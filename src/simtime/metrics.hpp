@@ -1,0 +1,154 @@
+#pragma once
+/// \file
+/// Log-bucketed histogram registry for the virtual-time metrics layer.
+///
+/// This is the *engine* under `core/metrics`, exactly as `tracebuf` is the
+/// engine under `core/trace`: it lives in simtime (the lowest layer) so
+/// that cellsim, mpisim and core can all record into it without layering
+/// inversions, and the CellPilot meaning of each metric (which seam feeds
+/// it, what the report looks like) is layered on top in `core/metrics`.
+///
+/// Design constraints, shared with tracebuf and in the same order:
+///  1. Zero cost when disarmed: every seam guards its record with
+///     `if (metrics::armed())` — one relaxed atomic load and a branch.
+///  2. Never perturb virtual time: recording reads clocks the seam already
+///     holds; it neither advances nor joins any clock, so armed and
+///     disarmed runs are bit-for-bit identical in virtual time.
+///  3. Deterministic canonical drain: series are sorted by their key —
+///     (kind, route type, channel, entity) — which depends only on what
+///     was recorded, never on host scheduling; and the histogram itself is
+///     exact-integer state (bucket counts, sum, min, max), so two runs of
+///     a deterministic program drain byte-identical data.
+///
+/// Unlike tracebuf there is no per-thread ring: a histogram update is a
+/// few integer ops, so all threads share one mutex-protected table.  That
+/// keeps `snapshot()` safe to call mid-run (PI_GetMetricsSnapshot) where
+/// tracebuf's drain demands full quiescence.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+
+namespace simtime::metrics {
+
+/// What is being measured.  CellPilot-flavoured names for the same reason
+/// tracebuf's kinds are: the consumers own the meaning, the engine just
+/// keys on the tag.
+enum class Kind : std::uint8_t {
+  kMsgLatency = 0,     ///< end-to-end write-begin -> read-end, per channel
+  kReadBlock,          ///< PI_Read / spe_read blocking time
+  kCopilotQueueWait,   ///< request ready -> Co-Pilot starts serving it
+  kCopilotService,     ///< Co-Pilot handle_request duration
+  kMboxWait,           ///< mailbox entry dwell time (occupancy proxy)
+  kRetransmitDelay,    ///< reliable-transport ladder delay per send
+};
+
+/// Stable lower-case token for a kind (used in report JSON and tests).
+const char* kind_name(Kind kind);
+
+/// Number of distinct kinds (for iteration in tests/tools).
+inline constexpr int kKindCount = static_cast<int>(Kind::kRetransmitDelay) + 1;
+
+/// Log-linear (HDR-style) histogram over non-negative virtual-ns values.
+///
+/// Values below 2^kSubBits index a bucket directly (exact); larger values
+/// land in one of 2^kSubBits sub-buckets per power of two, giving a
+/// bounded relative error of 2^-kSubBits (~3%) on percentile reads while
+/// count/sum/min/max stay exact integers.  All state is integral, so a
+/// deterministic value stream reproduces the histogram bit-for-bit.
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr std::int64_t kSubBuckets = std::int64_t{1} << kSubBits;
+
+  /// Record one value.  Negative values are clamped to 0 (metric values
+  /// are virtual durations, which cannot be negative).
+  void add(std::int64_t value_ns);
+
+  /// Fold another histogram into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value (0 when empty).
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Nearest-rank percentile, p in [0,100].  Returns the lower bound of
+  /// the bucket holding the rank, clamped into [min(), max()] so the
+  /// answer is always a value that could have been recorded.  0 if empty.
+  std::int64_t percentile(int p) const;
+
+  /// Bucket index for a value — exposed for the engine unit test.
+  static std::size_t bucket_index(std::int64_t value_ns);
+  /// Lower bound of the value range covered by a bucket index.
+  static std::int64_t bucket_lower_bound(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown lazily to the max index
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Registry key.  `entity` is the recorder name (rank / SPE / Co-Pilot),
+/// `route_type` the Table I type 1..5 (0 if unknown) and `channel` the
+/// CellPilot channel id (-1 if not channel traffic).
+struct Key {
+  Kind kind = Kind::kMsgLatency;
+  std::int8_t route_type = 0;
+  std::int32_t channel = -1;
+  std::string entity;
+
+  bool operator<(const Key& other) const;
+  bool operator==(const Key& other) const;
+};
+
+/// One drained series: a key and its histogram.
+struct Series {
+  Key key;
+  Histogram hist;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void record_slow(Kind kind, std::int8_t route_type, std::int32_t channel,
+                 const std::string& entity, std::int64_t value_ns);
+}  // namespace detail
+
+/// True while at least one consumer (metrics session or test capture)
+/// wants samples.  Seams must check this before computing a value.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Record one sample.  No-op when disarmed (callers should still guard
+/// with armed() so the value computation itself is skipped).
+inline void record(Kind kind, std::int8_t route_type, std::int32_t channel,
+                   const std::string& entity, std::int64_t value_ns) {
+  if (armed()) detail::record_slow(kind, route_type, channel, entity, value_ns);
+}
+
+/// Arm / disarm are reference counted, same contract as tracebuf, so a
+/// metrics session and a scoped test capture can overlap.
+void arm();
+void disarm();
+
+/// Drop all accumulated series.
+void clear();
+
+/// Move all series out in canonical order — sorted by (kind, route type,
+/// channel, entity) — and clear the registry.
+std::vector<Series> drain();
+
+/// Copy all series out in canonical order *without* clearing.  Safe to
+/// call while other threads record (the table lock covers the copy), so
+/// PI_GetMetricsSnapshot can harvest mid-shutdown.
+std::vector<Series> snapshot();
+
+}  // namespace simtime::metrics

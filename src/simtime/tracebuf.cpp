@@ -45,14 +45,34 @@ namespace {
 /// determinism.
 constexpr std::size_t kMaxEventsPerRing = std::size_t{1} << 20;
 
+/// Requested black-box tail length; 0 = black-box off (the default, so
+/// the armed fast path pays one extra relaxed load only while tracing).
+std::atomic<std::size_t> g_blackbox_cap{0};
+
 /// Single-producer event ring.  Only the owning thread appends; drains
 /// happen at quiescence (no producer running), so a plain vector is safe.
+/// The black-box tail is the exception: it may be *read* mid-run by the
+/// flight recorder on a fault path, so it carries its own lock.
 struct Ring {
   std::vector<Event> events;
   std::uint64_t dropped = 0;
   bool in_use = false;  ///< guarded by Registry::mu
 
+  std::mutex tail_mu;
+  std::vector<Event> tail;      ///< circular, capacity g_blackbox_cap
+  std::size_t tail_next = 0;    ///< overwrite cursor once full
+
   void push(const Event& e) {
+    const std::size_t cap = g_blackbox_cap.load(std::memory_order_relaxed);
+    if (cap != 0) {
+      std::lock_guard lock(tail_mu);
+      if (tail.size() < cap) {
+        tail.push_back(e);
+      } else {
+        tail[tail_next] = e;
+        tail_next = (tail_next + 1) % cap;
+      }
+    }
     if (events.size() >= kMaxEventsPerRing) {
       ++dropped;
       return;
@@ -107,6 +127,21 @@ thread_local Lease t_lease;
 
 std::mutex g_arm_mu;
 int g_arm_count = 0;
+
+/// Canonical order: every key is a recorded field, so the result is
+/// independent of ring count, lease order and host scheduling.  Events
+/// identical in all keys are interchangeable, so ties cannot introduce
+/// nondeterminism either.
+bool canonical_less(const Event& a, const Event& b) {
+  if (a.begin != b.begin) return a.begin < b.begin;
+  if (a.end != b.end) return a.end < b.end;
+  const int ec = std::strcmp(a.entity, b.entity);
+  if (ec != 0) return ec < 0;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.channel != b.channel) return a.channel < b.channel;
+  if (a.aux != b.aux) return a.aux < b.aux;
+  return a.bytes < b.bytes;
+}
 
 }  // namespace
 
@@ -175,20 +210,7 @@ std::vector<Event> drain() {
       r->dropped = 0;
     }
   }
-  // Canonical order: every key is a recorded field, so the result is
-  // independent of ring count, lease order and host scheduling.  Events
-  // identical in all keys are interchangeable, so ties cannot introduce
-  // nondeterminism either.
-  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
-    if (a.begin != b.begin) return a.begin < b.begin;
-    if (a.end != b.end) return a.end < b.end;
-    const int ec = std::strcmp(a.entity, b.entity);
-    if (ec != 0) return ec < 0;
-    if (a.kind != b.kind) return a.kind < b.kind;
-    if (a.channel != b.channel) return a.channel < b.channel;
-    if (a.aux != b.aux) return a.aux < b.aux;
-    return a.bytes < b.bytes;
-  });
+  std::sort(out.begin(), out.end(), canonical_less);
   return out;
 }
 
@@ -198,6 +220,32 @@ std::uint64_t dropped() {
   std::uint64_t n = 0;
   for (const auto& r : reg.rings) n += r->dropped;
   return n;
+}
+
+void set_blackbox(std::size_t per_thread_tail) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  g_blackbox_cap.store(per_thread_tail, std::memory_order_relaxed);
+  if (per_thread_tail == 0) {
+    for (auto& r : reg.rings) {
+      std::lock_guard tail_lock(r->tail_mu);
+      r->tail.clear();
+      r->tail.shrink_to_fit();
+      r->tail_next = 0;
+    }
+  }
+}
+
+std::vector<Event> blackbox_snapshot() {
+  std::vector<Event> out;
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (auto& r : reg.rings) {
+    std::lock_guard tail_lock(r->tail_mu);
+    out.insert(out.end(), r->tail.begin(), r->tail.end());
+  }
+  std::sort(out.begin(), out.end(), canonical_less);
+  return out;
 }
 
 }  // namespace simtime::tracebuf

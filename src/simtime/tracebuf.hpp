@@ -131,4 +131,17 @@ std::vector<Event> drain();
 /// clear()/drain().  Deterministic for a deterministic program.
 std::uint64_t dropped();
 
+/// Black-box mode for the flight recorder: keep the most recent
+/// `per_thread_tail` events of every ring in a side buffer that survives
+/// clear()/drain() and — unlike the rings — may be snapshotted *while the
+/// simulation is still running* (each tail has its own lock).  0 disables
+/// and frees the tails.  Only armed recording feeds the tails, so the
+/// zero-cost disarmed guarantee is untouched.
+void set_blackbox(std::size_t per_thread_tail);
+
+/// Copy the black-box tails of every ring, canonically sorted like
+/// drain().  Safe to call from any thread at any time; returns the most
+/// recent <= per_thread_tail events each recording thread produced.
+std::vector<Event> blackbox_snapshot();
+
 }  // namespace simtime::tracebuf

@@ -1,0 +1,143 @@
+// flightrec_test.cpp — the fault flight recorder: an SPE death on an armed
+// recorder must leave a self-contained postmortem artifact on disk (reason,
+// event tail, channel counters, armed fault plan), a disarmed recorder
+// must leave nothing, and manual dumps must honor the same contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/cellpilot.hpp"
+#include "core/faultplan.hpp"
+#include "core/flightrec.hpp"
+#include "pilot/errors.hpp"
+
+namespace {
+
+using cellpilot::faults::FaultPlan;
+using cellpilot::flightrec::FlightRecorder;
+
+PI_CHANNEL* g_ch = nullptr;
+std::atomic<int> g_main_code{-1};
+
+cluster::Cluster one_cell() {
+  cluster::ClusterConfig config;
+  config.nodes.push_back(cluster::NodeSpec::cell(1));
+  return cluster::Cluster(std::move(config));
+}
+
+std::string artifact_path(const char* name) {
+  return ::testing::TempDir() + "cellpilot_" + name + ".json";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class FlightRecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().reset_for_tests();
+    g_main_code.store(-1);
+  }
+  void TearDown() override {
+    FaultPlan::global().reset();
+    FlightRecorder::global().reset_for_tests();
+  }
+};
+
+PI_SPE_PROGRAM(doomed_writer) {
+  PI_Write(g_ch, "%d", 17);  // the fault plan kills the SPE at this request
+  return 0;
+}
+
+int crash_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  PI_PROCESS* doomed = PI_CreateSPE(doomed_writer, PI_MAIN, 0);
+  g_ch = PI_CreateChannel(doomed, PI_MAIN);
+  PI_StartAll();
+  PI_RunSPE(doomed, 0, nullptr);
+  int v = 0;
+  try {
+    PI_Read(g_ch, "%d", &v);
+  } catch (const pilot::PilotError& e) {
+    g_main_code.store(static_cast<int>(e.code()));
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
+cellpilot::RunOptions crash_opts() {
+  cellpilot::RunOptions opts;
+  opts.args = {"-pifault=spe_crash@node0.cell0.spe0:op=1"};
+  return opts;
+}
+
+TEST_F(FlightRecTest, SpeDeathDumpsASelfContainedArtifact) {
+  const std::string path = artifact_path("flightrec_spe_death");
+  std::remove(path.c_str());
+  FlightRecorder::global().configure(path);
+
+  cluster::Cluster machine = one_cell();
+  const auto r = cellpilot::run(machine, crash_main, crash_opts());
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(g_main_code.load(), static_cast<int>(PI_SPE_FAULT));
+  EXPECT_GE(FlightRecorder::global().dump_count(), 1);
+
+  const std::string artifact = slurp(path);
+  ASSERT_FALSE(artifact.empty()) << "no artifact at " << path;
+  EXPECT_NE(artifact.find("\"generator\":\"cellpilot-flightrec\""),
+            std::string::npos);
+  EXPECT_NE(artifact.find("\"reason\":\"spe_fault: "), std::string::npos)
+      << "trigger reason must name the fault class";
+  EXPECT_NE(artifact.find("\"faultPlan\""), std::string::npos);
+  EXPECT_NE(artifact.find("spe_crash"), std::string::npos)
+      << "the armed rule must be reproducible from the artifact";
+  EXPECT_NE(artifact.find("\"channelStats\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"events\""), std::string::npos);
+  // The SPE dies before its write completes, so the last breadcrumbs are
+  // the transport hop that carried the doomed request and the Co-Pilot's
+  // fault event — exactly what a postmortem needs.
+  EXPECT_NE(artifact.find("\"name\":\"mpi_send\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"name\":\"copilot_fault\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecTest, DisarmedRecorderWritesNothing) {
+  ASSERT_FALSE(FlightRecorder::global().armed());
+  cluster::Cluster machine = one_cell();
+  const auto r = cellpilot::run(machine, crash_main, crash_opts());
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(g_main_code.load(), static_cast<int>(PI_SPE_FAULT));
+  EXPECT_EQ(FlightRecorder::global().dump_count(), 0);
+  FlightRecorder::global().dump("ignored: recorder is disarmed");
+  EXPECT_EQ(FlightRecorder::global().dump_count(), 0);
+}
+
+TEST_F(FlightRecTest, ManualDumpWorksMidSimulationAndLastWriterWins) {
+  const std::string path = artifact_path("flightrec_manual");
+  std::remove(path.c_str());
+  FlightRecorder::global().configure(path);
+  EXPECT_TRUE(FlightRecorder::global().armed());
+  EXPECT_EQ(FlightRecorder::global().path(), path);
+
+  FlightRecorder::global().dump("watchdog: first trigger");
+  FlightRecorder::global().dump("watchdog: second trigger");
+  EXPECT_EQ(FlightRecorder::global().dump_count(), 2);
+
+  const std::string artifact = slurp(path);
+  EXPECT_EQ(artifact.find("first trigger"), std::string::npos)
+      << "each trigger rewrites the file";
+  EXPECT_NE(artifact.find("\"reason\":\"watchdog: second trigger\""),
+            std::string::npos);
+  EXPECT_NE(artifact.find("\"dumpOrdinal\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

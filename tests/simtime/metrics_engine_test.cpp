@@ -1,0 +1,201 @@
+// metrics_engine_test.cpp — the log-bucketed histogram registry under the
+// metrics layer: bucket geometry, exact count/sum/min/max, percentile
+// clamping, merge, the refcounted arm/disarm contract and the canonical
+// drain/snapshot semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "simtime/metrics.hpp"
+
+namespace {
+
+namespace sm = simtime::metrics;
+using sm::Histogram;
+
+// --- bucket geometry -----------------------------------------------------
+
+TEST(HistogramBuckets, IndexIsMonotonicAndBoundsBracketTheValue) {
+  std::size_t prev = 0;
+  for (std::int64_t v = 0; v < 100000; v = v < 256 ? v + 1 : v * 9 / 8) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << "index must never decrease (v=" << v << ")";
+    prev = idx;
+    EXPECT_LE(Histogram::bucket_lower_bound(idx), v);
+    EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), v)
+        << "next bucket must start above v=" << v;
+  }
+}
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  // Below 2^kSubBits the bucket IS the value; up to 2^(kSubBits+1) octaves
+  // keep sub-bucket granularity 1, so representatives stay exact.
+  for (std::int64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorIsBoundedBySubBucketWidth) {
+  for (std::int64_t v = 1; v < (std::int64_t{1} << 40); v *= 3) {
+    const std::int64_t lb =
+        Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+    EXPECT_LE(v - lb, v / Histogram::kSubBuckets + 1)
+        << "~3% relative error bound violated at v=" << v;
+  }
+}
+
+// --- exact aggregates ----------------------------------------------------
+
+TEST(HistogramAggregates, CountSumMinMaxAreExact) {
+  Histogram h;
+  std::uint64_t sum = 0;
+  for (std::int64_t v : {7, 1, 999999, 35, 0, 123456789}) {
+    h.add(v);
+    sum += static_cast<std::uint64_t>(v);
+  }
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 123456789);
+}
+
+TEST(HistogramAggregates, EmptyReportsZeroes) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(HistogramAggregates, NegativeValuesClampToZero) {
+  Histogram h;
+  h.add(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+// --- percentiles ---------------------------------------------------------
+
+TEST(HistogramPercentiles, NearestRankOnExactBuckets) {
+  // 1..60 all sit in exact (granularity-1) buckets, so nearest-rank is
+  // exact: rank = ceil(count * p / 100), value = that rank's sample.
+  Histogram h;
+  for (std::int64_t v = 1; v <= 60; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(50), 30);
+  EXPECT_EQ(h.percentile(99), 60);
+  EXPECT_EQ(h.percentile(100), 60);
+  EXPECT_EQ(h.percentile(1), 1);
+}
+
+TEST(HistogramPercentiles, AlwaysClampedIntoMinMax) {
+  Histogram h;
+  h.add(1000000);  // single sample in a coarse bucket
+  for (int p : {0, 1, 50, 99, 100}) {
+    EXPECT_GE(h.percentile(p), h.min());
+    EXPECT_LE(h.percentile(p), h.max());
+  }
+  EXPECT_EQ(h.percentile(50), 1000000)
+      << "single-sample percentile must be that sample";
+}
+
+// --- merge ---------------------------------------------------------------
+
+TEST(HistogramMerge, MergeEqualsAddingAllValues) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (std::int64_t v = 1; v < 5000; v *= 2) {
+    a.add(v);
+    all.add(v);
+  }
+  for (std::int64_t v = 3; v < 9000; v *= 3) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (int p : {1, 50, 90, 99, 100}) {
+    EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
+// --- registry: arm/disarm, record, drain, snapshot ------------------------
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sm::clear(); }
+  void TearDown() override { sm::clear(); }
+};
+
+TEST_F(MetricsRegistryTest, DisarmedRecordIsDropped) {
+  ASSERT_FALSE(sm::armed());
+  sm::record(sm::Kind::kMsgLatency, 1, 0, "rank0", 42);
+  EXPECT_TRUE(sm::drain().empty());
+}
+
+TEST_F(MetricsRegistryTest, ArmDisarmIsRefcounted) {
+  sm::arm();
+  sm::arm();
+  sm::disarm();
+  EXPECT_TRUE(sm::armed()) << "one consumer still wants samples";
+  sm::disarm();
+  EXPECT_FALSE(sm::armed());
+}
+
+TEST_F(MetricsRegistryTest, DrainIsCanonicalAndClears) {
+  sm::arm();
+  // Recorded out of canonical order on purpose.
+  sm::record(sm::Kind::kReadBlock, 2, 1, "rank0", 10);
+  sm::record(sm::Kind::kMsgLatency, 2, 1, "spe1", 20);
+  sm::record(sm::Kind::kMsgLatency, 1, 0, "rank0", 30);
+  sm::record(sm::Kind::kMsgLatency, 1, 0, "rank0", 40);
+  sm::disarm();
+
+  const auto series = sm::drain();
+  ASSERT_EQ(series.size(), 3u);
+  // (kind, route, channel, entity) ascending.
+  EXPECT_EQ(series[0].key.kind, sm::Kind::kMsgLatency);
+  EXPECT_EQ(series[0].key.route_type, 1);
+  EXPECT_EQ(series[0].key.entity, "rank0");
+  EXPECT_EQ(series[0].hist.count(), 2u);
+  EXPECT_EQ(series[0].hist.sum(), 70u);
+  EXPECT_EQ(series[1].key.kind, sm::Kind::kMsgLatency);
+  EXPECT_EQ(series[1].key.route_type, 2);
+  EXPECT_EQ(series[1].key.entity, "spe1");
+  EXPECT_EQ(series[2].key.kind, sm::Kind::kReadBlock);
+
+  EXPECT_TRUE(sm::drain().empty()) << "drain must clear the registry";
+}
+
+TEST_F(MetricsRegistryTest, SnapshotCopiesWithoutClearing) {
+  sm::arm();
+  sm::record(sm::Kind::kCopilotService, 0, -1, "node0.copilot", 5);
+  sm::disarm();
+
+  const auto snap = sm::snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].key.entity, "node0.copilot");
+  EXPECT_EQ(snap[0].hist.count(), 1u);
+
+  const auto again = sm::drain();
+  ASSERT_EQ(again.size(), 1u) << "snapshot must not consume the series";
+}
+
+TEST_F(MetricsRegistryTest, KindNamesAreStableTokens) {
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kMsgLatency), "msg_latency");
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kReadBlock), "read_block");
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kCopilotQueueWait),
+               "copilot_queue_wait");
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kCopilotService), "copilot_service");
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kMboxWait), "mbox_wait");
+  EXPECT_STREQ(sm::kind_name(sm::Kind::kRetransmitDelay),
+               "retransmit_delay");
+}
+
+}  // namespace

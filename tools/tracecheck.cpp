@@ -46,10 +46,28 @@ std::vector<std::string> canonical_events(const std::string& path,
     return events;
   }
   std::string line;
+  bool any_line = false;
   while (std::getline(f, line)) {
+    if (!line.empty()) any_line = true;
     if (is_event_line(line)) events.push_back(strip_comma(std::move(line)));
   }
-  std::sort(events.begin(), events.end());
+  // An empty or event-less file is indistinguishable from a second empty
+  // one, so comparing would vacuously "pass".  Diagnose it instead: the
+  // usual causes are a disarmed run (-pitrace/CELLPILOT_TRACE missing) or
+  // a path that is not a CellPilot trace at all.
+  if (!any_line) {
+    std::cerr << "tracecheck: " << path
+              << " is empty — not a trace file (did the run arm tracing?)\n";
+    *ok = false;
+    return events;
+  }
+  if (events.empty()) {
+    std::cerr << "tracecheck: " << path
+              << " contains no trace events (disarmed run, or not a "
+                 "CellPilot trace?)\n";
+    *ok = false;
+    return events;
+  }
   *ok = true;
   return events;
 }

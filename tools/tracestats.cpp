@@ -1,0 +1,362 @@
+// tracestats — offline lifeline analyzer for CellPilot trace files.
+//
+//   tracestats TRACE.json
+//       Join write/read events into per-message lifelines and print, per
+//       job and per Table I route type, a critical-path table: message
+//       count, end-to-end latency, and blocking-time attribution across
+//       the transport legs (Co-Pilot hops, MPI legs, mailbox traffic).
+//
+//   tracestats TRACE.json --check-metrics METRICS.json
+//       Cross-oracle mode: recompute per-route msg_latency and read_block
+//       totals from the trace and compare them against the "agg":"route"
+//       rollup lines of a metrics report written by the same run.  Exit 0
+//       iff every (job, kind, route) cell agrees exactly — the online
+//       histogram path and this offline join must see the same virtual
+//       nanoseconds or one of them is lying.
+//
+// Like tracecheck, this tool has no dependency on the simulator: it reads
+// the Chrome trace JSON that core/trace serializes one event per line.
+// Timestamps are virtual microseconds with exactly three decimals, so the
+// original virtual nanoseconds are recovered exactly (us * 1000 + frac).
+//
+// The join needs no wire-format change: the k-th write on a channel pairs
+// with the k-th read on that channel, in the file's canonical event order —
+// the same FIFO discipline the online latency ledger (core/metrics) uses,
+// so the two agree sample for sample, faults included.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Ev {
+  int job = 0;
+  long long ts_ns = 0;   ///< virtual begin
+  long long dur_ns = 0;  ///< virtual duration
+  std::string name;
+  int channel = -1;
+  int route = 0;
+};
+
+/// Extracts the text after `key` in `line`, or npos.
+std::size_t find_value(const std::string& line, const char* key) {
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return std::string::npos;
+  return at + std::string(key).size();
+}
+
+long long parse_ll(const std::string& line, const char* key, bool* ok) {
+  const std::size_t at = find_value(line, key);
+  if (at == std::string::npos) {
+    *ok = false;
+    return 0;
+  }
+  return std::strtoll(line.c_str() + at, nullptr, 10);
+}
+
+/// Parses a "us.frac" timestamp at `key` back into exact nanoseconds.
+long long parse_ns(const std::string& line, const char* key, bool* ok) {
+  const std::size_t at = find_value(line, key);
+  if (at == std::string::npos) {
+    *ok = false;
+    return 0;
+  }
+  char* dot = nullptr;
+  const long long us = std::strtoll(line.c_str() + at, &dot, 10);
+  long long frac = 0;
+  if (dot != nullptr && *dot == '.') {
+    frac = std::strtoll(dot + 1, nullptr, 10);
+  }
+  return us * 1000 + frac;
+}
+
+std::string parse_str(const std::string& line, const char* key) {
+  const std::size_t at = find_value(line, key);
+  if (at == std::string::npos) return {};
+  const std::size_t end = line.find('"', at);
+  if (end == std::string::npos) return {};
+  return line.substr(at, end - at);
+}
+
+/// Loads the complete-event lines ("ph":"X") of a trace file, preserving
+/// the file's canonical per-job order.  Exit-2 conditions are reported by
+/// returning false.
+bool load_trace(const std::string& path, std::vector<Ev>* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "tracestats: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  bool any_line = false;
+  while (std::getline(f, line)) {
+    if (!line.empty()) any_line = true;
+    if (line.rfind("{\"ph\":\"X\"", 0) != 0) continue;
+    Ev e;
+    bool ok = true;
+    e.job = static_cast<int>(parse_ll(line, "\"pid\":", &ok));
+    e.ts_ns = parse_ns(line, "\"ts\":", &ok);
+    e.dur_ns = parse_ns(line, "\"dur\":", &ok);
+    e.name = parse_str(line, "\"name\":\"");
+    e.channel = static_cast<int>(parse_ll(line, "\"channel\":", &ok));
+    e.route = static_cast<int>(parse_ll(line, "\"route\":", &ok));
+    if (!ok || e.name.empty()) {
+      std::cerr << "tracestats: malformed event line in " << path << ": "
+                << line << "\n";
+      return false;
+    }
+    out->push_back(std::move(e));
+  }
+  if (!any_line) {
+    std::cerr << "tracestats: " << path << " is empty — not a trace file\n";
+    return false;
+  }
+  if (out->empty()) {
+    std::cerr << "tracestats: " << path
+              << " contains no trace events (disarmed run, or not a "
+                 "CellPilot trace?)\n";
+    return false;
+  }
+  return true;
+}
+
+bool is_write(const Ev& e) {
+  return e.name == "pilot_write" || e.name == "spe_write";
+}
+bool is_read(const Ev& e) {
+  return e.name == "pilot_read" || e.name == "spe_read";
+}
+
+struct RouteTotals {
+  unsigned long long latency_count = 0;
+  unsigned long long latency_sum = 0;
+  unsigned long long block_count = 0;
+  unsigned long long block_sum = 0;
+};
+
+/// (job, route) -> recomputed totals.  The join is per (job, channel):
+/// k-th write pairs k-th read, latency = read.end - write.begin, counted
+/// under the read's route type — exactly the online ledger's discipline.
+/// Collected in two passes: a blocked reader's read event can BEGIN before
+/// its write does, so in canonical (begin-sorted) order reads may precede
+/// the writes they pair with.
+std::map<std::pair<int, int>, RouteTotals> recompute(
+    const std::vector<Ev>& events) {
+  std::map<std::pair<int, int>, std::vector<const Ev*>> writes;
+  std::map<std::pair<int, int>, std::vector<const Ev*>> reads;
+  for (const Ev& e : events) {
+    if (e.channel < 0) continue;
+    const auto link = std::make_pair(e.job, e.channel);
+    if (is_write(e)) writes[link].push_back(&e);
+    if (is_read(e)) reads[link].push_back(&e);
+  }
+  std::map<std::pair<int, int>, RouteTotals> totals;
+  for (const auto& [link, rs] : reads) {
+    const auto wit = writes.find(link);
+    const std::vector<const Ev*>* ws =
+        wit == writes.end() ? nullptr : &wit->second;
+    for (std::size_t k = 0; k < rs.size(); ++k) {
+      const Ev& r = *rs[k];
+      RouteTotals& t = totals[{r.job, r.route}];
+      t.block_count += 1;
+      t.block_sum += static_cast<unsigned long long>(r.dur_ns);
+      if (ws != nullptr && k < ws->size()) {
+        t.latency_count += 1;
+        t.latency_sum += static_cast<unsigned long long>(
+            r.ts_ns + r.dur_ns - (*ws)[k]->ts_ns);
+      }
+    }
+  }
+  return totals;
+}
+
+// ---------------------------------------------------------------------------
+// Report mode
+
+/// Transport legs whose durations we attribute to a route's lifelines.
+const char* const kLegKinds[] = {
+    "mpi_send",       "mpi_recv",        "copilot_request", "copilot_relay",
+    "copilot_pair",   "copilot_deliver", "copilot_park",    "mbox_push",
+    "mbox_pop",       "dma_get",         "dma_put",
+};
+
+int report(const std::vector<Ev>& events) {
+  const auto totals = recompute(events);
+
+  // channel -> route map per job, from the endpoint events that know it.
+  std::map<std::pair<int, int>, int> route_of;
+  for (const Ev& e : events) {
+    if (e.channel >= 0 && e.route > 0 && (is_write(e) || is_read(e))) {
+      route_of[{e.job, e.channel}] = e.route;
+    }
+  }
+  // (job, route, leg kind) -> summed duration, for channel-attributed legs.
+  std::map<std::pair<int, int>, std::map<std::string, unsigned long long>>
+      legs;
+  for (const Ev& e : events) {
+    if (e.channel < 0) continue;
+    const auto it = route_of.find({e.job, e.channel});
+    if (it == route_of.end()) continue;
+    for (const char* k : kLegKinds) {
+      if (e.name == k) {
+        legs[{e.job, it->second}][e.name] +=
+            static_cast<unsigned long long>(e.dur_ns);
+        break;
+      }
+    }
+  }
+
+  for (const auto& [jr, t] : totals) {
+    std::printf("job %d route type %d\n", jr.first, jr.second);
+    std::printf("  messages          %llu\n", t.latency_count);
+    std::printf("  latency total     %llu ns\n", t.latency_sum);
+    if (t.latency_count > 0) {
+      std::printf("  latency mean      %llu ns\n",
+                  t.latency_sum / t.latency_count);
+    }
+    std::printf("  read block total  %llu ns over %llu reads\n", t.block_sum,
+                t.block_count);
+    unsigned long long attributed = 0;
+    const auto lit = legs.find(jr);
+    if (lit != legs.end()) {
+      for (const auto& [kind, ns] : lit->second) {
+        std::printf("  leg %-16s %llu ns\n", kind.c_str(), ns);
+        attributed += ns;
+      }
+    }
+    // Legs overlap the lifeline (and each other: a relay contains its MPI
+    // send), so the residual is indicative, not a strict remainder.
+    std::printf("  legs attributed   %llu ns (residual %lld ns)\n",
+                attributed,
+                static_cast<long long>(t.latency_sum) -
+                    static_cast<long long>(attributed));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-oracle mode
+
+struct Cell {
+  unsigned long long count = 0;
+  unsigned long long sum = 0;
+  bool operator==(const Cell&) const = default;
+};
+
+/// Parses the "agg":"route" rollup lines of a metrics report into
+/// (job, kind, route) -> {count, sumNs}.
+bool load_metrics_routes(const std::string& path,
+                         std::map<std::tuple<int, std::string, int>, Cell>*
+                             out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "tracestats: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.find("\"agg\":\"route\"") == std::string::npos) continue;
+    bool ok = true;
+    const int job = static_cast<int>(parse_ll(line, "\"job\":", &ok));
+    const std::string kind = parse_str(line, "\"kind\":\"");
+    const int route = static_cast<int>(parse_ll(line, "\"route\":", &ok));
+    Cell c;
+    c.count =
+        static_cast<unsigned long long>(parse_ll(line, "\"count\":", &ok));
+    c.sum = static_cast<unsigned long long>(parse_ll(line, "\"sumNs\":", &ok));
+    if (!ok || kind.empty()) {
+      std::cerr << "tracestats: malformed rollup line in " << path << ": "
+                << line << "\n";
+      return false;
+    }
+    (*out)[{job, kind, route}] = c;
+  }
+  return true;
+}
+
+int check_metrics(const std::vector<Ev>& events, const std::string& mpath) {
+  std::map<std::tuple<int, std::string, int>, Cell> reported;
+  if (!load_metrics_routes(mpath, &reported)) return 2;
+
+  std::map<std::tuple<int, std::string, int>, Cell> computed;
+  for (const auto& [jr, t] : recompute(events)) {
+    if (jr.second <= 0) continue;
+    if (t.latency_count > 0) {
+      computed[{jr.first, "msg_latency", jr.second}] = {t.latency_count,
+                                                        t.latency_sum};
+    }
+    if (t.block_count > 0) {
+      computed[{jr.first, "read_block", jr.second}] = {t.block_count,
+                                                       t.block_sum};
+    }
+  }
+
+  int mismatches = 0;
+  auto complain = [&](const std::tuple<int, std::string, int>& key,
+                      const Cell* trace_side, const Cell* metrics_side) {
+    ++mismatches;
+    std::printf("MISMATCH job %d %s route %d:", std::get<0>(key),
+                std::get<1>(key).c_str(), std::get<2>(key));
+    if (trace_side != nullptr) {
+      std::printf(" trace count=%llu sumNs=%llu", trace_side->count,
+                  trace_side->sum);
+    } else {
+      std::printf(" absent from trace");
+    }
+    if (metrics_side != nullptr) {
+      std::printf(" metrics count=%llu sumNs=%llu", metrics_side->count,
+                  metrics_side->sum);
+    } else {
+      std::printf(" absent from metrics report");
+    }
+    std::printf("\n");
+  };
+
+  for (const auto& [key, cell] : computed) {
+    const auto it = reported.find(key);
+    if (it == reported.end()) {
+      complain(key, &cell, nullptr);
+    } else if (!(it->second == cell)) {
+      complain(key, &cell, &it->second);
+    }
+  }
+  for (const auto& [key, cell] : reported) {
+    if (computed.find(key) == computed.end()) complain(key, nullptr, &cell);
+  }
+
+  if (mismatches == 0) {
+    std::printf("tracestats: metrics report agrees with trace (%zu route "
+                "cells)\n",
+                computed.size());
+    return 0;
+  }
+  std::printf("tracestats: %d mismatching route cells\n", mismatches);
+  return 1;
+}
+
+int usage() {
+  std::cerr << "usage: tracestats TRACE.json\n"
+               "       tracestats TRACE.json --check-metrics METRICS.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 4) return usage();
+  if (argc == 4 && std::string(argv[2]) != "--check-metrics") return usage();
+
+  std::vector<Ev> events;
+  if (!load_trace(argv[1], &events)) return 2;
+
+  if (argc == 4) return check_metrics(events, argv[3]);
+  return report(events);
+}
