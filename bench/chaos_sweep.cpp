@@ -8,6 +8,12 @@
 //
 // Usage: chaos_sweep [seed]   (or CELLPILOT_CHAOS_SEED; default 1)
 //
+// Repro hooks (for replaying one failing sweep line in isolation):
+//   CELLPILOT_CHAOS_COCKTAIL=<spec>  pin the fault spec, one cocktail per
+//                                    subject instead of the generated stream
+//   CELLPILOT_CHAOS_SUBJECT=matrix:<type>|async_farm  run one subject only
+//   CELLPILOT_CHAOS_WATCHDOG=<sec>   override the 120 s liveness budget
+//
 // Results go to stdout and BENCH_chaos_sweep.json.
 #include <atomic>
 #include <chrono>
@@ -182,6 +188,131 @@ int chaos_main(int argc, char** argv) {
   return 0;
 }
 
+// --- async-farm subject ---------------------------------------------------
+//
+// The async tier under the same cocktails: a small work-stealing farm that
+// spawns its workers at run time (PI_CreateSPESlot + PI_SpawnSPE) and deals
+// strips completion-driven (PI_WriteAsync / PI_ReadAsync / PI_WaitAny).
+// The liveness contract is identical to the matrix subject's: parity (every
+// strip harvested, correct sum) or clean fault codes — never a hang.
+
+constexpr int kFarmWorkers = 3;
+constexpr int kFarmStrips = 9;
+
+PI_CHANNEL* g_ftask[kFarmWorkers];
+PI_CHANNEL* g_fsum[kFarmWorkers];
+
+double farm_strip_value(int strip) { return 1.0 + 0.5 * strip; }
+
+PI_SPE_PROGRAM(chaos_farm_worker) {
+  const int id = arg1;
+  try {
+    for (;;) {
+      double x = 0;
+      PI_Read(g_ftask[id], "%lf", &x);
+      if (x < 0) return 0;
+      PI_Write(g_fsum[id], "%lf", 2.0 * x);
+    }
+  } catch (const pilot::PilotError& e) {
+    g_writer_code.store(static_cast<int>(e.code()));
+    // Last gasp: a worker that absorbed a fault must not vanish silently —
+    // the master is (or will be) waiting on this sum channel, and a clean
+    // retire sends nothing.  A negative "I am gone" result lets the master
+    // re-deal the lost strip; if this write faults too, the fault frame it
+    // provokes wakes the master's pending read instead.
+    try {
+      PI_Write(g_fsum[id], "%lf", -1.0);
+    } catch (const pilot::PilotError&) {
+    }
+  }
+  return 0;
+}
+
+int farm_chaos_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  PI_PROCESS* slots[kFarmWorkers];
+  for (int w = 0; w < kFarmWorkers; ++w) {
+    slots[w] = PI_CreateSPESlot(PI_MAIN, w);
+    g_ftask[w] = PI_CreateChannel(PI_MAIN, slots[w]);
+    g_fsum[w] = PI_CreateChannel(slots[w], PI_MAIN);
+  }
+  PI_StartAll();
+  double expected = 0;
+  for (int s = 0; s < kFarmStrips; ++s) expected += 2.0 * farm_strip_value(s);
+  try {
+    for (int w = 0; w < kFarmWorkers; ++w) {
+      PI_SpawnSPE(slots[w], &chaos_farm_worker, w, nullptr);
+    }
+    double part[kFarmWorkers] = {};
+    int strip_of[kFarmWorkers] = {};
+    std::vector<PI_HANDLE> handles;
+    std::vector<int> active;
+    std::vector<int> redo;  // strips lost to dead workers, re-dealt
+    int next = 0;
+    double total = 0;
+    int harvested = 0;
+    const auto deal = [&](int w) {
+      int s;
+      if (!redo.empty()) {
+        s = redo.back();
+        redo.pop_back();
+      } else {
+        s = next++;
+      }
+      strip_of[w] = s;
+      PI_Wait(PI_WriteAsync(g_ftask[w], "%lf", farm_strip_value(s)));
+    };
+    const auto drop = [&](int i) {
+      handles[static_cast<std::size_t>(i)] = handles.back();
+      active[static_cast<std::size_t>(i)] = active.back();
+      handles.pop_back();
+      active.pop_back();
+    };
+    for (int w = 0; w < kFarmWorkers && next < kFarmStrips; ++w) {
+      deal(w);
+      handles.push_back(PI_ReadAsync(g_fsum[w], "%lf", &part[w]));
+      active.push_back(w);
+    }
+    while (!handles.empty()) {
+      const int i =
+          PI_WaitAny(handles.data(), static_cast<int>(handles.size()));
+      const int w = active[static_cast<std::size_t>(i)];
+      if (part[w] < 0) {
+        // The worker's last gasp: it absorbed a fault and exited.  Its
+        // strip goes back on the queue for a surviving worker; no
+        // sentinel (the worker is already gone).
+        redo.push_back(strip_of[w]);
+        drop(i);
+        continue;
+      }
+      total += part[w];
+      ++harvested;
+      if (next < kFarmStrips || !redo.empty()) {
+        deal(w);
+        handles[static_cast<std::size_t>(i)] =
+            PI_ReadAsync(g_fsum[w], "%lf", &part[w]);
+      } else {
+        PI_Write(g_ftask[w], "%lf", -1.0);
+        drop(i);
+      }
+    }
+    g_parity.store(harvested == kFarmStrips &&
+                   total > expected - 1e-9 && total < expected + 1e-9);
+  } catch (const pilot::PilotError& e) {
+    g_main_code.store(static_cast<int>(e.code()));
+    // Best-effort stop so healthy workers don't outlive the master; their
+    // own faults (if any) were already recorded above.
+    for (int w = 0; w < kFarmWorkers; ++w) {
+      try {
+        PI_Write(g_ftask[w], "%lf", -1.0);
+      } catch (const pilot::PilotError&) {
+      }
+    }
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
 // --- host-time watchdog ---------------------------------------------------
 
 std::mutex g_watchdog_mu;
@@ -217,8 +348,15 @@ int main(int argc, char** argv) {
                : (env != nullptr && env[0] != '\0'
                       ? std::strtoull(env, nullptr, 10)
                       : 1ull);
-  constexpr int kCocktailsPerType = 4;
-  constexpr int kWatchdogSeconds = 120;
+  const char* pinned_cocktail = std::getenv("CELLPILOT_CHAOS_COCKTAIL");
+  const char* only_subject = std::getenv("CELLPILOT_CHAOS_SUBJECT");
+  const char* watchdog_env = std::getenv("CELLPILOT_CHAOS_WATCHDOG");
+  const int kCocktailsPerType =
+      pinned_cocktail != nullptr && pinned_cocktail[0] != '\0' ? 1 : 4;
+  const int kWatchdogSeconds =
+      watchdog_env != nullptr && watchdog_env[0] != '\0'
+          ? std::atoi(watchdog_env)
+          : 120;
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Arm the flight recorder for the whole sweep: a watchdog firing or a
@@ -232,9 +370,12 @@ int main(int argc, char** argv) {
   json.meta("seed", static_cast<std::int64_t>(seed));
   json.meta("cocktails_per_type", static_cast<std::int64_t>(kCocktailsPerType));
 
-  std::printf("Chaos sweep: seed %llu, %d cocktails x Table I types 1..5\n",
-              static_cast<unsigned long long>(seed), kCocktailsPerType);
-  std::printf("%-4s %-5s %-60s %s\n", "run", "type", "cocktail", "outcome");
+  std::printf(
+      "Chaos sweep: seed %llu, %d cocktails x (Table I types 1..5 + "
+      "async farm)\n",
+      static_cast<unsigned long long>(seed), kCocktailsPerType);
+  std::printf("%-4s %-10s %-5s %-56s %s\n", "run", "subject", "type",
+              "cocktail", "outcome");
 
   // Hash the seed into the generator state (rather than using it directly)
   // so neighbouring seeds produce unrelated cocktail streams, not shifted
@@ -250,101 +391,122 @@ int main(int argc, char** argv) {
   std::uint64_t faults_injected = 0;
   std::uint64_t recoveries = 0;
 
-  for (int type = 1; type <= 5; ++type) {
-    for (int c = 0; c < kCocktailsPerType; ++c) {
-      const std::string cocktail = make_cocktail(rng, seed);
-      // The cocktail goes out *before* the run: if it hangs, the log names
-      // the exact plan that violated liveness.
-      std::printf("%-4d %-5d %-60s ", run_index, type, cocktail.c_str());
-      std::fflush(stdout);
+  const auto run_cocktail = [&](const char* subject, int type,
+                                int (*job)(int, char**), bool remote) {
+    const std::string cocktail =
+        pinned_cocktail != nullptr && pinned_cocktail[0] != '\0'
+            ? std::string(pinned_cocktail)
+            : make_cocktail(rng, seed);
+    // The cocktail goes out *before* the run: if it hangs, the log names
+    // the exact plan that violated liveness.
+    std::printf("%-4d %-10s %-5d %-56s ", run_index, subject, type,
+                cocktail.c_str());
+    std::fflush(stdout);
 
-      g_type = type;
-      g_data = nullptr;
-      g_spe_r = nullptr;
-      g_parity.store(false);
-      g_reader_code.store(0);
-      g_writer_code.store(0);
-      g_main_code.store(0);
-      cellpilot::supervision::reset_counters();
-      mpisim::reliable::reset_totals();
+    g_type = type;
+    g_data = nullptr;
+    g_spe_r = nullptr;
+    g_parity.store(false);
+    g_reader_code.store(0);
+    g_writer_code.store(0);
+    g_main_code.store(0);
+    cellpilot::supervision::reset_counters();
+    mpisim::reliable::reset_totals();
 
-      cluster::ClusterConfig config;
-      config.nodes.push_back(cluster::NodeSpec::cell(1));
-      const bool remote = type == 1 || type == 3 || type == 5;
-      if (remote) config.nodes.push_back(cluster::NodeSpec::cell(1));
-      cluster::Cluster machine{std::move(config)};
+    cluster::ClusterConfig config;
+    config.nodes.push_back(cluster::NodeSpec::cell(1));
+    if (remote) config.nodes.push_back(cluster::NodeSpec::cell(1));
+    cluster::Cluster machine{std::move(config)};
 
-      cellpilot::RunOptions opts;
-      opts.args = {"-pifault=" + cocktail};
-      const auto r = cellpilot::run(machine, chaos_main, opts);
+    cellpilot::RunOptions opts;
+    opts.args = {"-pifault=" + cocktail};
+    const auto r = cellpilot::run(machine, job, opts);
 
-      // The liveness invariant: parity, or a clean fault code at every
-      // peer that saw an error.  Anything else (abort, foreign error
-      // code, silent wrong payload) is a violation.
-      const int codes[] = {g_reader_code.load(), g_writer_code.load(),
-                           g_main_code.load()};
-      bool clean_fault = false;
-      bool foreign_code = false;
-      for (const int code : codes) {
-        if (code == 0) continue;
-        if (is_clean_fault(code)) {
-          clean_fault = true;
-        } else {
-          foreign_code = true;
-        }
-      }
-      const char* outcome = "VIOLATED";
-      if (!r.aborted && !foreign_code && g_parity.load()) {
-        outcome = "parity";
-        ++parity_runs;
-      } else if (!r.aborted && !foreign_code && clean_fault) {
-        outcome = "fault";
-        ++clean_fault_runs;
+    // The liveness invariant: parity, or a clean fault code at every
+    // peer that saw an error.  Anything else (abort, foreign error
+    // code, silent wrong payload) is a violation.
+    const int codes[] = {g_reader_code.load(), g_writer_code.load(),
+                         g_main_code.load()};
+    bool clean_fault = false;
+    bool foreign_code = false;
+    for (const int code : codes) {
+      if (code == 0) continue;
+      if (is_clean_fault(code)) {
+        clean_fault = true;
       } else {
-        violated = true;
+        foreign_code = true;
       }
-
-      const auto wire = mpisim::reliable::totals();
-      // Wire-level fault events plus supervision-level ones; retransmits,
-      // retry-ladder recoveries and failovers are the recovery side.
-      faults_injected += wire.retransmits + wire.duplicates +
-                         wire.corrupt_detected + wire.reorders +
-                         cellpilot::supervision::timeout_count() +
-                         cellpilot::supervision::fault_count() +
-                         cellpilot::supervision::failover_count();
-      recoveries += wire.retransmits +
-                    cellpilot::supervision::recovered_count() +
-                    cellpilot::supervision::failover_count();
-      std::printf("%s\n", outcome);
-      if (violated && r.aborted) {
-        std::printf("     abort: %s\n", r.abort_reason.c_str());
-      }
-      if (violated) {
-        // Dump while the plan is still armed so the artifact names the
-        // exact fault rules that broke the run; only then reset it.
-        cellpilot::flightrec::FlightRecorder::global().dump(
-            "chaos_violation: run " + std::to_string(run_index) + " type " +
-            std::to_string(type) + " cocktail " + cocktail +
-            (r.aborted ? " abort: " + r.abort_reason : ""));
-      }
-      cellpilot::faults::FaultPlan::global().reset();
-      json.add_row()
-          .set("run", static_cast<std::int64_t>(run_index))
-          .set("type", static_cast<std::int64_t>(type))
-          .set("cocktail", cocktail)
-          .set("outcome", std::string(outcome))
-          .set("retransmits", static_cast<std::int64_t>(wire.retransmits))
-          .set("duplicates", static_cast<std::int64_t>(wire.duplicates))
-          .set("corrupt_detected",
-               static_cast<std::int64_t>(wire.corrupt_detected))
-          .set("reorders", static_cast<std::int64_t>(wire.reorders))
-          .set("failovers",
-               static_cast<std::int64_t>(
-                   cellpilot::supervision::failover_count()));
-      ++run_index;
-      if (violated) break;
     }
-    if (violated) break;
+    const char* outcome = "VIOLATED";
+    if (!r.aborted && !foreign_code && g_parity.load()) {
+      outcome = "parity";
+      ++parity_runs;
+    } else if (!r.aborted && !foreign_code && clean_fault) {
+      outcome = "fault";
+      ++clean_fault_runs;
+    } else {
+      violated = true;
+    }
+
+    const auto wire = mpisim::reliable::totals();
+    // Wire-level fault events plus supervision-level ones; retransmits,
+    // retry-ladder recoveries and failovers are the recovery side.
+    faults_injected += wire.retransmits + wire.duplicates +
+                       wire.corrupt_detected + wire.reorders +
+                       cellpilot::supervision::timeout_count() +
+                       cellpilot::supervision::fault_count() +
+                       cellpilot::supervision::failover_count();
+    recoveries += wire.retransmits +
+                  cellpilot::supervision::recovered_count() +
+                  cellpilot::supervision::failover_count();
+    std::printf("%s\n", outcome);
+    if (violated && r.aborted) {
+      std::printf("     abort: %s\n", r.abort_reason.c_str());
+    }
+    if (violated) {
+      // Dump while the plan is still armed so the artifact names the
+      // exact fault rules that broke the run; only then reset it.
+      cellpilot::flightrec::FlightRecorder::global().dump(
+          "chaos_violation: run " + std::to_string(run_index) + " subject " +
+          subject + " type " + std::to_string(type) + " cocktail " + cocktail +
+          (r.aborted ? " abort: " + r.abort_reason : ""));
+    }
+    cellpilot::faults::FaultPlan::global().reset();
+    json.add_row()
+        .set("run", static_cast<std::int64_t>(run_index))
+        .set("subject", std::string(subject))
+        .set("type", static_cast<std::int64_t>(type))
+        .set("cocktail", cocktail)
+        .set("outcome", std::string(outcome))
+        .set("retransmits", static_cast<std::int64_t>(wire.retransmits))
+        .set("duplicates", static_cast<std::int64_t>(wire.duplicates))
+        .set("corrupt_detected",
+             static_cast<std::int64_t>(wire.corrupt_detected))
+        .set("reorders", static_cast<std::int64_t>(wire.reorders))
+        .set("failovers",
+             static_cast<std::int64_t>(
+                 cellpilot::supervision::failover_count()));
+    ++run_index;
+  };
+
+  const auto subject_wanted = [&](const std::string& name) {
+    return only_subject == nullptr || only_subject[0] == '\0' ||
+           name == only_subject;
+  };
+  for (int type = 1; type <= 5 && !violated; ++type) {
+    if (!subject_wanted("matrix:" + std::to_string(type))) continue;
+    for (int c = 0; c < kCocktailsPerType && !violated; ++c) {
+      run_cocktail("matrix", type, chaos_main,
+                   /*remote=*/type == 1 || type == 3 || type == 5);
+    }
+  }
+  // The async tier is a sweep subject of its own: runtime spawning plus
+  // completion-driven dealing must honor the same liveness contract the
+  // blocking matrix does.
+  if (subject_wanted("async_farm")) {
+    for (int c = 0; c < kCocktailsPerType && !violated; ++c) {
+      run_cocktail("async_farm", 0, farm_chaos_main, /*remote=*/false);
+    }
   }
 
   {

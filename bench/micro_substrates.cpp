@@ -4,9 +4,14 @@
 // the simulation infrastructure; they are not paper results.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdarg>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "benchkit/benchjson.hpp"
+#include "benchkit/pingpong.hpp"
 
 #include "cellsim/local_store.hpp"
 #include "cellsim/mailbox.hpp"
@@ -162,9 +167,13 @@ void BM_FrameAndCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameAndCheck);
 
-/// Console output as usual, plus every run mirrored into a BenchJson row —
-/// the same BENCH_*.json convention the reproduction binaries follow, so
-/// substrate regressions are diffable without scraping console output.
+/// Console output as usual, plus every benchmark mirrored into a BenchJson
+/// row — the same BENCH_*.json convention the reproduction binaries follow,
+/// so substrate regressions are diffable without scraping console output.
+///
+/// Each benchmark runs several repetitions (see main), and the row carries
+/// the same nearest-rank p50/p99 summary pingpong_stats emits, over the
+/// per-repetition real time per iteration.
 class JsonMirrorReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonMirrorReporter(benchkit::BenchJson* doc) : doc_(doc) {}
@@ -172,28 +181,72 @@ class JsonMirrorReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      doc_->add_row()
-          .set("name", run.benchmark_name())
-          .set("iterations", static_cast<std::int64_t>(run.iterations))
-          .set("real_time_per_iter", run.GetAdjustedRealTime())
-          .set("cpu_time_per_iter", run.GetAdjustedCPUTime());
+      const std::string name = run.benchmark_name();
+      if (samples_.find(name) == samples_.end()) order_.push_back(name);
+      Samples& s = samples_[name];
+      s.iterations += static_cast<std::int64_t>(run.iterations);
+      s.real_ns.push_back(
+          static_cast<simtime::SimTime>(std::llround(run.GetAdjustedRealTime())));
+      s.cpu_ns.push_back(
+          static_cast<simtime::SimTime>(std::llround(run.GetAdjustedCPUTime())));
     }
     ConsoleReporter::ReportRuns(reports);
   }
 
+  /// One row per benchmark, written once all repetitions are in.
+  void flush_rows() {
+    for (const std::string& name : order_) {
+      Samples& s = samples_[name];
+      const benchkit::SampleStats real = benchkit::summarize_samples(s.real_ns);
+      const benchkit::SampleStats cpu = benchkit::summarize_samples(s.cpu_ns);
+      doc_->add_row()
+          .set("name", name)
+          .set("repetitions", static_cast<std::int64_t>(s.real_ns.size()))
+          .set("iterations", s.iterations)
+          .set("real_time_per_iter", static_cast<double>(real.p50))
+          .set("cpu_time_per_iter", static_cast<double>(cpu.p50))
+          .set("real_p50_ns", static_cast<double>(real.p50))
+          .set("real_p99_ns", static_cast<double>(real.p99))
+          .set("cpu_p99_ns", static_cast<double>(cpu.p99));
+    }
+  }
+
  private:
+  struct Samples {
+    std::int64_t iterations = 0;
+    std::vector<simtime::SimTime> real_ns;
+    std::vector<simtime::SimTime> cpu_ns;
+  };
   benchkit::BenchJson* doc_;
+  std::map<std::string, Samples> samples_;
+  std::vector<std::string> order_;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Default every benchmark to several short repetitions so each row gets a
+  // real latency distribution; flags the caller passes come later in argv
+  // and therefore still win.
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  char reps_flag[] = "--benchmark_repetitions=7";
+  char min_time_flag[] = "--benchmark_min_time=0.02";
+  char no_aggregates_flag[] = "--benchmark_report_aggregates_only=false";
+  args.push_back(reps_flag);
+  args.push_back(min_time_flag);
+  args.push_back(no_aggregates_flag);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
   benchkit::BenchJson doc("micro_substrates");
   doc.meta("unit", std::string("ns"));
   JsonMirrorReporter reporter(&doc);
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.flush_rows();
   doc.write_file("BENCH_micro_substrates.json");
   benchmark::Shutdown();
   return 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "benchkit/benchjson.hpp"
+#include "benchkit/pingpong.hpp"
 #include "cellsim/spu.hpp"
 #include "core/cellpilot.hpp"
 #include "pilot/context.hpp"
@@ -29,6 +30,9 @@ int g_workers = 1;
 PI_CHANNEL* g_task[kMaxWorkers];
 PI_CHANNEL* g_sum[kMaxWorkers];
 std::atomic<simtime::SimTime> g_elapsed{0};
+// Per-strip round-trip latency (deal -> sum read-back), sampled with clock
+// reads only so the makespan column is bit-identical with or without it.
+std::vector<simtime::SimTime> g_strip_samples;
 
 double integrate(double lo, double hi, int samples) {
   const double dx = (hi - lo) / samples;
@@ -71,12 +75,14 @@ int farm_main(int argc, char* argv[]) {
   double total = 0;
   int dealt = 0;
   std::vector<int> outstanding(static_cast<std::size_t>(g_workers), 0);
+  std::vector<simtime::SimTime> issued(static_cast<std::size_t>(g_workers), 0);
   int busy = 0;
   // Keep one strip in flight per worker.
   while (dealt < g_strips || busy > 0) {
     for (int w = 0; w < g_workers; ++w) {
       auto& flag = outstanding[static_cast<std::size_t>(w)];
       if (flag == 0 && dealt < g_strips) {
+        issued[static_cast<std::size_t>(w)] = clock.now();
         PI_Write(g_task[w], "%lf %lf", dealt * width, (dealt + 1) * width);
         ++dealt;
         flag = 1;
@@ -84,6 +90,8 @@ int farm_main(int argc, char* argv[]) {
       } else if (flag == 1) {
         double part = 0;
         PI_Read(g_sum[w], "%lf", &part);
+        g_strip_samples.push_back(clock.now() -
+                                  issued[static_cast<std::size_t>(w)]);
         total += part;
         flag = 0;
         --busy;
@@ -107,14 +115,15 @@ int main(int argc, char** argv) {
 
   std::printf("Case-study scaling: pi integration farm, %d strips\n\n",
               g_strips);
-  std::printf("%8s %14s %10s %12s\n", "workers", "makespan (us)", "speedup",
-              "efficiency");
+  std::printf("%8s %14s %10s %12s %10s %10s\n", "workers", "makespan (us)",
+              "speedup", "efficiency", "strip p50", "strip p99");
   benchkit::BenchJson json("scaling_farm");
   json.meta("unit", "us").meta("strips", static_cast<std::int64_t>(g_strips));
   double base = 0;
   for (int workers : {1, 2, 4, 8, 16}) {
     g_workers = workers;
     g_elapsed.store(0);
+    g_strip_samples.clear();
     cluster::ClusterConfig config;
     config.nodes.push_back(cluster::NodeSpec::cell(1));
     cluster::Cluster machine(std::move(config));
@@ -124,14 +133,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double us = simtime::to_us(g_elapsed.load());
+    const benchkit::SampleStats strip =
+        benchkit::summarize_samples(g_strip_samples);
     if (base == 0) base = us;
-    std::printf("%8d %14.1f %9.2fx %11.1f%%\n", workers, us, base / us,
-                100.0 * base / us / workers);
+    std::printf("%8d %14.1f %9.2fx %11.1f%% %10.1f %10.1f\n", workers, us,
+                base / us, 100.0 * base / us / workers,
+                simtime::to_us(strip.p50), simtime::to_us(strip.p99));
     json.add_row()
         .set("workers", static_cast<std::int64_t>(workers))
         .set("makespan_us", us)
         .set("speedup", base / us)
-        .set("efficiency_pct", 100.0 * base / us / workers);
+        .set("efficiency_pct", 100.0 * base / us / workers)
+        .set("strip_p50_us", simtime::to_us(strip.p50))
+        .set("strip_p99_us", simtime::to_us(strip.p99));
   }
   std::printf(
       "\nInterpretation: the single Co-Pilot serves every SPE request, so\n"

@@ -237,6 +237,15 @@ PingPongStats pingpong_stats(const PingPongSpec& spec, Method method,
   return stats;
 }
 
+SampleStats summarize_samples(std::vector<SimTime> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.p50 = nearest_rank(samples, 50);
+  stats.p99 = nearest_rank(samples, 99);
+  return stats;
+}
+
 double pingpong_us(const PingPongSpec& spec, Method method,
                    const simtime::CostModel& cost) {
   return simtime::to_us(pingpong(spec, method, cost));

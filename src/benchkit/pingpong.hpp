@@ -60,6 +60,17 @@ struct PingPongStats {
 PingPongStats pingpong_stats(const PingPongSpec& spec, Method method,
                              const simtime::CostModel& cost);
 
+/// Nearest-rank p50/p99 over an arbitrary sample list — the estimator
+/// pingpong_stats applies to its per-rep samples, exposed for benches that
+/// collect their own distributions (per-strip farm latencies, async
+/// completion times).  Empty input yields zeros.
+struct SampleStats {
+  simtime::SimTime p50 = 0;
+  simtime::SimTime p99 = 0;
+};
+
+SampleStats summarize_samples(std::vector<simtime::SimTime> samples);
+
 /// Convenience: one-way latency in microseconds (Table II's unit).
 double pingpong_us(const PingPongSpec& spec, Method method,
                    const simtime::CostModel& cost);

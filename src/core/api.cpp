@@ -45,6 +45,63 @@ PI_PROCESS* PI_CreateSPE(PI_SPE_FUNC& program, PI_PROCESS* parent,
                                          /*assign_rank=*/false);
 }
 
+PI_PROCESS* PI_CreateSPESlot(PI_PROCESS* parent, int index) {
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kConfig) {
+    throw PilotError(
+        ErrorCode::kUsage,
+        "PI_CreateSPESlot called outside the configuration phase");
+  }
+  if (parent == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPESlot: null parent process");
+  }
+  if (parent->location != Location::kRank) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPESlot: the parent must be a PPE "
+                     "(rank-backed) process, not another SPE process");
+  }
+  cluster::Cluster& cl = ctx.app().cluster();
+  const int node = cl.node_of_rank(parent->rank);
+  if (!cl.is_cell_node(node)) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_CreateSPESlot: parent process " + parent->name +
+                         " runs on a non-Cell node and cannot host SPE "
+                         "processes");
+  }
+
+  const int seq = ctx.process_seq++;
+  PI_PROCESS proto;
+  proto.location = Location::kSpe;
+  proto.program = nullptr;  // bound at execution time by PI_SpawnSPE
+  proto.parent_process = parent->id;
+  proto.index_arg = index;
+  proto.node = node;
+  proto.name = "spe-slot#" + std::to_string(index);
+  return ctx.app().get_or_create_process(seq, std::move(proto),
+                                         /*assign_rank=*/false);
+}
+
+void PI_SpawnSPE(PI_PROCESS* slot, PI_SPE_FUNC* program, int arg, void* ptr) {
+  PilotContext& ctx = context();
+  if (slot == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_SpawnSPE: null process");
+  }
+  if (slot->location != Location::kSpe) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_SpawnSPE: " + slot->name +
+                         " is not an SPE process (use PI_CreateSPESlot)");
+  }
+  if (program == nullptr) {
+    throw PilotError(ErrorCode::kUsage, "PI_SpawnSPE: null program");
+  }
+  if (ctx.app().transport() == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_SpawnSPE: CellPilot transport not active");
+  }
+  ctx.app().transport()->spawn_spe(ctx, *slot, *program, arg, ptr);
+}
+
 void PI_RunSPE(PI_PROCESS* spe_process, int arg, void* ptr) {
   PilotContext& ctx = context();
   if (spe_process == nullptr) {

@@ -57,6 +57,23 @@ inline void PI_StartSPE(PI_PROCESS* spe_process, int arg, void* ptr) {
   PI_RunSPE(spe_process, arg, ptr);
 }
 
+/// Creates an SPE process *slot*: an SPE process with no program bound.
+/// Channels to and from the slot are declared in the configuration phase
+/// as usual; the program arrives at execution time through PI_SpawnSPE.
+/// This lifts Pilot's static-declaration restriction for SPE work: the
+/// communication structure stays declared up front (so routes compile at
+/// PI_StartAll), while the code that runs in it is chosen at runtime.
+PI_PROCESS* PI_CreateSPESlot(PI_PROCESS* parent, int index);
+
+/// Runtime SPE spawning: binds `program` to `slot` and launches it on the
+/// parent's node, passing (arg, ptr) to the body.  Execution phase; parent
+/// process only.  Respawning a slot whose previous occupant returned is
+/// allowed — the spawn waits for that occupant to retire and reuses its
+/// pooled SPE context (a faulted occupant poisons the slot instead:
+/// respawning it is a usage error).  Also accepts processes made by
+/// PI_CreateSPE, overriding their statically bound program.
+void PI_SpawnSPE(PI_PROCESS* slot, PI_SPE_FUNC* program, int arg, void* ptr);
+
 namespace cellpilot::detail {
 using SpeBody = int (*)(int, void*);
 int run_spe_body(std::uint64_t argp, SpeBody body);

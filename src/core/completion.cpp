@@ -1,0 +1,153 @@
+// completion.cpp — engine and registry behind the waitable-handle tier.
+#include "core/completion.hpp"
+
+#include <algorithm>
+
+namespace cellpilot::completion {
+
+const char* state_name(State state) {
+  switch (state) {
+    case State::kPending: return "pending";
+    case State::kStaged: return "staged";
+    case State::kInFlight: return "in_flight";
+    case State::kComplete: return "complete";
+    case State::kFaulted: return "faulted";
+    case State::kReleased: return "released";
+  }
+  return "?";
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kWrite: return "write";
+    case Kind::kRead: return "read";
+  }
+  return "?";
+}
+
+Engine& Engine::local() {
+  thread_local Engine engine;
+  return engine;
+}
+
+Engine::~Engine() {
+  // Short-lived SPE threads die with their engine; anything still live
+  // must leave the flight-recorder table with them.
+  for (const auto& op : ops_) {
+    if (op_state(*op) != State::kReleased) OpRegistry::global().remove(op.get());
+  }
+}
+
+PI_OP* Engine::create(Kind kind) {
+  PI_OP* op;
+  if (!free_.empty()) {
+    op = free_.back();
+    free_.pop_back();
+  } else {
+    ops_.push_back(std::make_unique<PI_OP>());
+    op = ops_.back().get();
+  }
+  // Reset the recycled slot to a pristine pending operation.  The plan,
+  // data and fault_detail buffers keep their capacity on purpose.
+  op->kind = kind;
+  op->channel = -1;
+  op->route_type = 0;
+  op->spe_side = false;
+  op->blocking = false;
+  op->bytes = 0;
+  op->file = "";
+  op->line = 0;
+  op->signature = 0;
+  op->token = 0;
+  op->submit_begin = 0;
+  op->swap = false;
+  op->ls_addr = 0;
+  op->ls_bytes = 0;
+  set_state(*op, State::kPending);
+  op->status.store(0, std::memory_order_relaxed);
+  op->fault_detail.clear();
+  op->registry_id = 0;
+  op->owner = this;
+  return op;
+}
+
+void Engine::release(PI_OP* op) {
+  OpRegistry::global().remove(op);
+  untrack(op);
+  set_state(*op, State::kReleased);
+  free_.push_back(op);
+}
+
+void Engine::track(PI_OP* op) { inflight_.push_back(op); }
+
+void Engine::untrack(PI_OP* op) {
+  inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), op),
+                  inflight_.end());
+}
+
+PI_OP* Engine::find_token(std::uint32_t token) const {
+  for (PI_OP* op : inflight_) {
+    if (op->token == token) return op;
+  }
+  return nullptr;
+}
+
+std::uint32_t Engine::next_token() {
+  // Token 0 is reserved so a zeroed word never matches an operation.
+  token_seq_ = (token_seq_ + 1) & 0x00FFFFFFu;
+  if (token_seq_ == 0) token_seq_ = 1;
+  return token_seq_;
+}
+
+OpRegistry& OpRegistry::global() {
+  static OpRegistry registry;
+  return registry;
+}
+
+void OpRegistry::set_armed(bool armed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(armed, std::memory_order_relaxed);
+  if (!armed) live_.clear();
+}
+
+void OpRegistry::add(PI_OP* op, const std::string& entity) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  op->registry_id = next_id_++;
+  live_[op->registry_id] = Entry{op, entity};
+}
+
+void OpRegistry::remove(PI_OP* op) {
+  if (op->registry_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(op->registry_id);
+  op->registry_id = 0;
+}
+
+std::vector<PendingOp> OpRegistry::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingOp> out;
+  out.reserve(live_.size());
+  for (const auto& [id, entry] : live_) {
+    const PI_OP& op = *entry.op;
+    PendingOp row;
+    row.id = id;
+    row.kind = op.kind;
+    row.state = op_state(op);
+    row.status = op.status.load(std::memory_order_relaxed);
+    row.channel = op.channel;
+    row.route_type = op.route_type;
+    row.spe_side = op.spe_side;
+    row.blocking = op.blocking;
+    row.bytes = op.bytes;
+    row.entity = entry.entity;
+    row.file = op.file == nullptr ? "" : op.file;
+    row.line = op.line;
+    row.submit_begin = op.submit_begin;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cellpilot::completion

@@ -68,7 +68,7 @@ constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
 class CopilotService {
  private:
   struct Assembly {
-    std::uint32_t words[kRequestWords] = {};
+    std::uint32_t words[kAsyncRequestWords] = {};
     int n = 0;
     SimTime first_stamp = 0;  ///< stamp of the request's first mailbox word
     SimTime last_stamp = 0;
@@ -101,8 +101,8 @@ class CopilotService {
     ReadyRequest inflight;
     std::vector<ReadyRequest> ready;
     std::vector<Assembly> assembly;
-    std::map<int, Pending> writes;
-    std::map<int, Pending> reads;
+    std::multimap<int, Pending> writes;
+    std::multimap<int, Pending> reads;
     std::set<unsigned> dead_spes;
     std::map<int, CompletionStatus> dead_channels;
     std::map<int, CompletionStatus> failed;
@@ -173,8 +173,13 @@ class CopilotService {
           break;
         }
         case Candidate::kMpiData: {
-          auto it = pending_reads_.find(candidate->channel);
-          if (it != pending_reads_.end() && complete_mpi_read(it->second)) {
+          // lower_bound = the *oldest* parked read on the channel (the
+          // multimap preserves insertion order for equal keys): frames on
+          // one channel arrive in order, so they pair FIFO.
+          auto it = pending_reads_.lower_bound(candidate->channel);
+          if (it != pending_reads_.end() &&
+              it->first == candidate->channel &&
+              complete_mpi_read(it->second)) {
             pending_reads_.erase(it);
           }
           break;
@@ -233,7 +238,11 @@ class CopilotService {
         if (a.n == 0) a.first_stamp = entry->stamp;
         a.words[a.n++] = entry->value;
         a.last_stamp = entry->stamp;
-        if (a.n == kRequestWords) {
+        // The first word names the opcode, which fixes the request length
+        // (4 words for the blocking opcodes, 5 for the token-carrying
+        // async ones; unknown opcodes decode as 4 so the protocol check
+        // can reject them without desynchronising the word stream).
+        if (a.n == words_for(unpack_opcode(a.words[0]))) {
           ReadyRequest ready;
           ready.req = decode(a.words);
           ready.spe = s;
@@ -316,7 +325,10 @@ class CopilotService {
       consider({ready_requests_[i].stamp, Candidate::kRequest, i, -1,
                 ready_requests_[i].spe});
     }
+    int last_channel = -1;
     for (const auto& [channel, p] : pending_reads_) {
+      if (channel == last_channel) continue;  // only the FIFO head pairs
+      last_channel = channel;
       if (p.expected_source == mpisim::kAnySource) continue;  // type 4
       if (auto env = mpi_.iprobe(p.expected_source, p.tag)) {
         consider({env->arrival, Candidate::kMpiData, 0, channel, p.spe});
@@ -334,20 +346,26 @@ class CopilotService {
     return best;
   }
 
-  static SpeRequest decode(const std::uint32_t words[kRequestWords]) {
+  static SpeRequest decode(const std::uint32_t words[kAsyncRequestWords]) {
     SpeRequest r;
     r.opcode = unpack_opcode(words[0]);
     r.channel = unpack_channel(words[0]);
     r.ls_addr = words[1];
     r.length = words[2];
     r.signature = words[3];
+    if (words_for(r.opcode) == kAsyncRequestWords) r.token = words[4];
     return r;
   }
 
-  void complete(unsigned spe, CompletionStatus status) {
+  /// Answers a request: a bare status word for the blocking opcodes, a
+  /// packed (status | token) word for the async ones — the requester's
+  /// opcode decides the completion encoding, never the Co-Pilot.
+  void complete(unsigned spe, CompletionStatus status, const SpeRequest& req) {
     clock().advance(cost_.mbox_ppe_write);
-    blade_.spe(spe).inbound_mailbox().push_blocking(
-        static_cast<std::uint32_t>(status), clock().now());
+    const std::uint32_t word = request_is_async(req)
+                                   ? pack_completion(status, req.token)
+                                   : static_cast<std::uint32_t>(status);
+    blade_.spe(spe).inbound_mailbox().push_blocking(word, clock().now());
   }
 
   /// Frames the payload held in an SPE's local store (write requests).
@@ -371,7 +389,7 @@ class CopilotService {
       return pilot::check_frame(framed, r.req.signature, r.req.length,
                                 "channel " + app_.channel(r.req.channel).name);
     } catch (const pilot::PilotError&) {
-      complete(r.spe, CompletionStatus::kTypeMismatch);
+      complete(r.spe, CompletionStatus::kTypeMismatch, r.req);
       return std::nullopt;
     }
   }
@@ -382,14 +400,14 @@ class CopilotService {
     std::byte* dst = spe.local_store().at(r.req.ls_addr, r.req.length);
     std::memcpy(dst, payload.data(), payload.size());
     clock().advance(cost_.copilot_ls_access(r.req.length));
-    complete(r.spe, CompletionStatus::kOk);
+    complete(r.spe, CompletionStatus::kOk, r.req);
   }
 
   /// Type-4 pairing: writer and reader are both local SPEs.
   void transfer_local(const Pending& w, const Pending& r) {
     if (w.req.signature != r.req.signature || w.req.length != r.req.length) {
-      complete(w.spe, CompletionStatus::kTypeMismatch);
-      complete(r.spe, CompletionStatus::kTypeMismatch);
+      complete(w.spe, CompletionStatus::kTypeMismatch, w.req);
+      complete(r.spe, CompletionStatus::kTypeMismatch, r.req);
       return;
     }
     cellsim::Spe& ws = blade_.spe(w.spe);
@@ -411,8 +429,8 @@ class CopilotService {
                                 clock().now(), w.req.length, w.req.channel,
                                 route_type_of(w.req.channel));
     }
-    complete(w.spe, CompletionStatus::kOk);
-    complete(r.spe, CompletionStatus::kOk);
+    complete(w.spe, CompletionStatus::kOk, w.req);
+    complete(r.spe, CompletionStatus::kOk, r.req);
   }
 
   std::string copilot_name() const {
@@ -453,9 +471,11 @@ class CopilotService {
                                   route_type_of(r.req.channel),
                                   static_cast<std::int64_t>(fault.status));
       }
-      complete(r.spe, status);
-      pilot::notify_unblock_proxy(mpi_, app_,
-                                  app_.spe_process(node_, r.spe));
+      complete(r.spe, status, r.req);
+      if (!request_is_async(r.req)) {
+        pilot::notify_unblock_proxy(mpi_, app_,
+                                    app_.spe_process(node_, r.spe));
+      }
       return true;
     }
     if (auto payload = validate_frame(r, framed)) {
@@ -467,7 +487,9 @@ class CopilotService {
                                 clock().now(), r.req.length, r.req.channel,
                                 route_type_of(r.req.channel));
     }
-    pilot::notify_unblock_proxy(mpi_, app_, app_.spe_process(node_, r.spe));
+    if (!request_is_async(r.req)) {
+      pilot::notify_unblock_proxy(mpi_, app_, app_.spe_process(node_, r.spe));
+    }
     return true;
   }
 
@@ -506,7 +528,7 @@ class CopilotService {
                                ready.req.channel, copilot_name(), queue_wait);
     }
     clock().advance(cost_.mbox_ppe_read *
-                    static_cast<SimTime>(kRequestWords));
+                    static_cast<SimTime>(words_for(ready.req.opcode)));
     const SimTime service_begin = clock().now();
     handle_request(ready.spe, ready.req);
     if (simtime::metrics::armed()) {
@@ -572,7 +594,7 @@ class CopilotService {
                                 route_type_of(ready.req.channel),
                                 app_.options().spe_deadline_retries);
     }
-    complete(ready.spe, CompletionStatus::kSpeTimeout);
+    complete(ready.spe, CompletionStatus::kSpeTimeout, ready.req);
     fail_process(app_.spe_process(node_, ready.spe),
                  CompletionStatus::kSpeTimeout,
                  static_cast<std::uint32_t>(cellsim::FaultCode::kTimeout),
@@ -598,7 +620,7 @@ class CopilotService {
     // is serial, so it has at most one parked request; a *living* parked
     // peer gets an error completion, the dead process's own parked request
     // is simply dropped.  Either way its proxy block report is retracted.
-    const auto sweep = [&](std::map<int, Pending>& parked) {
+    const auto sweep = [&](std::multimap<int, Pending>& parked) {
       for (auto it = parked.begin(); it != parked.end();) {
         const PI_CHANNEL& ch = app_.channel(it->first);
         if (ch.from != pid && ch.to != pid) {
@@ -609,8 +631,10 @@ class CopilotService {
         it = parked.erase(it);
         dead_channels_[ch.id] = status;
         const int parked_pid = app_.spe_process(node_, p.spe);
-        if (parked_pid != pid) complete(p.spe, status);
-        pilot::notify_unblock_proxy(mpi_, app_, parked_pid);
+        if (parked_pid != pid) complete(p.spe, status, p.req);
+        if (!request_is_async(p.req)) {
+          pilot::notify_unblock_proxy(mpi_, app_, parked_pid);
+        }
       }
     };
     sweep(pending_writes_);
@@ -678,7 +702,7 @@ class CopilotService {
     const ReadyRequest& in = c.inflight;
     const SimTime begin = clock().now();
     clock().advance(cost_.copilot_service);
-    complete(in.spe, CompletionStatus::kCopilotFault);
+    complete(in.spe, CompletionStatus::kCopilotFault, in.req);
     const int chid = in.req.channel;
     if (chid >= 0 && chid < app_.channel_count()) {
       dead_channels_[chid] = CompletionStatus::kCopilotFault;
@@ -686,14 +710,17 @@ class CopilotService {
       // A peer parked on the poisoned channel can never be served; wake
       // it with the error (and retract its deadlock block report) rather
       // than leaving it to hang.
-      const auto sweep = [&](std::map<int, Pending>& parked) {
-        const auto it = parked.find(chid);
-        if (it == parked.end()) return;
-        const Pending p = it->second;
-        parked.erase(it);
-        complete(p.spe, CompletionStatus::kCopilotFault);
-        pilot::notify_unblock_proxy(mpi_, app_,
-                                    app_.spe_process(node_, p.spe));
+      const auto sweep = [&](std::multimap<int, Pending>& parked) {
+        for (auto it = parked.lower_bound(chid);
+             it != parked.end() && it->first == chid;) {
+          const Pending p = it->second;
+          it = parked.erase(it);
+          complete(p.spe, CompletionStatus::kCopilotFault, p.req);
+          if (!request_is_async(p.req)) {
+            pilot::notify_unblock_proxy(mpi_, app_,
+                                        app_.spe_process(node_, p.spe));
+          }
+        }
       };
       sweep(pending_writes_);
       sweep(pending_reads_);
@@ -701,7 +728,9 @@ class CopilotService {
       // peer Co-Pilot) waiting for data that will never come: put the
       // fault on the wire in the data's place.
       const Route* rt = app_.channel(chid).route;
-      if (rt != nullptr && in.req.opcode == Opcode::kWrite &&
+      if (rt != nullptr &&
+          (in.req.opcode == Opcode::kWrite ||
+           in.req.opcode == Opcode::kWriteAsync) &&
           (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
            rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
         const std::vector<std::byte> frame = pilot::frame_fault(
@@ -734,28 +763,32 @@ class CopilotService {
 
     // Bounds and opcode checks stay ahead of any route lookup: a rogue
     // request may carry an arbitrary channel id.
+    const bool is_write =
+        req.opcode == Opcode::kWrite || req.opcode == Opcode::kWriteAsync;
+    const bool is_read =
+        req.opcode == Opcode::kRead || req.opcode == Opcode::kReadAsync;
     if (req.channel < 0 || req.channel >= app_.channel_count() ||
-        (req.opcode != Opcode::kWrite && req.opcode != Opcode::kRead)) {
-      complete(spe, CompletionStatus::kProtocol);
+        (!is_write && !is_read)) {
+      complete(spe, CompletionStatus::kProtocol, req);
       return;
     }
     const PI_CHANNEL& ch = app_.channel(req.channel);
     const Route* rt = ch.route;
     if (rt == nullptr) {
-      complete(spe, CompletionStatus::kProtocol);
+      complete(spe, CompletionStatus::kProtocol, req);
       return;
     }
     // A channel poisoned by a peer's death fails fast with the stored
     // status instead of parking a request that can never be served.
     if (auto dead = dead_channels_.find(req.channel);
         dead != dead_channels_.end()) {
-      complete(spe, dead->second);
+      complete(spe, dead->second, req);
       return;
     }
-    const int peer_pid = (req.opcode == Opcode::kWrite) ? ch.to : ch.from;
+    const int peer_pid = is_write ? ch.to : ch.from;
     if (auto failed = failed_.find(peer_pid); failed != failed_.end()) {
       dead_channels_[req.channel] = failed->second;
-      complete(spe, failed->second);
+      complete(spe, failed->second, req);
       return;
     }
     if (simtime::tracebuf::armed()) {
@@ -766,7 +799,7 @@ class CopilotService {
     }
     Pending p{req, spe, mpisim::kAnySource, rt->tag};
 
-    if (req.opcode == Opcode::kWrite) {
+    if (is_write) {
       switch (rt->copilot_write) {
         case CopilotWriteAction::kRelayToRank:
         case CopilotWriteAction::kRelayToPeer: {
@@ -782,18 +815,20 @@ class CopilotService {
                                       req.channel,
                                       static_cast<std::int8_t>(rt->type));
           }
-          complete(spe, CompletionStatus::kOk);
+          complete(spe, CompletionStatus::kOk, req);
           break;
         }
         case CopilotWriteAction::kPairLocal: {
-          // Type 4: pair with a local read, or park.
-          auto it = pending_reads_.find(req.channel);
-          if (it != pending_reads_.end() &&
+          // Type 4: pair with the oldest parked local read, or park.
+          auto it = pending_reads_.lower_bound(req.channel);
+          if (it != pending_reads_.end() && it->first == req.channel &&
               it->second.expected_source == mpisim::kAnySource) {
             const Pending reader = it->second;
             pending_reads_.erase(it);
-            pilot::notify_unblock_proxy(
-                mpi_, app_, app_.spe_process(node_, reader.spe));
+            if (!request_is_async(reader.req)) {
+              pilot::notify_unblock_proxy(
+                  mpi_, app_, app_.spe_process(node_, reader.spe));
+            }
             transfer_local(p, reader);
           } else {
             pending_writes_.emplace(req.channel, p);
@@ -804,27 +839,33 @@ class CopilotService {
                                         static_cast<std::int8_t>(rt->type),
                                         static_cast<std::int64_t>(req.opcode));
             }
-            pilot::notify_block_proxy(mpi_, app_,
-                                      app_.spe_process(node_, spe), ch.to,
-                                      req.channel);
+            // An async parked op does not block its SPE (the program keeps
+            // computing), so it must not feed the deadlock detector.
+            if (!request_is_async(req)) {
+              pilot::notify_block_proxy(mpi_, app_,
+                                        app_.spe_process(node_, spe), ch.to,
+                                        req.channel);
+            }
           }
           break;
         }
         case CopilotWriteAction::kNone:
           // The channel's writer is not an SPE: not a legal request.
-          complete(spe, CompletionStatus::kProtocol);
+          complete(spe, CompletionStatus::kProtocol, req);
           return;
       }
     } else {  // kRead
       switch (rt->copilot_read) {
         case CopilotReadAction::kPairLocal: {
-          // Type 4: pair with a local write, or park.
-          auto it = pending_writes_.find(req.channel);
-          if (it != pending_writes_.end()) {
+          // Type 4: pair with the oldest parked local write, or park.
+          auto it = pending_writes_.lower_bound(req.channel);
+          if (it != pending_writes_.end() && it->first == req.channel) {
             const Pending writer = it->second;
             pending_writes_.erase(it);
-            pilot::notify_unblock_proxy(
-                mpi_, app_, app_.spe_process(node_, writer.spe));
+            if (!request_is_async(writer.req)) {
+              pilot::notify_unblock_proxy(
+                  mpi_, app_, app_.spe_process(node_, writer.spe));
+            }
             transfer_local(writer, p);
           } else {
             pending_reads_.emplace(req.channel, p);
@@ -835,9 +876,11 @@ class CopilotService {
                                         static_cast<std::int8_t>(rt->type),
                                         static_cast<std::int64_t>(req.opcode));
             }
-            pilot::notify_block_proxy(mpi_, app_,
-                                      app_.spe_process(node_, spe), ch.from,
-                                      req.channel);
+            if (!request_is_async(req)) {
+              pilot::notify_block_proxy(mpi_, app_,
+                                        app_.spe_process(node_, spe), ch.from,
+                                        req.channel);
+            }
           }
           break;
         }
@@ -853,19 +896,21 @@ class CopilotService {
                                       static_cast<std::int8_t>(rt->type),
                                       static_cast<std::int64_t>(req.opcode));
           }
-          pilot::notify_block_proxy(mpi_, app_,
-                                    app_.spe_process(node_, spe), ch.from,
-                                    req.channel);
+          if (!request_is_async(req)) {
+            pilot::notify_block_proxy(mpi_, app_,
+                                      app_.spe_process(node_, spe), ch.from,
+                                      req.channel);
+          }
           break;
         }
         case CopilotReadAction::kNone:
-          complete(spe, CompletionStatus::kProtocol);
+          complete(spe, CompletionStatus::kProtocol, req);
           return;
       }
     }
     simtime::Trace::global().record(
         copilot_name(), simtime::TraceKind::kCopilotService,
-        std::string(req.opcode == Opcode::kWrite ? "write" : "read") +
+        std::string(is_write ? "write" : "read") +
             " ch=" + std::to_string(req.channel) + " " +
             std::to_string(req.length) + "B",
         begin, clock().now());
@@ -878,8 +923,11 @@ class CopilotService {
   const simtime::CostModel& cost_;
   std::vector<Assembly> assembly_;
   std::vector<ReadyRequest> ready_requests_;
-  std::map<int, Pending> pending_writes_;
-  std::map<int, Pending> pending_reads_;
+  // Insertion order is preserved for equal keys, so each channel's
+  // parked requests form a FIFO — several async operations from one SPE
+  // may be parked at once.
+  std::multimap<int, Pending> pending_writes_;
+  std::multimap<int, Pending> pending_reads_;
   /// SPEs whose fault notice has been consumed.
   std::set<unsigned> dead_spes_;
   /// Channels poisoned by an endpoint's death: later requests complete

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/completion.hpp"
 #include "core/faultplan.hpp"
 #include "core/trace.hpp"
 #include "simtime/tracebuf.hpp"
@@ -24,9 +25,12 @@ struct RecorderState {
   void arm_with(const std::string& p) {
     if (!armed) {
       // The recorder needs events flowing: arm the trace engine (never
-      // perturbs virtual time) and switch on the black-box tails.
+      // perturbs virtual time) and switch on the black-box tails.  The
+      // completion engine's registry arms with it, so postmortems carry the
+      // table of operations that were still pending when things went wrong.
       simtime::tracebuf::arm();
       simtime::tracebuf::set_blackbox(kTailEvents);
+      completion::OpRegistry::global().set_armed(true);
       armed = true;
     }
     path = p;
@@ -34,6 +38,7 @@ struct RecorderState {
 
   void disarm_locked() {
     if (armed) {
+      completion::OpRegistry::global().set_armed(false);
       simtime::tracebuf::set_blackbox(0);
       simtime::tracebuf::disarm();
       armed = false;
@@ -118,6 +123,42 @@ std::string postmortem_json(const std::string& reason, int dump_ordinal) {
         static_cast<unsigned long long>(s.duplicates),
         static_cast<unsigned long long>(s.corrupt_detected));
     out += row;
+  }
+  out += "\n]";
+
+  // Every operation still live in the completion engine: submitted handles
+  // nobody harvested yet.  On a hang or watchdog trip this is the direct
+  // answer to "who is everyone waiting for?" — each row names the channel,
+  // direction, state and submitting call site of one outstanding transfer.
+  out += ",\n\"pendingOps\":[";
+  first = true;
+  for (const completion::PendingOp& p :
+       completion::OpRegistry::global().pending()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"id\":";
+    out += std::to_string(p.id);
+    out += ",\"kind\":\"";
+    out += completion::kind_name(p.kind);
+    out += "\",\"state\":\"";
+    out += completion::state_name(p.state);
+    out += "\",\"entity\":\"";
+    append_json_escaped(out, p.entity);
+    out += "\",\"site\":\"";
+    append_json_escaped(out, p.file.empty()
+                                 ? std::string()
+                                 : p.file + ":" + std::to_string(p.line));
+    char tail[192];
+    std::snprintf(tail, sizeof tail,
+                  "\",\"status\":%u,\"channel\":%d,\"route\":%d,"
+                  "\"speSide\":%s,\"blocking\":%s,\"bytes\":%llu,"
+                  "\"submitNs\":%lld}",
+                  p.status, p.channel, static_cast<int>(p.route_type),
+                  p.spe_side ? "true" : "false",
+                  p.blocking ? "true" : "false",
+                  static_cast<unsigned long long>(p.bytes),
+                  static_cast<long long>(p.submit_begin));
+    out += tail;
   }
   out += "\n]";
 

@@ -17,6 +17,17 @@
 // The completion word is a status code (kOk or an error), letting the SPE
 // runtime convert protocol failures into PilotError diagnostics.
 //
+// The async tier (PI_WriteAsync / PI_ReadAsync) extends the request with a
+// fifth word carrying a 24-bit completion token chosen by the SPE runtime:
+//   word 4:  completion token (low 24 bits; async opcodes only)
+// and packs the completion word as status (high 8 bits) | token (low 24
+// bits), so an SPE with several operations in flight can match each
+// completion back to its operation.  An SPE that has async operations
+// outstanding issues *all* further requests — including blocking ones —
+// through the async opcodes, so every word arriving on its inbound mailbox
+// is a packed completion; once nothing is outstanding the legacy 4-word /
+// bare-status exchange is used, keeping no-async programs byte-identical.
+//
 // The channel taxonomy of the paper's Table I and its resolution rule live
 // with the compiled data plane in core/router.hpp (re-exported here).
 #pragma once
@@ -29,14 +40,31 @@
 
 namespace cellpilot {
 
-/// Number of mailbox words in one SPE request.
+/// Number of mailbox words in one blocking SPE request.
 inline constexpr int kRequestWords = 4;
+
+/// Number of mailbox words in one async SPE request (adds the token word).
+inline constexpr int kAsyncRequestWords = 5;
 
 /// Request opcodes.
 enum class Opcode : std::uint32_t {
-  kWrite = 1,  ///< the SPE wants to write the channel (buffer holds data)
-  kRead = 2,   ///< the SPE wants to read the channel (buffer to be filled)
+  kWrite = 1,       ///< the SPE wants to write the channel (buffer holds data)
+  kRead = 2,        ///< the SPE wants to read the channel (buffer to be filled)
+  kWriteAsync = 3,  ///< kWrite with a completion token (5-word request)
+  kReadAsync = 4,   ///< kRead with a completion token (5-word request)
 };
+
+/// True for the token-carrying opcodes.
+constexpr bool opcode_is_async(Opcode op) {
+  return op == Opcode::kWriteAsync || op == Opcode::kReadAsync;
+}
+
+/// Mailbox words a request with this opcode occupies.  Unknown opcodes
+/// decode as the legacy 4-word shape so the Co-Pilot's protocol check can
+/// reject them without desynchronising the mailbox stream.
+constexpr int words_for(Opcode op) {
+  return opcode_is_async(op) ? kAsyncRequestWords : kRequestWords;
+}
 
 /// Completion status codes (inbound mailbox word).
 enum class CompletionStatus : std::uint32_t {
@@ -56,7 +84,13 @@ struct SpeRequest {
   std::uint32_t ls_addr = 0;
   std::uint32_t length = 0;
   std::uint32_t signature = 0;
+  std::uint32_t token = 0;  ///< completion token (async opcodes only)
 };
+
+/// True when the request expects a packed (status|token) completion word.
+constexpr bool request_is_async(const SpeRequest& req) {
+  return opcode_is_async(req.opcode);
+}
 
 /// Packs word 0 from opcode + channel id.
 constexpr std::uint32_t pack_op_channel(Opcode op, int channel) {
@@ -70,6 +104,23 @@ constexpr Opcode unpack_opcode(std::uint32_t w0) {
 }
 constexpr int unpack_channel(std::uint32_t w0) {
   return static_cast<int>(w0 & 0x00FFFFFFu);
+}
+
+/// Completion tokens are 24 bits; the SPE runtime wraps its counter.
+inline constexpr std::uint32_t kTokenMask = 0x00FFFFFFu;
+
+/// Packs an async completion word: status (high 8) | token (low 24).
+constexpr std::uint32_t pack_completion(CompletionStatus status,
+                                        std::uint32_t token) {
+  return (static_cast<std::uint32_t>(status) << 24) | (token & kTokenMask);
+}
+
+/// Unpacks an async completion word.
+constexpr CompletionStatus unpack_completion_status(std::uint32_t w) {
+  return static_cast<CompletionStatus>(w >> 24);
+}
+constexpr std::uint32_t unpack_completion_token(std::uint32_t w) {
+  return w & kTokenMask;
 }
 
 /// Bytes of SPE local store occupied by the CellPilot SPE-side runtime.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "cellsim/spe.hpp"
 #include "cellsim/spu.hpp"
 #include "core/faultplan.hpp"
 #include "core/protocol.hpp"
@@ -88,7 +90,9 @@ class Staging {
   explicit Staging(std::size_t bytes)
       : addr_(cellsim::spu::ls_alloc(std::max<std::size_t>(bytes, 16), 16)),
         bytes_(bytes) {}
-  ~Staging() { cellsim::spu::ls_free(addr_); }
+  ~Staging() {
+    if (owned_) cellsim::spu::ls_free(addr_);
+  }
   Staging(const Staging&) = delete;
   Staging& operator=(const Staging&) = delete;
 
@@ -98,16 +102,152 @@ class Staging {
         cellsim::spu::ls_ptr(addr_, std::max<std::size_t>(bytes_, 16)));
   }
 
+  /// Hands ownership to the caller (an async operation parks the buffer
+  /// until harvest); the destructor then leaves it alone.
+  cellsim::LsAddr disown() {
+    owned_ = false;
+    const cellsim::LsAddr a = addr_;
+    addr_ = 0;
+    return a;
+  }
+
  private:
   cellsim::LsAddr addr_;
   std::size_t bytes_;
+  bool owned_ = true;
 };
+
+/// Local-store pointer for a parked async staging buffer.
+std::byte* parked_ptr(const PI_OP& op) {
+  return static_cast<std::byte*>(cellsim::spu::ls_ptr(
+      op.ls_addr, std::max<std::uint32_t>(op.ls_bytes, 16)));
+}
+
+/// Routes one arrived completion word to its operation.  `lenient` is the
+/// abandoned-handle drain, which must not throw across the SPE epilogue.
+void dispatch_completion_word(std::uint32_t word, bool lenient) {
+  auto& engine = completion::Engine::local();
+  PI_OP* op = engine.find_token(unpack_completion_token(word));
+  if (op == nullptr || completion::is_settled(*op)) {
+    if (lenient) return;
+    throw pilot::PilotError(pilot::ErrorCode::kInternal,
+                            "Co-Pilot completion word matches no in-flight "
+                            "async operation on this SPE");
+  }
+  const auto status = unpack_completion_status(word);
+  op->status.store(static_cast<std::uint32_t>(status),
+                   std::memory_order_relaxed);
+  completion::set_state(*op, status == CompletionStatus::kOk
+                                  ? completion::State::kComplete
+                                  : completion::State::kFaulted);
+}
+
+/// Consumes every completion word already sitting in the inbound mailbox
+/// without stalling.
+void drain_available_completions(bool lenient) {
+  while (cellsim::spu::spu_stat_in_mbox() > 0) {
+    dispatch_completion_word(cellsim::spu::spu_read_in_mbox(), lenient);
+  }
+}
+
+/// Frees the parked staging buffer (idempotent).
+void free_parked(PI_OP& op) {
+  if (op.ls_addr != 0) {
+    cellsim::spu::ls_free(op.ls_addr);
+    op.ls_addr = 0;
+  }
+}
+
+/// Submits one async request: stages, probes the crash plan, pushes the
+/// 5-word request and leaves `op` in flight with its staging parked.
+void spe_submit(PI_OP& op, Opcode opcode, const PI_CHANNEL& ch,
+                std::uint32_t sig, std::span<const std::byte> payload,
+                std::size_t bytes) {
+  const auto& e = env();
+  e.spe->clock().advance(e.cost->spu_call_overhead);
+
+  auto& engine = completion::Engine::local();
+  // Harvest any words that already arrived, then enforce the in-flight
+  // cap that keeps the Co-Pilot's completion pushes non-blocking.
+  drain_available_completions(/*lenient=*/false);
+  if (engine.inflight() >=
+      static_cast<int>(cellsim::kInboundMailboxDepth)) {
+    throw pilot::PilotError(
+        pilot::ErrorCode::kUsage,
+        channel_label(ch) +
+            ": too many outstanding async operations on this SPE (the "
+            "inbound mailbox holds " +
+            std::to_string(cellsim::kInboundMailboxDepth) +
+            " completions; wait on a handle first)");
+  }
+
+  Staging staging(bytes);
+  if (!payload.empty()) {
+    std::memcpy(staging.ptr(), payload.data(), payload.size());
+  }
+  if (faults::FaultPlan::global().armed() &&
+      faults::FaultPlan::global().should_crash_spe(
+          env().spe->name().c_str())) {
+    throw faults::InjectedCrash("injected SPE crash on " + env().spe->name() +
+                                " before request on channel " + ch.name);
+  }
+  op.token = engine.next_token();
+  op.signature = sig;
+  op.bytes = bytes;
+  completion::set_state(op, completion::State::kStaged);
+  cellsim::spu::spu_write_out_mbox(pack_op_channel(opcode, ch.id));
+  cellsim::spu::spu_write_out_mbox(staging.addr());
+  cellsim::spu::spu_write_out_mbox(static_cast<std::uint32_t>(bytes));
+  cellsim::spu::spu_write_out_mbox(sig);
+  cellsim::spu::spu_write_out_mbox(op.token);
+  op.ls_bytes = static_cast<std::uint32_t>(bytes);
+  op.ls_addr = staging.disown();
+  completion::set_state(op, completion::State::kInFlight);
+  engine.track(&op);
+}
+
+/// Copies a settled read's staging out, frees local store, and converts a
+/// faulted completion into the PilotError the blocking tier would throw.
+void harvest_settled(PI_OP& op, const PI_CHANNEL& ch,
+                     std::span<std::byte> out) {
+  completion::Engine::local().untrack(&op);
+  const auto status =
+      static_cast<CompletionStatus>(op.status.load(std::memory_order_relaxed));
+  if (completion::op_state(op) == completion::State::kFaulted) {
+    free_parked(op);
+    throw_completion_error(status, ch);
+  }
+  if (op.kind == completion::Kind::kRead && !out.empty()) {
+    std::memcpy(out.data(), parked_ptr(op), out.size());
+  }
+  free_parked(op);
+}
 
 }  // namespace
 
 void spe_channel_write(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
                        std::uint32_t sig,
                        std::span<const std::byte> payload) {
+  auto& engine = completion::Engine::local();
+  if (engine.inflight() > 0) {
+    // Async operations are outstanding, so every inbound-mailbox word is a
+    // packed completion: the blocking op must travel the async opcode path
+    // too, or its bare-status completion would be misread.
+    PI_OP* op = engine.create(completion::Kind::kWrite);
+    op->spe_side = true;
+    op->blocking = true;
+    op->channel = ch.id;
+    try {
+      spe_submit(*op, Opcode::kWriteAsync, ch, sig, payload, payload.size());
+      spe_wait_channel_op(*op, ch, {});
+    } catch (...) {
+      engine.release(op);
+      throw;
+    }
+    engine.release(op);
+    return;
+  }
+
   const auto& e = env();
   e.spe->clock().advance(e.cost->spu_call_overhead);
 
@@ -128,6 +268,23 @@ void spe_channel_write(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
 
 void spe_channel_read(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
                       std::uint32_t sig, std::span<std::byte> out) {
+  auto& engine = completion::Engine::local();
+  if (engine.inflight() > 0) {
+    PI_OP* op = engine.create(completion::Kind::kRead);
+    op->spe_side = true;
+    op->blocking = true;
+    op->channel = ch.id;
+    try {
+      spe_submit(*op, Opcode::kReadAsync, ch, sig, {}, out.size());
+      spe_wait_channel_op(*op, ch, out);
+    } catch (...) {
+      engine.release(op);
+      throw;
+    }
+    engine.release(op);
+    return;
+  }
+
   const auto& e = env();
   e.spe->clock().advance(e.cost->spu_call_overhead);
 
@@ -140,6 +297,62 @@ void spe_channel_read(pilot::PilotApp& /*app*/, const PI_CHANNEL& ch,
   }
   if (!out.empty()) {
     std::memcpy(out.data(), staging.ptr(), out.size());
+  }
+}
+
+void spe_submit_channel_write(PI_OP& op, const PI_CHANNEL& ch,
+                              std::uint32_t sig,
+                              std::span<const std::byte> payload) {
+  spe_submit(op, Opcode::kWriteAsync, ch, sig, payload, payload.size());
+}
+
+void spe_submit_channel_read(PI_OP& op, const PI_CHANNEL& ch,
+                             std::uint32_t sig, std::size_t bytes) {
+  spe_submit(op, Opcode::kReadAsync, ch, sig, {}, bytes);
+}
+
+void spe_wait_channel_op(PI_OP& op, const PI_CHANNEL& ch,
+                         std::span<std::byte> out) {
+  while (!completion::is_settled(op)) {
+    dispatch_completion_word(cellsim::spu::spu_read_in_mbox(),
+                             /*lenient=*/false);
+  }
+  harvest_settled(op, ch, out);
+}
+
+bool spe_test_channel_op(PI_OP& op, const PI_CHANNEL& ch,
+                         std::span<std::byte> out) {
+  drain_available_completions(/*lenient=*/false);
+  if (!completion::is_settled(op)) return false;
+  harvest_settled(op, ch, out);
+  return true;
+}
+
+int spe_wait_any_channel_op(PI_OP* const* ops, int n) {
+  for (;;) {
+    for (int i = 0; i < n; ++i) {
+      if (ops[i] != nullptr && completion::is_settled(*ops[i])) return i;
+    }
+    dispatch_completion_word(cellsim::spu::spu_read_in_mbox(),
+                             /*lenient=*/false);
+  }
+}
+
+void spe_drain_outstanding() {
+  // Settle and discard every abandoned handle (lenient: a fault parked on
+  // one is not this program's problem any more), so the context hands the
+  // next occupant an empty mailbox.
+  auto& engine = completion::Engine::local();
+  for (;;) {
+    for (PI_OP* op : engine.snapshot_inflight()) {
+      if (completion::is_settled(*op)) {
+        free_parked(*op);
+        engine.release(op);
+      }
+    }
+    if (engine.inflight() == 0) break;
+    dispatch_completion_word(cellsim::spu::spu_read_in_mbox(),
+                             /*lenient=*/true);
   }
 }
 
@@ -166,6 +379,10 @@ int run_spe_body(std::uint64_t argp, SpeBody body) {
   int status = 0;
   try {
     status = body(launch->arg, launch->ptr);
+    // Handles the program leaked are settled and discarded here, so a
+    // pooled context (PI_SpawnSPE reuse) starts with an empty mailbox and
+    // no Co-Pilot is ever left holding a completion nobody will read.
+    spe_drain_outstanding();
   } catch (...) {
     pilot::bind_spe_dispatch(nullptr);
     throw;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/completion.hpp"
 #include "pilot/app.hpp"
 #include "pilot/tables.hpp"
 
@@ -50,5 +51,48 @@ void spe_channel_write(pilot::PilotApp& app, const PI_CHANNEL& ch,
 /// SPE-side blocking channel read into `out` (exactly out.size() bytes).
 void spe_channel_read(pilot::PilotApp& app, const PI_CHANNEL& ch,
                       std::uint32_t sig, std::span<std::byte> out);
+
+// --- async tier -----------------------------------------------------------
+//
+// The async opcodes carry a completion token, so an SPE may have several
+// operations in flight while it computes; the Co-Pilot answers each with a
+// packed (status | token) word.  Outstanding operations are capped at the
+// inbound-mailbox depth (4, as on hardware): that guarantee is what lets
+// the Co-Pilot deliver every completion without ever blocking on a full
+// mailbox of an SPE that is busy computing.
+
+/// Stages `payload` and issues an async write request.  On return `op` is
+/// in flight (token assigned, local-store staging parked until harvest).
+void spe_submit_channel_write(PI_OP& op, const PI_CHANNEL& ch,
+                              std::uint32_t sig,
+                              std::span<const std::byte> payload);
+
+/// Issues an async read request for `bytes` payload bytes.
+void spe_submit_channel_read(PI_OP& op, const PI_CHANNEL& ch,
+                             std::uint32_t sig, std::size_t bytes);
+
+/// Stalls until `op` settles, then harvests: copies a read's staging into
+/// `out` (out.size() == submitted bytes) and frees the local store.
+/// Throws PilotError if the operation faulted (staging freed first).
+void spe_wait_channel_op(PI_OP& op, const PI_CHANNEL& ch,
+                         std::span<std::byte> out);
+
+/// Non-blocking poll: drains arrived completion words; harvests like
+/// spe_wait_channel_op when `op` has settled.  Returns false if `op` is
+/// still in flight.
+bool spe_test_channel_op(PI_OP& op, const PI_CHANNEL& ch,
+                         std::span<std::byte> out);
+
+/// Stalls until one of `ops` settles and returns its index — without
+/// harvesting (call spe_wait_channel_op on the winner, which returns
+/// immediately).  At least one op must be in flight or already settled.
+int spe_wait_any_channel_op(PI_OP* const* ops, int n);
+
+/// Drains every outstanding async operation of the calling SPE thread,
+/// discarding results and fault statuses.  Called when an SPE program
+/// returns with handles still in flight, so the next occupant of the
+/// context starts with an empty mailbox and the Co-Pilot is never left
+/// blocked on an abandoned completion.
+void spe_drain_outstanding();
 
 }  // namespace cellpilot

@@ -1,10 +1,13 @@
 #include "core/transport.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "cellsim/errors.hpp"
 #include "cellsim/libspe2.hpp"
 #include "core/spe_runtime.hpp"
+#include "simtime/metrics.hpp"
+#include "simtime/tracebuf.hpp"
 
 namespace cellpilot {
 
@@ -18,6 +21,31 @@ void CellTransportImpl::spe_read(const PI_CHANNEL& ch, std::uint32_t sig,
                                  std::span<std::byte> out) {
   pilot::SpeDispatch* sd = pilot::spe_dispatch();
   spe_channel_read(*sd->app, ch, sig, out);
+}
+
+void CellTransportImpl::spe_submit_write(PI_OP& op, const PI_CHANNEL& ch,
+                                         std::uint32_t sig,
+                                         std::span<const std::byte> payload) {
+  spe_submit_channel_write(op, ch, sig, payload);
+}
+
+void CellTransportImpl::spe_submit_read(PI_OP& op, const PI_CHANNEL& ch,
+                                        std::uint32_t sig, std::size_t bytes) {
+  spe_submit_channel_read(op, ch, sig, bytes);
+}
+
+void CellTransportImpl::spe_wait(PI_OP& op, const PI_CHANNEL& ch,
+                                 std::span<std::byte> out) {
+  spe_wait_channel_op(op, ch, out);
+}
+
+bool CellTransportImpl::spe_test(PI_OP& op, const PI_CHANNEL& ch,
+                                 std::span<std::byte> out) {
+  return spe_test_channel_op(op, ch, out);
+}
+
+int CellTransportImpl::spe_wait_any(PI_OP* const* ops, int n) {
+  return spe_wait_any_channel_op(ops, n);
 }
 
 void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
@@ -89,6 +117,107 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
     if (!faulted) app.release_spe(node, flat);
   });
   app.add_spe_thread(ctx.rank(), std::move(t));
+}
+
+void CellTransportImpl::spawn_spe(
+    pilot::PilotContext& ctx, PI_PROCESS& proc,
+    const cellsim::spe2::spe_program_handle_t& program, int arg, void* ptr) {
+  pilot::PilotApp& app = ctx.app();
+  if (ctx.phase != pilot::Phase::kExecution) {
+    throw pilot::PilotError(pilot::ErrorCode::kUsage,
+                            "PI_SpawnSPE called outside the execution phase");
+  }
+  if (ctx.my_process != proc.parent_process) {
+    throw pilot::PilotError(
+        pilot::ErrorCode::kUsage,
+        "PI_SpawnSPE(" + proc.name +
+            ") must be called by its parent process P" +
+            std::to_string(proc.parent_process) + ", not P" +
+            std::to_string(ctx.my_process));
+  }
+  if (program.entry == nullptr) {
+    throw pilot::PilotError(pilot::ErrorCode::kUsage,
+                            "PI_SpawnSPE: program has no entry point");
+  }
+  // A previous occupant that died leaves the slot haunted: its channels are
+  // poisoned and its context was never returned to the pool, so a respawn
+  // could only inherit confusion.  Reject it as a usage error.
+  if (auto failure = app.process_failure(proc.id)) {
+    throw pilot::PilotError(
+        pilot::ErrorCode::kUsage,
+        "PI_SpawnSPE(" + proc.name + "): the process previously faulted (" +
+            failure->detail + "); a dead SPE process cannot be respawned");
+  }
+
+  const simtime::SimTime call_begin = ctx.mpi().clock().now();
+  // Pooled contexts: wait for the slot's previous occupant to retire, then
+  // prefer the context it just vacated (warm local store on real hardware).
+  app.join_spawn(ctx.rank(), proc.id);
+  const int node = proc.node;
+  const std::optional<unsigned> prev = app.last_spawn_flat(proc.id);
+  const unsigned flat =
+      prev ? app.acquire_spe_preferring(node, *prev) : app.acquire_spe(node);
+  app.bind_spe_process(node, flat, proc.id);
+  // The runtime binding that lifts Pilot's static-declaration restriction:
+  // the slot carries whatever program this spawn supplies.
+  proc.program = &program;
+  cellsim::Spe& spe = app.cluster().spe(node, flat);
+  mpisim::World* world = &app.cluster().world();
+
+  auto launch = std::make_unique<SpeLaunchArgs>();
+  launch->app = &app;
+  launch->process_id = proc.id;
+  launch->arg = arg;
+  launch->ptr = ptr;
+
+  const simtime::SimTime stamp = ctx.mpi().clock().now();
+  // The previous occupant has been joined, so the SPE clock is quiescent:
+  // the program starts at the later of the parent's launch stamp and the
+  // context's own time.
+  const simtime::SimTime start = std::max(stamp, spe.clock().now());
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeSpawn, spe.name(),
+                              call_begin, start, 0, proc.id, 0);
+  }
+  if (simtime::metrics::armed()) {
+    simtime::metrics::record(simtime::metrics::Kind::kSpawnLatency, 0,
+                             proc.id, spe.name(), start - call_begin);
+  }
+
+  std::thread t([&app, &spe, program = proc.program,
+                 launch = std::move(launch), node, flat, stamp, world,
+                 proc_id = proc.id, proc_name = proc.name] {
+    spe.clock().join(stamp);
+    bool faulted = false;
+    try {
+      cellsim::spe2::SpeContext sctx(spe);
+      sctx.run(*program, cellsim::ea_of(launch.get()), 0);
+    } catch (const mpisim::WorldAborted&) {
+      // Job torn down elsewhere.
+    } catch (const cellsim::HardwareFault& f) {
+      if (!world->aborted()) {
+        faulted = true;
+        spe.raise_fault(f.fault_code(), spe.clock().now(),
+                        "SPE process " + proc_name + ": " + f.what());
+      }
+    } catch (const std::exception& e) {
+      if (!world->aborted()) {
+        world->abort("SPE process " + proc_name + " failed: " + e.what());
+      }
+    }
+    // Same rule as PI_RunSPE: a faulted context is never pooled again.  A
+    // clean completion records its retirement and frees the context for
+    // the next spawn.
+    if (!faulted) {
+      if (simtime::tracebuf::armed()) {
+        const simtime::SimTime end = spe.clock().now();
+        simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeRetire,
+                                  spe.name(), end, end, 0, proc_id, 0);
+      }
+      app.release_spe(node, flat);
+    }
+  });
+  app.register_spawn(proc.id, ctx.rank(), flat, std::move(t));
 }
 
 }  // namespace cellpilot

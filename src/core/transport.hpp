@@ -24,6 +24,24 @@ class CellTransportImpl : public pilot::CellTransport {
 
   void run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc, int arg,
                void* ptr) override;
+
+  void spe_submit_write(PI_OP& op, const PI_CHANNEL& ch, std::uint32_t sig,
+                        std::span<const std::byte> payload) override;
+
+  void spe_submit_read(PI_OP& op, const PI_CHANNEL& ch, std::uint32_t sig,
+                       std::size_t bytes) override;
+
+  void spe_wait(PI_OP& op, const PI_CHANNEL& ch,
+                std::span<std::byte> out) override;
+
+  bool spe_test(PI_OP& op, const PI_CHANNEL& ch,
+                std::span<std::byte> out) override;
+
+  int spe_wait_any(PI_OP* const* ops, int n) override;
+
+  void spawn_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
+                 const cellsim::spe2::spe_program_handle_t& program, int arg,
+                 void* ptr) override;
 };
 
 }  // namespace cellpilot

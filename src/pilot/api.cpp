@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "cellsim/spu.hpp"
+#include "core/completion.hpp"
 #include "core/faultplan.hpp"
 #include "core/flightrec.hpp"
 #include "core/metrics.hpp"
@@ -105,6 +106,25 @@ void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
              std::to_string(static_cast<int>(ch.route->type)) + ")";
   }
   throw PilotError(code, label + ": " + detail, file, line);
+}
+
+/// A fault frame that reports the writing SPE's *own* death also lands in
+/// the process-failure registry.  The Co-Pilot publishes the death there
+/// too, but only after its wire deposits — a rank that consumed the frame
+/// first could otherwise act (e.g. PI_SpawnSPE the dead process's slot)
+/// before the registry catches up.  Recording at the observation point
+/// makes "this rank saw the death" happen-before everything the rank does
+/// next.  First report wins, so double recording is harmless; Co-Pilot
+/// faults are *not* recorded — the writer process is still alive then.
+void note_peer_death(PilotApp& app, const PI_CHANNEL& ch,
+                     const FaultFrame& fault) {
+  if (fault.status ==
+          static_cast<std::uint32_t>(cellpilot::CompletionStatus::kSpeFault) ||
+      fault.status == static_cast<std::uint32_t>(
+                          cellpilot::CompletionStatus::kSpeTimeout)) {
+    app.report_process_failure(
+        ch.from, {fault.status, fault.fault_code, fault.detail});
+  }
 }
 
 CellTransport& transport_or_die(PilotApp& app, const char* file, int line) {
@@ -292,6 +312,7 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   notify_unblock(ctx);
   if (is_fault_frame(framed)) {
     const FaultFrame fault = parse_fault_frame(framed);
+    note_peer_death(app, *ch, fault);
     throw_peer_failure(fault.status, fault.detail, *ch, file, line);
   }
   check_frame(framed, sig, rs.plan.payload_bytes, "channel " + ch->name);
@@ -326,6 +347,378 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                  call_end - write_begin);
     }
   }
+}
+
+// --- async tier -----------------------------------------------------------
+//
+// PI_WriteAsync / PI_ReadAsync are the submit half of the blocking calls:
+// they do everything the blocking path does up to (and including) the
+// transport hand-off, then return a PI_HANDLE.  The harvest half (PI_Wait /
+// PI_Test / PI_WaitAny / PI_SelectAny) does the rest.  Async operations
+// record the dedicated op_submit / op_complete trace kinds and the
+// handle_wait metric series — never the blocking kinds (pilot_write /
+// pilot_read / spe_write / spe_read / read_block), so a blocking-only
+// program's observability output is byte-identical with or without the
+// async tier in the build.
+
+namespace cp = cellpilot::completion;
+
+std::string rank_entity(PilotContext& ctx) {
+  return ctx.app().cluster().world().info(ctx.rank()).name;
+}
+
+/// Checked handle -> operation: non-null, owned by the calling thread's
+/// engine, and not yet harvested.
+PI_OP& checked_op(PI_HANDLE h, const char* what, const char* file, int line) {
+  if (h == nullptr) {
+    usage_error(file, line, std::string(what) + ": null handle");
+  }
+  if (!cp::Engine::local().owns(h)) {
+    throw PilotError(
+        ErrorCode::kUsage,
+        std::string(what) + ": handle was not submitted by this thread "
+        "(handles must be harvested by their submitting thread)",
+        file, line);
+  }
+  if (cp::op_state(*h) == cp::State::kReleased) {
+    throw PilotError(ErrorCode::kUsage,
+                     std::string(what) +
+                         ": handle already harvested (double wait?)",
+                     file, line);
+  }
+  return *h;
+}
+
+/// Records the op_complete event plus the handle metrics of a harvest.
+/// The message-latency ledger pops at the *harvest* of an async read (the
+/// moment the destinations are filled), mirroring the blocking read's pop.
+void record_harvest(const PI_OP& op, const PI_CHANNEL& ch,
+                    const std::string& entity, simtime::SimTime wait_begin,
+                    simtime::SimTime end) {
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kOpComplete, entity,
+                              wait_begin, end, op.bytes, ch.id,
+                              op.route_type);
+  }
+  if (simtime::metrics::armed()) {
+    namespace sm = simtime::metrics;
+    sm::record(sm::Kind::kHandleWait, op.route_type, ch.id, entity,
+               end - wait_begin);
+    if (op.kind == cp::Kind::kRead) {
+      simtime::SimTime write_begin = 0;
+      if (cellpilot::metrics::LatencyLedger::global().pop(ch.id,
+                                                          &write_begin)) {
+        sm::record(sm::Kind::kMsgLatency, op.route_type, ch.id, entity,
+                   end - write_begin);
+      }
+    }
+  }
+}
+
+/// Records the op_submit event for a freshly submitted operation.
+void record_submit(const PI_OP& op, const std::string& entity,
+                   simtime::SimTime end) {
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kOpSubmit, entity,
+                              op.submit_begin, end, op.bytes, op.channel,
+                              op.route_type);
+  }
+}
+
+/// Rank-side harvest: retires a write handle, performs the deferred
+/// receive of a read handle.  Releases `op` on every path, throwing the
+/// recorded fault for faulted operations.
+void rank_harvest(PilotContext& ctx, PI_OP& op, const char* what,
+                  const char* file, int line) {
+  cp::Engine& engine = cp::Engine::local();
+  PilotApp& app = ctx.app();
+  PI_CHANNEL& ch = app.channel(op.channel);
+  cellpilot::Route& rt = route_of(ch, file, line);
+  const simtime::SimTime wait_begin = ctx.mpi().clock().now();
+  const std::string entity = rank_entity(ctx);
+  if (cp::op_state(op) == cp::State::kFaulted) {
+    const std::uint32_t status = op.status.load(std::memory_order_relaxed);
+    const std::string detail = op.fault_detail;
+    engine.release(&op);
+    throw_peer_failure(status, detail, ch, file, line);
+  }
+  if (op.kind == cp::Kind::kWrite) {
+    // Rank-side writes settle at submission (the frame is on the wire);
+    // harvesting just retires the handle.
+    charge_rank_call(ctx, 0);
+    const simtime::SimTime end = ctx.mpi().clock().now();
+    record_harvest(op, ch, entity, wait_begin, end);
+    engine.release(&op);
+    return;
+  }
+  // Read: the deferred receive.  A writer that died after submission with
+  // nothing left on the wire can never satisfy it — fail fast like PI_Read.
+  if (auto failure = app.process_failure(ch.from)) {
+    if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+      engine.release(&op);
+      throw_peer_failure(failure->status, failure->detail, ch, file, line);
+    }
+  }
+  notify_block(ctx, ch.from, ch.id);
+  std::vector<std::byte> framed =
+      ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+  notify_unblock(ctx);
+  try {
+    if (is_fault_frame(framed)) {
+      const FaultFrame fault = parse_fault_frame(framed);
+      note_peer_death(app, ch, fault);
+      throw_peer_failure(fault.status, fault.detail, ch, file, line);
+    }
+    check_frame(framed, op.signature, op.plan.payload_bytes,
+                "channel " + ch.name);
+  } catch (...) {
+    engine.release(&op);
+    throw;
+  }
+  const std::span<std::byte> payload =
+      std::span(framed).subspan(sizeof(WireHeader));
+  if (rt.writer_big_endian) swap_element_bytes(op.plan.fmt, payload);
+  scatter(op.plan, payload);
+  charge_rank_call(ctx, op.plan.payload_bytes);
+  const simtime::SimTime end = ctx.mpi().clock().now();
+  simtime::Trace::global().record(
+      entity, simtime::TraceKind::kPilotCall,
+      std::string(what) + " " + ch.name + " " +
+          std::to_string(op.plan.payload_bytes) + "B",
+      0, end);
+  record_harvest(op, ch, entity, wait_begin, end);
+  engine.release(&op);
+}
+
+/// SPE-side harvest through the transport.  `wait` selects blocking wait
+/// vs. poll; returns false only for a poll that found `op` still in
+/// flight.  Releases `op` whenever it settles (including fault throws).
+bool spe_harvest(SpeDispatch& sd, PI_OP& op, bool wait, const char* file,
+                 int line) {
+  cp::Engine& engine = cp::Engine::local();
+  PI_CHANNEL& ch = sd.app->channel(op.channel);
+  const simtime::SimTime wait_begin = cellsim::spu::self().clock().now();
+  std::span<std::byte> out;
+  if (op.kind == cp::Kind::kRead) {
+    op.data.resize(op.bytes);
+    out = std::span(op.data);
+  }
+  bool settled = true;
+  try {
+    if (wait) {
+      sd.app->transport()->spe_wait(op, ch, out);
+    } else {
+      settled = sd.app->transport()->spe_test(op, ch, out);
+    }
+  } catch (...) {
+    engine.release(&op);
+    throw;
+  }
+  if (!settled) return false;
+  if (op.kind == cp::Kind::kRead) {
+    cellpilot::Route& rt = route_of(ch, file, line);
+    if (rt.writer_big_endian) swap_element_bytes(op.plan.fmt, out);
+    scatter(op.plan, out);
+  }
+  record_harvest(op, ch, cellsim::spu::self().name(), wait_begin,
+                 cellsim::spu::self().clock().now());
+  engine.release(&op);
+  return true;
+}
+
+PI_HANDLE write_async_impl(const char* file, int line, PI_CHANNEL* ch,
+                           const char* fmt, va_list args) {
+  if (ch == nullptr) usage_error(file, line, "PI_WriteAsync: null channel");
+  cp::Engine& engine = cp::Engine::local();
+
+  // --- SPE-side writer ----------------------------------------------------
+  if (SpeDispatch* sd = spe_dispatch()) {
+    if (sd->process_id != ch->from) {
+      throw PilotError(ErrorCode::kEndpoint,
+                       "process P" + std::to_string(sd->process_id) +
+                           " is not the writer of channel " + ch->name,
+                       file, line);
+    }
+    cellpilot::Route& rt = route_of(*ch, file, line);
+    cellpilot::WriterState& ws = rt.writer;
+    const cellpilot::FormatPlan& plan = ws.formats.lookup(fmt);
+    ws.staging.clear();
+    marshal_append(plan.parsed, args, ws.staging, ws.counts);
+    const std::uint32_t sig = wire_signature(plan, ws.counts);
+    if (rt.writer_big_endian) {
+      swap_element_bytes(plan.parsed, ws.counts, ws.staging);
+    }
+    PI_OP* op = engine.create(cp::Kind::kWrite);
+    op->channel = ch->id;
+    op->route_type = static_cast<std::int8_t>(rt.type);
+    op->spe_side = true;
+    op->file = file;
+    op->line = line;
+    op->submit_begin = cellsim::spu::self().clock().now();
+    // The ledger push happens before the transport hand-off, exactly like
+    // the blocking write (it must happen-before any read completion).
+    if (simtime::metrics::armed()) {
+      cellpilot::metrics::LatencyLedger::global().push(ch->id,
+                                                       op->submit_begin);
+    }
+    try {
+      sd->app->transport()->spe_submit_write(*op, *ch, sig, ws.staging);
+    } catch (...) {
+      engine.release(op);
+      throw;
+    }
+    cellpilot::trace::ChannelCounters::global().add_message(ch->id,
+                                                            ws.staging.size());
+    cp::OpRegistry::global().add(op, cellsim::spu::self().name());
+    record_submit(*op, cellsim::spu::self().name(),
+                  cellsim::spu::self().clock().now());
+    return op;
+  }
+
+  // --- rank-side writer -----------------------------------------------------
+  PilotContext& ctx =
+      ctx_in_phase(Phase::kExecution, "PI_WriteAsync", file, line);
+  if (ctx.my_process != ch->from) {
+    throw PilotError(ErrorCode::kEndpoint,
+                     "process P" + std::to_string(ctx.my_process) +
+                         " is not the writer of channel " + ch->name,
+                     file, line);
+  }
+  PilotApp& app = ctx.app();
+  cellpilot::Route& rt = route_of(*ch, file, line);
+  if (rt.needs_transport) transport_or_die(app, file, line);
+  if (auto failure = app.process_failure(ch->to)) {
+    throw_peer_failure(failure->status, failure->detail, *ch, file, line);
+  }
+
+  cellpilot::WriterState& ws = rt.writer;
+  const cellpilot::FormatPlan& plan = ws.formats.lookup(fmt);
+  ws.staging.resize(sizeof(WireHeader));
+  marshal_append(plan.parsed, args, ws.staging, ws.counts);
+  const std::size_t payload_bytes = ws.staging.size() - sizeof(WireHeader);
+  const std::uint32_t sig = wire_signature(plan, ws.counts);
+  const simtime::SimTime call_begin = ctx.mpi().clock().now();
+  charge_rank_call(ctx, payload_bytes);
+
+  const std::span<std::byte> payload =
+      std::span(ws.staging).subspan(sizeof(WireHeader));
+  if (rt.writer_big_endian) {
+    swap_element_bytes(plan.parsed, ws.counts, payload);
+  }
+  frame_in_place(ws.staging, sig);
+  if (simtime::metrics::armed()) {
+    cellpilot::metrics::LatencyLedger::global().push(ch->id, call_begin);
+  }
+  ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
+  cellpilot::trace::ChannelCounters::global().add_message(ch->id,
+                                                          payload_bytes);
+  PI_OP* op = engine.create(cp::Kind::kWrite);
+  op->channel = ch->id;
+  op->route_type = static_cast<std::int8_t>(rt.type);
+  op->bytes = payload_bytes;
+  op->file = file;
+  op->line = line;
+  op->signature = sig;
+  op->submit_begin = call_begin;
+  // The frame is on the wire: a rank-side write settles at submission, and
+  // PI_Wait on it returns immediately.
+  op->status.store(
+      static_cast<std::uint32_t>(cellpilot::CompletionStatus::kOk),
+      std::memory_order_relaxed);
+  cp::set_state(*op, cp::State::kComplete);
+  cp::OpRegistry::global().add(op, rank_entity(ctx));
+  simtime::Trace::global().record(
+      rank_entity(ctx), simtime::TraceKind::kPilotCall,
+      "PI_WriteAsync " + ch->name + " " + std::to_string(payload_bytes) + "B",
+      0, ctx.mpi().clock().now());
+  record_submit(*op, rank_entity(ctx), ctx.mpi().clock().now());
+  return op;
+}
+
+PI_HANDLE read_async_impl(const char* file, int line, PI_CHANNEL* ch,
+                          const char* fmt, va_list args) {
+  if (ch == nullptr) usage_error(file, line, "PI_ReadAsync: null channel");
+  cp::Engine& engine = cp::Engine::local();
+
+  // --- SPE-side reader ----------------------------------------------------
+  if (SpeDispatch* sd = spe_dispatch()) {
+    if (sd->process_id != ch->to) {
+      throw PilotError(ErrorCode::kEndpoint,
+                       "process P" + std::to_string(sd->process_id) +
+                           " is not the reader of channel " + ch->name,
+                       file, line);
+    }
+    cellpilot::Route& rt = route_of(*ch, file, line);
+    const cellpilot::FormatPlan& plan = rt.reader.formats.lookup(fmt);
+    PI_OP* op = engine.create(cp::Kind::kRead);
+    build_read_plan_into(plan.parsed, args, op->plan);
+    const std::uint32_t sig =
+        plan.has_star ? signature(op->plan.fmt) : plan.wire_signature;
+    op->channel = ch->id;
+    op->route_type = static_cast<std::int8_t>(rt.type);
+    op->spe_side = true;
+    op->file = file;
+    op->line = line;
+    op->submit_begin = cellsim::spu::self().clock().now();
+    try {
+      sd->app->transport()->spe_submit_read(*op, *ch, sig,
+                                            op->plan.payload_bytes);
+    } catch (...) {
+      engine.release(op);
+      throw;
+    }
+    cp::OpRegistry::global().add(op, cellsim::spu::self().name());
+    record_submit(*op, cellsim::spu::self().name(),
+                  cellsim::spu::self().clock().now());
+    return op;
+  }
+
+  // --- rank-side reader -----------------------------------------------------
+  PilotContext& ctx =
+      ctx_in_phase(Phase::kExecution, "PI_ReadAsync", file, line);
+  if (ctx.my_process != ch->to) {
+    throw PilotError(ErrorCode::kEndpoint,
+                     "process P" + std::to_string(ctx.my_process) +
+                         " is not the reader of channel " + ch->name,
+                     file, line);
+  }
+  PilotApp& app = ctx.app();
+  cellpilot::Route& rt = route_of(*ch, file, line);
+  if (rt.needs_transport) transport_or_die(app, file, line);
+  const cellpilot::FormatPlan& plan = rt.reader.formats.lookup(fmt);
+  PI_OP* op = engine.create(cp::Kind::kRead);
+  build_read_plan_into(plan.parsed, args, op->plan);
+  op->channel = ch->id;
+  op->route_type = static_cast<std::int8_t>(rt.type);
+  op->bytes = op->plan.payload_bytes;
+  op->file = file;
+  op->line = line;
+  op->signature =
+      plan.has_star ? signature(op->plan.fmt) : plan.wire_signature;
+  const simtime::SimTime call_begin = ctx.mpi().clock().now();
+  op->submit_begin = call_begin;
+  charge_rank_call(ctx, 0);
+  // A writer that already died with nothing on the wire can never satisfy
+  // this read: poison the handle now, so the *harvest* throws the failure
+  // (the async contract defers all data-plane errors to the wait side).
+  bool doomed = false;
+  if (auto failure = app.process_failure(ch->from)) {
+    if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+      op->status.store(failure->status, std::memory_order_relaxed);
+      op->fault_detail = failure->detail;
+      cp::set_state(*op, cp::State::kFaulted);
+      doomed = true;
+    }
+  }
+  if (!doomed) cp::set_state(*op, cp::State::kInFlight);
+  cp::OpRegistry::global().add(op, rank_entity(ctx));
+  simtime::Trace::global().record(
+      rank_entity(ctx), simtime::TraceKind::kPilotCall,
+      "PI_ReadAsync " + ch->name + " " +
+          std::to_string(op->plan.payload_bytes) + "B",
+      0, ctx.mpi().clock().now());
+  record_submit(*op, rank_entity(ctx), ctx.mpi().clock().now());
+  return op;
 }
 
 /// Validates `b` for a collective entered by the calling rank process.
@@ -700,6 +1093,7 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
     const simtime::SimTime leg_end = ctx.mpi().clock().now();
     if (is_fault_frame(framed)) {
       const FaultFrame fault = parse_fault_frame(framed);
+      note_peer_death(ctx.app(), *ch, fault);
       throw_peer_failure(fault.status, fault.detail, *ch, file, line);
     }
     check_frame(framed, sig, plan.payload_bytes,
@@ -754,6 +1148,25 @@ int PI_Select(PI_BUNDLE* b) {
     patterns.push_back({rt.read_source, rt.tag});
     notify_block(ctx, ch->from, ch->id);
   }
+  // Fault fast-path: with nothing ready, a channel whose writer already
+  // died (and left nothing on the wire) will never become ready.  Return
+  // its index — lowest first, deterministically — so the caller's PI_Read
+  // surfaces the failure, instead of this select blocking forever.
+  if (!ctx.app().cluster().world().queue(ctx.rank())
+           .try_probe_any(patterns)
+           .has_value()) {
+    for (std::size_t i = 0; i < b->channels.size(); ++i) {
+      PI_CHANNEL* ch = b->channels[i];
+      if (auto failure = ctx.app().process_failure(ch->from)) {
+        const cellpilot::Route& rt = route_of(*ch, nullptr, 0);
+        if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+          notify_unblock(ctx);
+          charge_rank_call(ctx, 0);
+          return static_cast<int>(i);
+        }
+      }
+    }
+  }
   const auto [index, env] =
       ctx.app().cluster().world().queue(ctx.rank()).probe_any_blocking(
           patterns);
@@ -773,7 +1186,216 @@ int PI_TrySelect(PI_BUNDLE* b) {
   charge_rank_call(ctx, 0);
   const auto hit =
       ctx.app().cluster().world().queue(ctx.rank()).try_probe_any(patterns);
-  return hit ? static_cast<int>(hit->first) : -1;
+  if (hit) return static_cast<int>(hit->first);
+  // Same fault fast-path as PI_Select: a dead writer's channel counts as
+  // ready so the caller's PI_Read can surface the failure.
+  for (std::size_t i = 0; i < b->channels.size(); ++i) {
+    PI_CHANNEL* ch = b->channels[i];
+    if (auto failure = ctx.app().process_failure(ch->from)) {
+      const cellpilot::Route& rt = route_of(*ch, nullptr, 0);
+      if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+        return static_cast<int>(i);
+      }
+    }
+  }
+  return -1;
+}
+
+PI_HANDLE PI_WriteAsync_(const char* file, int line, PI_CHANNEL* ch,
+                         const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+  return write_async_impl(file, line, ch, fmt, ap);
+}
+
+PI_HANDLE PI_ReadAsync_(const char* file, int line, PI_CHANNEL* ch,
+                        const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  VaGuard guard{ap};
+  return read_async_impl(file, line, ch, fmt, ap);
+}
+
+void PI_Wait_(const char* file, int line, PI_HANDLE h) {
+  PI_OP& op = checked_op(h, "PI_Wait", file, line);
+  if (SpeDispatch* sd = spe_dispatch()) {
+    spe_harvest(*sd, op, /*wait=*/true, file, line);
+    return;
+  }
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_Wait", file, line);
+  rank_harvest(ctx, op, "PI_Wait", file, line);
+}
+
+int PI_Test_(const char* file, int line, PI_HANDLE h) {
+  PI_OP& op = checked_op(h, "PI_Test", file, line);
+  if (SpeDispatch* sd = spe_dispatch()) {
+    return spe_harvest(*sd, op, /*wait=*/false, file, line) ? 1 : 0;
+  }
+  PilotContext& ctx = ctx_in_phase(Phase::kExecution, "PI_Test", file, line);
+  if (!cellpilot::completion::is_settled(op) &&
+      op.kind == cellpilot::completion::Kind::kRead) {
+    PI_CHANNEL& ch = ctx.app().channel(op.channel);
+    const cellpilot::Route& rt = route_of(ch, file, line);
+    charge_rank_call(ctx, 0);
+    if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) return 0;
+  }
+  rank_harvest(ctx, op, "PI_Test", file, line);
+  return 1;
+}
+
+int PI_WaitAny_(const char* file, int line, PI_HANDLE* handles, int count) {
+  if (handles == nullptr || count <= 0) {
+    usage_error(file, line, "PI_WaitAny: need at least one handle");
+  }
+  for (int i = 0; i < count; ++i) {
+    (void)checked_op(handles[i], "PI_WaitAny", file, line);
+  }
+
+  if (SpeDispatch* sd = spe_dispatch()) {
+    const int i = sd->app->transport()->spe_wait_any(handles, count);
+    spe_harvest(*sd, *handles[i], /*wait=*/true, file, line);
+    return i;
+  }
+
+  PilotContext& ctx =
+      ctx_in_phase(Phase::kExecution, "PI_WaitAny", file, line);
+  namespace cpn = cellpilot::completion;
+  // Settled handles first (rank-side writes settle at submission, and a
+  // fault recorded at submission must surface): harvest the lowest index.
+  for (int i = 0; i < count; ++i) {
+    if (cpn::is_settled(*handles[i])) {
+      rank_harvest(ctx, *handles[i], "PI_WaitAny", file, line);
+      return i;
+    }
+  }
+  // Everything left is an in-flight read: poll for an arrived frame.
+  std::vector<mpisim::MatchQueue::Pattern> patterns;
+  patterns.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    PI_CHANNEL& ch = ctx.app().channel(handles[i]->channel);
+    const cellpilot::Route& rt = route_of(ch, file, line);
+    patterns.push_back({rt.read_source, rt.tag});
+  }
+  mpisim::MatchQueue& queue = ctx.app().cluster().world().queue(ctx.rank());
+  if (const auto hit = queue.try_probe_any(patterns)) {
+    const int i = static_cast<int>(hit->first);
+    rank_harvest(ctx, *handles[i], "PI_WaitAny", file, line);
+    return i;
+  }
+  // Nothing ready: an operation whose writer already died (with nothing
+  // on the wire) will never complete — surface its failure now instead of
+  // blocking forever.
+  for (int i = 0; i < count; ++i) {
+    PI_OP& op = *handles[i];
+    PI_CHANNEL& ch = ctx.app().channel(op.channel);
+    if (auto failure = ctx.app().process_failure(ch.from)) {
+      const cellpilot::Route& rt = route_of(ch, file, line);
+      if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+        op.status.store(failure->status, std::memory_order_relaxed);
+        op.fault_detail = failure->detail;
+        cpn::set_state(op, cpn::State::kFaulted);
+        rank_harvest(ctx, op, "PI_WaitAny", file, line);  // throws
+        return i;
+      }
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    PI_CHANNEL& ch = ctx.app().channel(handles[i]->channel);
+    notify_block(ctx, ch.from, ch.id);
+  }
+  const auto [index, env] = queue.probe_any_blocking(patterns);
+  notify_unblock(ctx);
+  const int i = static_cast<int>(index);
+  rank_harvest(ctx, *handles[i], "PI_WaitAny", file, line);
+  return i;
+}
+
+int PI_SelectAny_(const char* file, int line, PI_BUNDLE* b,
+                  PI_HANDLE* handles, int count) {
+  if (spe_dispatch() != nullptr) {
+    usage_error(file, line,
+                "PI_SelectAny is rank-side only (use PI_WaitAny on SPEs)");
+  }
+  if (count < 0 || (count > 0 && handles == nullptr)) {
+    usage_error(file, line, "PI_SelectAny: bad handle array");
+  }
+  PilotContext& ctx =
+      b != nullptr
+          ? bundle_ctx(file, line, b, PI_SELECT, "PI_SelectAny")
+          : ctx_in_phase(Phase::kExecution, "PI_SelectAny", file, line);
+  const int nb = b != nullptr ? static_cast<int>(b->channels.size()) : 0;
+  if (nb + count == 0) {
+    usage_error(file, line, "PI_SelectAny: nothing to select on");
+  }
+  for (int i = 0; i < count; ++i) {
+    (void)checked_op(handles[i], "PI_SelectAny", file, line);
+  }
+  namespace cpn = cellpilot::completion;
+  // A settled handle is immediately selectable (not harvested — PI_Wait
+  // retires it and throws any recorded fault).
+  for (int i = 0; i < count; ++i) {
+    if (cpn::is_settled(*handles[i])) {
+      charge_rank_call(ctx, 0);
+      return nb + i;
+    }
+  }
+  // One pattern per bundle channel, then per in-flight read handle; a
+  // probe index maps straight back to the caller's index space.
+  std::vector<mpisim::MatchQueue::Pattern> patterns;
+  patterns.reserve(static_cast<std::size_t>(nb + count));
+  for (int i = 0; i < nb; ++i) {
+    const cellpilot::Route& rt = route_of(*b->channels[i], file, line);
+    patterns.push_back({rt.read_source, rt.tag});
+  }
+  for (int i = 0; i < count; ++i) {
+    PI_CHANNEL& ch = ctx.app().channel(handles[i]->channel);
+    const cellpilot::Route& rt = route_of(ch, file, line);
+    patterns.push_back({rt.read_source, rt.tag});
+  }
+  mpisim::MatchQueue& queue = ctx.app().cluster().world().queue(ctx.rank());
+  if (const auto hit = queue.try_probe_any(patterns)) {
+    charge_rank_call(ctx, 0);
+    return static_cast<int>(hit->first);
+  }
+  // Doomed scan, bundle channels first: a dead writer with nothing on the
+  // wire makes its channel/handle permanently ready (the follow-up
+  // PI_Read / PI_Wait throws the failure).
+  for (int i = 0; i < nb; ++i) {
+    PI_CHANNEL* ch = b->channels[i];
+    if (auto failure = ctx.app().process_failure(ch->from)) {
+      const cellpilot::Route& rt = route_of(*ch, file, line);
+      if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+        charge_rank_call(ctx, 0);
+        return i;
+      }
+    }
+  }
+  for (int i = 0; i < count; ++i) {
+    PI_OP& op = *handles[i];
+    PI_CHANNEL& ch = ctx.app().channel(op.channel);
+    if (auto failure = ctx.app().process_failure(ch.from)) {
+      const cellpilot::Route& rt = route_of(ch, file, line);
+      if (!ctx.mpi().iprobe(rt.read_source, rt.tag)) {
+        op.status.store(failure->status, std::memory_order_relaxed);
+        op.fault_detail = failure->detail;
+        cpn::set_state(op, cpn::State::kFaulted);
+        charge_rank_call(ctx, 0);
+        return nb + i;
+      }
+    }
+  }
+  for (int i = 0; i < nb; ++i) {
+    notify_block(ctx, b->channels[i]->from, b->channels[i]->id);
+  }
+  for (int i = 0; i < count; ++i) {
+    PI_CHANNEL& ch = ctx.app().channel(handles[i]->channel);
+    notify_block(ctx, ch.from, ch.id);
+  }
+  const auto [index, env] = queue.probe_any_blocking(patterns);
+  notify_unblock(ctx);
+  charge_rank_call(ctx, 0);
+  return static_cast<int>(index);
 }
 
 int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {

@@ -166,6 +166,11 @@ void PilotApp::join_spe_threads(mpisim::Rank rank) {
         mine.push_back(std::move(owned.thread));
       }
     }
+    for (auto& [pid, spawn] : spawns_) {
+      if (spawn.owner == rank && spawn.thread.joinable()) {
+        mine.push_back(std::move(spawn.thread));
+      }
+    }
   }
   cluster_->world().set_passive(rank, true);
   for (auto& t : mine) t.join();
@@ -178,6 +183,9 @@ void PilotApp::join_all_spe_threads() {
     std::lock_guard lock(spe_mu_);
     for (auto& owned : spe_threads_) {
       if (owned.thread.joinable()) all.push_back(std::move(owned.thread));
+    }
+    for (auto& [pid, spawn] : spawns_) {
+      if (spawn.thread.joinable()) all.push_back(std::move(spawn.thread));
     }
   }
   for (auto& t : all) t.join();
@@ -217,6 +225,51 @@ void PilotApp::bind_spe_process(int node, unsigned flat_index,
 int PilotApp::spe_process(int node, unsigned flat_index) {
   std::lock_guard lock(spe_mu_);
   return spe_process_[static_cast<std::size_t>(node)][flat_index];
+}
+
+void PilotApp::join_spawn(mpisim::Rank rank, int process_id) {
+  // Same protocol as join_spe_threads: release any frame the retiring SPE
+  // may be waiting on, then park this rank passively while joining.
+  std::thread previous;
+  {
+    std::lock_guard lock(spe_mu_);
+    const auto it = spawns_.find(process_id);
+    if (it == spawns_.end() || !it->second.thread.joinable()) return;
+    previous = std::move(it->second.thread);
+  }
+  if (mpisim::reliable::enabled()) mpisim::reliable::flush_from(rank);
+  cluster_->world().set_passive(rank, true);
+  previous.join();
+  cluster_->world().set_passive(rank, false);
+}
+
+unsigned PilotApp::acquire_spe_preferring(int node, unsigned preferred) {
+  {
+    std::lock_guard lock(spe_mu_);
+    auto& busy = spe_busy_[static_cast<std::size_t>(node)];
+    if (preferred < busy.size() && !busy[preferred]) {
+      busy[preferred] = true;
+      return preferred;
+    }
+  }
+  return acquire_spe(node);
+}
+
+void PilotApp::register_spawn(int process_id, mpisim::Rank owner,
+                              unsigned flat_index, std::thread t) {
+  std::lock_guard lock(spe_mu_);
+  SpawnRecord& rec = spawns_[process_id];
+  rec.owner = owner;
+  rec.flat = flat_index;
+  rec.has_flat = true;
+  rec.thread = std::move(t);
+}
+
+std::optional<unsigned> PilotApp::last_spawn_flat(int process_id) {
+  std::lock_guard lock(spe_mu_);
+  const auto it = spawns_.find(process_id);
+  if (it == spawns_.end() || !it->second.has_flat) return std::nullopt;
+  return it->second.flat;
 }
 
 void PilotApp::report_process_failure(int process_id,

@@ -28,6 +28,8 @@ namespace cellpilot {
 class Router;  // compiled data plane (core/router.hpp)
 }  // namespace cellpilot
 
+struct PI_OP;  // async operation (core/completion.hpp)
+
 namespace pilot {
 
 class PilotContext;
@@ -76,6 +78,38 @@ class CellTransport {
   /// Launches an SPE process (PI_RunSPE); called on the parent rank.
   virtual void run_spe(PilotContext& ctx, PI_PROCESS& proc, int arg,
                        void* ptr) = 0;
+
+  // --- async tier (SPE-side operations; see core/completion.hpp) ----------
+
+  /// Stages and submits an async SPE-side write; `op` is in flight on
+  /// return (token assigned, local-store staging parked).
+  virtual void spe_submit_write(PI_OP& op, const PI_CHANNEL& ch,
+                                std::uint32_t sig,
+                                std::span<const std::byte> payload) = 0;
+
+  /// Submits an async SPE-side read for `bytes` payload bytes.
+  virtual void spe_submit_read(PI_OP& op, const PI_CHANNEL& ch,
+                               std::uint32_t sig, std::size_t bytes) = 0;
+
+  /// Blocks until `op` settles, then harvests (fills `out` for reads,
+  /// frees the staging, throws the recorded fault).
+  virtual void spe_wait(PI_OP& op, const PI_CHANNEL& ch,
+                        std::span<std::byte> out) = 0;
+
+  /// Non-blocking spe_wait: false while `op` is still in flight.
+  virtual bool spe_test(PI_OP& op, const PI_CHANNEL& ch,
+                        std::span<std::byte> out) = 0;
+
+  /// Blocks until one of `ops[0..n-1]` settles; returns its index without
+  /// harvesting it.
+  virtual int spe_wait_any(PI_OP* const* ops, int n) = 0;
+
+  /// Runtime SPE spawning (PI_SpawnSPE): binds `program` to `proc` at
+  /// execution time and launches it, reusing the process's previous SPE
+  /// context when it is free (pooled contexts).
+  virtual void spawn_spe(PilotContext& ctx, PI_PROCESS& proc,
+                         const cellsim::spe2::spe_program_handle_t& program,
+                         int arg, void* ptr) = 0;
 };
 
 /// Shared state of one Pilot application run.
@@ -171,6 +205,28 @@ class PilotApp {
   /// The Pilot process id bound to a physical SPE, or -1.
   int spe_process(int node, unsigned flat_index);
 
+  // --- runtime SPE spawning (PI_SpawnSPE) ---------------------------------
+  //
+  // A spawned process may be relaunched with a different program once its
+  // previous run retires; the bookkeeping below keeps one live thread per
+  // spawned process plus the context it last occupied, so the pool can
+  // hand the same physical SPE back (sticky contexts).
+
+  /// Joins the previous occupant thread of a spawned process, if any.
+  /// Same passive/flush protocol as join_spe_threads.
+  void join_spawn(mpisim::Rank rank, int process_id);
+
+  /// Like acquire_spe, but takes `preferred` when it is free.
+  unsigned acquire_spe_preferring(int node, unsigned preferred);
+
+  /// Records the running thread + context of a spawned process (joined by
+  /// join_spawn on respawn, or by the join_spe_threads epilogues).
+  void register_spawn(int process_id, mpisim::Rank owner, unsigned flat_index,
+                      std::thread t);
+
+  /// The physical SPE the process last ran on, if it was ever spawned.
+  std::optional<unsigned> last_spawn_flat(int process_id);
+
   // --- process failure registry (Co-Pilot fault propagation) --------------
 
   /// A dead endpoint's epitaph, published by the Co-Pilot that owned it.
@@ -210,6 +266,13 @@ class PilotApp {
   std::vector<OwnedThread> spe_threads_;
   std::vector<std::vector<bool>> spe_busy_;  // [node][flat_index]
   std::vector<std::vector<int>> spe_process_;  // [node][flat_index] or -1
+  struct SpawnRecord {
+    mpisim::Rank owner = -1;
+    unsigned flat = 0;
+    bool has_flat = false;
+    std::thread thread;
+  };
+  std::map<int, SpawnRecord> spawns_;  // process id -> last/live spawn
 
   mutable std::mutex failures_mu_;
   std::map<int, ProcessFailure> failures_;  // process id -> epitaph

@@ -103,8 +103,74 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
 /// index within the bundle.
 int PI_Select(PI_BUNDLE* b);
 
-/// Non-blocking select: index of a ready channel, or -1.
+/// Non-blocking select: index of a ready channel, or -1.  A channel whose
+/// writer already died (with nothing left on the wire) counts as ready:
+/// the returned index lets the caller's PI_Read surface the failure.
 int PI_TrySelect(PI_BUNDLE* b);
+
+// --- asynchronous tier ------------------------------------------------------
+//
+// PI_WriteAsync / PI_ReadAsync are the split form of PI_Write / PI_Read:
+// the call returns as soon as the operation is submitted to the completion
+// engine, handing back a waitable PI_HANDLE.  The caller computes while the
+// transfer proceeds, then harvests with PI_Wait (blocking), PI_Test
+// (polling) or PI_WaitAny (first of a set).  Handle lifecycle:
+//
+//   submit -> (in flight) -> settle (complete | faulted) -> harvest
+//
+// Harvesting retires the handle: a read's destinations are filled exactly
+// then (the pointers passed to PI_ReadAsync must stay valid until harvest),
+// a faulted operation throws its peer's failure (PI_SPE_FAULT / ...), and
+// the handle becomes invalid — a second wait is a usage error.  Handles
+// must be harvested by the thread that submitted them (the same rule MPI
+// requests live by).  An SPE program may keep at most 4 operations in
+// flight (the inbound-mailbox depth); a fifth submission is a usage error.
+
+typedef struct PI_OP PI_OP;
+/// Waitable handle for an asynchronous operation.
+typedef PI_OP* PI_HANDLE;
+
+/// Submits an asynchronous write; the payload is captured (marshalled) at
+/// submission, so the arguments may be reused immediately.
+PI_HANDLE PI_WriteAsync_(const char* file, int line, PI_CHANNEL* ch,
+                         const char* fmt, ...);
+
+/// Submits an asynchronous read; the destination pointers are captured and
+/// filled at harvest time.
+PI_HANDLE PI_ReadAsync_(const char* file, int line, PI_CHANNEL* ch,
+                        const char* fmt, ...);
+
+#define PI_WriteAsync(ch, ...) \
+  PI_WriteAsync_(__FILE__, __LINE__, ch, __VA_ARGS__)
+#define PI_ReadAsync(ch, ...) PI_ReadAsync_(__FILE__, __LINE__, ch, __VA_ARGS__)
+
+/// Blocks until `h` settles, harvests it, and retires the handle.  Throws
+/// the peer's failure when the operation faulted.
+void PI_Wait_(const char* file, int line, PI_HANDLE h);
+
+/// Polls `h`: returns 0 while the operation is still in flight; on settle
+/// harvests like PI_Wait and returns 1 (or throws the recorded fault).
+int PI_Test_(const char* file, int line, PI_HANDLE h);
+
+/// Blocks until one of `handles[0..count-1]` settles, harvests that one
+/// (like PI_Wait, including the fault throw) and returns its index.  The
+/// remaining handles stay live.
+int PI_WaitAny_(const char* file, int line, PI_HANDLE* handles, int count);
+
+/// Generalized select over a PI_SELECT bundle *and* a handle set (either
+/// may be empty: pass NULL/0).  Returns the index of a ready bundle
+/// channel (0 .. PI_GetBundleSize(b)-1) or bundle_size + i when
+/// handles[i] has settled.  A settled handle is NOT harvested — follow up
+/// with PI_Wait.  Rank-side only (bundles are rank-side constructs).
+int PI_SelectAny_(const char* file, int line, PI_BUNDLE* b,
+                  PI_HANDLE* handles, int count);
+
+#define PI_Wait(h) PI_Wait_(__FILE__, __LINE__, h)
+#define PI_Test(h) PI_Test_(__FILE__, __LINE__, h)
+#define PI_WaitAny(handles, count) \
+  PI_WaitAny_(__FILE__, __LINE__, handles, count)
+#define PI_SelectAny(b, handles, count) \
+  PI_SelectAny_(__FILE__, __LINE__, b, handles, count)
 
 /// 1 when a read on the channel would not block, else 0.
 int PI_ChannelHasData(PI_CHANNEL* ch);

@@ -15,6 +15,8 @@ const char* kind_name(Kind kind) {
     case Kind::kCopilotService: return "copilot_service";
     case Kind::kMboxWait: return "mbox_wait";
     case Kind::kRetransmitDelay: return "retransmit_delay";
+    case Kind::kHandleWait: return "handle_wait";
+    case Kind::kSpawnLatency: return "spawn_latency";
   }
   return "?";
 }

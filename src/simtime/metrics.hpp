@@ -44,13 +44,15 @@ enum class Kind : std::uint8_t {
   kCopilotService,     ///< Co-Pilot handle_request duration
   kMboxWait,           ///< mailbox entry dwell time (occupancy proxy)
   kRetransmitDelay,    ///< reliable-transport ladder delay per send
+  kHandleWait,         ///< PI_Wait / PI_WaitAny blocking time per handle
+  kSpawnLatency,       ///< PI_SpawnSPE call -> SPE program start
 };
 
 /// Stable lower-case token for a kind (used in report JSON and tests).
 const char* kind_name(Kind kind);
 
 /// Number of distinct kinds (for iteration in tests/tools).
-inline constexpr int kKindCount = static_cast<int>(Kind::kRetransmitDelay) + 1;
+inline constexpr int kKindCount = static_cast<int>(Kind::kSpawnLatency) + 1;
 
 /// Log-linear (HDR-style) histogram over non-negative virtual-ns values.
 ///

@@ -33,6 +33,10 @@ const char* kind_name(Kind kind) {
     case Kind::kNetCorrupt: return "net_corrupt";
     case Kind::kNetReorder: return "net_reorder";
     case Kind::kCopilotFailover: return "copilot_failover";
+    case Kind::kOpSubmit: return "op_submit";
+    case Kind::kOpComplete: return "op_complete";
+    case Kind::kSpeSpawn: return "spe_spawn";
+    case Kind::kSpeRetire: return "spe_retire";
     case Kind::kUser: return "user";
   }
   return "?";

@@ -64,6 +64,10 @@ enum class Kind : std::uint8_t {
   kNetCorrupt,        ///< CRC check caught a damaged frame
   kNetReorder,        ///< a frame was held back to arrive out of order
   kCopilotFailover,   ///< standby Co-Pilot took over after a crash
+  kOpSubmit,          ///< async operation submitted (PI_WriteAsync/ReadAsync)
+  kOpComplete,        ///< async operation harvested (PI_Wait/Test/WaitAny)
+  kSpeSpawn,          ///< PI_SpawnSPE bound a program to an SPE slot
+  kSpeRetire,         ///< a spawned SPE program finished; context returned
   kUser,              ///< reserved for ad-hoc instrumentation
 };
 

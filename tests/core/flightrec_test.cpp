@@ -120,6 +120,53 @@ TEST_F(FlightRecTest, DisarmedRecorderWritesNothing) {
   EXPECT_EQ(FlightRecorder::global().dump_count(), 0);
 }
 
+PI_CHANNEL* g_pending_go = nullptr;
+PI_CHANNEL* g_pending_out = nullptr;
+
+PI_SPE_PROGRAM(gated_pending_writer) {
+  PI_Read(g_pending_go, "");  // hold the rank's async read in flight
+  PI_Write(g_pending_out, "%d", 5);
+  return 0;
+}
+
+TEST_F(FlightRecTest, PostmortemListsPendingOperationsBesideTheEventTail) {
+  const std::string path = artifact_path("flightrec_pending_ops");
+  std::remove(path.c_str());
+  FlightRecorder::global().configure(path);
+
+  cluster::Cluster machine = one_cell();
+  int v = 0;
+  const auto r = cellpilot::run(machine, [&](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* spe = PI_CreateSPE(gated_pending_writer, PI_MAIN, 0);
+    g_pending_go = PI_CreateChannel(PI_MAIN, spe);
+    g_pending_out = PI_CreateChannel(spe, PI_MAIN);
+    PI_StartAll();
+    PI_RunSPE(spe, 0, nullptr);
+    // The writer is gated on g_pending_go, so this read cannot settle:
+    // a dump taken now must list it as an in-flight operation — the
+    // "who is everyone waiting for?" table of a hang postmortem.
+    PI_HANDLE h = PI_ReadAsync(g_pending_out, "%d", &v);
+    FlightRecorder::global().dump("watchdog: simulated hang");
+    PI_Write(g_pending_go, "");
+    PI_Wait(h);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  ASSERT_TRUE(r.errors.empty()) << r.errors.front();
+  EXPECT_EQ(v, 5) << "the pending read must still settle after the dump";
+
+  const std::string artifact = slurp(path);
+  ASSERT_FALSE(artifact.empty()) << "no artifact at " << path;
+  EXPECT_NE(artifact.find("\"pendingOps\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"kind\":\"read\""), std::string::npos);
+  EXPECT_NE(artifact.find("\"state\":\"in_flight\""), std::string::npos);
+  EXPECT_NE(artifact.find("flightrec_test.cpp"), std::string::npos)
+      << "each pending row must name its submitting call site";
+  std::remove(path.c_str());
+}
+
 TEST_F(FlightRecTest, ManualDumpWorksMidSimulationAndLastWriterWins) {
   const std::string path = artifact_path("flightrec_manual");
   std::remove(path.c_str());
