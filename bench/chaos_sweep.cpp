@@ -11,8 +11,11 @@
 // Repro hooks (for replaying one failing sweep line in isolation):
 //   CELLPILOT_CHAOS_COCKTAIL=<spec>  pin the fault spec, one cocktail per
 //                                    subject instead of the generated stream
-//   CELLPILOT_CHAOS_SUBJECT=matrix:<type>|async_farm  run one subject only
+//   CELLPILOT_CHAOS_SUBJECT=matrix:<type>|async_farm|respawn:<type>|
+//                           exhaust:<type>|respawn:async_farm
+//                                    run one subject only
 //   CELLPILOT_CHAOS_WATCHDOG=<sec>   override the 120 s liveness budget
+//                                    (must parse as a positive integer)
 //
 // Results go to stdout and BENCH_chaos_sweep.json.
 #include <atomic>
@@ -86,8 +89,16 @@ std::atomic<int> g_main_code{0};
 bool is_clean_fault(int code) {
   return code == static_cast<int>(PI_SPE_FAULT) ||
          code == static_cast<int>(PI_SPE_TIMEOUT) ||
-         code == static_cast<int>(PI_COPILOT_FAULT);
+         code == static_cast<int>(PI_COPILOT_FAULT) ||
+         code == static_cast<int>(PI_SPE_RESTARTED);
 }
+
+/// What a subject's run is required to produce.  The plain cocktails
+/// accept parity or a clean fault; the self-healing subjects are stricter:
+/// a covered kill must be invisible (parity only), an exhausted budget
+/// must settle every peer cleanly (completion without parity is enough —
+/// the contract there is "never a hang, never an abort").
+enum class Expect { kAny, kParity, kDegrade };
 
 void write_payload_or_record() {
   try {
@@ -353,10 +364,23 @@ int main(int argc, char** argv) {
   const char* watchdog_env = std::getenv("CELLPILOT_CHAOS_WATCHDOG");
   const int kCocktailsPerType =
       pinned_cocktail != nullptr && pinned_cocktail[0] != '\0' ? 1 : 4;
-  const int kWatchdogSeconds =
-      watchdog_env != nullptr && watchdog_env[0] != '\0'
-          ? std::atoi(watchdog_env)
-          : 120;
+  // The override must parse as a positive integer: atoi("garbage") and
+  // atoi("0") both yield a 0-second budget, which fires the watchdog the
+  // moment the sweep starts and turns every healthy CI run into a "hang".
+  int watchdog_seconds = 120;
+  if (watchdog_env != nullptr && watchdog_env[0] != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(watchdog_env, &end, 10);
+    if (end != watchdog_env && *end == '\0' && v > 0) {
+      watchdog_seconds = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr,
+                   "chaos_sweep: ignoring CELLPILOT_CHAOS_WATCHDOG=\"%s\" "
+                   "(not a positive integer of seconds); using %d s\n",
+                   watchdog_env, watchdog_seconds);
+    }
+  }
+  const int kWatchdogSeconds = watchdog_seconds;
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Arm the flight recorder for the whole sweep: a watchdog firing or a
@@ -385,16 +409,23 @@ int main(int argc, char** argv) {
   int run_index = 0;
   int parity_runs = 0;
   int clean_fault_runs = 0;
+  int degraded_runs = 0;
   bool violated = false;
   // Sweep-wide tallies for the JSON meta block: what the cocktails did to
   // the wire and how much of it the substrate absorbed.
   std::uint64_t faults_injected = 0;
   std::uint64_t recoveries = 0;
+  std::uint64_t respawns_total = 0;
+  std::uint64_t recovered_ops_total = 0;
 
   const auto run_cocktail = [&](const char* subject, int type,
-                                int (*job)(int, char**), bool remote) {
+                                int (*job)(int, char**), bool remote,
+                                const std::string& spec = std::string(),
+                                int respawn = 0,
+                                Expect expect = Expect::kAny) {
     const std::string cocktail =
-        pinned_cocktail != nullptr && pinned_cocktail[0] != '\0'
+        !spec.empty() ? spec
+        : pinned_cocktail != nullptr && pinned_cocktail[0] != '\0'
             ? std::string(pinned_cocktail)
             : make_cocktail(rng, seed);
     // The cocktail goes out *before* the run: if it hangs, the log names
@@ -420,6 +451,9 @@ int main(int argc, char** argv) {
 
     cellpilot::RunOptions opts;
     opts.args = {"-pifault=" + cocktail};
+    if (respawn > 0) {
+      opts.args.push_back("-pirespawn=" + std::to_string(respawn));
+    }
     const auto r = cellpilot::run(machine, job, opts);
 
     // The liveness invariant: parity, or a clean fault code at every
@@ -437,20 +471,37 @@ int main(int argc, char** argv) {
         foreign_code = true;
       }
     }
+    const bool completed = !r.aborted && !foreign_code;
+    bool ok = false;
+    switch (expect) {
+      case Expect::kAny:
+        ok = completed && (g_parity.load() || clean_fault);
+        break;
+      case Expect::kParity:  // a covered kill must be invisible
+        ok = completed && g_parity.load();
+        break;
+      case Expect::kDegrade:  // exhausted budget: clean settle is enough
+        ok = completed;
+        break;
+    }
     const char* outcome = "VIOLATED";
-    if (!r.aborted && !foreign_code && g_parity.load()) {
+    if (!ok) {
+      violated = true;
+    } else if (g_parity.load()) {
       outcome = "parity";
       ++parity_runs;
-    } else if (!r.aborted && !foreign_code && clean_fault) {
+    } else if (clean_fault) {
       outcome = "fault";
       ++clean_fault_runs;
     } else {
-      violated = true;
+      outcome = "degraded";
+      ++degraded_runs;
     }
 
     const auto wire = mpisim::reliable::totals();
     // Wire-level fault events plus supervision-level ones; retransmits,
-    // retry-ladder recoveries and failovers are the recovery side.
+    // retry-ladder recoveries, respawns and failovers are the recovery
+    // side.
     faults_injected += wire.retransmits + wire.duplicates +
                        wire.corrupt_detected + wire.reorders +
                        cellpilot::supervision::timeout_count() +
@@ -458,7 +509,10 @@ int main(int argc, char** argv) {
                        cellpilot::supervision::failover_count();
     recoveries += wire.retransmits +
                   cellpilot::supervision::recovered_count() +
+                  cellpilot::supervision::respawn_count() +
                   cellpilot::supervision::failover_count();
+    respawns_total += cellpilot::supervision::respawn_count();
+    recovered_ops_total += cellpilot::supervision::recovered_op_count();
     std::printf("%s\n", outcome);
     if (violated && r.aborted) {
       std::printf("     abort: %s\n", r.abort_reason.c_str());
@@ -485,7 +539,12 @@ int main(int argc, char** argv) {
         .set("reorders", static_cast<std::int64_t>(wire.reorders))
         .set("failovers",
              static_cast<std::int64_t>(
-                 cellpilot::supervision::failover_count()));
+                 cellpilot::supervision::failover_count()))
+        .set("respawns", static_cast<std::int64_t>(
+                             cellpilot::supervision::respawn_count()))
+        .set("recovered_ops",
+             static_cast<std::int64_t>(
+                 cellpilot::supervision::recovered_op_count()));
     ++run_index;
   };
 
@@ -508,6 +567,43 @@ int main(int argc, char** argv) {
       run_cocktail("async_farm", 0, farm_chaos_main, /*remote=*/false);
     }
   }
+  // Self-healing subjects (PR 7): kill an SPE *mid-message* — the Co-Pilot
+  // is left holding a partial request assembly — on every Table I route
+  // type with an SPE endpoint.  With the budget covering the kill the run
+  // must be indistinguishable from a clean one (strict parity); the SPE
+  // names are deterministic (first free slot on the victim's node), so the
+  // kill rule targets exactly the original occupant and spares its
+  // respawned successor.
+  for (int type = 2; type <= 5 && !violated; ++type) {
+    if (!subject_wanted("respawn:" + std::to_string(type))) continue;
+    const std::string victim =
+        type == 3 ? "node1.cell0.spe0" : "node0.cell0.spe0";
+    run_cocktail("respawn", type, chaos_main,
+                 /*remote=*/type == 3 || type == 5,
+                 "seed=" + std::to_string(seed) + ";spe_crash_mid@" + victim +
+                     ":op=1",
+                 /*respawn=*/2, Expect::kParity);
+  }
+  // Budget exhaustion: the wildcard site kills *every* incarnation's first
+  // request (each respawned occupant has a fresh name, hence a fresh
+  // ordinal chain), so the ladder walks respawn -> respawn-of-respawn ->
+  // out of budget -> poison + PILF.  The contract is a clean settle at
+  // every surviving peer: never a hang, never an abort.
+  for (int type = 2; type <= 5 && !violated; ++type) {
+    if (!subject_wanted("exhaust:" + std::to_string(type))) continue;
+    run_cocktail("exhaust", type, chaos_main,
+                 /*remote=*/type == 3 || type == 5,
+                 "seed=" + std::to_string(seed) + ";spe_crash_mid@*:op=1",
+                 /*respawn=*/1, Expect::kDegrade);
+  }
+  // And the async farm under a covered kill: a worker dying mid-request
+  // must be respawned and its strips harvested with full parity.
+  if (subject_wanted("respawn:async_farm") && !violated) {
+    run_cocktail("respawn", 0, farm_chaos_main, /*remote=*/false,
+                 "seed=" + std::to_string(seed) +
+                     ";spe_crash_mid@node0.cell0.spe0:op=1",
+                 /*respawn=*/2, Expect::kParity);
+  }
 
   {
     std::lock_guard<std::mutex> lock(g_watchdog_mu);
@@ -516,15 +612,19 @@ int main(int argc, char** argv) {
   g_watchdog_cv.notify_one();
   guard.join();
 
-  std::printf("\n%d runs: %d parity, %d clean-fault, %s\n", run_index,
-              parity_runs, clean_fault_runs,
+  std::printf("\n%d runs: %d parity, %d clean-fault, %d degraded, %s\n",
+              run_index, parity_runs, clean_fault_runs, degraded_runs,
               violated ? "LIVENESS VIOLATED" : "0 violations");
   json.meta("parity_runs", static_cast<std::int64_t>(parity_runs));
   json.meta("clean_fault_runs", static_cast<std::int64_t>(clean_fault_runs));
+  json.meta("degraded_runs", static_cast<std::int64_t>(degraded_runs));
   json.meta("violations", static_cast<std::int64_t>(violated ? 1 : 0));
   json.meta("runs", static_cast<std::int64_t>(run_index));
   json.meta("faults_injected", static_cast<std::int64_t>(faults_injected));
   json.meta("recoveries", static_cast<std::int64_t>(recoveries));
+  json.meta("respawns", static_cast<std::int64_t>(respawns_total));
+  json.meta("recovered_ops",
+            static_cast<std::int64_t>(recovered_ops_total));
   json.meta("wall_ms",
             static_cast<std::int64_t>(
                 std::chrono::duration_cast<std::chrono::milliseconds>(

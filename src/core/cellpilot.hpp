@@ -69,8 +69,12 @@ PI_PROCESS* PI_CreateSPESlot(PI_PROCESS* parent, int index);
 /// parent's node, passing (arg, ptr) to the body.  Execution phase; parent
 /// process only.  Respawning a slot whose previous occupant returned is
 /// allowed — the spawn waits for that occupant to retire and reuses its
-/// pooled SPE context (a faulted occupant poisons the slot instead:
-/// respawning it is a usage error).  Also accepts processes made by
+/// pooled SPE context.  A *faulted* occupant is handled by Co-Pilot
+/// supervision: with `-pirespawn=N` armed the supervisor transparently
+/// respawns a fresh occupant into the slot (see docs/PROTOCOL.md,
+/// "Self-healing & channel epochs"); only once that budget is exhausted —
+/// or with the policy disarmed — does the slot poison, after which
+/// PI_SpawnSPE on it is a usage error.  Also accepts processes made by
 /// PI_CreateSPE, overriding their statically bound program.
 void PI_SpawnSPE(PI_PROCESS* slot, PI_SPE_FUNC* program, int arg, void* ptr);
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <thread>
@@ -13,11 +14,15 @@
 
 #include "cellsim/cell.hpp"
 #include "cellsim/errors.hpp"
+#include "cellsim/libspe2.hpp"
+#include "core/epoch.hpp"
 #include "core/faultplan.hpp"
 #include "core/flightrec.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
+#include "core/spe_runtime.hpp"
 #include "core/trace.hpp"
+#include "mpisim/reliable.hpp"
 #include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
 #include "simtime/trace.hpp"
@@ -31,17 +36,23 @@ std::atomic<std::uint64_t> g_recovered{0};
 std::atomic<std::uint64_t> g_timeouts{0};
 std::atomic<std::uint64_t> g_faults{0};
 std::atomic<std::uint64_t> g_failovers{0};
+std::atomic<std::uint64_t> g_respawns{0};
+std::atomic<std::uint64_t> g_recovered_ops{0};
 }  // namespace
 
 std::uint64_t recovered_count() { return g_recovered.load(); }
 std::uint64_t timeout_count() { return g_timeouts.load(); }
 std::uint64_t fault_count() { return g_faults.load(); }
 std::uint64_t failover_count() { return g_failovers.load(); }
+std::uint64_t respawn_count() { return g_respawns.load(); }
+std::uint64_t recovered_op_count() { return g_recovered_ops.load(); }
 void reset_counters() {
   g_recovered.store(0);
   g_timeouts.store(0);
   g_faults.store(0);
   g_failovers.store(0);
+  g_respawns.store(0);
+  g_recovered_ops.store(0);
 }
 
 }  // namespace supervision
@@ -91,6 +102,38 @@ class CopilotService {
     int tag = 0;
   };
 
+  /// One delivered operation in a process's replay journal.
+  struct JournalOp {
+    std::uint32_t signature = 0;
+    std::uint32_t length = 0;
+    std::vector<std::byte> payload;  ///< reads only: re-served on replay
+  };
+
+  /// Replay journal of one SPE process, keyed by channel id: every write
+  /// the Co-Pilot delivered on the process's behalf and every read payload
+  /// it placed into the process's local store, in channel order.  Recorded
+  /// only while -pirespawn is armed (a disarmed run never touches it);
+  /// bounded by the job's message count, like the latency ledger.
+  struct Journal {
+    std::map<int, std::vector<JournalOp>> writes;
+    std::map<int, std::vector<JournalOp>> reads;
+  };
+
+  /// Supervision state of one (possibly respawned) SPE process.
+  struct RespawnState {
+    int attempts = 0;   ///< respawn budget consumed so far
+    unsigned flat = 0;  ///< slot the current respawned occupant runs in
+    bool alive = false; ///< a respawned occupant may still be running
+    /// Replay cursors, snapshot at the last respawn: the new incarnation's
+    /// first `cursor` operations on a channel repeat deliveries a previous
+    /// incarnation completed, and settle without touching the wire.
+    std::map<int, std::size_t> write_cursor;
+    std::map<int, std::size_t> read_cursor;
+    /// Operations the current incarnation has issued since its restart.
+    std::map<int, std::size_t> writes_seen;
+    std::map<int, std::size_t> reads_seen;
+  };
+
  public:
   /// The journal a crashing Co-Pilot throws (the copilot_crash fault
   /// kind): the crash stamp, the request it died holding, and every piece
@@ -106,6 +149,8 @@ class CopilotService {
     std::set<unsigned> dead_spes;
     std::map<int, CompletionStatus> dead_channels;
     std::map<int, CompletionStatus> failed;
+    std::map<int, Journal> journal;
+    std::map<int, RespawnState> respawns;
   };
 
   /// `crash` non-null constructs a standby taking over from the journal.
@@ -186,19 +231,26 @@ class CopilotService {
         }
         case Candidate::kSpeFault: {
           // An SPE program died of a hardware fault.  Consume its
-          // posthumous notice in stamp order and convert the death into
-          // error completions / fault frames at every peer.
+          // posthumous notice in stamp order, then walk the degradation
+          // ladder: a supervised respawn while the -pirespawn budget
+          // lasts; past the last rung, convert the death into error
+          // completions / fault frames at every peer, exactly as an
+          // unsupervised death.
           const unsigned s = candidate->spe;
           const cellsim::Spe::FaultNotice* notice =
               blade_.spe(s).fault_notice();
           dead_spes_.insert(s);
           assembly_[s] = Assembly{};  // a partial request dies with it
           clock().join(notice->stamp);
-          supervision::g_faults.fetch_add(1);
-          fail_process(app_.spe_process(node_, s),
-                       CompletionStatus::kSpeFault,
-                       static_cast<std::uint32_t>(notice->code),
-                       notice->detail);
+          const int pid = app_.spe_process(node_, s);
+          if (!try_respawn(pid, s, *notice)) {
+            // Only unrecovered deaths count as faults; a covered death is
+            // invisible to peers and shows up in respawn_count() instead.
+            supervision::g_faults.fetch_add(1);
+            fail_process(pid, CompletionStatus::kSpeFault,
+                         static_cast<std::uint32_t>(notice->code),
+                         notice->detail);
+          }
           break;
         }
       }
@@ -335,7 +387,15 @@ class CopilotService {
       }
     }
     if (auto env = mpi_.iprobe(mpisim::kAnySource, pilot::kTagShutdown)) {
-      consider({env->arrival, Candidate::kShutdown, 0, -1, 0});
+      // Shutdown is deferred while a respawned occupant is still running.
+      // PI_StopMain's rank barrier only proves the *originally launched*
+      // SPE threads have retired; a supervised respawn registered after
+      // the owner's join sweep may still be executing, and exiting now
+      // would leave its requests unserved — a teardown hang.  The message
+      // stays queued and is consumed once no respawned occupant is alive.
+      if (!respawn_in_progress()) {
+        consider({env->arrival, Candidate::kShutdown, 0, -1, 0});
+      }
     }
     for (unsigned s = 0; s < blade_.spe_count(); ++s) {
       if (dead_spes_.count(s) != 0) continue;
@@ -377,8 +437,258 @@ class CopilotService {
     // is uncached, so the access carries a per-transfer cost.
     const std::byte* src = spe.local_store().at(w.req.ls_addr, w.req.length);
     clock().advance(cost_.copilot_ls_access(w.req.length));
-    return pilot::frame_message(w.req.signature,
-                                std::span(src, w.req.length));
+    return pilot::frame_message(w.req.signature, std::span(src, w.req.length),
+                                epochs::current(w.req.channel));
+  }
+
+  /// Whether the replay journal is armed (-pirespawn > 0).  A disarmed run
+  /// records nothing, so the feature is zero-cost when unused.
+  bool journaling() const { return app_.options().respawn_budget > 0; }
+
+  /// Journals one delivered write of SPE `spe` (the frame is on the wire /
+  /// in the local reader's store): a future incarnation deduplicates it.
+  void journal_write(unsigned spe, const SpeRequest& req) {
+    if (!journaling()) return;
+    const int pid = app_.spe_process(node_, spe);
+    if (pid < 0) return;
+    journal_[pid].writes[req.channel].push_back(
+        JournalOp{req.signature, req.length, {}});
+  }
+
+  /// Journals one delivered read payload of SPE `spe`: the bytes were
+  /// consumed off the wire into its local store, so a future incarnation
+  /// can only get them from here.
+  void journal_read(unsigned spe, const SpeRequest& req,
+                    std::span<const std::byte> payload) {
+    if (!journaling()) return;
+    const int pid = app_.spe_process(node_, spe);
+    if (pid < 0) return;
+    journal_[pid].reads[req.channel].push_back(
+        JournalOp{req.signature, req.length,
+                  std::vector<std::byte>(payload.begin(), payload.end())});
+  }
+
+  /// True while a respawned occupant may still be running.  Shutdown is
+  /// deferred behind this: PI_StopMain's barrier only waited for the
+  /// originally-launched SPE threads.  An occupant that retired (its slot
+  /// was released) or faulted again (its notice pends / was consumed)
+  /// stops pinning the flag.
+  bool respawn_in_progress() {
+    bool any = false;
+    for (auto& [pid, rs] : respawns_) {
+      if (!rs.alive) continue;
+      if (!app_.spe_assigned(node_, rs.flat) ||
+          dead_spes_.count(rs.flat) != 0) {
+        rs.alive = false;
+        continue;
+      }
+      any = true;
+    }
+    return any;
+  }
+
+  /// The degradation ladder's first rung: relaunch the dead process's
+  /// program into a fresh pooled context, charge the backoff, bump the
+  /// epochs of every channel it writes (tombstoning its undelivered
+  /// in-flight frames), and snapshot the replay cursors so the new
+  /// incarnation's repeated operations settle from the journal.  Returns
+  /// false — degrade to poison + PILF — when the budget is disarmed or
+  /// spent, no launch recipe was registered, or the SPE pool is exhausted.
+  /// Never throws: the last rung (fail_process) must always be reachable.
+  bool try_respawn(int pid, unsigned dead_slot,
+                   const cellsim::Spe::FaultNotice& notice) {
+    const int budget = app_.options().respawn_budget;
+    if (budget <= 0 || pid < 0) return false;
+    RespawnState& rs = respawns_[pid];
+    if (rs.attempts >= budget) return false;
+    const auto seed = app_.respawn_seed(pid);
+    if (!seed || seed->program == nullptr) return false;
+    unsigned flat = 0;
+    try {
+      // The faulted context is never pooled again, so this picks a
+      // different physical SPE; an exhausted pool degrades.
+      flat = app_.acquire_spe(node_);
+    } catch (const pilot::PilotError&) {
+      return false;
+    }
+    ++rs.attempts;
+    const SimTime death = notice.stamp;
+    clock().advance(cost_.copilot_service);
+    // Exponential backoff per slot: attempt k waits deadline * 2^(k-1)
+    // before the new occupant starts (same ladder as the deadline and
+    // retransmit supervision).
+    SimTime backoff = app_.options().spe_deadline;
+    for (int k = 1; k < rs.attempts; ++k) backoff *= 2;
+    clock().advance(backoff);
+
+    // The dead incarnation's queued and parked requests die with it: the
+    // new occupant re-issues everything from its program start.  Sync
+    // parked ops had reported themselves blocked; retract those reports.
+    ready_requests_.erase(
+        std::remove_if(
+            ready_requests_.begin(), ready_requests_.end(),
+            [&](const ReadyRequest& r) { return r.spe == dead_slot; }),
+        ready_requests_.end());
+    const auto purge = [&](std::multimap<int, Pending>& parked) {
+      for (auto it = parked.begin(); it != parked.end();) {
+        if (it->second.spe != dead_slot) {
+          ++it;
+          continue;
+        }
+        const Pending p = it->second;
+        it = parked.erase(it);
+        if (!request_is_async(p.req)) {
+          pilot::notify_unblock_proxy(mpi_, app_, pid);
+        }
+      }
+    };
+    purge(pending_writes_);
+    purge(pending_reads_);
+
+    // New writer incarnation on every channel the process writes: readers
+    // discard stale-epoch fault frames, and the reliable receive windows
+    // tombstone the dead incarnation's undelivered frames.  Whatever the
+    // sweep tombstoned was journaled as delivered but never arrived — pop
+    // those entries so the new incarnation re-relays exactly them.
+    // Reader-side channels keep their epoch: in-flight frames pair FIFO
+    // with the re-issued reads past the replay cursor.
+    Journal& j = journal_[pid];
+    for (int c = 0; c < app_.channel_count(); ++c) {
+      const PI_CHANNEL& ch = app_.channel(c);
+      if (ch.from != pid && ch.to != pid) continue;
+      trace::ChannelCounters::global().add_respawn(c);
+      if (ch.from != pid) continue;
+      const std::uint32_t fresh = epochs::bump(c);
+      const Route* rt = ch.route;
+      if (rt != nullptr &&
+          (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
+           rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
+        const std::size_t swept =
+            mpisim::reliable::set_epoch_floor(rt->tag, fresh);
+        auto& ops = j.writes[c];
+        for (std::size_t k = 0; k < swept && !ops.empty(); ++k) {
+          ops.pop_back();
+        }
+        if (swept != 0 && simtime::tracebuf::armed()) {
+          simtime::tracebuf::record(Kind::kEpochFlush, copilot_name(),
+                                    clock().now(), clock().now(), 0, c,
+                                    route_type_of(c),
+                                    static_cast<std::int64_t>(swept));
+        }
+      }
+    }
+
+    // Snapshot the replay cursors: everything journaled up to here was
+    // delivered on a previous incarnation's behalf and must be deduped
+    // (writes) or re-served (reads) rather than re-executed.
+    rs.write_cursor.clear();
+    rs.read_cursor.clear();
+    rs.writes_seen.clear();
+    rs.reads_seen.clear();
+    for (const auto& [c, ops] : j.writes) rs.write_cursor[c] = ops.size();
+    for (const auto& [c, ops] : j.reads) rs.read_cursor[c] = ops.size();
+
+    // Relaunch: same recipe as PI_RunSPE, into the fresh context, starting
+    // no earlier than the Co-Pilot's post-backoff clock.
+    app_.bind_spe_process(node_, flat, pid);
+    cellsim::Spe& spe = blade_.spe(flat);
+    mpisim::World* world = &app_.cluster().world();
+    auto launch = std::make_unique<SpeLaunchArgs>();
+    launch->app = &app_;
+    launch->process_id = pid;
+    launch->arg = seed->arg;
+    launch->ptr = seed->ptr;
+    const SimTime start = std::max(clock().now(), spe.clock().now());
+    const std::string proc_name = app_.process(pid).name;
+    pilot::PilotApp* app = &app_;
+    std::thread t([app, &spe, program = seed->program,
+                   launch = std::move(launch), node = node_, flat, start,
+                   world, proc_name] {
+      spe.clock().join(start);
+      bool faulted = false;
+      try {
+        cellsim::spe2::SpeContext sctx(spe);
+        sctx.run(*program, cellsim::ea_of(launch.get()), 0);
+      } catch (const mpisim::WorldAborted&) {
+        // Job torn down elsewhere.
+      } catch (const cellsim::HardwareFault& f) {
+        // A respawned occupant can die too: leave the notice and let the
+        // ladder decide again (respawn while budget lasts, then degrade).
+        if (!world->aborted()) {
+          faulted = true;
+          spe.raise_fault(f.fault_code(), spe.clock().now(),
+                          "SPE process " + proc_name + ": " + f.what());
+        }
+      } catch (const std::exception& e) {
+        if (!world->aborted()) {
+          world->abort("SPE process " + proc_name + " failed: " + e.what());
+        }
+      }
+      if (!faulted) app->release_spe(node, flat);
+    });
+    app_.add_spe_thread(seed->owner, std::move(t));
+
+    rs.flat = flat;
+    rs.alive = true;
+    supervision::g_respawns.fetch_add(1);
+    simtime::Trace::global().record(
+        copilot_name(), simtime::TraceKind::kCopilotService,
+        "respawned SPE process " + proc_name + " (attempt " +
+            std::to_string(rs.attempts) + "/" + std::to_string(budget) +
+            "): " + notice.detail,
+        death, clock().now());
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(Kind::kSpeRespawn, spe.name(), death, start,
+                                0, pid, 0, rs.attempts);
+    }
+    if (simtime::metrics::armed()) {
+      simtime::metrics::record(simtime::metrics::Kind::kRespawnLatency, 0,
+                               pid, spe.name(), start - death);
+    }
+    flightrec::FlightRecorder::global().dump(
+        "spe_respawn: " + proc_name + " attempt " +
+        std::to_string(rs.attempts) + "/" + std::to_string(budget) +
+        " into " + spe.name());
+    return true;
+  }
+
+  /// Serves a respawned incarnation's operation from the journal when it
+  /// repeats a delivery a predecessor completed: writes dedupe to kOk (the
+  /// data is already with the reader), reads re-serve the journaled
+  /// payload into the new local store.  A request that diverges from the
+  /// journaled history (different signature or length) is not replayable
+  /// and settles with kSpeRestarted.  Past the cursor the incarnation is
+  /// in new territory and operations take the normal path.
+  bool try_replay(unsigned spe, const SpeRequest& req, bool is_write) {
+    if (respawns_.empty()) return false;  // clean runs: one empty() check
+    const int pid = app_.spe_process(node_, spe);
+    const auto rit = respawns_.find(pid);
+    if (rit == respawns_.end()) return false;
+    RespawnState& rs = rit->second;
+    auto& cursor = is_write ? rs.write_cursor : rs.read_cursor;
+    const auto cit = cursor.find(req.channel);
+    if (cit == cursor.end()) return false;
+    auto& seen = is_write ? rs.writes_seen : rs.reads_seen;
+    std::size_t& n = seen[req.channel];
+    if (n >= cit->second) return false;
+    const std::size_t idx = n++;
+    Journal& j = journal_[pid];
+    const auto& ops = is_write ? j.writes[req.channel] : j.reads[req.channel];
+    const JournalOp& op = ops[idx];
+    if (op.signature != req.signature || op.length != req.length) {
+      complete(spe, CompletionStatus::kSpeRestarted, req);
+      return true;
+    }
+    if (!is_write) {
+      cellsim::Spe& s = blade_.spe(spe);
+      std::byte* dst = s.local_store().at(req.ls_addr, req.length);
+      std::memcpy(dst, op.payload.data(), op.payload.size());
+      clock().advance(cost_.copilot_ls_access(req.length));
+    }
+    complete(spe, CompletionStatus::kOk, req);
+    trace::ChannelCounters::global().add_recovered_op(req.channel);
+    supervision::g_recovered_ops.fetch_add(1);
+    return true;
   }
 
   /// Validates frame header vs a read request; returns payload span or
@@ -400,6 +710,7 @@ class CopilotService {
     std::byte* dst = spe.local_store().at(r.req.ls_addr, r.req.length);
     std::memcpy(dst, payload.data(), payload.size());
     clock().advance(cost_.copilot_ls_access(r.req.length));
+    journal_read(r.spe, r.req, payload);
     complete(r.spe, CompletionStatus::kOk, r.req);
   }
 
@@ -429,6 +740,8 @@ class CopilotService {
                                 clock().now(), w.req.length, w.req.channel,
                                 route_type_of(w.req.channel));
     }
+    journal_write(w.spe, w.req);
+    journal_read(r.spe, r.req, std::span(src, w.req.length));
     complete(w.spe, CompletionStatus::kOk, w.req);
     complete(r.spe, CompletionStatus::kOk, r.req);
   }
@@ -462,6 +775,12 @@ class CopilotService {
       // The writer died instead of producing data: its Co-Pilot (or the
       // failure sweep) put the error on the wire in the data's place.
       const pilot::FaultFrame fault = pilot::parse_fault_frame(framed);
+      if (fault.epoch < epochs::current(r.req.channel)) {
+        // A dead predecessor's posthumous fault frame, overtaken by a
+        // successful respawn: discard it and keep the read parked for the
+        // successor incarnation's data.
+        return false;
+      }
       const auto status = static_cast<CompletionStatus>(fault.status);
       dead_channels_[r.req.channel] = status;
       trace::ChannelCounters::global().add_fault(r.req.channel);
@@ -519,6 +838,8 @@ class CopilotService {
       c.dead_spes = std::move(dead_spes_);
       c.dead_channels = std::move(dead_channels_);
       c.failed = std::move(failed_);
+      c.journal = std::move(journal_);
+      c.respawns = std::move(respawns_);
       throw c;
     }
     if (supervise_deadline(ready)) return;
@@ -643,8 +964,9 @@ class CopilotService {
     // Poison every channel with the dead process as an endpoint; where its
     // data plane relays over MPI, deposit a fault frame so remote readers
     // (ranks or peer Co-Pilots) wake with the error instead of blocking.
-    const std::vector<std::byte> frame = pilot::frame_fault(
-        {static_cast<std::uint32_t>(status), code, detail});
+    // The PILF carries the channel's current epoch: a reader only honours
+    // a fault frame from the writer incarnation it currently expects, so
+    // a death that was absorbed by a respawn never kills a later reader.
     for (int c = 0; c < app_.channel_count(); ++c) {
       const PI_CHANNEL& ch = app_.channel(c);
       if (ch.from != pid && ch.to != pid) continue;
@@ -655,6 +977,10 @@ class CopilotService {
       if (ch.from == pid &&
           (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
            rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
+        const std::uint32_t epoch = epochs::current(c);
+        const std::vector<std::byte> frame = pilot::frame_fault(
+            {static_cast<std::uint32_t>(status), code, epoch, detail});
+        mpisim::reliable::set_send_epoch(epoch);
         mpi_.send(frame.data(), frame.size(), rt->copilot_write_dest,
                   rt->tag);
       }
@@ -698,6 +1024,8 @@ class CopilotService {
     dead_spes_ = c.dead_spes;
     dead_channels_ = c.dead_channels;
     failed_ = c.failed;
+    journal_ = c.journal;
+    respawns_ = c.respawns;
 
     const ReadyRequest& in = c.inflight;
     const SimTime begin = clock().now();
@@ -736,8 +1064,10 @@ class CopilotService {
         const std::vector<std::byte> frame = pilot::frame_fault(
             {static_cast<std::uint32_t>(CompletionStatus::kCopilotFault),
              static_cast<std::uint32_t>(cellsim::FaultCode::kInjected),
+             epochs::current(chid),
              "Co-Pilot " + copilot_name() + " crashed serving " +
                  channel_desc(chid)});
+        mpisim::reliable::set_send_epoch(epochs::current(chid));
         mpi_.send(frame.data(), frame.size(), rt->copilot_write_dest,
                   rt->tag);
       }
@@ -791,6 +1121,10 @@ class CopilotService {
       complete(spe, failed->second, req);
       return;
     }
+    // A respawned incarnation re-executes its program from the top, so its
+    // first operations repeat deliveries a predecessor already completed;
+    // those settle from the journal without touching the wire.
+    if (try_replay(spe, req, is_write)) return;
     if (simtime::tracebuf::armed()) {
       simtime::tracebuf::record(
           Kind::kCopilotRequest, copilot_name(), begin, clock().now(),
@@ -806,6 +1140,7 @@ class CopilotService {
           // Types 2/3: relay to the reading rank on the SPE's behalf;
           // type 5: relay to the reader's Co-Pilot.
           const auto framed = frame_from_ls(p);
+          mpisim::reliable::set_send_epoch(epochs::current(req.channel));
           mpi_.send(framed.data(), framed.size(), rt->copilot_write_dest,
                     rt->tag);
           trace::ChannelCounters::global().add_copilot_hop(req.channel);
@@ -816,6 +1151,7 @@ class CopilotService {
                                       static_cast<std::int8_t>(rt->type));
           }
           complete(spe, CompletionStatus::kOk, req);
+          journal_write(spe, req);
           break;
         }
         case CopilotWriteAction::kPairLocal: {
@@ -936,6 +1272,10 @@ class CopilotService {
   /// Processes this Co-Pilot declared failed, with the status their peers
   /// receive.
   std::map<int, CompletionStatus> failed_;
+  /// Replay journals, keyed by process id (empty unless -pirespawn armed).
+  std::map<int, Journal> journal_;
+  /// Respawn bookkeeping of supervised processes (budget, cursors).
+  std::map<int, RespawnState> respawns_;
   std::atomic<SimTime>& published_bound_;
   /// Set when an injected crash is in flight: the destructor then
   /// publishes the crash stamp instead of kForever.

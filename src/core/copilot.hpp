@@ -49,6 +49,14 @@ std::uint64_t fault_count();
 /// copilot_crash fault kind).
 std::uint64_t failover_count();
 
+/// Supervised respawns: SPE deaths absorbed by relaunching the process's
+/// program into a fresh context under the -pirespawn budget.
+std::uint64_t respawn_count();
+
+/// Operations a respawned incarnation replayed from the journal (writes
+/// deduped, reads re-served) instead of re-executing on the wire.
+std::uint64_t recovered_op_count();
+
 /// Zeroes all counters (test isolation).
 void reset_counters();
 

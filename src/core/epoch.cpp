@@ -1,0 +1,31 @@
+#include "core/epoch.hpp"
+
+#include <atomic>
+
+namespace cellpilot::epochs {
+
+namespace {
+
+// Fixed table, same sizing philosophy as the channel counters: respawn is
+// a supervision-path event, so a bounded lock-free array beats a locked
+// map on the (hot) frame-stamping reads.
+constexpr int kMaxChannels = 4096;
+std::atomic<std::uint32_t> g_epochs[kMaxChannels];
+
+}  // namespace
+
+std::uint32_t current(int channel) {
+  if (channel < 0 || channel >= kMaxChannels) return 0;
+  return g_epochs[channel].load(std::memory_order_acquire);
+}
+
+std::uint32_t bump(int channel) {
+  if (channel < 0 || channel >= kMaxChannels) return 0;
+  return g_epochs[channel].fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void reset() {
+  for (auto& e : g_epochs) e.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cellpilot::epochs

@@ -1,0 +1,33 @@
+// epoch.hpp — per-channel writer-incarnation epochs.
+//
+// Self-healing (docs/PROTOCOL.md "Self-healing & channel epochs") needs a
+// way to tell traffic from a dead SPE incarnation apart from traffic its
+// respawned successor produces on the same channel.  The epoch is that
+// discriminator: a per-channel counter, 0 for the first incarnation of the
+// writer, bumped by Co-Pilot supervision each time it respawns the
+// channel's writer.  Every PILT data frame, PILF fault frame and PILR
+// reliable envelope is stamped with the writer's epoch at build time;
+// receive paths discard what is provably stale (old-epoch fault frames at
+// readers, old-epoch frames held in the reliable receive window).
+//
+// Epochs are process-global (like the reliable layer's link registry) and
+// reset at job start, so no-fault runs carry epoch 0 everywhere and stay
+// byte-identical modulo the widened headers.
+#pragma once
+
+#include <cstdint>
+
+namespace cellpilot::epochs {
+
+/// Current epoch of `channel`'s writer (0 while the original incarnation
+/// lives).  Out-of-range ids read as epoch 0 so probes never throw.
+std::uint32_t current(int channel);
+
+/// Marks a new writer incarnation on `channel`; returns the new epoch.
+/// Called by Co-Pilot supervision after deciding to respawn the writer.
+std::uint32_t bump(int channel);
+
+/// Forgets all epochs (job start, alongside reliable::reset_links).
+void reset();
+
+}  // namespace cellpilot::epochs

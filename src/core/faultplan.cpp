@@ -80,10 +80,10 @@ simtime::SimTime parse_duration(std::string text) {
 }
 
 constexpr Kind kAllKinds[] = {
-    Kind::kSpeCrash,   Kind::kMboxStall,  Kind::kDmaFault,
-    Kind::kCopilotDelay, Kind::kSendDelay, Kind::kSendDrop,
-    Kind::kMsgDrop,    Kind::kMsgCorrupt, Kind::kMsgDup,
-    Kind::kMsgReorder, Kind::kCopilotCrash,
+    Kind::kSpeCrash,   Kind::kSpeCrashMid, Kind::kMboxStall,
+    Kind::kDmaFault,   Kind::kCopilotDelay, Kind::kSendDelay,
+    Kind::kSendDrop,   Kind::kMsgDrop,    Kind::kMsgCorrupt,
+    Kind::kMsgDup,     Kind::kMsgReorder, Kind::kCopilotCrash,
 };
 
 Kind parse_kind(const std::string& word) {
@@ -154,6 +154,8 @@ const char* to_string(Kind k) {
   switch (k) {
     case Kind::kSpeCrash:
       return "spe_crash";
+    case Kind::kSpeCrashMid:
+      return "spe_crash_mid";
     case Kind::kMboxStall:
       return "mbox_stall";
     case Kind::kDmaFault:
@@ -374,6 +376,20 @@ bool FaultPlan::should_crash_spe(const char* owner) {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const Rule& rule = rules_[i];
     if (rule.kind != Kind::kSpeCrash) continue;
+    if (rule.site != "*" && rule.site != name) continue;
+    if (hit(i, rule, name)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_crash_spe_mid(const char* owner) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (rules_.empty()) return false;
+  const std::string name(owner);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != Kind::kSpeCrashMid) continue;
     if (rule.site != "*" && rule.site != name) continue;
     if (hit(i, rule, name)) return true;
   }

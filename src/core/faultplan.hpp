@@ -63,6 +63,8 @@ namespace cellpilot::faults {
 /// What a rule injects.
 enum class Kind {
   kSpeCrash,      ///< SPE program dies before issuing its next request
+  kSpeCrashMid,   ///< SPE dies mid-message: between mailbox request words,
+                  ///< leaving the Co-Pilot a partial assembly
   kMboxStall,     ///< extra virtual delay on an SPU mailbox operation
   kDmaFault,      ///< MFC transfer raises DmaFault
   kCopilotDelay,  ///< extra service time charged to the Co-Pilot
@@ -138,6 +140,12 @@ class FaultPlan {
   /// SPE runtime probe: should the program at `owner` die before issuing
   /// its next Co-Pilot request?
   bool should_crash_spe(const char* owner);
+
+  /// SPE runtime probe: should the program at `owner` die *mid-message* —
+  /// after pushing some but not all of a request's mailbox words?  Keyed
+  /// by its own rule kind (spe_crash_mid) so arming it never perturbs the
+  /// ordinals of existing spe_crash rules.
+  bool should_crash_spe_mid(const char* owner);
 
   /// Co-Pilot probe: extra service delay for this request, if any.
   simtime::SimTime copilot_delay(const char* owner);

@@ -75,6 +75,8 @@ enum class CompletionStatus : std::uint32_t {
   kSpeFault = 4,      ///< the channel peer's SPE died of a hardware fault
   kSpeTimeout = 5,    ///< the request (or its peer) missed its deadline
   kCopilotFault = 6,  ///< the serving Co-Pilot crashed; request not replayed
+  kSpeRestarted = 7,  ///< the peer SPE was respawned and this op could not
+                      ///< be replayed against the new incarnation
 };
 
 /// A decoded SPE request.

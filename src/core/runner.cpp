@@ -7,6 +7,7 @@
 #include "core/cellpilot.hpp"
 
 #include "core/copilot.hpp"
+#include "core/epoch.hpp"
 #include "core/flightrec.hpp"
 #include "core/metrics.hpp"
 #include "core/router.hpp"
@@ -47,6 +48,11 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
   pilot::PilotApp app(machine);
   CellTransportImpl transport;
   app.set_transport(&transport);
+
+  // Channel epochs restart at zero with each job: an epoch is a writer
+  // incarnation *within* a job, and a stale floor left over from a previous
+  // job's respawns would silently discard the new job's first frames.
+  epochs::reset();
 
   const mpisim::LaunchResult launched = mpisim::launch(
       machine.world(), [&](mpisim::Mpi& mpi) -> int {

@@ -33,6 +33,15 @@ CompletionStatus request_and_wait(Opcode op, const PI_CHANNEL& ch,
   }
   cellsim::spu::spu_write_out_mbox(pack_op_channel(op, ch.id));
   cellsim::spu::spu_write_out_mbox(ls_addr);
+  // The mid-message probe fires between mailbox words: the Co-Pilot is
+  // left holding a partial assembly, the harshest death the self-healing
+  // path has to absorb (spe_crash dies cleanly *before* the request).
+  if (faults::FaultPlan::global().armed() &&
+      faults::FaultPlan::global().should_crash_spe_mid(
+          env().spe->name().c_str())) {
+    throw faults::InjectedCrash("injected SPE crash on " + env().spe->name() +
+                                " mid-request on channel " + ch.name);
+  }
   cellsim::spu::spu_write_out_mbox(length);
   cellsim::spu::spu_write_out_mbox(sig);
   return static_cast<CompletionStatus>(cellsim::spu::spu_read_in_mbox());
@@ -78,6 +87,12 @@ std::string channel_label(const PI_CHANNEL& ch) {
                               label +
                                   ": serving Co-Pilot crashed; request "
                                   "could not be replayed by the standby");
+    case CompletionStatus::kSpeRestarted:
+      throw pilot::PilotError(pilot::ErrorCode::kSpeRestarted,
+                              label +
+                                  ": peer SPE was respawned and this "
+                                  "operation could not be replayed against "
+                                  "the new incarnation");
     default:
       throw pilot::PilotError(pilot::ErrorCode::kInternal,
                               label + ": Co-Pilot protocol error");
@@ -197,6 +212,14 @@ void spe_submit(PI_OP& op, Opcode opcode, const PI_CHANNEL& ch,
   completion::set_state(op, completion::State::kStaged);
   cellsim::spu::spu_write_out_mbox(pack_op_channel(opcode, ch.id));
   cellsim::spu::spu_write_out_mbox(staging.addr());
+  // Same mid-message seam as the blocking path: die with the 5-word async
+  // request half-written so supervision must reconcile a partial assembly.
+  if (faults::FaultPlan::global().armed() &&
+      faults::FaultPlan::global().should_crash_spe_mid(
+          env().spe->name().c_str())) {
+    throw faults::InjectedCrash("injected SPE crash on " + env().spe->name() +
+                                " mid-request on channel " + ch.name);
+  }
   cellsim::spu::spu_write_out_mbox(static_cast<std::uint32_t>(bytes));
   cellsim::spu::spu_write_out_mbox(sig);
   cellsim::spu::spu_write_out_mbox(op.token);

@@ -29,6 +29,8 @@ struct ChannelCounters::Impl {
     std::atomic<std::uint64_t> retransmits{0};
     std::atomic<std::uint64_t> duplicates{0};
     std::atomic<std::uint64_t> corrupt_detected{0};
+    std::atomic<std::uint64_t> respawns{0};
+    std::atomic<std::uint64_t> recovered_ops{0};
   };
   std::mutex mu;  ///< guards resizing only; cells are touched lock-free
   std::vector<std::unique_ptr<Cell>> cells;
@@ -76,6 +78,7 @@ void reliable_event_trampoline(mpisim::reliable::Event event, int tag) {
       break;
     case mpisim::reliable::Event::kAck:
     case mpisim::reliable::Event::kReorder:
+    case mpisim::reliable::Event::kStale:
       break;
   }
 }
@@ -148,6 +151,18 @@ void ChannelCounters::add_corrupt(int channel) {
   }
 }
 
+void ChannelCounters::add_respawn(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->respawns.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_recovered_op(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->recovered_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 ChannelStats ChannelCounters::snapshot(int channel) const {
   ChannelStats s;
   Impl* im = const_cast<ChannelCounters*>(this)->impl();
@@ -161,6 +176,8 @@ ChannelStats ChannelCounters::snapshot(int channel) const {
     s.retransmits = c->retransmits.load(std::memory_order_relaxed);
     s.duplicates = c->duplicates.load(std::memory_order_relaxed);
     s.corrupt_detected = c->corrupt_detected.load(std::memory_order_relaxed);
+    s.respawns = c->respawns.load(std::memory_order_relaxed);
+    s.recovered_ops = c->recovered_ops.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -308,6 +325,16 @@ std::string chrome_trace_json(const std::vector<JobBatch>& batches) {
             static_cast<unsigned long long>(ch.stats.duplicates),
             static_cast<unsigned long long>(ch.stats.corrupt_detected));
         out += rel;
+      }
+      // Same conditional-emission contract for the self-healing counters:
+      // only a run that actually respawned a writer widens the record.
+      if (ch.stats.respawns != 0 || ch.stats.recovered_ops != 0) {
+        char heal[96];
+        std::snprintf(heal, sizeof heal,
+                      ",\"respawns\":%llu,\"recoveredOps\":%llu",
+                      static_cast<unsigned long long>(ch.stats.respawns),
+                      static_cast<unsigned long long>(ch.stats.recovered_ops));
+        out += heal;
       }
       out += "}";
     }

@@ -40,10 +40,16 @@ struct ChannelStats {
   std::uint64_t copilot_hops = 0;   ///< Co-Pilot legs executed (relay/pair/deliver)
   std::uint64_t retries = 0;        ///< deadline extensions granted
   std::uint64_t timeouts = 0;       ///< requests completed PI_SPE_TIMEOUT
-  std::uint64_t faults = 0;         ///< channel poisonings by SPE death
+  /// Channel *poisonings*: SPE deaths the supervisor could not (or was not
+  /// armed to) recover, i.e. the degradation ladder's last rung.  A death
+  /// absorbed by a supervised respawn is NOT a fault — it lands in
+  /// `respawns` and the channel keeps flowing under a bumped epoch.
+  std::uint64_t faults = 0;
   std::uint64_t retransmits = 0;    ///< reliable-layer frame retransmissions
   std::uint64_t duplicates = 0;     ///< duplicate frames window-suppressed
   std::uint64_t corrupt_detected = 0;  ///< CRC-caught damaged frames
+  std::uint64_t respawns = 0;       ///< writer deaths absorbed by respawn
+  std::uint64_t recovered_ops = 0;  ///< ops replayed/deduped across a respawn
 };
 
 /// Always-on per-channel counter table.  Sized by Router::compile (which
@@ -64,6 +70,8 @@ class ChannelCounters {
   void add_retransmit(int channel);
   void add_duplicate(int channel);
   void add_corrupt(int channel);
+  void add_respawn(int channel);
+  void add_recovered_op(int channel);
 
   ChannelStats snapshot(int channel) const;
 

@@ -70,6 +70,11 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
   const int node = proc.node;
   const unsigned flat = app.acquire_spe(node);
   app.bind_spe_process(node, flat, proc.id);
+  // Launch recipe for Co-Pilot supervision: with -pirespawn armed a fault
+  // replays this exact program into a fresh context.
+  app.register_respawn_seed(
+      proc.id, pilot::PilotApp::RespawnSeed{proc.program, arg, ptr,
+                                            ctx.rank()});
   cellsim::Spe& spe = app.cluster().spe(node, flat);
   mpisim::World* world = &app.cluster().world();
 
@@ -139,14 +144,20 @@ void CellTransportImpl::spawn_spe(
     throw pilot::PilotError(pilot::ErrorCode::kUsage,
                             "PI_SpawnSPE: program has no entry point");
   }
-  // A previous occupant that died leaves the slot haunted: its channels are
-  // poisoned and its context was never returned to the pool, so a respawn
-  // could only inherit confusion.  Reject it as a usage error.
+  // A slot only reaches the failure registry once the degradation ladder's
+  // last rung poisoned it: either -pirespawn is disarmed, or the budget was
+  // exhausted.  Its channels are poisoned and its context was never
+  // returned to the pool, so a user-level respawn could only inherit
+  // confusion — the supervised respawn path (core/copilot) is the one that
+  // rebinds a faulted slot, before any failure is ever published.
   if (auto failure = app.process_failure(proc.id)) {
     throw pilot::PilotError(
         pilot::ErrorCode::kUsage,
         "PI_SpawnSPE(" + proc.name + "): the process previously faulted (" +
-            failure->detail + "); a dead SPE process cannot be respawned");
+            failure->detail + "); a poisoned SPE slot cannot be respawned" +
+            (app.options().respawn_budget > 0
+                 ? " (its -pirespawn budget is spent)"
+                 : " (arm -pirespawn=N for supervised self-healing)"));
   }
 
   const simtime::SimTime call_begin = ctx.mpi().clock().now();
@@ -161,6 +172,9 @@ void CellTransportImpl::spawn_spe(
   // The runtime binding that lifts Pilot's static-declaration restriction:
   // the slot carries whatever program this spawn supplies.
   proc.program = &program;
+  app.register_respawn_seed(
+      proc.id,
+      pilot::PilotApp::RespawnSeed{proc.program, arg, ptr, ctx.rank()});
   cellsim::Spe& spe = app.cluster().spe(node, flat);
   mpisim::World* world = &app.cluster().world();
 

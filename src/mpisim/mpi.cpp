@@ -98,9 +98,12 @@ void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
   const simtime::SimTime depart = clock().advance(legs.sender);
 
   const std::uint64_t seq = reliable::next_seq(me_, dest);
+  // The channel epoch the caller armed (if any) rides in the frame header;
+  // consuming it here keeps the thread-local from leaking into later sends.
+  const std::uint32_t epoch = reliable::take_send_epoch();
   const std::vector<std::byte> wire = reliable::frame(
       seq, /*attempt=*/1,
-      std::span(static_cast<const std::byte*>(data), bytes));
+      std::span(static_cast<const std::byte*>(data), bytes), epoch);
 
   // Model the whole detect/retransmit conversation now: each attempt
   // re-probes the plan; a dropped or damaged attempt costs one backoff
@@ -184,10 +187,10 @@ void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
 
   if (reorder) {
     reliable::stash(world_->queue(dest), me_, dest, std::move(msg), seq, tag,
-                    dup);
+                    dup, epoch);
   } else {
     reliable::window_deposit(world_->queue(dest), me_, dest, std::move(msg),
-                             seq, tag);
+                             seq, tag, epoch);
     // A frame stashed earlier on this same link has now been overtaken —
     // release it so the receive window can drain both in order.
     reliable::flush_link(me_, dest);
@@ -201,7 +204,7 @@ void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
       if (bytes > 0) std::memcpy(copy.payload.data(), data, bytes);
       copy.arrival = depart + legs.transit + penalty;
       reliable::window_deposit(world_->queue(dest), me_, dest,
-                               std::move(copy), seq, tag);
+                               std::move(copy), seq, tag, epoch);
     }
   }
 

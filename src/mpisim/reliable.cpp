@@ -23,6 +23,11 @@ std::atomic<std::uint64_t> g_retransmits{0};
 std::atomic<std::uint64_t> g_duplicates{0};
 std::atomic<std::uint64_t> g_corrupt{0};
 std::atomic<std::uint64_t> g_reorders{0};
+std::atomic<std::uint64_t> g_stale{0};
+
+// Epoch the next send on this thread will stamp (armed by the dispatch
+// site that knows the channel, consumed by the send).
+thread_local std::uint32_t t_send_epoch = 0;
 
 }  // namespace
 
@@ -40,6 +45,9 @@ void record_event(Event event, int tag) {
       break;
     case Event::kReorder:
       g_reorders.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Event::kStale:
+      g_stale.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   if (const Observer obs = g_observer.load(std::memory_order_acquire)) {
@@ -59,6 +67,9 @@ struct HeldFrame {
   InboundMessage msg;
   int tag = 0;
   bool duplicate = false;  ///< deliver twice on release (msg_dup rode along)
+  std::uint32_t epoch = 0; ///< sender incarnation stamped at frame time
+  bool stale = false;      ///< tombstoned by an epoch floor: advance the
+                           ///< window on release but never deliver
 };
 
 /// Protocol state of one directed link.  The sender's thread is the only
@@ -79,6 +90,9 @@ struct Link {
 struct Registry {
   std::mutex mu;
   std::map<std::pair<Rank, Rank>, Link> links;
+  /// Per-tag epoch floors (self-healing): frames older than the floor are
+  /// tombstoned instead of delivered.  Empty on no-fault runs.
+  std::map<int, std::uint32_t> floors;
 };
 
 Registry& registry() {
@@ -98,11 +112,29 @@ void record_ack(Rank from, Rank to, const InboundMessage& msg, int tag) {
   }
 }
 
+/// Records one tombstoned frame (stale-epoch discard) on the trace ring.
+void record_stale(Rank from, Rank to, const InboundMessage& msg, int tag) {
+  record_event(Event::kStale, tag);
+  if (simtime::tracebuf::armed()) {
+    simtime::tracebuf::record(simtime::tracebuf::Kind::kEpochFlush,
+                              link_name(from, to), msg.arrival, msg.arrival,
+                              msg.payload.size(), /*channel=*/-1,
+                              /*route_type=*/0, tag);
+  }
+}
+
 /// Releases one frame (and its duplicate shadow, which the window then
 /// suppresses as a duplicate would be in a real NIC: counted, discarded).
-/// Caller holds the registry mutex.
+/// A tombstone advances the window without delivering — the sequence space
+/// must stay gapless or the link would stall forever.  Caller holds the
+/// registry mutex.
 void release(Link& link, MatchQueue& queue, Rank from, Rank to,
              HeldFrame frame) {
+  if (frame.stale) {
+    record_stale(from, to, frame.msg, frame.tag);
+    ++link.expected;
+    return;
+  }
   record_ack(from, to, frame.msg, frame.tag);
   record_event(Event::kAck, frame.tag);
   if (frame.duplicate) {
@@ -120,9 +152,10 @@ void release(Link& link, MatchQueue& queue, Rank from, Rank to,
 
 /// Window insert + in-order drain.  Caller holds the registry mutex.
 /// Returns true when at least one frame reached the queue.
-bool window_deposit_locked(Link& link, MatchQueue& queue, Rank from, Rank to,
-                           InboundMessage msg, std::uint64_t seq, int tag,
-                           bool duplicate) {
+bool window_deposit_locked(Registry& reg, Link& link, MatchQueue& queue,
+                           Rank from, Rank to, InboundMessage msg,
+                           std::uint64_t seq, int tag, bool duplicate,
+                           std::uint32_t epoch) {
   if (seq < link.expected || link.window.count(seq) != 0) {
     // Already delivered or already buffered: a duplicate on the wire.
     record_event(Event::kDuplicate, tag);
@@ -134,7 +167,13 @@ bool window_deposit_locked(Link& link, MatchQueue& queue, Rank from, Rank to,
     }
     return false;
   }
-  link.window.emplace(seq, HeldFrame{std::move(msg), tag, duplicate});
+  bool stale = false;
+  if (!reg.floors.empty()) {
+    const auto floor_it = reg.floors.find(tag);
+    stale = floor_it != reg.floors.end() && epoch < floor_it->second;
+  }
+  link.window.emplace(seq,
+                      HeldFrame{std::move(msg), tag, duplicate, epoch, stale});
   bool released = false;
   for (auto it = link.window.find(link.expected);
        it != link.window.end() && it->first == link.expected;
@@ -148,15 +187,15 @@ bool window_deposit_locked(Link& link, MatchQueue& queue, Rank from, Rank to,
 }
 
 /// Releases the stash of one link.  Caller holds the registry mutex.
-void flush_link_locked(Link& link, Rank from, Rank to) {
+void flush_link_locked(Registry& reg, Link& link, Rank from, Rank to) {
   if (!link.stashed) return;
   HeldFrame frame = std::move(*link.stashed);
   MatchQueue* queue = link.stashed_queue;
   const std::uint64_t seq = link.stashed_seq;
   link.stashed.reset();
   link.stashed_queue = nullptr;
-  window_deposit_locked(link, *queue, from, to, std::move(frame.msg), seq,
-                        frame.tag, frame.duplicate);
+  window_deposit_locked(reg, link, *queue, from, to, std::move(frame.msg),
+                        seq, frame.tag, frame.duplicate, frame.epoch);
 }
 
 }  // namespace
@@ -174,13 +213,15 @@ std::uint32_t crc32(std::span<const std::byte> data) {
 }
 
 std::vector<std::byte> frame(std::uint64_t seq, std::uint32_t attempt,
-                             std::span<const std::byte> payload) {
+                             std::span<const std::byte> payload,
+                             std::uint32_t epoch) {
   FrameHeader hdr;
   hdr.magic = kFrameMagic;
   hdr.crc = crc32(payload);
   hdr.seq = seq;
   hdr.attempt = attempt;
   hdr.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  hdr.epoch = epoch;
   std::vector<std::byte> wire(sizeof(FrameHeader) + payload.size());
   std::memcpy(wire.data(), &hdr, sizeof hdr);
   if (!payload.empty()) {
@@ -232,6 +273,7 @@ Totals totals() {
   t.duplicates = g_duplicates.load();
   t.corrupt_detected = g_corrupt.load();
   t.reorders = g_reorders.load();
+  t.stale = g_stale.load();
   return t;
 }
 
@@ -241,6 +283,37 @@ void reset_totals() {
   g_duplicates.store(0);
   g_corrupt.store(0);
   g_reorders.store(0);
+  g_stale.store(0);
+}
+
+void set_send_epoch(std::uint32_t epoch) { t_send_epoch = epoch; }
+
+std::uint32_t take_send_epoch() {
+  const std::uint32_t epoch = t_send_epoch;
+  t_send_epoch = 0;
+  return epoch;
+}
+
+std::size_t set_epoch_floor(int tag, std::uint32_t floor) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  reg.floors[tag] = floor;
+  std::size_t dropped = 0;
+  for (auto& [key, link] : reg.links) {
+    for (auto& [seq, held] : link.window) {
+      if (held.tag == tag && held.epoch < floor && !held.stale) {
+        held.stale = true;
+        ++dropped;
+      }
+    }
+    // A stashed frame is re-evaluated against the floors when it flushes
+    // through the window, so counting it here is enough.
+    if (link.stashed && link.stashed->tag == tag &&
+        link.stashed->epoch < floor && !link.stashed->stale) {
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 std::uint64_t next_seq(Rank from, Rank to) {
@@ -250,19 +323,20 @@ std::uint64_t next_seq(Rank from, Rank to) {
 }
 
 bool window_deposit(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
-                    std::uint64_t seq, int tag) {
+                    std::uint64_t seq, int tag, std::uint32_t epoch) {
   Registry& reg = registry();
   std::lock_guard lock(reg.mu);
-  return window_deposit_locked(reg.links[{from, to}], queue, from, to,
-                               std::move(msg), seq, tag, /*duplicate=*/false);
+  return window_deposit_locked(reg, reg.links[{from, to}], queue, from, to,
+                               std::move(msg), seq, tag, /*duplicate=*/false,
+                               epoch);
 }
 
 void stash(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
-           std::uint64_t seq, int tag, bool duplicate) {
+           std::uint64_t seq, int tag, bool duplicate, std::uint32_t epoch) {
   Registry& reg = registry();
   std::lock_guard lock(reg.mu);
   Link& link = reg.links[{from, to}];
-  flush_link_locked(link, from, to);  // at most one held frame per link
+  flush_link_locked(reg, link, from, to);  // at most one held frame per link
   record_event(Event::kReorder, tag);
   if (simtime::tracebuf::armed()) {
     simtime::tracebuf::record(simtime::tracebuf::Kind::kNetReorder,
@@ -271,7 +345,7 @@ void stash(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
                               /*route_type=*/0, tag);
   }
   link.stashed_queue = &queue;
-  link.stashed = HeldFrame{std::move(msg), tag, duplicate};
+  link.stashed = HeldFrame{std::move(msg), tag, duplicate, epoch};
   link.stashed_seq = seq;
 }
 
@@ -279,7 +353,7 @@ void flush_link(Rank from, Rank to) {
   Registry& reg = registry();
   std::lock_guard lock(reg.mu);
   const auto it = reg.links.find({from, to});
-  if (it != reg.links.end()) flush_link_locked(it->second, from, to);
+  if (it != reg.links.end()) flush_link_locked(reg, it->second, from, to);
 }
 
 void flush_other_links(Rank from, Rank except_to) {
@@ -287,7 +361,7 @@ void flush_other_links(Rank from, Rank except_to) {
   std::lock_guard lock(reg.mu);
   for (auto& [key, link] : reg.links) {
     if (key.first != from || key.second == except_to) continue;
-    flush_link_locked(link, key.first, key.second);
+    flush_link_locked(reg, link, key.first, key.second);
   }
 }
 
@@ -296,7 +370,7 @@ void flush_from(Rank from) {
   std::lock_guard lock(reg.mu);
   for (auto& [key, link] : reg.links) {
     if (key.first != from) continue;
-    flush_link_locked(link, key.first, key.second);
+    flush_link_locked(reg, link, key.first, key.second);
   }
 }
 
@@ -304,6 +378,7 @@ void reset_links() {
   Registry& reg = registry();
   std::lock_guard lock(reg.mu);
   reg.links.clear();
+  reg.floors.clear();
 }
 
 }  // namespace mpisim::reliable

@@ -55,8 +55,10 @@ struct FrameHeader {
   std::uint64_t seq = 0;            ///< per-link sequence number (from 1)
   std::uint32_t attempt = 0;        ///< delivery attempt (1 = first try)
   std::uint32_t payload_bytes = 0;  ///< payload length
+  std::uint32_t epoch = 0;          ///< sender incarnation (self-healing)
+  std::uint32_t reserved = 0;       ///< pad to 8-byte multiple
 };
-static_assert(sizeof(FrameHeader) == 24);
+static_assert(sizeof(FrameHeader) == 32);
 
 /// CRC-32 (IEEE 802.3, reflected) of a byte span.
 /// crc32("123456789") == 0xCBF43926.
@@ -64,7 +66,8 @@ std::uint32_t crc32(std::span<const std::byte> data);
 
 /// Builds header + payload as one contiguous wire frame.
 std::vector<std::byte> frame(std::uint64_t seq, std::uint32_t attempt,
-                             std::span<const std::byte> payload);
+                             std::span<const std::byte> payload,
+                             std::uint32_t epoch = 0);
 
 /// A parsed frame.  `crc_ok` is the real integrity verdict: a corrupted
 /// payload parses fine but fails the checksum.
@@ -102,6 +105,7 @@ enum class Event {
   kDuplicate,   ///< the receiver window discarded an already-seen frame
   kCorrupt,     ///< the CRC check caught a damaged frame
   kReorder,     ///< a frame was held back to arrive out of order
+  kStale,       ///< an old-epoch frame was tombstoned by an epoch floor
 };
 
 using Observer = void (*)(Event event, int tag);
@@ -121,9 +125,30 @@ struct Totals {
   std::uint64_t duplicates = 0;
   std::uint64_t corrupt_detected = 0;
   std::uint64_t reorders = 0;
+  std::uint64_t stale = 0;
 };
 Totals totals();
 void reset_totals();
+
+// --- channel epochs (self-healing) ------------------------------------------
+
+/// Arms the epoch the *next* send on this thread stamps into its PILR
+/// frame (consumed by that send, then back to 0).  CellPilot's dispatch
+/// sites set it from the channel's writer epoch right before handing the
+/// message to MiniMPI; control traffic stays at epoch 0.
+void set_send_epoch(std::uint32_t epoch);
+
+/// Consumes and returns the armed send epoch (0 if none was set).
+std::uint32_t take_send_epoch();
+
+/// Installs an epoch floor for `tag`: frames carrying an older epoch are
+/// tombstones — their sequence numbers still advance the receive window
+/// (no gap stalls) but they are never delivered.  Sweeps frames already
+/// held in receive windows and sender stashes, and returns how many were
+/// tombstoned by the sweep: Co-Pilot supervision subtracts that from the
+/// dead incarnation's delivery journal so exactly the undelivered writes
+/// are replayed under the new epoch.
+std::size_t set_epoch_floor(int tag, std::uint32_t floor);
 
 // --- per-link protocol state ------------------------------------------------
 
@@ -136,13 +161,14 @@ std::uint64_t next_seq(Rank from, Rank to);
 /// and every in-order frame is released to `queue` with an ack event.
 /// Returns true if this call released at least one frame.
 bool window_deposit(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
-                    std::uint64_t seq, int tag);
+                    std::uint64_t seq, int tag, std::uint32_t epoch = 0);
 
 /// Holds one frame back (msg_reorder).  At most one frame is stashed per
 /// link; an already-stashed frame is flushed first.  `duplicate` records
 /// that the frame should be delivered twice on release (msg_dup rode along).
 void stash(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
-           std::uint64_t seq, int tag, bool duplicate);
+           std::uint64_t seq, int tag, bool duplicate,
+           std::uint32_t epoch = 0);
 
 /// Releases the stashed frame of link from->to, if any.
 void flush_link(Rank from, Rank to);

@@ -9,6 +9,7 @@
 
 #include "cellsim/spu.hpp"
 #include "core/completion.hpp"
+#include "core/epoch.hpp"
 #include "core/faultplan.hpp"
 #include "core/flightrec.hpp"
 #include "core/metrics.hpp"
@@ -77,10 +78,15 @@ std::uint32_t wire_signature(const cellpilot::FormatPlan& plan,
 }
 
 /// Overwrites the header slot at the front of `staging` ([header][payload]).
-void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
+/// `epoch` is the channel's current writer incarnation (0 until supervision
+/// ever respawns the writer, which never happens to a rank writer — the
+/// stamp keeps the wire self-describing either way).
+void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig,
+                    std::uint32_t epoch) {
   WireHeader hdr;
   hdr.magic = kWireMagic;
   hdr.signature = sig;
+  hdr.epoch = epoch;
   hdr.payload_bytes = staging.size() - sizeof(WireHeader);
   std::memcpy(staging.data(), &hdr, sizeof hdr);
 }
@@ -99,6 +105,9 @@ void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
   } else if (status == static_cast<std::uint32_t>(
                            cellpilot::CompletionStatus::kCopilotFault)) {
     code = ErrorCode::kCopilotFault;
+  } else if (status == static_cast<std::uint32_t>(
+                           cellpilot::CompletionStatus::kSpeRestarted)) {
+    code = ErrorCode::kSpeRestarted;
   }
   std::string label = "channel " + ch.name;
   if (ch.route != nullptr) {
@@ -106,6 +115,29 @@ void frame_in_place(std::vector<std::byte>& staging, std::uint32_t sig) {
              std::to_string(static_cast<int>(ch.route->type)) + ")";
   }
   throw PilotError(code, label + ": " + detail, file, line);
+}
+
+/// Receives one channel frame for a rank-side reader, discarding fault
+/// frames from a superseded writer incarnation.  A stale-epoch PILF
+/// describes a death that Co-Pilot supervision already absorbed with a
+/// respawn — surfacing it would fail an operation the fresh incarnation is
+/// about to satisfy.  Data frames are never epoch-filtered: bytes a dying
+/// incarnation delivered are good bytes (exactly-once is the completion
+/// engine's job, not the reader's).  Deaths that exhaust the respawn budget
+/// re-poison the channel with a *current*-epoch PILF, so the loop cannot
+/// starve a real failure.
+std::vector<std::byte> recv_channel_frame(PilotContext& ctx,
+                                          const PI_CHANNEL& ch,
+                                          const cellpilot::Route& rt) {
+  for (;;) {
+    std::vector<std::byte> framed =
+        ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+    if (is_fault_frame(framed) &&
+        parse_fault_frame(framed).epoch < cellpilot::epochs::current(ch.id)) {
+      continue;
+    }
+    return framed;
+  }
 }
 
 /// A fault frame that reports the writing SPE's *own* death also lands in
@@ -212,10 +244,12 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   if (rt.writer_big_endian) {
     swap_element_bytes(plan.parsed, ws.counts, payload);
   }
-  frame_in_place(ws.staging, sig);
+  const std::uint32_t epoch = cellpilot::epochs::current(ch->id);
+  frame_in_place(ws.staging, sig, epoch);
   if (simtime::metrics::armed()) {
     cellpilot::metrics::LatencyLedger::global().push(ch->id, call_begin);
   }
+  mpisim::reliable::set_send_epoch(epoch);
   ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
   cellpilot::trace::ChannelCounters::global().add_message(ch->id,
                                                           payload_bytes);
@@ -307,8 +341,7 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
   }
   const simtime::SimTime call_begin = ctx.mpi().clock().now();
   notify_block(ctx, ch->from, ch->id);
-  std::vector<std::byte> framed =
-      ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+  std::vector<std::byte> framed = recv_channel_frame(ctx, *ch, rt);
   notify_unblock(ctx);
   if (is_fault_frame(framed)) {
     const FaultFrame fault = parse_fault_frame(framed);
@@ -460,8 +493,7 @@ void rank_harvest(PilotContext& ctx, PI_OP& op, const char* what,
     }
   }
   notify_block(ctx, ch.from, ch.id);
-  std::vector<std::byte> framed =
-      ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+  std::vector<std::byte> framed = recv_channel_frame(ctx, ch, rt);
   notify_unblock(ctx);
   try {
     if (is_fault_frame(framed)) {
@@ -605,10 +637,12 @@ PI_HANDLE write_async_impl(const char* file, int line, PI_CHANNEL* ch,
   if (rt.writer_big_endian) {
     swap_element_bytes(plan.parsed, ws.counts, payload);
   }
-  frame_in_place(ws.staging, sig);
+  const std::uint32_t epoch = cellpilot::epochs::current(ch->id);
+  frame_in_place(ws.staging, sig, epoch);
   if (simtime::metrics::armed()) {
     cellpilot::metrics::LatencyLedger::global().push(ch->id, call_begin);
   }
+  mpisim::reliable::set_send_epoch(epoch);
   ctx.mpi().send(ws.staging.data(), ws.staging.size(), rt.write_dest, rt.tag);
   cellpilot::trace::ChannelCounters::global().add_message(ch->id,
                                                           payload_bytes);
@@ -757,6 +791,7 @@ int PI_Configure(int* argc, char*** argv) {
   std::string metrics_file;
   std::string flightrec_file;
   bool have_fault_spec = false;
+  bool have_respawn = false;
   if (argc != nullptr && argv != nullptr) {
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
@@ -806,11 +841,33 @@ int PI_Configure(int* argc, char*** argv) {
                            std::string("bad -pilease value: ") + a);
         }
         opts.copilot_lease = simtime::us(v);
+      } else if (std::strncmp(a, "-pirespawn=", 11) == 0) {
+        // Supervised SPE respawn budget (restarts per SPE process).
+        char* end = nullptr;
+        const long v = std::strtol(a + 11, &end, 10);
+        if (end == a + 11 || *end != '\0' || v < 0) {
+          throw PilotError(ErrorCode::kUsage,
+                           std::string("bad -pirespawn value: ") + a);
+        }
+        opts.respawn_budget = static_cast<int>(v);
+        have_respawn = true;
       } else {
         (*argv)[out++] = (*argv)[i];
       }
     }
     *argc = out;
+  }
+  if (!have_respawn) {
+    // CELLPILOT_RESPAWN is the environment baseline the flag overrides,
+    // mirroring the CELLPILOT_FAULTS / -pifault= relationship.  Garbage or
+    // a negative value keeps the feature disarmed rather than guessing.
+    if (const char* env = std::getenv("CELLPILOT_RESPAWN")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0) {
+        opts.respawn_budget = static_cast<int>(v);
+      }
+    }
   }
   if (have_fault_spec && ctx.rank() == 0) {
     try {
@@ -1040,15 +1097,19 @@ void PI_Broadcast_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
     swap_element_bytes(plan.parsed, counts,
                        std::span(framed).subspan(sizeof(WireHeader)));
   }
-  frame_in_place(framed, sig);
   charge_rank_call(ctx, framed.size() - sizeof(WireHeader));
   for (PI_CHANNEL* ch : b->channels) {
     cellpilot::Route& rt = route_of(*ch, file, line);
     if (rt.needs_transport) transport_or_die(ctx.app(), file, line);
+    // Per-leg header stamp: each channel carries its own epoch (a rank
+    // writer's is always 0, but the wire stays self-describing).
+    const std::uint32_t epoch = cellpilot::epochs::current(ch->id);
+    frame_in_place(framed, sig, epoch);
     const simtime::SimTime leg_begin = ctx.mpi().clock().now();
     if (simtime::metrics::armed()) {
       cellpilot::metrics::LatencyLedger::global().push(ch->id, leg_begin);
     }
+    mpisim::reliable::set_send_epoch(epoch);
     ctx.mpi().send(framed.data(), framed.size(), rt.write_dest, rt.tag);
     cellpilot::trace::ChannelCounters::global().add_message(
         ch->id, framed.size() - sizeof(WireHeader));
@@ -1087,8 +1148,7 @@ void PI_Gather_(const char* file, int line, PI_BUNDLE* b, const char* fmt,
     }
     const simtime::SimTime leg_begin = ctx.mpi().clock().now();
     notify_block(ctx, ch->from, ch->id);
-    std::vector<std::byte> framed =
-        ctx.mpi().recv_any_size(rt.read_source, rt.tag);
+    std::vector<std::byte> framed = recv_channel_frame(ctx, *ch, rt);
     notify_unblock(ctx);
     const simtime::SimTime leg_end = ctx.mpi().clock().now();
     if (is_fault_frame(framed)) {
@@ -1428,6 +1488,8 @@ int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
   out->retransmits = s.retransmits;
   out->duplicates = s.duplicates;
   out->corrupt_detected = s.corrupt_detected;
+  out->respawns = s.respawns;
+  out->recovered_ops = s.recovered_ops;
   return 0;
 }
 

@@ -286,4 +286,17 @@ std::optional<PilotApp::ProcessFailure> PilotApp::process_failure(
   return it->second;
 }
 
+void PilotApp::register_respawn_seed(int process_id, RespawnSeed seed) {
+  std::lock_guard lock(seeds_mu_);
+  seeds_[process_id] = seed;  // latest launch recipe wins
+}
+
+std::optional<PilotApp::RespawnSeed> PilotApp::respawn_seed(
+    int process_id) const {
+  std::lock_guard lock(seeds_mu_);
+  const auto it = seeds_.find(process_id);
+  if (it == seeds_.end()) return std::nullopt;
+  return it->second;
+}
+
 }  // namespace pilot

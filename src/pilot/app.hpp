@@ -57,6 +57,12 @@ struct Options {
   /// waits this much virtual time past the crash stamp (detecting the
   /// missed heartbeat) before taking over from the journal.
   simtime::SimTime copilot_lease = simtime::us(200.0);
+  /// Supervised SPE respawn budget (-pirespawn=N / CELLPILOT_RESPAWN):
+  /// how many times Co-Pilot supervision may respawn a faulted SPE slot
+  /// before degrading to poison + PILF.  0 (the default) disarms
+  /// self-healing entirely — deaths take the historical path and no
+  /// replay journal is kept, so no-fault runs stay byte-identical.
+  int respawn_budget = 0;
 };
 
 /// Transport hooks for channels with at least one SPE endpoint.  Implemented
@@ -227,6 +233,25 @@ class PilotApp {
   /// The physical SPE the process last ran on, if it was ever spawned.
   std::optional<unsigned> last_spawn_flat(int process_id);
 
+  // --- supervised respawn (self-healing) ----------------------------------
+
+  /// Everything Co-Pilot supervision needs to relaunch a faulted process's
+  /// program into a fresh pooled context: registered by PI_RunSPE /
+  /// PI_SpawnSPE at launch time (latest bind wins), consulted only when a
+  /// fault arrives with `-pirespawn` armed.
+  struct RespawnSeed {
+    const cellsim::spe2::spe_program_handle_t* program = nullptr;
+    int arg = 0;
+    void* ptr = nullptr;
+    mpisim::Rank owner = -1;  ///< parent rank (owns the worker thread)
+  };
+
+  /// Records (or refreshes) the seed for a process.
+  void register_respawn_seed(int process_id, RespawnSeed seed);
+
+  /// The seed last registered for a process, if any.
+  std::optional<RespawnSeed> respawn_seed(int process_id) const;
+
   // --- process failure registry (Co-Pilot fault propagation) --------------
 
   /// A dead endpoint's epitaph, published by the Co-Pilot that owned it.
@@ -276,6 +301,9 @@ class PilotApp {
 
   mutable std::mutex failures_mu_;
   std::map<int, ProcessFailure> failures_;  // process id -> epitaph
+
+  mutable std::mutex seeds_mu_;
+  std::map<int, RespawnSeed> seeds_;  // process id -> launch recipe
 };
 
 }  // namespace pilot

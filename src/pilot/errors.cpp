@@ -16,6 +16,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kSpeFault: return "spe-fault";
     case ErrorCode::kSpeTimeout: return "spe-timeout";
     case ErrorCode::kCopilotFault: return "copilot-fault";
+    case ErrorCode::kSpeRestarted: return "spe-restarted";
   }
   return "?";
 }

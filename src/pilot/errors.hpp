@@ -28,6 +28,7 @@ enum class ErrorCode {
   kSpeFault,       ///< an SPE endpoint died of a hardware fault
   kSpeTimeout,     ///< an SPE request missed its Co-Pilot deadline
   kCopilotFault,   ///< the serving Co-Pilot crashed mid-request
+  kSpeRestarted,   ///< the peer SPE was respawned; this op was not replayable
 };
 
 /// Returns a stable name ("usage", "format", ...) for an ErrorCode.

@@ -40,6 +40,12 @@ inline constexpr pilot::ErrorCode PI_SPE_TIMEOUT =
 /// the standby throws PI_COPILOT_FAULT instead of hanging.
 inline constexpr pilot::ErrorCode PI_COPILOT_FAULT =
     pilot::ErrorCode::kCopilotFault;
+/// With `-pirespawn` armed, an op that was pending against an SPE
+/// incarnation that died and was respawned — and that the supervisor could
+/// not transparently replay against the new incarnation — settles with
+/// PI_SPE_RESTARTED (see docs/PROTOCOL.md "Self-healing & channel epochs").
+inline constexpr pilot::ErrorCode PI_SPE_RESTARTED =
+    pilot::ErrorCode::kSpeRestarted;
 
 /// Enters the configuration phase.  Parses and strips Pilot options from the
 /// command line (`-pisvc=d` enables deadlock detection).  Returns the number
@@ -201,10 +207,15 @@ typedef struct PI_CHANNEL_STATS {
   unsigned long long copilot_hops;   ///< Co-Pilot legs (relay/pair/deliver)
   unsigned long long retries;        ///< deadline extensions granted
   unsigned long long timeouts;       ///< requests completed PI_SPE_TIMEOUT
-  unsigned long long faults;         ///< channel poisonings by SPE death
+  /// Channel poisonings — unrecovered SPE deaths only.  A death absorbed
+  /// by a supervised respawn (`-pirespawn`) is counted in `respawns`, not
+  /// here: the channel kept flowing under a new writer epoch.
+  unsigned long long faults;
   unsigned long long retransmits;    ///< reliable-layer frame retransmissions
   unsigned long long duplicates;     ///< duplicate frames window-suppressed
   unsigned long long corrupt_detected;  ///< CRC-caught damaged frames
+  unsigned long long respawns;       ///< writer deaths absorbed by respawn
+  unsigned long long recovered_ops;  ///< ops replayed/deduped across respawns
 } PI_CHANNEL_STATS;
 
 /// Harvest-contract violation: a stats/metrics call was made before

@@ -171,10 +171,12 @@ void scatter(const ReadPlan& plan, std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> frame_message(std::uint32_t sig,
-                                     std::span<const std::byte> payload) {
+                                     std::span<const std::byte> payload,
+                                     std::uint32_t epoch) {
   WireHeader hdr;
   hdr.magic = kWireMagic;
   hdr.signature = sig;
+  hdr.epoch = epoch;
   hdr.payload_bytes = payload.size();
   std::vector<std::byte> out(sizeof(WireHeader) + payload.size());
   std::memcpy(out.data(), &hdr, sizeof hdr);
@@ -213,10 +215,18 @@ std::span<const std::byte> check_frame(std::span<const std::byte> message,
   return message.subspan(sizeof(WireHeader));
 }
 
+std::uint32_t frame_epoch(std::span<const std::byte> message) {
+  if (message.size() < sizeof(WireHeader)) return 0;
+  WireHeader hdr;
+  std::memcpy(&hdr, message.data(), sizeof hdr);
+  return hdr.epoch;
+}
+
 std::vector<std::byte> frame_fault(const FaultFrame& fault) {
   WireHeader hdr;
   hdr.magic = kWireFaultMagic;
   hdr.signature = fault.status;
+  hdr.epoch = fault.epoch;
   hdr.payload_bytes = sizeof(std::uint32_t) + fault.detail.size();
   std::vector<std::byte> out(sizeof(WireHeader) + hdr.payload_bytes);
   std::memcpy(out.data(), &hdr, sizeof hdr);
@@ -250,6 +260,7 @@ FaultFrame parse_fault_frame(std::span<const std::byte> message) {
   }
   FaultFrame fault;
   fault.status = hdr.signature;
+  fault.epoch = hdr.epoch;
   std::memcpy(&fault.fault_code, message.data() + sizeof hdr,
               sizeof fault.fault_code);
   const std::size_t detail_bytes =

@@ -27,9 +27,11 @@ namespace pilot {
 struct WireHeader {
   std::uint32_t magic = 0;      ///< kWireMagic
   std::uint32_t signature = 0;  ///< signature(resolved writer format)
+  std::uint32_t epoch = 0;      ///< writer incarnation (core/epoch.hpp)
+  std::uint32_t reserved = 0;   ///< keeps payload_bytes 8-byte aligned
   std::uint64_t payload_bytes = 0;
 };
-static_assert(sizeof(WireHeader) == 16);
+static_assert(sizeof(WireHeader) == 24);
 
 /// Magic value marking a Pilot channel message ("PILT").
 inline constexpr std::uint32_t kWireMagic = 0x50494C54;
@@ -73,8 +75,15 @@ void build_read_plan_into(const Format& fmt, va_list args, ReadPlan& plan);
 void scatter(const ReadPlan& plan, std::span<const std::byte> payload);
 
 /// Builds header + payload as one contiguous buffer (MPI-leg message).
+/// `epoch` is the writer's current incarnation on the channel (0 unless
+/// the writer has been respawned by Co-Pilot supervision).
 std::vector<std::byte> frame_message(std::uint32_t sig,
-                                     std::span<const std::byte> payload);
+                                     std::span<const std::byte> payload,
+                                     std::uint32_t epoch = 0);
+
+/// Reads the epoch field of any PILT/PILF message (0 for short buffers, so
+/// probing control traffic is safe).
+std::uint32_t frame_epoch(std::span<const std::byte> message);
 
 /// Validates an MPI-leg message against the reader's expectations and
 /// returns a view of its payload.  `where` names the channel for
@@ -91,10 +100,14 @@ inline constexpr std::uint32_t kWireFaultMagic = 0x50494C46;
 
 /// Payload of a fault frame.  `status` is the Co-Pilot completion code
 /// (kSpeFault / kSpeTimeout as std::uint32_t); `fault_code` is the
-/// cellsim::FaultCode; `detail` is a one-line human diagnostic.
+/// cellsim::FaultCode; `epoch` is the dying writer's incarnation (readers
+/// discard fault frames older than the channel's current epoch — a
+/// respawned writer supersedes its predecessor's death); `detail` is a
+/// one-line human diagnostic.
 struct FaultFrame {
   std::uint32_t status = 0;
   std::uint32_t fault_code = 0;
+  std::uint32_t epoch = 0;
   std::string detail;
 };
 

@@ -17,6 +17,7 @@ const char* kind_name(Kind kind) {
     case Kind::kRetransmitDelay: return "retransmit_delay";
     case Kind::kHandleWait: return "handle_wait";
     case Kind::kSpawnLatency: return "spawn_latency";
+    case Kind::kRespawnLatency: return "respawn_latency";
   }
   return "?";
 }

@@ -46,13 +46,15 @@ enum class Kind : std::uint8_t {
   kRetransmitDelay,    ///< reliable-transport ladder delay per send
   kHandleWait,         ///< PI_Wait / PI_WaitAny blocking time per handle
   kSpawnLatency,       ///< PI_SpawnSPE call -> SPE program start
+  kRespawnLatency,     ///< SPE death -> respawned occupant start (backoff
+                       ///< included), per supervised respawn
 };
 
 /// Stable lower-case token for a kind (used in report JSON and tests).
 const char* kind_name(Kind kind);
 
 /// Number of distinct kinds (for iteration in tests/tools).
-inline constexpr int kKindCount = static_cast<int>(Kind::kSpawnLatency) + 1;
+inline constexpr int kKindCount = static_cast<int>(Kind::kRespawnLatency) + 1;
 
 /// Log-linear (HDR-style) histogram over non-negative virtual-ns values.
 ///

@@ -36,6 +36,8 @@ const char* kind_name(Kind kind) {
     case Kind::kOpSubmit: return "op_submit";
     case Kind::kOpComplete: return "op_complete";
     case Kind::kSpeSpawn: return "spe_spawn";
+    case Kind::kSpeRespawn: return "spe_respawn";
+    case Kind::kEpochFlush: return "epoch_flush";
     case Kind::kSpeRetire: return "spe_retire";
     case Kind::kUser: return "user";
   }

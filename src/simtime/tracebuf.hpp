@@ -68,6 +68,8 @@ enum class Kind : std::uint8_t {
   kOpComplete,        ///< async operation harvested (PI_Wait/Test/WaitAny)
   kSpeSpawn,          ///< PI_SpawnSPE bound a program to an SPE slot
   kSpeRetire,         ///< a spawned SPE program finished; context returned
+  kSpeRespawn,        ///< supervision respawned a faulted SPE (aux = attempt)
+  kEpochFlush,        ///< stale-epoch traffic tombstoned after a respawn
   kUser,              ///< reserved for ad-hoc instrumentation
 };
 

@@ -73,10 +73,37 @@ TEST(WireGolden, DataFrameBytes) {
   const std::vector<std::byte> golden = bytes({
       0x54, 0x4C, 0x49, 0x50,                          // magic "PILT"
       0x97, 0x0F, 0x6F, 0x49,                          // signature("%d")
+      0x00, 0x00, 0x00, 0x00,                          // epoch = 0 (original)
+      0x00, 0x00, 0x00, 0x00,                          // reserved
       0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 4
       0x44, 0x33, 0x22, 0x11,                          // the int
   });
   EXPECT_EQ(frame_message(sig, payload), golden);
+  EXPECT_EQ(pilot::frame_epoch(golden), 0u);
+}
+
+TEST(WireGolden, RespawnedWriterDataFrameBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  // A writer on its third incarnation (respawned twice) stamps epoch 2;
+  // everything else is byte-identical to the epoch-0 frame, which is what
+  // keeps no-fault runs indistinguishable on the wire.
+  const Format fmt = parse_format("%d");
+  const std::uint32_t sig = signature(fmt);
+  const std::int32_t value = 0x11223344;
+  std::vector<std::byte> payload(sizeof value);
+  std::memcpy(payload.data(), &value, sizeof value);
+
+  const std::vector<std::byte> golden = bytes({
+      0x54, 0x4C, 0x49, 0x50,                          // magic "PILT"
+      0x97, 0x0F, 0x6F, 0x49,                          // signature("%d")
+      0x02, 0x00, 0x00, 0x00,                          // epoch = 2
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload_bytes = 4
+      0x44, 0x33, 0x22, 0x11,                          // the int
+  });
+  EXPECT_EQ(frame_message(sig, payload, /*epoch=*/2), golden);
+  EXPECT_EQ(pilot::frame_epoch(golden), 2u);
 }
 
 TEST(WireGolden, SpeFaultFrameBytes) {
@@ -85,11 +112,14 @@ TEST(WireGolden, SpeFaultFrameBytes) {
   FaultFrame fault;
   fault.status = static_cast<std::uint32_t>(CompletionStatus::kSpeFault);
   fault.fault_code = 2;
+  fault.epoch = 1;  // the dying writer was itself a first respawn
   fault.detail = "spe died";
 
   const std::vector<std::byte> golden = bytes({
       0x46, 0x4C, 0x49, 0x50,                          // magic "PILF"
       0x04, 0x00, 0x00, 0x00,                          // status = kSpeFault
+      0x01, 0x00, 0x00, 0x00,                          // epoch = 1
+      0x00, 0x00, 0x00, 0x00,                          // reserved
       0x0C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 8
       0x02, 0x00, 0x00, 0x00,                          // fault_code
       's', 'p', 'e', ' ', 'd', 'i', 'e', 'd',          // detail
@@ -101,6 +131,7 @@ TEST(WireGolden, SpeFaultFrameBytes) {
   const FaultFrame back = parse_fault_frame(golden);
   EXPECT_EQ(back.status, 4u);
   EXPECT_EQ(back.fault_code, 2u);
+  EXPECT_EQ(back.epoch, 1u);
   EXPECT_EQ(back.detail, "spe died");
 }
 
@@ -114,6 +145,8 @@ TEST(WireGolden, SpeTimeoutFrameBytes) {
   const std::vector<std::byte> golden = bytes({
       0x46, 0x4C, 0x49, 0x50,                          // magic "PILF"
       0x05, 0x00, 0x00, 0x00,                          // status = kSpeTimeout
+      0x00, 0x00, 0x00, 0x00,                          // epoch = 0
+      0x00, 0x00, 0x00, 0x00,                          // reserved
       0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 0
       0x00, 0x00, 0x00, 0x00,                          // fault_code
   });
@@ -122,6 +155,7 @@ TEST(WireGolden, SpeTimeoutFrameBytes) {
 
   const FaultFrame back = parse_fault_frame(golden);
   EXPECT_EQ(back.status, 5u);
+  EXPECT_EQ(back.epoch, 0u);
   EXPECT_TRUE(back.detail.empty());
 }
 
