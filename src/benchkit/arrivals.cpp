@@ -1,0 +1,66 @@
+#include "benchkit/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace benchkit::arrivals {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+PoissonStream::PoissonStream(std::uint64_t seed, double rate_per_sec)
+    : state_(seed), rate_per_sec_(rate_per_sec) {
+  if (!(rate_per_sec > 0.0)) {
+    throw std::invalid_argument("PoissonStream: rate must be positive");
+  }
+  mean_ns_ = 1e9 / rate_per_sec;
+  // Warm the state once so seeds 0 and 1 don't share a near-identical
+  // first output (splitmix64's first step is weak for tiny seeds).
+  (void)splitmix64(state_);
+}
+
+simtime::SimTime PoissonStream::next_gap() {
+  // 53 uniform bits -> u in (0, 1]; -ln(u) * mean is the inverse-CDF
+  // exponential draw.  u == 0 is excluded by construction (we add 1 before
+  // scaling), so log() never sees zero.
+  const std::uint64_t bits = splitmix64(state_) >> 11;
+  const double u =
+      (static_cast<double>(bits) + 1.0) / 9007199254740993.0;  // 2^53 + 1
+  const double gap_ns = -std::log(u) * mean_ns_;
+  const auto gap = static_cast<simtime::SimTime>(std::llround(gap_ns));
+  return gap < 1 ? 1 : gap;
+}
+
+std::vector<Arrival> merge_schedule(std::uint64_t seed,
+                                    const std::vector<double>& rates_per_sec,
+                                    simtime::SimTime horizon) {
+  std::vector<Arrival> schedule;
+  for (std::size_t c = 0; c < rates_per_sec.size(); ++c) {
+    if (!(rates_per_sec[c] > 0.0)) continue;
+    // Per-class seed: run the class index through the generator so class
+    // streams are unrelated, not shifted copies of one another.
+    std::uint64_t mix = seed;
+    (void)splitmix64(mix);
+    mix ^= 0xC1A55ull * (c + 1);
+    PoissonStream stream(splitmix64(mix), rates_per_sec[c]);
+    simtime::SimTime t = 0;
+    for (;;) {
+      t += stream.next_gap();
+      if (t > horizon) break;
+      schedule.push_back({t, static_cast<int>(c)});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.at != b.at ? a.at < b.at : a.cls < b.cls;
+            });
+  return schedule;
+}
+
+}  // namespace benchkit::arrivals

@@ -1,0 +1,65 @@
+// arrivals.hpp — seeded open-loop arrival processes in virtual time.
+//
+// The load generator (bench/loadgen) is *open-loop*: request arrival
+// instants are drawn up front from a Poisson process and do not depend on
+// how fast the system under test completes them — the defining property
+// that lets a latency-under-load sweep find the saturation knee instead of
+// the generator politely slowing down with the system (the closed-loop
+// "coordinated omission" failure mode).
+//
+// Everything here is deterministic per seed: the exponential interarrival
+// gaps come from a splitmix64 stream through the inverse CDF, expressed in
+// integer virtual nanoseconds.  No wall-clock randomness, no global state —
+// two runs at the same seed produce byte-identical schedules, which is what
+// makes BENCH_loadgen.json reproducible and slogate's baselines meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+
+namespace benchkit::arrivals {
+
+/// The splitmix64 step (public domain; same generator the chaos sweep
+/// uses).  Advances `state` and returns the next 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// One seeded Poisson arrival stream: successive next_gap() calls return
+/// exponentially distributed interarrival times with mean 1/rate, rounded
+/// to integer virtual nanoseconds (minimum 1 ns so arrivals never tie into
+/// a zero-length gap).
+class PoissonStream {
+ public:
+  /// `rate_per_sec` is the offered arrival rate in events per *virtual*
+  /// second; it must be positive.
+  PoissonStream(std::uint64_t seed, double rate_per_sec);
+
+  /// Next interarrival gap (>= 1 ns).
+  simtime::SimTime next_gap();
+
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  std::uint64_t state_;
+  double rate_per_sec_;
+  double mean_ns_;
+};
+
+/// One scheduled arrival of the merged timeline.
+struct Arrival {
+  simtime::SimTime at = 0;  ///< virtual instant, relative to stream start
+  int cls = 0;              ///< index into the rates[] the schedule was built from
+};
+
+/// Builds the merged open-loop schedule for several request classes: each
+/// class c draws its own PoissonStream (seeded from `seed` and c, so
+/// distinct classes and distinct seeds give unrelated streams) at
+/// rates_per_sec[c] until `horizon`, and the per-class timelines are
+/// merged into one list ordered by (time, class).  A class with rate <= 0
+/// contributes no arrivals.
+std::vector<Arrival> merge_schedule(std::uint64_t seed,
+                                    const std::vector<double>& rates_per_sec,
+                                    simtime::SimTime horizon);
+
+}  // namespace benchkit::arrivals

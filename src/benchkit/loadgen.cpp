@@ -1,0 +1,764 @@
+#include "benchkit/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "benchkit/arrivals.hpp"
+#include "benchkit/pingpong.hpp"
+#include "cellsim/spu.hpp"
+#include "core/cellpilot.hpp"
+#include "core/copilot.hpp"
+#include "core/metrics.hpp"
+#include "pilot/context.hpp"
+#include "pilot/errors.hpp"
+
+namespace benchkit::loadgen {
+
+namespace {
+
+using arrivals::PoissonStream;
+using arrivals::splitmix64;
+
+// Topology bounds for the fixed-size config tables below.  Every rank
+// executes the configuration phase (SPMD), so config state must be plain
+// arrays written with idempotent same-value stores — never containers
+// mutated concurrently (the scaling_farm / chaos_sweep idiom).
+constexpr int kMaxBlades = 8;
+constexpr int kMaxSinks = 8;
+constexpr int kMaxPairs = kMaxBlades;  // 1 local + one per remote blade
+
+constexpr int kBurstDoubles = 32;  // halo-style async payload (256 B)
+constexpr int kRespDoubles = 64;   // read-class response payload (512 B)
+constexpr int kPairDoubles = 32;   // SPE<->SPE halo payload (256 B)
+
+/// Master-driven schedule classes (indices into merge_schedule rates).
+enum MasterClass { kMSync = 0, kMBurst = 1, kMRead = 2, kMasterClasses = 3 };
+
+/// Degraded-window tail: latency stays elevated while the backlog built
+/// up during a failover/respawn drains, so the window extends past the
+/// supervision layer's last recovery stamp.
+constexpr simtime::SimTime kDegradeGrace = simtime::ms(3);
+
+const char* kClassNames[kClassCount] = {"sync_write", "async_burst", "read",
+                                        "spe_local", "spe_remote"};
+const int kClassRoute[kClassCount] = {2, 3, 1, 4, 5};
+
+// --- the job ---------------------------------------------------------------
+
+/// Per-run parameters, set by run_point before cellpilot::run (read-only
+/// to every rank/SPE thread afterwards).
+const Config* g_cfg = nullptr;
+double g_load_rps = 0;
+std::uint64_t g_point_seed = 0;
+
+/// Config-phase tables (same-value stores from every rank).
+PI_PROCESS* g_parent[kMaxBlades];
+PI_PROCESS* g_sync_spe[kMaxSinks];
+PI_CHANNEL* g_sync_ch[kMaxSinks];
+PI_PROCESS* g_burst_spe[kMaxSinks];
+PI_CHANNEL* g_burst_ch[kMaxSinks];
+PI_CHANNEL* g_trig = nullptr;
+PI_CHANNEL* g_resp = nullptr;
+PI_PROCESS* g_pair_writer[kMaxPairs];
+PI_PROCESS* g_pair_reader[kMaxPairs];
+PI_CHANNEL* g_pair_ch[kMaxPairs];
+
+/// Pair writer schedules: written by the master between PI_StartAll and
+/// PI_RunSPE of the writers, read by the writer SPE threads after launch.
+std::vector<simtime::SimTime> g_pair_schedule[kMaxPairs];
+
+/// Pair reader progress (SPE threads write, master reads after quiesce).
+std::atomic<std::uint64_t> g_pair_reads[kMaxPairs];
+std::atomic<simtime::SimTime> g_pair_last[kMaxPairs];
+std::atomic<simtime::SimTime> g_pair_t0[kMaxPairs];
+
+/// Master-side results, written only by the PI_MAIN thread.
+struct MasterState {
+  std::vector<Sample> samples[kMasterClasses];
+  std::uint64_t completed[kMasterClasses] = {};
+  std::uint64_t errors[kMasterClasses] = {};
+  simtime::SimTime t0 = 0;
+  simtime::SimTime last_complete[kMasterClasses] = {};
+  // Post-quiesce harvest.
+  PI_METRICS_SNAPSHOT snapshot = {};
+  int snapshot_rc = -1;
+};
+MasterState g_master;
+
+int blades() { return std::min(g_cfg->blades, kMaxBlades); }
+int nsync() { return std::min(g_cfg->sinks_per_class, kMaxSinks); }
+int nburst() { return std::min(g_cfg->sinks_per_class, kMaxSinks); }
+int npairs() { return 1 + (blades() - 1); }
+
+/// Blade hosting burst sink `i` (spread round-robin over remote blades).
+int burst_blade(int i) { return 1 + i % (blades() - 1); }
+
+/// Per-class offered message rates for this point.
+double class_rate(int cls) {
+  double total_weight = 0;
+  for (const auto& c : g_cfg->cls) total_weight += c.weight;
+  return g_load_rps * g_cfg->cls[cls].weight / total_weight;
+}
+
+bool usage_error(const pilot::PilotError& e) {
+  return e.code() == pilot::ErrorCode::kUsage;
+}
+
+// --- SPE programs and rank bodies -----------------------------------------
+
+/// Sync sink: drains control ints, spending sink_service per message.  A
+/// negative value is the sentinel.
+PI_SPE_PROGRAM_SIZED(lg_sync_sink, 2048) {
+  const int id = arg1;
+  (void)arg2;
+  try {
+    for (;;) {
+      int v = 0;
+      PI_Read(g_sync_ch[id], "%d", &v);
+      if (v < 0) return 0;
+      cellsim::spu::self().clock().advance(g_cfg->sink_service);
+    }
+  } catch (const pilot::PilotError&) {
+    // A poisoned channel or a peer failure ends the sink quietly; the
+    // master counts the error on its side.
+  }
+  return 0;
+}
+
+/// Burst sink: drains halo-style double arrays; values[0] < 0 is the
+/// sentinel.
+PI_SPE_PROGRAM_SIZED(lg_burst_sink, 2048) {
+  const int id = arg1;
+  (void)arg2;
+  try {
+    for (;;) {
+      double values[kBurstDoubles] = {};
+      PI_Read(g_burst_ch[id], "%*lf", kBurstDoubles, values);
+      if (values[0] < 0) return 0;
+      cellsim::spu::self().clock().advance(g_cfg->sink_service);
+    }
+  } catch (const pilot::PilotError&) {
+  }
+  return 0;
+}
+
+/// Self-paced pair writer: walks its precomputed Poisson schedule in its
+/// own virtual clock, then sends the sentinel.
+PI_SPE_PROGRAM_SIZED(lg_pair_writer, 2048) {
+  const int id = arg1;
+  (void)arg2;
+  simtime::VirtualClock& clock = cellsim::spu::self().clock();
+  const simtime::SimTime t0 = clock.now();
+  g_pair_t0[id].store(t0, std::memory_order_release);
+  double values[kPairDoubles] = {};
+  try {
+    const auto& schedule = g_pair_schedule[id];
+    for (std::size_t k = 0; k < schedule.size(); ++k) {
+      const simtime::SimTime target = t0 + schedule[k];
+      if (clock.now() < target) clock.advance(target - clock.now());
+      values[0] = static_cast<double>(k);
+      PI_Write(g_pair_ch[id], "%*lf", kPairDoubles, values);
+    }
+    values[0] = -1.0;
+    PI_Write(g_pair_ch[id], "%*lf", kPairDoubles, values);
+  } catch (const pilot::PilotError&) {
+    // Best-effort sentinel so a healthy reader does not wait forever on a
+    // writer that absorbed a fault.
+    try {
+      values[0] = -1.0;
+      PI_Write(g_pair_ch[id], "%*lf", kPairDoubles, values);
+    } catch (const pilot::PilotError&) {
+    }
+  }
+  return 0;
+}
+
+/// Pair reader: drains the halo stream, spending pair_service per message
+/// and publishing its progress for the master's throughput line.
+PI_SPE_PROGRAM_SIZED(lg_pair_reader, 2048) {
+  const int id = arg1;
+  (void)arg2;
+  simtime::VirtualClock& clock = cellsim::spu::self().clock();
+  try {
+    for (;;) {
+      double values[kPairDoubles] = {};
+      PI_Read(g_pair_ch[id], "%*lf", kPairDoubles, values);
+      if (values[0] < 0) return 0;
+      clock.advance(g_cfg->pair_service);
+      g_pair_reads[id].fetch_add(1, std::memory_order_relaxed);
+      g_pair_last[id].store(clock.now(), std::memory_order_release);
+    }
+  } catch (const pilot::PilotError&) {
+  }
+  return 0;
+}
+
+/// Per-blade parent rank: launches the blade's SPEs, then (blade 1 only)
+/// serves the read class — a serial request/response loop, the modelled
+/// "storage node" the read-dominated traffic hammers.
+int lg_parent_body(int blade, void* /*arg*/) {
+  for (int i = 0; i < nburst(); ++i) {
+    if (burst_blade(i) == blade) PI_RunSPE(g_burst_spe[i], i, nullptr);
+  }
+  const int pair = blade;  // remote pair `b` reads on blade b
+  if (pair >= 1 && pair < npairs()) {
+    PI_RunSPE(g_pair_reader[pair], pair, nullptr);
+  }
+  if (blade != 1) return 0;
+  simtime::VirtualClock& clock = pilot::context().mpi().clock();
+  try {
+    for (;;) {
+      int q = 0;
+      PI_Read(g_trig, "%d", &q);
+      if (q < 0) return 0;
+      clock.advance(g_cfg->responder_service);
+      double values[kRespDoubles];
+      for (int i = 0; i < kRespDoubles; ++i) {
+        values[i] = q + 0.5 * i;
+      }
+      PI_Write(g_resp, "%*lf", kRespDoubles, values);
+    }
+  } catch (const pilot::PilotError&) {
+  }
+  return 0;
+}
+
+// --- the master's open-loop engine ----------------------------------------
+
+void record_completion(int mcls, simtime::SimTime target,
+                       simtime::VirtualClock& clock) {
+  const simtime::SimTime now = clock.now();
+  g_master.samples[mcls].push_back({now, now - target});
+  ++g_master.completed[mcls];
+  g_master.last_complete[mcls] = now;
+}
+
+/// One in-flight read-class request.
+struct PendingRead {
+  PI_HANDLE handle = nullptr;
+  simtime::SimTime target = 0;
+  int slot = 0;
+};
+
+int lg_main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+  const int nblades = blades();
+
+  // Configuration phase: every rank executes this identically (the
+  // get-or-create tables require the same creation sequence everywhere).
+  for (int b = 1; b < nblades; ++b) {
+    g_parent[b] = PI_CreateProcess(lg_parent_body, b, nullptr);
+  }
+  int main_spe_index = 0;
+  int blade_spe_index[kMaxBlades] = {};
+  for (int i = 0; i < nsync(); ++i) {
+    g_sync_spe[i] = PI_CreateSPE(lg_sync_sink, PI_MAIN, main_spe_index++);
+    g_sync_ch[i] = PI_CreateChannel(PI_MAIN, g_sync_spe[i]);
+  }
+  for (int i = 0; i < nburst(); ++i) {
+    const int b = burst_blade(i);
+    g_burst_spe[i] =
+        PI_CreateSPE(lg_burst_sink, g_parent[b], blade_spe_index[b]++);
+    g_burst_ch[i] = PI_CreateChannel(PI_MAIN, g_burst_spe[i]);
+  }
+  g_trig = PI_CreateChannel(PI_MAIN, g_parent[1]);
+  g_resp = PI_CreateChannel(g_parent[1], PI_MAIN);
+  for (int p = 0; p < npairs(); ++p) {
+    g_pair_writer[p] =
+        PI_CreateSPE(lg_pair_writer, PI_MAIN, main_spe_index++);
+    if (p == 0) {
+      g_pair_reader[p] =
+          PI_CreateSPE(lg_pair_reader, PI_MAIN, main_spe_index++);
+    } else {
+      g_pair_reader[p] =
+          PI_CreateSPE(lg_pair_reader, g_parent[p], blade_spe_index[p]++);
+    }
+    g_pair_ch[p] = PI_CreateChannel(g_pair_writer[p], g_pair_reader[p]);
+  }
+
+  PI_StartAll();
+  // Only PI_MAIN gets here.
+  simtime::VirtualClock& clock = pilot::context().mpi().clock();
+
+  // Pair schedules, before the writers launch.
+  for (int p = 0; p < npairs(); ++p) {
+    const int cls = p == 0 ? static_cast<int>(Class::kSpeLocal)
+                           : static_cast<int>(Class::kSpeRemote);
+    const int share =
+        p == 0 ? 1 : npairs() - 1;  // remote pairs split their class rate
+    std::uint64_t mix = g_point_seed ^ (0x9A17ull * (p + 1));
+    PoissonStream stream(splitmix64(mix), class_rate(cls) / share);
+    g_pair_schedule[p].clear();
+    simtime::SimTime t = 0;
+    for (;;) {
+      t += stream.next_gap();
+      if (t > g_cfg->horizon) break;
+      g_pair_schedule[p].push_back(t);
+    }
+    g_pair_reads[p].store(0, std::memory_order_relaxed);
+    g_pair_last[p].store(0, std::memory_order_relaxed);
+    g_pair_t0[p].store(0, std::memory_order_relaxed);
+  }
+
+  for (int i = 0; i < nsync(); ++i) PI_RunSPE(g_sync_spe[i], i, nullptr);
+  for (int p = 0; p < npairs(); ++p) {
+    PI_RunSPE(g_pair_writer[p], p, nullptr);
+    if (p == 0) PI_RunSPE(g_pair_reader[p], p, nullptr);
+  }
+
+  // The master's merged open-loop schedule: sync and read arrivals are one
+  // message each, a burst arrival expands into burst_size writes.
+  const std::vector<double> master_rates = {
+      class_rate(static_cast<int>(Class::kSyncWrite)),
+      class_rate(static_cast<int>(Class::kAsyncBurst)) / g_cfg->burst_size,
+      class_rate(static_cast<int>(Class::kRead)),
+  };
+  const std::vector<arrivals::Arrival> schedule =
+      arrivals::merge_schedule(g_point_seed, master_rates, g_cfg->horizon);
+
+  const simtime::SimTime t0 = clock.now();
+  g_master.t0 = t0;
+  for (int m = 0; m < kMasterClasses; ++m) {
+    g_master.samples[m].reserve(schedule.size());
+    g_master.last_complete[m] = t0;
+  }
+
+  bool sync_dead[kMaxSinks] = {};
+  bool burst_dead[kMaxSinks] = {};
+  bool read_dead = false;
+  int sync_rr = 0;
+  int burst_rr = 0;
+  int read_seq = 0;
+  int sync_seq = 0;
+
+  std::deque<PendingRead> pending_reads;
+  std::deque<int> free_slots;
+  std::vector<std::vector<double>> read_slots(
+      static_cast<std::size_t>(g_cfg->read_window));
+  for (int s = 0; s < g_cfg->read_window; ++s) {
+    read_slots[static_cast<std::size_t>(s)].assign(kRespDoubles, 0.0);
+    free_slots.push_back(s);
+  }
+
+  const auto harvest_oldest_read = [&] {
+    PendingRead req = pending_reads.front();
+    pending_reads.pop_front();
+    try {
+      PI_Wait(req.handle);
+      record_completion(kMRead, req.target, clock);
+    } catch (const pilot::PilotError&) {
+      ++g_master.errors[kMRead];
+    }
+    free_slots.push_back(req.slot);
+  };
+
+  for (const auto& a : schedule) {
+    const simtime::SimTime target = t0 + a.at;
+    if (clock.now() < target) clock.advance(target - clock.now());
+    switch (a.cls) {
+      case kMSync: {
+        // Skip sinks whose channel a fault poisoned; if every sink is
+        // gone, the arrival itself is the error.
+        int tries = 0;
+        for (; tries < nsync() && sync_dead[sync_rr % nsync()]; ++tries) {
+          ++sync_rr;
+        }
+        if (tries == nsync()) {
+          ++g_master.errors[kMSync];
+          break;
+        }
+        const int i = sync_rr++ % nsync();
+        try {
+          PI_Write(g_sync_ch[i], "%d", sync_seq++);
+          record_completion(kMSync, target, clock);
+        } catch (const pilot::PilotError&) {
+          sync_dead[i] = true;
+          ++g_master.errors[kMSync];
+        }
+        break;
+      }
+      case kMBurst: {
+        int tries = 0;
+        for (; tries < nburst() && burst_dead[burst_rr % nburst()];
+             ++tries) {
+          ++burst_rr;
+        }
+        if (tries == nburst()) {
+          g_master.errors[kMBurst] +=
+              static_cast<std::uint64_t>(g_cfg->burst_size);
+          break;
+        }
+        const int i = burst_rr++ % nburst();
+        std::vector<PI_HANDLE> handles;
+        handles.reserve(static_cast<std::size_t>(g_cfg->burst_size));
+        try {
+          double values[kBurstDoubles] = {};
+          for (int k = 0; k < g_cfg->burst_size; ++k) {
+            values[0] = static_cast<double>(k);
+            handles.push_back(
+                PI_WriteAsync(g_burst_ch[i], "%*lf", kBurstDoubles, values));
+          }
+          // Rank-side writes settle at submission, so PI_WaitAny harvests
+          // deterministically (lowest settled index first).
+          while (!handles.empty()) {
+            const int done = PI_WaitAny(
+                handles.data(), static_cast<int>(handles.size()));
+            handles.erase(handles.begin() + done);
+            record_completion(kMBurst, target, clock);
+          }
+        } catch (const pilot::PilotError& e) {
+          // The faulted op was harvested by the throwing PI_WaitAny; the
+          // rest of the burst is retired one by one (an already-released
+          // handle answers with a usage error, which identifies it).
+          if (!usage_error(e)) {
+            burst_dead[i] = true;
+            ++g_master.errors[kMBurst];
+          }
+          for (PI_HANDLE h : handles) {
+            try {
+              PI_Wait(h);
+              record_completion(kMBurst, target, clock);
+            } catch (const pilot::PilotError& e2) {
+              if (!usage_error(e2)) ++g_master.errors[kMBurst];
+            }
+          }
+        }
+        break;
+      }
+      case kMRead: {
+        if (read_dead) {
+          ++g_master.errors[kMRead];
+          break;
+        }
+        try {
+          PI_HANDLE wh = PI_WriteAsync(g_trig, "%d", read_seq++);
+          PI_Wait(wh);  // settles at submission
+          const int slot = free_slots.front();
+          free_slots.pop_front();
+          PI_HANDLE rh =
+              PI_ReadAsync(g_resp, "%*lf", kRespDoubles,
+                           read_slots[static_cast<std::size_t>(slot)].data());
+          pending_reads.push_back({rh, target, slot});
+        } catch (const pilot::PilotError&) {
+          read_dead = true;
+          ++g_master.errors[kMRead];
+        }
+        // FIFO harvest keeps the master read-dominated but never more
+        // than read_window requests deep.
+        while (static_cast<int>(pending_reads.size()) >=
+               g_cfg->read_window) {
+          harvest_oldest_read();
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // Drain the read pipeline, then stop every consumer.
+  while (!pending_reads.empty()) harvest_oldest_read();
+  for (int i = 0; i < nsync(); ++i) {
+    try {
+      PI_Write(g_sync_ch[i], "%d", -1);
+    } catch (const pilot::PilotError&) {
+    }
+  }
+  for (int i = 0; i < nburst(); ++i) {
+    try {
+      double values[kBurstDoubles] = {};
+      values[0] = -1.0;
+      PI_Write(g_burst_ch[i], "%*lf", kBurstDoubles, values);
+    } catch (const pilot::PilotError&) {
+    }
+  }
+  try {
+    PI_Write(g_trig, "%d", -1);
+  } catch (const pilot::PilotError&) {
+  }
+
+  PI_StopMain(0);
+  // Quiesced: the snapshot now covers every message of the point.
+  g_master.snapshot_rc = PI_GetMetricsSnapshot(&g_master.snapshot);
+  return 0;
+}
+
+// --- pure aggregation ------------------------------------------------------
+
+simtime::SimTime sample_p99(std::vector<simtime::SimTime> v) {
+  return benchkit::summarize_samples(std::move(v)).p99;
+}
+
+bool class_point_ok(const ClassPointResult& c, double slo_p99_us) {
+  return c.route.count > 0 && c.route.p99_us <= slo_p99_us &&
+         c.achieved_rps >= 0.95 * c.offered_rps;
+}
+
+double safe_rate(std::uint64_t count, simtime::SimTime span) {
+  if (span <= 0) return 0;
+  return static_cast<double>(count) / (simtime::to_us(span) * 1e-6);
+}
+
+RouteStats route_stats(const PI_METRIC_STAT& s) {
+  RouteStats r;
+  r.count = s.count;
+  r.p50_us = simtime::to_us(s.p50_ns);
+  r.p99_us = simtime::to_us(s.p99_ns);
+  r.max_us = simtime::to_us(s.max_ns);
+  return r;
+}
+
+}  // namespace
+
+const char* class_name(int cls) { return kClassNames[cls]; }
+int class_route_type(int cls) { return kClassRoute[cls]; }
+
+void Config::finalize() {
+  // Default SLOs: generous enough that the unsaturated half of the sweep
+  // passes, tight enough that the saturated tail fails.  Calibrated
+  // against the default topology (seed-1 p99 at the 12k point: sync 492,
+  // burst 1573, read 127, spe_local 229, spe_remote 1278 us); sweeps with
+  // different service costs should set their own.
+  const double defaults[kClassCount] = {800, 2000, 400, 600, 2500};
+  for (int c = 0; c < kClassCount; ++c) {
+    if (cls[c].slo_p99_us <= 0) cls[c].slo_p99_us = defaults[c];
+  }
+  if (blades < 2) blades = 2;
+  if (blades > kMaxBlades) blades = kMaxBlades;
+  if (sinks_per_class < 1) sinks_per_class = 1;
+  if (sinks_per_class > kMaxSinks) sinks_per_class = kMaxSinks;
+  if (burst_size < 1) burst_size = 1;
+  if (read_window < 1) read_window = 1;
+}
+
+WindowSplit split_window(const std::vector<Sample>& samples,
+                         simtime::SimTime begin, simtime::SimTime end) {
+  WindowSplit out;
+  std::vector<simtime::SimTime> steady;
+  std::vector<simtime::SimTime> degraded;
+  const bool have_window = !(begin == 0 && end == 0);
+  for (const Sample& s : samples) {
+    if (have_window && s.completed_at >= begin && s.completed_at <= end) {
+      degraded.push_back(s.sojourn);
+    } else {
+      steady.push_back(s.sojourn);
+    }
+  }
+  out.steady_count = steady.size();
+  out.degraded_count = degraded.size();
+  out.steady_p99 = sample_p99(std::move(steady));
+  out.degraded_p99 = sample_p99(std::move(degraded));
+  return out;
+}
+
+double capacity_rps(const std::vector<PointResult>& points, int cls,
+                    double slo_p99_us, double min_goodput) {
+  double best = 0;
+  for (const PointResult& p : points) {
+    if (p.aborted) continue;
+    const ClassPointResult& c = p.cls[cls];
+    const bool ok = c.route.count > 0 && c.route.p99_us <= slo_p99_us &&
+                    c.achieved_rps >= min_goodput * c.offered_rps;
+    if (ok && p.load_rps > best) best = p.load_rps;
+  }
+  return best;
+}
+
+PointResult run_point(const Config& config, double load_rps) {
+  Config cfg = config;
+  cfg.finalize();
+  g_cfg = &cfg;
+  g_load_rps = load_rps;
+  // Point seed: mix the run seed with the offered load so neighbouring
+  // sweep points draw unrelated arrival streams.
+  std::uint64_t mix = cfg.seed;
+  (void)splitmix64(mix);
+  mix ^= static_cast<std::uint64_t>(std::llround(load_rps));
+  g_point_seed = splitmix64(mix);
+
+  g_master = MasterState{};
+  cellpilot::supervision::reset_counters();
+
+  cluster::ClusterConfig cluster_cfg;
+  for (int b = 0; b < cfg.blades; ++b) {
+    cluster_cfg.nodes.push_back(cluster::NodeSpec::cell(1));
+  }
+  cluster::Cluster machine(std::move(cluster_cfg));
+
+  cellpilot::RunOptions opts;
+  if (!cfg.chaos_spec.empty()) {
+    opts.args.push_back("-pifault=" + cfg.chaos_spec);
+  }
+  if (cfg.respawn_budget > 0) {
+    opts.args.push_back("-pirespawn=" + std::to_string(cfg.respawn_budget));
+  }
+
+  cellpilot::metrics::ScopedMetricsCapture capture;
+  const cellpilot::RunResult run = cellpilot::run(machine, lg_main, opts);
+
+  PointResult out;
+  out.load_rps = load_rps;
+  out.aborted = run.aborted;
+  out.abort_reason = run.abort_reason;
+  out.failovers = cellpilot::supervision::failover_count();
+  out.respawns = cellpilot::supervision::respawn_count();
+  out.recovered_ops = cellpilot::supervision::recovered_op_count();
+  if (run.aborted) {
+    g_cfg = nullptr;
+    return out;
+  }
+
+  // The degraded window comes from the supervision layer's virtual-time
+  // recovery span: the backlog built up during recovery drains for a while
+  // after the last respawn/failover completes, hence the grace tail.
+  if (cellpilot::supervision::recovery_end() > 0) {
+    out.degraded_begin = cellpilot::supervision::recovery_begin();
+    out.degraded_end = cellpilot::supervision::recovery_end() + kDegradeGrace;
+  }
+
+  const double horizon_sec = simtime::to_us(cfg.horizon) * 1e-6;
+  const int master_of_class[kClassCount] = {kMSync, kMBurst, kMRead, -1, -1};
+  for (int c = 0; c < kClassCount; ++c) {
+    ClassPointResult& r = out.cls[c];
+    const int route = class_route_type(c);
+    if (g_master.snapshot_rc == 0) {
+      r.route = route_stats(g_master.snapshot.msg_latency[route]);
+    }
+    const int m = master_of_class[c];
+    if (m >= 0) {
+      r.completed = g_master.completed[m];
+      r.errors = g_master.errors[m];
+      r.offered_msgs = r.completed + r.errors;
+      r.achieved_rps =
+          safe_rate(r.completed, g_master.last_complete[m] - g_master.t0);
+      std::vector<simtime::SimTime> sojourns;
+      sojourns.reserve(g_master.samples[m].size());
+      for (const Sample& s : g_master.samples[m]) {
+        sojourns.push_back(s.sojourn);
+      }
+      r.sojourn_p99_us = simtime::to_us(sample_p99(std::move(sojourns)));
+      const WindowSplit split = split_window(
+          g_master.samples[m], out.degraded_begin, out.degraded_end);
+      r.steady_p99_us = simtime::to_us(split.steady_p99);
+      r.degraded_p99_us = simtime::to_us(split.degraded_p99);
+      r.degraded_samples = split.degraded_count;
+    } else {
+      // Self-paced SPE pairs: offered is the schedule, completion comes
+      // from the reader-side counters.
+      const bool local = c == static_cast<int>(Class::kSpeLocal);
+      std::uint64_t offered = 0;
+      std::uint64_t completed = 0;
+      simtime::SimTime first_t0 = 0;
+      simtime::SimTime last = 0;
+      const int nblades = cfg.blades;
+      for (int p = 0; p < 1 + (nblades - 1); ++p) {
+        const bool p_local = p == 0;
+        if (p_local != local) continue;
+        offered += g_pair_schedule[p].size();
+        completed += g_pair_reads[p].load(std::memory_order_acquire);
+        const simtime::SimTime t0 =
+            g_pair_t0[p].load(std::memory_order_acquire);
+        if (first_t0 == 0 || (t0 != 0 && t0 < first_t0)) first_t0 = t0;
+        last = std::max(last, g_pair_last[p].load(std::memory_order_acquire));
+      }
+      r.offered_msgs = offered;
+      r.completed = completed;
+      r.errors = offered - std::min(offered, completed);
+      r.achieved_rps = safe_rate(completed, last - first_t0);
+    }
+    r.offered_rps = static_cast<double>(r.offered_msgs) / horizon_sec;
+    r.slo_ok = class_point_ok(r, cfg.cls[c].slo_p99_us);
+  }
+  std::memcpy(&out.snapshot, &g_master.snapshot, sizeof out.snapshot);
+  out.snapshot_rc = g_master.snapshot_rc;
+  g_cfg = nullptr;
+  return out;
+}
+
+SweepResult run_sweep(const Config& config) {
+  Config cfg = config;
+  cfg.finalize();
+  SweepResult sweep;
+  for (const double load : cfg.load_points_rps) {
+    sweep.points.push_back(run_point(cfg, load));
+  }
+  for (int c = 0; c < kClassCount; ++c) {
+    sweep.capacity_rps[c] =
+        capacity_rps(sweep.points, c, cfg.cls[c].slo_p99_us);
+  }
+  return sweep;
+}
+
+benchkit::BenchJson to_bench_json(const Config& config,
+                                  const SweepResult& sweep) {
+  Config cfg = config;
+  cfg.finalize();
+  benchkit::BenchJson json("loadgen");
+  json.meta("seed", static_cast<std::int64_t>(cfg.seed));
+  json.meta("blades", static_cast<std::int64_t>(cfg.blades));
+  json.meta("sinks_per_class", static_cast<std::int64_t>(cfg.sinks_per_class));
+  json.meta("horizon_ms", simtime::to_ms(cfg.horizon));
+  json.meta("burst_size", static_cast<std::int64_t>(cfg.burst_size));
+  json.meta("read_window", static_cast<std::int64_t>(cfg.read_window));
+  json.meta("chaos", cfg.chaos_spec);
+  json.meta("respawn_budget", static_cast<std::int64_t>(cfg.respawn_budget));
+  std::uint64_t failovers = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t recovered = 0;
+  for (const PointResult& p : sweep.points) {
+    failovers += p.failovers;
+    respawns += p.respawns;
+    recovered += p.recovered_ops;
+  }
+  json.meta("failovers", static_cast<std::int64_t>(failovers));
+  json.meta("respawns", static_cast<std::int64_t>(respawns));
+  json.meta("recovered_ops", static_cast<std::int64_t>(recovered));
+  for (int c = 0; c < kClassCount; ++c) {
+    json.meta(std::string("slo_") + class_name(c) + "_p99_us",
+              cfg.cls[c].slo_p99_us);
+  }
+  for (int c = 0; c < kClassCount; ++c) {
+    json.meta(std::string("capacity_") + class_name(c) + "_rps",
+              sweep.capacity_rps[c]);
+  }
+  for (const PointResult& p : sweep.points) {
+    if (p.aborted) {
+      json.add_row()
+          .set("load_rps", p.load_rps)
+          .set("aborted", std::int64_t{1})
+          .set("abort_reason", p.abort_reason);
+      continue;
+    }
+    for (int c = 0; c < kClassCount; ++c) {
+      const ClassPointResult& r = p.cls[c];
+      json.add_row()
+          .set("load_rps", p.load_rps)
+          .set("class", std::string(class_name(c)))
+          .set("route_type", static_cast<std::int64_t>(class_route_type(c)))
+          .set("offered_msgs", static_cast<std::int64_t>(r.offered_msgs))
+          .set("completed", static_cast<std::int64_t>(r.completed))
+          .set("errors", static_cast<std::int64_t>(r.errors))
+          .set("offered_rps", r.offered_rps)
+          .set("achieved_rps", r.achieved_rps)
+          .set("msg_count", static_cast<std::int64_t>(r.route.count))
+          .set("p50_us", r.route.p50_us)
+          .set("p99_us", r.route.p99_us)
+          .set("max_us", r.route.max_us)
+          .set("sojourn_p99_us", r.sojourn_p99_us)
+          .set("steady_p99_us", r.steady_p99_us)
+          .set("degraded_p99_us", r.degraded_p99_us)
+          .set("degraded_samples",
+               static_cast<std::int64_t>(r.degraded_samples))
+          .set("slo_p99_us", cfg.cls[c].slo_p99_us)
+          .set("slo_ok", static_cast<std::int64_t>(r.slo_ok ? 1 : 0));
+    }
+  }
+  return json;
+}
+
+}  // namespace benchkit::loadgen

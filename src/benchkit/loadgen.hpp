@@ -1,0 +1,200 @@
+// loadgen.hpp — the open-loop traffic generator behind bench/loadgen.
+//
+// One run_point() drives a seeded Poisson request mix over a simulated
+// cluster (blades x SPEs) at a fixed offered load and harvests
+// latency-under-load numbers; run_sweep() walks a list of offered loads
+// until past saturation and computes, per route class, the *capacity* —
+// the highest offered load that still met the class SLO.
+//
+// The request mix spans the whole Table I route matrix, one class per
+// route type, so the per-route histograms of PI_GetMetricsSnapshot give
+// each class its own p50/p99 without any generator-side estimation:
+//
+//   class        route  traffic
+//   sync_write     2    master's blocking PI_Write of a control int to
+//                       local sink SPEs (round-robin)
+//   async_burst    3    master's PI_WriteAsync bursts of halo-style double
+//                       arrays to remote sink SPEs, harvested PI_WaitAny
+//   read           1    request/response with a remote responder rank: a
+//                       trigger write, then the response via PI_ReadAsync
+//                       harvested FIFO (read-dominated master)
+//   spe_local      4    self-paced SPE writer -> SPE reader on the master
+//                       blade (each writer runs its own Poisson stream in
+//                       its own virtual clock)
+//   spe_remote     5    the same pair split across blades
+//
+// Determinism: all master-side harvests are either settled-at-submission
+// writes (PI_WaitAny then picks the lowest index) or blocking FIFO
+// PI_Wait on a specific handle, so the master's virtual clock walks a
+// schedule that depends only on the seed — two runs of the same point
+// produce a byte-identical BENCH_loadgen.json and metrics snapshot
+// (loadgen_determinism_test enforces it).
+//
+// Chaos mode: a fault cocktail (core/faultplan spec) plus an optional
+// respawn budget runs the same mix through Co-Pilot failover / SPE
+// respawn.  The *degraded window* is the supervision layer's virtual-time
+// recovery span (supervision::recovery_begin/end, plus a drain grace);
+// samples completing inside it report their p99 separately from steady
+// state, so "p99 during failover" is a tracked number — and because the
+// span lives on the virtual timeline, chaos runs are just as
+// byte-identical per seed as clean ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchkit/benchjson.hpp"
+#include "pilot/pilot.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace benchkit::loadgen {
+
+/// Request classes, one per Table I route type.
+enum class Class : int {
+  kSyncWrite = 0,   ///< type 2: PPE -> local SPE, blocking writes
+  kAsyncBurst = 1,  ///< type 3: PPE -> remote SPE, PI_WriteAsync bursts
+  kRead = 2,        ///< type 1: PPE <-> remote PPE request/response
+  kSpeLocal = 3,    ///< type 4: SPE -> SPE, same blade, self-paced
+  kSpeRemote = 4,   ///< type 5: SPE -> SPE, cross-blade, self-paced
+};
+inline constexpr int kClassCount = 5;
+
+/// Stable row label ("sync_write", ...).
+const char* class_name(int cls);
+
+/// The Table I route type the class exercises (1..5).
+int class_route_type(int cls);
+
+/// Per-class generator settings.
+struct ClassConfig {
+  double weight = 0.2;       ///< share of the total offered message rate
+  double slo_p99_us = 2000;  ///< the SLO: route p99 must stay under this
+};
+
+/// One generator configuration (a topology plus a request mix).
+struct Config {
+  std::uint64_t seed = 1;
+  int blades = 2;           ///< Cell blades; blade 0 hosts the master
+  int sinks_per_class = 2;  ///< sync and burst sink SPE fan-out
+  simtime::SimTime horizon = simtime::ms(40);  ///< arrival window per point
+  /// Offered total message rates to sweep.  The master thread serializes
+  /// the three PPE-driven classes, which puts the knee near ~20k msg/s on
+  /// the default topology — the tail of this list is intentionally past
+  /// saturation so the capacity line means something.
+  std::vector<double> load_points_rps = {4000,  8000,  12000,
+                                         16000, 20000, 26000};
+  ClassConfig cls[kClassCount] = {
+      {0.30, 0},  // sync_write   (SLO defaults set in loadgen.cpp)
+      {0.30, 0},  // async_burst
+      {0.20, 0},  // read
+      {0.10, 0},  // spe_local
+      {0.10, 0},  // spe_remote
+  };
+  int burst_size = 4;  ///< writes per async_burst arrival
+  /// In-flight response reads before the FIFO harvest blocks.  Default 1:
+  /// async completions stamp read-end when PI_Wait harvests them, so a
+  /// response parked in a never-full window would record harvest latency,
+  /// not system latency.  Raise only to measure the pipelined-harvest
+  /// discipline itself.
+  int read_window = 1;
+  std::string chaos_spec;   ///< -pifault= cocktail; empty = clean run
+  int respawn_budget = 0;   ///< -pirespawn=N when > 0
+  /// Per-message service cost modelled at the consumers (the knob that
+  /// fixes where saturation sits).
+  simtime::SimTime sink_service = simtime::us(60);
+  simtime::SimTime responder_service = simtime::us(30);
+  simtime::SimTime pair_service = simtime::us(80);
+
+  /// Applies the default per-class SLOs for any cls[].slo_p99_us left 0.
+  void finalize();
+};
+
+/// A compact percentile read-out (virtual time, from the metrics layer).
+struct RouteStats {
+  std::uint64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// Per-class outcome of one load point.
+struct ClassPointResult {
+  std::uint64_t offered_msgs = 0;  ///< scheduled arrivals (messages)
+  std::uint64_t completed = 0;     ///< harvested without error
+  std::uint64_t errors = 0;        ///< ops that surfaced a peer failure
+  double offered_rps = 0;
+  double achieved_rps = 0;   ///< completed / (last completion - start)
+  RouteStats route;          ///< msg_latency[route type] of the snapshot
+  double sojourn_p99_us = 0; ///< intended arrival -> completion (master
+                             ///< classes; 0 for the self-paced SPE pairs)
+  double steady_p99_us = 0;    ///< sojourn p99 outside the degraded window
+  double degraded_p99_us = 0;  ///< sojourn p99 inside it (chaos runs)
+  std::uint64_t degraded_samples = 0;
+  bool slo_ok = false;
+};
+
+/// Outcome of one load point.
+struct PointResult {
+  double load_rps = 0;  ///< total offered message rate
+  ClassPointResult cls[kClassCount];
+  std::uint64_t failovers = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t recovered_ops = 0;
+  simtime::SimTime degraded_begin = 0;  ///< 0,0 = no degraded window seen
+  simtime::SimTime degraded_end = 0;
+  /// The raw per-route metrics snapshot the master harvested after
+  /// PI_StopMain (POD — the determinism test memcmp()s it across runs).
+  PI_METRICS_SNAPSHOT snapshot = {};
+  int snapshot_rc = -1;
+  bool aborted = false;
+  std::string abort_reason;
+};
+
+/// Runs one load point (one cellpilot::run over a fresh cluster).
+PointResult run_point(const Config& config, double load_rps);
+
+/// The whole sweep plus the capacity line it supports.
+struct SweepResult {
+  std::vector<PointResult> points;
+  /// Highest offered load (rps) whose point met the class SLO *and*
+  /// sustained its offered rate; 0 when no point qualified.
+  double capacity_rps[kClassCount] = {};
+};
+
+/// Runs every configured load point and computes per-class capacities.
+SweepResult run_sweep(const Config& config);
+
+/// Renders the sweep as the BENCH_loadgen.json document: one row per
+/// (load point, class), capacities and SLOs in the meta block.
+benchkit::BenchJson to_bench_json(const Config& config,
+                                  const SweepResult& sweep);
+
+// --- pure helpers (unit-tested directly) ---------------------------------
+
+/// One completion sample: when it finished, and how long it took from its
+/// *intended* arrival instant (the open-loop sojourn).
+struct Sample {
+  simtime::SimTime completed_at = 0;
+  simtime::SimTime sojourn = 0;
+};
+
+/// Splits samples around a degraded window [begin, end] (inclusive) and
+/// reports nearest-rank p99 of each side.  A zero-width window at 0 means
+/// "no degraded phase": everything is steady.
+struct WindowSplit {
+  std::uint64_t steady_count = 0;
+  std::uint64_t degraded_count = 0;
+  simtime::SimTime steady_p99 = 0;
+  simtime::SimTime degraded_p99 = 0;
+};
+WindowSplit split_window(const std::vector<Sample>& samples,
+                         simtime::SimTime begin, simtime::SimTime end);
+
+/// The capacity rule: highest load_rps whose point kept the class p99
+/// under the SLO and achieved at least `min_goodput` of the offered class
+/// rate.  Returns 0 when no point qualifies.
+double capacity_rps(const std::vector<PointResult>& points, int cls,
+                    double slo_p99_us, double min_goodput = 0.95);
+
+}  // namespace benchkit::loadgen

@@ -1,0 +1,366 @@
+#include "benchkit/slo.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace benchkit::slo {
+
+namespace {
+
+/// Recursive-descent parser for the benchjson subset.  Tracks a byte
+/// offset so malformed baselines die with a position, not a shrug.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool run(Doc* out, std::string* error) {
+    skip_ws();
+    if (!parse_document(out)) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": " + error_;
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": trailing content";
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            const unsigned long v =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(v);  // benchjson only escapes < 0x20
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_scalar(Scalar* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = std::move(s);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = nullptr;
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const char* begin = text_.c_str() + pos_;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end == begin) return fail("bad number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      *out = v;
+      return true;
+    }
+    return fail("expected scalar value (number, string or null)");
+  }
+
+  bool parse_flat_object(Fields* out) {
+    if (!expect('{')) return false;
+    out->clear();
+    if (peek('}')) {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      if (!expect(':')) return false;
+      Scalar value;
+      if (!parse_scalar(&value)) return false;
+      out->emplace_back(std::move(key), std::move(value));
+      if (peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parse_document(Doc* out) {
+    if (!expect('{')) return false;
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      if (!expect(':')) return false;
+      if (key == "rows") {
+        if (!expect('[')) return false;
+        if (peek(']')) {
+          ++pos_;
+        } else {
+          for (;;) {
+            Fields row;
+            if (!parse_flat_object(&row)) return false;
+            out->rows.push_back(std::move(row));
+            if (peek(',')) {
+              ++pos_;
+              continue;
+            }
+            if (!expect(']')) return false;
+            break;
+          }
+        }
+      } else {
+        Scalar value;
+        if (!parse_scalar(&value)) return false;
+        out->meta.emplace_back(std::move(key), std::move(value));
+      }
+      if (peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// The candidate row matching a baseline row: same load_rps and class.
+const Fields* find_row(const Doc& doc, double load_rps,
+                       const std::string& cls) {
+  for (const Fields& row : doc.rows) {
+    double l = 0;
+    std::string c;
+    if (get_number(row, "load_rps", &l) && get_string(row, "class", &c) &&
+        l == load_rps && c == cls) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+struct Gate {
+  GateResult out;
+
+  void issue(const std::string& where, const std::string& message) {
+    out.ok = false;
+    out.issues.push_back({where, message});
+  }
+
+  /// One-sided "must not grow" check: candidate <= base * (1+frac) + floor.
+  void check_ceiling(const std::string& where, const std::string& key,
+                     double base, double cand, double frac, double floor) {
+    const double limit = base * (1.0 + frac) + floor;
+    if (cand > limit) {
+      issue(where, key + " " + fmt(base) + " -> " + fmt(cand) +
+                       " exceeds limit " + fmt(limit) + " (+" +
+                       fmt(frac * 100) + "% +" + fmt(floor) + ")");
+    }
+  }
+
+  /// One-sided "must not shrink" check: candidate >= base * (1-frac).
+  void check_floor(const std::string& where, const std::string& key,
+                   double base, double cand, double frac) {
+    const double limit = base * (1.0 - frac);
+    if (cand < limit) {
+      issue(where, key + " " + fmt(base) + " -> " + fmt(cand) +
+                       " below limit " + fmt(limit) + " (-" +
+                       fmt(frac * 100) + "%)");
+    }
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Doc* out, std::string* error) {
+  Doc doc;
+  Parser parser(text);
+  if (!parser.run(&doc, error)) return false;
+  *out = std::move(doc);
+  return true;
+}
+
+bool get_number(const Fields& fields, const std::string& key, double* out) {
+  for (const auto& [k, v] : fields) {
+    if (k != key) continue;
+    if (const double* d = std::get_if<double>(&v)) {
+      *out = *d;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool get_string(const Fields& fields, const std::string& key,
+                std::string* out) {
+  for (const auto& [k, v] : fields) {
+    if (k != key) continue;
+    if (const std::string* s = std::get_if<std::string>(&v)) {
+      *out = *s;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+GateResult gate(const Doc& baseline, const Doc& candidate,
+                const Tolerances& tol) {
+  Gate g;
+
+  // Every baseline (load point, class) row must still exist and hold its
+  // latency and throughput lines.
+  for (const Fields& base : baseline.rows) {
+    double load = 0;
+    std::string cls;
+    if (!get_number(base, "load_rps", &load) ||
+        !get_string(base, "class", &cls)) {
+      continue;  // aborted-point rows carry no class; nothing to gate
+    }
+    const std::string where = "load=" + fmt(load) + " class=" + cls;
+    const Fields* cand = find_row(candidate, load, cls);
+    if (cand == nullptr) {
+      g.issue(where, "row missing from candidate run");
+      continue;
+    }
+    double bv = 0;
+    double cv = 0;
+    if (get_number(base, "p99_us", &bv) && bv > 0) {
+      if (!get_number(*cand, "p99_us", &cv)) {
+        g.issue(where, "candidate lacks p99_us");
+      } else {
+        g.check_ceiling(where, "p99_us", bv, cv, tol.p99_frac,
+                        tol.p99_floor_us);
+      }
+    }
+    if (get_number(base, "achieved_rps", &bv) && bv > 0 &&
+        get_number(*cand, "achieved_rps", &cv)) {
+      g.check_floor(where, "achieved_rps", bv, cv, tol.rate_frac);
+    }
+    // Chaos runs: the degraded-window p99 is a gated number too, with its
+    // own (wider) tolerance.  The window placement depends on when the
+    // supervisor's counters were observed, so compare only when both runs
+    // actually captured degraded samples.
+    double base_deg_n = 0;
+    double cand_deg_n = 0;
+    if (get_number(base, "degraded_samples", &base_deg_n) && base_deg_n > 0) {
+      if (get_number(*cand, "degraded_samples", &cand_deg_n) &&
+          cand_deg_n > 0) {
+        if (get_number(base, "degraded_p99_us", &bv) && bv > 0 &&
+            get_number(*cand, "degraded_p99_us", &cv)) {
+          g.check_ceiling(where, "degraded_p99_us", bv, cv,
+                          tol.degraded_frac, tol.p99_floor_us);
+        }
+      } else {
+        g.out.notes.push_back(where +
+                              ": baseline saw degraded samples, candidate "
+                              "did not (recovery landed outside the mix)");
+      }
+    }
+  }
+
+  // Capacity meta: the headline number each class sweeps toward.
+  for (const auto& [key, value] : baseline.meta) {
+    if (key.rfind("capacity_", 0) != 0) continue;
+    const double* base_cap = std::get_if<double>(&value);
+    if (base_cap == nullptr || *base_cap <= 0) continue;
+    double cand_cap = 0;
+    if (!get_number(candidate.meta, key, &cand_cap)) {
+      g.issue("meta", key + " missing from candidate run");
+      continue;
+    }
+    g.check_floor("meta", key, *base_cap, cand_cap, tol.capacity_frac);
+  }
+
+  // Recovery meta: a chaos baseline that exercised failover/respawn must
+  // keep exercising it, or the chaos point silently stopped testing
+  // anything.
+  for (const char* key : {"failovers", "respawns"}) {
+    double bv = 0;
+    double cv = 0;
+    if (get_number(baseline.meta, key, &bv) && bv > 0) {
+      if (!get_number(candidate.meta, key, &cv) || cv <= 0) {
+        g.issue("meta", std::string(key) + " dropped to zero (baseline " +
+                            fmt(bv) + "): fault cocktail no longer fires");
+      }
+    }
+  }
+
+  if (candidate.rows.size() > baseline.rows.size()) {
+    g.out.notes.push_back(
+        "candidate has " +
+        std::to_string(candidate.rows.size() - baseline.rows.size()) +
+        " extra row(s) not gated (baseline predates them)");
+  }
+  return g.out;
+}
+
+}  // namespace benchkit::slo

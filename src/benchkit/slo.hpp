@@ -1,0 +1,83 @@
+// slo.hpp — the SLO regression gate behind tools/slogate.
+//
+// Compares a candidate BENCH_loadgen.json run against a checked-in
+// baseline and reports per-route-class p99 regressions, throughput drops
+// and capacity losses.  The parser handles exactly the JSON subset
+// benchkit::BenchJson emits (one flat meta object plus a "rows" array of
+// flat objects, scalar values only) — no external dependency, and
+// malformed input yields a positioned error message instead of a crash,
+// because "fail with a clear message on a bad baseline" is part of the
+// gate's contract.
+//
+// Gate semantics are one-sided: a candidate that is *faster* than its
+// baseline always passes; the baseline is refreshed explicitly through
+// slogate --update-baseline (workflow in docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace benchkit::slo {
+
+/// One parsed scalar: JSON numbers become double (exact for the int64
+/// counts loadgen emits up to 2^53), strings stay strings, null marks the
+/// "non-finite double" hole BenchJson leaves.
+using Scalar = std::variant<double, std::string, std::nullptr_t>;
+
+/// A flat key/value object (meta block, or one row).
+using Fields = std::vector<std::pair<std::string, Scalar>>;
+
+/// A parsed benchjson document.
+struct Doc {
+  Fields meta;
+  std::vector<Fields> rows;
+};
+
+/// Parses the benchjson subset.  Returns false and fills `error` (with a
+/// byte offset) on malformed input.
+bool parse(const std::string& text, Doc* out, std::string* error);
+
+/// Field lookup helpers; return false when the key is absent or the value
+/// has the wrong shape.
+bool get_number(const Fields& fields, const std::string& key, double* out);
+bool get_string(const Fields& fields, const std::string& key,
+                std::string* out);
+
+/// Gate tolerances, all one-sided.
+struct Tolerances {
+  /// Candidate route p99 may exceed baseline by this fraction...
+  double p99_frac = 0.25;
+  /// ...plus this absolute slack (guards tiny baselines against noise).
+  double p99_floor_us = 50.0;
+  /// Degraded-window p99 slack for chaos runs: recovery timing is coarser
+  /// than steady state, so the fraction is wider.
+  double degraded_frac = 1.0;
+  /// Candidate achieved_rps may drop below baseline by this fraction.
+  double rate_frac = 0.05;
+  /// Per-class capacity (meta) may drop below baseline by this fraction.
+  double capacity_frac = 0.10;
+};
+
+/// One gate violation, e.g. {"load=60000 class=read", "p99_us 812 -> 2200
+/// exceeds 812*1.25+50"}.
+struct Issue {
+  std::string where;
+  std::string message;
+};
+
+struct GateResult {
+  bool ok = true;
+  std::vector<Issue> issues;   ///< regressions (gate fails)
+  std::vector<std::string> notes;  ///< non-fatal observations
+};
+
+/// Runs the gate: every baseline row must exist in the candidate and stay
+/// within tolerance; capacity and recovery meta are checked too.  Extra
+/// candidate rows are noted, never fatal (sweeps may grow).
+GateResult gate(const Doc& baseline, const Doc& candidate,
+                const Tolerances& tol);
+
+}  // namespace benchkit::slo

@@ -38,6 +38,8 @@ std::atomic<std::uint64_t> g_faults{0};
 std::atomic<std::uint64_t> g_failovers{0};
 std::atomic<std::uint64_t> g_respawns{0};
 std::atomic<std::uint64_t> g_recovered_ops{0};
+std::atomic<simtime::SimTime> g_recovery_begin{0};
+std::atomic<simtime::SimTime> g_recovery_end{0};
 }  // namespace
 
 std::uint64_t recovered_count() { return g_recovered.load(); }
@@ -46,6 +48,17 @@ std::uint64_t fault_count() { return g_faults.load(); }
 std::uint64_t failover_count() { return g_failovers.load(); }
 std::uint64_t respawn_count() { return g_respawns.load(); }
 std::uint64_t recovered_op_count() { return g_recovered_ops.load(); }
+simtime::SimTime recovery_begin() { return g_recovery_begin.load(); }
+simtime::SimTime recovery_end() { return g_recovery_end.load(); }
+void note_recovery_span(simtime::SimTime begin, simtime::SimTime end) {
+  simtime::SimTime cur = g_recovery_begin.load();
+  while ((cur == 0 || begin < cur) &&
+         !g_recovery_begin.compare_exchange_weak(cur, begin)) {
+  }
+  cur = g_recovery_end.load();
+  while (end > cur && !g_recovery_end.compare_exchange_weak(cur, end)) {
+  }
+}
 void reset_counters() {
   g_recovered.store(0);
   g_timeouts.store(0);
@@ -53,6 +66,8 @@ void reset_counters() {
   g_failovers.store(0);
   g_respawns.store(0);
   g_recovered_ops.store(0);
+  g_recovery_begin.store(0);
+  g_recovery_end.store(0);
 }
 
 }  // namespace supervision
@@ -631,6 +646,7 @@ class CopilotService {
     rs.flat = flat;
     rs.alive = true;
     supervision::g_respawns.fetch_add(1);
+    supervision::note_recovery_span(death, start);
     simtime::Trace::global().record(
         copilot_name(), simtime::TraceKind::kCopilotService,
         "respawned SPE process " + proc_name + " (attempt " +
@@ -1300,6 +1316,7 @@ int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node) {
       mpi.clock().join(c.stamp + app.options().copilot_lease);
       app.cluster().record_copilot_failover(node);
       supervision::g_failovers.fetch_add(1);
+      supervision::note_recovery_span(c.stamp, mpi.clock().now());
       const std::string name = app.cluster().world().info(mpi.rank()).name;
       simtime::Trace::global().record(
           name, simtime::TraceKind::kCopilotService,

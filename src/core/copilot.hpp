@@ -22,6 +22,7 @@
 
 #include "mpisim/mpi.hpp"
 #include "pilot/app.hpp"
+#include "simtime/sim_time.hpp"
 
 namespace cellpilot {
 
@@ -57,7 +58,22 @@ std::uint64_t respawn_count();
 /// deduped, reads re-served) instead of re-executing on the wire.
 std::uint64_t recovered_op_count();
 
-/// Zeroes all counters (test isolation).
+/// Virtual-time span of recovery activity: the earliest crash stamp and
+/// the latest recovery-complete stamp over all failovers and respawns
+/// since the last reset.  Both 0 when supervision never acted.  Virtual
+/// stamps, not wall clock — a load generator can split its latency
+/// samples around this window deterministically (bench/loadgen's
+/// "degraded-window p99"), which no amount of counter polling can do:
+/// the poller's wall-clock position bears no relation to where the
+/// recovery landed on the virtual timeline.
+simtime::SimTime recovery_begin();
+simtime::SimTime recovery_end();
+
+/// Widens the recovery window to include [begin, end] (supervision
+/// internals; exposed for the failover/respawn sites).
+void note_recovery_span(simtime::SimTime begin, simtime::SimTime end);
+
+/// Zeroes all counters and the recovery window (test isolation).
 void reset_counters();
 
 }  // namespace supervision

@@ -1,0 +1,144 @@
+// arrivals_test.cpp — properties of the seeded open-loop arrival process.
+//
+// The load generator's whole credibility rests on this stream: it must be
+// Poisson in the mean (or the offered load is mislabeled), reproducible
+// per seed (or BENCH_loadgen.json baselines are meaningless), and
+// distinct across seeds (or "two seeds" in CI is one seed twice).
+#include "benchkit/arrivals.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using benchkit::arrivals::Arrival;
+using benchkit::arrivals::merge_schedule;
+using benchkit::arrivals::PoissonStream;
+
+TEST(PoissonStream, EmpiricalMeanMatchesRate) {
+  // 1/λ for λ = 10k/s is 100 us.  With n = 50k draws the sample mean of
+  // an exponential sits within ~1% of 1/λ at >5 sigma, so a 3% tolerance
+  // is both tight (catches a wrong inverse-CDF) and unflaky.
+  const double rate = 10000.0;
+  PoissonStream stream(42, rate);
+  const int n = 50000;
+  double sum_ns = 0;
+  for (int i = 0; i < n; ++i) {
+    sum_ns += static_cast<double>(stream.next_gap());
+  }
+  const double mean_ns = sum_ns / n;
+  const double expect_ns = 1e9 / rate;
+  EXPECT_NEAR(mean_ns, expect_ns, 0.03 * expect_ns)
+      << "empirical mean " << mean_ns << " ns vs 1/lambda " << expect_ns;
+}
+
+TEST(PoissonStream, ReproduciblePerSeed) {
+  PoissonStream a(7, 25000.0);
+  PoissonStream b(7, 25000.0);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.next_gap(), b.next_gap()) << "diverged at draw " << i;
+  }
+}
+
+TEST(PoissonStream, DistinctSeedsDistinctStreams) {
+  PoissonStream a(1, 25000.0);
+  PoissonStream b(2, 25000.0);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_gap() != b.next_gap()) ++differing;
+  }
+  // Two independent exponential streams collide on an exact integer
+  // nanosecond draw only rarely; 90 of 100 differing is a loose floor.
+  EXPECT_GT(differing, 90);
+}
+
+TEST(PoissonStream, GapsArePositive) {
+  // Even at an absurd rate (mean gap ~1 ns) the stream must never emit a
+  // zero-length gap, or two "arrivals" merge into one instant.
+  PoissonStream stream(3, 1e9);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(stream.next_gap(), 1);
+  }
+}
+
+TEST(PoissonStream, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonStream(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonStream(1, -5.0), std::invalid_argument);
+}
+
+TEST(MergeSchedule, OrderedAndBounded) {
+  const simtime::SimTime horizon = simtime::ms(10);
+  const std::vector<Arrival> schedule =
+      merge_schedule(11, {5000.0, 2000.0, 1000.0}, horizon);
+  ASSERT_FALSE(schedule.empty());
+  bool saw_class[3] = {false, false, false};
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    ASSERT_GE(schedule[i].cls, 0);
+    ASSERT_LT(schedule[i].cls, 3);
+    saw_class[schedule[i].cls] = true;
+    ASSERT_GT(schedule[i].at, 0);
+    ASSERT_LE(schedule[i].at, horizon);
+    if (i > 0) {
+      ASSERT_GE(schedule[i].at, schedule[i - 1].at) << "unsorted at " << i;
+    }
+  }
+  EXPECT_TRUE(saw_class[0]);
+  EXPECT_TRUE(saw_class[1]);
+  EXPECT_TRUE(saw_class[2]);
+  // ~80 expected arrivals total (8k/s x 10 ms); half or double would mean
+  // the rates leak across classes.
+  EXPECT_GT(schedule.size(), 40u);
+  EXPECT_LT(schedule.size(), 160u);
+}
+
+TEST(MergeSchedule, DeterministicPerSeedAndSeedSensitive) {
+  const simtime::SimTime horizon = simtime::ms(5);
+  const std::vector<double> rates = {8000.0, 4000.0};
+  const std::vector<Arrival> a = merge_schedule(21, rates, horizon);
+  const std::vector<Arrival> b = merge_schedule(21, rates, horizon);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].at, b[i].at);
+    ASSERT_EQ(a[i].cls, b[i].cls);
+  }
+  const std::vector<Arrival> c = merge_schedule(22, rates, horizon);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != c[i].at || a[i].cls != c[i].cls;
+  }
+  EXPECT_TRUE(differs) << "seed 21 and 22 produced the same schedule";
+}
+
+TEST(MergeSchedule, ClassStreamsAreUnrelated) {
+  // Classes at the same rate must not be shifted copies of one another —
+  // the per-class seed mixing is what keeps them independent.
+  const std::vector<Arrival> schedule =
+      merge_schedule(5, {3000.0, 3000.0}, simtime::ms(10));
+  std::vector<simtime::SimTime> t0;
+  std::vector<simtime::SimTime> t1;
+  for (const Arrival& a : schedule) {
+    (a.cls == 0 ? t0 : t1).push_back(a.at);
+  }
+  ASSERT_GT(t0.size(), 5u);
+  ASSERT_GT(t1.size(), 5u);
+  int equal = 0;
+  const std::size_t n = std::min(t0.size(), t1.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t0[i] == t1[i]) ++equal;
+  }
+  EXPECT_EQ(equal, 0) << "same-rate classes share arrival instants";
+}
+
+TEST(MergeSchedule, NonPositiveRateContributesNothing) {
+  const std::vector<Arrival> schedule =
+      merge_schedule(9, {0.0, 5000.0, -1.0}, simtime::ms(5));
+  for (const Arrival& a : schedule) {
+    EXPECT_EQ(a.cls, 1);
+  }
+  EXPECT_FALSE(schedule.empty());
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// loadgen_chaos_test.cpp — the load generator under fault cocktails.
+//
+// The chaos mode's promise: the same seeded mix keeps flowing through a
+// Co-Pilot crash (standby failover) and through SPE deaths (supervised
+// respawn), and the JSON reports the p99 *inside* the recovery window
+// separately from steady state.  The degraded window is the supervision
+// layer's virtual-time recovery span, so these runs are as deterministic
+// as clean ones and the assertions below are exact, not statistical.
+#include "benchkit/loadgen.hpp"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+namespace loadgen = benchkit::loadgen;
+
+loadgen::Config chaos_config(const std::string& spec, int respawn_budget) {
+  loadgen::Config cfg;
+  cfg.seed = 1;
+  cfg.horizon = simtime::ms(20);
+  cfg.load_points_rps = {8000};
+  cfg.chaos_spec = spec;
+  cfg.respawn_budget = respawn_budget;
+  return cfg;
+}
+
+/// True when at least one master-driven class captured samples inside the
+/// degraded window.
+bool has_degraded_split(const loadgen::PointResult& point) {
+  for (int c = 0; c < loadgen::kClassCount; ++c) {
+    if (point.cls[c].degraded_samples > 0 &&
+        point.cls[c].degraded_p99_us > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LoadgenChaos, CopilotCrashFailsOverAndReportsDegradedWindow) {
+  const loadgen::Config cfg = chaos_config("copilot_crash@*:op=5", 0);
+  const loadgen::PointResult point = loadgen::run_point(cfg, 8000);
+
+  ASSERT_FALSE(point.aborted) << point.abort_reason;
+  EXPECT_GT(point.failovers, 0u) << "cocktail never killed a Co-Pilot";
+  // Liveness: the mix kept completing through the takeover.
+  for (int c = 0; c < loadgen::kClassCount; ++c) {
+    EXPECT_GT(point.cls[c].completed, 0u) << loadgen::class_name(c);
+  }
+  // The recovery span landed on the virtual timeline and samples fell
+  // inside it: degraded p99 is tracked separately from steady state.
+  EXPECT_GT(point.degraded_end, point.degraded_begin);
+  EXPECT_TRUE(has_degraded_split(point));
+  for (int c = 0; c < 3; ++c) {  // master-driven classes carry the split
+    const auto& r = point.cls[c];
+    if (r.degraded_samples == 0) continue;
+    EXPECT_GT(r.steady_p99_us, 0.0) << loadgen::class_name(c);
+    EXPECT_NE(r.steady_p99_us, r.degraded_p99_us)
+        << loadgen::class_name(c)
+        << ": window split did not separate the distributions";
+  }
+}
+
+TEST(LoadgenChaos, SpeCrashRespawnsAndKeepsTheMixFlowing) {
+  const loadgen::Config cfg = chaos_config("spe_crash_mid@*:op=25", 8);
+  const loadgen::PointResult point = loadgen::run_point(cfg, 8000);
+
+  ASSERT_FALSE(point.aborted) << point.abort_reason;
+  EXPECT_GT(point.respawns, 0u) << "cocktail never killed an SPE";
+  EXPECT_GT(point.recovered_ops, 0u)
+      << "respawn happened but no ops replayed from the journal";
+  for (int c = 0; c < loadgen::kClassCount; ++c) {
+    EXPECT_GT(point.cls[c].completed, 0u) << loadgen::class_name(c);
+  }
+  EXPECT_GT(point.degraded_end, point.degraded_begin);
+  EXPECT_TRUE(has_degraded_split(point));
+}
+
+TEST(LoadgenChaos, DegradedWindowReachesTheJson) {
+  const loadgen::Config cfg = chaos_config("copilot_crash@*:op=5", 0);
+  loadgen::SweepResult sweep;
+  sweep.points.push_back(loadgen::run_point(cfg, 8000));
+  for (int c = 0; c < loadgen::kClassCount; ++c) {
+    sweep.capacity_rps[c] = 0;
+  }
+  const std::string json = loadgen::to_bench_json(cfg, sweep).to_string();
+  EXPECT_NE(json.find("\"degraded_p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"steady_p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_samples\""), std::string::npos);
+  EXPECT_EQ(json.find("\"failovers\": 0"), std::string::npos)
+      << "meta claims zero failovers for a run that failed over:\n"
+      << json.substr(0, 400);
+}
+
+}  // namespace

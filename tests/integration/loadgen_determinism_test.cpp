@@ -1,0 +1,81 @@
+// loadgen_determinism_test.cpp — the byte-identity contract of the load
+// generator.
+//
+// slogate's baselines (and CI's two-seed gate) only mean something if the
+// generator is a pure function of its seed: same seed, same JSON, same
+// metrics snapshot, bit for bit, regardless of host thread scheduling.
+// The sweep here is deliberately small (two points, short horizon) so the
+// test runs in well under a second — determinism does not get cheaper to
+// check at scale, only slower.
+#include <cstring>
+
+#include "benchkit/loadgen.hpp"
+#include "gtest/gtest.h"
+
+namespace {
+
+namespace loadgen = benchkit::loadgen;
+
+loadgen::Config small_config(std::uint64_t seed) {
+  loadgen::Config cfg;
+  cfg.seed = seed;
+  cfg.horizon = simtime::ms(10);
+  cfg.load_points_rps = {8000, 20000};
+  return cfg;
+}
+
+TEST(LoadgenDeterminism, SameSeedByteIdenticalJsonAndSnapshot) {
+  const loadgen::Config cfg = small_config(1);
+  const loadgen::SweepResult first = loadgen::run_sweep(cfg);
+  const loadgen::SweepResult second = loadgen::run_sweep(cfg);
+
+  ASSERT_EQ(first.points.size(), second.points.size());
+  for (std::size_t p = 0; p < first.points.size(); ++p) {
+    ASSERT_FALSE(first.points[p].aborted) << first.points[p].abort_reason;
+    ASSERT_FALSE(second.points[p].aborted) << second.points[p].abort_reason;
+    EXPECT_EQ(first.points[p].snapshot_rc, 0);
+    // The snapshot is POD: bitwise equality is the strongest possible
+    // statement that every route histogram replayed identically.
+    EXPECT_EQ(std::memcmp(&first.points[p].snapshot,
+                          &second.points[p].snapshot,
+                          sizeof first.points[p].snapshot),
+              0)
+        << "metrics snapshot diverged at point " << p;
+  }
+
+  const std::string json_a = loadgen::to_bench_json(cfg, first).to_string();
+  const std::string json_b = loadgen::to_bench_json(cfg, second).to_string();
+  EXPECT_EQ(json_a, json_b) << "BENCH_loadgen.json is not reproducible";
+}
+
+TEST(LoadgenDeterminism, DistinctSeedsDistinctRuns) {
+  const loadgen::SweepResult s1 = loadgen::run_sweep(small_config(1));
+  const loadgen::SweepResult s2 = loadgen::run_sweep(small_config(2));
+  const std::string j1 = loadgen::to_bench_json(small_config(1), s1).to_string();
+  const std::string j2 = loadgen::to_bench_json(small_config(2), s2).to_string();
+  EXPECT_NE(j1, j2) << "seed is not reaching the arrival streams";
+}
+
+TEST(LoadgenDeterminism, HealthyPointMeetsSlo) {
+  // The 8k point sits well under the master's knee; if it ever misses its
+  // SLO the defaults have drifted from the topology and every baseline
+  // comparison downstream turns meaningless.
+  const loadgen::SweepResult sweep = loadgen::run_sweep(small_config(1));
+  ASSERT_FALSE(sweep.points.empty());
+  const loadgen::PointResult& healthy = sweep.points.front();
+  for (int c = 0; c < loadgen::kClassCount; ++c) {
+    EXPECT_TRUE(healthy.cls[c].slo_ok)
+        << loadgen::class_name(c) << " missed SLO at the healthy point: p99="
+        << healthy.cls[c].route.p99_us
+        << "us achieved=" << healthy.cls[c].achieved_rps << "/"
+        << healthy.cls[c].offered_rps;
+    EXPECT_GT(healthy.cls[c].completed, 0u);
+    EXPECT_EQ(healthy.cls[c].errors, 0u);
+  }
+  // Clean runs must never trip supervision or report a degraded window.
+  EXPECT_EQ(healthy.failovers, 0u);
+  EXPECT_EQ(healthy.respawns, 0u);
+  EXPECT_EQ(healthy.degraded_end, 0);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// slogate.cpp — the SLO regression gate for BENCH_loadgen.json runs.
+//
+//   slogate --baseline bench/baselines/loadgen_seed1.json BENCH_loadgen.json
+//   slogate --baseline <path> --update-baseline <candidate>   # refresh
+//
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage error or a
+// missing/malformed file.  All gate logic lives in src/benchkit/slo.* so
+// the unit tests exercise exactly what CI runs; this file is argument
+// parsing and I/O.
+//
+// Tolerances are one-sided (faster is never a failure) and overridable:
+//   --p99-tol 0.25        route p99 may grow 25% (+ --p99-floor-us slack)
+//   --degraded-tol 1.0    chaos degraded-window p99 may grow 100%
+//   --rate-tol 0.05       achieved throughput may drop 5%
+//   --capacity-tol 0.10   per-class capacity may drop 10%
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "benchkit/slo.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: slogate --baseline FILE [--update-baseline] CANDIDATE\n"
+      "               [--p99-tol F] [--p99-floor-us F] [--degraded-tol F]\n"
+      "               [--rate-tol F] [--capacity-tol F]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out,
+               std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool load_doc(const std::string& path, benchkit::slo::Doc* doc) {
+  std::string text;
+  std::string error;
+  if (!read_file(path, &text, &error)) {
+    std::fprintf(stderr, "slogate: %s\n", error.c_str());
+    return false;
+  }
+  if (!benchkit::slo::parse(text, doc, &error)) {
+    std::fprintf(stderr, "slogate: %s: malformed benchjson (%s)\n",
+                 path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  bool update = false;
+  benchkit::slo::Tolerances tol;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || v < 0) return false;
+      *out = v;
+      return true;
+    };
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage();
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update = true;
+    } else if (arg == "--p99-tol") {
+      if (!value(&tol.p99_frac)) return usage();
+    } else if (arg == "--p99-floor-us") {
+      if (!value(&tol.p99_floor_us)) return usage();
+    } else if (arg == "--degraded-tol") {
+      if (!value(&tol.degraded_frac)) return usage();
+    } else if (arg == "--rate-tol") {
+      if (!value(&tol.rate_frac)) return usage();
+    } else if (arg == "--capacity-tol") {
+      if (!value(&tol.capacity_frac)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "slogate: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr, "slogate: more than one candidate file\n");
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return usage();
+
+  // The candidate must parse in every mode — --update-baseline must never
+  // check in a file the gate itself cannot read back.
+  benchkit::slo::Doc candidate;
+  if (!load_doc(candidate_path, &candidate)) return 2;
+
+  if (update) {
+    std::string text;
+    std::string error;
+    if (!read_file(candidate_path, &text, &error)) {
+      std::fprintf(stderr, "slogate: %s\n", error.c_str());
+      return 2;
+    }
+    std::ofstream out(baseline_path, std::ios::trunc);
+    out << text;
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "slogate: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "slogate: baseline %s updated from %s\n",
+                 baseline_path.c_str(), candidate_path.c_str());
+    return 0;
+  }
+
+  benchkit::slo::Doc baseline;
+  if (!load_doc(baseline_path, &baseline)) return 2;
+
+  const benchkit::slo::GateResult result =
+      benchkit::slo::gate(baseline, candidate, tol);
+  for (const std::string& note : result.notes) {
+    std::printf("slogate: note: %s\n", note.c_str());
+  }
+  for (const auto& issue : result.issues) {
+    std::printf("slogate: FAIL %s: %s\n", issue.where.c_str(),
+                issue.message.c_str());
+  }
+  if (!result.ok) {
+    std::printf("slogate: %zu regression(s) vs %s\n", result.issues.size(),
+                baseline_path.c_str());
+    return 1;
+  }
+  std::printf("slogate: OK (%zu baseline rows held) vs %s\n",
+              baseline.rows.size(), baseline_path.c_str());
+  return 0;
+}
