@@ -12,7 +12,8 @@
 //   CELLPILOT_CHAOS_COCKTAIL=<spec>  pin the fault spec, one cocktail per
 //                                    subject instead of the generated stream
 //   CELLPILOT_CHAOS_SUBJECT=matrix:<type>|async_farm|respawn:<type>|
-//                           exhaust:<type>|respawn:async_farm
+//                           exhaust:<type>|respawn:async_farm|
+//                           ckpt:local|ckpt:remote|ckpt:degrade
 //                                    run one subject only
 //   CELLPILOT_CHAOS_WATCHDOG=<sec>   override the 120 s liveness budget
 //                                    (must parse as a positive integer)
@@ -324,6 +325,55 @@ int farm_chaos_main(int argc, char** argv) {
   return 0;
 }
 
+// --- blade-kill / checkpoint-restore subject ------------------------------
+//
+// A writer SPE on the victim blade streams a counted burst to the master;
+// blade_kill wipes the blade's SPE contexts and Co-Pilot mid-burst.  With
+// a coordinated checkpoint armed the restore must be invisible — every
+// value delivered exactly once, in order (journal replay dedupes the
+// re-executed prefix).  With no checkpoint the loss must degrade to a
+// clean PI_SPE_FAULT at the master: never a hang, never an abort.
+
+constexpr int kBladeBurst = 8;
+PI_CHANNEL* g_blade_ch = nullptr;
+
+PI_SPE_PROGRAM(chaos_blade_writer) {
+  try {
+    for (int i = 0; i < kBladeBurst; ++i) PI_Write(g_blade_ch, "%d", 10 * i);
+  } catch (const pilot::PilotError& e) {
+    g_writer_code.store(static_cast<int>(e.code()));
+  }
+  return 0;
+}
+
+int blade_chaos_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  PI_PROCESS* writer = nullptr;
+  if (g_type == 3) {  // the victim is the remote blade
+    PI_PROCESS* parent = PI_CreateProcess(chaos_rank_parent, 0, nullptr);
+    g_spe_r = PI_CreateSPE(chaos_blade_writer, parent, 0);
+    writer = g_spe_r;
+  } else {
+    writer = PI_CreateSPE(chaos_blade_writer, PI_MAIN, 0);
+  }
+  g_blade_ch = PI_CreateChannel(writer, PI_MAIN);
+  PI_StartAll();
+  if (g_type != 3) PI_RunSPE(writer, 0, nullptr);
+  try {
+    bool exactly_once = true;
+    for (int i = 0; i < kBladeBurst; ++i) {
+      int v = 0;
+      PI_Read(g_blade_ch, "%d", &v);
+      exactly_once = exactly_once && v == 10 * i;
+    }
+    g_parity.store(exactly_once);
+  } catch (const pilot::PilotError& e) {
+    g_main_code.store(static_cast<int>(e.code()));
+  }
+  PI_StopMain(0);
+  return 0;
+}
+
 // --- host-time watchdog ---------------------------------------------------
 
 std::mutex g_watchdog_mu;
@@ -416,13 +466,15 @@ int main(int argc, char** argv) {
   std::uint64_t faults_injected = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t respawns_total = 0;
+  std::uint64_t restores_total = 0;
   std::uint64_t recovered_ops_total = 0;
 
   const auto run_cocktail = [&](const char* subject, int type,
                                 int (*job)(int, char**), bool remote,
                                 const std::string& spec = std::string(),
-                                int respawn = 0,
-                                Expect expect = Expect::kAny) {
+                                int respawn = 0, Expect expect = Expect::kAny,
+                                const std::vector<std::string>& extra_args =
+                                    {}) {
     const std::string cocktail =
         !spec.empty() ? spec
         : pinned_cocktail != nullptr && pinned_cocktail[0] != '\0'
@@ -454,6 +506,7 @@ int main(int argc, char** argv) {
     if (respawn > 0) {
       opts.args.push_back("-pirespawn=" + std::to_string(respawn));
     }
+    for (const std::string& a : extra_args) opts.args.push_back(a);
     const auto r = cellpilot::run(machine, job, opts);
 
     // The liveness invariant: parity, or a clean fault code at every
@@ -510,8 +563,10 @@ int main(int argc, char** argv) {
     recoveries += wire.retransmits +
                   cellpilot::supervision::recovered_count() +
                   cellpilot::supervision::respawn_count() +
+                  cellpilot::supervision::restore_count() +
                   cellpilot::supervision::failover_count();
     respawns_total += cellpilot::supervision::respawn_count();
+    restores_total += cellpilot::supervision::restore_count();
     recovered_ops_total += cellpilot::supervision::recovered_op_count();
     std::printf("%s\n", outcome);
     if (violated && r.aborted) {
@@ -542,6 +597,8 @@ int main(int argc, char** argv) {
                  cellpilot::supervision::failover_count()))
         .set("respawns", static_cast<std::int64_t>(
                              cellpilot::supervision::respawn_count()))
+        .set("restores", static_cast<std::int64_t>(
+                             cellpilot::supervision::restore_count()))
         .set("recovered_ops",
              static_cast<std::int64_t>(
                  cellpilot::supervision::recovered_op_count()));
@@ -604,6 +661,26 @@ int main(int argc, char** argv) {
                      ";spe_crash_mid@node0.cell0.spe0:op=1",
                  /*respawn=*/2, Expect::kParity);
   }
+  // Blade loss (PR 9): blade_kill wipes every SPE context plus the
+  // Co-Pilot of the victim blade.  With a coordinated checkpoint armed the
+  // restore must be invisible (exactly-once parity); with no checkpoint
+  // the loss degrades to a clean peer fault.
+  if (subject_wanted("ckpt:local") && !violated) {
+    run_cocktail("ckpt", 2, blade_chaos_main, /*remote=*/false,
+                 "seed=" + std::to_string(seed) + ";blade_kill@node0:op=6",
+                 /*respawn=*/0, Expect::kParity,
+                 {"-pickpt=chaos_blade.ckpt", "-pickptevery=4"});
+  }
+  if (subject_wanted("ckpt:remote") && !violated) {
+    run_cocktail("ckpt", 3, blade_chaos_main, /*remote=*/true,
+                 "seed=" + std::to_string(seed) + ";blade_kill@node1:op=6",
+                 /*respawn=*/0, Expect::kParity,
+                 {"-pickpt=chaos_blade.ckpt", "-pickptevery=4"});
+  }
+  if (subject_wanted("ckpt:degrade") && !violated) {
+    run_cocktail("ckpt", 2, blade_chaos_main, /*remote=*/false,
+                 "seed=" + std::to_string(seed) + ";blade_kill@node0:op=3");
+  }
 
   {
     std::lock_guard<std::mutex> lock(g_watchdog_mu);
@@ -623,6 +700,7 @@ int main(int argc, char** argv) {
   json.meta("faults_injected", static_cast<std::int64_t>(faults_injected));
   json.meta("recoveries", static_cast<std::int64_t>(recoveries));
   json.meta("respawns", static_cast<std::int64_t>(respawns_total));
+  json.meta("restores", static_cast<std::int64_t>(restores_total));
   json.meta("recovered_ops",
             static_cast<std::int64_t>(recovered_ops_total));
   json.meta("wall_ms",

@@ -7,6 +7,8 @@
 //   loadgen --seed 2 --quick        # short CI-sized sweep
 //   loadgen --chaos copilot         # same mix through a Co-Pilot crash
 //   loadgen --chaos spe             # ...through an SPE crash + respawn
+//   loadgen --chaos blade           # ...through a blade kill + checkpoint
+//                                   # restore (writes loadgen_blade.ckpt)
 //   loadgen --chaos 'spe_crash_mid@*:op=9' --respawn 2   # raw cocktail
 //   loadgen --points 20000,80000    # explicit offered loads (msg/s)
 //   loadgen --out path.json         # where the JSON goes
@@ -31,8 +33,9 @@ using benchkit::loadgen::kClassCount;
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--seed N] [--quick] [--chaos copilot|spe|<spec>]\n"
-      "          [--respawn N] [--points a,b,...] [--horizon-ms X]\n"
+      "usage: %s [--seed N] [--quick] [--chaos copilot|spe|blade|<spec>]\n"
+      "          [--respawn N] [--ckpt FILE] [--ckpt-every N]\n"
+      "          [--points a,b,...] [--horizon-ms X]\n"
       "          [--blades N] [--out FILE]\n",
       argv0);
   return 2;
@@ -86,6 +89,13 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(v, "spe") == 0) {
         cfg.chaos_spec = "spe_crash_mid@*:op=25";
         if (cfg.respawn_budget == 0) cfg.respawn_budget = 8;
+      } else if (std::strcmp(v, "blade") == 0) {
+        // Kill blade 1 (burst sinks + remote pair reader) mid-sweep; the
+        // coordinated checkpoint restores its SPE contexts, so the point
+        // completes with a degraded window instead of a fault cascade.
+        cfg.chaos_spec = "blade_kill@node1:op=40";
+        if (cfg.ckpt_path.empty()) cfg.ckpt_path = "loadgen_blade.ckpt";
+        if (cfg.ckpt_every == 0) cfg.ckpt_every = 16;
       } else {
         cfg.chaos_spec = v;
       }
@@ -93,6 +103,18 @@ int main(int argc, char** argv) {
       const char* v = need_value("--respawn");
       if (v == nullptr) return usage(argv[0]);
       cfg.respawn_budget = std::atoi(v);
+    } else if (arg == "--ckpt") {
+      const char* v = need_value("--ckpt");
+      if (v == nullptr) return usage(argv[0]);
+      cfg.ckpt_path = v;
+    } else if (arg == "--ckpt-every") {
+      const char* v = need_value("--ckpt-every");
+      if (v == nullptr) return usage(argv[0]);
+      cfg.ckpt_every = std::atoi(v);
+      if (cfg.ckpt_every <= 0) {
+        std::fprintf(stderr, "loadgen: bad --ckpt-every\n");
+        return usage(argv[0]);
+      }
     } else if (arg == "--points") {
       const char* v = need_value("--points");
       if (v == nullptr || !parse_points(v, &cfg.load_points_rps)) {

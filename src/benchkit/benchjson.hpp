@@ -9,8 +9,16 @@
 // regression-tracked without scraping printf output.  The writer is
 // deliberately tiny: flat rows of int/double/string values, insertion
 // order preserved, no external dependency.
+//
+// The matching reader lives here too (Doc/parse/get_number/get_string):
+// it handles exactly the subset the writer emits — one flat meta object
+// plus a "rows" array of flat objects, scalar values only — and reports
+// malformed input with a byte offset instead of crashing.  tools/slogate
+// and tools/ckptinspect both consume it; keeping writer and reader in one
+// translation unit is what stops the two ends of the format drifting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -62,5 +70,31 @@ class BenchJson {
   std::vector<std::pair<std::string, JsonScalar>> meta_;
   std::vector<JsonRow> rows_;
 };
+
+// --- the matching reader -------------------------------------------------
+
+/// One parsed scalar: JSON numbers become double (exact for the int64
+/// counts the writer emits up to 2^53), strings stay strings, null marks
+/// the "non-finite double" hole BenchJson leaves.
+using Scalar = std::variant<double, std::string, std::nullptr_t>;
+
+/// A flat key/value object (meta block, or one row).
+using Fields = std::vector<std::pair<std::string, Scalar>>;
+
+/// A parsed benchjson document.
+struct Doc {
+  Fields meta;
+  std::vector<Fields> rows;
+};
+
+/// Parses the benchjson subset.  Returns false and fills `error` (with a
+/// byte offset) on malformed input.
+bool parse(const std::string& text, Doc* out, std::string* error);
+
+/// Field lookup helpers; return false when the key is absent or the value
+/// has the wrong shape.
+bool get_number(const Fields& fields, const std::string& key, double* out);
+bool get_string(const Fields& fields, const std::string& key,
+                std::string* out);
 
 }  // namespace benchkit

@@ -13,6 +13,7 @@
 #include "benchkit/pingpong.hpp"
 #include "cellsim/spu.hpp"
 #include "core/cellpilot.hpp"
+#include "core/checkpoint.hpp"
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
 #include "pilot/context.hpp"
@@ -597,6 +598,12 @@ PointResult run_point(const Config& config, double load_rps) {
   if (cfg.respawn_budget > 0) {
     opts.args.push_back("-pirespawn=" + std::to_string(cfg.respawn_budget));
   }
+  if (!cfg.ckpt_path.empty()) {
+    opts.args.push_back("-pickpt=" + cfg.ckpt_path);
+    if (cfg.ckpt_every > 0) {
+      opts.args.push_back("-pickptevery=" + std::to_string(cfg.ckpt_every));
+    }
+  }
 
   cellpilot::metrics::ScopedMetricsCapture capture;
   const cellpilot::RunResult run = cellpilot::run(machine, lg_main, opts);
@@ -607,6 +614,8 @@ PointResult run_point(const Config& config, double load_rps) {
   out.abort_reason = run.abort_reason;
   out.failovers = cellpilot::supervision::failover_count();
   out.respawns = cellpilot::supervision::respawn_count();
+  out.restores = cellpilot::supervision::restore_count();
+  out.checkpoints = cellpilot::ckpt::CheckpointSession::global().committed_cut();
   out.recovered_ops = cellpilot::supervision::recovered_op_count();
   if (run.aborted) {
     g_cfg = nullptr;
@@ -707,16 +716,23 @@ benchkit::BenchJson to_bench_json(const Config& config,
   json.meta("read_window", static_cast<std::int64_t>(cfg.read_window));
   json.meta("chaos", cfg.chaos_spec);
   json.meta("respawn_budget", static_cast<std::int64_t>(cfg.respawn_budget));
+  json.meta("ckpt_every", static_cast<std::int64_t>(cfg.ckpt_every));
   std::uint64_t failovers = 0;
   std::uint64_t respawns = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t checkpoints = 0;
   std::uint64_t recovered = 0;
   for (const PointResult& p : sweep.points) {
     failovers += p.failovers;
     respawns += p.respawns;
+    restores += p.restores;
+    checkpoints += p.checkpoints;
     recovered += p.recovered_ops;
   }
   json.meta("failovers", static_cast<std::int64_t>(failovers));
   json.meta("respawns", static_cast<std::int64_t>(respawns));
+  json.meta("restores", static_cast<std::int64_t>(restores));
+  json.meta("checkpoints", static_cast<std::int64_t>(checkpoints));
   json.meta("recovered_ops", static_cast<std::int64_t>(recovered));
   for (int c = 0; c < kClassCount; ++c) {
     json.meta(std::string("slo_") + class_name(c) + "_p99_us",

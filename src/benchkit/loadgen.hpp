@@ -100,6 +100,8 @@ struct Config {
   int read_window = 1;
   std::string chaos_spec;   ///< -pifault= cocktail; empty = clean run
   int respawn_budget = 0;   ///< -pirespawn=N when > 0
+  std::string ckpt_path;    ///< -pickpt=FILE when set (arms checkpoints)
+  int ckpt_every = 0;       ///< -pickptevery=N when > 0
   /// Per-message service cost modelled at the consumers (the knob that
   /// fixes where saturation sits).
   simtime::SimTime sink_service = simtime::us(60);
@@ -140,6 +142,8 @@ struct PointResult {
   ClassPointResult cls[kClassCount];
   std::uint64_t failovers = 0;
   std::uint64_t respawns = 0;
+  std::uint64_t restores = 0;     ///< blade restores from a checkpoint
+  std::uint64_t checkpoints = 0;  ///< committed cut ordinal (0 = none)
   std::uint64_t recovered_ops = 0;
   simtime::SimTime degraded_begin = 0;  ///< 0,0 = no degraded window seen
   simtime::SimTime degraded_end = 0;

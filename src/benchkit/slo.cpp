@@ -1,190 +1,12 @@
 #include "benchkit/slo.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <variant>
 
 namespace benchkit::slo {
 
 namespace {
-
-/// Recursive-descent parser for the benchjson subset.  Tracks a byte
-/// offset so malformed baselines die with a position, not a shrug.
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  bool run(Doc* out, std::string* error) {
-    skip_ws();
-    if (!parse_document(out)) {
-      if (error != nullptr) {
-        *error = "byte " + std::to_string(pos_) + ": " + error_;
-      }
-      return false;
-    }
-    skip_ws();
-    if (pos_ != text_.size()) {
-      if (error != nullptr) {
-        *error = "byte " + std::to_string(pos_) + ": trailing content";
-      }
-      return false;
-    }
-    return true;
-  }
-
- private:
-  bool fail(const std::string& why) {
-    if (error_.empty()) error_ = why;
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool peek(char c) {
-    skip_ws();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  bool parse_string(std::string* out) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return fail("expected string");
-    }
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-            const unsigned long v =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            c = static_cast<char>(v);  // benchjson only escapes < 0x20
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-      }
-      out->push_back(c);
-    }
-    if (pos_ >= text_.size()) return fail("unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool parse_scalar(Scalar* out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("expected value");
-    const char c = text_[pos_];
-    if (c == '"') {
-      std::string s;
-      if (!parse_string(&s)) return false;
-      *out = std::move(s);
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      *out = nullptr;
-      return true;
-    }
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      const char* begin = text_.c_str() + pos_;
-      char* end = nullptr;
-      const double v = std::strtod(begin, &end);
-      if (end == begin) return fail("bad number");
-      pos_ += static_cast<std::size_t>(end - begin);
-      *out = v;
-      return true;
-    }
-    return fail("expected scalar value (number, string or null)");
-  }
-
-  bool parse_flat_object(Fields* out) {
-    if (!expect('{')) return false;
-    out->clear();
-    if (peek('}')) {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      if (!parse_string(&key)) return false;
-      if (!expect(':')) return false;
-      Scalar value;
-      if (!parse_scalar(&value)) return false;
-      out->emplace_back(std::move(key), std::move(value));
-      if (peek(',')) {
-        ++pos_;
-        continue;
-      }
-      return expect('}');
-    }
-  }
-
-  bool parse_document(Doc* out) {
-    if (!expect('{')) return false;
-    for (;;) {
-      std::string key;
-      if (!parse_string(&key)) return false;
-      if (!expect(':')) return false;
-      if (key == "rows") {
-        if (!expect('[')) return false;
-        if (peek(']')) {
-          ++pos_;
-        } else {
-          for (;;) {
-            Fields row;
-            if (!parse_flat_object(&row)) return false;
-            out->rows.push_back(std::move(row));
-            if (peek(',')) {
-              ++pos_;
-              continue;
-            }
-            if (!expect(']')) return false;
-            break;
-          }
-        }
-      } else {
-        Scalar value;
-        if (!parse_scalar(&value)) return false;
-        out->meta.emplace_back(std::move(key), std::move(value));
-      }
-      if (peek(',')) {
-        ++pos_;
-        continue;
-      }
-      return expect('}');
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
 
 std::string fmt(double v) {
   char buf[32];
@@ -238,39 +60,6 @@ struct Gate {
 };
 
 }  // namespace
-
-bool parse(const std::string& text, Doc* out, std::string* error) {
-  Doc doc;
-  Parser parser(text);
-  if (!parser.run(&doc, error)) return false;
-  *out = std::move(doc);
-  return true;
-}
-
-bool get_number(const Fields& fields, const std::string& key, double* out) {
-  for (const auto& [k, v] : fields) {
-    if (k != key) continue;
-    if (const double* d = std::get_if<double>(&v)) {
-      *out = *d;
-      return true;
-    }
-    return false;
-  }
-  return false;
-}
-
-bool get_string(const Fields& fields, const std::string& key,
-                std::string* out) {
-  for (const auto& [k, v] : fields) {
-    if (k != key) continue;
-    if (const std::string* s = std::get_if<std::string>(&v)) {
-      *out = *s;
-      return true;
-    }
-    return false;
-  }
-  return false;
-}
 
 GateResult gate(const Doc& baseline, const Doc& candidate,
                 const Tolerances& tol) {

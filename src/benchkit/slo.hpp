@@ -2,49 +2,31 @@
 //
 // Compares a candidate BENCH_loadgen.json run against a checked-in
 // baseline and reports per-route-class p99 regressions, throughput drops
-// and capacity losses.  The parser handles exactly the JSON subset
-// benchkit::BenchJson emits (one flat meta object plus a "rows" array of
-// flat objects, scalar values only) — no external dependency, and
-// malformed input yields a positioned error message instead of a crash,
-// because "fail with a clear message on a bad baseline" is part of the
-// gate's contract.
+// and capacity losses.  Parsing is benchkit::parse (benchjson.hpp), the
+// reader half of the format the bench binaries write; malformed input
+// yields a positioned error message instead of a crash, because "fail
+// with a clear message on a bad baseline" is part of the gate's contract.
 //
 // Gate semantics are one-sided: a candidate that is *faster* than its
 // baseline always passes; the baseline is refreshed explicitly through
 // slogate --update-baseline (workflow in docs/OBSERVABILITY.md).
 #pragma once
 
-#include <cstddef>
 #include <string>
-#include <utility>
-#include <variant>
 #include <vector>
+
+#include "benchkit/benchjson.hpp"
 
 namespace benchkit::slo {
 
-/// One parsed scalar: JSON numbers become double (exact for the int64
-/// counts loadgen emits up to 2^53), strings stay strings, null marks the
-/// "non-finite double" hole BenchJson leaves.
-using Scalar = std::variant<double, std::string, std::nullptr_t>;
-
-/// A flat key/value object (meta block, or one row).
-using Fields = std::vector<std::pair<std::string, Scalar>>;
-
-/// A parsed benchjson document.
-struct Doc {
-  Fields meta;
-  std::vector<Fields> rows;
-};
-
-/// Parses the benchjson subset.  Returns false and fills `error` (with a
-/// byte offset) on malformed input.
-bool parse(const std::string& text, Doc* out, std::string* error);
-
-/// Field lookup helpers; return false when the key is absent or the value
-/// has the wrong shape.
-bool get_number(const Fields& fields, const std::string& key, double* out);
-bool get_string(const Fields& fields, const std::string& key,
-                std::string* out);
+// The document model and parser moved to benchkit/benchjson (shared with
+// tools/ckptinspect); these aliases keep the historical slo:: spellings.
+using Scalar = benchkit::Scalar;
+using Fields = benchkit::Fields;
+using Doc = benchkit::Doc;
+using benchkit::parse;
+using benchkit::get_number;
+using benchkit::get_string;
 
 /// Gate tolerances, all one-sided.
 struct Tolerances {

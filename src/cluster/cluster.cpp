@@ -80,6 +80,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     copilot_bounds_.push_back(std::make_unique<std::atomic<simtime::SimTime>>(
         std::numeric_limits<simtime::SimTime>::max()));
     copilot_failovers_.push_back(std::make_unique<std::atomic<int>>(0));
+    blade_kills_.push_back(std::make_unique<std::atomic<int>>(0));
     if (config_.nodes[i].kind != NodeKind::kCell) continue;
     mpisim::RankInfo info;
     info.core = simtime::CoreKind::kPpe;  // runs on the PPE's 2nd HW thread
@@ -187,6 +188,25 @@ int Cluster::copilot_failover_count(int node_index) const {
     throw std::out_of_range("Cluster: node index out of range");
   }
   return copilot_failovers_[static_cast<std::size_t>(node_index)]->load(
+      std::memory_order_relaxed);
+}
+
+void Cluster::record_blade_kill(int node_index) {
+  if (!is_cell_node(node_index)) {
+    throw std::invalid_argument("Cluster: node " +
+                                std::to_string(node_index) +
+                                " has no blade (not a Cell node)");
+  }
+  blade_kills_[static_cast<std::size_t>(node_index)]->fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+int Cluster::blade_kill_count(int node_index) const {
+  if (node_index < 0 ||
+      static_cast<std::size_t>(node_index) >= blade_kills_.size()) {
+    throw std::out_of_range("Cluster: node index out of range");
+  }
+  return blade_kills_[static_cast<std::size_t>(node_index)]->load(
       std::memory_order_relaxed);
 }
 

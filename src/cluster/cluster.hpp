@@ -141,6 +141,13 @@ class Cluster {
   /// Number of standby takeovers the node's Co-Pilot has seen this job.
   int copilot_failover_count(int node_index) const;
 
+  /// Records that the whole blade was killed by a blade_kill fault (every
+  /// SPE context plus its Co-Pilot).  Throws for Xeon nodes.
+  void record_blade_kill(int node_index);
+
+  /// Number of blade_kill faults the node has absorbed this job.
+  int blade_kill_count(int node_index) const;
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<cellsim::CellBlade>> blades_;  // null for Xeon
@@ -152,6 +159,7 @@ class Cluster {
       copilot_bounds_;  // per node
   std::vector<std::unique_ptr<std::atomic<int>>>
       copilot_failovers_;  // per node
+  std::vector<std::unique_ptr<std::atomic<int>>> blade_kills_;  // per node
   int user_ranks_ = 0;
   std::optional<mpisim::Rank> service_rank_;
 };

@@ -1,0 +1,495 @@
+// checkpoint.cpp — see checkpoint.hpp for the design narrative.
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/trace.hpp"
+#include "pilot/wire.hpp"
+#include "simtime/metrics.hpp"
+#include "simtime/tracebuf.hpp"
+
+namespace cellpilot::ckpt {
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof v);
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof v);
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+
+void put_bytes(std::vector<std::byte>& out, const void* p, std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  if (n != 0) std::memcpy(out.data() + at, p, n);
+}
+
+/// Appends one PILS-framed section: WireHeader + [CRC32(body)][body].
+void put_section(std::vector<std::byte>& out, Section section,
+                 std::uint32_t cut, std::span<const std::byte> body) {
+  pilot::WireHeader header;
+  header.magic = pilot::kWireMarkerMagic;
+  header.signature = static_cast<std::uint32_t>(section);
+  header.epoch = cut;
+  header.payload_bytes = sizeof(std::uint32_t) + body.size();
+  put_bytes(out, &header, sizeof header);
+  put_u32(out, mpisim::reliable::crc32(body));
+  put_bytes(out, body.data(), body.size());
+}
+
+/// Bounds-checked little cursor for deserialize().
+struct Reader {
+  std::span<const std::byte> bytes;
+  std::size_t at = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || bytes.size() - at < n) return ok = false;
+    std::memcpy(dst, bytes.data() + at, n);
+    at += n;
+    return true;
+  }
+  std::uint8_t u8() { std::uint8_t v = 0; take(&v, sizeof v); return v; }
+  std::uint32_t u32() { std::uint32_t v = 0; take(&v, sizeof v); return v; }
+  std::uint64_t u64() { std::uint64_t v = 0; take(&v, sizeof v); return v; }
+};
+
+/// Finds (or creates) the shard for `node` in ascending-node order.
+Shard& shard_for(Image& image, std::int32_t node) {
+  for (auto& s : image.shards) {
+    if (s.node == node) return s;
+  }
+  auto it = image.shards.begin();
+  while (it != image.shards.end() && it->node < node) ++it;
+  it = image.shards.insert(it, Shard{});
+  it->node = node;
+  return *it;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const Image& image) {
+  std::vector<std::byte> out;
+  std::vector<std::byte> body;
+
+  // kHeader
+  put_u32(body, kFileVersion);
+  put_u32(body, static_cast<std::uint32_t>(image.shards.size()));
+  put_u32(body, image.channels);
+  put_u32(body, 0);  // reserved, keeps stamps 8-byte aligned
+  put_u64(body, static_cast<std::uint64_t>(image.begin));
+  put_u64(body, static_cast<std::uint64_t>(image.commit));
+  put_section(out, Section::kHeader, image.cut, body);
+
+  // kEpochs
+  body.clear();
+  put_u32(body, static_cast<std::uint32_t>(image.epochs.size()));
+  for (std::uint32_t e : image.epochs) put_u32(body, e);
+  put_section(out, Section::kEpochs, image.cut, body);
+
+  // Per-shard sections, ascending node order.
+  for (const Shard& shard : image.shards) {
+    body.clear();
+    put_u32(body, static_cast<std::uint32_t>(shard.node));
+    put_u32(body, static_cast<std::uint32_t>(shard.journal.size()));
+    put_u64(body, static_cast<std::uint64_t>(shard.stamp));
+    put_u64(body, shard.serviced);
+    for (const JournalMark& m : shard.journal) {
+      put_u32(body, static_cast<std::uint32_t>(m.pid));
+      put_u32(body, static_cast<std::uint32_t>(m.channel));
+      put_u64(body, m.writes);
+      put_u64(body, m.reads);
+      put_u32(body, m.reads_crc);
+    }
+    put_section(out, Section::kJournal, image.cut, body);
+
+    body.clear();
+    put_u32(body, static_cast<std::uint32_t>(shard.node));
+    put_u32(body, static_cast<std::uint32_t>(shard.parked.size()));
+    for (const ParkedOp& p : shard.parked) {
+      put_u32(body, static_cast<std::uint32_t>(p.channel));
+      put_u32(body, static_cast<std::uint32_t>(p.pid));
+      put_u32(body, p.opcode);
+      put_u32(body, p.signature);
+      put_u32(body, p.length);
+      put_u32(body, p.token);
+      put_u8(body, p.is_write);
+      put_u8(body, p.is_async);
+    }
+    put_section(out, Section::kParked, image.cut, body);
+
+    body.clear();
+    put_u32(body, static_cast<std::uint32_t>(shard.node));
+    put_u32(body, static_cast<std::uint32_t>(shard.images.size()));
+    for (const SpeImage& img : shard.images) {
+      put_u32(body, static_cast<std::uint32_t>(img.pid));
+      put_u64(body, static_cast<std::uint64_t>(img.clock));
+      put_u32(body, static_cast<std::uint32_t>(img.name.size()));
+      put_bytes(body, img.name.data(), img.name.size());
+      put_u32(body, static_cast<std::uint32_t>(img.ls.size()));
+      put_bytes(body, img.ls.data(), img.ls.size());
+    }
+    put_section(out, Section::kSpeImage, image.cut, body);
+  }
+
+  // kLinks
+  body.clear();
+  put_u32(body, static_cast<std::uint32_t>(image.links.size()));
+  for (const auto& link : image.links) {
+    put_u32(body, static_cast<std::uint32_t>(link.from));
+    put_u32(body, static_cast<std::uint32_t>(link.to));
+    put_u64(body, link.next_seq);
+    put_u64(body, link.expected);
+    put_u64(body, link.held);
+    put_u8(body, link.stashed);
+  }
+  put_section(out, Section::kLinks, image.cut, body);
+
+  // kCommit trailer: byte count + CRC of everything serialized so far.
+  body.clear();
+  put_u64(body, static_cast<std::uint64_t>(out.size()));
+  put_u32(body, mpisim::reliable::crc32(out));
+  put_section(out, Section::kCommit, image.cut, body);
+  return out;
+}
+
+ParseResult deserialize(std::span<const std::byte> bytes) {
+  ParseResult result;
+  std::size_t at = 0;
+  bool saw_header = false;
+  bool saw_commit = false;
+
+  while (at < bytes.size()) {
+    if (bytes.size() - at < sizeof(pilot::WireHeader)) {
+      result.error = "truncated section header";
+      return result;
+    }
+    pilot::WireHeader header;
+    std::memcpy(&header, bytes.data() + at, sizeof header);
+    if (header.magic != pilot::kWireMarkerMagic) {
+      result.error = "bad section magic";
+      return result;
+    }
+    if (header.payload_bytes < sizeof(std::uint32_t) ||
+        bytes.size() - at - sizeof header < header.payload_bytes) {
+      result.error = "truncated section payload";
+      return result;
+    }
+    const std::size_t section_start = at;
+    at += sizeof header;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + at, sizeof stored_crc);
+    at += sizeof stored_crc;
+    const std::size_t body_bytes =
+        static_cast<std::size_t>(header.payload_bytes) - sizeof stored_crc;
+    const std::span<const std::byte> body = bytes.subspan(at, body_bytes);
+    at += body_bytes;
+    if (mpisim::reliable::crc32(body) != stored_crc) {
+      result.error = "section " + std::to_string(header.signature) +
+                     " CRC mismatch";
+      return result;
+    }
+
+    Reader rd{body};
+    switch (static_cast<Section>(header.signature)) {
+      case Section::kHeader: {
+        const std::uint32_t version = rd.u32();
+        rd.u32();  // shard count (implied by the shard sections)
+        result.image.channels = rd.u32();
+        rd.u32();  // reserved
+        result.image.begin = static_cast<simtime::SimTime>(rd.u64());
+        result.image.commit = static_cast<simtime::SimTime>(rd.u64());
+        result.image.cut = header.epoch;
+        if (!rd.ok || version != kFileVersion) {
+          result.error = "bad header section";
+          return result;
+        }
+        saw_header = true;
+        break;
+      }
+      case Section::kEpochs: {
+        const std::uint32_t n = rd.u32();
+        result.image.epochs.clear();
+        for (std::uint32_t i = 0; rd.ok && i < n; ++i) {
+          result.image.epochs.push_back(rd.u32());
+        }
+        break;
+      }
+      case Section::kJournal: {
+        const std::int32_t node = static_cast<std::int32_t>(rd.u32());
+        const std::uint32_t n = rd.u32();
+        Shard& shard = shard_for(result.image, node);
+        shard.stamp = static_cast<simtime::SimTime>(rd.u64());
+        shard.serviced = rd.u64();
+        for (std::uint32_t i = 0; rd.ok && i < n; ++i) {
+          JournalMark m;
+          m.pid = static_cast<std::int32_t>(rd.u32());
+          m.channel = static_cast<std::int32_t>(rd.u32());
+          m.writes = rd.u64();
+          m.reads = rd.u64();
+          m.reads_crc = rd.u32();
+          shard.journal.push_back(m);
+        }
+        break;
+      }
+      case Section::kParked: {
+        const std::int32_t node = static_cast<std::int32_t>(rd.u32());
+        const std::uint32_t n = rd.u32();
+        Shard& shard = shard_for(result.image, node);
+        for (std::uint32_t i = 0; rd.ok && i < n; ++i) {
+          ParkedOp p;
+          p.channel = static_cast<std::int32_t>(rd.u32());
+          p.pid = static_cast<std::int32_t>(rd.u32());
+          p.opcode = rd.u32();
+          p.signature = rd.u32();
+          p.length = rd.u32();
+          p.token = rd.u32();
+          p.is_write = rd.u8();
+          p.is_async = rd.u8();
+          shard.parked.push_back(p);
+        }
+        break;
+      }
+      case Section::kSpeImage: {
+        const std::int32_t node = static_cast<std::int32_t>(rd.u32());
+        const std::uint32_t n = rd.u32();
+        Shard& shard = shard_for(result.image, node);
+        for (std::uint32_t i = 0; rd.ok && i < n; ++i) {
+          SpeImage img;
+          img.pid = static_cast<std::int32_t>(rd.u32());
+          img.clock = static_cast<simtime::SimTime>(rd.u64());
+          const std::uint32_t name_bytes = rd.u32();
+          if (!rd.ok || body.size() - rd.at < name_bytes) {
+            rd.ok = false;
+            break;
+          }
+          img.name.resize(name_bytes);
+          rd.take(img.name.data(), name_bytes);
+          const std::uint32_t ls_bytes = rd.u32();
+          if (!rd.ok || body.size() - rd.at < ls_bytes) {
+            rd.ok = false;
+            break;
+          }
+          img.ls.resize(ls_bytes);
+          rd.take(img.ls.data(), ls_bytes);
+          if (rd.ok) shard.images.push_back(std::move(img));
+        }
+        break;
+      }
+      case Section::kLinks: {
+        const std::uint32_t n = rd.u32();
+        for (std::uint32_t i = 0; rd.ok && i < n; ++i) {
+          mpisim::reliable::LinkSnapshot link;
+          link.from = static_cast<mpisim::Rank>(rd.u32());
+          link.to = static_cast<mpisim::Rank>(rd.u32());
+          link.next_seq = rd.u64();
+          link.expected = rd.u64();
+          link.held = rd.u64();
+          link.stashed = rd.u8();
+          result.image.links.push_back(link);
+        }
+        break;
+      }
+      case Section::kCommit: {
+        const std::uint64_t covered = rd.u64();
+        const std::uint32_t file_crc = rd.u32();
+        if (!rd.ok || covered != section_start ||
+            mpisim::reliable::crc32(bytes.subspan(0, section_start)) !=
+                file_crc) {
+          result.error = "commit trailer mismatch";
+          return result;
+        }
+        saw_commit = true;
+        break;
+      }
+      default:
+        result.error = "unknown section " + std::to_string(header.signature);
+        return result;
+    }
+    if (!rd.ok) {
+      result.error = "section " + std::to_string(header.signature) +
+                     " body truncated";
+      return result;
+    }
+  }
+
+  if (!saw_header) {
+    result.error = "missing header section";
+    return result;
+  }
+  if (!saw_commit) {
+    result.error = "missing commit trailer";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+CheckpointSession& CheckpointSession::global() {
+  static CheckpointSession session;
+  return session;
+}
+
+void CheckpointSession::configure(std::string path, std::uint64_t every) {
+  std::lock_guard lock(mu_);
+  path_ = std::move(path);
+  every_.store(every, std::memory_order_relaxed);
+  armed_.store(!path_.empty() && every != 0, std::memory_order_relaxed);
+}
+
+void CheckpointSession::begin_job(int cell_nodes) {
+  std::lock_guard lock(mu_);
+  cell_nodes_ = cell_nodes;
+  open_.clear();
+  cut_epochs_.clear();
+  cut_links_.clear();
+  next_cut_.clear();
+  committed_.store(false, std::memory_order_relaxed);
+  committed_cut_.store(0, std::memory_order_relaxed);
+}
+
+void CheckpointSession::end_job() {
+  std::lock_guard lock(mu_);
+  cell_nodes_ = 0;
+  open_.clear();
+  cut_epochs_.clear();
+  cut_links_.clear();
+  next_cut_.clear();
+  // committed_/committed_cut_ survive as the finished job's watermark so
+  // harnesses (loadgen, chaos_sweep) can report how far the checkpoint
+  // got; the next begin_job clears them.
+}
+
+void CheckpointSession::set_contributors(int cell_nodes) {
+  std::lock_guard lock(mu_);
+  if (cell_nodes == cell_nodes_) return;
+  cell_nodes_ = cell_nodes;
+  if (cell_nodes_ <= 0) return;
+  // A shard that landed before the quorum narrowed may already complete
+  // its cut; commit in ascending order (each commit prunes everything at
+  // or below its cut, so later cuts stay intact).
+  std::vector<std::uint32_t> ready;
+  for (const auto& [cut, shards] : open_) {
+    if (shards.size() >= static_cast<std::size_t>(cell_nodes_)) {
+      ready.push_back(cut);
+    }
+  }
+  for (const std::uint32_t cut : ready) {
+    if (open_.count(cut) != 0) commit_locked(cut);
+  }
+}
+
+std::uint32_t CheckpointSession::next_cut(std::int32_t node) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = next_cut_.try_emplace(node, 1u);
+  return it->second;
+}
+
+bool CheckpointSession::needs_contribution(std::int32_t node,
+                                           std::uint32_t cut) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = next_cut_.try_emplace(node, 1u);
+  return cut >= it->second;
+}
+
+bool CheckpointSession::contribute(
+    std::uint32_t cut, Shard shard, std::vector<std::uint32_t> epochs,
+    std::vector<mpisim::reliable::LinkSnapshot> links) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = next_cut_.try_emplace(shard.node, 1u);
+  if (cut < it->second) return false;  // already contributed (stale marker)
+  it->second = cut + 1;
+  auto& shards = open_[cut];
+  shards.emplace(shard.node, std::move(shard));
+  cut_epochs_[cut] = std::move(epochs);
+  cut_links_[cut] = std::move(links);
+  if (cell_nodes_ <= 0 ||
+      shards.size() < static_cast<std::size_t>(cell_nodes_)) {
+    return false;
+  }
+  commit_locked(cut);
+  return true;
+}
+
+void CheckpointSession::commit_locked(std::uint32_t cut) {
+  Image image;
+  image.cut = cut;
+  image.epochs = std::move(cut_epochs_[cut]);
+  image.links = std::move(cut_links_[cut]);
+  auto& shards = open_[cut];
+  image.channels = 0;
+  bool first = true;
+  for (auto& [node, shard] : shards) {
+    for (const JournalMark& m : shard.journal) {
+      if (m.channel >= 0 &&
+          static_cast<std::uint32_t>(m.channel) + 1 > image.channels) {
+        image.channels = static_cast<std::uint32_t>(m.channel) + 1;
+      }
+    }
+    if (first || shard.stamp < image.begin) image.begin = shard.stamp;
+    if (first || shard.stamp > image.commit) image.commit = shard.stamp;
+    first = false;
+    image.shards.push_back(std::move(shard));
+  }
+  if (image.epochs.size() > image.channels) {
+    image.channels = static_cast<std::uint32_t>(image.epochs.size());
+  }
+
+  // A slow straggler finishing an older cut after a newer one committed
+  // must not roll the file (or the "latest committed" watermark) backwards.
+  const std::uint32_t prior = committed_cut_.load(std::memory_order_relaxed);
+  if (cut > prior) {
+    const std::vector<std::byte> bytes = serialize(image);
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+    }
+    committed_cut_.store(cut, std::memory_order_relaxed);
+    committed_.store(true, std::memory_order_relaxed);
+
+    // Observability: every field below is a pure function of the shards,
+    // so whichever thread commits records identical events.
+    if (simtime::tracebuf::armed()) {
+      using simtime::tracebuf::Kind;
+      simtime::tracebuf::record(Kind::kCkptBegin, "ckpt", image.begin,
+                                image.begin, 0, -1, 0,
+                                static_cast<std::int64_t>(cut));
+      for (const Shard& shard : image.shards) {
+        simtime::tracebuf::record(Kind::kCkptCut,
+                                  "node" + std::to_string(shard.node),
+                                  shard.stamp, shard.stamp, 0, -1, 0,
+                                  static_cast<std::int64_t>(cut));
+      }
+      simtime::tracebuf::record(Kind::kCkptCommit, "ckpt", image.commit,
+                                image.commit, 0, -1, 0,
+                                static_cast<std::int64_t>(cut));
+    }
+    if (simtime::metrics::armed()) {
+      simtime::metrics::record(simtime::metrics::Kind::kCkptQuiesce, 0, -1,
+                               "ckpt", image.commit - image.begin);
+    }
+    for (std::uint32_t c = 0; c < image.channels; ++c) {
+      trace::ChannelCounters::global().add_checkpoint(static_cast<int>(c));
+    }
+  }
+
+  // Drop this cut and anything older it supersedes.
+  open_.erase(open_.begin(), open_.upper_bound(cut));
+  cut_epochs_.erase(cut_epochs_.begin(), cut_epochs_.upper_bound(cut));
+  cut_links_.erase(cut_links_.begin(), cut_links_.upper_bound(cut));
+}
+
+}  // namespace cellpilot::ckpt

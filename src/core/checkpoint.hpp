@@ -1,0 +1,228 @@
+// checkpoint.hpp — coordinated cluster checkpoints in virtual time.
+//
+// A Chandy–Lamport-style snapshot adapted to CellPilot's conservative
+// virtual-time engine.  Each Co-Pilot counts the requests it services; every
+// `-pickptevery` services it contributes a *shard* — its node's slice of the
+// global state — to the currently open cut, then floods a PILS marker frame
+// down every outgoing peer-relay route (Table I type 5).  A Co-Pilot that
+// receives a marker for a cut it has not joined contributes early, so the
+// shards of one cut sit on a consistent frontier: no application message is
+// recorded as received by one side of the cut without being recorded as sent
+// by the other.  Markers travel only between Co-Pilots — plain ranks never
+// see a PILS frame, their state is reconstructed from the delivery journal.
+//
+// When the last Cell node's shard lands, the cut *commits*: the session
+// serializes the shards — per-channel epochs, per-process delivery-journal
+// marks, parked Co-Pilot operations, local-store images of quiescent
+// (sync-parked) SPEs, and the reliable sublayer's per-link windows — into a
+// versioned, CRC-framed checkpoint file.  The file is overwritten in place,
+// so it always holds the *latest* committed cut, and its bytes are a pure
+// function of the seed (shards are keyed and ordered by node index; host
+// scheduling decides only which thread performs the serialization, never
+// what is serialized).
+//
+// Discipline mirrors trace/metrics/faultplan: the session is process-wide,
+// armed by `-pickpt=FILE`, and free when disarmed — one relaxed atomic load
+// on the request path, no virtual-time cost, no allocation.  Armed but
+// untriggered (interval never reached), a run's stdout, trace, and metrics
+// stay byte-identical to a disarmed run.
+//
+// The consumer is the blade-loss recovery path (core/copilot): a `blade_kill`
+// fault takes out a whole blade — every SPE context plus its Co-Pilot.  With
+// a committed checkpoint on record the standby Co-Pilot relaunches the lost
+// contexts and replays the delivery journal across the cut for exactly-once
+// delivery (PR 7's epoch tombstones suppress the dead incarnation's
+// in-flight frames).  With no checkpoint it degrades to the poison + PILF
+// ladder — readers fault fast, nothing hangs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/reliable.hpp"
+#include "simtime/sim_time.hpp"
+
+namespace cellpilot::ckpt {
+
+/// Checkpoint file format version (kHeader section).
+inline constexpr std::uint32_t kFileVersion = 1;
+
+/// Section ids (WireHeader.signature of each PILS-framed section).
+enum class Section : std::uint32_t {
+  kHeader = 1,    ///< version, shard count, channel count, cut stamps
+  kEpochs = 2,    ///< per-channel writer epochs at commit
+  kJournal = 3,   ///< one node's delivery-journal marks
+  kParked = 4,    ///< one node's parked Co-Pilot operations
+  kSpeImage = 5,  ///< one node's quiescent local-store images
+  kLinks = 6,     ///< reliable-sublayer per-link protocol state
+  kCommit = 7,    ///< trailer: byte count + CRC of everything before it
+};
+
+/// Delivery-journal position of one (process, channel) pair at the cut.
+/// `reads_crc` is a CRC32 over the journaled read payloads, so an offline
+/// verifier can prove two checkpoints saw the same bytes without storing
+/// the payloads themselves.
+struct JournalMark {
+  std::int32_t pid = -1;
+  std::int32_t channel = -1;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint32_t reads_crc = 0;
+};
+
+/// One operation parked in a Co-Pilot's pending tables at the cut: a
+/// pair-local op waiting for its peer, or a read awaiting MPI data.
+struct ParkedOp {
+  std::int32_t channel = -1;
+  std::int32_t pid = -1;
+  std::uint32_t opcode = 0;
+  std::uint32_t signature = 0;
+  std::uint32_t length = 0;
+  std::uint32_t token = 0;  ///< completion token (async ops only)
+  std::uint8_t is_write = 0;
+  std::uint8_t is_async = 0;
+};
+
+/// Local-store image of one quiescent SPE.  Only SPEs blocked in a
+/// synchronous parked op are captured: they sit in a mailbox read with a
+/// stable store, so the image is exact at the cut's virtual stamp.
+struct SpeImage {
+  std::int32_t pid = -1;
+  simtime::SimTime clock = 0;
+  std::string name;
+  std::vector<std::byte> ls;
+};
+
+/// One Cell node's slice of the snapshot.
+struct Shard {
+  std::int32_t node = -1;
+  simtime::SimTime stamp = 0;    ///< contributor's virtual time at the cut
+  std::uint64_t serviced = 0;    ///< requests serviced before contributing
+  std::vector<JournalMark> journal;
+  std::vector<ParkedOp> parked;
+  std::vector<SpeImage> images;
+};
+
+/// A fully assembled cut, ready to serialize.  `begin`/`commit` are the
+/// min/max shard stamps: the virtual-time span the frontier cuts across.
+struct Image {
+  std::uint32_t cut = 0;
+  std::uint32_t channels = 0;
+  simtime::SimTime begin = 0;
+  simtime::SimTime commit = 0;
+  std::vector<std::uint32_t> epochs;  ///< per channel, at commit
+  std::vector<Shard> shards;          ///< ascending node index
+  std::vector<mpisim::reliable::LinkSnapshot> links;
+};
+
+/// Serializes an image to checkpoint-file bytes: a sequence of PILS-framed
+/// sections, each `WireHeader{magic=PILS, signature=section, epoch=cut}`
+/// followed by `[4B CRC32 of body][body]`, closed by a kCommit trailer
+/// whose body holds the byte count and CRC32 of everything before it.
+/// Exposed standalone so golden tests and tools/ckptinspect share it.
+std::vector<std::byte> serialize(const Image& image);
+
+/// Parse outcome of `deserialize` (tools/ckptinspect, tests).
+struct ParseResult {
+  bool ok = false;
+  std::string error;  ///< first structural/CRC failure, empty when ok
+  Image image;
+};
+
+/// Parses and verifies checkpoint-file bytes: section framing, every
+/// per-section CRC, and the kCommit trailer.
+ParseResult deserialize(std::span<const std::byte> bytes);
+
+/// Process-wide checkpoint coordinator.  Thread-safe: every Co-Pilot
+/// contributes through it; whichever thread lands the final shard of a cut
+/// performs the commit inline.
+class CheckpointSession {
+ public:
+  static CheckpointSession& global();
+
+  /// Arms the session: checkpoints serialize to `path`, a cut opens every
+  /// `every` serviced requests per Co-Pilot.  Empty path disarms.
+  void configure(std::string path, std::uint64_t every);
+
+  /// True when a checkpoint file path is armed.  One relaxed load — the
+  /// request-path fast gate.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Cut interval (requests serviced per Co-Pilot between cuts).
+  std::uint64_t every() const { return every_.load(std::memory_order_relaxed); }
+
+  /// Declares a job's contributor set: cuts commit when `cell_nodes` shards
+  /// have landed.  Clears any state left by a previous job.
+  void begin_job(int cell_nodes);
+
+  /// Drops per-job cut state (the file on disk survives).
+  void end_job();
+
+  /// Narrows the quorum to the Cell nodes that actually host SPE contexts
+  /// (called at PI_StartAll, once the process tables are final).  A blade
+  /// without SPEs never services a request — it would block every cut
+  /// forever — and it has nothing to checkpoint: its ranks' state is
+  /// reconstructed from peer journals at restore.  Narrowing re-evaluates
+  /// any already-open cut, so the committed watermark is independent of
+  /// which thread got here first.
+  void set_contributors(int cell_nodes);
+
+  /// Next cut ordinal this node should contribute to (1-based).  Each
+  /// Co-Pilot contributes to cut k at its k-th interval hit, or earlier
+  /// when a PILS marker for cut >= k arrives — either way the mapping from
+  /// cut id to contribution point is a pure function of that node's
+  /// deterministic event sequence.
+  std::uint32_t next_cut(std::int32_t node);
+
+  /// True when this node has not yet contributed to `cut` (marker receipt
+  /// path: decides whether a marker triggers an early contribution).
+  bool needs_contribution(std::int32_t node, std::uint32_t cut);
+
+  /// Lands one shard.  `epochs` and `links` are the contributor's view of
+  /// the global tables (used only if this contribution commits the cut).
+  /// Returns true when the shard completed the cut — the commit, including
+  /// the file write, ran inline on this thread.
+  bool contribute(std::uint32_t cut, Shard shard,
+                  std::vector<std::uint32_t> epochs,
+                  std::vector<mpisim::reliable::LinkSnapshot> links);
+
+  /// True once any cut has committed this job (the blade-restore gate).
+  bool has_committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest committed cut id this job (0 = none).
+  std::uint32_t committed_cut() const {
+    return committed_cut_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  CheckpointSession() = default;
+  void commit_locked(std::uint32_t cut);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> every_{0};
+  std::string path_;
+  int cell_nodes_ = 0;
+
+  /// Open cuts: cut id -> shards landed so far (keyed by node).
+  std::map<std::uint32_t, std::map<std::int32_t, Shard>> open_;
+  /// Commit extras from the latest contributor per cut.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> cut_epochs_;
+  std::map<std::uint32_t, std::vector<mpisim::reliable::LinkSnapshot>>
+      cut_links_;
+  /// Per-node next cut ordinal (see next_cut).
+  std::map<std::int32_t, std::uint32_t> next_cut_;
+
+  std::atomic<bool> committed_{false};
+  std::atomic<std::uint32_t> committed_cut_{0};
+};
+
+}  // namespace cellpilot::ckpt

@@ -15,6 +15,7 @@
 #include "cellsim/cell.hpp"
 #include "cellsim/errors.hpp"
 #include "cellsim/libspe2.hpp"
+#include "core/checkpoint.hpp"
 #include "core/epoch.hpp"
 #include "core/faultplan.hpp"
 #include "core/flightrec.hpp"
@@ -38,6 +39,7 @@ std::atomic<std::uint64_t> g_faults{0};
 std::atomic<std::uint64_t> g_failovers{0};
 std::atomic<std::uint64_t> g_respawns{0};
 std::atomic<std::uint64_t> g_recovered_ops{0};
+std::atomic<std::uint64_t> g_restores{0};
 std::atomic<simtime::SimTime> g_recovery_begin{0};
 std::atomic<simtime::SimTime> g_recovery_end{0};
 }  // namespace
@@ -48,6 +50,7 @@ std::uint64_t fault_count() { return g_faults.load(); }
 std::uint64_t failover_count() { return g_failovers.load(); }
 std::uint64_t respawn_count() { return g_respawns.load(); }
 std::uint64_t recovered_op_count() { return g_recovered_ops.load(); }
+std::uint64_t restore_count() { return g_restores.load(); }
 simtime::SimTime recovery_begin() { return g_recovery_begin.load(); }
 simtime::SimTime recovery_end() { return g_recovery_end.load(); }
 void note_recovery_span(simtime::SimTime begin, simtime::SimTime end) {
@@ -66,6 +69,7 @@ void reset_counters() {
   g_failovers.store(0);
   g_respawns.store(0);
   g_recovered_ops.store(0);
+  g_restores.store(0);
   g_recovery_begin.store(0);
   g_recovery_end.store(0);
 }
@@ -161,6 +165,23 @@ class CopilotService {
     std::vector<Assembly> assembly;
     std::multimap<int, Pending> writes;
     std::multimap<int, Pending> reads;
+    std::set<unsigned> dead_spes;
+    std::map<int, CompletionStatus> dead_channels;
+    std::map<int, CompletionStatus> failed;
+    std::map<int, Journal> journal;
+    std::map<int, RespawnState> respawns;
+  };
+
+  /// What a blade_kill fault throws: the whole blade died — every SPE
+  /// context plus the Co-Pilot.  Unlike Crash, the SPE-side dynamic state
+  /// (ready queue, assemblies, parked ops) dies with the blade; what
+  /// survives is the delivery journal — the message log that, together
+  /// with the last committed checkpoint, lets the successor relaunch the
+  /// lost contexts with exactly-once delivery across the cut.
+  struct BladeLoss {
+    SimTime stamp = 0;
+    std::uint64_t serviced = 0;  ///< keeps the checkpoint cadence
+    std::vector<std::pair<int, unsigned>> victims;  ///< (pid, dead slot)
     std::set<unsigned> dead_spes;
     std::map<int, CompletionStatus> dead_channels;
     std::map<int, CompletionStatus> failed;
@@ -272,6 +293,54 @@ class CopilotService {
     }
   }
 
+  /// Blade-loss recovery, run by copilot_main on the successor service
+  /// before its main loop.  With a committed checkpoint on record every
+  /// lost context is relaunched and the journal replays across the cut
+  /// (exactly-once delivery); without one — or when a relaunch is
+  /// impossible — the victim degrades through fail_process: error
+  /// completions and PILF frames at every peer, never a hang.
+  void restore_blade(BladeLoss& loss) {
+    auto& session = ckpt::CheckpointSession::global();
+    const bool restore = session.armed() && session.has_committed();
+    serviced_ = loss.serviced;
+    dead_spes_ = std::move(loss.dead_spes);
+    dead_channels_ = std::move(loss.dead_channels);
+    failed_ = std::move(loss.failed);
+    journal_ = std::move(loss.journal);
+    respawns_ = std::move(loss.respawns);
+    for (const auto& [pid, slot] : loss.victims) {
+      dead_spes_.insert(slot);
+      if (auto rit = respawns_.find(pid); rit != respawns_.end()) {
+        rit->second.alive = false;
+      }
+    }
+    if (!restore) {
+      for (const auto& [pid, slot] : loss.victims) {
+        supervision::g_faults.fetch_add(1);
+        fail_process(
+            pid, CompletionStatus::kSpeFault,
+            static_cast<std::uint32_t>(cellsim::FaultCode::kInjected),
+            "blade " + blade_.name() +
+                " killed with no committed checkpoint: process " +
+                app_.process(pid).name + " lost");
+      }
+      return;
+    }
+    for (const auto& [pid, slot] : loss.victims) {
+      if (!restore_one(pid, loss.stamp)) {
+        supervision::g_faults.fetch_add(1);
+        fail_process(
+            pid, CompletionStatus::kSpeFault,
+            static_cast<std::uint32_t>(cellsim::FaultCode::kInjected),
+            "blade " + blade_.name() + " restore failed for process " +
+                app_.process(pid).name);
+      }
+    }
+    flightrec::FlightRecorder::global().dump(
+        "blade_restore: " + blade_.name() + " from checkpoint cut " +
+        std::to_string(session.committed_cut()));
+  }
+
  private:
   struct Candidate {
     enum Kind { kRequest, kMpiData, kShutdown, kSpeFault };
@@ -300,6 +369,9 @@ class CopilotService {
   /// order.
   void drain_mailboxes() {
     for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      // A blade_kill closes its victims' mailboxes; polling a closed,
+      // empty mailbox throws.  A dead slot has nothing to say anyway.
+      if (dead_spes_.count(s) != 0) continue;
       while (auto entry = blade_.spe(s).outbound_mailbox().try_pop()) {
         Assembly& a = assembly_[s];
         if (a.n == 0) a.first_stamp = entry->stamp;
@@ -456,9 +528,15 @@ class CopilotService {
                                 epochs::current(w.req.channel));
   }
 
-  /// Whether the replay journal is armed (-pirespawn > 0).  A disarmed run
-  /// records nothing, so the feature is zero-cost when unused.
-  bool journaling() const { return app_.options().respawn_budget > 0; }
+  /// Whether the replay journal is armed: -pirespawn > 0, or a checkpoint
+  /// file is armed (-pickpt) — blade restore replays the journal across
+  /// the cut.  A disarmed run records nothing, so the feature is zero-cost
+  /// when unused; journaling itself never moves virtual time or emits
+  /// trace, so arming it keeps output byte-identical.
+  bool journaling() const {
+    return app_.options().respawn_budget > 0 ||
+           ckpt::CheckpointSession::global().armed();
+  }
 
   /// Journals one delivered write of SPE `spe` (the frame is on the wire /
   /// in the local reader's store): a future incarnation deduplicates it.
@@ -605,43 +683,9 @@ class CopilotService {
 
     // Relaunch: same recipe as PI_RunSPE, into the fresh context, starting
     // no earlier than the Co-Pilot's post-backoff clock.
-    app_.bind_spe_process(node_, flat, pid);
-    cellsim::Spe& spe = blade_.spe(flat);
-    mpisim::World* world = &app_.cluster().world();
-    auto launch = std::make_unique<SpeLaunchArgs>();
-    launch->app = &app_;
-    launch->process_id = pid;
-    launch->arg = seed->arg;
-    launch->ptr = seed->ptr;
-    const SimTime start = std::max(clock().now(), spe.clock().now());
     const std::string proc_name = app_.process(pid).name;
-    pilot::PilotApp* app = &app_;
-    std::thread t([app, &spe, program = seed->program,
-                   launch = std::move(launch), node = node_, flat, start,
-                   world, proc_name] {
-      spe.clock().join(start);
-      bool faulted = false;
-      try {
-        cellsim::spe2::SpeContext sctx(spe);
-        sctx.run(*program, cellsim::ea_of(launch.get()), 0);
-      } catch (const mpisim::WorldAborted&) {
-        // Job torn down elsewhere.
-      } catch (const cellsim::HardwareFault& f) {
-        // A respawned occupant can die too: leave the notice and let the
-        // ladder decide again (respawn while budget lasts, then degrade).
-        if (!world->aborted()) {
-          faulted = true;
-          spe.raise_fault(f.fault_code(), spe.clock().now(),
-                          "SPE process " + proc_name + ": " + f.what());
-        }
-      } catch (const std::exception& e) {
-        if (!world->aborted()) {
-          world->abort("SPE process " + proc_name + " failed: " + e.what());
-        }
-      }
-      if (!faulted) app->release_spe(node, flat);
-    });
-    app_.add_spe_thread(seed->owner, std::move(t));
+    const SimTime start = relaunch(pid, flat, *seed);
+    cellsim::Spe& spe = blade_.spe(flat);
 
     rs.flat = flat;
     rs.alive = true;
@@ -666,6 +710,54 @@ class CopilotService {
         std::to_string(rs.attempts) + "/" + std::to_string(budget) +
         " into " + spe.name());
     return true;
+  }
+
+  /// Launches process `pid`'s registered program into pooled context
+  /// `flat` — the shared relaunch recipe of supervised respawn and blade
+  /// restore.  Returns the new occupant's start stamp (no earlier than the
+  /// Co-Pilot's clock).  The thread wrapper mirrors PI_RunSPE's: a clean
+  /// exit releases the slot, a hardware fault leaves a notice for the
+  /// ladder, anything else aborts the world.
+  SimTime relaunch(int pid, unsigned flat,
+                   const pilot::PilotApp::RespawnSeed& seed) {
+    app_.bind_spe_process(node_, flat, pid);
+    cellsim::Spe& spe = blade_.spe(flat);
+    mpisim::World* world = &app_.cluster().world();
+    auto launch = std::make_unique<SpeLaunchArgs>();
+    launch->app = &app_;
+    launch->process_id = pid;
+    launch->arg = seed.arg;
+    launch->ptr = seed.ptr;
+    const SimTime start = std::max(clock().now(), spe.clock().now());
+    const std::string proc_name = app_.process(pid).name;
+    pilot::PilotApp* app = &app_;
+    std::thread t([app, &spe, program = seed.program,
+                   launch = std::move(launch), node = node_, flat, start,
+                   world, proc_name] {
+      spe.clock().join(start);
+      bool faulted = false;
+      try {
+        cellsim::spe2::SpeContext sctx(spe);
+        sctx.run(*program, cellsim::ea_of(launch.get()), 0);
+      } catch (const mpisim::WorldAborted&) {
+        // Job torn down elsewhere.
+      } catch (const cellsim::HardwareFault& f) {
+        // A respawned occupant can die too: leave the notice and let the
+        // ladder decide again (respawn while budget lasts, then degrade).
+        if (!world->aborted()) {
+          faulted = true;
+          spe.raise_fault(f.fault_code(), spe.clock().now(),
+                          "SPE process " + proc_name + ": " + f.what());
+        }
+      } catch (const std::exception& e) {
+        if (!world->aborted()) {
+          world->abort("SPE process " + proc_name + " failed: " + e.what());
+        }
+      }
+      if (!faulted) app->release_spe(node, flat);
+    });
+    app_.add_spe_thread(seed.owner, std::move(t));
+    return start;
   }
 
   /// Serves a respawned incarnation's operation from the journal when it
@@ -787,6 +879,14 @@ class CopilotService {
         !app_.cluster().world().same_node(r.expected_source, mpi_.rank());
     clock().advance(remote ? cost_.copilot_dispatch_remote
                            : cost_.copilot_dispatch);
+    if (pilot::is_marker_frame(framed)) {
+      // A peer Co-Pilot's PILS checkpoint marker arrived ahead of the data
+      // this read is waiting for.  Contribute this node's shard to the
+      // marked cut (first marker wins; stragglers are no-ops) and keep the
+      // read parked — the data frame is still behind the marker.
+      on_marker(pilot::parse_marker_frame(framed));
+      return false;
+    }
     if (pilot::is_fault_frame(framed)) {
       // The writer died instead of producing data: its Co-Pilot (or the
       // failure sweep) put the error on the wire in the data's place.
@@ -858,6 +958,48 @@ class CopilotService {
       c.respawns = std::move(respawns_);
       throw c;
     }
+    if (faults::FaultPlan::global().armed() &&
+        faults::FaultPlan::global().should_kill_blade(blade_.name().c_str(),
+                                                      node_)) {
+      // The whole blade dies: every SPE context plus this Co-Pilot.  Close
+      // the victims' mailboxes (their threads die quietly on the next
+      // mailbox op — the raised notices land in dead_spes_ and are never
+      // consumed), retract their parked block reports, and throw the
+      // message log up to copilot_main's supervisor.
+      BladeLoss loss;
+      loss.stamp = clock().now();
+      loss.serviced = serviced_;
+      for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+        if (dead_spes_.count(s) != 0) continue;
+        if (!app_.spe_assigned(node_, s)) continue;
+        if (blade_.spe(s).fault_notice() != nullptr) continue;
+        const int pid = app_.spe_process(node_, s);
+        if (pid < 0 || failed_.count(pid) != 0) continue;
+        loss.victims.emplace_back(pid, s);
+      }
+      for (const auto& [pid, slot] : loss.victims) {
+        blade_.spe(slot).shutdown();
+      }
+      const auto retract = [&](std::multimap<int, Pending>& parked) {
+        for (const auto& entry : parked) {
+          const Pending& p = entry.second;
+          if (!request_is_async(p.req)) {
+            pilot::notify_unblock_proxy(mpi_, app_,
+                                        app_.spe_process(node_, p.spe));
+          }
+        }
+      };
+      retract(pending_writes_);
+      retract(pending_reads_);
+      crashed_ = true;
+      crash_stamp_ = loss.stamp;
+      loss.dead_spes = std::move(dead_spes_);
+      loss.dead_channels = std::move(dead_channels_);
+      loss.failed = std::move(failed_);
+      loss.journal = std::move(journal_);
+      loss.respawns = std::move(respawns_);
+      throw loss;
+    }
     if (supervise_deadline(ready)) return;
     if (simtime::metrics::armed()) {
       simtime::metrics::record(simtime::metrics::Kind::kCopilotQueueWait,
@@ -873,6 +1015,17 @@ class CopilotService {
                                route_type_of(ready.req.channel),
                                ready.req.channel, copilot_name(),
                                clock().now() - service_begin);
+    }
+    // Checkpoint cadence: every `-pickptevery` serviced requests this node
+    // contributes a shard to the next coordinated cut.  One relaxed load
+    // when disarmed.
+    ++serviced_;
+    auto& session = ckpt::CheckpointSession::global();
+    if (session.armed()) {
+      const std::uint64_t every = session.every();
+      if (every != 0 && serviced_ % every == 0) {
+        contribute_cut(session.next_cut(node_));
+      }
     }
   }
 
@@ -1024,6 +1177,217 @@ class CopilotService {
              ? "copilot_fault: "
              : "spe_fault: ") +
         detail);
+  }
+
+  /// Contributes this node's shard to cut `cut`, then floods PILS markers
+  /// on every outgoing peer-relay route (Table I type 5) so lagging peers
+  /// join the same cut at a deterministic point in their own event order.
+  /// The shard is a pure copy of service state — building it moves no
+  /// virtual time; only the marker sends (real wire traffic) do.
+  void contribute_cut(std::uint32_t cut) {
+    auto& session = ckpt::CheckpointSession::global();
+    ckpt::Shard shard;
+    shard.node = node_;
+    shard.stamp = clock().now();
+    shard.serviced = serviced_;
+
+    // Journal marks: delivery counts (and a CRC over the read payloads) of
+    // every (process, channel) pair, in key order.
+    std::vector<std::byte> scratch;
+    for (const auto& [pid, j] : journal_) {
+      std::set<int> channels;
+      for (const auto& [c, ops] : j.writes) channels.insert(c);
+      for (const auto& [c, ops] : j.reads) channels.insert(c);
+      for (const int c : channels) {
+        ckpt::JournalMark mark;
+        mark.pid = pid;
+        mark.channel = c;
+        if (auto it = j.writes.find(c); it != j.writes.end()) {
+          mark.writes = it->second.size();
+        }
+        if (auto it = j.reads.find(c); it != j.reads.end()) {
+          mark.reads = it->second.size();
+          scratch.clear();
+          for (const JournalOp& op : it->second) {
+            scratch.insert(scratch.end(), op.payload.begin(),
+                           op.payload.end());
+          }
+          mark.reads_crc = mpisim::reliable::crc32(scratch);
+        }
+        shard.journal.push_back(mark);
+      }
+    }
+
+    // Parked operations, plus the local-store image of every SPE blocked
+    // in a synchronous parked op: such an SPE sleeps in a mailbox read, so
+    // its store is stable and the image exact at the cut's stamp.
+    std::set<unsigned> imaged;
+    const auto collect = [&](const std::multimap<int, Pending>& parked,
+                             bool is_write) {
+      for (const auto& entry : parked) {
+        const Pending& p = entry.second;
+        ckpt::ParkedOp op;
+        op.channel = p.req.channel;
+        op.pid = app_.spe_process(node_, p.spe);
+        op.opcode = static_cast<std::uint32_t>(p.req.opcode);
+        op.signature = p.req.signature;
+        op.length = p.req.length;
+        op.token = p.req.token;
+        op.is_write = is_write ? 1 : 0;
+        op.is_async = request_is_async(p.req) ? 1 : 0;
+        shard.parked.push_back(op);
+        if (!request_is_async(p.req) && imaged.insert(p.spe).second) {
+          cellsim::Spe& spe = blade_.spe(p.spe);
+          ckpt::SpeImage image;
+          image.pid = op.pid;
+          image.clock = spe.clock().now();
+          image.name = spe.name();
+          const std::byte* base = spe.local_store().base();
+          image.ls.assign(base, base + spe.local_store().size());
+          shard.images.push_back(std::move(image));
+        }
+      }
+    };
+    collect(pending_writes_, true);
+    collect(pending_reads_, false);
+
+    // Flood markers before the contribution can commit the cut.  Only
+    // type-5 routes carry them: plain ranks cannot parse a PILS frame,
+    // and their state is reconstructed from the journal anyway.
+    std::set<int> local_pids;
+    for (unsigned s = 0; s < blade_.spe_count(); ++s) {
+      if (dead_spes_.count(s) != 0) continue;
+      if (!app_.spe_assigned(node_, s)) continue;
+      const int pid = app_.spe_process(node_, s);
+      if (pid >= 0) local_pids.insert(pid);
+    }
+    pilot::MarkerFrame marker;
+    marker.cut = cut;
+    marker.stamp = shard.stamp;
+    marker.node = static_cast<std::uint32_t>(node_);
+    for (int c = 0; c < app_.channel_count(); ++c) {
+      const PI_CHANNEL& ch = app_.channel(c);
+      if (local_pids.count(ch.from) == 0) continue;
+      const Route* rt = ch.route;
+      if (rt == nullptr ||
+          rt->copilot_write != CopilotWriteAction::kRelayToPeer) {
+        continue;
+      }
+      const std::vector<std::byte> framed = pilot::frame_marker(marker);
+      // The channel's current epoch rides along so an armed epoch floor
+      // (respawn/restore tombstones) never swallows the marker.
+      mpisim::reliable::set_send_epoch(epochs::current(c));
+      mpi_.send(framed.data(), framed.size(), rt->copilot_write_dest,
+                rt->tag);
+    }
+
+    std::vector<std::uint32_t> all_epochs;
+    all_epochs.reserve(static_cast<std::size_t>(app_.channel_count()));
+    for (int c = 0; c < app_.channel_count(); ++c) {
+      all_epochs.push_back(epochs::current(c));
+    }
+    session.contribute(cut, std::move(shard), std::move(all_epochs),
+                       mpisim::reliable::snapshot_links());
+  }
+
+  /// Marker receipt: join the marked cut unless this node already
+  /// contributed to it (stragglers are no-ops).
+  void on_marker(const pilot::MarkerFrame& marker) {
+    auto& session = ckpt::CheckpointSession::global();
+    if (!session.armed()) return;
+    if (session.needs_contribution(node_, marker.cut)) {
+      contribute_cut(marker.cut);
+    }
+  }
+
+  /// Relaunches one lost process from the checkpoint's message log:
+  /// acquire a fresh context, tombstone the dead blade's in-flight frames
+  /// (epoch bump + floor, popping the swept suffix off the journal), set
+  /// the replay cursors to the full journaled prefix, and launch.  The
+  /// new incarnation re-executes from its program start; everything the
+  /// journal says was delivered settles from it without touching the wire
+  /// — exactly-once across the cut.  Returns false (degrade) when no
+  /// launch recipe exists or the SPE pool is exhausted.
+  bool restore_one(int pid, SimTime death) {
+    const auto seed = app_.respawn_seed(pid);
+    if (!seed || seed->program == nullptr) return false;
+    unsigned flat = 0;
+    try {
+      // Skip slots whose mailboxes the kill closed: a victim that finished
+      // its whole program between the kill and the shutdown call released
+      // its slot back to the pool, and that context can never run again.
+      // The skipped acquisitions stay acquired — a killed blade loses
+      // contexts, it does not get them back.
+      for (;;) {
+        flat = app_.acquire_spe(node_);
+        if (dead_spes_.count(flat) == 0) break;
+      }
+    } catch (const pilot::PilotError&) {
+      return false;
+    }
+    clock().advance(cost_.copilot_service);
+
+    // New writer incarnation on every channel the process writes, exactly
+    // as try_respawn: the reliable windows tombstone the dead blade's
+    // undelivered frames, and popping the swept suffix leaves the journal
+    // holding exactly the delivered prefix.
+    Journal& j = journal_[pid];
+    for (int c = 0; c < app_.channel_count(); ++c) {
+      const PI_CHANNEL& ch = app_.channel(c);
+      if (ch.from != pid && ch.to != pid) continue;
+      trace::ChannelCounters::global().add_restore(c);
+      if (ch.from != pid) continue;
+      const std::uint32_t fresh = epochs::bump(c);
+      const Route* rt = ch.route;
+      if (rt != nullptr &&
+          (rt->copilot_write == CopilotWriteAction::kRelayToRank ||
+           rt->copilot_write == CopilotWriteAction::kRelayToPeer)) {
+        const std::size_t swept =
+            mpisim::reliable::set_epoch_floor(rt->tag, fresh);
+        auto& ops = j.writes[c];
+        for (std::size_t k = 0; k < swept && !ops.empty(); ++k) {
+          ops.pop_back();
+        }
+        if (swept != 0 && simtime::tracebuf::armed()) {
+          simtime::tracebuf::record(Kind::kEpochFlush, copilot_name(),
+                                    clock().now(), clock().now(), 0, c,
+                                    route_type_of(c),
+                                    static_cast<std::int64_t>(swept));
+        }
+      }
+    }
+
+    RespawnState& rs = respawns_[pid];
+    rs.write_cursor.clear();
+    rs.read_cursor.clear();
+    rs.writes_seen.clear();
+    rs.reads_seen.clear();
+    for (const auto& [c, ops] : j.writes) rs.write_cursor[c] = ops.size();
+    for (const auto& [c, ops] : j.reads) rs.read_cursor[c] = ops.size();
+
+    const std::string proc_name = app_.process(pid).name;
+    const SimTime start = relaunch(pid, flat, *seed);
+    cellsim::Spe& spe = blade_.spe(flat);
+    rs.flat = flat;
+    rs.alive = true;
+    supervision::g_restores.fetch_add(1);
+    supervision::note_recovery_span(death, start);
+    simtime::Trace::global().record(
+        copilot_name(), simtime::TraceKind::kCopilotService,
+        "restored SPE process " + proc_name +
+            " from checkpoint after blade kill",
+        death, clock().now());
+    if (simtime::tracebuf::armed()) {
+      simtime::tracebuf::record(
+          Kind::kBladeRestore, spe.name(), death, start, 0, pid, 0,
+          static_cast<std::int64_t>(
+              ckpt::CheckpointSession::global().committed_cut()));
+    }
+    if (simtime::metrics::armed()) {
+      simtime::metrics::record(simtime::metrics::Kind::kRestoreLatency, 0,
+                               pid, spe.name(), start - death);
+    }
+    return true;
   }
 
   /// Standby takeover: replays the crashed Co-Pilot's journal.  Parked
@@ -1293,6 +1657,10 @@ class CopilotService {
   /// Respawn bookkeeping of supervised processes (budget, cursors).
   std::map<int, RespawnState> respawns_;
   std::atomic<SimTime>& published_bound_;
+  /// Requests serviced by this incarnation — the checkpoint cadence
+  /// counter (every -pickptevery services contributes a shard).  Carried
+  /// across a blade kill so the cut ordinals stay on schedule.
+  std::uint64_t serviced_ = 0;
   /// Set when an injected crash is in flight: the destructor then
   /// publishes the crash stamp instead of kForever.
   bool crashed_ = false;
@@ -1307,11 +1675,34 @@ int copilot_main(mpisim::Mpi& mpi, pilot::PilotApp& app, int node) {
   // time the standby must wait past the crash stamp for the missed
   // heartbeat), then spawn a standby seeded from the crash journal.
   std::optional<CopilotService::Crash> crash;
+  std::optional<CopilotService::BladeLoss> loss;
   for (;;) {
     try {
       CopilotService service(mpi, app, node, crash ? &*crash : nullptr);
       crash.reset();
+      if (loss) {
+        service.restore_blade(*loss);
+        loss.reset();
+      }
       return service.run();
+    } catch (CopilotService::BladeLoss& b) {
+      // A blade_kill took out every SPE context plus this Co-Pilot.  Wait
+      // out the lease (the cluster detects the death through the missed
+      // heartbeat), then hand the message log to a successor service:
+      // restore from the last committed checkpoint, or degrade.
+      mpi.clock().join(b.stamp + app.options().copilot_lease);
+      app.cluster().record_blade_kill(node);
+      supervision::note_recovery_span(b.stamp, mpi.clock().now());
+      const std::string name = app.cluster().world().info(mpi.rank()).name;
+      simtime::Trace::global().record(
+          name, simtime::TraceKind::kCopilotService,
+          "blade killed (injected): " + std::to_string(b.victims.size()) +
+              " SPE contexts lost; successor taking over after lease",
+          b.stamp, mpi.clock().now());
+      flightrec::FlightRecorder::global().dump(
+          "blade_kill: node " + std::to_string(node) + " lost " +
+          std::to_string(b.victims.size()) + " SPE contexts");
+      loss = std::move(b);
     } catch (CopilotService::Crash& c) {
       mpi.clock().join(c.stamp + app.options().copilot_lease);
       app.cluster().record_copilot_failover(node);

@@ -58,6 +58,12 @@ std::uint64_t respawn_count();
 /// deduped, reads re-served) instead of re-executing on the wire.
 std::uint64_t recovered_op_count();
 
+/// SPE contexts relaunched from the last committed coordinated checkpoint
+/// after a blade_kill fault (core/checkpoint).  A kill with no checkpoint
+/// degrades to the poison + PILF ladder and counts under fault_count()
+/// instead.
+std::uint64_t restore_count();
+
 /// Virtual-time span of recovery activity: the earliest crash stamp and
 /// the latest recovery-complete stamp over all failovers and respawns
 /// since the last reset.  Both 0 when supervision never acted.  Virtual

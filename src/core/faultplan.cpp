@@ -84,6 +84,7 @@ constexpr Kind kAllKinds[] = {
     Kind::kDmaFault,   Kind::kCopilotDelay, Kind::kSendDelay,
     Kind::kSendDrop,   Kind::kMsgDrop,    Kind::kMsgCorrupt,
     Kind::kMsgDup,     Kind::kMsgReorder, Kind::kCopilotCrash,
+    Kind::kBladeKill,
 };
 
 Kind parse_kind(const std::string& word) {
@@ -176,6 +177,8 @@ const char* to_string(Kind k) {
       return "msg_reorder";
     case Kind::kCopilotCrash:
       return "copilot_crash";
+    case Kind::kBladeKill:
+      return "blade_kill";
   }
   return "unknown";
 }
@@ -405,6 +408,23 @@ bool FaultPlan::should_crash_copilot(const char* owner, int node) {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const Rule& rule = rules_[i];
     if (rule.kind != Kind::kCopilotCrash) continue;
+    if (rule.site != "*" && rule.site != name && rule.site != alias) continue;
+    // Ordinals keyed by the canonical name so both site spellings count
+    // the same request sequence.
+    if (hit(i, rule, name)) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_kill_blade(const char* owner, int node) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (rules_.empty()) return false;
+  const std::string name(owner);  // canonical: the node name, "nodeN"
+  const std::string alias = "blade" + std::to_string(node);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != Kind::kBladeKill) continue;
     if (rule.site != "*" && rule.site != name && rule.site != alias) continue;
     // Ordinals keyed by the canonical name so both site spellings count
     // the same request sequence.

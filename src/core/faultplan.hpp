@@ -23,7 +23,7 @@
 //   kind   := spe_crash | mbox_stall | dma_fault | copilot_delay
 //           | send_delay | send_drop
 //           | msg_drop | msg_corrupt | msg_dup | msg_reorder
-//           | copilot_crash
+//           | copilot_crash | blade_kill
 //   site   := "*" | an entity name ("node0.spe1", "copilot0", "3->5")
 //   dur    := number with optional unit suffix us (default), ms, ns
 //
@@ -43,7 +43,11 @@
 // frame consumes additional ordinals at its link site — deterministic, but
 // shifted relative to a plan without retransmissions.  copilot_crash kills
 // the Co-Pilot process at a request boundary; the cluster runner's standby
-// failover (core/copilot.cpp) takes over from the journal.
+// failover (core/copilot.cpp) takes over from the journal.  blade_kill
+// takes out a whole blade (every SPE context plus its Co-Pilot) at a
+// request boundary; recovery restores the lost contexts from the last
+// committed coordinated checkpoint (core/checkpoint) or, with none,
+// degrades to the poison + PILF ladder.
 #pragma once
 
 #include <atomic>
@@ -75,6 +79,9 @@ enum class Kind {
   kMsgDup,        ///< the frame arrives twice; receive window dedupes
   kMsgReorder,    ///< the frame arrives after its successor on the link
   kCopilotCrash,  ///< the Co-Pilot dies; a standby takes over its journal
+  kBladeKill,     ///< a whole blade dies: every SPE context plus its
+                  ///< Co-Pilot; recovery restores from the last committed
+                  ///< checkpoint (core/checkpoint) or degrades to poison
 };
 
 /// Returns the spec keyword for a kind ("spe_crash", ...).
@@ -156,6 +163,13 @@ class FaultPlan {
   /// index `node`; ordinals are always keyed by the canonical name so both
   /// spellings count the same sequence.
   bool should_crash_copilot(const char* owner, int node);
+
+  /// Co-Pilot probe: should the whole blade hosting the Co-Pilot at
+  /// `owner` (canonical node name, e.g. "node1") die before the next
+  /// request is served?  A rule site matches "*", the canonical node name,
+  /// or the "bladeN" alias for node index `node`; ordinals are keyed by
+  /// the canonical name.
+  bool should_kill_blade(const char* owner, int node);
 
  private:
   FaultPlan();

@@ -5,6 +5,7 @@
 // runs the Co-Pilot service, and the optional final rank runs Pilot's
 // deadlock-detection service.
 #include "core/cellpilot.hpp"
+#include "core/checkpoint.hpp"
 
 #include "core/copilot.hpp"
 #include "core/epoch.hpp"
@@ -53,6 +54,18 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
   // incarnation *within* a job, and a stale floor left over from a previous
   // job's respawns would silently discard the new job's first frames.
   epochs::reset();
+
+  // Checkpoint cut coordination restarts per job: the commit rule ("every
+  // Cell node contributed a shard") needs this job's contributor count.
+  // The session itself is armed later, by PI_Configure (-pickpt), exactly
+  // like the trace/metrics sessions; declaring the topology is free.
+  {
+    int cells = 0;
+    for (int n = 0; n < machine.node_count(); ++n) {
+      if (machine.is_cell_node(n)) ++cells;
+    }
+    ckpt::CheckpointSession::global().begin_job(cells);
+  }
 
   const mpisim::LaunchResult launched = mpisim::launch(
       machine.world(), [&](mpisim::Mpi& mpi) -> int {
@@ -120,6 +133,7 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
   // ring contents it alone kept alive.
   metrics::MetricsSession::global().flush_job();
   flightrec::FlightRecorder::global().on_job_end();
+  ckpt::CheckpointSession::global().end_job();
 
   RunResult result;
   result.status = launched.exit_codes.empty() ? 0 : launched.exit_codes[0];

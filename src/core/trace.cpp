@@ -31,6 +31,8 @@ struct ChannelCounters::Impl {
     std::atomic<std::uint64_t> corrupt_detected{0};
     std::atomic<std::uint64_t> respawns{0};
     std::atomic<std::uint64_t> recovered_ops{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> restores{0};
   };
   std::mutex mu;  ///< guards resizing only; cells are touched lock-free
   std::vector<std::unique_ptr<Cell>> cells;
@@ -163,6 +165,18 @@ void ChannelCounters::add_recovered_op(int channel) {
   }
 }
 
+void ChannelCounters::add_checkpoint(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->checkpoints.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChannelCounters::add_restore(int channel) {
+  if (Impl::Cell* c = impl()->cell(channel)) {
+    c->restores.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 ChannelStats ChannelCounters::snapshot(int channel) const {
   ChannelStats s;
   Impl* im = const_cast<ChannelCounters*>(this)->impl();
@@ -178,6 +192,8 @@ ChannelStats ChannelCounters::snapshot(int channel) const {
     s.corrupt_detected = c->corrupt_detected.load(std::memory_order_relaxed);
     s.respawns = c->respawns.load(std::memory_order_relaxed);
     s.recovered_ops = c->recovered_ops.load(std::memory_order_relaxed);
+    s.checkpoints = c->checkpoints.load(std::memory_order_relaxed);
+    s.restores = c->restores.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -335,6 +351,16 @@ std::string chrome_trace_json(const std::vector<JobBatch>& batches) {
                       static_cast<unsigned long long>(ch.stats.respawns),
                       static_cast<unsigned long long>(ch.stats.recovered_ops));
         out += heal;
+      }
+      // And for the checkpoint counters: only a run that actually cut a
+      // coordinated snapshot (or restored from one) widens the record.
+      if (ch.stats.checkpoints != 0 || ch.stats.restores != 0) {
+        char ckpt[96];
+        std::snprintf(ckpt, sizeof ckpt,
+                      ",\"checkpoints\":%llu,\"restores\":%llu",
+                      static_cast<unsigned long long>(ch.stats.checkpoints),
+                      static_cast<unsigned long long>(ch.stats.restores));
+        out += ckpt;
       }
       out += "}";
     }

@@ -50,6 +50,10 @@ struct ChannelStats {
   std::uint64_t corrupt_detected = 0;  ///< CRC-caught damaged frames
   std::uint64_t respawns = 0;       ///< writer deaths absorbed by respawn
   std::uint64_t recovered_ops = 0;  ///< ops replayed/deduped across a respawn
+  std::uint64_t checkpoints = 0;    ///< committed coordinated cuts covering
+                                    ///< this channel
+  std::uint64_t restores = 0;       ///< blade restores that replayed this
+                                    ///< channel from a checkpoint
 };
 
 /// Always-on per-channel counter table.  Sized by Router::compile (which
@@ -72,6 +76,8 @@ class ChannelCounters {
   void add_corrupt(int channel);
   void add_respawn(int channel);
   void add_recovered_op(int channel);
+  void add_checkpoint(int channel);
+  void add_restore(int channel);
 
   ChannelStats snapshot(int channel) const;
 

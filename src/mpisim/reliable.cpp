@@ -381,4 +381,23 @@ void reset_links() {
   reg.floors.clear();
 }
 
+std::vector<LinkSnapshot> snapshot_links() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::vector<LinkSnapshot> out;
+  out.reserve(reg.links.size());
+  // std::map iterates in key order, so the snapshot is already canonical.
+  for (const auto& [key, link] : reg.links) {
+    LinkSnapshot s;
+    s.from = key.first;
+    s.to = key.second;
+    s.next_seq = link.next_seq;
+    s.expected = link.expected;
+    s.held = link.window.size();
+    s.stashed = link.stashed ? 1 : 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 }  // namespace mpisim::reliable

@@ -188,4 +188,22 @@ void flush_from(Rank from);
 /// sequence space.  Must not be called while rank threads are running.
 void reset_links();
 
+/// Observable protocol state of one directed link, for the coordinated
+/// checkpoint's kLinks section (core/checkpoint).  `held` counts frames
+/// buffered out-of-order in the receive window, `stashed` whether a
+/// msg_reorder stash is pending.
+struct LinkSnapshot {
+  Rank from = 0;
+  Rank to = 0;
+  std::uint64_t next_seq = 1;   ///< next sequence the sender will assign
+  std::uint64_t expected = 1;   ///< next sequence the receiver will release
+  std::uint64_t held = 0;       ///< frames parked in the receive window
+  std::uint8_t stashed = 0;     ///< 1 if a reorder stash is pending
+};
+
+/// Copies every link's protocol state in canonical (from, to) order.  Empty
+/// when the reliable sublayer never carried traffic (no msg_* faults armed)
+/// — the common case, which keeps clean-run checkpoints link-free.
+std::vector<LinkSnapshot> snapshot_links();
+
 }  // namespace mpisim::reliable

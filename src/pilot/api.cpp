@@ -4,10 +4,13 @@
 #include "pilot/pilot.hpp"
 
 #include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 #include "cellsim/spu.hpp"
+#include "core/checkpoint.hpp"
 #include "core/completion.hpp"
 #include "core/epoch.hpp"
 #include "core/faultplan.hpp"
@@ -792,6 +795,8 @@ int PI_Configure(int* argc, char*** argv) {
   std::string flightrec_file;
   bool have_fault_spec = false;
   bool have_respawn = false;
+  bool have_ckpt = false;
+  bool have_ckpt_every = false;
   if (argc != nullptr && argv != nullptr) {
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
@@ -841,6 +846,24 @@ int PI_Configure(int* argc, char*** argv) {
                            std::string("bad -pilease value: ") + a);
         }
         opts.copilot_lease = simtime::us(v);
+      } else if (std::strncmp(a, "-pickpt=", 8) == 0) {
+        // Coordinated checkpoint file; overrides the CELLPILOT_CKPT
+        // baseline.
+        if (a[8] == '\0') {
+          throw PilotError(ErrorCode::kUsage, "-pickpt= needs a file name");
+        }
+        opts.checkpoint_path = a + 8;
+        have_ckpt = true;
+      } else if (std::strncmp(a, "-pickptevery=", 13) == 0) {
+        // Checkpoint cadence in serviced SPE requests per cut.
+        char* end = nullptr;
+        const long v = std::strtol(a + 13, &end, 10);
+        if (end == a + 13 || *end != '\0' || v <= 0) {
+          throw PilotError(ErrorCode::kUsage,
+                           std::string("bad -pickptevery value: ") + a);
+        }
+        opts.checkpoint_interval = static_cast<int>(v);
+        have_ckpt_every = true;
       } else if (std::strncmp(a, "-pirespawn=", 11) == 0) {
         // Supervised SPE respawn budget (restarts per SPE process).
         char* end = nullptr;
@@ -860,12 +883,43 @@ int PI_Configure(int* argc, char*** argv) {
   if (!have_respawn) {
     // CELLPILOT_RESPAWN is the environment baseline the flag overrides,
     // mirroring the CELLPILOT_FAULTS / -pifault= relationship.  Garbage or
-    // a negative value keeps the feature disarmed rather than guessing.
+    // a negative value keeps the feature disarmed, but loudly: atoi-style
+    // silent zeroing turned a typo'd budget into "respawn never armed",
+    // which looks exactly like a healthy run until a fault lands (same
+    // rationale as chaos_sweep's CELLPILOT_CHAOS_WATCHDOG check).
     if (const char* env = std::getenv("CELLPILOT_RESPAWN")) {
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
       if (end != env && *end == '\0' && v >= 0) {
         opts.respawn_budget = static_cast<int>(v);
+      } else if (env[0] != '\0') {
+        std::fprintf(stderr,
+                     "pilot: ignoring CELLPILOT_RESPAWN=\"%s\" (not a "
+                     "non-negative integer); respawn stays disarmed\n",
+                     env);
+      }
+    }
+  }
+  if (!have_ckpt) {
+    // Environment baseline for the checkpoint file, like CELLPILOT_TRACE.
+    if (const char* env = std::getenv("CELLPILOT_CKPT")) {
+      if (env[0] != '\0') opts.checkpoint_path = env;
+    }
+  }
+  if (!have_ckpt_every) {
+    // Cadence baseline; garbage keeps the 64-request default rather than
+    // silently collapsing to "checkpoint on every request" (strtol of
+    // garbage is 0) — but says so on stderr.
+    if (const char* env = std::getenv("CELLPILOT_CKPT_EVERY")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        opts.checkpoint_interval = static_cast<int>(v);
+      } else if (env[0] != '\0') {
+        std::fprintf(stderr,
+                     "pilot: ignoring CELLPILOT_CKPT_EVERY=\"%s\" (not a "
+                     "positive integer); using %d\n",
+                     env, opts.checkpoint_interval);
       }
     }
   }
@@ -894,6 +948,12 @@ int PI_Configure(int* argc, char*** argv) {
     if (!flightrec_file.empty()) {
       cellpilot::flightrec::FlightRecorder::global().configure(flightrec_file);
     }
+    // -pickpt: arm the coordinated checkpoint session for this job.  An
+    // empty path (the default) leaves it disarmed and the call is a no-op,
+    // preserving byte-identical clean-path behaviour.
+    cellpilot::ckpt::CheckpointSession::global().configure(
+        opts.checkpoint_path,
+        static_cast<std::uint32_t>(opts.checkpoint_interval));
   }
 
   if (opts.deadlock_detection &&
@@ -1006,6 +1066,21 @@ void PI_StartAll(void) {
   ctx.app().user_barrier(ctx.mpi());  // everyone's tables are complete
 
   if (ctx.rank() == 0) {
+    // The checkpoint quorum: only Cell nodes hosting SPE contexts can
+    // contribute a shard (a blade without SPEs never services a request,
+    // and its ranks' state is reconstructed from peer journals at
+    // restore).  The tables are final here, so the contributor set is.
+    {
+      std::set<int> spe_nodes;
+      for (int i = 0; i < ctx.app().process_count(); ++i) {
+        const PI_PROCESS& p = ctx.app().process(i);
+        if (p.location == Location::kSpe && p.node >= 0) {
+          spe_nodes.insert(p.node);
+        }
+      }
+      cellpilot::ckpt::CheckpointSession::global().set_contributors(
+          static_cast<int>(spe_nodes.size()));
+    }
     // Tell the detection service how many rank-backed processes exist so
     // it can recognize cycle-free global stalls.
     int rank_processes = 0;
@@ -1490,6 +1565,8 @@ int PI_GetChannelStats(PI_CHANNEL* ch, PI_CHANNEL_STATS* out) {
   out->corrupt_detected = s.corrupt_detected;
   out->respawns = s.respawns;
   out->recovered_ops = s.recovered_ops;
+  out->checkpoints = s.checkpoints;
+  out->restores = s.restores;
   return 0;
 }
 

@@ -63,6 +63,17 @@ struct Options {
   /// self-healing entirely — deaths take the historical path and no
   /// replay journal is kept, so no-fault runs stay byte-identical.
   int respawn_budget = 0;
+  /// Coordinated checkpoint file (-pickpt=FILE / CELLPILOT_CKPT).  Empty
+  /// (the default) disarms checkpointing; armed, every Co-Pilot cuts a
+  /// consistent snapshot into this file on the checkpoint_interval cadence
+  /// and a blade_kill fault restores the lost contexts from the last
+  /// committed cut instead of degrading to poison + PILF.
+  std::string checkpoint_path;
+  /// Checkpoint cadence (-pickptevery=N / CELLPILOT_CKPT_EVERY): each
+  /// Co-Pilot contributes to cut k after its k*N-th serviced SPE request
+  /// (or earlier, on receiving the cut's marker from a peer).  Only
+  /// meaningful when checkpoint_path is set.
+  int checkpoint_interval = 64;
 };
 
 /// Transport hooks for channels with at least one SPE endpoint.  Implemented

@@ -216,6 +216,10 @@ typedef struct PI_CHANNEL_STATS {
   unsigned long long corrupt_detected;  ///< CRC-caught damaged frames
   unsigned long long respawns;       ///< writer deaths absorbed by respawn
   unsigned long long recovered_ops;  ///< ops replayed/deduped across respawns
+  unsigned long long checkpoints;    ///< committed coordinated cuts covering
+                                     ///< this channel (-pickpt=)
+  unsigned long long restores;       ///< blade restores that replayed this
+                                     ///< channel from a checkpoint
 } PI_CHANNEL_STATS;
 
 /// Harvest-contract violation: a stats/metrics call was made before

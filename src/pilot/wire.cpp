@@ -274,4 +274,46 @@ FaultFrame parse_fault_frame(std::span<const std::byte> message) {
   return fault;
 }
 
+std::vector<std::byte> frame_marker(const MarkerFrame& marker) {
+  WireHeader hdr;
+  hdr.magic = kWireMarkerMagic;
+  hdr.signature = marker.cut;
+  hdr.payload_bytes = sizeof marker.stamp + sizeof marker.node;
+  std::vector<std::byte> out(sizeof(WireHeader) + hdr.payload_bytes);
+  std::memcpy(out.data(), &hdr, sizeof hdr);
+  std::memcpy(out.data() + sizeof hdr, &marker.stamp, sizeof marker.stamp);
+  std::memcpy(out.data() + sizeof hdr + sizeof marker.stamp, &marker.node,
+              sizeof marker.node);
+  return out;
+}
+
+bool is_marker_frame(std::span<const std::byte> message) {
+  if (message.size() < sizeof(WireHeader)) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, message.data(), sizeof magic);
+  return magic == kWireMarkerMagic;
+}
+
+MarkerFrame parse_marker_frame(std::span<const std::byte> message) {
+  constexpr std::size_t kBody =
+      sizeof(simtime::SimTime) + sizeof(std::uint32_t);
+  if (message.size() != sizeof(WireHeader) + kBody) {
+    throw PilotError(ErrorCode::kInternal,
+                     "short marker frame (" +
+                         std::to_string(message.size()) + " bytes)");
+  }
+  WireHeader hdr;
+  std::memcpy(&hdr, message.data(), sizeof hdr);
+  if (hdr.magic != kWireMarkerMagic || hdr.payload_bytes != kBody) {
+    throw PilotError(ErrorCode::kInternal, "corrupt marker frame");
+  }
+  MarkerFrame marker;
+  marker.cut = hdr.signature;
+  std::memcpy(&marker.stamp, message.data() + sizeof hdr, sizeof marker.stamp);
+  std::memcpy(&marker.node,
+              message.data() + sizeof hdr + sizeof marker.stamp,
+              sizeof marker.node);
+  return marker;
+}
+
 }  // namespace pilot

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pilot/format.hpp"
+#include "simtime/sim_time.hpp"
 
 namespace pilot {
 
@@ -122,5 +123,34 @@ bool is_fault_frame(std::span<const std::byte> message);
 
 /// Parses a fault frame.  Throws PilotError(kInternal) if malformed.
 FaultFrame parse_fault_frame(std::span<const std::byte> message);
+
+/// Magic value marking a checkpoint marker frame ("PILS"): a Co-Pilot
+/// propagating a Chandy-Lamport snapshot cut to its peer Co-Pilots.  The
+/// same magic frames the sections of the checkpoint file itself
+/// (core/checkpoint.hpp), so one tool recognises both.
+inline constexpr std::uint32_t kWireMarkerMagic = 0x50494C53;
+
+/// Payload of a checkpoint marker.  `cut` identifies the coordinated
+/// snapshot (monotonic per job); `stamp` is the initiating Co-Pilot's
+/// virtual clock when it opened the cut; `node` is the initiator's node
+/// index (diagnostics only — every receiver joins the same cut id).
+struct MarkerFrame {
+  std::uint32_t cut = 0;
+  simtime::SimTime stamp = 0;
+  std::uint32_t node = 0;
+};
+
+/// Builds a marker frame: a WireHeader with kWireMarkerMagic, signature =
+/// cut id, and a payload of [8-byte stamp][4-byte node].  Travels on a
+/// channel's (source, tag) like a data frame, so it cuts that link's
+/// message stream at a well-defined point.
+std::vector<std::byte> frame_marker(const MarkerFrame& marker);
+
+/// Whether a received message is a checkpoint marker (checks the magic
+/// only; a short buffer is not a marker).
+bool is_marker_frame(std::span<const std::byte> message);
+
+/// Parses a marker frame.  Throws PilotError(kInternal) if malformed.
+MarkerFrame parse_marker_frame(std::span<const std::byte> message);
 
 }  // namespace pilot

@@ -18,6 +18,8 @@ const char* kind_name(Kind kind) {
     case Kind::kHandleWait: return "handle_wait";
     case Kind::kSpawnLatency: return "spawn_latency";
     case Kind::kRespawnLatency: return "respawn_latency";
+    case Kind::kCkptQuiesce: return "ckpt_quiesce";
+    case Kind::kRestoreLatency: return "restore_latency";
   }
   return "?";
 }

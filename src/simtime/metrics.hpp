@@ -48,13 +48,17 @@ enum class Kind : std::uint8_t {
   kSpawnLatency,       ///< PI_SpawnSPE call -> SPE program start
   kRespawnLatency,     ///< SPE death -> respawned occupant start (backoff
                        ///< included), per supervised respawn
+  kCkptQuiesce,        ///< coordinated-cut open -> last shard contributed,
+                       ///< per committed checkpoint
+  kRestoreLatency,     ///< blade kill -> restored contexts start, per
+                       ///< checkpoint restore
 };
 
 /// Stable lower-case token for a kind (used in report JSON and tests).
 const char* kind_name(Kind kind);
 
 /// Number of distinct kinds (for iteration in tests/tools).
-inline constexpr int kKindCount = static_cast<int>(Kind::kRespawnLatency) + 1;
+inline constexpr int kKindCount = static_cast<int>(Kind::kRestoreLatency) + 1;
 
 /// Log-linear (HDR-style) histogram over non-negative virtual-ns values.
 ///

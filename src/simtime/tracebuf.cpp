@@ -38,6 +38,10 @@ const char* kind_name(Kind kind) {
     case Kind::kSpeSpawn: return "spe_spawn";
     case Kind::kSpeRespawn: return "spe_respawn";
     case Kind::kEpochFlush: return "epoch_flush";
+    case Kind::kCkptBegin: return "ckpt_begin";
+    case Kind::kCkptCut: return "ckpt_cut";
+    case Kind::kCkptCommit: return "ckpt_commit";
+    case Kind::kBladeRestore: return "blade_restore";
     case Kind::kSpeRetire: return "spe_retire";
     case Kind::kUser: return "user";
   }

@@ -70,6 +70,10 @@ enum class Kind : std::uint8_t {
   kSpeRetire,         ///< a spawned SPE program finished; context returned
   kSpeRespawn,        ///< supervision respawned a faulted SPE (aux = attempt)
   kEpochFlush,        ///< stale-epoch traffic tombstoned after a respawn
+  kCkptBegin,         ///< a Co-Pilot opened a coordinated cut (aux = cut id)
+  kCkptCut,           ///< a Co-Pilot contributed its shard (aux = cut id)
+  kCkptCommit,        ///< all shards in; checkpoint file written (aux = cut)
+  kBladeRestore,      ///< blade contexts relaunched from a checkpoint
   kUser,              ///< reserved for ad-hoc instrumentation
 };
 

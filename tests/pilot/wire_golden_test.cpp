@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/protocol.hpp"
 #include "pilot/format.hpp"
 #include "pilot/wire.hpp"
@@ -40,9 +41,10 @@ std::vector<std::byte> bytes(std::initializer_list<unsigned> raw) {
   return out;
 }
 
-TEST(WireGolden, MagicsSpellPiltAndPilf) {
-  EXPECT_EQ(pilot::kWireMagic, 0x50494C54u);       // "PILT" big-endian read
-  EXPECT_EQ(pilot::kWireFaultMagic, 0x50494C46u);  // "PILF"
+TEST(WireGolden, MagicsSpellPiltPilfAndPils) {
+  EXPECT_EQ(pilot::kWireMagic, 0x50494C54u);        // "PILT" big-endian read
+  EXPECT_EQ(pilot::kWireFaultMagic, 0x50494C46u);   // "PILF"
+  EXPECT_EQ(pilot::kWireMarkerMagic, 0x50494C53u);  // "PILS"
 }
 
 TEST(WireGolden, CompletionCodesMatchTableNumbering) {
@@ -165,6 +167,92 @@ TEST(WireGolden, FaultFramesAreDistinguishableFromDataFrames) {
   FaultFrame fault;
   fault.status = static_cast<std::uint32_t>(CompletionStatus::kSpeFault);
   EXPECT_TRUE(is_fault_frame(frame_fault(fault)));
+}
+
+TEST(WireGolden, CheckpointMarkerFrameBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  // The PILS marker a Co-Pilot floods to its peers when it joins cut 3 at
+  // virtual stamp 0x1122334455667788 from node 1.  The cut id rides in the
+  // signature slot, so the 24-byte header shape is shared with PILT/PILF.
+  pilot::MarkerFrame marker;
+  marker.cut = 3;
+  marker.stamp = 0x1122334455667788;
+  marker.node = 1;
+
+  const std::vector<std::byte> golden = bytes({
+      0x53, 0x4C, 0x49, 0x50,                          // magic "PILS"
+      0x03, 0x00, 0x00, 0x00,                          // signature = cut 3
+      0x00, 0x00, 0x00, 0x00,                          // epoch
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x0C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 8 + 4
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // stamp
+      0x01, 0x00, 0x00, 0x00,                          // node
+  });
+  const auto framed = pilot::frame_marker(marker);
+  EXPECT_EQ(framed, golden);
+  ASSERT_TRUE(pilot::is_marker_frame(framed));
+  EXPECT_FALSE(pilot::is_fault_frame(framed));
+
+  const pilot::MarkerFrame back = pilot::parse_marker_frame(golden);
+  EXPECT_EQ(back.cut, 3u);
+  EXPECT_EQ(back.stamp, 0x1122334455667788);
+  EXPECT_EQ(back.node, 1u);
+}
+
+TEST(WireGolden, CheckpointFileBytes) {
+  if (!little_endian()) GTEST_SKIP() << "golden bytes are little-endian";
+
+  // A committed-but-empty cut: header, epochs and links sections plus the
+  // commit trailer, each PILS-framed as [WireHeader][CRC32(body)][body].
+  // These bytes are the on-disk format — a refactor that moves any of
+  // them invalidates every archived checkpoint and must bump kFileVersion.
+  cellpilot::ckpt::Image img;
+  img.cut = 1;
+
+  const std::vector<std::byte> golden = bytes({
+      // --- kHeader section -------------------------------------------
+      0x53, 0x4C, 0x49, 0x50,                          // magic "PILS"
+      0x01, 0x00, 0x00, 0x00,                          // signature = kHeader
+      0x01, 0x00, 0x00, 0x00,                          // epoch = cut 1
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x24, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 32
+      0x07, 0x50, 0xD0, 0xE8,                          // CRC32(body)
+      0x01, 0x00, 0x00, 0x00,                          // file version 1
+      0x00, 0x00, 0x00, 0x00,                          // shard count 0
+      0x00, 0x00, 0x00, 0x00,                          // channel count 0
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // begin stamp
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // commit stamp
+      // --- kEpochs section -------------------------------------------
+      0x53, 0x4C, 0x49, 0x50,                          // magic "PILS"
+      0x02, 0x00, 0x00, 0x00,                          // signature = kEpochs
+      0x01, 0x00, 0x00, 0x00,                          // epoch = cut 1
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 4
+      0x1C, 0xDF, 0x44, 0x21,                          // CRC32(body)
+      0x00, 0x00, 0x00, 0x00,                          // epoch count 0
+      // --- kLinks section --------------------------------------------
+      0x53, 0x4C, 0x49, 0x50,                          // magic "PILS"
+      0x06, 0x00, 0x00, 0x00,                          // signature = kLinks
+      0x01, 0x00, 0x00, 0x00,                          // epoch = cut 1
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 4
+      0x1C, 0xDF, 0x44, 0x21,                          // CRC32(body)
+      0x00, 0x00, 0x00, 0x00,                          // link count 0
+      // --- kCommit trailer -------------------------------------------
+      0x53, 0x4C, 0x49, 0x50,                          // magic "PILS"
+      0x07, 0x00, 0x00, 0x00,                          // signature = kCommit
+      0x01, 0x00, 0x00, 0x00,                          // epoch = cut 1
+      0x00, 0x00, 0x00, 0x00,                          // reserved
+      0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // payload = 4 + 12
+      0x7A, 0xFB, 0xBE, 0xC3,                          // CRC32(body)
+      0x7C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // covered bytes = 124
+      0x2F, 0x7A, 0xF9, 0x1A,                          // CRC32(file so far)
+  });
+  const std::vector<std::byte> serialized = cellpilot::ckpt::serialize(img);
+  EXPECT_EQ(serialized, golden);
+  EXPECT_TRUE(cellpilot::ckpt::deserialize(serialized).ok);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// ckptinspect.cpp — offline checkpoint-file dump and verifier.
+//
+//   ckptinspect CHECKPOINT                 # verify + human summary
+//   ckptinspect --json OUT.json CHECKPOINT # also emit a benchjson report
+//
+// Exit codes: 0 = file verifies (framing, every per-section CRC, commit
+// trailer), 1 = corrupt or truncated, 2 = usage error or unreadable file.
+// All parsing lives in core/checkpoint (ckpt::deserialize) so this tool,
+// the golden tests and the restore path agree byte-for-byte on what a
+// valid checkpoint is; this file is argument handling and presentation.
+//
+// The --json report uses the shared benchjson writer (one row per shard,
+// journal totals aggregated) so checkpoint contents can be diffed and
+// regression-tracked with the same tooling as the bench results.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/benchjson.hpp"
+#include "core/checkpoint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: ckptinspect [--json FILE] CHECKPOINT\n");
+  return 2;
+}
+
+bool read_bytes(const std::string& path, std::vector<std::byte>* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  if (size < 0) return false;
+  f.seekg(0, std::ios::beg);
+  out->resize(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(out->data()), size);
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string ckpt_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ckptinspect: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else if (ckpt_path.empty()) {
+      ckpt_path = arg;
+    } else {
+      std::fprintf(stderr, "ckptinspect: more than one checkpoint file\n");
+      return usage();
+    }
+  }
+  if (ckpt_path.empty()) return usage();
+
+  std::vector<std::byte> bytes;
+  if (!read_bytes(ckpt_path, &bytes)) {
+    std::fprintf(stderr, "ckptinspect: cannot read %s\n", ckpt_path.c_str());
+    return 2;
+  }
+
+  const cellpilot::ckpt::ParseResult parsed =
+      cellpilot::ckpt::deserialize(bytes);
+  if (!parsed.ok) {
+    std::printf("ckptinspect: CORRUPT %s: %s\n", ckpt_path.c_str(),
+                parsed.error.c_str());
+    return 1;
+  }
+  const cellpilot::ckpt::Image& img = parsed.image;
+
+  std::printf("checkpoint %s: %zu bytes, cut %u VERIFIED\n",
+              ckpt_path.c_str(), bytes.size(), img.cut);
+  std::printf("  frontier: begin=%lld commit=%lld (virtual time)\n",
+              static_cast<long long>(img.begin),
+              static_cast<long long>(img.commit));
+  std::printf("  channels: %u  links: %zu  shards: %zu\n", img.channels,
+              img.links.size(), img.shards.size());
+
+  std::uint64_t total_writes = 0;
+  std::uint64_t total_reads = 0;
+  std::size_t total_parked = 0;
+  std::size_t total_images = 0;
+  std::size_t total_ls_bytes = 0;
+  for (const cellpilot::ckpt::Shard& shard : img.shards) {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    for (const cellpilot::ckpt::JournalMark& m : shard.journal) {
+      writes += m.writes;
+      reads += m.reads;
+    }
+    std::size_t ls_bytes = 0;
+    for (const cellpilot::ckpt::SpeImage& image : shard.images) {
+      ls_bytes += image.ls.size();
+    }
+    std::printf(
+        "  node%d: stamp=%lld serviced=%llu journal=%zu marks "
+        "(%llu writes, %llu reads) parked=%zu images=%zu (%zu LS bytes)\n",
+        shard.node, static_cast<long long>(shard.stamp),
+        static_cast<unsigned long long>(shard.serviced),
+        shard.journal.size(), static_cast<unsigned long long>(writes),
+        static_cast<unsigned long long>(reads), shard.parked.size(),
+        shard.images.size(), ls_bytes);
+    total_writes += writes;
+    total_reads += reads;
+    total_parked += shard.parked.size();
+    total_images += shard.images.size();
+    total_ls_bytes += ls_bytes;
+  }
+
+  if (!json_path.empty()) {
+    benchkit::BenchJson json("ckptinspect");
+    json.meta("file", ckpt_path);
+    json.meta("bytes", static_cast<std::int64_t>(bytes.size()));
+    json.meta("cut", static_cast<std::int64_t>(img.cut));
+    json.meta("begin", static_cast<std::int64_t>(img.begin));
+    json.meta("commit", static_cast<std::int64_t>(img.commit));
+    json.meta("channels", static_cast<std::int64_t>(img.channels));
+    json.meta("links", static_cast<std::int64_t>(img.links.size()));
+    json.meta("journal_writes", static_cast<std::int64_t>(total_writes));
+    json.meta("journal_reads", static_cast<std::int64_t>(total_reads));
+    json.meta("parked_ops", static_cast<std::int64_t>(total_parked));
+    json.meta("spe_images", static_cast<std::int64_t>(total_images));
+    json.meta("ls_bytes", static_cast<std::int64_t>(total_ls_bytes));
+    for (const cellpilot::ckpt::Shard& shard : img.shards) {
+      benchkit::JsonRow& row = json.add_row();
+      row.set("node", static_cast<std::int64_t>(shard.node))
+          .set("stamp", static_cast<std::int64_t>(shard.stamp))
+          .set("serviced", static_cast<std::int64_t>(shard.serviced))
+          .set("journal_marks", static_cast<std::int64_t>(shard.journal.size()))
+          .set("parked", static_cast<std::int64_t>(shard.parked.size()))
+          .set("images", static_cast<std::int64_t>(shard.images.size()));
+    }
+    if (!json.write_file(json_path)) return 2;
+  }
+  return 0;
+}
