@@ -35,6 +35,7 @@
 #include "core/copilot.hpp"
 #include "core/faultplan.hpp"
 #include "core/flightrec.hpp"
+#include "core/telemetry.hpp"
 #include "mpisim/reliable.hpp"
 #include "pilot/errors.hpp"
 
@@ -443,6 +444,19 @@ int main(int argc, char** argv) {
   benchkit::BenchJson json("chaos_sweep");
   json.meta("seed", static_cast<std::int64_t>(seed));
   json.meta("cocktails_per_type", static_cast<std::int64_t>(kCocktailsPerType));
+  // Artifact linkage: when the sweep runs telemetry-armed
+  // (CELLPILOT_TELEMETRY), record where the windowed report landed and the
+  // window length, so a harvester can pair this summary with the pitop
+  // input (and with the trace oracle for --check-trace).
+  {
+    const auto& telemetry =
+        cellpilot::telemetry::TelemetrySession::global();
+    if (telemetry.armed()) {
+      json.meta("telemetry_file", telemetry.path());
+      json.meta("telemetry_window_ns",
+                static_cast<std::int64_t>(telemetry.window_ns()));
+    }
+  }
 
   std::printf(
       "Chaos sweep: seed %llu, %d cocktails x (Table I types 1..5 + "

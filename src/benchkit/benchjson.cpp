@@ -265,6 +265,59 @@ class Parser {
     }
   }
 
+ public:
+  /// Line-object mode (parse_object_line): one object whose values may
+  /// themselves be objects one level deep; nested fields are appended with
+  /// a "<outer>." key prefix.  Does NOT clear `out` so the nested call can
+  /// share it.
+  bool parse_flattened_object(Fields* out, const std::string& prefix) {
+    if (!expect('{')) return false;
+    if (peek('}')) {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      if (!expect(':')) return false;
+      if (peek('{')) {
+        if (!prefix.empty()) return fail("objects nest more than one level");
+        if (!parse_flattened_object(out, key + ".")) return false;
+      } else {
+        Scalar value;
+        if (!parse_scalar(&value)) return false;
+        out->emplace_back(prefix + key, std::move(value));
+      }
+      if (peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool run_line(Fields* out, std::string* error) {
+    out->clear();
+    if (!parse_flattened_object(out, std::string())) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": " + error_;
+      }
+      return false;
+    }
+    // The trailing JSON-array comma of a line-oriented file.
+    if (peek(',')) ++pos_;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": trailing content";
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+
   bool parse_document(Doc* out) {
     if (!expect('{')) return false;
     for (;;) {
@@ -339,6 +392,19 @@ bool get_string(const Fields& fields, const std::string& key,
     return false;
   }
   return false;
+}
+
+bool parse_object_line(const std::string& line, Fields* out,
+                       std::string* error) {
+  Fields fields;
+  Parser parser(line);
+  if (!parser.run_line(&fields, error)) return false;
+  *out = std::move(fields);
+  return true;
+}
+
+std::int64_t ns_from_us(double us) {
+  return std::llround(us * 1000.0);
 }
 
 }  // namespace benchkit

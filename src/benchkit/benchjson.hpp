@@ -97,4 +97,21 @@ bool get_number(const Fields& fields, const std::string& key, double* out);
 bool get_string(const Fields& fields, const std::string& key,
                 std::string* out);
 
+/// Parses one line-oriented JSON object — a Chrome-trace event line as
+/// written by core/trace, or one record line of a metrics/telemetry
+/// report.  Same scanner as parse(), with two line-format allowances:
+/// one level of nested objects is flattened into dotted keys
+/// ("args":{"entity":...} -> "args.entity"), and a trailing JSON-array
+/// comma after the object is accepted and ignored.  Returns false and
+/// fills `error` (with a byte offset) on malformed input.
+bool parse_object_line(const std::string& line, Fields* out,
+                       std::string* error);
+
+/// Recovers the exact virtual nanoseconds behind a trace timestamp field
+/// ("ts"/"dur": microseconds with exactly three decimals).  Exact as long
+/// as the value is below ~2^42 us (half a century of virtual time): the
+/// decimal-to-double error is then under half a nanosecond, so rounding
+/// lands on the original integer.
+std::int64_t ns_from_us(double us);
+
 }  // namespace benchkit

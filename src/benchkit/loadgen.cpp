@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <utility>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,8 +19,10 @@
 #include "core/checkpoint.hpp"
 #include "core/copilot.hpp"
 #include "core/metrics.hpp"
+#include "core/telemetry.hpp"
 #include "pilot/context.hpp"
 #include "pilot/errors.hpp"
+#include "simtime/timeseries.hpp"
 
 namespace benchkit::loadgen {
 
@@ -606,6 +611,10 @@ PointResult run_point(const Config& config, double load_rps) {
   }
 
   cellpilot::metrics::ScopedMetricsCapture capture;
+  // The telemetry capture gives every point a virtual-time axis (windowed
+  // goodput and queue depth) without arming a session or writing a file;
+  // like the metrics capture it never perturbs virtual time.
+  cellpilot::telemetry::ScopedTelemetryCapture telemetry_capture;
   const cellpilot::RunResult run = cellpilot::run(machine, lg_main, opts);
 
   PointResult out;
@@ -617,6 +626,30 @@ PointResult run_point(const Config& config, double load_rps) {
   out.restores = cellpilot::supervision::restore_count();
   out.checkpoints = cellpilot::ckpt::CheckpointSession::global().committed_cut();
   out.recovered_ops = cellpilot::supervision::recovered_op_count();
+  // Collapse the drained series into the point's two timelines: delivered
+  // messages per window, and the deepest queue gauge per window.  Kept
+  // even for aborted points — the timeline up to the abort is exactly the
+  // diagnostic one wants.
+  {
+    namespace ts = simtime::timeseries;
+    std::map<std::int64_t, std::int64_t> goodput;
+    std::map<std::int64_t, std::int64_t> depth;
+    for (const ts::Series& s : telemetry_capture.drain()) {
+      for (const auto& [win, cell] : s.windows) {
+        if (s.key.kind == ts::Kind::kDelivered) {
+          goodput[win] += static_cast<std::int64_t>(cell.count);
+        } else if (s.key.kind == ts::Kind::kMailboxDepth ||
+                   s.key.kind == ts::Kind::kParkedOps ||
+                   s.key.kind == ts::Kind::kNetWindow ||
+                   s.key.kind == ts::Kind::kNetStash ||
+                   s.key.kind == ts::Kind::kJournalLen) {
+          depth[win] = std::max(depth[win], cell.max);
+        }
+      }
+    }
+    out.goodput_timeline.assign(goodput.begin(), goodput.end());
+    out.depth_timeline.assign(depth.begin(), depth.end());
+  }
   if (run.aborted) {
     g_cfg = nullptr;
     return out;
@@ -703,6 +736,36 @@ SweepResult run_sweep(const Config& config) {
   return sweep;
 }
 
+namespace {
+
+// Meta-key suffix for a load point: integral loads (the usual case) render
+// without a decimal point so keys read "timeline_goodput_8000".
+std::string format_load(double load_rps) {
+  char buf[32];
+  if (load_rps == std::floor(load_rps)) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(load_rps));
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", load_rps);
+  }
+  return buf;
+}
+
+// "win:value,win:value" — empty string when the point saw no samples.
+std::string format_timeline(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& timeline) {
+  std::string out;
+  for (const auto& [win, value] : timeline) {
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(win);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace
+
 benchkit::BenchJson to_bench_json(const Config& config,
                                   const SweepResult& sweep) {
   Config cfg = config;
@@ -741,6 +804,18 @@ benchkit::BenchJson to_bench_json(const Config& config,
   for (int c = 0; c < kClassCount; ++c) {
     json.meta(std::string("capacity_") + class_name(c) + "_rps",
               sweep.capacity_rps[c]);
+  }
+  // The virtual-time axis under the curves: each point's windowed goodput
+  // and peak-depth timelines ride in the meta block as compact
+  // "win:value,win:value" strings keyed by offered load, with the window
+  // length alongside so readers can recover absolute virtual time.
+  json.meta("telemetry_window_ns",
+            static_cast<std::int64_t>(simtime::timeseries::window()));
+  for (const PointResult& p : sweep.points) {
+    const std::string load = format_load(p.load_rps);
+    json.meta("timeline_goodput_" + load,
+              format_timeline(p.goodput_timeline));
+    json.meta("timeline_depth_" + load, format_timeline(p.depth_timeline));
   }
   for (const PointResult& p : sweep.points) {
     if (p.aborted) {

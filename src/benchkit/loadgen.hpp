@@ -153,6 +153,13 @@ struct PointResult {
   int snapshot_rc = -1;
   bool aborted = false;
   std::string abort_reason;
+  /// Virtual-time axis under the point's curves, from the telemetry layer:
+  /// (window index, delivered messages) and (window index, peak queue
+  /// depth — max over mailbox/parked/net-window/net-stash/journal gauges).
+  /// Only populated windows appear; the window length rides in the sweep's
+  /// JSON meta.
+  std::vector<std::pair<std::int64_t, std::int64_t>> goodput_timeline;
+  std::vector<std::pair<std::int64_t, std::int64_t>> depth_timeline;
 };
 
 /// Runs one load point (one cellpilot::run over a fresh cluster).

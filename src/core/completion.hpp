@@ -141,6 +141,13 @@ class Engine {
   /// thread is a usage error, detected through this.
   bool owns(const PI_OP* op) const { return op != nullptr && op->owner == this; }
 
+  /// Operations currently live in this arena (created and not yet
+  /// released) — the per-engine pending-op gauge the telemetry layer
+  /// samples at submit/harvest seams.  Per-thread, so deterministic.
+  int live() const {
+    return static_cast<int>(ops_.size() - free_.size());
+  }
+
   /// SPE-side in-flight tracking: operations awaiting a completion word.
   void track(PI_OP* op);
   void untrack(PI_OP* op);

@@ -26,6 +26,7 @@
 #include "mpisim/reliable.hpp"
 #include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
+#include "simtime/timeseries.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -262,6 +263,7 @@ class CopilotService {
               it->first == candidate->channel &&
               complete_mpi_read(it->second)) {
             pending_reads_.erase(it);
+            record_parked_gauge();
           }
           break;
         }
@@ -546,6 +548,7 @@ class CopilotService {
     if (pid < 0) return;
     journal_[pid].writes[req.channel].push_back(
         JournalOp{req.signature, req.length, {}});
+    record_journal_gauge(pid, req.channel);
   }
 
   /// Journals one delivered read payload of SPE `spe`: the bytes were
@@ -559,6 +562,21 @@ class CopilotService {
     journal_[pid].reads[req.channel].push_back(
         JournalOp{req.signature, req.length,
                   std::vector<std::byte>(payload.begin(), payload.end())});
+    record_journal_gauge(pid, req.channel);
+  }
+
+  /// Telemetry gauge: total replay-journal entries held for one process,
+  /// sampled after an append.  Journaling runs on the single service
+  /// thread in stamp order, so the length is deterministic.
+  void record_journal_gauge(int pid, int channel) {
+    if (!simtime::timeseries::armed()) return;
+    const Journal& j = journal_[pid];
+    std::int64_t len = 0;
+    for (const auto& [c, ops] : j.writes) len += std::ssize(ops);
+    for (const auto& [c, ops] : j.reads) len += std::ssize(ops);
+    simtime::timeseries::record(simtime::timeseries::Kind::kJournalLen,
+                                route_type_of(channel), channel,
+                                copilot_name(), clock().now(), len);
   }
 
   /// True while a respawned occupant may still be running.  Shutdown is
@@ -637,6 +655,7 @@ class CopilotService {
     };
     purge(pending_writes_);
     purge(pending_reads_);
+    record_parked_gauge();
 
     // New writer incarnation on every channel the process writes: readers
     // discard stale-epoch fault frames, and the reliable receive windows
@@ -704,6 +723,12 @@ class CopilotService {
     if (simtime::metrics::armed()) {
       simtime::metrics::record(simtime::metrics::Kind::kRespawnLatency, 0,
                                pid, spe.name(), start - death);
+    }
+    if (simtime::timeseries::armed()) {
+      // Same attribution as the kSpeRespawn trace event: the process id
+      // rides in the channel slot, the new context is the entity.
+      simtime::timeseries::record(simtime::timeseries::Kind::kRespawns, 0,
+                                  pid, spe.name(), start, 1);
     }
     flightrec::FlightRecorder::global().dump(
         "spe_respawn: " + proc_name + " attempt " +
@@ -858,6 +883,20 @@ class CopilotService {
     return app_.cluster().world().info(mpi_.rank()).name;
   }
 
+  /// Telemetry gauge: requests parked waiting for their peer, sampled
+  /// after a park or unpark settled.  The single service thread mutates
+  /// both multimaps in stamp order, so the size pairs deterministically
+  /// with the Co-Pilot clock.
+  void record_parked_gauge() {
+    if (simtime::timeseries::armed()) {
+      simtime::timeseries::record(
+          simtime::timeseries::Kind::kParkedOps, 0, -1, copilot_name(),
+          clock().now(),
+          static_cast<std::int64_t>(pending_writes_.size() +
+                                    pending_reads_.size()));
+    }
+  }
+
   /// Table I type of a channel for trace records (0 if unrouted).
   std::int8_t route_type_of(int channel) const {
     if (channel < 0 || channel >= app_.channel_count()) return 0;
@@ -1006,6 +1045,19 @@ class CopilotService {
                                route_type_of(ready.req.channel),
                                ready.req.channel, copilot_name(), queue_wait);
     }
+    if (simtime::timeseries::armed()) {
+      // Mailbox-backlog gauge.  Only requests stamped at or before the one
+      // being serviced are counted: the safe-time gate guarantees all of
+      // those have been drained, while later-stamped arrivals depend on
+      // host scheduling and would make the raw queue size nondeterministic.
+      std::int64_t backlog = 0;
+      for (const ReadyRequest& r : ready_requests_) {
+        if (r.stamp <= ready.stamp) ++backlog;
+      }
+      simtime::timeseries::record(simtime::timeseries::Kind::kMailboxDepth,
+                                  0, -1, copilot_name(), ready.stamp,
+                                  backlog);
+    }
     clock().advance(cost_.mbox_ppe_read *
                     static_cast<SimTime>(words_for(ready.req.opcode)));
     const SimTime service_begin = clock().now();
@@ -1015,6 +1067,15 @@ class CopilotService {
                                route_type_of(ready.req.channel),
                                ready.req.channel, copilot_name(),
                                clock().now() - service_begin);
+    }
+    if (simtime::timeseries::armed()) {
+      // Service-occupancy counter: busy virtual-ns land in the window of
+      // the service's begin stamp, so per-window sums expose saturation.
+      simtime::timeseries::record(simtime::timeseries::Kind::kServiceBusy,
+                                  route_type_of(ready.req.channel),
+                                  ready.req.channel, copilot_name(),
+                                  service_begin,
+                                  clock().now() - service_begin);
     }
     // Checkpoint cadence: every `-pickptevery` serviced requests this node
     // contributes a shard to the next coordinated cut.  One relaxed load
@@ -1541,6 +1602,7 @@ class CopilotService {
               it->second.expected_source == mpisim::kAnySource) {
             const Pending reader = it->second;
             pending_reads_.erase(it);
+            record_parked_gauge();
             if (!request_is_async(reader.req)) {
               pilot::notify_unblock_proxy(
                   mpi_, app_, app_.spe_process(node_, reader.spe));
@@ -1548,6 +1610,7 @@ class CopilotService {
             transfer_local(p, reader);
           } else {
             pending_writes_.emplace(req.channel, p);
+            record_parked_gauge();
             if (simtime::tracebuf::armed()) {
               simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
                                         clock().now(), clock().now(),
@@ -1578,6 +1641,7 @@ class CopilotService {
           if (it != pending_writes_.end() && it->first == req.channel) {
             const Pending writer = it->second;
             pending_writes_.erase(it);
+            record_parked_gauge();
             if (!request_is_async(writer.req)) {
               pilot::notify_unblock_proxy(
                   mpi_, app_, app_.spe_process(node_, writer.spe));
@@ -1585,6 +1649,7 @@ class CopilotService {
             transfer_local(writer, p);
           } else {
             pending_reads_.emplace(req.channel, p);
+            record_parked_gauge();
             if (simtime::tracebuf::armed()) {
               simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
                                         clock().now(), clock().now(),
@@ -1605,6 +1670,7 @@ class CopilotService {
           // writer's Co-Pilot; the main loop delivers it in stamp order.
           p.expected_source = rt->copilot_read_source;
           pending_reads_.emplace(req.channel, p);
+          record_parked_gauge();
           if (simtime::tracebuf::armed()) {
             simtime::tracebuf::record(Kind::kCopilotPark, copilot_name(),
                                       clock().now(), clock().now(),

@@ -196,7 +196,18 @@ FlightRecorder::FlightRecorder() {
   RecorderState& st = recorder_state();
   std::lock_guard lock(st.mu);
   const char* env = std::getenv("CELLPILOT_FLIGHTREC");
-  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+  if (env != nullptr) {
+    if (env[0] != '\0') {
+      st.arm_with(env);
+    } else {
+      // Loud ignore, matching CELLPILOT_RESPAWN/CELLPILOT_CKPT_EVERY: an
+      // empty value keeps the recorder disarmed instead of arming it with
+      // an unwritable path.
+      std::fprintf(stderr,
+                   "cellpilot: ignoring empty CELLPILOT_FLIGHTREC "
+                   "(flight recorder stays disarmed)\n");
+    }
+  }
 }
 
 FlightRecorder& FlightRecorder::global() {
@@ -228,7 +239,14 @@ void FlightRecorder::dump(const std::string& reason) {
   std::lock_guard lock(st.mu);
   if (!st.armed) return;
   ++st.dumps;
-  std::ofstream f(st.path, std::ios::binary | std::ios::trunc);
+  // The artifact holds the whole crash sequence: arming starts a fresh
+  // file, every later trigger appends its scene.  A cascade (blade_kill →
+  // per-victim degrade faults) would otherwise destroy the first dump —
+  // the one taken while the doomed ops were still pending.
+  const auto mode =
+      st.dumps == 1 ? std::ios::binary | std::ios::trunc
+                    : std::ios::binary | std::ios::app;
+  std::ofstream f(st.path, mode);
   if (f) f << postmortem_json(reason, st.dumps);
 }
 

@@ -16,8 +16,10 @@
 /// The artifact contains the trigger reason, the last-N events per
 /// thread, every channel's counters, and the armed fault plan (seed plus
 /// rules), so a failed chaos seed is diagnosable from the file alone.
-/// Each trigger rewrites the file — last writer wins, which is the
-/// trigger closest to the failure the harness noticed.
+/// Arming starts a fresh file; every trigger after the first appends its
+/// scene, so a cascade (blade_kill, then the per-victim degrade faults)
+/// keeps the whole crash sequence — including the first scene, the one
+/// taken while the doomed operations were still pending.
 ///
 /// Unlike the trace/metrics sessions the dump does NOT require
 /// quiescence: the black-box tails carry their own locks, so a fault

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/telemetry.hpp"
 #include "core/trace.hpp"
 
 namespace cellpilot::metrics {
@@ -148,7 +149,18 @@ MetricsSession::MetricsSession() {
   MetricsState& st = metrics_state();
   std::lock_guard lock(st.mu);
   const char* env = std::getenv("CELLPILOT_METRICS");
-  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+  if (env != nullptr) {
+    if (env[0] != '\0') {
+      st.arm_with(env);
+    } else {
+      // Loud ignore, matching CELLPILOT_RESPAWN/CELLPILOT_CKPT_EVERY: an
+      // empty value keeps the layer disarmed instead of arming it with an
+      // unwritable path.
+      std::fprintf(stderr,
+                   "cellpilot: ignoring empty CELLPILOT_METRICS "
+                   "(metrics stay disarmed)\n");
+    }
+  }
 }
 
 MetricsSession& MetricsSession::global() {
@@ -219,18 +231,22 @@ void MetricsSession::adjust_captures(int delta) {
 ScopedMetricsCapture::ScopedMetricsCapture() {
   MetricsSession::global().adjust_captures(1);
   trace::TraceSession::global().adjust_captures(1);
+  telemetry::TelemetrySession::global().adjust_captures(1);
   simtime::metrics::clear();
   simtime::metrics::arm();
-  // The trace engine is cleared at both capture boundaries so that, when
-  // a trace session is armed too, the suppressed job's events cannot leak
-  // into the next flushed job and desynchronize the two files.
+  // The sibling engines are cleared at both capture boundaries so that,
+  // when their sessions are armed too, the suppressed job's events cannot
+  // leak into the next flushed job and desynchronize the files.
   simtime::tracebuf::clear();
+  simtime::timeseries::clear();
 }
 
 ScopedMetricsCapture::~ScopedMetricsCapture() {
   simtime::metrics::disarm();
   simtime::metrics::clear();
   simtime::tracebuf::clear();
+  simtime::timeseries::clear();
+  telemetry::TelemetrySession::global().adjust_captures(-1);
   trace::TraceSession::global().adjust_captures(-1);
   MetricsSession::global().adjust_captures(-1);
 }

@@ -12,6 +12,7 @@
 #include "core/flightrec.hpp"
 #include "core/metrics.hpp"
 #include "core/router.hpp"
+#include "core/telemetry.hpp"
 #include "core/trace.hpp"
 #include "core/transport.hpp"
 #include "mpisim/launcher.hpp"
@@ -44,6 +45,7 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
   // unrecorded — an env-armed single-job binary wrote an event-less file.
   trace::TraceSession::global();
   metrics::MetricsSession::global();
+  telemetry::TelemetrySession::global();
   flightrec::FlightRecorder::global();
 
   pilot::PilotApp app(machine);
@@ -127,11 +129,12 @@ RunResult run(cluster::Cluster& machine, const MainFunc& user_main,
     trace::TraceSession::global().flush_job(channels);
   }
 
-  // Same quiescence point for the metrics report: drain the histogram
-  // registry into this job's report and rewrite the session's file (no-op
-  // when disarmed).  After both flushes the flight recorder may discard
-  // ring contents it alone kept alive.
+  // Same quiescence point for the metrics report and the windowed
+  // telemetry report: drain each registry into this job's report and
+  // rewrite the session's file (no-ops when disarmed).  After the flushes
+  // the flight recorder may discard ring contents it alone kept alive.
   metrics::MetricsSession::global().flush_job();
+  telemetry::TelemetrySession::global().flush_job();
   flightrec::FlightRecorder::global().on_job_end();
   ckpt::CheckpointSession::global().end_job();
 

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "core/metrics.hpp"
+#include "core/telemetry.hpp"
 #include "mpisim/reliable.hpp"
 #include "mpisim/types.hpp"
 #include "pilot/tables.hpp"
@@ -402,7 +403,18 @@ TraceSession::TraceSession() {
   SessionState& st = session_state();
   std::lock_guard lock(st.mu);
   const char* env = std::getenv("CELLPILOT_TRACE");
-  if (env != nullptr && env[0] != '\0') st.arm_with(env);
+  if (env != nullptr) {
+    if (env[0] != '\0') {
+      st.arm_with(env);
+    } else {
+      // Loud ignore, matching CELLPILOT_RESPAWN/CELLPILOT_CKPT_EVERY: an
+      // empty value keeps tracing disarmed instead of arming it with an
+      // unwritable path.
+      std::fprintf(stderr,
+                   "cellpilot: ignoring empty CELLPILOT_TRACE "
+                   "(tracing stays disarmed)\n");
+    }
+  }
 }
 
 TraceSession& TraceSession::global() {
@@ -484,18 +496,22 @@ bool TraceSession::capture_active() const {
 ScopedTraceCapture::ScopedTraceCapture() {
   session_state().captures.fetch_add(1, std::memory_order_relaxed);
   metrics::MetricsSession::global().adjust_captures(1);
+  telemetry::TelemetrySession::global().adjust_captures(1);
   simtime::tracebuf::clear();
   simtime::tracebuf::arm();
-  // Clear the metrics engine at both capture boundaries so that, when a
-  // metrics session is armed too, the suppressed job's samples cannot
+  // Clear the sibling engines at both capture boundaries so that, when
+  // their sessions are armed too, the suppressed job's samples cannot
   // leak into the next flushed report (see core/metrics.hpp).
   simtime::metrics::clear();
+  simtime::timeseries::clear();
 }
 
 ScopedTraceCapture::~ScopedTraceCapture() {
   simtime::tracebuf::disarm();
   simtime::tracebuf::clear();
   simtime::metrics::clear();
+  simtime::timeseries::clear();
+  telemetry::TelemetrySession::global().adjust_captures(-1);
   metrics::MetricsSession::global().adjust_captures(-1);
   session_state().captures.fetch_sub(1, std::memory_order_relaxed);
 }

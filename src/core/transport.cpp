@@ -7,6 +7,7 @@
 #include "cellsim/libspe2.hpp"
 #include "core/spe_runtime.hpp"
 #include "simtime/metrics.hpp"
+#include "simtime/timeseries.hpp"
 #include "simtime/tracebuf.hpp"
 
 namespace cellpilot {
@@ -86,6 +87,13 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
 
   // The SPE starts no earlier (in virtual time) than its parent's launch.
   const simtime::SimTime stamp = ctx.mpi().clock().now();
+  if (simtime::timeseries::armed()) {
+    // Per-context busy flag: the value depends only on this spawn, so the
+    // sample is as deterministic as the kSpeSpawn trace record (a shared
+    // per-node count could pair racily with the stamp across windows).
+    simtime::timeseries::record(simtime::timeseries::Kind::kSpePoolBusy, 0,
+                                -1, spe.name(), stamp, 1);
+  }
 
   // The paper's mechanism: CellPilot spawns a pthread that loads the image
   // onto an SPE via the SDK and waits in the background for completion.
@@ -119,7 +127,13 @@ void CellTransportImpl::run_spe(pilot::PilotContext& ctx, PI_PROCESS& proc,
     // bound to the dead process until the Co-Pilot consumes the fault
     // notice, and a later PI_RunSPE must not inherit a haunted context.
     // (Real hardware keeps a crashed SPE context out of service too.)
-    if (!faulted) app.release_spe(node, flat);
+    if (!faulted) {
+      if (simtime::timeseries::armed()) {
+        simtime::timeseries::record(simtime::timeseries::Kind::kSpePoolBusy,
+                                    0, -1, spe.name(), spe.clock().now(), 0);
+      }
+      app.release_spe(node, flat);
+    }
   });
   app.add_spe_thread(ctx.rank(), std::move(t));
 }
@@ -197,6 +211,10 @@ void CellTransportImpl::spawn_spe(
     simtime::metrics::record(simtime::metrics::Kind::kSpawnLatency, 0,
                              proc.id, spe.name(), start - call_begin);
   }
+  if (simtime::timeseries::armed()) {
+    simtime::timeseries::record(simtime::timeseries::Kind::kSpePoolBusy, 0,
+                                -1, spe.name(), start, 1);
+  }
 
   std::thread t([&app, &spe, program = proc.program,
                  launch = std::move(launch), node, flat, stamp, world,
@@ -227,6 +245,10 @@ void CellTransportImpl::spawn_spe(
         const simtime::SimTime end = spe.clock().now();
         simtime::tracebuf::record(simtime::tracebuf::Kind::kSpeRetire,
                                   spe.name(), end, end, 0, proc_id, 0);
+      }
+      if (simtime::timeseries::armed()) {
+        simtime::timeseries::record(simtime::timeseries::Kind::kSpePoolBusy,
+                                    0, -1, spe.name(), spe.clock().now(), 0);
       }
       app.release_spe(node, flat);
     }

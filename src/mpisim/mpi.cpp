@@ -5,6 +5,7 @@
 #include "mpisim/inject.hpp"
 #include "mpisim/reliable.hpp"
 #include "simtime/metrics.hpp"
+#include "simtime/timeseries.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -164,6 +165,15 @@ void Mpi::send_reliable(const void* data, std::size_t bytes, Rank dest,
                                   world_->info(me_).name, depart,
                                   depart + penalty, bytes, /*channel=*/-1,
                                   /*route_type=*/0, tag);
+      }
+      if (simtime::timeseries::armed()) {
+        // Same attribution as the kNetRetransmit trace event: the mpisim
+        // layer knows tags, not channels, so the per-route split happens
+        // in the consumers (tag -> channel -> route).
+        simtime::timeseries::record(
+            simtime::timeseries::Kind::kRetransmits, /*route_type=*/0,
+            /*channel=*/-1, world_->info(me_).name, depart,
+            static_cast<std::int64_t>(bytes));
       }
       continue;
     }

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "simtime/timeseries.hpp"
 #include "simtime/tracebuf.hpp"
 
 namespace mpisim::reliable {
@@ -172,6 +173,7 @@ bool window_deposit_locked(Registry& reg, Link& link, MatchQueue& queue,
     const auto floor_it = reg.floors.find(tag);
     stale = floor_it != reg.floors.end() && epoch < floor_it->second;
   }
+  const simtime::SimTime arrival = msg.arrival;
   link.window.emplace(seq,
                       HeldFrame{std::move(msg), tag, duplicate, epoch, stale});
   bool released = false;
@@ -182,6 +184,15 @@ bool window_deposit_locked(Registry& reg, Link& link, MatchQueue& queue,
     link.window.erase(it);
     release(link, queue, from, to, std::move(frame));
     released = true;
+  }
+  if (simtime::timeseries::armed()) {
+    // Receive-window depth after this deposit settled.  One thread drives
+    // a given link (the sender deposits under the registry mutex), so the
+    // value pairs deterministically with the frame's arrival stamp.
+    simtime::timeseries::record(
+        simtime::timeseries::Kind::kNetWindow, /*route_type=*/0,
+        /*channel=*/-1, link_name(from, to), arrival,
+        static_cast<std::int64_t>(link.window.size()));
   }
   return released;
 }
@@ -194,6 +205,14 @@ void flush_link_locked(Registry& reg, Link& link, Rank from, Rank to) {
   const std::uint64_t seq = link.stashed_seq;
   link.stashed.reset();
   link.stashed_queue = nullptr;
+  if (simtime::timeseries::armed()) {
+    // The stash emptied; stamp with the held frame's arrival (the flush
+    // point itself holds no clock, and the arrival is the last virtual
+    // time the frame was touched — deterministic either way).
+    simtime::timeseries::record(simtime::timeseries::Kind::kNetStash,
+                                /*route_type=*/0, /*channel=*/-1,
+                                link_name(from, to), frame.msg.arrival, 0);
+  }
   window_deposit_locked(reg, link, *queue, from, to, std::move(frame.msg),
                         seq, frame.tag, frame.duplicate, frame.epoch);
 }
@@ -343,6 +362,11 @@ void stash(MatchQueue& queue, Rank from, Rank to, InboundMessage msg,
                               link_name(from, to), msg.arrival, msg.arrival,
                               msg.payload.size(), /*channel=*/-1,
                               /*route_type=*/0, tag);
+  }
+  if (simtime::timeseries::armed()) {
+    simtime::timeseries::record(simtime::timeseries::Kind::kNetStash,
+                                /*route_type=*/0, /*channel=*/-1,
+                                link_name(from, to), msg.arrival, 1);
   }
   link.stashed_queue = &queue;
   link.stashed = HeldFrame{std::move(msg), tag, duplicate, epoch};

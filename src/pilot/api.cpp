@@ -18,12 +18,14 @@
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/router.hpp"
+#include "core/telemetry.hpp"
 #include "core/trace.hpp"
 #include "mpisim/reliable.hpp"
 #include "pilot/byteorder.hpp"
 #include "pilot/context.hpp"
 #include "pilot/deadlock.hpp"
 #include "pilot/wire.hpp"
+#include "simtime/timeseries.hpp"
 #include "simtime/trace.hpp"
 #include "simtime/tracebuf.hpp"
 
@@ -210,6 +212,13 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                                 ws.staging.size(), ch->id,
                                 static_cast<std::int8_t>(rt.type));
     }
+    if (simtime::timeseries::armed()) {
+      simtime::timeseries::record(
+          simtime::timeseries::Kind::kSent,
+          static_cast<std::int8_t>(rt.type), ch->id,
+          cellsim::spu::self().name(), begin,
+          static_cast<std::int64_t>(ws.staging.size()));
+    }
     return;
   }
 
@@ -268,6 +277,12 @@ void write_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
         ctx.mpi().clock().now(), payload_bytes, ch->id,
         static_cast<std::int8_t>(rt.type));
   }
+  if (simtime::timeseries::armed()) {
+    simtime::timeseries::record(
+        simtime::timeseries::Kind::kSent, static_cast<std::int8_t>(rt.type),
+        ch->id, ctx.app().cluster().world().info(ctx.rank()).name,
+        call_begin, static_cast<std::int64_t>(payload_bytes));
+  }
 }
 
 void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
@@ -309,6 +324,13 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
         sm::record(sm::Kind::kMsgLatency, route, ch->id, entity,
                    end - write_begin);
       }
+    }
+    if (simtime::timeseries::armed()) {
+      simtime::timeseries::record(
+          simtime::timeseries::Kind::kDelivered,
+          static_cast<std::int8_t>(rt.type), ch->id,
+          cellsim::spu::self().name(), end,
+          static_cast<std::int64_t>(rs.staging.size()));
     }
     if (rt.writer_big_endian) swap_element_bytes(rs.plan.fmt, rs.staging);
     scatter(rs.plan, rs.staging);
@@ -383,6 +405,13 @@ void read_impl(const char* file, int line, PI_CHANNEL* ch, const char* fmt,
                  call_end - write_begin);
     }
   }
+  if (simtime::timeseries::armed()) {
+    simtime::timeseries::record(
+        simtime::timeseries::Kind::kDelivered,
+        static_cast<std::int8_t>(rt.type), ch->id,
+        app.cluster().world().info(ctx.rank()).name, call_end,
+        static_cast<std::int64_t>(rs.plan.payload_bytes));
+  }
 }
 
 // --- async tier -----------------------------------------------------------
@@ -449,6 +478,19 @@ void record_harvest(const PI_OP& op, const PI_CHANNEL& ch,
       }
     }
   }
+  if (simtime::timeseries::armed()) {
+    namespace ts = simtime::timeseries;
+    if (op.kind == cp::Kind::kRead) {
+      ts::record(ts::Kind::kDelivered, op.route_type, ch.id, entity, end,
+                 static_cast<std::int64_t>(op.bytes));
+    }
+    // Pending-op gauge at the harvest point: the op being harvested is
+    // still live (released just after), so the gauge pairs exactly with
+    // the submit-side sample and per-thread ordering keeps it
+    // deterministic.
+    ts::record(ts::Kind::kPendingOps, 0, -1, entity, end,
+               cp::Engine::local().live());
+  }
 }
 
 /// Records the op_submit event for a freshly submitted operation.
@@ -458,6 +500,17 @@ void record_submit(const PI_OP& op, const std::string& entity,
     simtime::tracebuf::record(simtime::tracebuf::Kind::kOpSubmit, entity,
                               op.submit_begin, end, op.bytes, op.channel,
                               op.route_type);
+  }
+  if (simtime::timeseries::armed()) {
+    namespace ts = simtime::timeseries;
+    if (op.kind == cp::Kind::kWrite) {
+      // Async writes settle at submission (the frame is on the wire), so
+      // the sent counter samples here, mirroring the blocking write seam.
+      ts::record(ts::Kind::kSent, op.route_type, op.channel, entity, end,
+                 static_cast<std::int64_t>(op.bytes));
+    }
+    ts::record(ts::Kind::kPendingOps, 0, -1, entity, end,
+               cp::Engine::local().live());
   }
 }
 
@@ -793,6 +846,8 @@ int PI_Configure(int* argc, char*** argv) {
   std::string trace_file;
   std::string metrics_file;
   std::string flightrec_file;
+  std::string telemetry_file;
+  simtime::SimTime telemetry_window = 0;
   bool have_fault_spec = false;
   bool have_respawn = false;
   bool have_ckpt = false;
@@ -828,6 +883,23 @@ int PI_Configure(int* argc, char*** argv) {
                            "-piflightrec= needs a file name");
         }
         flightrec_file = a + 13;
+      } else if (std::strncmp(a, "-pitelemetryevery=", 18) == 0) {
+        // Windowed-telemetry bucket width in virtual microseconds.
+        char* end = nullptr;
+        const double v = std::strtod(a + 18, &end);
+        if (end == a + 18 || *end != '\0' || v <= 0) {
+          throw PilotError(ErrorCode::kUsage,
+                           std::string("bad -pitelemetryevery value: ") + a);
+        }
+        telemetry_window = simtime::us(v);
+      } else if (std::strncmp(a, "-pitelemetry=", 13) == 0) {
+        // Windowed telemetry report file; overrides the CELLPILOT_TELEMETRY
+        // baseline.
+        if (a[13] == '\0') {
+          throw PilotError(ErrorCode::kUsage,
+                           "-pitelemetry= needs a file name");
+        }
+        telemetry_file = a + 13;
       } else if (std::strncmp(a, "-pideadline=", 12) == 0) {
         // SPE request deadline in virtual microseconds.
         char* end = nullptr;
@@ -947,6 +1019,16 @@ int PI_Configure(int* argc, char*** argv) {
     }
     if (!flightrec_file.empty()) {
       cellpilot::flightrec::FlightRecorder::global().configure(flightrec_file);
+    }
+    // -pitelemetryevery applies to env-armed sessions too, so set the
+    // window before any traffic can bucket a sample, flag-armed or not.
+    if (telemetry_window > 0) {
+      cellpilot::telemetry::TelemetrySession::global().configure_window(
+          telemetry_window);
+    }
+    if (!telemetry_file.empty()) {
+      cellpilot::telemetry::TelemetrySession::global().configure(
+          telemetry_file);
     }
     // -pickpt: arm the coordinated checkpoint session for this job.  An
     // empty path (the default) leaves it disarmed and the call is a no-op,
@@ -1611,6 +1693,45 @@ int PI_GetMetricsSnapshot(PI_METRICS_SNAPSHOT* out) {
   for (int i = 0; i < 6; ++i) {
     fill(out->msg_latency[i], latency[i]);
     fill(out->read_block[i], block[i]);
+  }
+  return 0;
+}
+
+int PI_GetTelemetrySnapshot(PI_TELEMETRY_SNAPSHOT* out) {
+  if (out == nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetTelemetrySnapshot: null output");
+  }
+  if (spe_dispatch() != nullptr) {
+    throw PilotError(ErrorCode::kUsage,
+                     "PI_GetTelemetrySnapshot is rank-side only");
+  }
+  PilotContext& ctx = context();
+  if (ctx.phase != Phase::kExecution && ctx.phase != Phase::kDone) {
+    return PI_ERR_PHASE;
+  }
+  std::memset(out, 0, sizeof *out);
+  namespace ts = simtime::timeseries;
+  out->window_ns = static_cast<long long>(ts::window());
+  // Same lag semantics as PI_GetMetricsSnapshot: the engine snapshot
+  // copies under the table lock, totals are final after PI_StopMain.
+  for (const ts::Series& s : ts::snapshot()) {
+    const int k = static_cast<int>(s.key.kind);
+    if (k < 0 || k >= PI_TELEMETRY_KIND_COUNT) continue;
+    PI_TELEMETRY_STAT& dst = out->kinds[k];
+    for (const auto& [win, cell] : s.windows) {
+      (void)win;
+      if (dst.windows == 0) {
+        dst.min = cell.min;
+        dst.max = cell.max;
+      } else {
+        if (cell.min < dst.min) dst.min = cell.min;
+        if (cell.max > dst.max) dst.max = cell.max;
+      }
+      ++dst.windows;
+      dst.count += cell.count;
+      dst.sum += cell.sum;
+    }
   }
   return 0;
 }

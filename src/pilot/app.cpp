@@ -211,6 +211,16 @@ void PilotApp::release_spe(int node, unsigned flat_index) {
   spe_busy_[static_cast<std::size_t>(node)][flat_index] = false;
 }
 
+int PilotApp::busy_spe_count(int node) {
+  std::lock_guard lock(spe_mu_);
+  const auto& busy = spe_busy_[static_cast<std::size_t>(node)];
+  int n = 0;
+  for (const bool b : busy) {
+    if (b) ++n;
+  }
+  return n;
+}
+
 bool PilotApp::spe_assigned(int node, unsigned flat_index) {
   std::lock_guard lock(spe_mu_);
   return spe_busy_[static_cast<std::size_t>(node)][flat_index];

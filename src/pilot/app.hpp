@@ -209,6 +209,11 @@ class PilotApp {
   /// Marks a physical SPE free again.
   void release_spe(int node, unsigned flat_index);
 
+  /// Number of physical SPEs of `node` currently marked busy — the SPE
+  /// pool-occupancy gauge the telemetry layer samples at acquire/release
+  /// seams.
+  int busy_spe_count(int node);
+
   /// Whether a physical SPE is currently assigned to a launched process
   /// (set before the worker thread starts, so the Co-Pilot's safe-time
   /// computation sees upcoming SPEs).

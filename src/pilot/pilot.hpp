@@ -258,6 +258,38 @@ typedef struct PI_METRICS_SNAPSHOT {
 /// called before PI_StartAll.
 int PI_GetMetricsSnapshot(PI_METRICS_SNAPSHOT* out);
 
+/// One aggregated read-out from the windowed telemetry layer
+/// (`-pitelemetry=FILE` / `CELLPILOT_TELEMETRY`), rolled up across all
+/// series and windows of one telemetry kind.
+typedef struct PI_TELEMETRY_STAT {
+  unsigned long long windows;  ///< populated (series, window) cells
+  unsigned long long count;    ///< samples recorded across all windows
+  long long sum;               ///< exact sum of all samples
+  long long min;               ///< smallest sample (0 when empty)
+  long long max;               ///< largest sample (0 when empty)
+} PI_TELEMETRY_STAT;
+
+/// Number of telemetry kinds; indexes into PI_TELEMETRY_SNAPSHOT::kinds in
+/// the engine's canonical order: 0 mailbox_depth, 1 pending_ops,
+/// 2 spe_pool_busy, 3 net_window, 4 net_stash, 5 journal_len,
+/// 6 parked_ops, 7 service_busy, 8 delivered, 9 sent, 10 retransmits,
+/// 11 respawns.
+#define PI_TELEMETRY_KIND_COUNT 12
+
+/// Whole-registry telemetry snapshot: one rollup per kind plus the
+/// virtual-time window the series are bucketed to (-pitelemetryevery=US).
+typedef struct PI_TELEMETRY_SNAPSHOT {
+  long long window_ns;  ///< bucketing window in virtual ns
+  PI_TELEMETRY_STAT kinds[PI_TELEMETRY_KIND_COUNT];
+} PI_TELEMETRY_SNAPSHOT;
+
+/// Fills `out` from the live telemetry registry.  Rank-side, execution
+/// phase or later; same harvest contract as PI_GetMetricsSnapshot —
+/// totals are only complete after PI_StopMain returns.  All zeros when
+/// the telemetry layer is disarmed.  Returns 0 on success, PI_ERR_PHASE
+/// when called before PI_StartAll.
+int PI_GetTelemetrySnapshot(PI_TELEMETRY_SNAPSHOT* out);
+
 /// Names a process/channel for diagnostics (optional, any phase).
 void PI_SetName(PI_PROCESS* p, const char* name);
 void PI_SetChannelName(PI_CHANNEL* ch, const char* name);

@@ -1,0 +1,157 @@
+#include "simtime/timeseries.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace simtime::timeseries {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kMailboxDepth: return "mailbox_depth";
+    case Kind::kPendingOps: return "pending_ops";
+    case Kind::kSpePoolBusy: return "spe_pool_busy";
+    case Kind::kNetWindow: return "net_window";
+    case Kind::kNetStash: return "net_stash";
+    case Kind::kJournalLen: return "journal_len";
+    case Kind::kParkedOps: return "parked_ops";
+    case Kind::kServiceBusy: return "service_busy";
+    case Kind::kDelivered: return "delivered";
+    case Kind::kSent: return "sent";
+    case Kind::kRetransmits: return "retransmits";
+    case Kind::kRespawns: return "respawns";
+  }
+  return "?";
+}
+
+void Cell::add(std::int64_t value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+bool Key::operator<(const Key& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  if (route_type != other.route_type) return route_type < other.route_type;
+  if (channel != other.channel) return channel < other.channel;
+  return entity < other.entity;
+}
+
+bool Key::operator==(const Key& other) const {
+  return kind == other.kind && route_type == other.route_type &&
+         channel == other.channel && entity == other.entity;
+}
+
+namespace {
+
+/// One shared table for every recording thread, same trade-off as the
+/// metrics engine: a cell update is a handful of integer ops, so lock
+/// contention is negligible next to the marshalling work each seam already
+/// does, and snapshot() works mid-run in exchange.  Nested std::map keeps
+/// series in key order and windows in index order permanently, so drain
+/// and snapshot are a straight copy.  Leaky singleton for the same reason
+/// as tracebuf's registry: thread-local destructors may outlive statics.
+struct Table {
+  std::mutex mu;
+  std::map<Key, std::map<std::int64_t, Cell>> series;
+};
+
+Table& table() {
+  static Table* g = new Table;
+  return *g;
+}
+
+std::mutex g_arm_mu;
+int g_arm_count = 0;
+
+/// Window length in virtual ns.  1 ms default matches the
+/// `-pitelemetryevery=US` flag default; the session overrides it at
+/// configure time, before any sample is recorded.
+std::atomic<SimTime> g_window_ns{1000000};
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void record_slow(Kind kind, std::int8_t route_type, std::int32_t channel,
+                 const std::string& entity, SimTime stamp,
+                 std::int64_t value) {
+  Key key;
+  key.kind = kind;
+  key.route_type = route_type;
+  key.channel = channel;
+  key.entity = entity;
+  const SimTime w = g_window_ns.load(std::memory_order_relaxed);
+  const std::int64_t index = (stamp < 0 ? 0 : stamp) / w;
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  t.series[std::move(key)][index].add(value);
+}
+
+}  // namespace detail
+
+void arm() {
+  std::lock_guard lock(g_arm_mu);
+  if (++g_arm_count == 1) {
+    detail::g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void disarm() {
+  std::lock_guard lock(g_arm_mu);
+  if (g_arm_count > 0 && --g_arm_count == 0) {
+    detail::g_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void set_window(SimTime window_ns) {
+  g_window_ns.store(window_ns < 1 ? 1 : window_ns,
+                    std::memory_order_relaxed);
+}
+
+SimTime window() { return g_window_ns.load(std::memory_order_relaxed); }
+
+void clear() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  t.series.clear();
+}
+
+std::vector<Series> drain() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  std::vector<Series> out;
+  out.reserve(t.series.size());
+  for (auto& [key, windows] : t.series) {
+    Series s;
+    s.key = key;
+    s.windows.assign(windows.begin(), windows.end());
+    out.push_back(std::move(s));
+  }
+  t.series.clear();
+  return out;
+}
+
+std::vector<Series> snapshot() {
+  Table& t = table();
+  std::lock_guard lock(t.mu);
+  std::vector<Series> out;
+  out.reserve(t.series.size());
+  for (const auto& [key, windows] : t.series) {
+    Series s;
+    s.key = key;
+    s.windows.assign(windows.begin(), windows.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace simtime::timeseries

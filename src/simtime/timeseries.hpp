@@ -1,0 +1,153 @@
+#pragma once
+/// \file
+/// Windowed time-series registry for the virtual-time telemetry layer.
+///
+/// This is the *engine* under `core/telemetry`, exactly as `tracebuf` is
+/// the engine under `core/trace` and `metrics` the engine under
+/// `core/metrics`: it lives in simtime (the lowest layer) so that cellsim,
+/// mpisim, pilot and core can all record into it without layering
+/// inversions, and the CellPilot meaning of each series (which seam feeds
+/// it, what the report looks like) is layered on top in `core/telemetry`.
+///
+/// Where the metrics engine answers "how much, over the whole run", this
+/// engine answers "when": every sample lands in the virtual-time window
+/// `stamp / window()`, and each (key, window) cell keeps order-independent
+/// integer aggregates — count, sum, min, max — of the samples that hit it.
+/// Order independence is load-bearing: two host threads may record into
+/// the same window in either host order, so a per-window "last value"
+/// would be nondeterministic where {count, sum, min, max} cannot be.
+///
+/// Design constraints, shared with tracebuf/metrics and in the same order:
+///  1. Zero cost when disarmed: every seam guards its record with
+///     `if (timeseries::armed())` — one relaxed atomic load and a branch.
+///  2. Never perturb virtual time: recording reads clocks the seam already
+///     holds; it neither advances nor joins any clock, so armed and
+///     disarmed runs are bit-for-bit identical in virtual time.
+///  3. Deterministic canonical drain: series sort by key — (kind, route
+///     type, channel, entity) — and windows by index inside each series;
+///     all cell state is exact integers, so two runs of a deterministic
+///     program drain byte-identical data.
+///
+/// Like the metrics engine (and unlike tracebuf) all threads share one
+/// mutex-protected table: a cell update is a few integer ops, and the
+/// shared table keeps `snapshot()` safe mid-run (PI_GetTelemetrySnapshot).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+
+namespace simtime::timeseries {
+
+/// What is being tracked over time.  CellPilot-flavoured names for the
+/// same reason tracebuf's kinds are: the consumers own the meaning, the
+/// engine just keys on the tag.  Gauges sample an instantaneous depth at
+/// protocol points; counters accumulate per-window contributions.
+enum class Kind : std::uint8_t {
+  kMailboxDepth = 0,  ///< gauge: Co-Pilot ready-request queue depth
+  kPendingOps,        ///< gauge: per-engine in-flight async operations
+  kSpePoolBusy,       ///< gauge: per-SPE-context busy flag (1 = spawned,
+                      ///< 0 = retired); summing a blade's contexts gives
+                      ///< pool occupancy without cross-thread count races
+  kNetWindow,         ///< gauge: reliable receive-window size per link
+  kNetStash,          ///< gauge: reliable sender-stash size per link
+  kJournalLen,        ///< gauge: Co-Pilot replay-journal length
+  kParkedOps,         ///< gauge: requests parked waiting for their peer
+  kServiceBusy,       ///< counter: Co-Pilot service busy virtual-ns
+  kDelivered,         ///< counter: delivered messages (sum = payload bytes)
+  kSent,              ///< counter: sent messages (sum = payload bytes)
+  kRetransmits,       ///< counter: reliable-layer retransmissions
+  kRespawns,          ///< counter: supervised SPE respawns
+};
+
+/// Stable lower-case token for a kind (used in report JSON and tests).
+const char* kind_name(Kind kind);
+
+/// Number of distinct kinds (for iteration in tests/tools).
+inline constexpr int kKindCount = static_cast<int>(Kind::kRespawns) + 1;
+
+/// Per-window aggregates.  All integral, all order-independent under
+/// merge, so the drain is deterministic however host threads interleaved
+/// within a window.
+struct Cell {
+  std::uint64_t count = 0;  ///< samples in the window
+  std::int64_t sum = 0;     ///< sum of sample values
+  std::int64_t min = 0;     ///< smallest sample (0 when empty)
+  std::int64_t max = 0;     ///< largest sample (0 when empty)
+
+  void add(std::int64_t value);
+  bool operator==(const Cell&) const = default;
+};
+
+/// Registry key, identical shape to simtime::metrics::Key: `entity` is
+/// the recorder name (rank / SPE / Co-Pilot / link), `route_type` the
+/// Table I type 1..5 (0 if unknown) and `channel` the CellPilot channel
+/// id (-1 if not channel traffic).
+struct Key {
+  Kind kind = Kind::kMailboxDepth;
+  std::int8_t route_type = 0;
+  std::int32_t channel = -1;
+  std::string entity;
+
+  bool operator<(const Key& other) const;
+  bool operator==(const Key& other) const;
+};
+
+/// One drained series: a key plus its populated windows in ascending
+/// window-index order.  Empty windows are never materialized.
+struct Series {
+  Key key;
+  std::vector<std::pair<std::int64_t, Cell>> windows;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void record_slow(Kind kind, std::int8_t route_type, std::int32_t channel,
+                 const std::string& entity, SimTime stamp,
+                 std::int64_t value);
+}  // namespace detail
+
+/// True while at least one consumer (telemetry session or test capture)
+/// wants samples.  Seams must check this before computing a value.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Record one sample at virtual time `stamp`.  No-op when disarmed
+/// (callers should still guard with armed() so the value computation is
+/// skipped too).
+inline void record(Kind kind, std::int8_t route_type, std::int32_t channel,
+                   const std::string& entity, SimTime stamp,
+                   std::int64_t value) {
+  if (armed()) {
+    detail::record_slow(kind, route_type, channel, entity, stamp, value);
+  }
+}
+
+/// Arm / disarm are reference counted, same contract as tracebuf and
+/// metrics, so a telemetry session and a scoped test capture can overlap.
+void arm();
+void disarm();
+
+/// Window length in virtual ns.  `set_window` only applies to samples
+/// recorded after it returns; the session calls it at configure time
+/// (before any traffic) so every sample of a run shares one window.
+/// Values < 1 are clamped to 1.
+void set_window(SimTime window_ns);
+SimTime window();
+
+/// Drop all accumulated series (the window length is kept).
+void clear();
+
+/// Move all series out in canonical order — sorted by (kind, route type,
+/// channel, entity), windows ascending — and clear the registry.
+std::vector<Series> drain();
+
+/// Copy all series out in canonical order *without* clearing.  Safe to
+/// call while other threads record (the table lock covers the copy), so
+/// PI_GetTelemetrySnapshot can harvest mid-run.
+std::vector<Series> snapshot();
+
+}  // namespace simtime::timeseries

@@ -167,7 +167,99 @@ TEST_F(FlightRecTest, PostmortemListsPendingOperationsBesideTheEventTail) {
   std::remove(path.c_str());
 }
 
-TEST_F(FlightRecTest, ManualDumpWorksMidSimulationAndLastWriterWins) {
+PI_CHANNEL* g_blade_go = nullptr;
+PI_CHANNEL* g_blade_out = nullptr;
+PI_CHANNEL* g_blade_burst = nullptr;
+
+PI_SPE_PROGRAM(blade_gated_responder) {
+  // Blocks until the master writes — which it never does before the blade
+  // dies, so the master's async read of g_blade_out stays parked on this
+  // blade's Co-Pilot for the whole crash sequence.
+  PI_Read(g_blade_go, "");
+  PI_Write(g_blade_out, "%d", 1);
+  return 0;
+}
+
+PI_SPE_PROGRAM(blade_burst_writer) {
+  for (int i = 0; i < 4; ++i) PI_Write(g_blade_burst, "%d", i);
+  return 0;
+}
+
+TEST_F(FlightRecTest, BladeKillCrashSceneNamesTheParkedOpsOnTheDeadBlade) {
+  const std::string path = artifact_path("flightrec_blade_kill");
+  std::remove(path.c_str());
+  FlightRecorder::global().configure(path);
+
+  cluster::Cluster machine = one_cell();
+  cellpilot::RunOptions opts;
+  // The burst drives the victim blade's op count to the trigger; there is
+  // no checkpoint, so the kill degrades to peer faults instead of a
+  // restore — the crash scene is the only record of what was in flight.
+  opts.args = {"-pifault=blade_kill@node0:op=3"};
+  int v = 0;
+  const auto r = cellpilot::run(
+      machine,
+      [&](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* gated = PI_CreateSPE(blade_gated_responder, PI_MAIN, 0);
+        PI_PROCESS* writer = PI_CreateSPE(blade_burst_writer, PI_MAIN, 0);
+        g_blade_go = PI_CreateChannel(PI_MAIN, gated);
+        g_blade_out = PI_CreateChannel(gated, PI_MAIN);
+        g_blade_burst = PI_CreateChannel(writer, PI_MAIN);
+        PI_StartAll();
+        PI_RunSPE(gated, 0, nullptr);
+        PI_RunSPE(writer, 0, nullptr);
+        // Parked on the doomed blade: the responder is gated, so this read
+        // cannot settle before the kill.  It is never harvested — harvest
+        // would release the registry row, and the crash scene exists to
+        // record exactly the ops nobody got to harvest.  The rank engine
+        // reclaims the slot at thread teardown.
+        PI_HANDLE h = PI_ReadAsync(g_blade_out, "%d", &v);
+        (void)h;
+        try {
+          int b = -1;
+          for (int i = 0; i < 4; ++i) PI_Read(g_blade_burst, "%d", &b);
+          PI_Write(g_blade_go, "");
+        } catch (const pilot::PilotError& e) {
+          g_main_code.store(static_cast<int>(e.code()));
+        }
+        PI_StopMain(0);
+        return 0;
+      },
+      opts);
+  ASSERT_FALSE(r.aborted) << r.abort_reason;
+  EXPECT_EQ(g_main_code.load(), static_cast<int>(PI_SPE_FAULT));
+  EXPECT_EQ(machine.blade_kill_count(0), 1);
+  EXPECT_GE(FlightRecorder::global().dump_count(), 1);
+
+  const std::string artifact = slurp(path);
+  ASSERT_FALSE(artifact.empty()) << "no artifact at " << path;
+  // The sequence opens with the blade_kill scene and keeps the degrade
+  // faults that follow it.
+  const std::size_t kill_at =
+      artifact.find("\"reason\":\"blade_kill: node 0 lost");
+  ASSERT_NE(kill_at, std::string::npos)
+      << "the crash sequence must open with the blade_kill scene";
+  EXPECT_NE(artifact.find("\"reason\":\"spe_fault: blade node0 killed"),
+            std::string::npos)
+      << "the degrade faults must ride behind the kill scene";
+  // The kill scene's pendingOps table must carry the read still parked on
+  // the dead blade: the "who died holding what" line of a blade
+  // postmortem.
+  const std::size_t ops_at = artifact.find("\"pendingOps\":[", kill_at);
+  ASSERT_NE(ops_at, std::string::npos);
+  const std::size_t ops_end = artifact.find("\n]", ops_at);
+  ASSERT_NE(ops_end, std::string::npos);
+  const std::string ops = artifact.substr(ops_at, ops_end - ops_at);
+  EXPECT_NE(ops.find("\"kind\":\"read\""), std::string::npos) << ops;
+  EXPECT_NE(ops.find("\"entity\":\"node0."), std::string::npos)
+      << "the parked op must be attributed to the dead blade:\n" << ops;
+  EXPECT_NE(ops.find("flightrec_test.cpp"), std::string::npos)
+      << "the parked op must name its submitting call site:\n" << ops;
+  if (::getenv("KEEP_ARTIFACT") == nullptr) std::remove(path.c_str());
+}
+
+TEST_F(FlightRecTest, ManualDumpsAccumulateTheWholeCrashSequence) {
   const std::string path = artifact_path("flightrec_manual");
   std::remove(path.c_str());
   FlightRecorder::global().configure(path);
@@ -179,11 +271,21 @@ TEST_F(FlightRecTest, ManualDumpWorksMidSimulationAndLastWriterWins) {
   EXPECT_EQ(FlightRecorder::global().dump_count(), 2);
 
   const std::string artifact = slurp(path);
-  EXPECT_EQ(artifact.find("first trigger"), std::string::npos)
-      << "each trigger rewrites the file";
+  EXPECT_NE(artifact.find("\"reason\":\"watchdog: first trigger\""),
+            std::string::npos)
+      << "the first scene must survive later triggers";
   EXPECT_NE(artifact.find("\"reason\":\"watchdog: second trigger\""),
             std::string::npos);
+  EXPECT_NE(artifact.find("\"dumpOrdinal\":1"), std::string::npos);
   EXPECT_NE(artifact.find("\"dumpOrdinal\":2"), std::string::npos);
+
+  // Re-arming starts a fresh artifact: the sequence belongs to one run.
+  FlightRecorder::global().configure(path);
+  FlightRecorder::global().dump("watchdog: after rearm");
+  const std::string rearmed = slurp(path);
+  EXPECT_EQ(rearmed.find("first trigger"), std::string::npos);
+  EXPECT_NE(rearmed.find("\"reason\":\"watchdog: after rearm\""),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

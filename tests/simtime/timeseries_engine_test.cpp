@@ -1,0 +1,186 @@
+// timeseries_engine_test.cpp — the windowed time-series registry under the
+// telemetry layer: order-independent cell aggregates, virtual-time window
+// bucketing, the refcounted arm/disarm contract shared with tracebuf and
+// metrics, and the canonical drain/snapshot semantics pitop depends on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simtime/sim_time.hpp"
+#include "simtime/timeseries.hpp"
+
+namespace {
+
+namespace ts = simtime::timeseries;
+
+/// Every test starts and ends with a quiet, disarmed engine at the default
+/// window so ordering between tests cannot leak state.
+class TimeseriesEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ts::clear();
+    ts::set_window(simtime::ms(1));
+  }
+  void TearDown() override {
+    while (ts::armed()) ts::disarm();
+    ts::clear();
+    ts::set_window(simtime::ms(1));
+  }
+};
+
+// --- cell aggregates -----------------------------------------------------
+
+TEST_F(TimeseriesEngineTest, CellTracksCountSumMinMax) {
+  ts::Cell cell;
+  for (std::int64_t v : {7, -2, 0, 100}) cell.add(v);
+  EXPECT_EQ(cell.count, 4u);
+  EXPECT_EQ(cell.sum, 105);
+  EXPECT_EQ(cell.min, -2);
+  EXPECT_EQ(cell.max, 100);
+}
+
+TEST_F(TimeseriesEngineTest, CellAggregatesAreOrderIndependent) {
+  // The determinism contract: two host threads may land samples in a
+  // window in either order, so {count,sum,min,max} must not care.
+  ts::Cell forward;
+  ts::Cell backward;
+  const std::int64_t values[] = {5, 1, 9, 9, 3};
+  for (std::int64_t v : values) forward.add(v);
+  for (int i = 4; i >= 0; --i) backward.add(values[i]);
+  EXPECT_EQ(forward, backward);
+}
+
+TEST_F(TimeseriesEngineTest, FirstSampleSetsBothExtremes) {
+  ts::Cell cell;
+  cell.add(-7);
+  EXPECT_EQ(cell.min, -7);
+  EXPECT_EQ(cell.max, -7);
+  EXPECT_EQ(cell.count, 1u);
+}
+
+// --- arm/disarm refcount -------------------------------------------------
+
+TEST_F(TimeseriesEngineTest, ArmIsReferenceCounted) {
+  EXPECT_FALSE(ts::armed());
+  ts::arm();  // e.g. the telemetry session
+  ts::arm();  // e.g. an overlapping scoped capture
+  EXPECT_TRUE(ts::armed());
+  ts::disarm();
+  EXPECT_TRUE(ts::armed()) << "one consumer still wants samples";
+  ts::disarm();
+  EXPECT_FALSE(ts::armed());
+  ts::disarm();  // underflow must be a no-op
+  EXPECT_FALSE(ts::armed());
+}
+
+TEST_F(TimeseriesEngineTest, RecordIsANoOpWhileDisarmed) {
+  ts::record(ts::Kind::kDelivered, 2, 1, "node0", simtime::us(1), 1);
+  ts::arm();
+  EXPECT_TRUE(ts::drain().empty());
+}
+
+// --- window bucketing ----------------------------------------------------
+
+TEST_F(TimeseriesEngineTest, SamplesLandInTheirStampWindow) {
+  ts::arm();
+  ts::set_window(simtime::us(10));
+  ts::record(ts::Kind::kMailboxDepth, 0, -1, "node0.copilot",
+             simtime::us(3), 4);
+  ts::record(ts::Kind::kMailboxDepth, 0, -1, "node0.copilot",
+             simtime::us(9), 6);   // same window as the first
+  ts::record(ts::Kind::kMailboxDepth, 0, -1, "node0.copilot",
+             simtime::us(10), 2);  // boundary starts the next window
+  ts::record(ts::Kind::kMailboxDepth, 0, -1, "node0.copilot",
+             simtime::us(25), 1);
+  const std::vector<ts::Series> series = ts::drain();
+  ASSERT_EQ(series.size(), 1u);
+  const auto& windows = series[0].windows;
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].first, 0);
+  EXPECT_EQ(windows[0].second.count, 2u);
+  EXPECT_EQ(windows[0].second.max, 6);
+  EXPECT_EQ(windows[1].first, 1);
+  EXPECT_EQ(windows[1].second.count, 1u);
+  EXPECT_EQ(windows[2].first, 2);
+  EXPECT_EQ(windows[2].second.min, 1);
+}
+
+TEST_F(TimeseriesEngineTest, WindowIsClampedToAtLeastOneNanosecond) {
+  ts::set_window(0);
+  EXPECT_EQ(ts::window(), 1);
+  ts::set_window(-5);
+  EXPECT_EQ(ts::window(), 1);
+  ts::set_window(simtime::us(50));
+  EXPECT_EQ(ts::window(), simtime::us(50));
+}
+
+TEST_F(TimeseriesEngineTest, NegativeStampsClampIntoWindowZero) {
+  ts::arm();
+  ts::record(ts::Kind::kSent, 0, -1, "x", -100, 1);
+  const std::vector<ts::Series> series = ts::drain();
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].windows.size(), 1u);
+  EXPECT_EQ(series[0].windows[0].first, 0);
+}
+
+// --- canonical drain/snapshot order --------------------------------------
+
+TEST_F(TimeseriesEngineTest, DrainIsCanonicallyOrderedAndClears) {
+  ts::arm();
+  // Recorded deliberately out of canonical order.
+  ts::record(ts::Kind::kSent, 3, 7, "zeta", simtime::us(1), 1);
+  ts::record(ts::Kind::kDelivered, 3, 7, "zeta", simtime::us(1), 1);
+  ts::record(ts::Kind::kDelivered, 1, 7, "zeta", simtime::us(1), 1);
+  ts::record(ts::Kind::kDelivered, 1, 2, "zeta", simtime::us(1), 1);
+  ts::record(ts::Kind::kDelivered, 1, 2, "alpha", simtime::us(1), 1);
+  const std::vector<ts::Series> series = ts::drain();
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_TRUE(series[i - 1].key < series[i].key)
+        << "drain must sort by (kind, route, channel, entity), i=" << i;
+  }
+  EXPECT_EQ(series[0].key.entity, "alpha");
+  EXPECT_TRUE(ts::drain().empty()) << "drain must clear the registry";
+}
+
+TEST_F(TimeseriesEngineTest, SnapshotCopiesWithoutClearing) {
+  ts::arm();
+  ts::record(ts::Kind::kJournalLen, 0, -1, "node0.copilot",
+             simtime::us(5), 3);
+  const std::vector<ts::Series> snap = ts::snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const std::vector<ts::Series> again = ts::snapshot();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(snap[0].key, again[0].key);
+  EXPECT_EQ(snap[0].windows, again[0].windows);
+  EXPECT_EQ(ts::drain().size(), 1u) << "snapshot must leave data in place";
+}
+
+TEST_F(TimeseriesEngineTest, ClearDropsSeriesButKeepsTheWindow) {
+  ts::arm();
+  ts::set_window(simtime::us(42));
+  ts::record(ts::Kind::kNetStash, 0, -1, "0->1", simtime::us(1), 2);
+  ts::clear();
+  EXPECT_TRUE(ts::drain().empty());
+  EXPECT_EQ(ts::window(), simtime::us(42));
+}
+
+// --- kind vocabulary -----------------------------------------------------
+
+TEST_F(TimeseriesEngineTest, KindNamesAreStableTokens) {
+  // The report JSON and pitop key on these strings; renaming one is a
+  // format break, which is why the full table is pinned here.
+  const char* expected[ts::kKindCount] = {
+      "mailbox_depth", "pending_ops", "spe_pool_busy", "net_window",
+      "net_stash",     "journal_len", "parked_ops",    "service_busy",
+      "delivered",     "sent",        "retransmits",   "respawns",
+  };
+  for (int k = 0; k < ts::kKindCount; ++k) {
+    EXPECT_STREQ(ts::kind_name(static_cast<ts::Kind>(k)), expected[k])
+        << "kind " << k;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// pitop_test.cpp — the telemetry console and its stall/saturation
+// detector, binary level (path injected as PITOP_BIN, same harness as
+// slogate_test).
+//
+// Fixture-level tests pin the detector semantics (a delivery drought with
+// net queue growth is a stall; sparse-but-healthy traffic is not) and the
+// exit-code contract: 0 render/agreement, 1 disagreement with the trace
+// oracle, 2 usage or malformed input.  Binary-level acceptance runs the
+// real chaos_sweep blade-kill subject telemetry-armed (CHAOS_SWEEP_BIN)
+// and requires pitop to flag the recovery window and the trace oracle to
+// agree with exact-span overlap — plus byte-identical telemetry across two
+// seeded runs, and the empty-env disarm baselines of every observability
+// session.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+class PitopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test directory: two tests of this binary may run in separate
+    // processes at once under a parallel ctest, and both shell out to
+    // chaos_sweep writing tel.json/out.txt — a shared directory races.
+    dir_ = ::testing::TempDir() + "pitop_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "/";
+    std::system(("mkdir -p " + dir_).c_str());
+  }
+
+  std::string path(const std::string& name) const { return dir_ + name; }
+
+  void write(const std::string& name, const std::string& text) const {
+    std::ofstream f(path(name), std::ios::trunc | std::ios::binary);
+    f << text;
+  }
+
+  std::string slurp(const std::string& name) const {
+    std::ifstream f(path(name), std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }
+
+  /// Runs a command under the test directory; returns the exit code and
+  /// captures combined stdout+stderr.
+  int run_cmd(const std::string& cmd, std::string* output = nullptr) const {
+    const std::string full = "cd " + dir_ + " && { " + cmd + " ; } > " +
+                             path("out.txt") + " 2>&1";
+    const int status = std::system(full.c_str());
+    if (output != nullptr) *output = slurp("out.txt");
+    return WEXITSTATUS(status);
+  }
+
+  int run_pitop(const std::string& args, std::string* output = nullptr) const {
+    return run_cmd(std::string(PITOP_BIN) + " " + args, output);
+  }
+
+  std::string dir_;
+};
+
+// A telemetry report with one unambiguous stall: traffic at window 0,
+// a five-window delivery drought while the replay journal climbs 1 -> 8,
+// then traffic resumes at window 6.
+const char kStalledTelemetry[] = R"({
+  "bench": "telemetry",
+  "unit": "virtual_ns",
+  "windowNs": 50000,
+  "jobs": 1,
+  "rows": [
+    {"job": 1, "kind": "journal_len", "route": 0, "channel": -1,
+     "entity": "node0.copilot", "win": 0, "count": 1, "sum": 1, "min": 1,
+     "max": 1},
+    {"job": 1, "kind": "journal_len", "route": 0, "channel": -1,
+     "entity": "node0.copilot", "win": 5, "count": 3, "sum": 18, "min": 4,
+     "max": 8},
+    {"job": 1, "kind": "delivered", "route": 2, "channel": 0,
+     "entity": "node0.copilot", "win": 0, "count": 1, "sum": 4, "min": 4,
+     "max": 4},
+    {"job": 1, "kind": "delivered", "route": 2, "channel": 0,
+     "entity": "node0.copilot", "win": 6, "count": 1, "sum": 4, "min": 4,
+     "max": 4}
+  ]
+})";
+
+// The same shape without queue growth: sparse traffic alone (deliveries
+// nine windows apart, flat gauges) is healthy, not a stall.
+const char kSparseHealthyTelemetry[] = R"({
+  "bench": "telemetry",
+  "unit": "virtual_ns",
+  "windowNs": 50000,
+  "jobs": 1,
+  "rows": [
+    {"job": 1, "kind": "mailbox_depth", "route": 0, "channel": -1,
+     "entity": "node0.copilot", "win": 0, "count": 2, "sum": 2, "min": 1,
+     "max": 1},
+    {"job": 1, "kind": "mailbox_depth", "route": 0, "channel": -1,
+     "entity": "node0.copilot", "win": 9, "count": 2, "sum": 2, "min": 1,
+     "max": 1},
+    {"job": 1, "kind": "delivered", "route": 2, "channel": 0,
+     "entity": "node0.copilot", "win": 0, "count": 1, "sum": 4, "min": 4,
+     "max": 4},
+    {"job": 1, "kind": "delivered", "route": 2, "channel": 0,
+     "entity": "node0.copilot", "win": 9, "count": 1, "sum": 4, "min": 4,
+     "max": 4}
+  ]
+})";
+
+/// One Chrome-trace event line of the kind the runner writes.
+std::string trace_line(const std::string& name, double ts_us, double dur_us,
+                       const std::string& entity) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"cellpilot\","
+                "\"args\":{\"entity\":\"%s\",\"channel\":-1,\"route\":0,"
+                "\"bytes\":0,\"aux\":0}},\n",
+                ts_us, dur_us, name.c_str(), entity.c_str());
+  return buf;
+}
+
+// --- console mode ----------------------------------------------------------
+
+TEST_F(PitopTest, RendersBladesRoutesAndTheStallSpan) {
+  write("tel.json", kStalledTelemetry);
+  std::string out;
+  EXPECT_EQ(run_pitop("tel.json", &out), 0) << out;
+  EXPECT_NE(out.find("pitop: window 50000 ns, 1 jobs"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("blade node0"), std::string::npos) << out;
+  EXPECT_NE(out.find("journal_len"), std::string::npos) << out;
+  EXPECT_NE(out.find("route type 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("delivered msgs"), std::string::npos) << out;
+  EXPECT_NE(out.find("stall span [1..5]"), std::string::npos) << out;
+}
+
+TEST_F(PitopTest, SparseHealthyTrafficIsNotAStall) {
+  write("tel.json", kSparseHealthyTelemetry);
+  std::string out;
+  EXPECT_EQ(run_pitop("tel.json", &out), 0) << out;
+  EXPECT_NE(out.find("stall spans: none"), std::string::npos)
+      << "a delivery gap without queue growth must not be flagged:\n"
+      << out;
+}
+
+// --- cross-oracle mode ------------------------------------------------------
+
+TEST_F(PitopTest, OverlappingRecoveryEventExplainsTheStall) {
+  write("tel.json", kStalledTelemetry);
+  // blade_restore spanning 100..200 us = windows 2..4, inside [1..5].
+  write("tr.json", trace_line("copilot_service", 10, 5, "node0.copilot") +
+                       trace_line("blade_restore", 100, 100, "node0"));
+  std::string out;
+  EXPECT_EQ(run_pitop("tel.json --check-trace tr.json", &out), 0) << out;
+  EXPECT_NE(
+      out.find("stall [1..5]: explained by blade_restore node0 [2..4]"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("trace oracle agrees"), std::string::npos) << out;
+}
+
+TEST_F(PitopTest, NonOverlappingOracleLeavesTheStallUnexplained) {
+  write("tel.json", kStalledTelemetry);
+  // The only recovery event sits at window 100, far from the stall.
+  write("tr.json", trace_line("spe_respawn", 5000, 10, "node0.cell0.spe0"));
+  std::string out;
+  EXPECT_EQ(run_pitop("tel.json --check-trace tr.json", &out), 1) << out;
+  EXPECT_NE(out.find("UNEXPLAINED"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 unexplained stall spans"), std::string::npos) << out;
+}
+
+TEST_F(PitopTest, UsageAndBadInputsExitTwo) {
+  std::string out;
+  EXPECT_EQ(run_pitop("", &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  EXPECT_EQ(run_pitop("missing.json", &out), 2);
+  EXPECT_EQ(run_pitop("a.json --not-check b.json", &out), 2);
+
+  write("empty.json", "");
+  EXPECT_EQ(run_pitop("empty.json", &out), 2);
+
+  write("notel.json", "{\"bench\": \"loadgen\", \"rows\": []}");
+  EXPECT_EQ(run_pitop("notel.json", &out), 2);
+  EXPECT_NE(out.find("not a telemetry report"), std::string::npos) << out;
+
+  write("tel.json", kStalledTelemetry);
+  write("empty_trace.json", "");
+  EXPECT_EQ(run_pitop("tel.json --check-trace empty_trace.json", &out), 2);
+  write("no_events.json", "just some text\n");
+  EXPECT_EQ(run_pitop("tel.json --check-trace no_events.json", &out), 2);
+  EXPECT_NE(out.find("no trace events"), std::string::npos) << out;
+}
+
+// --- acceptance: the real blade-kill subject -------------------------------
+
+/// The chaos_sweep checkpointed blade-kill subject, telemetry- and
+/// trace-armed at a 50 us window: the blade dies mid-burst, deliveries
+/// dry up while the journal and parked queues climb, the restore brings
+/// traffic back — pitop must flag exactly that span and the trace oracle
+/// must account for it.
+TEST_F(PitopTest, ChaosBladeKillStallIsFlaggedAndExplainedByTheTrace) {
+  const std::string env =
+      "CELLPILOT_CHAOS_SUBJECT=ckpt:local "
+      "CELLPILOT_TELEMETRY=tel.json CELLPILOT_TELEMETRY_EVERY=50 "
+      "CELLPILOT_TRACE=tr.json ";
+  std::string out;
+  ASSERT_EQ(run_cmd(env + std::string(CHAOS_SWEEP_BIN) + " 1", &out), 0)
+      << out;
+  const std::string first = slurp("tel.json");
+  ASSERT_FALSE(first.empty()) << "chaos run left no telemetry report";
+
+  EXPECT_EQ(run_pitop("tel.json --check-trace tr.json", &out), 0) << out;
+  EXPECT_NE(out.find("explained by"), std::string::npos)
+      << "the blade-kill recovery window must be flagged and attributed:\n"
+      << out;
+  EXPECT_EQ(out.find("UNEXPLAINED"), std::string::npos) << out;
+
+  // Same seed, same bytes — chaos cocktail included.
+  ASSERT_EQ(run_cmd(env + std::string(CHAOS_SWEEP_BIN) + " 1", &out), 0)
+      << out;
+  EXPECT_EQ(first, slurp("tel.json"))
+      << "telemetry must be byte-identical across same-seed chaos runs";
+}
+
+// --- empty-env disarm baselines (binary level) ------------------------------
+
+TEST_F(PitopTest, EmptyObservabilityEnvKeepsRunsDisarmedWithANote) {
+  const std::string subject = "CELLPILOT_CHAOS_SUBJECT=respawn:2 ";
+  std::string baseline_out;
+  ASSERT_EQ(run_cmd(subject + std::string(CHAOS_SWEEP_BIN) + " 1 2>/dev/null",
+                    &baseline_out),
+            0);
+
+  std::remove(path("tel.json").c_str());
+  std::remove(path("tr.json").c_str());
+  const std::string empties =
+      "CELLPILOT_TELEMETRY= CELLPILOT_TRACE= CELLPILOT_METRICS= "
+      "CELLPILOT_FLIGHTREC= ";
+  std::string combined;
+  ASSERT_EQ(
+      run_cmd(subject + empties + std::string(CHAOS_SWEEP_BIN) + " 1 2> err.txt",
+              &combined),
+      0);
+  EXPECT_EQ(combined, baseline_out)
+      << "empty env values must leave stdout bit-for-bit identical";
+  const std::string err = slurp("err.txt");
+  EXPECT_NE(err.find("ignoring empty CELLPILOT_TELEMETRY"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("ignoring empty CELLPILOT_TRACE"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("ignoring empty CELLPILOT_METRICS"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("ignoring empty CELLPILOT_FLIGHTREC"),
+            std::string::npos)
+      << err;
+  EXPECT_TRUE(slurp("tel.json").empty())
+      << "an empty CELLPILOT_TELEMETRY must not create a report file";
+  EXPECT_TRUE(slurp("tr.json").empty());
+}
+
+}  // namespace

@@ -1,0 +1,496 @@
+// pitop — offline cluster console for CellPilot telemetry reports.
+//
+//   pitop TELEMETRY.json
+//       Render the windowed time-series as per-blade and per-route
+//       sparkline tables (one column per virtual-time window), followed by
+//       the stall/saturation detector's verdict: spans of windows where
+//       queue depth grows while goodput falls.
+//
+//   pitop TELEMETRY.json --check-trace TRACE.json
+//       Cross-oracle mode: every stall span the detector flags must be
+//       explained by a recovery event in the trace written by the same run
+//       (spe_respawn, copilot_failover, blade_restore, or a coordinated
+//       checkpoint's ckpt_begin/ckpt_cut/ckpt_commit span).  The telemetry
+//       side knows only that queues grew and deliveries dropped; the trace
+//       side knows why.  Exit 0 iff the two accounts agree — the same
+//       discipline as `tracestats --check-metrics`: 0 agreement, 1
+//       disagreement, 2 usage/malformed input.
+//
+// Like the other tools this has no dependency on the simulator: the
+// telemetry report is a benchjson document (parsed with benchkit's reader)
+// and the trace is Chrome trace JSON, one event per line, parsed with the
+// shared benchjson line scanner.  All arithmetic is on exact virtual
+// nanoseconds and window indices, so the output is byte-identical across
+// runs of the same seeded program.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/benchjson.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Telemetry report loading
+
+/// One row of the telemetry report: one (series, window) cell.
+struct Row {
+  int job = 0;
+  std::string kind;
+  int route = 0;
+  int channel = -1;
+  std::string entity;
+  long long win = 0;
+  unsigned long long count = 0;
+  long long sum = 0;
+  long long min = 0;
+  long long max = 0;
+};
+
+bool load_telemetry(const std::string& path, std::vector<Row>* rows,
+                    long long* window_ns) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "pitop: cannot open " << path << "\n";
+    return false;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  benchkit::Doc doc;
+  std::string error;
+  if (!benchkit::parse(buf.str(), &doc, &error)) {
+    std::cerr << "pitop: " << path << " is not a telemetry report (" << error
+              << ")\n";
+    return false;
+  }
+  std::string bench;
+  if (!benchkit::get_string(doc.meta, "bench", &bench) ||
+      bench != "telemetry") {
+    std::cerr << "pitop: " << path << " is not a telemetry report (bench=\""
+              << bench << "\")\n";
+    return false;
+  }
+  double w = 0;
+  if (!benchkit::get_number(doc.meta, "windowNs", &w) || w < 1) {
+    std::cerr << "pitop: " << path << " has no windowNs\n";
+    return false;
+  }
+  *window_ns = static_cast<long long>(w);
+  for (const benchkit::Fields& fields : doc.rows) {
+    Row r;
+    double job = 0;
+    double route = 0;
+    double channel = 0;
+    double win = 0;
+    double count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    if (!benchkit::get_number(fields, "job", &job) ||
+        !benchkit::get_string(fields, "kind", &r.kind) ||
+        !benchkit::get_number(fields, "route", &route) ||
+        !benchkit::get_number(fields, "channel", &channel) ||
+        !benchkit::get_string(fields, "entity", &r.entity) ||
+        !benchkit::get_number(fields, "win", &win) ||
+        !benchkit::get_number(fields, "count", &count) ||
+        !benchkit::get_number(fields, "sum", &sum) ||
+        !benchkit::get_number(fields, "min", &min) ||
+        !benchkit::get_number(fields, "max", &max)) {
+      std::cerr << "pitop: malformed telemetry row in " << path << "\n";
+      return false;
+    }
+    r.job = static_cast<int>(job);
+    r.route = static_cast<int>(route);
+    r.channel = static_cast<int>(channel);
+    r.win = static_cast<long long>(win);
+    r.count = static_cast<unsigned long long>(count);
+    r.sum = static_cast<long long>(sum);
+    r.min = static_cast<long long>(min);
+    r.max = static_cast<long long>(max);
+    rows->push_back(std::move(r));
+  }
+  if (rows->empty()) {
+    std::cerr << "pitop: " << path
+              << " contains no telemetry rows (disarmed run?)\n";
+    return false;
+  }
+  return true;
+}
+
+/// True for the kinds whose per-window cell is an instantaneous depth
+/// (render/aggregate with max); the rest are per-window counters
+/// (render/aggregate with the sample count).
+bool is_gauge(const std::string& kind) {
+  return kind == "mailbox_depth" || kind == "pending_ops" ||
+         kind == "spe_pool_busy" || kind == "net_window" ||
+         kind == "net_stash" || kind == "journal_len" ||
+         kind == "parked_ops";
+}
+
+/// Blade bucket of an entity name: the dot-path prefix ("node0.cell1.spe3"
+/// -> "node0"); reliable-layer links ("2->3") and anything without a dot
+/// form their own buckets.
+std::string blade_of(const std::string& entity) {
+  const std::size_t dot = entity.find('.');
+  return dot == std::string::npos ? entity : entity.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Sparkline rendering
+
+/// One column per window bucket, nine intensity levels.  ASCII on purpose:
+/// the console's bytes are part of the determinism contract, so no locale
+/// or terminal may reinterpret them.
+const char kLevels[] = " .:-=+*#@";
+
+std::string sparkline(const std::vector<long long>& cells, long long peak) {
+  std::string out;
+  out.reserve(cells.size());
+  for (const long long v : cells) {
+    if (v <= 0 || peak <= 0) {
+      out += kLevels[0];
+    } else {
+      const long long clamped = std::min(v, peak);
+      out += kLevels[1 + (clamped - 1) * 7 / peak];
+    }
+  }
+  return out;
+}
+
+/// Per-window values of one console line, bucketed down to at most
+/// `max_cols` columns (bucket value = max of its windows, so a one-window
+/// spike never disappears into the average).
+std::vector<long long> bucketize(const std::map<long long, long long>& wins,
+                                 long long lo, long long hi, int max_cols,
+                                 long long* bucket_width) {
+  const long long span = hi - lo + 1;
+  const long long width = (span + max_cols - 1) / max_cols;
+  *bucket_width = width;
+  std::vector<long long> cells(
+      static_cast<std::size_t>((span + width - 1) / width), 0);
+  for (const auto& [win, value] : wins) {
+    cells[static_cast<std::size_t>((win - lo) / width)] =
+        std::max(cells[static_cast<std::size_t>((win - lo) / width)], value);
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Console mode
+
+constexpr int kMaxColumns = 64;
+
+void render_job(int job, const std::vector<const Row*>& rows) {
+  long long lo = rows.front()->win;
+  long long hi = rows.front()->win;
+  for (const Row* r : rows) {
+    lo = std::min(lo, r->win);
+    hi = std::max(hi, r->win);
+  }
+  std::printf("job %d: windows %lld..%lld\n", job, lo, hi);
+
+  // Per-blade tables: (blade, kind) -> window -> aggregated value.  Gauges
+  // aggregate with max (deepest queue on the blade), counters with the
+  // per-window sample count summed across the blade's series.
+  std::map<std::string, std::map<std::string, std::map<long long, long long>>>
+      blades;
+  // Per-route traffic: (route, kind, unit) -> window -> sum.
+  std::map<int, std::map<std::string, std::map<long long, long long>>> routes;
+  for (const Row* r : rows) {
+    auto& line = blades[blade_of(r->entity)][r->kind];
+    if (is_gauge(r->kind)) {
+      line[r->win] = std::max(line[r->win], r->max);
+    } else {
+      line[r->win] += static_cast<long long>(r->count);
+    }
+    if (r->route > 0 && (r->kind == "sent" || r->kind == "delivered")) {
+      routes[r->route][r->kind + " msgs"][r->win] +=
+          static_cast<long long>(r->count);
+      routes[r->route][r->kind + " bytes"][r->win] += r->sum;
+    }
+  }
+
+  for (const auto& [blade, kinds] : blades) {
+    std::printf("  blade %s\n", blade.c_str());
+    for (const auto& [kind, wins] : kinds) {
+      long long peak = 0;
+      for (const auto& [win, value] : wins) peak = std::max(peak, value);
+      long long bucket = 1;
+      const auto cells = bucketize(wins, lo, hi, kMaxColumns, &bucket);
+      std::printf("    %-14s %-5s peak %10lld |%s|\n", kind.c_str(),
+                  is_gauge(kind) ? "max" : "count", peak,
+                  sparkline(cells, peak).c_str());
+    }
+  }
+  for (const auto& [route, kinds] : routes) {
+    std::printf("  route type %d\n", route);
+    for (const auto& [kind, wins] : kinds) {
+      long long peak = 0;
+      long long total = 0;
+      for (const auto& [win, value] : wins) {
+        peak = std::max(peak, value);
+        total += value;
+      }
+      long long bucket = 1;
+      const auto cells = bucketize(wins, lo, hi, kMaxColumns, &bucket);
+      std::printf("    %-15s total %12lld |%s|\n", kind.c_str(), total,
+                  sparkline(cells, peak).c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stall/saturation detector
+
+/// A maximal run of consecutive stalled windows, inclusive.
+struct Span {
+  long long first = 0;
+  long long last = 0;
+};
+
+/// A flagged span must be longer than any healthy inter-delivery gap, so
+/// one idle window between sparse messages never trips the detector; the
+/// window length (-pitelemetryevery) is the sensitivity knob.
+constexpr long long kMinStallWindows = 2;
+
+/// Flags spans where the cluster-wide queue depth grows while goodput has
+/// fallen to zero — the signature of a stalled consumer (dead SPE,
+/// failed-over Co-Pilot, blade restore) with producers still pushing.
+///
+/// goodput(w) = delivered messages in window w (0 when none);
+/// depth(w)   = max over all queue gauges (mailbox_depth, parked_ops,
+///              net_window, net_stash, journal_len) of the window's max,
+///              carried forward over sample-less windows (a gauge keeps
+///              its level until the next transition is recorded).
+///
+/// A *drought* is a maximal run of consecutive goodput-0 windows with a
+/// delivery on both sides — traffic existed before and resumed after, so
+/// it is a mid-run gap, not startup or shutdown.  A drought is flagged as
+/// a stall iff it spans at least kMinStallWindows windows AND the queue
+/// depth at its end exceeds the depth just before it began: deliveries
+/// stopped while work kept queueing.
+std::vector<Span> detect_stalls(const std::vector<const Row*>& rows) {
+  std::map<long long, long long> depth_max;  // window -> max of queue gauges
+  std::map<long long, long long> goodput;    // window -> delivered msgs
+  long long lo = rows.front()->win;
+  long long hi = rows.front()->win;
+  for (const Row* r : rows) {
+    lo = std::min(lo, r->win);
+    hi = std::max(hi, r->win);
+    if (r->kind == "mailbox_depth" || r->kind == "parked_ops" ||
+        r->kind == "net_window" || r->kind == "net_stash" ||
+        r->kind == "journal_len") {
+      depth_max[r->win] = std::max(depth_max[r->win], r->max);
+    } else if (r->kind == "delivered") {
+      goodput[r->win] += static_cast<long long>(r->count);
+    }
+  }
+
+  // Carried-forward depth per window, indexed from lo.
+  std::vector<long long> depth(static_cast<std::size_t>(hi - lo + 1), 0);
+  long long level = 0;
+  for (long long w = lo; w <= hi; ++w) {
+    const auto dit = depth_max.find(w);
+    if (dit != depth_max.end()) level = dit->second;
+    depth[static_cast<std::size_t>(w - lo)] = level;
+  }
+  const auto depth_at = [&](long long w) {
+    return w < lo ? 0 : depth[static_cast<std::size_t>(w - lo)];
+  };
+  const auto put_at = [&](long long w) {
+    const auto git = goodput.find(w);
+    return git != goodput.end() ? git->second : 0;
+  };
+
+  std::vector<Span> spans;
+  bool seen_delivery = false;
+  long long drought_start = -1;
+  for (long long w = lo; w <= hi; ++w) {
+    if (put_at(w) > 0) {
+      if (drought_start >= 0 && seen_delivery) {
+        const long long a = drought_start;
+        const long long b = w - 1;
+        if (b - a + 1 >= kMinStallWindows && depth_at(b) > depth_at(a - 1)) {
+          spans.push_back(Span{a, b});
+        }
+      }
+      drought_start = -1;
+      seen_delivery = true;
+    } else if (drought_start < 0) {
+      drought_start = w;
+    }
+  }
+  return spans;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-oracle mode
+
+/// A recovery span from the trace: the virtual-time extent of an event
+/// that explains a stall, converted to window indices.
+struct OracleSpan {
+  long long first = 0;
+  long long last = 0;
+  std::string what;  // "spe_respawn node0.cell0.spe1" etc.
+};
+
+bool is_recovery_event(const std::string& name) {
+  return name == "spe_respawn" || name == "copilot_failover" ||
+         name == "blade_restore" || name == "ckpt_begin" ||
+         name == "ckpt_cut" || name == "ckpt_commit";
+}
+
+/// Loads the recovery/checkpoint events of a trace, per job, as window
+/// spans.  Reuses the shared benchjson line scanner, same as tracestats.
+bool load_oracle(const std::string& path, long long window_ns,
+                 std::map<int, std::vector<OracleSpan>>* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "pitop: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  bool any_line = false;
+  bool any_event = false;
+  while (std::getline(f, line)) {
+    if (!line.empty()) any_line = true;
+    if (line.rfind("{\"ph\":\"X\"", 0) != 0) continue;
+    benchkit::Fields fields;
+    std::string error;
+    if (!benchkit::parse_object_line(line, &fields, &error)) {
+      std::cerr << "pitop: malformed event line in " << path << " (" << error
+                << "): " << line << "\n";
+      return false;
+    }
+    any_event = true;
+    double pid = 0;
+    double ts = 0;
+    double dur = 0;
+    std::string name;
+    std::string entity;
+    if (!benchkit::get_number(fields, "pid", &pid) ||
+        !benchkit::get_number(fields, "ts", &ts) ||
+        !benchkit::get_number(fields, "dur", &dur) ||
+        !benchkit::get_string(fields, "name", &name)) {
+      std::cerr << "pitop: event line missing a required field in " << path
+                << ": " << line << "\n";
+      return false;
+    }
+    if (!is_recovery_event(name)) continue;
+    benchkit::get_string(fields, "args.entity", &entity);
+    const long long begin = benchkit::ns_from_us(ts);
+    const long long end = begin + benchkit::ns_from_us(dur);
+    OracleSpan s;
+    s.first = begin / window_ns;
+    s.last = end / window_ns;
+    s.what = name + " " + entity;
+    (*out)[static_cast<int>(pid)].push_back(std::move(s));
+  }
+  if (!any_line) {
+    std::cerr << "pitop: " << path << " is empty — not a trace file\n";
+    return false;
+  }
+  if (!any_event) {
+    std::cerr << "pitop: " << path
+              << " contains no trace events (disarmed run, or not a "
+                 "CellPilot trace?)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Checks every flagged stall span against the recovery oracle.  A span is
+/// explained iff it intersects at least one recovery span of the same job.
+/// Returns the number of unexplained spans.
+int check_job(int job, const std::vector<Span>& stalls,
+              const std::vector<OracleSpan>& oracle) {
+  int unexplained = 0;
+  for (const Span& s : stalls) {
+    const OracleSpan* hit = nullptr;
+    for (const OracleSpan& o : oracle) {
+      if (s.first <= o.last && o.first <= s.last) {
+        hit = &o;
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      std::printf("  job %d stall [%lld..%lld]: explained by %s "
+                  "[%lld..%lld]\n",
+                  job, s.first, s.last, hit->what.c_str(), hit->first,
+                  hit->last);
+    } else {
+      std::printf("  job %d stall [%lld..%lld]: UNEXPLAINED (no recovery "
+                  "event overlaps)\n",
+                  job, s.first, s.last);
+      ++unexplained;
+    }
+  }
+  return unexplained;
+}
+
+int usage() {
+  std::cerr << "usage: pitop TELEMETRY.json\n"
+               "       pitop TELEMETRY.json --check-trace TRACE.json\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 4) return usage();
+  if (argc == 4 && std::string(argv[2]) != "--check-trace") return usage();
+
+  std::vector<Row> rows;
+  long long window_ns = 0;
+  if (!load_telemetry(argv[1], &rows, &window_ns)) return 2;
+
+  std::map<int, std::vector<const Row*>> jobs;
+  for (const Row& r : rows) jobs[r.job].push_back(&r);
+
+  if (argc == 2) {
+    std::printf("pitop: window %lld ns, %zu jobs\n", window_ns, jobs.size());
+    for (const auto& [job, jrows] : jobs) {
+      render_job(job, jrows);
+      const auto stalls = detect_stalls(jrows);
+      if (stalls.empty()) {
+        std::printf("  stall spans: none\n");
+      } else {
+        for (const Span& s : stalls) {
+          std::printf("  stall span [%lld..%lld]\n", s.first, s.last);
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::map<int, std::vector<OracleSpan>> oracle;
+  if (!load_oracle(argv[3], window_ns, &oracle)) return 2;
+
+  int flagged = 0;
+  int unexplained = 0;
+  for (const auto& [job, jrows] : jobs) {
+    const auto stalls = detect_stalls(jrows);
+    flagged += static_cast<int>(stalls.size());
+    static const std::vector<OracleSpan> kNone;
+    const auto oit = oracle.find(job);
+    unexplained +=
+        check_job(job, stalls, oit != oracle.end() ? oit->second : kNone);
+  }
+
+  if (unexplained == 0) {
+    std::printf("pitop: trace oracle agrees with telemetry (%d stall "
+                "spans)\n",
+                flagged);
+    return 0;
+  }
+  std::printf("pitop: %d unexplained stall spans\n", unexplained);
+  return 1;
+}

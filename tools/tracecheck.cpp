@@ -5,12 +5,15 @@
 //   tracecheck --canon A.json    print the canonical event list to stdout
 //
 // A CellPilot trace is Chrome trace JSON written one event per line (see
-// docs/OBSERVABILITY.md).  Canonicalization extracts the event lines and
-// sorts them, so the comparison is insensitive to the order in which events
-// were serialized — what remains is exactly the virtual-time behaviour of
-// the program.  Because the simulation clock is virtual and every scheduler
-// decision is deterministic, two runs of the same seeded program must
-// canonicalize identically; any diff is a real nondeterminism bug.
+// docs/OBSERVABILITY.md).  Canonicalization extracts the event lines —
+// validating each one through the shared benchkit/benchjson line parser,
+// so a truncated or corrupted trace dies with a byte offset instead of
+// silently "comparing equal" — and sorts them, so the comparison is
+// insensitive to the order in which events were serialized; what remains
+// is exactly the virtual-time behaviour of the program.  Because the
+// simulation clock is virtual and every scheduler decision is
+// deterministic, two runs of the same seeded program must canonicalize
+// identically; any diff is a real nondeterminism bug.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +21,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "benchkit/benchjson.hpp"
 
 namespace {
 
@@ -49,7 +54,16 @@ std::vector<std::string> canonical_events(const std::string& path,
   bool any_line = false;
   while (std::getline(f, line)) {
     if (!line.empty()) any_line = true;
-    if (is_event_line(line)) events.push_back(strip_comma(std::move(line)));
+    if (!is_event_line(line)) continue;
+    benchkit::Fields fields;
+    std::string error;
+    if (!benchkit::parse_object_line(line, &fields, &error)) {
+      std::cerr << "tracecheck: malformed event line in " << path << " ("
+                << error << "): " << line << "\n";
+      *ok = false;
+      return events;
+    }
+    events.push_back(strip_comma(std::move(line)));
   }
   // An empty or event-less file is indistinguishable from a second empty
   // one, so comparing would vacuously "pass".  Diagnose it instead: the

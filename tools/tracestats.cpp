@@ -15,9 +15,11 @@
 //       nanoseconds or one of them is lying.
 //
 // Like tracecheck, this tool has no dependency on the simulator: it reads
-// the Chrome trace JSON that core/trace serializes one event per line.
+// the Chrome trace JSON that core/trace serializes one event per line,
+// through the shared benchkit/benchjson line parser (the same scanner the
+// writer side pins down), so the two ends of the format cannot drift.
 // Timestamps are virtual microseconds with exactly three decimals, so the
-// original virtual nanoseconds are recovered exactly (us * 1000 + frac).
+// original virtual nanoseconds are recovered exactly (ns_from_us).
 //
 // The join needs no wire-format change: the k-th write on a channel pairs
 // with the k-th read on that channel, in the file's canonical event order —
@@ -26,7 +28,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -34,6 +35,8 @@
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "benchkit/benchjson.hpp"
 
 namespace {
 
@@ -45,46 +48,6 @@ struct Ev {
   int channel = -1;
   int route = 0;
 };
-
-/// Extracts the text after `key` in `line`, or npos.
-std::size_t find_value(const std::string& line, const char* key) {
-  const std::size_t at = line.find(key);
-  if (at == std::string::npos) return std::string::npos;
-  return at + std::string(key).size();
-}
-
-long long parse_ll(const std::string& line, const char* key, bool* ok) {
-  const std::size_t at = find_value(line, key);
-  if (at == std::string::npos) {
-    *ok = false;
-    return 0;
-  }
-  return std::strtoll(line.c_str() + at, nullptr, 10);
-}
-
-/// Parses a "us.frac" timestamp at `key` back into exact nanoseconds.
-long long parse_ns(const std::string& line, const char* key, bool* ok) {
-  const std::size_t at = find_value(line, key);
-  if (at == std::string::npos) {
-    *ok = false;
-    return 0;
-  }
-  char* dot = nullptr;
-  const long long us = std::strtoll(line.c_str() + at, &dot, 10);
-  long long frac = 0;
-  if (dot != nullptr && *dot == '.') {
-    frac = std::strtoll(dot + 1, nullptr, 10);
-  }
-  return us * 1000 + frac;
-}
-
-std::string parse_str(const std::string& line, const char* key) {
-  const std::size_t at = find_value(line, key);
-  if (at == std::string::npos) return {};
-  const std::size_t end = line.find('"', at);
-  if (end == std::string::npos) return {};
-  return line.substr(at, end - at);
-}
 
 /// Loads the complete-event lines ("ph":"X") of a trace file, preserving
 /// the file's canonical per-job order.  Exit-2 conditions are reported by
@@ -100,19 +63,34 @@ bool load_trace(const std::string& path, std::vector<Ev>* out) {
   while (std::getline(f, line)) {
     if (!line.empty()) any_line = true;
     if (line.rfind("{\"ph\":\"X\"", 0) != 0) continue;
-    Ev e;
-    bool ok = true;
-    e.job = static_cast<int>(parse_ll(line, "\"pid\":", &ok));
-    e.ts_ns = parse_ns(line, "\"ts\":", &ok);
-    e.dur_ns = parse_ns(line, "\"dur\":", &ok);
-    e.name = parse_str(line, "\"name\":\"");
-    e.channel = static_cast<int>(parse_ll(line, "\"channel\":", &ok));
-    e.route = static_cast<int>(parse_ll(line, "\"route\":", &ok));
-    if (!ok || e.name.empty()) {
-      std::cerr << "tracestats: malformed event line in " << path << ": "
-                << line << "\n";
+    benchkit::Fields fields;
+    std::string error;
+    if (!benchkit::parse_object_line(line, &fields, &error)) {
+      std::cerr << "tracestats: malformed event line in " << path << " ("
+                << error << "): " << line << "\n";
       return false;
     }
+    Ev e;
+    double pid = 0;
+    double ts = 0;
+    double dur = 0;
+    double channel = -1;
+    double route = 0;
+    if (!benchkit::get_number(fields, "pid", &pid) ||
+        !benchkit::get_number(fields, "ts", &ts) ||
+        !benchkit::get_number(fields, "dur", &dur) ||
+        !benchkit::get_string(fields, "name", &e.name) ||
+        !benchkit::get_number(fields, "args.channel", &channel) ||
+        !benchkit::get_number(fields, "args.route", &route)) {
+      std::cerr << "tracestats: event line missing a required field in "
+                << path << ": " << line << "\n";
+      return false;
+    }
+    e.job = static_cast<int>(pid);
+    e.ts_ns = benchkit::ns_from_us(ts);
+    e.dur_ns = benchkit::ns_from_us(dur);
+    e.channel = static_cast<int>(channel);
+    e.route = static_cast<int>(route);
     out->push_back(std::move(e));
   }
   if (!any_line) {
@@ -264,20 +242,31 @@ bool load_metrics_routes(const std::string& path,
   std::string line;
   while (std::getline(f, line)) {
     if (line.find("\"agg\":\"route\"") == std::string::npos) continue;
-    bool ok = true;
-    const int job = static_cast<int>(parse_ll(line, "\"job\":", &ok));
-    const std::string kind = parse_str(line, "\"kind\":\"");
-    const int route = static_cast<int>(parse_ll(line, "\"route\":", &ok));
-    Cell c;
-    c.count =
-        static_cast<unsigned long long>(parse_ll(line, "\"count\":", &ok));
-    c.sum = static_cast<unsigned long long>(parse_ll(line, "\"sumNs\":", &ok));
-    if (!ok || kind.empty()) {
-      std::cerr << "tracestats: malformed rollup line in " << path << ": "
-                << line << "\n";
+    benchkit::Fields fields;
+    std::string error;
+    if (!benchkit::parse_object_line(line, &fields, &error)) {
+      std::cerr << "tracestats: malformed rollup line in " << path << " ("
+                << error << "): " << line << "\n";
       return false;
     }
-    (*out)[{job, kind, route}] = c;
+    double job = 0;
+    double route = 0;
+    double count = 0;
+    double sum_ns = 0;
+    std::string kind;
+    if (!benchkit::get_number(fields, "job", &job) ||
+        !benchkit::get_string(fields, "kind", &kind) ||
+        !benchkit::get_number(fields, "route", &route) ||
+        !benchkit::get_number(fields, "count", &count) ||
+        !benchkit::get_number(fields, "sumNs", &sum_ns)) {
+      std::cerr << "tracestats: rollup line missing a required field in "
+                << path << ": " << line << "\n";
+      return false;
+    }
+    Cell c;
+    c.count = static_cast<unsigned long long>(count);
+    c.sum = static_cast<unsigned long long>(sum_ns);
+    (*out)[{static_cast<int>(job), kind, static_cast<int>(route)}] = c;
   }
   return true;
 }
